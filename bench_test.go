@@ -1,0 +1,392 @@
+package repro
+
+// The experiment harness: one benchmark per experiment in DESIGN.md's
+// index (E1–E8). PARINDA is a demo paper without numbered result
+// tables; its quantitative claims are reproduced here and the measured
+// numbers are recorded in EXPERIMENTS.md.
+//
+//	go test -bench=. -benchmem
+//
+// Custom metrics reported via b.ReportMetric:
+//	speedup     workload cost(before) / cost(after)
+//	benefit_pct 100 * (1 - after/before)
+//	relerr_pct  what-if vs materialized cost error
+//	plancalls   full optimizer invocations consumed
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/advisor"
+	"repro/internal/autopart"
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/inum"
+	"repro/internal/optimizer"
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/whatif"
+	"repro/internal/workload"
+)
+
+// planCatalog builds the statistics-only catalog once per scale.
+func planCatalog(b *testing.B, scale int64) *catalog.Catalog {
+	b.Helper()
+	cat, err := workload.BuildCatalog(scale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cat
+}
+
+func populated(b *testing.B, scale int64) *storage.Database {
+	b.Helper()
+	db := storage.NewDatabase(16384)
+	if err := workload.PopulateDatabase(db, scale, 1); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+func mustSelect(b *testing.B, q string) *sql.Select {
+	b.Helper()
+	sel, err := sql.ParseSelect(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sel
+}
+
+// --- E1: what-if simulation vs. physically building the index -------
+// Claim (§1, §3.2): simulating design features is orders of magnitude
+// faster than building them.
+
+func BenchmarkE1_WhatIfVsBuild(b *testing.B) {
+	for _, scale := range []int64{20000, 60000} {
+		db := populated(nil2b(b), scale)
+		q := mustSelect(b, "SELECT objid FROM photoobj WHERE ra BETWEEN 100 AND 100.3")
+
+		b.Run(fmt.Sprintf("Simulate/rows=%d", scale), func(b *testing.B) {
+			session := whatif.NewSession(db.Catalog)
+			for i := 0; i < b.N; i++ {
+				ix, err := session.CreateIndex("photoobj", []string{"ra"})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := session.Cost(q); err != nil {
+					b.Fatal(err)
+				}
+				if err := session.DropIndex(ix.Name); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("Build/rows=%d", scale), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				name := fmt.Sprintf("bench_ix_%d_%d", scale, i)
+				ci := &sql.CreateIndex{Name: name, Table: "photoobj", Columns: []string{"ra"}}
+				if _, err := db.BuildIndex(ci); err != nil {
+					b.Fatal(err)
+				}
+				p := optimizer.New(db.Catalog)
+				if _, err := p.Cost(q); err != nil {
+					b.Fatal(err)
+				}
+				if err := db.DropIndex(name); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// nil2b lets populated() accept the parent b for setup outside subtests.
+func nil2b(b *testing.B) *testing.B { return b }
+
+// --- E2: interactive design evaluation ------------------------------
+// Scenario 1 (§4): evaluate a manual design over the 30-query
+// workload; the benefit numbers are the figure-3 panel.
+
+func BenchmarkE2_InteractiveEvaluate(b *testing.B) {
+	cat := planCatalog(b, 500000)
+	p := core.New(cat)
+	queries := workload.Queries()
+	design := core.Design{
+		Indexes: []inum.IndexSpec{
+			{Table: "photoobj", Columns: []string{"ra"}},
+			{Table: "photoobj", Columns: []string{"run", "camcol", "field"}},
+			{Table: "specobj", Columns: []string{"bestobjid"}},
+		},
+	}
+	var rep *core.InteractiveReport
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = p.EvaluateDesign(queries, design)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.Speedup(), "speedup")
+	b.ReportMetric(100*rep.AvgBenefit(), "benefit_pct")
+}
+
+// --- E3: automatic partition suggestion (AutoPart) ------------------
+// Claim (§1, §4): 2x–10x speedups on analytical queries.
+
+func BenchmarkE3_AutoPart(b *testing.B) {
+	cat := planCatalog(b, 300000)
+	all := workload.Queries()
+	subset := []string{all[0], all[1], all[3], all[6], all[26], all[27]}
+	queries, err := advisor.ParseWorkload(subset)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res *autopart.Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err = autopart.Suggest(cat, queries, autopart.Options{ReplicationBudget: 256 << 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Speedup(), "speedup")
+	b.ReportMetric(100*res.AvgBenefit(), "benefit_pct")
+}
+
+// --- E4: ILP index advisor vs. greedy baseline ----------------------
+// Claim (§1, §3.4): the non-greedy (ILP) search yields 2x–10x
+// speedups and outperforms greedy pruning.
+
+func BenchmarkE4_ILPvsGreedy(b *testing.B) {
+	cat := planCatalog(b, 300000)
+	queries, err := workload.ParseQueries()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const budget = 32 << 20
+	b.Run("ILP", func(b *testing.B) {
+		var res *advisor.Result
+		for i := 0; i < b.N; i++ {
+			res, err = advisor.SuggestIndexesILP(cat, queries, advisor.Options{StorageBudget: budget})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(res.Speedup(), "speedup")
+		b.ReportMetric(100*res.AvgBenefit(), "benefit_pct")
+		b.ReportMetric(float64(res.PlanCalls), "plancalls")
+	})
+	b.Run("Greedy", func(b *testing.B) {
+		var res *advisor.Result
+		for i := 0; i < b.N; i++ {
+			res, err = advisor.SuggestIndexesGreedy(cat, queries, advisor.Options{StorageBudget: budget})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(res.Speedup(), "speedup")
+		b.ReportMetric(100*res.AvgBenefit(), "benefit_pct")
+		b.ReportMetric(float64(res.PlanCalls), "plancalls")
+	})
+}
+
+// --- E5: INUM throughput vs. full optimizer calls -------------------
+// Claim (§3.4): INUM estimates the costs of millions of designs in
+// minutes instead of days — i.e. per-configuration costing must be
+// orders of magnitude cheaper than a full optimizer invocation after
+// the scenario cache warms up.
+
+func BenchmarkE5_INUMThroughput(b *testing.B) {
+	cat := planCatalog(b, 300000)
+	// A four-relation join: full optimization enumerates join orders
+	// exponentially, while INUM's reconstruction stays linear in the
+	// relation count — this is where the cache earns its keep.
+	q := mustSelect(b, `SELECT p.objid FROM photoobj p, specobj s, neighbors n, field f
+		WHERE p.objid = s.bestobjid AND p.objid = n.objid
+		AND p.run = f.run AND p.camcol = f.camcol AND p.field = f.field
+		AND p.ra BETWEEN 10 AND 10.2 AND p.run = 93 AND s.z > 2.9 AND n.distance < 0.01`)
+	cols := []string{"ra", "run", "camcol", "field", "mjd", "htmid", "r", "colc"}
+	var cfgs []inum.Config
+	for i := range cols {
+		for j := range cols {
+			if i == j {
+				cfgs = append(cfgs, inum.Config{{Table: "photoobj", Columns: []string{cols[i]}}})
+			} else {
+				cfgs = append(cfgs, inum.Config{{Table: "photoobj", Columns: []string{cols[i], cols[j]}}})
+			}
+		}
+	}
+	b.Run("INUM", func(b *testing.B) {
+		cache := inum.New(cat)
+		// Warm the scenario cache, as INUM does during candidate setup.
+		for _, cfg := range cfgs {
+			if _, err := cache.Cost(q, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cache.Cost(q, cfgs[i%len(cfgs)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(cache.PlanerCalls), "plancalls")
+	})
+	b.Run("FullOptimizer", func(b *testing.B) {
+		cache := inum.New(cat)
+		for i := 0; i < b.N; i++ {
+			if _, err := cache.FullOptimizerCost(q, cfgs[i%len(cfgs)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- E6: what-if accuracy against the materialized design -----------
+// Scenario 1's verification step: plan shape must match and the
+// estimated cost must be close once the design is physically built.
+
+func BenchmarkE6_WhatIfAccuracy(b *testing.B) {
+	wl := []string{
+		"SELECT objid FROM photoobj WHERE ra BETWEEN 100 AND 101",
+		"SELECT objid, ra, dec FROM photoobj WHERE dec BETWEEN 0 AND 1",
+		"SELECT objid FROM photoobj WHERE run = 93 AND camcol = 3",
+	}
+	var rep *core.ComparisonReport
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		db := populated(b, 20000)
+		var rest []string
+		for _, c := range db.Catalog.Table("photoobj").Columns {
+			switch c.Name {
+			case "objid", "ra", "dec":
+			default:
+				rest = append(rest, c.Name)
+			}
+		}
+		design := core.Design{
+			Indexes: []inum.IndexSpec{{Table: "photoobj", Columns: []string{"ra"}}},
+			Partitions: []core.PartitionDef{{
+				Table: "photoobj", Fragments: [][]string{{"ra", "dec"}, rest},
+			}},
+		}
+		b.StartTimer()
+		var err error
+		rep, err = core.MaterializeAndCompare(db, wl, design)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	match := 0.0
+	if rep.AllShapesMatch() {
+		match = 1
+	}
+	b.ReportMetric(match, "shapes_match")
+	b.ReportMetric(100*rep.MaxRelCostError(), "relerr_pct")
+}
+
+// --- E7: Equation-1 sizing vs. the zero-size assumption -------------
+// Ablation of the design choice §2 criticizes in Monteiro et al.:
+// assuming hypothetical indexes occupy zero space (a) misprices index
+// scans and (b) lets the advisor blow through its storage budget. We
+// measure both: the Equation-1 size error against a really-built
+// B-Tree, and the budget overshoot an advisor incurs when it believes
+// indexes are free.
+
+func BenchmarkE7_ZeroSizeIndexAblation(b *testing.B) {
+	db := populated(b, 40000)
+	// (a) Size accuracy: Equation 1 vs. the built tree.
+	ci := &sql.CreateIndex{Name: "e7_ra", Table: "photoobj", Columns: []string{"ra"}}
+	built, err := db.BuildIndex(ci)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := db.DropIndex("e7_ra"); err != nil {
+		b.Fatal(err)
+	}
+	eq1Pages := catalog.IndexPages(db.Catalog.Table("photoobj"), []string{"ra"},
+		db.Catalog.Table("photoobj").RowCount)
+	sizeErr := relErr(float64(eq1Pages), float64(built.Pages))
+
+	// (b) Budget overshoot under the zero-size assumption: run the
+	// ILP with a tight budget, once with true sizes and once with the
+	// budget constraint effectively disabled (what a zero-size model
+	// believes), then measure the real size of the "free" selection.
+	queries, err := workload.ParseQueries()
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries = queries[:12]
+	cat := db.Catalog
+	const budget = 8 << 20
+	var overshoot float64
+	for i := 0; i < b.N; i++ {
+		sized, err := advisor.SuggestIndexesILP(cat, queries, advisor.Options{StorageBudget: budget})
+		if err != nil {
+			b.Fatal(err)
+		}
+		free, err := advisor.SuggestIndexesILP(cat, queries, advisor.Options{}) // zero-size belief
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sized.SizeBytes > budget {
+			b.Fatalf("sized advisor violated its budget: %d > %d", sized.SizeBytes, budget)
+		}
+		overshoot = float64(free.SizeBytes) / float64(budget)
+	}
+	b.ReportMetric(100*sizeErr, "eq1_size_relerr_pct")
+	b.ReportMetric(overshoot, "zerosize_budget_overshoot_x")
+	b.ReportMetric(float64(built.Pages), "measured_pages")
+	b.ReportMetric(float64(eq1Pages), "eq1_pages")
+}
+
+func relErr(a, truth float64) float64 {
+	if truth == 0 {
+		return 0
+	}
+	e := (a - truth) / truth
+	if e < 0 {
+		e = -e
+	}
+	return e
+}
+
+// --- E8: multicolumn vs. single-column candidates -------------------
+// Ablation of the COLT comparison (§2): PARINDA suggests multicolumn
+// indexes; COLT is restricted to single columns.
+
+func BenchmarkE8_MulticolumnAblation(b *testing.B) {
+	cat := planCatalog(b, 300000)
+	// Queries whose best index is genuinely multicolumn.
+	queries, err := advisor.ParseWorkload([]string{
+		"SELECT objid FROM photoobj WHERE run = 93 AND camcol = 3 AND field BETWEEN 100 AND 120",
+		"SELECT objid FROM photoobj WHERE flags > 1000000000 AND mode = 1 AND status = 42",
+		"SELECT objid FROM photoobj WHERE ra BETWEEN 10 AND 10.5 AND type = 6",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("Multicolumn", func(b *testing.B) {
+		var res *advisor.Result
+		for i := 0; i < b.N; i++ {
+			res, err = advisor.SuggestIndexesILP(cat, queries, advisor.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(res.Speedup(), "speedup")
+		b.ReportMetric(100*res.AvgBenefit(), "benefit_pct")
+	})
+	b.Run("SingleColumnOnly", func(b *testing.B) {
+		var res *advisor.Result
+		for i := 0; i < b.N; i++ {
+			res, err = advisor.SuggestIndexesILP(cat, queries, advisor.Options{SingleColumnOnly: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(res.Speedup(), "speedup")
+		b.ReportMetric(100*res.AvgBenefit(), "benefit_pct")
+	})
+}

@@ -1,0 +1,347 @@
+// Command parinda is the command-line face of the PARINDA physical
+// designer — the three demonstration scenarios of the paper (§4) minus
+// the GUI:
+//
+//	parinda generate    write the 30-query demonstration workload file
+//	parinda interactive evaluate a manual what-if design (scenario 1)
+//	parinda partitions  suggest table partitions via AutoPart (scenario 2)
+//	parinda indexes     suggest indexes via ILP over INUM (scenario 3)
+//	parinda explain     show the optimizer plan for one query
+//
+// All subcommands plan against a synthetic SDSS-like catalog whose
+// photoobj row count is set by -scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/advisor"
+	"repro/internal/autopart"
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/inum"
+	"repro/internal/optimizer"
+	"repro/internal/sql"
+	"repro/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "generate":
+		err = cmdGenerate(os.Args[2:])
+	case "interactive":
+		err = cmdInteractive(os.Args[2:])
+	case "partitions":
+		err = cmdPartitions(os.Args[2:])
+	case "indexes":
+		err = cmdIndexes(os.Args[2:])
+	case "explain":
+		err = cmdExplain(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "parinda: unknown command %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parinda:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: parinda <command> [flags]
+
+commands:
+  generate     write the 30-query SDSS demonstration workload to a file
+  interactive  evaluate a manual what-if design over a workload
+  partitions   suggest table partitions (AutoPart)
+  indexes      suggest indexes (ILP over INUM; -greedy for the baseline)
+  explain      print the plan of a single query
+
+run 'parinda <command> -h' for the command's flags
+`)
+}
+
+func loadQueries(path string) ([]string, error) {
+	if path == "" {
+		return workload.Queries(), nil
+	}
+	return workload.LoadWorkloadFile(path)
+}
+
+func buildCatalog(scale int64) (*catalog.Catalog, error) {
+	return workload.BuildCatalog(scale)
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	out := fs.String("out", "workload.sql", "output workload file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	contents := workload.FormatWorkloadFile(workload.Queries())
+	if err := os.WriteFile(*out, []byte(contents), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d queries to %s\n", len(workload.Queries()), *out)
+	return nil
+}
+
+// parseIndexSpec parses "table(col1,col2)".
+func parseIndexSpec(s string) (inum.IndexSpec, error) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return inum.IndexSpec{}, fmt.Errorf("index spec %q: want table(col,col)", s)
+	}
+	table := strings.TrimSpace(s[:open])
+	var cols []string
+	for _, c := range strings.Split(s[open+1:len(s)-1], ",") {
+		c = strings.TrimSpace(c)
+		if c != "" {
+			cols = append(cols, c)
+		}
+	}
+	if table == "" || len(cols) == 0 {
+		return inum.IndexSpec{}, fmt.Errorf("index spec %q: want table(col,col)", s)
+	}
+	return inum.IndexSpec{Table: table, Columns: cols}, nil
+}
+
+// parsePartitionDef parses "table:colA,colB|colC,colD".
+func parsePartitionDef(s string) (core.PartitionDef, error) {
+	i := strings.Index(s, ":")
+	if i < 0 {
+		return core.PartitionDef{}, fmt.Errorf("partition spec %q: want table:cols|cols", s)
+	}
+	def := core.PartitionDef{Table: strings.TrimSpace(s[:i])}
+	for _, group := range strings.Split(s[i+1:], "|") {
+		var cols []string
+		for _, c := range strings.Split(group, ",") {
+			c = strings.TrimSpace(c)
+			if c != "" {
+				cols = append(cols, c)
+			}
+		}
+		if len(cols) > 0 {
+			def.Fragments = append(def.Fragments, cols)
+		}
+	}
+	if def.Table == "" || len(def.Fragments) == 0 {
+		return core.PartitionDef{}, fmt.Errorf("partition spec %q: want table:cols|cols", s)
+	}
+	return def, nil
+}
+
+type stringList []string
+
+func (s *stringList) String() string     { return strings.Join(*s, ";") }
+func (s *stringList) Set(v string) error { *s = append(*s, v); return nil }
+
+func cmdInteractive(args []string) error {
+	fs := flag.NewFlagSet("interactive", flag.ExitOnError)
+	wl := fs.String("workload", "", "workload file (default: built-in 30 queries)")
+	scale := fs.Int64("scale", 1000000, "photoobj row count of the synthetic catalog")
+	var indexes, partitions stringList
+	fs.Var(&indexes, "index", "what-if index as table(col,col); repeatable")
+	fs.Var(&partitions, "partition", "what-if partitioning as table:cols|cols; repeatable")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	queries, err := loadQueries(*wl)
+	if err != nil {
+		return err
+	}
+	cat, err := buildCatalog(*scale)
+	if err != nil {
+		return err
+	}
+	design := core.Design{}
+	for _, s := range indexes {
+		spec, err := parseIndexSpec(s)
+		if err != nil {
+			return err
+		}
+		design.Indexes = append(design.Indexes, spec)
+	}
+	for _, s := range partitions {
+		def, err := parsePartitionDef(s)
+		if err != nil {
+			return err
+		}
+		design.Partitions = append(design.Partitions, def)
+	}
+	rep, err := core.New(cat).EvaluateDesign(queries, design)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Interactive what-if evaluation (%d queries)\n", len(queries))
+	fmt.Printf("  average workload benefit: %5.1f%%   speedup: %.2fx\n",
+		100*rep.AvgBenefit(), rep.Speedup())
+	fmt.Println("  per-query benefits:")
+	for i, pq := range rep.PerQuery {
+		fmt.Printf("   Q%-3d base %12.1f  new %12.1f  benefit %6.1f%%  uses %s\n",
+			i+1, pq.BaseCost, pq.NewCost, 100*(1-pq.NewCost/pq.BaseCost),
+			strings.Join(pq.IndexesUsed, " "))
+	}
+	return nil
+}
+
+func cmdPartitions(args []string) error {
+	fs := flag.NewFlagSet("partitions", flag.ExitOnError)
+	wl := fs.String("workload", "", "workload file (default: built-in 30 queries)")
+	scale := fs.Int64("scale", 1000000, "photoobj row count of the synthetic catalog")
+	replication := fs.Int64("replication", 1<<30, "replication space budget in bytes")
+	saveRewritten := fs.String("save-rewritten", "", "write the rewritten workload to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	queries, err := loadQueries(*wl)
+	if err != nil {
+		return err
+	}
+	cat, err := buildCatalog(*scale)
+	if err != nil {
+		return err
+	}
+	res, err := core.New(cat).SuggestPartitions(queries, autopart.Options{
+		ReplicationBudget: *replication,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Automatic partition suggestion (%d queries, %d iterations)\n",
+		len(queries), res.Iterations)
+	fmt.Printf("  average workload benefit: %5.1f%%   speedup: %.2fx\n",
+		100*res.AvgBenefit(), res.Speedup())
+	for table, part := range res.Partitions {
+		fmt.Printf("  %s:\n", table)
+		for _, f := range part.Fragments {
+			fmt.Printf("    %-24s (%s)\n", f.Name, strings.Join(f.Columns, ", "))
+		}
+	}
+	fmt.Println("  per-query benefits:")
+	for i, pq := range res.PerQuery {
+		fmt.Printf("   Q%-3d base %12.1f  new %12.1f  benefit %6.1f%%\n",
+			i+1, pq.BaseCost, pq.NewCost, 100*(1-pq.NewCost/pq.BaseCost))
+	}
+	if *saveRewritten != "" {
+		if err := os.WriteFile(*saveRewritten, []byte(workload.FormatWorkloadFile(res.Rewritten)), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  rewritten workload saved to %s\n", *saveRewritten)
+	}
+	return nil
+}
+
+func cmdIndexes(args []string) error {
+	fs := flag.NewFlagSet("indexes", flag.ExitOnError)
+	wl := fs.String("workload", "", "workload file (default: built-in 30 queries)")
+	scale := fs.Int64("scale", 1000000, "photoobj row count of the synthetic catalog")
+	budget := fs.Int64("budget", 0, "total index size budget in bytes (0 = unlimited)")
+	greedy := fs.Bool("greedy", false, "use the greedy baseline instead of the ILP")
+	single := fs.Bool("single-column", false, "restrict candidates to single-column indexes")
+	compress := fs.Int("compress", 0, "compress the workload to at most N template queries (0 = off)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	queries, err := loadQueries(*wl)
+	if err != nil {
+		return err
+	}
+	cat, err := buildCatalog(*scale)
+	if err != nil {
+		return err
+	}
+	opts := advisor.Options{StorageBudget: *budget, SingleColumnOnly: *single}
+	parsed, err := advisor.ParseWorkload(queries)
+	if err != nil {
+		return err
+	}
+	if *compress > 0 {
+		before := len(parsed)
+		parsed = advisor.CompressWorkload(cat, parsed, *compress)
+		fmt.Printf("workload compressed: %d queries -> %d templates\n", before, len(parsed))
+	}
+	var res *advisor.Result
+	if *greedy {
+		res, err = advisor.SuggestIndexesGreedy(cat, parsed, opts)
+	} else {
+		res, err = advisor.SuggestIndexesILP(cat, parsed, opts)
+	}
+	if err != nil {
+		return err
+	}
+	method := "ILP"
+	if *greedy {
+		method = "greedy"
+	}
+	fmt.Printf("Automatic index suggestion (%s, %d queries, %d candidates)\n",
+		method, len(queries), res.Candidates)
+	fmt.Printf("  average workload benefit: %5.1f%%   speedup: %.2fx   size: %.1f MB\n",
+		100*res.AvgBenefit(), res.Speedup(), float64(res.SizeBytes)/(1<<20))
+	fmt.Println("  suggested indexes:")
+	for _, stmt := range advisor.MaterializeStatements(res.Indexes) {
+		fmt.Printf("    %s;\n", stmt)
+	}
+	fmt.Println("  per-query benefits:")
+	for i, pq := range res.PerQuery {
+		fmt.Printf("   Q%-3d base %12.1f  new %12.1f  benefit %6.1f%%  uses %s\n",
+			i+1, pq.BaseCost, pq.NewCost, 100*(1-pq.NewCost/pq.BaseCost),
+			strings.Join(pq.IndexesUsed, " "))
+	}
+	return nil
+}
+
+func cmdExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	query := fs.String("query", "", "SQL query to explain (required)")
+	scale := fs.Int64("scale", 1000000, "photoobj row count of the synthetic catalog")
+	var indexes stringList
+	fs.Var(&indexes, "index", "what-if index as table(col,col); repeatable")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *query == "" {
+		return fmt.Errorf("explain: -query is required")
+	}
+	sel, err := sql.ParseSelect(*query)
+	if err != nil {
+		return err
+	}
+	cat, err := buildCatalog(*scale)
+	if err != nil {
+		return err
+	}
+	if len(indexes) == 0 {
+		plan, err := optimizer.New(cat).Plan(sel)
+		if err != nil {
+			return err
+		}
+		fmt.Print(optimizer.Explain(plan))
+		return nil
+	}
+	design := core.Design{}
+	for _, s := range indexes {
+		spec, err := parseIndexSpec(s)
+		if err != nil {
+			return err
+		}
+		design.Indexes = append(design.Indexes, spec)
+	}
+	rep, err := core.New(cat).EvaluateDesign([]string{*query}, design)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Explains[0])
+	return nil
+}

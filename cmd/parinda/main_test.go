@@ -1,0 +1,52 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseIndexSpec(t *testing.T) {
+	spec, err := parseIndexSpec("photoobj(ra, dec)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Table != "photoobj" || !reflect.DeepEqual(spec.Columns, []string{"ra", "dec"}) {
+		t.Errorf("parsed %+v", spec)
+	}
+	for _, bad := range []string{"", "photoobj", "photoobj()", "(ra)", "photoobj(ra"} {
+		if _, err := parseIndexSpec(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestParsePartitionDef(t *testing.T) {
+	def, err := parsePartitionDef("photoobj:ra,dec|run,camcol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Table != "photoobj" || len(def.Fragments) != 2 {
+		t.Fatalf("parsed %+v", def)
+	}
+	if !reflect.DeepEqual(def.Fragments[0], []string{"ra", "dec"}) {
+		t.Errorf("fragment 0 = %v", def.Fragments[0])
+	}
+	for _, bad := range []string{"", "photoobj", ":a,b", "photoobj:"} {
+		if _, err := parsePartitionDef(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestStringListFlag(t *testing.T) {
+	var l stringList
+	if err := l.Set("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Set("b"); err != nil {
+		t.Fatal(err)
+	}
+	if l.String() != "a;b" || len(l) != 2 {
+		t.Errorf("list = %v", l)
+	}
+}

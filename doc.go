@@ -1,0 +1,10 @@
+// Package repro is the root of the PARINDA reproduction (EDBT 2010):
+// an interactive physical designer — what-if indexes, what-if
+// partition tables, join-method control, the AutoPart vertical
+// partitioner, and an ILP index advisor priced by the INUM cache-based
+// cost model — built over a PostgreSQL-style cost-based optimizer and
+// storage engine implemented from scratch in this module.
+//
+// See README.md for the layout, DESIGN.md for the system inventory,
+// and bench_test.go for the experiment harness (E1–E8).
+package repro

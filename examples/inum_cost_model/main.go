@@ -1,0 +1,84 @@
+// INUM cost-model walkthrough: how PARINDA prices thousands of
+// candidate physical designs with a handful of optimizer calls
+// (§3.4), and why the What-If Join component caches one plan with
+// nested loops on and one with them off.
+//
+//	go run ./examples/inum_cost_model
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/inum"
+	"repro/internal/sql"
+	"repro/internal/workload"
+)
+
+func main() {
+	cat, err := workload.BuildCatalog(500_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	query, err := sql.ParseSelect(`SELECT p.objid, s.z
+		FROM photoobj p, specobj s, neighbors n
+		WHERE p.objid = s.bestobjid AND p.objid = n.objid
+		AND p.ra BETWEEN 180 AND 180.4 AND s.z > 2.5 AND n.distance < 0.01`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Enumerate candidate configurations: every 1- and 2-column index
+	// over the interesting photoobj columns plus the join columns.
+	cols := []string{"ra", "run", "camcol", "field", "mjd", "htmid", "objid"}
+	var configs []inum.Config
+	for i := range cols {
+		configs = append(configs, inum.Config{{Table: "photoobj", Columns: []string{cols[i]}}})
+		for j := range cols {
+			if i != j {
+				configs = append(configs, inum.Config{{Table: "photoobj", Columns: []string{cols[i], cols[j]}}})
+			}
+		}
+	}
+	configs = append(configs, inum.Config{
+		{Table: "photoobj", Columns: []string{"ra"}},
+		{Table: "specobj", Columns: []string{"bestobjid"}},
+		{Table: "neighbors", Columns: []string{"distance"}},
+	})
+	fmt.Printf("pricing %d candidate configurations for a 3-way join\n\n", len(configs))
+
+	cache := inum.New(cat)
+	t0 := time.Now()
+	best, bestCost := -1, 0.0
+	for i, cfg := range configs {
+		c, err := cache.Cost(query, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if best < 0 || c < bestCost {
+			best, bestCost = i, c
+		}
+	}
+	inumTime := time.Since(t0)
+	inumCalls := cache.PlanerCalls
+
+	fmt.Printf("INUM: %d configurations priced in %v\n", len(configs), inumTime.Round(time.Microsecond))
+	fmt.Printf("      %d full optimizer invocations (2 per scenario, nested loops on/off)\n", inumCalls)
+	fmt.Printf("      %d scenarios cached, %d cache hits\n\n", cache.CachedScenarios(), cache.Hits)
+
+	t0 = time.Now()
+	for _, cfg := range configs {
+		if _, err := cache.FullOptimizerCost(query, cfg); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fullTime := time.Since(t0)
+	fmt.Printf("full optimizer: the same %d configurations re-planned in %v\n\n",
+		len(configs), fullTime.Round(time.Microsecond))
+
+	fmt.Printf("best configuration: %v (cost %.1f)\n", configs[best], bestCost)
+	fmt.Printf("optimizer-call reduction: %.0fx — on a production optimizer\n"+
+		"(tens of ms per call) this is what turns days of pricing into minutes\n",
+		float64(len(configs))/float64(inumCalls))
+}

@@ -1,0 +1,60 @@
+// Quickstart: simulate a what-if index and watch the optimizer change
+// its plan — the smallest possible PARINDA session.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/optimizer"
+	"repro/internal/sql"
+	"repro/internal/whatif"
+	"repro/internal/workload"
+)
+
+func main() {
+	// A synthetic SDSS-like catalog: 1M photoobj rows, statistics
+	// only — no data is generated, because the planner (and therefore
+	// PARINDA) works entirely from statistics.
+	cat, err := workload.BuildCatalog(1_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	query, err := sql.ParseSelect(
+		"SELECT objid, ra, dec FROM photoobj WHERE ra BETWEEN 180.0 AND 180.3")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	session := whatif.NewSession(cat)
+
+	before, err := session.Plan(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== plan without any index ==")
+	fmt.Print(optimizer.Explain(before))
+
+	// Simulate an index on photoobj(ra). Nothing is built: the index
+	// exists only as statistics (Equation 1 sizes its leaf pages) that
+	// a hook splices into the optimizer's view of the table.
+	ix, err := session.CreateIndex("photoobj", []string{"ra"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsimulated %s: %d leaf pages (%.1f MB), height %d\n",
+		ix.Name, ix.Pages, float64(ix.Pages)*8192/(1<<20), ix.Height)
+
+	after, err := session.Plan(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n== plan with the what-if index ==")
+	fmt.Print(optimizer.Explain(after))
+
+	fmt.Printf("\nestimated speedup: %.1fx (cost %.1f -> %.1f)\n",
+		before.TotalCost/after.TotalCost, before.TotalCost, after.TotalCost)
+}

@@ -1,0 +1,213 @@
+// Package advisor implements PARINDA's Automatic Index Suggestion
+// component (§3.4): it mines candidate indexes from the workload,
+// prices their per-query benefits with the INUM cache-based cost
+// model, assembles the integer linear program of Papadomanolakis &
+// Ailamaki (SMDB 2007) — one access path per table per query, total
+// size budget — and solves it exactly. A classic greedy advisor is
+// included as the baseline the paper compares against.
+package advisor
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/inum"
+	"repro/internal/sql"
+)
+
+// Query is one weighted workload statement.
+type Query struct {
+	SQL    string
+	Stmt   *sql.Select
+	Weight float64 // relative frequency; default 1
+}
+
+// ParseWorkload parses a list of SQL strings into queries with unit
+// weights.
+func ParseWorkload(sqls []string) ([]Query, error) {
+	out := make([]Query, 0, len(sqls))
+	for _, s := range sqls {
+		stmt, err := sql.ParseSelect(s)
+		if err != nil {
+			return nil, fmt.Errorf("advisor: workload query %q: %w", s, err)
+		}
+		out = append(out, Query{SQL: s, Stmt: stmt, Weight: 1})
+	}
+	return out, nil
+}
+
+// Options configure a suggestion run.
+type Options struct {
+	// StorageBudget bounds the total Equation-1 size of suggested
+	// indexes, in bytes. 0 means unlimited.
+	StorageBudget int64
+	// MaxIndexColumns bounds candidate width (default 3).
+	MaxIndexColumns int
+	// SingleColumnOnly restricts candidates to one column — the COLT
+	// comparison ablation from §2.
+	SingleColumnOnly bool
+	// MaxSolverNodes bounds the branch-and-bound search (0 = default).
+	MaxSolverNodes int
+	// UpdateRates gives, per table, the number of row modifications
+	// per workload execution. Every index on a modified table incurs
+	// a maintenance cost (B-Tree descent and leaf write per modified
+	// row) charged against its benefit — the "update costs" constraint
+	// of the paper's ILP (§3.4).
+	UpdateRates map[string]float64
+}
+
+// maintenanceCost prices the upkeep of one candidate index under the
+// update profile: per modified row, one descent plus one leaf write.
+func (o Options) maintenanceCost(spec inum.IndexSpec, height int, params costConstants) float64 {
+	rate := o.UpdateRates[spec.Table]
+	if rate <= 0 {
+		return 0
+	}
+	perRow := 2*float64(height+1)*params.randomPage + params.cpuIndexTuple
+	return rate * perRow
+}
+
+// costConstants decouples the advisor from the optimizer package's
+// parameter struct.
+type costConstants struct {
+	randomPage    float64
+	cpuIndexTuple float64
+}
+
+func defaultCostConstants() costConstants {
+	return costConstants{randomPage: 4.0, cpuIndexTuple: 0.005}
+}
+
+func (o Options) maxCols() int {
+	if o.SingleColumnOnly {
+		return 1
+	}
+	if o.MaxIndexColumns <= 0 {
+		return 3
+	}
+	return o.MaxIndexColumns
+}
+
+// QueryBenefit reports one query's costs under the suggestion.
+type QueryBenefit struct {
+	SQL         string
+	BaseCost    float64
+	NewCost     float64
+	IndexesUsed []string // keys of suggested indexes this query uses
+}
+
+// Speedup returns BaseCost / NewCost (1 = unchanged).
+func (q QueryBenefit) Speedup() float64 {
+	if q.NewCost <= 0 {
+		return 1
+	}
+	return q.BaseCost / q.NewCost
+}
+
+// Result is a completed suggestion.
+type Result struct {
+	Indexes    []inum.IndexSpec
+	SizeBytes  int64
+	BaseCost   float64 // weighted workload cost before
+	NewCost    float64 // weighted workload cost after
+	PerQuery   []QueryBenefit
+	Candidates int   // candidate indexes considered
+	SolverWork int   // branch-and-bound nodes (ILP) or evaluations (greedy)
+	PlanCalls  int64 // full optimizer invocations consumed
+	// MaintenanceCost is the total update upkeep of the chosen
+	// indexes per workload execution (0 without UpdateRates).
+	MaintenanceCost float64
+}
+
+// Speedup returns the overall workload speedup.
+func (r *Result) Speedup() float64 {
+	if r.NewCost <= 0 {
+		return 1
+	}
+	return r.BaseCost / r.NewCost
+}
+
+// AvgBenefit returns 1 - new/base, the "average workload benefit" the
+// PARINDA GUI displays.
+func (r *Result) AvgBenefit() float64 {
+	if r.BaseCost <= 0 {
+		return 0
+	}
+	return 1 - r.NewCost/r.BaseCost
+}
+
+// evaluate prices every query under the chosen design with the full
+// optimizer (not the cache), producing the per-query report.
+func evaluate(cache *inum.Cache, queries []Query, chosen []inum.IndexSpec) (float64, float64, []QueryBenefit, error) {
+	var baseTotal, newTotal float64
+	var per []QueryBenefit
+	session := cache.Session()
+	for _, q := range queries {
+		base, err := cache.FullOptimizerCost(q.Stmt, nil)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		session.Reset()
+		nameToKey := map[string]string{}
+		for _, spec := range chosen {
+			ix, err := session.CreateIndex(spec.Table, spec.Columns)
+			if err != nil {
+				return 0, 0, nil, err
+			}
+			nameToKey[ix.Name] = spec.Key()
+		}
+		plan, err := session.Plan(q.Stmt)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		var used []string
+		for _, name := range plan.IndexesUsed() {
+			if key, ok := nameToKey[name]; ok {
+				used = append(used, key)
+			}
+		}
+		sort.Strings(used)
+		per = append(per, QueryBenefit{
+			SQL:         q.SQL,
+			BaseCost:    base * q.Weight,
+			NewCost:     plan.TotalCost * q.Weight,
+			IndexesUsed: used,
+		})
+		baseTotal += base * q.Weight
+		newTotal += plan.TotalCost * q.Weight
+	}
+	session.Reset()
+	return baseTotal, newTotal, per, nil
+}
+
+// totalSize sums Equation-1 sizes of the specs.
+func totalSize(cache *inum.Cache, specs []inum.IndexSpec) (int64, error) {
+	var total int64
+	for _, s := range specs {
+		sz, err := cache.SpecSizeBytes(s)
+		if err != nil {
+			return 0, err
+		}
+		total += sz
+	}
+	return total, nil
+}
+
+// MaterializeStatements renders the suggestion as CREATE INDEX DDL,
+// for the "physically create the suggested set" GUI action.
+func MaterializeStatements(specs []inum.IndexSpec) []string {
+	out := make([]string, 0, len(specs))
+	for i, s := range specs {
+		ci := &sql.CreateIndex{
+			Name:    fmt.Sprintf("parinda_ix%d_%s", i+1, s.Table),
+			Table:   s.Table,
+			Columns: s.Columns,
+		}
+		out = append(out, sql.Print(ci))
+	}
+	return out
+}
+
+// newCache builds an INUM cache for a catalog.
+func newCache(cat *catalog.Catalog) *inum.Cache { return inum.New(cat) }

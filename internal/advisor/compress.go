@@ -1,0 +1,121 @@
+package advisor
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/sql"
+)
+
+// CompressWorkload reduces a large workload to at most maxQueries
+// representative queries, preserving total weight. Queries are grouped
+// by *template signature* — the tables they touch and the columns they
+// constrain, which is exactly the information candidate generation and
+// the benefit matrix react to — and each group is represented by its
+// heaviest member carrying the group's summed weight.
+//
+// Index advisors scale linearly (greedy) or worse (ILP) in the query
+// count, so compressing thousands of submitted statements down to
+// their few dozen templates is the standard preprocessing step for
+// "workloads containing a large number of queries" (§3.4).
+func CompressWorkload(cat *catalog.Catalog, queries []Query, maxQueries int) []Query {
+	if maxQueries <= 0 || len(queries) <= maxQueries {
+		return queries
+	}
+	type group struct {
+		rep    Query
+		weight float64
+		first  int // input position of the first member, for stability
+	}
+	groups := map[string]*group{}
+	var order []string
+	for i, q := range queries {
+		sig := querySignature(cat, q.Stmt)
+		g := groups[sig]
+		if g == nil {
+			g = &group{rep: q, first: i}
+			groups[sig] = g
+			order = append(order, sig)
+		}
+		w := q.Weight
+		if w == 0 {
+			w = 1
+		}
+		g.weight += w
+		repW := g.rep.Weight
+		if repW == 0 {
+			repW = 1
+		}
+		if w > repW {
+			g.rep = q
+		}
+	}
+
+	out := make([]Query, 0, len(order))
+	for _, sig := range order {
+		g := groups[sig]
+		rep := g.rep
+		rep.Weight = g.weight
+		out = append(out, rep)
+	}
+	if len(out) <= maxQueries {
+		return out
+	}
+	// Still too many templates: keep the heaviest, folding the weight
+	// of dropped templates into nothing (they are unrepresented; the
+	// advisor simply will not optimize for them).
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Weight > out[j].Weight })
+	out = out[:maxQueries]
+	// Restore input order among the survivors for determinism.
+	pos := map[string]int{}
+	for i, q := range queries {
+		if _, dup := pos[q.SQL]; !dup {
+			pos[q.SQL] = i
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return pos[out[i].SQL] < pos[out[j].SQL] })
+	return out
+}
+
+// querySignature canonicalizes the advisor-relevant shape of a query:
+// sorted table names plus, per table, the sorted lists of equality,
+// range, join and order columns. Constants are deliberately excluded —
+// two cone searches at different coordinates share a signature.
+func querySignature(cat *catalog.Catalog, sel *sql.Select) string {
+	uses := analyzeQuery(cat, sel)
+	tables := make([]string, 0, len(uses))
+	for t := range uses {
+		tables = append(tables, t)
+	}
+	sort.Strings(tables)
+	var b strings.Builder
+	for _, t := range tables {
+		b.WriteString(t)
+		b.WriteByte('{')
+		cols := make([]string, 0, len(uses[t]))
+		for c := range uses[t] {
+			cols = append(cols, c)
+		}
+		sort.Strings(cols)
+		for _, c := range cols {
+			u := uses[t][c]
+			b.WriteString(c)
+			if u.eq {
+				b.WriteByte('=')
+			}
+			if u.rng {
+				b.WriteByte('<')
+			}
+			if u.join {
+				b.WriteByte('J')
+			}
+			if u.order {
+				b.WriteByte('O')
+			}
+			b.WriteByte(',')
+		}
+		b.WriteByte('}')
+	}
+	return b.String()
+}

@@ -1,0 +1,105 @@
+package advisor
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/inum"
+)
+
+// SuggestIndexesGreedy is the baseline advisor PARINDA's ILP is
+// compared against: the classic greedy loop used by the commercial
+// tools (§1–2). Starting from the empty design it repeatedly adds the
+// candidate with the highest benefit-per-byte that fits the remaining
+// budget, re-pricing the workload through INUM after every addition,
+// until no candidate improves the workload.
+//
+// Greedy prunes the combination space aggressively — that is exactly
+// the behaviour whose lost opportunities the ILP recovers.
+func SuggestIndexesGreedy(cat *catalog.Catalog, queries []Query, opts Options) (*Result, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("advisor: empty workload")
+	}
+	cache := newCache(cat)
+	cache.ResetStats()
+	candidates := GenerateCandidates(cat, queries, opts)
+
+	workloadCost := func(cfg inum.Config) (float64, error) {
+		total := 0.0
+		for _, q := range queries {
+			c, err := cache.Cost(q.Stmt, cfg)
+			if err != nil {
+				return 0, err
+			}
+			total += c * q.Weight
+		}
+		return total, nil
+	}
+
+	var chosen inum.Config
+	var chosenSize int64
+	var totalMaint float64
+	current, err := workloadCost(nil)
+	if err != nil {
+		return nil, err
+	}
+	remaining := append([]inum.IndexSpec(nil), candidates...)
+	evals := 0
+	consts := defaultCostConstants()
+
+	for len(remaining) > 0 {
+		bestIdx, bestCost := -1, current
+		bestScore, bestMaint := 0.0, 0.0
+		for i, spec := range remaining {
+			sz, err := cache.SpecSizeBytes(spec)
+			if err != nil {
+				return nil, err
+			}
+			if opts.StorageBudget > 0 && chosenSize+sz > opts.StorageBudget {
+				continue
+			}
+			cost, err := workloadCost(append(append(inum.Config(nil), chosen...), spec))
+			if err != nil {
+				return nil, err
+			}
+			evals++
+			maint := opts.maintenanceCost(spec, catalog.BTreeHeight(sz/catalog.PageSize), consts)
+			gain := current - cost - maint
+			if gain <= 1e-9 {
+				continue
+			}
+			score := gain / float64(sz)
+			if score > bestScore {
+				bestScore, bestIdx, bestCost, bestMaint = score, i, cost, maint
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		spec := remaining[bestIdx]
+		sz, _ := cache.SpecSizeBytes(spec)
+		chosen = append(chosen, spec)
+		chosenSize += sz
+		totalMaint += bestMaint
+		current = bestCost
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+
+	specs := append([]inum.IndexSpec(nil), chosen...)
+	inum.SortSpecs(specs)
+	base, newC, per, err := evaluate(cache, queries, specs)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Indexes:         specs,
+		SizeBytes:       chosenSize,
+		BaseCost:        base,
+		NewCost:         newC,
+		PerQuery:        per,
+		Candidates:      len(candidates),
+		SolverWork:      evals,
+		PlanCalls:       cache.PlanerCalls,
+		MaintenanceCost: totalMaint,
+	}, nil
+}

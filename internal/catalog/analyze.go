@@ -1,0 +1,163 @@
+package catalog
+
+import "sort"
+
+// RowSource yields table rows in physical order, one []Datum per row
+// with values in column order. It is implemented by storage heaps and
+// by in-memory row slices.
+type RowSource interface {
+	// Next returns the next row, or ok=false at the end.
+	Next() (row []Datum, ok bool)
+}
+
+// SliceSource adapts an in-memory row slice to RowSource.
+type SliceSource struct {
+	Rows [][]Datum
+	pos  int
+}
+
+// Next implements RowSource.
+func (s *SliceSource) Next() ([]Datum, bool) {
+	if s.pos >= len(s.Rows) {
+		return nil, false
+	}
+	r := s.Rows[s.pos]
+	s.pos++
+	return r, true
+}
+
+// Analyze scans every row of src and installs fresh statistics on t:
+// per-column ColumnStats, the table row count, the heap page estimate
+// and measured average text widths. It is the engine's ANALYZE.
+func Analyze(t *Table, src RowSource) {
+	cols := len(t.Columns)
+	values := make([][]Datum, cols)
+	rows := int64(0)
+	for {
+		row, ok := src.Next()
+		if !ok {
+			break
+		}
+		rows++
+		for i := 0; i < cols && i < len(row); i++ {
+			values[i] = append(values[i], row[i])
+		}
+	}
+	for i := range t.Columns {
+		st := BuildColumnStats(values[i])
+		t.Columns[i].Stats = st
+		if st.AvgWidth > 0 {
+			t.Columns[i].AvgWidth = st.AvgWidth
+		}
+	}
+	t.RowCount = rows
+	t.Pages = t.EstimatePages(rows)
+}
+
+// AnalyzeRows is Analyze over an in-memory slice.
+func AnalyzeRows(t *Table, rows [][]Datum) {
+	Analyze(t, &SliceSource{Rows: rows})
+}
+
+// DefaultSampleRows is the ANALYZE sample size, matching PostgreSQL's
+// 300 × default_statistics_target heuristic.
+const DefaultSampleRows = 30000
+
+// AnalyzeSampled scans src once, keeps a deterministic reservoir
+// sample of sampleRows rows (seeded by seed), and builds statistics
+// from the sample while counting the true row total — PostgreSQL's
+// sampling ANALYZE. sampleRows <= 0 uses DefaultSampleRows.
+//
+// Correlation is computed over the sample in arrival order, which
+// preserves the physical-order signal because reservoir sampling keeps
+// positions uniformly. N-distinct is extrapolated with the
+// Haas–Stokes-style rule PostgreSQL uses: values seen once in the
+// sample scale up with the sampling fraction.
+func AnalyzeSampled(t *Table, src RowSource, sampleRows int, seed int64) {
+	if sampleRows <= 0 {
+		sampleRows = DefaultSampleRows
+	}
+	var reservoir []positioned
+	total := int64(0)
+	rng := newAnalyzeRNG(seed)
+	for {
+		row, ok := src.Next()
+		if !ok {
+			break
+		}
+		if len(reservoir) < sampleRows {
+			reservoir = append(reservoir, positioned{row, total})
+		} else if j := rng.Int63n(total + 1); j < int64(sampleRows) {
+			reservoir[j] = positioned{row, total}
+		}
+		total++
+	}
+	// Restore physical order within the sample so correlation holds.
+	sortPositioned(reservoir)
+
+	cols := len(t.Columns)
+	values := make([][]Datum, cols)
+	for _, p := range reservoir {
+		for i := 0; i < cols && i < len(p.row); i++ {
+			values[i] = append(values[i], p.row[i])
+		}
+	}
+	sampled := int64(len(reservoir))
+	for i := range t.Columns {
+		st := BuildColumnStats(values[i])
+		extrapolateNDistinct(st, sampled, total)
+		t.Columns[i].Stats = st
+		if st.AvgWidth > 0 {
+			t.Columns[i].AvgWidth = st.AvgWidth
+		}
+	}
+	t.RowCount = total
+	t.Pages = t.EstimatePages(total)
+}
+
+// extrapolateNDistinct adjusts a sample-derived distinct count to the
+// full table. Absolute counts from a full-coverage sample stay; when
+// the sample misses rows and the count was stored as absolute (low
+// cardinality in-sample), we keep it absolute only if the sample was
+// exhaustive, otherwise scale the fractional form.
+func extrapolateNDistinct(st *ColumnStats, sampled, total int64) {
+	if sampled >= total || sampled == 0 {
+		return
+	}
+	if st.NDistinct < 0 {
+		// Fractional: already scale-invariant.
+		return
+	}
+	// Low in-sample cardinality usually means genuinely few distinct
+	// values; keep absolute. But a count near the sample size means
+	// the column is probably unique — switch to fractional.
+	if st.NDistinct > 0.9*float64(sampled) {
+		st.NDistinct = -st.NDistinct / float64(sampled)
+	}
+}
+
+// analyzeRNG is a tiny deterministic linear congruential generator so
+// the catalog package does not depend on math/rand ordering guarantees
+// across Go versions.
+type analyzeRNG struct{ state uint64 }
+
+func newAnalyzeRNG(seed int64) *analyzeRNG {
+	return &analyzeRNG{state: uint64(seed)*6364136223846793005 + 1442695040888963407}
+}
+
+func (r *analyzeRNG) Int63n(n int64) int64 {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	v := int64((r.state >> 11) & ((1 << 52) - 1))
+	return v % n
+}
+
+// positioned is one sampled row tagged with its physical position.
+type positioned struct {
+	row []Datum
+	pos int64
+}
+
+// sortPositioned sorts the reservoir by original position.
+func sortPositioned(rs []positioned) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].pos < rs[j].pos })
+}

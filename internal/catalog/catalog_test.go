@@ -1,0 +1,517 @@
+package catalog
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sql"
+)
+
+func testTable(t *testing.T) *Table {
+	t.Helper()
+	st, err := sql.Parse(`CREATE TABLE photoobj (objid bigint, ra float8, dec float8,
+		run int, camcol int, field int, type int, name text, PRIMARY KEY (objid))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewTable(st.(*sql.CreateTable))
+}
+
+func TestDatumCompare(t *testing.T) {
+	cases := []struct {
+		a, b Datum
+		want int
+	}{
+		{IntDatum(1), IntDatum(2), -1},
+		{IntDatum(2), IntDatum(2), 0},
+		{IntDatum(3), IntDatum(2), 1},
+		{IntDatum(2), FloatDatum(2.0), 0},
+		{FloatDatum(1.5), IntDatum(2), -1},
+		{StringDatum("a"), StringDatum("b"), -1},
+		{StringDatum("b"), StringDatum("b"), 0},
+		{BoolDatum(false), BoolDatum(true), -1},
+		{NullDatum(), IntDatum(0), -1},
+		{IntDatum(0), NullDatum(), 1},
+		{NullDatum(), NullDatum(), 0},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDatumEqualNullSemantics(t *testing.T) {
+	if Equal(NullDatum(), NullDatum()) {
+		t.Error("NULL = NULL must be false")
+	}
+	if !Equal(IntDatum(5), FloatDatum(5)) {
+		t.Error("5 = 5.0 must be true")
+	}
+}
+
+func TestDatumKeyCrossType(t *testing.T) {
+	if IntDatum(42).Key() != FloatDatum(42).Key() {
+		t.Error("int 42 and float 42.0 must share a hash key")
+	}
+	if IntDatum(42).Key() == FloatDatum(42.5).Key() {
+		t.Error("42 and 42.5 must differ")
+	}
+	if NullDatum().Key() == IntDatum(0).Key() {
+		t.Error("NULL must not collide with 0")
+	}
+}
+
+func TestDatumCast(t *testing.T) {
+	d, err := FloatDatum(3.7).CastTo(sql.TypeInt)
+	if err != nil || d.I != 3 {
+		t.Errorf("cast 3.7 to int = %v, %v", d, err)
+	}
+	d, err = IntDatum(7).CastTo(sql.TypeFloat)
+	if err != nil || d.F != 7 {
+		t.Errorf("cast 7 to float = %v, %v", d, err)
+	}
+	d, err = IntDatum(7).CastTo(sql.TypeText)
+	if err != nil || d.S != "7" {
+		t.Errorf("cast 7 to text = %v, %v", d, err)
+	}
+	if _, err = StringDatum("x").CastTo(sql.TypeInt); err == nil {
+		t.Error("cast 'x' to int should fail")
+	}
+	n, err := NullDatum().CastTo(sql.TypeInt)
+	if err != nil || !n.IsNull() {
+		t.Error("NULL casts to NULL")
+	}
+}
+
+func TestDatumFromLiteral(t *testing.T) {
+	d, ok := DatumFromLiteral(&sql.IntLit{Value: 5})
+	if !ok || d.I != 5 {
+		t.Error("int literal")
+	}
+	d, ok = DatumFromLiteral(&sql.UnaryMinus{Inner: &sql.FloatLit{Value: 2.5}})
+	if !ok || d.F != -2.5 {
+		t.Error("negated float literal")
+	}
+	if _, ok = DatumFromLiteral(&sql.ColumnRef{Column: "a"}); ok {
+		t.Error("column ref is not a literal")
+	}
+}
+
+func TestTableBasics(t *testing.T) {
+	tab := testTable(t)
+	if tab.ColumnIndex("ra") != 1 {
+		t.Errorf("ra index = %d", tab.ColumnIndex("ra"))
+	}
+	if tab.ColumnIndex("missing") != -1 {
+		t.Error("missing column should be -1")
+	}
+	if !tab.Column("objid").NotNull {
+		t.Error("primary key column should be NOT NULL")
+	}
+	if w := tab.RowWidth(); w < 8*3+4*4 {
+		t.Errorf("row width %d too small", w)
+	}
+}
+
+func TestAlignedWidth(t *testing.T) {
+	cases := []struct{ w, a, want int }{
+		{0, 8, 0}, {1, 8, 8}, {8, 8, 8}, {9, 8, 16}, {5, 4, 8}, {5, 1, 5},
+	}
+	for _, c := range cases {
+		if got := AlignedWidth(c.w, c.a); got != c.want {
+			t.Errorf("AlignedWidth(%d,%d) = %d, want %d", c.w, c.a, got, c.want)
+		}
+	}
+}
+
+func TestIndexPagesEquation1(t *testing.T) {
+	tab := testTable(t)
+	// Single int8 column: entry = 24 + align8(8) = 32 bytes.
+	// usable = (8192-24)*0.9 = 7351; per page = 229.
+	pages := IndexPages(tab, []string{"objid"}, 229)
+	if pages != 1 {
+		t.Errorf("229 rows should fit one page, got %d", pages)
+	}
+	pages = IndexPages(tab, []string{"objid"}, 230)
+	if pages != 2 {
+		t.Errorf("230 rows should need two pages, got %d", pages)
+	}
+	// Wider index needs more pages for the same rows.
+	one := IndexPages(tab, []string{"objid"}, 100000)
+	three := IndexPages(tab, []string{"objid", "ra", "dec"}, 100000)
+	if three <= one {
+		t.Errorf("3-column index (%d pages) must exceed 1-column (%d)", three, one)
+	}
+	if p := IndexPages(tab, []string{"objid"}, 0); p != 1 {
+		t.Errorf("zero rows still occupy one page, got %d", p)
+	}
+}
+
+func TestIndexPagesMonotonicInRows(t *testing.T) {
+	tab := testTable(t)
+	f := func(a, b uint32) bool {
+		ra, rb := int64(a%1e6), int64(b%1e6)
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		return IndexPages(tab, []string{"ra", "dec"}, ra) <= IndexPages(tab, []string{"ra", "dec"}, rb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBTreeHeight(t *testing.T) {
+	if h := BTreeHeight(1); h != 0 {
+		t.Errorf("height(1) = %d", h)
+	}
+	if h := BTreeHeight(256); h != 1 {
+		t.Errorf("height(256) = %d", h)
+	}
+	if h := BTreeHeight(257); h != 2 {
+		t.Errorf("height(257) = %d", h)
+	}
+}
+
+func TestCatalogCRUD(t *testing.T) {
+	c := New()
+	tab := testTable(t)
+	if err := c.AddTable(tab); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTable(tab); err == nil {
+		t.Error("duplicate table accepted")
+	}
+	ix := &Index{Name: "i_ra", Table: "photoobj", Columns: []string{"ra"}}
+	if err := c.AddIndex(ix); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddIndex(ix); err == nil {
+		t.Error("duplicate index accepted")
+	}
+	if err := c.AddIndex(&Index{Name: "i_bad", Table: "photoobj", Columns: []string{"nope"}}); err == nil {
+		t.Error("index on unknown column accepted")
+	}
+	if err := c.AddIndex(&Index{Name: "i_bad2", Table: "missing", Columns: []string{"x"}}); err == nil {
+		t.Error("index on unknown table accepted")
+	}
+	if err := c.AddIndex(&Index{Name: "i_empty", Table: "photoobj"}); err == nil {
+		t.Error("empty index accepted")
+	}
+	if got := len(c.IndexesOn("photoobj")); got != 1 {
+		t.Errorf("IndexesOn = %d", got)
+	}
+	if err := c.DropTable("photoobj"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Index("i_ra") != nil {
+		t.Error("DropTable must cascade to indexes")
+	}
+	if err := c.DropTable("photoobj"); err == nil {
+		t.Error("double drop accepted")
+	}
+	if err := c.DropIndex("i_ra"); err == nil {
+		t.Error("dropping missing index accepted")
+	}
+}
+
+func TestCatalogCloneIsolation(t *testing.T) {
+	c := New()
+	tab := testTable(t)
+	tab.RowCount = 100
+	tab.Columns[1].Stats = SyntheticUniformStats(0, 360, 100, 100)
+	if err := c.AddTable(tab); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddIndex(&Index{Name: "i_ra", Table: "photoobj", Columns: []string{"ra"}}); err != nil {
+		t.Fatal(err)
+	}
+	cl := c.Clone()
+	cl.Table("photoobj").RowCount = 999
+	cl.Table("photoobj").Columns[1].Stats.NullFrac = 0.5
+	cl.Index("i_ra").Pages = 42
+	if c.Table("photoobj").RowCount != 100 {
+		t.Error("clone leaked RowCount")
+	}
+	if c.Table("photoobj").Columns[1].Stats.NullFrac != 0 {
+		t.Error("clone leaked column stats")
+	}
+	if c.Index("i_ra").Pages == 42 {
+		t.Error("clone leaked index")
+	}
+}
+
+func TestBuildColumnStatsUniform(t *testing.T) {
+	values := make([]Datum, 10000)
+	r := rand.New(rand.NewSource(1))
+	for i := range values {
+		values[i] = FloatDatum(r.Float64() * 100)
+	}
+	st := BuildColumnStats(values)
+	if st.NullFrac != 0 {
+		t.Errorf("nullfrac = %v", st.NullFrac)
+	}
+	if st.NDistinct > 0 {
+		t.Errorf("uniform floats should report fractional ndistinct, got %v", st.NDistinct)
+	}
+	if len(st.Histogram) != DefaultHistogramBounds {
+		t.Errorf("histogram bounds = %d", len(st.Histogram))
+	}
+	// Fraction below the median should be near 0.5.
+	frac, ok := st.HistogramFractionBelow(FloatDatum(50))
+	if !ok || math.Abs(frac-0.5) > 0.05 {
+		t.Errorf("fraction below median = %v (ok=%v)", frac, ok)
+	}
+	frac, _ = st.HistogramFractionBelow(FloatDatum(-1))
+	if frac != 0 {
+		t.Errorf("below min = %v", frac)
+	}
+	frac, _ = st.HistogramFractionBelow(FloatDatum(200))
+	if frac != 1 {
+		t.Errorf("above max = %v", frac)
+	}
+}
+
+func TestBuildColumnStatsSkewedMCV(t *testing.T) {
+	// 60% value 7, 20% value 3, rest uniform.
+	var values []Datum
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 6000; i++ {
+		values = append(values, IntDatum(7))
+	}
+	for i := 0; i < 2000; i++ {
+		values = append(values, IntDatum(3))
+	}
+	for i := 0; i < 2000; i++ {
+		values = append(values, IntDatum(int64(r.Intn(1000)+100)))
+	}
+	st := BuildColumnStats(values)
+	f, ok := st.MCVFreq(IntDatum(7))
+	if !ok || math.Abs(f-0.6) > 0.01 {
+		t.Errorf("MCV freq of 7 = %v (ok=%v)", f, ok)
+	}
+	f, ok = st.MCVFreq(IntDatum(3))
+	if !ok || math.Abs(f-0.2) > 0.01 {
+		t.Errorf("MCV freq of 3 = %v (ok=%v)", f, ok)
+	}
+	if _, ok = st.MCVFreq(IntDatum(999999)); ok {
+		t.Error("rare value must not be an MCV")
+	}
+	if st.TotalMCVFreq() < 0.79 {
+		t.Errorf("total MCV freq = %v", st.TotalMCVFreq())
+	}
+}
+
+func TestBuildColumnStatsNulls(t *testing.T) {
+	values := []Datum{NullDatum(), IntDatum(1), NullDatum(), IntDatum(2)}
+	st := BuildColumnStats(values)
+	if st.NullFrac != 0.5 {
+		t.Errorf("nullfrac = %v", st.NullFrac)
+	}
+	all := []Datum{NullDatum(), NullDatum()}
+	st = BuildColumnStats(all)
+	if st.NullFrac != 1 {
+		t.Errorf("all-null nullfrac = %v", st.NullFrac)
+	}
+	st = BuildColumnStats(nil)
+	if st.NDistinct != -1 {
+		t.Errorf("empty column ndistinct = %v", st.NDistinct)
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	// Perfectly ascending physical order.
+	asc := make([]Datum, 1000)
+	for i := range asc {
+		asc[i] = IntDatum(int64(i))
+	}
+	st := BuildColumnStats(asc)
+	if st.Correlation < 0.999 {
+		t.Errorf("ascending correlation = %v", st.Correlation)
+	}
+	// Perfectly descending.
+	desc := make([]Datum, 1000)
+	for i := range desc {
+		desc[i] = IntDatum(int64(1000 - i))
+	}
+	st = BuildColumnStats(desc)
+	if st.Correlation > -0.999 {
+		t.Errorf("descending correlation = %v", st.Correlation)
+	}
+	// Shuffled: near zero.
+	r := rand.New(rand.NewSource(3))
+	shuf := append([]Datum(nil), asc...)
+	r.Shuffle(len(shuf), func(i, j int) { shuf[i], shuf[j] = shuf[j], shuf[i] })
+	st = BuildColumnStats(shuf)
+	if math.Abs(st.Correlation) > 0.15 {
+		t.Errorf("shuffled correlation = %v", st.Correlation)
+	}
+}
+
+func TestDistinctCountConventions(t *testing.T) {
+	st := &ColumnStats{NDistinct: 50}
+	if st.DistinctCount(1000) != 50 {
+		t.Error("absolute ndistinct")
+	}
+	st = &ColumnStats{NDistinct: -0.5}
+	if st.DistinctCount(1000) != 500 {
+		t.Error("fractional ndistinct")
+	}
+	var nilStats *ColumnStats
+	if nilStats.DistinctCount(1000) != 200 {
+		t.Error("default ndistinct")
+	}
+}
+
+func TestHistogramFractionMonotonic(t *testing.T) {
+	values := make([]Datum, 5000)
+	r := rand.New(rand.NewSource(4))
+	for i := range values {
+		values[i] = FloatDatum(r.NormFloat64() * 10)
+	}
+	st := BuildColumnStats(values)
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		fa, _ := st.HistogramFractionBelow(FloatDatum(a))
+		fb, _ := st.HistogramFractionBelow(FloatDatum(b))
+		return fa <= fb+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	tab := testTable(t)
+	r := rand.New(rand.NewSource(5))
+	var rows [][]Datum
+	for i := 0; i < 2000; i++ {
+		rows = append(rows, []Datum{
+			IntDatum(int64(i)),                      // objid
+			FloatDatum(r.Float64() * 360),           // ra
+			FloatDatum(r.Float64()*180 - 90),        // dec
+			IntDatum(int64(r.Intn(10))),             // run
+			IntDatum(int64(r.Intn(6) + 1)),          // camcol
+			IntDatum(int64(r.Intn(1000))),           // field
+			IntDatum(int64([]int{3, 6}[r.Intn(2)])), // type
+			StringDatum("obj"),                      // name
+		})
+	}
+	AnalyzeRows(tab, rows)
+	if tab.RowCount != 2000 {
+		t.Errorf("rowcount = %d", tab.RowCount)
+	}
+	if tab.Pages <= 0 {
+		t.Errorf("pages = %d", tab.Pages)
+	}
+	if tab.Column("objid").Stats.NDistinct != -1 {
+		t.Errorf("objid ndistinct = %v", tab.Column("objid").Stats.NDistinct)
+	}
+	if d := tab.Column("camcol").Stats.DistinctCount(2000); d != 6 {
+		t.Errorf("camcol distinct = %v", d)
+	}
+	lo, hi, ok := tab.Column("ra").Stats.MinMax()
+	if !ok {
+		t.Fatal("ra has no histogram")
+	}
+	lof, _ := lo.Float()
+	hif, _ := hi.Float()
+	if lof < 0 || hif > 360 {
+		t.Errorf("ra range [%v,%v]", lof, hif)
+	}
+	// name column is constant: should be a single MCV with freq 1.
+	nameStats := tab.Column("name").Stats
+	if f, ok := nameStats.MCVFreq(StringDatum("obj")); !ok || f != 1 {
+		t.Errorf("constant column MCV = %v (ok=%v)", f, ok)
+	}
+}
+
+func TestEstimatePages(t *testing.T) {
+	tab := testTable(t)
+	if p := tab.EstimatePages(0); p != 1 {
+		t.Errorf("empty table pages = %d", p)
+	}
+	p1 := tab.EstimatePages(10000)
+	p2 := tab.EstimatePages(20000)
+	if p2 <= p1 {
+		t.Errorf("pages must grow with rows: %d then %d", p1, p2)
+	}
+}
+
+func TestAnalyzeSampled(t *testing.T) {
+	tab := testTable(t)
+	r := rand.New(rand.NewSource(9))
+	const n = 50000
+	rows := make([][]Datum, n)
+	for i := range rows {
+		rows[i] = []Datum{
+			IntDatum(int64(i)),                      // objid: serial, unique
+			FloatDatum(r.Float64() * 360),           // ra
+			FloatDatum(r.Float64()*180 - 90),        // dec
+			IntDatum(int64(r.Intn(10))),             // run: 10 distinct
+			IntDatum(int64(r.Intn(6) + 1)),          // camcol: 6 distinct
+			IntDatum(int64(r.Intn(1000))),           // field
+			IntDatum(int64([]int{3, 6}[r.Intn(2)])), // type
+			StringDatum("x"),                        // name
+		}
+	}
+	AnalyzeSampled(tab, &SliceSource{Rows: rows}, 5000, 42)
+	if tab.RowCount != n {
+		t.Errorf("rowcount = %d (must count all rows, not the sample)", tab.RowCount)
+	}
+	// Low-cardinality columns keep absolute distinct counts.
+	if d := tab.Column("camcol").Stats.DistinctCount(n); d != 6 {
+		t.Errorf("camcol distinct = %v", d)
+	}
+	// Unique column extrapolates to ~rowcount, not ~sample size.
+	if d := tab.Column("objid").Stats.DistinctCount(n); d < float64(n)*0.9 {
+		t.Errorf("objid distinct = %v, want ~%d", d, n)
+	}
+	// Serial column stays highly correlated despite sampling.
+	if c := tab.Column("objid").Stats.Correlation; c < 0.99 {
+		t.Errorf("objid correlation = %v", c)
+	}
+	// Histogram spans roughly the full ra domain.
+	lo, hi, ok := tab.Column("ra").Stats.MinMax()
+	if !ok {
+		t.Fatal("no ra histogram")
+	}
+	lof, _ := lo.Float()
+	hif, _ := hi.Float()
+	if lof > 5 || hif < 355 {
+		t.Errorf("sampled histogram range [%v, %v] too narrow", lof, hif)
+	}
+	// Deterministic under the same seed.
+	tab2 := testTable(t)
+	AnalyzeSampled(tab2, &SliceSource{Rows: rows}, 5000, 42)
+	if tab.Column("ra").Stats.NullFrac != tab2.Column("ra").Stats.NullFrac ||
+		tab.Column("run").Stats.NDistinct != tab2.Column("run").Stats.NDistinct {
+		t.Error("sampled ANALYZE not deterministic under fixed seed")
+	}
+}
+
+func TestAnalyzeSampledSmallTableIsExact(t *testing.T) {
+	tab := testTable(t)
+	rows := make([][]Datum, 100)
+	for i := range rows {
+		rows[i] = []Datum{
+			IntDatum(int64(i)), FloatDatum(float64(i)), FloatDatum(0),
+			IntDatum(1), IntDatum(1), IntDatum(1), IntDatum(3), StringDatum("s"),
+		}
+	}
+	AnalyzeSampled(tab, &SliceSource{Rows: rows}, 30000, 1)
+	if tab.RowCount != 100 {
+		t.Errorf("rowcount = %d", tab.RowCount)
+	}
+	if d := tab.Column("objid").Stats.DistinctCount(100); d != 100 {
+		t.Errorf("exhaustive sample distinct = %v, want exactly 100", d)
+	}
+}

@@ -1,0 +1,241 @@
+// Package catalog holds the schema and statistics catalog of the
+// engine: tables, columns, indexes, per-column statistics (null
+// fraction, n-distinct, most-common values, equi-depth histograms) and
+// the ANALYZE machinery that computes them.
+//
+// It plays the role of PostgreSQL's pg_class / pg_attribute /
+// pg_statistic triple. The what-if components of PARINDA work by
+// splicing hypothetical entries into this catalog at plan time, exactly
+// as the paper's modified optimizer splices statistics through hooks.
+package catalog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/sql"
+)
+
+// DatumKind discriminates the runtime value representation.
+type DatumKind int
+
+// Datum kinds. KindNull is its own kind so zero values are explicit.
+const (
+	KindNull DatumKind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+)
+
+// Datum is a single runtime value. The zero Datum is NULL.
+type Datum struct {
+	Kind DatumKind
+	I    int64
+	F    float64
+	S    string
+	B    bool
+}
+
+// Convenience constructors.
+
+// NullDatum returns the NULL datum.
+func NullDatum() Datum { return Datum{} }
+
+// IntDatum returns an integer datum.
+func IntDatum(v int64) Datum { return Datum{Kind: KindInt, I: v} }
+
+// FloatDatum returns a float datum.
+func FloatDatum(v float64) Datum { return Datum{Kind: KindFloat, F: v} }
+
+// StringDatum returns a string datum.
+func StringDatum(v string) Datum { return Datum{Kind: KindString, S: v} }
+
+// BoolDatum returns a boolean datum.
+func BoolDatum(v bool) Datum { return Datum{Kind: KindBool, B: v} }
+
+// IsNull reports whether d is NULL.
+func (d Datum) IsNull() bool { return d.Kind == KindNull }
+
+// Float returns the numeric value of an int or float datum. Booleans
+// map to 0/1. Strings and NULL return 0 with ok=false.
+func (d Datum) Float() (float64, bool) {
+	switch d.Kind {
+	case KindInt:
+		return float64(d.I), true
+	case KindFloat:
+		return d.F, true
+	case KindBool:
+		if d.B {
+			return 1, true
+		}
+		return 0, true
+	}
+	return 0, false
+}
+
+// String renders the datum for display and EXPLAIN output.
+func (d Datum) String() string {
+	switch d.Kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(d.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(d.F, 'g', -1, 64)
+	case KindString:
+		return "'" + d.S + "'"
+	case KindBool:
+		if d.B {
+			return "true"
+		}
+		return "false"
+	}
+	return "?"
+}
+
+// Compare orders two non-null datums: -1, 0, +1. Numeric kinds compare
+// numerically across int/float. Comparing incompatible kinds (string
+// vs. numeric) orders by kind, which keeps sorts total. NULLs sort
+// first (smallest), matching our executor's NULLS FIRST behaviour.
+func Compare(a, b Datum) int {
+	if a.IsNull() || b.IsNull() {
+		switch {
+		case a.IsNull() && b.IsNull():
+			return 0
+		case a.IsNull():
+			return -1
+		default:
+			return 1
+		}
+	}
+	af, aNum := a.Float()
+	bf, bNum := b.Float()
+	if aNum && bNum {
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if a.Kind == KindString && b.Kind == KindString {
+		return strings.Compare(a.S, b.S)
+	}
+	// Mixed incomparable kinds: order by kind id for totality.
+	switch {
+	case a.Kind < b.Kind:
+		return -1
+	case a.Kind > b.Kind:
+		return 1
+	}
+	return 0
+}
+
+// Equal reports SQL equality of two datums; NULL equals nothing,
+// including NULL.
+func Equal(a, b Datum) bool {
+	if a.IsNull() || b.IsNull() {
+		return false
+	}
+	return Compare(a, b) == 0
+}
+
+// Key returns a map key uniquely identifying the datum's value, used
+// for grouping and hash joins. NULL has its own key.
+func (d Datum) Key() string {
+	switch d.Kind {
+	case KindNull:
+		return "\x00N"
+	case KindInt:
+		return "i" + strconv.FormatInt(d.I, 10)
+	case KindFloat:
+		// Integral floats collapse onto the int key so cross-type
+		// joins (int4 = float8) group correctly.
+		if d.F == float64(int64(d.F)) {
+			return "i" + strconv.FormatInt(int64(d.F), 10)
+		}
+		return "f" + strconv.FormatFloat(d.F, 'b', -1, 64)
+	case KindString:
+		return "s" + d.S
+	case KindBool:
+		if d.B {
+			return "b1"
+		}
+		return "b0"
+	}
+	return "?"
+}
+
+// DatumFromLiteral converts a parsed SQL literal expression to a
+// Datum. Non-literal expressions return ok=false.
+func DatumFromLiteral(e sql.Expr) (Datum, bool) {
+	switch v := e.(type) {
+	case *sql.IntLit:
+		return IntDatum(v.Value), true
+	case *sql.FloatLit:
+		return FloatDatum(v.Value), true
+	case *sql.StringLit:
+		return StringDatum(v.Value), true
+	case *sql.BoolLit:
+		return BoolDatum(v.Value), true
+	case *sql.NullLit:
+		return NullDatum(), true
+	case *sql.UnaryMinus:
+		d, ok := DatumFromLiteral(v.Inner)
+		if !ok {
+			return Datum{}, false
+		}
+		switch d.Kind {
+		case KindInt:
+			return IntDatum(-d.I), true
+		case KindFloat:
+			return FloatDatum(-d.F), true
+		}
+		return Datum{}, false
+	}
+	return Datum{}, false
+}
+
+// CastTo coerces d to the storage type t, following SQL assignment
+// rules (int <-> float, anything -> text via formatting). It returns an
+// error when the cast is not meaningful.
+func (d Datum) CastTo(t sql.TypeName) (Datum, error) {
+	if d.IsNull() {
+		return d, nil
+	}
+	switch t {
+	case sql.TypeInt, sql.TypeBigInt:
+		switch d.Kind {
+		case KindInt:
+			return d, nil
+		case KindFloat:
+			return IntDatum(int64(d.F)), nil
+		case KindBool:
+			if d.B {
+				return IntDatum(1), nil
+			}
+			return IntDatum(0), nil
+		}
+	case sql.TypeFloat:
+		if f, ok := d.Float(); ok {
+			return FloatDatum(f), nil
+		}
+	case sql.TypeText:
+		if d.Kind == KindString {
+			return d, nil
+		}
+		return StringDatum(strings.Trim(d.String(), "'")), nil
+	case sql.TypeBool:
+		if d.Kind == KindBool {
+			return d, nil
+		}
+		if f, ok := d.Float(); ok {
+			return BoolDatum(f != 0), nil
+		}
+	}
+	return Datum{}, fmt.Errorf("catalog: cannot cast %s to %s", d, t)
+}

@@ -1,0 +1,315 @@
+package catalog
+
+import (
+	"sort"
+)
+
+// Default statistics target, matching PostgreSQL 8.3's
+// default_statistics_target applied to MCVs and histogram buckets.
+const (
+	DefaultMCVTarget       = 10
+	DefaultHistogramBounds = 101 // 100 buckets
+)
+
+// MCV is one most-common-value entry: the value and its frequency as a
+// fraction of all rows (including NULLs).
+type MCV struct {
+	Value Datum
+	Freq  float64
+}
+
+// ColumnStats is the planner-visible statistics of one column,
+// mirroring a pg_statistic row.
+type ColumnStats struct {
+	// NullFrac is the fraction of NULL entries in [0,1].
+	NullFrac float64
+	// NDistinct follows PostgreSQL conventions: > 0 is an absolute
+	// distinct count; < 0 is the negated fraction of rows that are
+	// distinct (-1 means all rows distinct); 0 means unknown.
+	NDistinct float64
+	// MCVs are the most common values, ordered by descending
+	// frequency.
+	MCVs []MCV
+	// Histogram is an equi-depth histogram over the values NOT in the
+	// MCV list: len(Histogram)-1 buckets of equal row counts, bounds
+	// ascending. Empty when too few distinct values exist.
+	Histogram []Datum
+	// Correlation in [-1,1] between physical row order and value
+	// order (1 = perfectly clustered ascending).
+	Correlation float64
+	// AvgWidth is the measured average payload width in bytes.
+	AvgWidth int
+}
+
+// Clone returns a deep copy.
+func (s *ColumnStats) Clone() *ColumnStats {
+	c := *s
+	c.MCVs = append([]MCV(nil), s.MCVs...)
+	c.Histogram = append([]Datum(nil), s.Histogram...)
+	return &c
+}
+
+// DistinctCount resolves NDistinct against a row count.
+func (s *ColumnStats) DistinctCount(rows int64) float64 {
+	switch {
+	case s == nil || s.NDistinct == 0:
+		return 200 // PostgreSQL's DEFAULT_NUM_DISTINCT
+	case s.NDistinct > 0:
+		return s.NDistinct
+	default:
+		n := -s.NDistinct * float64(rows)
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+}
+
+// MCVFreq returns the frequency of v if it appears in the MCV list.
+func (s *ColumnStats) MCVFreq(v Datum) (float64, bool) {
+	if s == nil {
+		return 0, false
+	}
+	for _, m := range s.MCVs {
+		if Equal(m.Value, v) {
+			return m.Freq, true
+		}
+	}
+	return 0, false
+}
+
+// TotalMCVFreq is the summed frequency of all MCV entries.
+func (s *ColumnStats) TotalMCVFreq() float64 {
+	if s == nil {
+		return 0
+	}
+	total := 0.0
+	for _, m := range s.MCVs {
+		total += m.Freq
+	}
+	return total
+}
+
+// HistogramFractionBelow estimates the fraction of histogram-covered
+// values strictly below v, interpolating linearly inside numeric
+// buckets (PostgreSQL's ineq_histogram_selectivity). The result is in
+// [0,1] and refers only to rows outside the MCV list and non-null.
+func (s *ColumnStats) HistogramFractionBelow(v Datum) (float64, bool) {
+	if s == nil || len(s.Histogram) < 2 {
+		return 0, false
+	}
+	h := s.Histogram
+	n := len(h) - 1 // bucket count
+	if Compare(v, h[0]) <= 0 {
+		return 0, true
+	}
+	if Compare(v, h[n]) >= 0 {
+		return 1, true
+	}
+	// Find the bucket via binary search: largest i with h[i] <= v.
+	i := sort.Search(n, func(i int) bool { return Compare(h[i+1], v) >= 0 })
+	// v lies in bucket i, between h[i] and h[i+1].
+	lo, loOK := h[i].Float()
+	hi, hiOK := h[i+1].Float()
+	vf, vOK := v.Float()
+	frac := 0.5 // mid-bucket default for non-numeric values
+	if loOK && hiOK && vOK && hi > lo {
+		frac = (vf - lo) / (hi - lo)
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+	}
+	return (float64(i) + frac) / float64(n), true
+}
+
+// MinMax returns the histogram extremes, or ok=false when no histogram
+// exists.
+func (s *ColumnStats) MinMax() (lo, hi Datum, ok bool) {
+	if s == nil || len(s.Histogram) < 2 {
+		return Datum{}, Datum{}, false
+	}
+	return s.Histogram[0], s.Histogram[len(s.Histogram)-1], true
+}
+
+// BuildColumnStats computes full statistics from the column's values
+// in physical row order. It is the ANALYZE kernel: null fraction,
+// n-distinct (with the negative-fraction convention for high-cardinality
+// columns), MCVs, an equi-depth histogram of the residual distribution,
+// physical/logical correlation and average width.
+func BuildColumnStats(values []Datum) *ColumnStats {
+	st := &ColumnStats{}
+	total := len(values)
+	if total == 0 {
+		st.NDistinct = -1
+		return st
+	}
+
+	nonNull := make([]Datum, 0, total)
+	widthSum := 0
+	for _, v := range values {
+		if v.IsNull() {
+			continue
+		}
+		nonNull = append(nonNull, v)
+		widthSum += datumWidth(v)
+	}
+	st.NullFrac = float64(total-len(nonNull)) / float64(total)
+	if len(nonNull) == 0 {
+		st.NDistinct = 0
+		return st
+	}
+	st.AvgWidth = widthSum / len(nonNull)
+
+	// Sort a copy to count groups; remember original positions for
+	// the correlation statistic.
+	type pv struct {
+		v   Datum
+		pos int
+	}
+	sorted := make([]pv, len(nonNull))
+	for i, v := range nonNull {
+		sorted[i] = pv{v, i}
+	}
+	sort.SliceStable(sorted, func(i, j int) bool { return Compare(sorted[i].v, sorted[j].v) < 0 })
+
+	// Group runs of equal values.
+	type group struct {
+		v     Datum
+		count int
+	}
+	var groups []group
+	for i := 0; i < len(sorted); {
+		j := i + 1
+		for j < len(sorted) && Compare(sorted[i].v, sorted[j].v) == 0 {
+			j++
+		}
+		groups = append(groups, group{sorted[i].v, j - i})
+		i = j
+	}
+	distinct := len(groups)
+	if float64(distinct) > 0.1*float64(len(nonNull)) {
+		// High cardinality: store as a fraction so the estimate
+		// scales with table growth (PostgreSQL convention).
+		st.NDistinct = -float64(distinct) / float64(len(nonNull))
+	} else {
+		st.NDistinct = float64(distinct)
+	}
+
+	// MCVs: values appearing clearly more often than average.
+	byFreq := append([]group(nil), groups...)
+	sort.SliceStable(byFreq, func(i, j int) bool { return byFreq[i].count > byFreq[j].count })
+	avg := float64(len(nonNull)) / float64(distinct)
+	for i := 0; i < len(byFreq) && i < DefaultMCVTarget; i++ {
+		g := byFreq[i]
+		if distinct > DefaultMCVTarget && float64(g.count) < 1.25*avg {
+			break // not distinguishably common
+		}
+		if g.count < 2 && distinct > DefaultMCVTarget {
+			break
+		}
+		st.MCVs = append(st.MCVs, MCV{Value: g.v, Freq: float64(g.count) / float64(total)})
+	}
+
+	// Histogram over values outside the MCV list.
+	inMCV := func(v Datum) bool {
+		for _, m := range st.MCVs {
+			if Equal(m.Value, v) {
+				return true
+			}
+		}
+		return false
+	}
+	rest := make([]Datum, 0, len(sorted))
+	for _, p := range sorted {
+		if !inMCV(p.v) {
+			rest = append(rest, p.v)
+		}
+	}
+	if len(rest) >= 2 {
+		bounds := DefaultHistogramBounds
+		if len(rest) < bounds {
+			bounds = len(rest)
+		}
+		st.Histogram = make([]Datum, bounds)
+		for i := 0; i < bounds; i++ {
+			idx := i * (len(rest) - 1) / (bounds - 1)
+			st.Histogram[i] = rest[idx]
+		}
+	}
+
+	positions := make([]int, len(sorted))
+	for i, p := range sorted {
+		positions[i] = p.pos
+	}
+	st.Correlation = rankCorrelation(positions)
+	return st
+}
+
+// datumWidth is the stored payload width of one value.
+func datumWidth(d Datum) int {
+	switch d.Kind {
+	case KindInt:
+		if d.I >= -(1<<31) && d.I < 1<<31 {
+			return 4
+		}
+		return 8
+	case KindFloat:
+		return 8
+	case KindBool:
+		return 1
+	case KindString:
+		return len(d.S) + 4
+	}
+	return 0
+}
+
+// rankCorrelation computes Spearman's rank correlation between value
+// order and physical position, the statistic PostgreSQL stores as
+// pg_stats.correlation and uses to discount index scan random I/O.
+// positions[i] is the physical position of the i-th smallest value.
+func rankCorrelation(positions []int) float64 {
+	n := len(positions)
+	if n < 2 {
+		return 1
+	}
+	var sumD2 float64
+	for rank, pos := range positions {
+		d := float64(rank - pos)
+		sumD2 += d * d
+	}
+	nf := float64(n)
+	corr := 1 - 6*sumD2/(nf*(nf*nf-1))
+	if corr > 1 {
+		corr = 1
+	}
+	if corr < -1 {
+		corr = -1
+	}
+	return corr
+}
+
+// SyntheticUniformStats builds statistics for a column holding rows
+// uniformly distributed numeric values in [lo, hi] with the given
+// distinct count — used by tests and by what-if table derivation when
+// no base statistics exist.
+func SyntheticUniformStats(lo, hi float64, rows int64, distinct float64) *ColumnStats {
+	st := &ColumnStats{Correlation: 0}
+	if distinct <= 0 {
+		distinct = float64(rows)
+	}
+	if float64(rows) > 0 && distinct > 0.1*float64(rows) {
+		st.NDistinct = -distinct / float64(rows)
+	} else {
+		st.NDistinct = distinct
+	}
+	st.AvgWidth = 8
+	bounds := DefaultHistogramBounds
+	st.Histogram = make([]Datum, bounds)
+	for i := 0; i < bounds; i++ {
+		st.Histogram[i] = FloatDatum(lo + (hi-lo)*float64(i)/float64(bounds-1))
+	}
+	return st
+}

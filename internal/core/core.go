@@ -1,0 +1,423 @@
+// Package core is the PARINDA facade: the three components of Figure 1
+// behind one API.
+//
+//   - Interactive partitioning/indexing: EvaluateDesign simulates a
+//     DBA-supplied design with what-if features and reports average and
+//     per-query benefit (§4, scenario 1).
+//   - Automatic index suggestion: SuggestIndexes / SuggestIndexesGreedy
+//     (§3.4, scenario 3).
+//   - Automatic partition suggestion: SuggestPartitions (§3.3,
+//     scenario 2).
+//
+// MaterializeAndCompare builds a design for real in a storage.Database
+// and verifies the what-if plans against the materialized plans — the
+// accuracy check the demo GUI offers.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/advisor"
+	"repro/internal/autopart"
+	"repro/internal/catalog"
+	"repro/internal/inum"
+	"repro/internal/optimizer"
+	"repro/internal/rewrite"
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/whatif"
+)
+
+// PARINDA is one tool instance over a schema catalog.
+type PARINDA struct {
+	cat *catalog.Catalog
+}
+
+// New returns a PARINDA over cat.
+func New(cat *catalog.Catalog) *PARINDA { return &PARINDA{cat: cat} }
+
+// FromDatabase returns a PARINDA over a live database's catalog.
+func FromDatabase(db *storage.Database) *PARINDA { return &PARINDA{cat: db.Catalog} }
+
+// Catalog exposes the underlying catalog.
+func (p *PARINDA) Catalog() *catalog.Catalog { return p.cat }
+
+// PartitionDef is one manual partitioning: the parent table and the
+// column groups of each fragment (primary keys are implicit).
+type PartitionDef struct {
+	Table     string
+	Fragments [][]string
+}
+
+// Design is a manual physical design for the interactive scenario:
+// what-if indexes and what-if table partitions.
+type Design struct {
+	Indexes    []inum.IndexSpec
+	Partitions []PartitionDef
+}
+
+// InteractiveReport is the output of the interactive component: the
+// numbers Figure 3's right panel displays.
+type InteractiveReport struct {
+	PerQuery   []advisor.QueryBenefit
+	BaseCost   float64
+	NewCost    float64
+	Rewritten  []string // workload rewritten for the partitions, in order
+	Explains   []string // EXPLAIN of each query under the design
+	IndexNames []string // what-if index names created
+}
+
+// AvgBenefit returns 1 - new/base.
+func (r *InteractiveReport) AvgBenefit() float64 {
+	if r.BaseCost <= 0 {
+		return 0
+	}
+	return 1 - r.NewCost/r.BaseCost
+}
+
+// Speedup returns base/new.
+func (r *InteractiveReport) Speedup() float64 {
+	if r.NewCost <= 0 {
+		return 1
+	}
+	return r.BaseCost / r.NewCost
+}
+
+// EvaluateDesign simulates the design over the workload: what-if
+// tables for every partition fragment, what-if indexes for every
+// index, automatic rewriting onto the fragments, and per-query
+// costing. Nothing is built; the base catalog is untouched.
+func (p *PARINDA) EvaluateDesign(workloadSQL []string, d Design) (*InteractiveReport, error) {
+	queries, err := advisor.ParseWorkload(workloadSQL)
+	if err != nil {
+		return nil, err
+	}
+	session := whatif.NewSession(p.cat)
+	rw, err := installPartitions(session, p.cat, d.Partitions)
+	if err != nil {
+		return nil, err
+	}
+	report := &InteractiveReport{}
+	nameToKey := map[string]string{}
+	for _, spec := range d.Indexes {
+		ix, err := session.CreateIndex(spec.Table, spec.Columns)
+		if err != nil {
+			return nil, err
+		}
+		nameToKey[ix.Name] = spec.Key()
+		report.IndexNames = append(report.IndexNames, ix.Name)
+	}
+
+	base := whatif.NewSession(p.cat)
+	for _, q := range queries {
+		baseCost, err := base.Cost(q.Stmt)
+		if err != nil {
+			return nil, fmt.Errorf("core: base cost of %q: %w", q.SQL, err)
+		}
+		target := q.Stmt
+		if rw != nil {
+			target, err = rw.Rewrite(q.Stmt)
+			if err != nil {
+				return nil, fmt.Errorf("core: rewrite of %q: %w", q.SQL, err)
+			}
+		}
+		report.Rewritten = append(report.Rewritten, sql.PrintSelect(target))
+		plan, err := session.Plan(target)
+		if err != nil {
+			return nil, fmt.Errorf("core: what-if plan of %q: %w", q.SQL, err)
+		}
+		var used []string
+		for _, name := range plan.IndexesUsed() {
+			if key, ok := nameToKey[name]; ok {
+				used = append(used, key)
+			}
+		}
+		sort.Strings(used)
+		report.PerQuery = append(report.PerQuery, advisor.QueryBenefit{
+			SQL:         q.SQL,
+			BaseCost:    baseCost,
+			NewCost:     plan.TotalCost,
+			IndexesUsed: used,
+		})
+		report.Explains = append(report.Explains, optimizer.Explain(plan))
+		report.BaseCost += baseCost
+		report.NewCost += plan.TotalCost
+	}
+	return report, nil
+}
+
+// installPartitions registers what-if fragment tables and returns a
+// rewriter for them (nil when the design has no partitions).
+func installPartitions(session *whatif.Session, cat *catalog.Catalog, defs []PartitionDef) (*rewrite.Rewriter, error) {
+	if len(defs) == 0 {
+		return nil, nil
+	}
+	parts := map[string]*rewrite.Partitioning{}
+	for _, def := range defs {
+		parent := cat.Table(def.Table)
+		if parent == nil {
+			return nil, fmt.Errorf("core: unknown table %q in partition design", def.Table)
+		}
+		pt := &rewrite.Partitioning{Parent: parent}
+		for i, cols := range def.Fragments {
+			name := fmt.Sprintf("%s_p%d", def.Table, i+1)
+			if _, err := session.CreateTable(whatif.TableDef{
+				Name: name, Parent: def.Table, Columns: cols,
+			}); err != nil {
+				return nil, err
+			}
+			pt.Fragments = append(pt.Fragments, rewrite.Fragment{
+				Name: name, Columns: append([]string(nil), cols...),
+			})
+		}
+		parts[def.Table] = pt
+	}
+	return rewrite.New(parts), nil
+}
+
+// SuggestIndexes runs the ILP index advisor (scenario 3).
+func (p *PARINDA) SuggestIndexes(workloadSQL []string, opts advisor.Options) (*advisor.Result, error) {
+	queries, err := advisor.ParseWorkload(workloadSQL)
+	if err != nil {
+		return nil, err
+	}
+	return advisor.SuggestIndexesILP(p.cat, queries, opts)
+}
+
+// SuggestIndexesGreedy runs the greedy baseline advisor.
+func (p *PARINDA) SuggestIndexesGreedy(workloadSQL []string, opts advisor.Options) (*advisor.Result, error) {
+	queries, err := advisor.ParseWorkload(workloadSQL)
+	if err != nil {
+		return nil, err
+	}
+	return advisor.SuggestIndexesGreedy(p.cat, queries, opts)
+}
+
+// SuggestPartitions runs the AutoPart advisor (scenario 2).
+func (p *PARINDA) SuggestPartitions(workloadSQL []string, opts autopart.Options) (*autopart.Result, error) {
+	queries, err := advisor.ParseWorkload(workloadSQL)
+	if err != nil {
+		return nil, err
+	}
+	return autopart.Suggest(p.cat, queries, opts)
+}
+
+// ComparisonEntry records the what-if vs. materialized check of one
+// query.
+type ComparisonEntry struct {
+	SQL              string
+	WhatIfCost       float64
+	MaterializedCost float64
+	SamePlanShape    bool
+	WhatIfExplain    string
+	MaterialExplain  string
+}
+
+// ComparisonReport is the output of MaterializeAndCompare.
+type ComparisonReport struct {
+	Entries []ComparisonEntry
+	// BuildStatements are the DDL statements that were executed to
+	// materialize the design.
+	BuildStatements []string
+}
+
+// AllShapesMatch reports whether every query planned identically under
+// the what-if and the materialized design.
+func (r *ComparisonReport) AllShapesMatch() bool {
+	for _, e := range r.Entries {
+		if !e.SamePlanShape {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxRelCostError returns the largest relative difference between
+// what-if and materialized cost across queries.
+func (r *ComparisonReport) MaxRelCostError() float64 {
+	worst := 0.0
+	for _, e := range r.Entries {
+		if e.MaterializedCost <= 0 {
+			continue
+		}
+		rel := (e.WhatIfCost - e.MaterializedCost) / e.MaterializedCost
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel > worst {
+			worst = rel
+		}
+	}
+	return worst
+}
+
+// MaterializeAndCompare builds the design's indexes and partition
+// tables for real inside db (copying data for fragments), re-plans the
+// workload against the materialized catalog, and compares plan shape
+// and cost with the what-if simulation — scenario 1's accuracy check.
+// The database is modified; callers own cleanup.
+func MaterializeAndCompare(db *storage.Database, workloadSQL []string, d Design) (*ComparisonReport, error) {
+	p := FromDatabase(db)
+	whatIf, err := p.EvaluateDesign(workloadSQL, d)
+	if err != nil {
+		return nil, err
+	}
+
+	report := &ComparisonReport{}
+
+	// Materialize partitions: create fragment tables, copy projected
+	// rows, analyze.
+	parts := map[string]*rewrite.Partitioning{}
+	for _, def := range d.Partitions {
+		parent := db.Catalog.Table(def.Table)
+		if parent == nil {
+			return nil, fmt.Errorf("core: unknown table %q", def.Table)
+		}
+		pt := &rewrite.Partitioning{Parent: parent}
+		for i, cols := range def.Fragments {
+			name := fmt.Sprintf("%s_p%d", def.Table, i+1)
+			ddl, err := fragmentDDL(parent, name, cols)
+			if err != nil {
+				return nil, err
+			}
+			report.BuildStatements = append(report.BuildStatements, sql.Print(ddl))
+			if _, err := db.CreateTable(ddl); err != nil {
+				return nil, err
+			}
+			if err := copyFragment(db, parent, ddl); err != nil {
+				return nil, err
+			}
+			if err := db.AnalyzeTable(name); err != nil {
+				return nil, err
+			}
+			pt.Fragments = append(pt.Fragments, rewrite.Fragment{
+				Name: name, Columns: append([]string(nil), cols...),
+			})
+		}
+		parts[def.Table] = pt
+	}
+	var rw *rewrite.Rewriter
+	if len(parts) > 0 {
+		rw = rewrite.New(parts)
+	}
+
+	// Materialize indexes.
+	for i, spec := range d.Indexes {
+		ci := &sql.CreateIndex{
+			Name:    fmt.Sprintf("parinda_mat_ix%d_%s", i+1, spec.Table),
+			Table:   spec.Table,
+			Columns: spec.Columns,
+		}
+		report.BuildStatements = append(report.BuildStatements, sql.Print(ci))
+		if _, err := db.BuildIndex(ci); err != nil {
+			return nil, err
+		}
+	}
+
+	planner := optimizer.New(db.Catalog)
+	queries, err := advisor.ParseWorkload(workloadSQL)
+	if err != nil {
+		return nil, err
+	}
+	for i, q := range queries {
+		target := q.Stmt
+		if rw != nil {
+			target, err = rw.Rewrite(q.Stmt)
+			if err != nil {
+				return nil, err
+			}
+		}
+		matPlan, err := planner.Plan(target)
+		if err != nil {
+			return nil, fmt.Errorf("core: materialized plan of %q: %w", q.SQL, err)
+		}
+		entry := ComparisonEntry{
+			SQL:              q.SQL,
+			WhatIfCost:       whatIf.PerQuery[i].NewCost,
+			MaterializedCost: matPlan.TotalCost,
+			MaterialExplain:  optimizer.Explain(matPlan),
+			WhatIfExplain:    whatIf.Explains[i],
+		}
+		entry.SamePlanShape = shapeSignature(whatIf.Explains[i]) == shapeSignature(entry.MaterialExplain)
+		report.Entries = append(report.Entries, entry)
+	}
+	return report, nil
+}
+
+// shapeSignature extracts the operator skeleton from an EXPLAIN text:
+// node types with tables, ignoring costs, rows and index names (the
+// what-if and materialized index names differ by construction).
+func shapeSignature(explain string) string {
+	var sig []string
+	for _, line := range strings.Split(explain, "\n") {
+		trimmed := strings.TrimLeft(line, " ->")
+		if trimmed == "" {
+			continue
+		}
+		if strings.HasPrefix(trimmed, "Index Cond:") || strings.HasPrefix(trimmed, "Filter:") ||
+			strings.HasPrefix(trimmed, "Join Cond:") || strings.HasPrefix(trimmed, "Sort Key:") ||
+			strings.HasPrefix(trimmed, "Group Key:") {
+			continue
+		}
+		if i := strings.Index(trimmed, "  (cost="); i >= 0 {
+			trimmed = trimmed[:i]
+		}
+		// Normalize "Index Scan using <name> on t": the what-if and
+		// materialized index names differ even for the same design.
+		if strings.HasPrefix(trimmed, "Index Scan using ") {
+			if i := strings.Index(trimmed, " on "); i >= 0 {
+				trimmed = "Index Scan" + trimmed[i:]
+			}
+		}
+		indent := len(line) - len(strings.TrimLeft(line, " "))
+		sig = append(sig, fmt.Sprintf("%d:%s", indent, trimmed))
+	}
+	return strings.Join(sig, "|")
+}
+
+// fragmentDDL builds the CREATE TABLE for a fragment: parent PK plus
+// the fragment columns, in parent order.
+func fragmentDDL(parent *catalog.Table, name string, cols []string) (*sql.CreateTable, error) {
+	want := map[string]bool{}
+	for _, pk := range parent.PrimaryKey {
+		want[pk] = true
+	}
+	for _, c := range cols {
+		if parent.ColumnIndex(c) < 0 {
+			return nil, fmt.Errorf("core: parent %q has no column %q", parent.Name, c)
+		}
+		want[c] = true
+	}
+	ct := &sql.CreateTable{Name: name, PrimaryKey: append([]string(nil), parent.PrimaryKey...)}
+	for _, c := range parent.Columns {
+		if want[c.Name] {
+			ct.Columns = append(ct.Columns, sql.ColumnDef{Name: c.Name, Type: c.Type})
+		}
+	}
+	return ct, nil
+}
+
+// copyFragment projects the parent's rows into the fragment table.
+func copyFragment(db *storage.Database, parent *catalog.Table, frag *sql.CreateTable) error {
+	ordinals := make([]int, len(frag.Columns))
+	for i, cd := range frag.Columns {
+		ordinals[i] = parent.ColumnIndex(cd.Name)
+	}
+	it := db.Heap(parent.Name).Scan()
+	for {
+		row, ok := it.Next()
+		if !ok {
+			break
+		}
+		out := make([]catalog.Datum, len(ordinals))
+		for i, ord := range ordinals {
+			out[i] = row[ord]
+		}
+		if err := db.Insert(frag.Name, out); err != nil {
+			return err
+		}
+	}
+	return it.Err()
+}

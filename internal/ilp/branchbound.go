@@ -1,0 +1,243 @@
+package ilp
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+// Options tune the branch-and-bound search.
+type Options struct {
+	// MaxNodes bounds the number of LP relaxations solved; 0 means
+	// the default (50 000).
+	MaxNodes int
+	// Gap is the relative optimality gap at which search stops early
+	// (e.g. 0.001 = 0.1%). 0 means prove optimality.
+	Gap float64
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status    Status
+	X         []float64 // integral for binary variables when Optimal
+	Objective float64
+	Nodes     int // LP relaxations solved
+}
+
+// bbNode is one open node: variable bounds fixed so far.
+type bbNode struct {
+	lo, hi []float64
+	bound  float64 // LP relaxation objective (upper bound)
+}
+
+type nodeQueue []*bbNode
+
+func (q nodeQueue) Len() int            { return len(q) }
+func (q nodeQueue) Less(i, j int) bool  { return q[i].bound > q[j].bound } // best-first
+func (q nodeQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *nodeQueue) Push(x interface{}) { *q = append(*q, x.(*bbNode)) }
+func (q *nodeQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Solve maximizes the problem with binary variables enforced integral
+// via best-first branch and bound over LP relaxations.
+func Solve(p *Problem, opts Options) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	maxNodes := opts.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 50000
+	}
+
+	n := p.NumVars
+	rootLo := make([]float64, n)
+	rootHi := make([]float64, n)
+	for i := range rootHi {
+		rootHi[i] = 1
+	}
+
+	nodes := 0
+	rootRes := solveLP(p, rootLo, rootHi)
+	nodes++
+	if rootRes.status != Optimal {
+		return &Solution{Status: rootRes.status, Nodes: nodes}, nil
+	}
+
+	best := math.Inf(-1)
+	var bestX []float64
+
+	// Try a greedy rounding of the root for an incumbent: round each
+	// fractional binary down, then up if still feasible-looking. We
+	// verify candidates against the constraints directly.
+	if x := roundCandidate(p, rootRes.x); x != nil {
+		obj := dot(p.Objective, x)
+		best, bestX = obj, x
+	}
+
+	q := &nodeQueue{{lo: rootLo, hi: rootHi, bound: rootRes.obj}}
+	heap.Init(q)
+
+	for q.Len() > 0 && nodes < maxNodes {
+		node := heap.Pop(q).(*bbNode)
+		if node.bound <= best+1e-9 {
+			continue // pruned by bound
+		}
+		res := solveLP(p, node.lo, node.hi)
+		nodes++
+		if res.status != Optimal || res.obj <= best+1e-9 {
+			continue
+		}
+		frac := mostFractional(p, res.x)
+		if frac < 0 {
+			// Integral: new incumbent.
+			if res.obj > best {
+				best = res.obj
+				bestX = append([]float64(nil), res.x...)
+			}
+			continue
+		}
+		if opts.Gap > 0 && best > math.Inf(-1) {
+			if res.obj-best <= opts.Gap*math.Abs(best) {
+				continue
+			}
+		}
+		// Branch on frac: x=0 and x=1 children, bounded by the parent
+		// relaxation.
+		for _, fix := range []float64{0, 1} {
+			lo := append([]float64(nil), node.lo...)
+			hi := append([]float64(nil), node.hi...)
+			lo[frac], hi[frac] = fix, fix
+			heap.Push(q, &bbNode{lo: lo, hi: hi, bound: res.obj})
+		}
+	}
+
+	switch {
+	case bestX == nil && nodes >= maxNodes:
+		return &Solution{Status: NodeLimit, Nodes: nodes}, nil
+	case bestX == nil:
+		return &Solution{Status: Infeasible, Nodes: nodes}, nil
+	}
+	status := Optimal
+	if q.Len() > 0 && nodes >= maxNodes {
+		// Feasible incumbent but optimality unproven.
+		status = NodeLimit
+	}
+	// Snap binaries exactly.
+	for i := range bestX {
+		if p.Binary[i] {
+			bestX[i] = math.Round(bestX[i])
+		}
+	}
+	return &Solution{Status: status, X: bestX, Objective: best, Nodes: nodes}, nil
+}
+
+// mostFractional returns the binary variable farthest from integral
+// within the highest priority class that has any fractional variable,
+// or -1 when all binaries are integral.
+func mostFractional(p *Problem, x []float64) int {
+	worst, at := 1e-6, -1
+	bestPrio := bestPrioInit
+	for i := 0; i < p.NumVars; i++ {
+		if !p.Binary[i] {
+			continue
+		}
+		f := math.Abs(x[i] - math.Round(x[i]))
+		if f <= 1e-6 {
+			continue
+		}
+		prio := 0
+		if p.Priority != nil {
+			prio = p.Priority[i]
+		}
+		if prio > bestPrio || (prio == bestPrio && f > worst) {
+			bestPrio, worst, at = prio, f, i
+		}
+	}
+	return at
+}
+
+const bestPrioInit = math.MinInt32
+
+// roundCandidate builds a feasible incumbent from the LP relaxation:
+// start from all binaries rounded down (checked feasible), then raise
+// binaries to 1 greedily in order of fractional value × objective,
+// keeping feasibility. A strong incumbent early is what lets best-first
+// search prune aggressively.
+func roundCandidate(p *Problem, x []float64) []float64 {
+	r := append([]float64(nil), x...)
+	for i := range r {
+		if p.Binary[i] {
+			r[i] = math.Floor(r[i] + 1e-9)
+		}
+	}
+	if !feasible(p, r) {
+		return nil
+	}
+	// Raise binaries in order of LP fractional value: the relaxation
+	// already encodes which variables are worth having, including
+	// "enabler" variables with non-positive objective that gate
+	// positive ones (x's gating y's in the advisor's programs).
+	type cand struct {
+		i    int
+		frac float64
+	}
+	var cands []cand
+	for i := range r {
+		if p.Binary[i] && r[i] < 0.5 && x[i] > 1e-6 {
+			cands = append(cands, cand{i, x[i]})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].frac != cands[b].frac {
+			return cands[a].frac > cands[b].frac
+		}
+		return p.Objective[cands[a].i] > p.Objective[cands[b].i]
+	})
+	for _, c := range cands {
+		r[c.i] = 1
+		if !feasible(p, r) {
+			r[c.i] = 0
+		}
+	}
+	return r
+}
+
+// feasible checks all constraints at point x.
+func feasible(p *Problem, x []float64) bool {
+	const tol = 1e-6
+	for _, c := range p.Cons {
+		sum := 0.0
+		for i, a := range c.Coeffs {
+			sum += a * x[i]
+		}
+		switch c.Op {
+		case LE:
+			if sum > c.RHS+tol {
+				return false
+			}
+		case GE:
+			if sum < c.RHS-tol {
+				return false
+			}
+		case EQ:
+			if math.Abs(sum-c.RHS) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

@@ -1,0 +1,345 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	s, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	return s
+}
+
+func TestKnapsack(t *testing.T) {
+	// Classic 0/1 knapsack: weights 2,3,4,5; values 3,4,5,6; cap 5.
+	// Optimum: items 0+1 (weight 5, value 7).
+	p := NewProblem(4)
+	p.Objective = []float64{3, 4, 5, 6}
+	p.AddConstraint(Constraint{
+		Coeffs: map[int]float64{0: 2, 1: 3, 2: 4, 3: 5},
+		Op:     LE, RHS: 5, Name: "capacity",
+	})
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-7) > 1e-6 {
+		t.Errorf("objective = %v, want 7 (x = %v)", s.Objective, s.X)
+	}
+	if s.X[0] != 1 || s.X[1] != 1 || s.X[2] != 0 || s.X[3] != 0 {
+		t.Errorf("x = %v", s.X)
+	}
+}
+
+func TestLPFractionalVsILPIntegral(t *testing.T) {
+	// LP relaxation of the knapsack above takes a fraction of item 3;
+	// the ILP must not.
+	p := NewProblem(2)
+	p.Objective = []float64{10, 10}
+	p.AddConstraint(Constraint{Coeffs: map[int]float64{0: 1, 1: 1}, Op: LE, RHS: 1.5})
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-10) > 1e-6 {
+		t.Errorf("objective = %v, want 10", s.Objective)
+	}
+	if s.X[0]+s.X[1] != 1 {
+		t.Errorf("x = %v, want exactly one variable set", s.X)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// Exactly two of three items; maximize 5x0+1x1+3x2 → {0,2}.
+	p := NewProblem(3)
+	p.Objective = []float64{5, 1, 3}
+	p.AddConstraint(Constraint{Coeffs: map[int]float64{0: 1, 1: 1, 2: 1}, Op: EQ, RHS: 2})
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-8) > 1e-6 {
+		t.Errorf("objective = %v, want 8", s.Objective)
+	}
+}
+
+func TestGEConstraint(t *testing.T) {
+	// Minimize cost (maximize negative) with a coverage requirement.
+	p := NewProblem(3)
+	p.Objective = []float64{-4, -3, -5}
+	p.AddConstraint(Constraint{Coeffs: map[int]float64{0: 1, 1: 1, 2: 1}, Op: GE, RHS: 2})
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-(-7)) > 1e-6 {
+		t.Errorf("objective = %v, want -7 (pick the two cheapest)", s.Objective)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(2)
+	p.Objective = []float64{1, 1}
+	p.AddConstraint(Constraint{Coeffs: map[int]float64{0: 1, 1: 1}, Op: GE, RHS: 3}) // max is 2
+	s, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := NewProblem(2)
+	p.Objective = []float64{1} // wrong length
+	if _, err := Solve(p, Options{}); err == nil {
+		t.Error("bad objective accepted")
+	}
+	p = NewProblem(2)
+	p.AddConstraint(Constraint{Coeffs: map[int]float64{5: 1}, Op: LE, RHS: 1})
+	if _, err := Solve(p, Options{}); err == nil {
+		t.Error("out-of-range variable accepted")
+	}
+	if _, err := Solve(&Problem{}, Options{}); err == nil {
+		t.Error("empty problem accepted")
+	}
+}
+
+func TestOneAccessPathShape(t *testing.T) {
+	// The advisor's core constraint family: for each (query, table)
+	// pick at most one access path y, y_qj <= x_j, storage budget on
+	// x. 2 queries, 3 indexes; index 2 helps both queries but busts
+	// the budget combined with others.
+	//
+	// Variables: x0,x1,x2 (build), y00,y01,y02 (q0 uses), y10,y12 (q1).
+	// Benefits: q0: 10,8,9 ; q1: 0,_,12.
+	p := NewProblem(8)
+	x := []int{0, 1, 2}
+	y0 := []int{3, 4, 5}
+	y1 := map[int]int{0: 6, 2: 7}
+	p.Objective[y0[0]], p.Objective[y0[1]], p.Objective[y0[2]] = 10, 8, 9
+	p.Objective[y1[0]], p.Objective[y1[2]] = 0, 12
+	// y <= x links.
+	for j, yv := range y0 {
+		p.AddConstraint(Constraint{Coeffs: map[int]float64{yv: 1, x[j]: -1}, Op: LE, RHS: 0})
+	}
+	for j, yv := range y1 {
+		p.AddConstraint(Constraint{Coeffs: map[int]float64{yv: 1, x[j]: -1}, Op: LE, RHS: 0})
+	}
+	// One access path per query.
+	p.AddConstraint(Constraint{Coeffs: map[int]float64{y0[0]: 1, y0[1]: 1, y0[2]: 1}, Op: LE, RHS: 1})
+	p.AddConstraint(Constraint{Coeffs: map[int]float64{y1[0]: 1, y1[2]: 1}, Op: LE, RHS: 1})
+	// Storage: sizes 5,4,6; budget 11.
+	p.AddConstraint(Constraint{Coeffs: map[int]float64{x[0]: 5, x[1]: 4, x[2]: 6}, Op: LE, RHS: 11})
+	s := solveOK(t, p)
+	// Best: build 0 and 2 (size 11): q0 uses 0 (10), q1 uses 2 (12) = 22.
+	if math.Abs(s.Objective-22) > 1e-6 {
+		t.Errorf("objective = %v, want 22 (x=%v)", s.Objective, s.X)
+	}
+	if s.X[0] != 1 || s.X[2] != 1 {
+		t.Errorf("wrong build set: %v", s.X)
+	}
+}
+
+// TestRandomKnapsackAgainstBruteForce cross-checks the solver on
+// random small knapsacks.
+func TestRandomKnapsackAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(8)
+		values := make([]float64, n)
+		weights := make([]float64, n)
+		for i := range values {
+			values[i] = float64(1 + r.Intn(20))
+			weights[i] = float64(1 + r.Intn(10))
+		}
+		cap := float64(5 + r.Intn(25))
+		p := NewProblem(n)
+		copy(p.Objective, values)
+		coeffs := map[int]float64{}
+		for i, w := range weights {
+			coeffs[i] = w
+		}
+		p.AddConstraint(Constraint{Coeffs: coeffs, Op: LE, RHS: cap})
+		s, err := Solve(p, Options{})
+		if err != nil || s.Status != Optimal {
+			t.Logf("seed %d: solve failed: %v %v", seed, err, s)
+			return false
+		}
+		// Brute force.
+		best := 0.0
+		for mask := 0; mask < 1<<n; mask++ {
+			w, v := 0.0, 0.0
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					w += weights[i]
+					v += values[i]
+				}
+			}
+			if w <= cap && v > best {
+				best = v
+			}
+		}
+		if math.Abs(s.Objective-best) > 1e-6 {
+			t.Logf("seed %d: solver %v, brute force %v", seed, s.Objective, best)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxNodesReturnsIncumbent(t *testing.T) {
+	// A problem large enough to need branching, with a tiny node
+	// budget: we still expect a feasible (if unproven) answer or an
+	// explicit NodeLimit.
+	r := rand.New(rand.NewSource(42))
+	n := 25
+	p := NewProblem(n)
+	coeffs := map[int]float64{}
+	for i := 0; i < n; i++ {
+		p.Objective[i] = float64(1 + r.Intn(30))
+		coeffs[i] = float64(1 + r.Intn(12))
+	}
+	p.AddConstraint(Constraint{Coeffs: coeffs, Op: LE, RHS: 40})
+	s, err := Solve(p, Options{MaxNodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status == Optimal {
+		// Fine: solved within 3 nodes.
+		return
+	}
+	if s.Status != NodeLimit {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if s.X != nil && !feasible(p, s.X) {
+		t.Error("node-limited incumbent is infeasible")
+	}
+}
+
+func TestGapTermination(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	n := 20
+	p := NewProblem(n)
+	coeffs := map[int]float64{}
+	for i := 0; i < n; i++ {
+		p.Objective[i] = float64(1 + r.Intn(30))
+		coeffs[i] = float64(1 + r.Intn(12))
+	}
+	p.AddConstraint(Constraint{Coeffs: coeffs, Op: LE, RHS: 50})
+	exact, err := Solve(p, Options{})
+	if err != nil || exact.Status != Optimal {
+		t.Fatalf("exact solve failed: %v %v", err, exact)
+	}
+	approx, err := Solve(p, Options{Gap: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if approx.Objective < 0.9*exact.Objective-1e-6 {
+		t.Errorf("10%% gap solution too weak: %v vs %v", approx.Objective, exact.Objective)
+	}
+	if approx.Nodes > exact.Nodes {
+		t.Errorf("gap search used more nodes (%d) than exact (%d)", approx.Nodes, exact.Nodes)
+	}
+}
+
+func TestContinuousVariables(t *testing.T) {
+	// One continuous variable: LP optimum at the fractional point.
+	p := NewProblem(1)
+	p.Binary[0] = false
+	p.Objective = []float64{1}
+	p.AddConstraint(Constraint{Coeffs: map[int]float64{0: 2}, Op: LE, RHS: 1})
+	s := solveOK(t, p)
+	if math.Abs(s.X[0]-0.5) > 1e-6 {
+		t.Errorf("continuous x = %v, want 0.5", s.X[0])
+	}
+}
+
+func TestDegenerateAndRedundantConstraints(t *testing.T) {
+	p := NewProblem(2)
+	p.Objective = []float64{1, 2}
+	p.AddConstraint(Constraint{Coeffs: map[int]float64{0: 1, 1: 1}, Op: LE, RHS: 1})
+	p.AddConstraint(Constraint{Coeffs: map[int]float64{0: 1, 1: 1}, Op: LE, RHS: 1}) // duplicate
+	p.AddConstraint(Constraint{Coeffs: map[int]float64{0: 0, 1: 0}, Op: LE, RHS: 0}) // vacuous
+	p.AddConstraint(Constraint{Coeffs: map[int]float64{0: 1}, Op: GE, RHS: 0})       // redundant
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-2) > 1e-6 {
+		t.Errorf("objective = %v, want 2", s.Objective)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// x0 - x1 >= -1 is always satisfiable; max x0+x1 = 2.
+	p := NewProblem(2)
+	p.Objective = []float64{1, 1}
+	p.AddConstraint(Constraint{Coeffs: map[int]float64{0: 1, 1: -1}, Op: GE, RHS: -1})
+	s := solveOK(t, p)
+	if math.Abs(s.Objective-2) > 1e-6 {
+		t.Errorf("objective = %v, want 2", s.Objective)
+	}
+}
+
+func TestIncumbentHandlesGatedVariables(t *testing.T) {
+	// The advisor's program shape: y's carry the benefit but are
+	// gated by x's with slightly negative objective (build penalty).
+	// With a tiny node budget the incumbent heuristic alone must find
+	// a good feasible solution — all-zeros would be a uselessly weak
+	// incumbent here.
+	const pairs = 20
+	p := NewProblem(2 * pairs) // x_i at 2i, y_i at 2i+1
+	for i := 0; i < pairs; i++ {
+		x, y := 2*i, 2*i+1
+		p.Objective[x] = -0.001
+		p.Objective[y] = float64(1 + i)
+		p.AddConstraint(Constraint{Coeffs: map[int]float64{y: 1, x: -1}, Op: LE, RHS: 0})
+	}
+	s, err := Solve(p, Options{MaxNodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.X == nil {
+		t.Fatal("no feasible solution found")
+	}
+	// Optimal is Σ(1..20) - 20*0.001 ≈ 209.98; demand at least 90% of
+	// it from the incumbent under the 2-node budget.
+	if s.Objective < 0.9*209.98 {
+		t.Errorf("incumbent too weak: %.2f", s.Objective)
+	}
+}
+
+func TestDantzigAndBlandAgree(t *testing.T) {
+	// The pivot-rule switch must not change optima.
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + r.Intn(6)
+		p := NewProblem(n)
+		coeffs := map[int]float64{}
+		for i := 0; i < n; i++ {
+			p.Objective[i] = float64(1 + r.Intn(20))
+			coeffs[i] = float64(1 + r.Intn(8))
+		}
+		p.AddConstraint(Constraint{Coeffs: coeffs, Op: LE, RHS: float64(6 + r.Intn(20))})
+		s, err := Solve(p, Options{})
+		if err != nil || s.Status != Optimal {
+			t.Fatalf("trial %d: %v %v", trial, err, s)
+		}
+		// Brute force.
+		best := 0.0
+		for mask := 0; mask < 1<<n; mask++ {
+			w, v := 0.0, 0.0
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					w += coeffs[i]
+					v += p.Objective[i]
+				}
+			}
+			if w <= p.Cons[0].RHS && v > best {
+				best = v
+			}
+		}
+		if math.Abs(s.Objective-best) > 1e-6 {
+			t.Errorf("trial %d: solver %v brute %v", trial, s.Objective, best)
+		}
+	}
+}

@@ -1,0 +1,382 @@
+// Package ilp is a small exact solver for the 0/1 integer linear
+// programs PARINDA's index advisor builds (§3.4): a dense two-phase
+// primal simplex for the LP relaxation and best-first branch and
+// bound for integrality. It replaces the "standard off-the-shelf
+// combinatorial solver" the paper uses; the programs involved (a few
+// hundred binaries, sparse constraints) are well within reach of a
+// textbook implementation.
+package ilp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Op is a constraint relation.
+type Op int
+
+// Constraint relations.
+const (
+	LE Op = iota // Σ aᵢxᵢ ≤ b
+	GE           // Σ aᵢxᵢ ≥ b
+	EQ           // Σ aᵢxᵢ = b
+)
+
+// Constraint is one sparse linear constraint.
+type Constraint struct {
+	Coeffs map[int]float64
+	Op     Op
+	RHS    float64
+	// Name labels the constraint in error messages and debugging.
+	Name string
+}
+
+// Problem is a linear program over variables x ∈ [0,1]^n, maximized.
+// Variables marked Binary must take integer values in the final
+// solution (Solve enforces this by branch and bound).
+type Problem struct {
+	NumVars   int
+	Objective []float64 // maximize Objective · x
+	Cons      []Constraint
+	Binary    []bool // len NumVars; false = continuous in [0,1]
+	// Priority optionally ranks variables for branching: higher
+	// values branch first. In programs where one variable class gates
+	// another (the advisor's x's gating its y's), branching only on
+	// the gating class collapses the search. nil = uniform priority.
+	Priority []int
+}
+
+// NewProblem returns a problem with n variables, all binary.
+func NewProblem(n int) *Problem {
+	bin := make([]bool, n)
+	for i := range bin {
+		bin[i] = true
+	}
+	return &Problem{
+		NumVars:   n,
+		Objective: make([]float64, n),
+		Binary:    bin,
+	}
+}
+
+// AddConstraint appends a constraint.
+func (p *Problem) AddConstraint(c Constraint) { p.Cons = append(p.Cons, c) }
+
+// Status is the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	NodeLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case NodeLimit:
+		return "node limit reached"
+	}
+	return "?"
+}
+
+const eps = 1e-9
+
+// lpResult is the outcome of one LP relaxation solve.
+type lpResult struct {
+	status Status
+	x      []float64
+	obj    float64
+}
+
+// solveLP solves the LP relaxation of p with additional variable
+// bounds lo/hi (each in [0,1]) using a dense two-phase primal simplex
+// with Bland's rule.
+//
+// The tableau encodes: original variables, slack/surplus variables,
+// then artificials. Upper bounds xᵢ ≤ hiᵢ become explicit ≤ rows;
+// lower bounds xᵢ ≥ loᵢ (only 0 or 1 during branching) become ≥ rows
+// when loᵢ > 0.
+func solveLP(p *Problem, lo, hi []float64) lpResult {
+	type row struct {
+		coeffs []float64
+		op     Op
+		rhs    float64
+	}
+	n := p.NumVars
+	var rows []row
+	for _, c := range p.Cons {
+		r := row{coeffs: make([]float64, n), op: c.Op, rhs: c.RHS}
+		for i, v := range c.Coeffs {
+			if i < 0 || i >= n {
+				return lpResult{status: Infeasible}
+			}
+			r.coeffs[i] += v
+		}
+		rows = append(rows, r)
+	}
+	for i := 0; i < n; i++ {
+		r := row{coeffs: make([]float64, n), op: LE, rhs: hi[i]}
+		r.coeffs[i] = 1
+		rows = append(rows, r)
+		if lo[i] > eps {
+			g := row{coeffs: make([]float64, n), op: GE, rhs: lo[i]}
+			g.coeffs[i] = 1
+			rows = append(rows, g)
+		}
+	}
+	// Normalize to non-negative RHS.
+	for i := range rows {
+		if rows[i].rhs < 0 {
+			for j := range rows[i].coeffs {
+				rows[i].coeffs[j] = -rows[i].coeffs[j]
+			}
+			rows[i].rhs = -rows[i].rhs
+			switch rows[i].op {
+			case LE:
+				rows[i].op = GE
+			case GE:
+				rows[i].op = LE
+			}
+		}
+	}
+
+	m := len(rows)
+	// Count columns: n vars + one slack/surplus per LE/GE + one
+	// artificial per GE/EQ.
+	slackCount, artCount := 0, 0
+	for _, r := range rows {
+		switch r.op {
+		case LE, GE:
+			slackCount++
+		}
+		if r.op != LE {
+			artCount++
+		}
+	}
+	cols := n + slackCount + artCount + 1 // +1 RHS
+	tab := make([][]float64, m)
+	basis := make([]int, m)
+	slackAt, artAt := n, n+slackCount
+	artStart := n + slackCount
+	for i, r := range rows {
+		tab[i] = make([]float64, cols)
+		copy(tab[i], r.coeffs)
+		tab[i][cols-1] = r.rhs
+		switch r.op {
+		case LE:
+			tab[i][slackAt] = 1
+			basis[i] = slackAt
+			slackAt++
+		case GE:
+			tab[i][slackAt] = -1
+			slackAt++
+			tab[i][artAt] = 1
+			basis[i] = artAt
+			artAt++
+		case EQ:
+			tab[i][artAt] = 1
+			basis[i] = artAt
+			artAt++
+		}
+	}
+
+	// Phase 1: minimize the sum of artificials (maximize the
+	// negative). Objective row z holds reduced costs.
+	pivot := func(obj []float64, allowedCols int) Status {
+		maxIter := 200 * (m + cols)
+		// Dantzig's rule (steepest reduced cost) for speed; after a
+		// long degenerate stretch switch to Bland's rule, which
+		// guarantees termination.
+		blandAfter := 10 * (m + cols)
+		for iter := 0; iter < maxIter; iter++ {
+			enter := -1
+			if iter < blandAfter {
+				bestRC := eps
+				for j := 0; j < allowedCols; j++ {
+					if obj[j] > bestRC {
+						bestRC = obj[j]
+						enter = j
+					}
+				}
+			} else {
+				for j := 0; j < allowedCols; j++ {
+					if obj[j] > eps {
+						enter = j
+						break
+					}
+				}
+			}
+			if enter < 0 {
+				return Optimal
+			}
+			// Leaving: min ratio, Bland tie-break on basis index.
+			leave := -1
+			best := math.Inf(1)
+			for i := 0; i < m; i++ {
+				a := tab[i][enter]
+				if a > eps {
+					ratio := tab[i][cols-1] / a
+					if ratio < best-eps || (math.Abs(ratio-best) <= eps && (leave < 0 || basis[i] < basis[leave])) {
+						best = ratio
+						leave = i
+					}
+				}
+			}
+			if leave < 0 {
+				return Unbounded
+			}
+			// Pivot on (leave, enter).
+			pv := tab[leave][enter]
+			for j := 0; j < cols; j++ {
+				tab[leave][j] /= pv
+			}
+			for i := 0; i < m; i++ {
+				if i == leave {
+					continue
+				}
+				f := tab[i][enter]
+				if f != 0 {
+					for j := 0; j < cols; j++ {
+						tab[i][j] -= f * tab[leave][j]
+					}
+				}
+			}
+			f := obj[enter]
+			if f != 0 {
+				for j := 0; j < cols; j++ {
+					obj[j] -= f * tab[leave][j]
+				}
+			}
+			basis[leave] = enter
+		}
+		return NodeLimit // iteration limit: treat as failure
+	}
+
+	if artCount > 0 {
+		phase1 := make([]float64, cols)
+		// maximize -Σ artificials → reduced costs start as Σ of
+		// artificial rows (standard trick).
+		for j := artStart; j < artStart+artCount; j++ {
+			phase1[j] = -1
+		}
+		// Make reduced costs consistent with the starting basis
+		// (artificials basic): add their rows.
+		for i := 0; i < m; i++ {
+			if basis[i] >= artStart {
+				for j := 0; j < cols; j++ {
+					phase1[j] += tab[i][j]
+				}
+			}
+		}
+		st := pivot(phase1, cols-1)
+		if st == Unbounded || st == NodeLimit {
+			return lpResult{status: Infeasible}
+		}
+		// Artificial sum must be ~0 for feasibility.
+		if phase1[cols-1] > 1e-6 {
+			return lpResult{status: Infeasible}
+		}
+		// Drive any artificial still in the basis out (degenerate);
+		// if impossible, its row is redundant with RHS 0.
+		for i := 0; i < m; i++ {
+			if basis[i] < artStart {
+				continue
+			}
+			swapped := false
+			for j := 0; j < artStart; j++ {
+				if math.Abs(tab[i][j]) > eps {
+					pv := tab[i][j]
+					for k := 0; k < cols; k++ {
+						tab[i][k] /= pv
+					}
+					for r := 0; r < m; r++ {
+						if r == i {
+							continue
+						}
+						f := tab[r][j]
+						if f != 0 {
+							for k := 0; k < cols; k++ {
+								tab[r][k] -= f * tab[i][k]
+							}
+						}
+					}
+					basis[i] = j
+					swapped = true
+					break
+				}
+			}
+			_ = swapped
+		}
+	}
+
+	// Phase 2: maximize the real objective.
+	phase2 := make([]float64, cols)
+	for j := 0; j < n; j++ {
+		phase2[j] = p.Objective[j]
+	}
+	// Adjust for current basis.
+	for i := 0; i < m; i++ {
+		bj := basis[i]
+		var cb float64
+		if bj < n {
+			cb = p.Objective[bj]
+		}
+		if cb != 0 {
+			for j := 0; j < cols; j++ {
+				phase2[j] -= cb * tab[i][j]
+			}
+		}
+	}
+	// Forbid artificials from re-entering by excluding their columns.
+	st := pivot(phase2, artStart)
+	if st == Unbounded {
+		return lpResult{status: Unbounded}
+	}
+	if st == NodeLimit {
+		return lpResult{status: Infeasible}
+	}
+
+	x := make([]float64, n)
+	for i := 0; i < m; i++ {
+		if basis[i] < n {
+			x[basis[i]] = tab[i][cols-1]
+		}
+	}
+	obj := 0.0
+	for j := 0; j < n; j++ {
+		if x[j] < 0 && x[j] > -1e-7 {
+			x[j] = 0
+		}
+		obj += p.Objective[j] * x[j]
+	}
+	return lpResult{status: Optimal, x: x, obj: obj}
+}
+
+// Validate performs basic sanity checks on the problem shape.
+func (p *Problem) Validate() error {
+	if p.NumVars <= 0 {
+		return fmt.Errorf("ilp: problem has no variables")
+	}
+	if len(p.Objective) != p.NumVars {
+		return fmt.Errorf("ilp: objective has %d coefficients for %d variables", len(p.Objective), p.NumVars)
+	}
+	if len(p.Binary) != p.NumVars {
+		return fmt.Errorf("ilp: binary flags have %d entries for %d variables", len(p.Binary), p.NumVars)
+	}
+	for _, c := range p.Cons {
+		for i := range c.Coeffs {
+			if i < 0 || i >= p.NumVars {
+				return fmt.Errorf("ilp: constraint %q references variable %d of %d", c.Name, i, p.NumVars)
+			}
+		}
+	}
+	return nil
+}

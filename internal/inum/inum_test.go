@@ -1,0 +1,209 @@
+package inum
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/sql"
+)
+
+func testCatalog(t testing.TB) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	mk := func(ddl string, rows int64) *catalog.Table {
+		st, err := sql.Parse(ddl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab := catalog.NewTable(st.(*sql.CreateTable))
+		tab.RowCount = rows
+		tab.Pages = tab.EstimatePages(rows)
+		if err := cat.AddTable(tab); err != nil {
+			t.Fatal(err)
+		}
+		return tab
+	}
+	po := mk(`CREATE TABLE photoobj (objid bigint, ra float8, dec float8, run int,
+		type int, r float8, PRIMARY KEY (objid))`, 500000)
+	po.Column("objid").Stats = catalog.SyntheticUniformStats(0, 5e5, 500000, 5e5)
+	po.Column("ra").Stats = catalog.SyntheticUniformStats(0, 360, 500000, 400000)
+	po.Column("dec").Stats = catalog.SyntheticUniformStats(-90, 90, 500000, 400000)
+	po.Column("run").Stats = catalog.SyntheticUniformStats(0, 100, 500000, 100)
+	po.Column("type").Stats = catalog.SyntheticUniformStats(0, 6, 500000, 2)
+	po.Column("r").Stats = catalog.SyntheticUniformStats(12, 26, 500000, 300000)
+
+	so := mk(`CREATE TABLE specobj (specid bigint, bestobjid bigint, z float8,
+		PRIMARY KEY (specid))`, 50000)
+	so.Column("specid").Stats = catalog.SyntheticUniformStats(0, 5e4, 50000, 5e4)
+	so.Column("bestobjid").Stats = catalog.SyntheticUniformStats(0, 5e5, 50000, 48000)
+	so.Column("z").Stats = catalog.SyntheticUniformStats(0, 3, 50000, 45000)
+	return cat
+}
+
+func parse(t testing.TB, q string) *sql.Select {
+	t.Helper()
+	sel, err := sql.ParseSelect(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sel
+}
+
+func TestCostMatchesOptimizerExactlyOnFirstCall(t *testing.T) {
+	c := New(testCatalog(t))
+	q := parse(t, "SELECT objid FROM photoobj WHERE ra BETWEEN 10 AND 10.5")
+	cfg := Config{{Table: "photoobj", Columns: []string{"ra"}}}
+	inumCost, err := c.Cost(q, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullCost, err := c.FullOptimizerCost(q, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single-table query: internal ≈ 0, so INUM should be near exact.
+	if rel := math.Abs(inumCost-fullCost) / fullCost; rel > 0.05 {
+		t.Errorf("INUM %v vs optimizer %v (rel err %.3f)", inumCost, fullCost, rel)
+	}
+}
+
+func TestCacheHitsAcrossConfigurations(t *testing.T) {
+	c := New(testCatalog(t))
+	q := parse(t, `SELECT p.objid FROM photoobj p, specobj s
+		WHERE p.objid = s.bestobjid AND p.ra BETWEEN 10 AND 10.2 AND s.z > 1`)
+	// Different concrete indexes, same scenario (photoobj indexed,
+	// specobj not): second call must be a cache hit.
+	cfgs := []Config{
+		{{Table: "photoobj", Columns: []string{"ra"}}},
+		{{Table: "photoobj", Columns: []string{"ra", "dec"}}},
+		{{Table: "photoobj", Columns: []string{"ra", "type"}}},
+	}
+	for _, cfg := range cfgs {
+		if _, err := c.Cost(q, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Misses != 1 {
+		t.Errorf("misses = %d, want 1 (one scenario)", c.Misses)
+	}
+	if c.Hits != 2 {
+		t.Errorf("hits = %d, want 2", c.Hits)
+	}
+	// A config with no applicable index is a different scenario.
+	if _, err := c.Cost(q, Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Misses != 2 {
+		t.Errorf("misses = %d after new scenario, want 2", c.Misses)
+	}
+}
+
+func TestINUMAccuracyAcrossConfigs(t *testing.T) {
+	c := New(testCatalog(t))
+	q := parse(t, `SELECT p.objid FROM photoobj p, specobj s
+		WHERE p.objid = s.bestobjid AND p.ra BETWEEN 10 AND 10.2`)
+	cfgs := []Config{
+		{},
+		{{Table: "photoobj", Columns: []string{"ra"}}},
+		{{Table: "photoobj", Columns: []string{"ra", "dec"}}},
+		{{Table: "specobj", Columns: []string{"bestobjid"}}},
+		{{Table: "photoobj", Columns: []string{"ra"}}, {Table: "specobj", Columns: []string{"bestobjid"}}},
+	}
+	var inumCosts, fullCosts []float64
+	for _, cfg := range cfgs {
+		ic, err := c.Cost(q, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fc, err := c.FullOptimizerCost(q, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inumCosts = append(inumCosts, ic)
+		fullCosts = append(fullCosts, fc)
+		if rel := math.Abs(ic-fc) / fc; rel > 0.5 {
+			t.Errorf("config %v: INUM %v vs optimizer %v (rel err %.2f)", cfg, ic, fc, rel)
+		}
+	}
+	// Ranking of the empty config vs the fully indexed config must be
+	// preserved: indexes help.
+	if !(inumCosts[4] < inumCosts[0]) {
+		t.Errorf("INUM lost the benefit ordering: %v", inumCosts)
+	}
+	if !(fullCosts[4] < fullCosts[0]) {
+		t.Errorf("optimizer baseline inconsistent: %v", fullCosts)
+	}
+}
+
+func TestINUMFarFewerOptimizerCalls(t *testing.T) {
+	c := New(testCatalog(t))
+	q := parse(t, `SELECT p.objid FROM photoobj p, specobj s
+		WHERE p.objid = s.bestobjid AND p.ra BETWEEN 10 AND 10.2 AND p.run = 5 AND s.z > 1`)
+	// Enumerate many configurations over photoobj column subsets.
+	cols := []string{"ra", "dec", "run", "type", "r"}
+	var cfgs []Config
+	for i := 0; i < len(cols); i++ {
+		for j := 0; j < len(cols); j++ {
+			if i == j {
+				cfgs = append(cfgs, Config{{Table: "photoobj", Columns: []string{cols[i]}}})
+			} else {
+				cfgs = append(cfgs, Config{{Table: "photoobj", Columns: []string{cols[i], cols[j]}}})
+			}
+		}
+	}
+	c.ResetStats()
+	for _, cfg := range cfgs {
+		if _, err := c.Cost(q, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := c.Hits + c.Misses
+	if total != int64(len(cfgs)) {
+		t.Fatalf("accounting wrong: %d calls for %d configs", total, len(cfgs))
+	}
+	// Full planning would be 1 call per config (25); INUM should plan
+	// at most 2 per *scenario* (here ≤ 2 scenarios: indexed / not).
+	if c.PlanerCalls >= int64(len(cfgs)) {
+		t.Errorf("INUM used %d optimizer calls for %d configs", c.PlanerCalls, len(cfgs))
+	}
+	if c.CachedScenarios() > 4 {
+		t.Errorf("scenarios = %d, expected a handful", c.CachedScenarios())
+	}
+}
+
+func TestCostErrorsPropagate(t *testing.T) {
+	c := New(testCatalog(t))
+	q := parse(t, "SELECT objid FROM photoobj")
+	if _, err := c.Cost(q, Config{{Table: "nosuch", Columns: []string{"x"}}}); err == nil {
+		t.Error("bad config accepted")
+	}
+	badQ := parse(t, "SELECT nosuch FROM photoobj")
+	if _, err := c.Cost(badQ, nil); err == nil {
+		t.Error("bad query accepted")
+	}
+}
+
+func TestSpecKeyAndSort(t *testing.T) {
+	specs := []IndexSpec{
+		{Table: "b", Columns: []string{"x"}},
+		{Table: "a", Columns: []string{"y", "z"}},
+		{Table: "a", Columns: []string{"x"}},
+	}
+	SortSpecs(specs)
+	if specs[0].Key() != "a(x)" || specs[2].Key() != "b(x)" {
+		t.Errorf("sorted: %v", specs)
+	}
+}
+
+func TestSpecSizeBytes(t *testing.T) {
+	c := New(testCatalog(t))
+	sz, err := c.SpecSizeBytes(IndexSpec{Table: "photoobj", Columns: []string{"ra"}})
+	if err != nil || sz <= 0 {
+		t.Errorf("size = %d, %v", sz, err)
+	}
+	wider, err := c.SpecSizeBytes(IndexSpec{Table: "photoobj", Columns: []string{"ra", "dec", "r"}})
+	if err != nil || wider <= sz {
+		t.Errorf("wider index (%d) must exceed narrow (%d)", wider, sz)
+	}
+}

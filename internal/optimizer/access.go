@@ -1,0 +1,72 @@
+package optimizer
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/sql"
+)
+
+// AccessPath summarizes the cheapest access path for one relation of a
+// query: what INUM recomputes per configuration without re-running
+// join optimization.
+type AccessPath struct {
+	Table string
+	Alias string
+	// Index is the chosen index name, empty for a sequential scan.
+	Index string
+	Cost  float64
+	Rows  float64
+}
+
+// AccessPathCost computes the cheapest access path for the relation
+// bound to alias in sel, considering only that relation's restriction
+// clauses. It costs O(indexes on the table) — no join enumeration —
+// which is what makes INUM's cache reconstruction fast.
+func (p *Planner) AccessPathCost(sel *sql.Select, alias string) (AccessPath, error) {
+	b, err := newBinder(p, sel)
+	if err != nil {
+		return AccessPath{}, err
+	}
+	rel := b.byAlias[alias]
+	if rel == nil {
+		return AccessPath{}, fmt.Errorf("optimizer: query has no relation %q", alias)
+	}
+	conjuncts := sql.ConjunctsOf(sel.Where)
+	for _, j := range sel.Joins {
+		conjuncts = append(conjuncts, sql.ConjunctsOf(j.Cond)...)
+	}
+	for _, c := range conjuncts {
+		mask, err := b.relsOf(c)
+		if err != nil {
+			return AccessPath{}, err
+		}
+		if mask == rel.id && bits.OnesCount64(mask) == 1 {
+			rel.restrict = append(rel.restrict, c)
+		}
+	}
+	p.makeAccessPaths(b, rel)
+	ap := AccessPath{
+		Table: rel.info.Table.Name,
+		Alias: alias,
+		Cost:  rel.path.TotalCost,
+		Rows:  rel.path.Rows,
+	}
+	if rel.path.Type == NodeIndexScan {
+		ap.Index = rel.path.Index.Name
+	}
+	return ap, nil
+}
+
+// RelationAliases returns the effective alias of every relation in
+// sel, in FROM-list order.
+func RelationAliases(sel *sql.Select) []string {
+	var out []string
+	for _, tr := range sel.From {
+		out = append(out, tr.EffectiveName())
+	}
+	for _, j := range sel.Joins {
+		out = append(out, j.Table.EffectiveName())
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package optimizer
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/sql"
+)
+
+// RelationInfo is the planner's view of one base relation: its table
+// statistics and the indexes available on it. The what-if layer
+// replaces or extends this through RelationInfoHook.
+type RelationInfo struct {
+	Table   *catalog.Table
+	Indexes []*catalog.Index
+}
+
+// RelationInfoHook intercepts relation lookup at plan time — the
+// analogue of PostgreSQL's get_relation_info_hook. It receives the
+// catalog's view and returns the view the planner should use. Hooks
+// must not mutate the input; they return modified copies.
+type RelationInfoHook func(name string, info *RelationInfo) *RelationInfo
+
+// baseRel is one bound FROM-list entry during planning.
+type baseRel struct {
+	id       uint64 // singleton bitmask
+	ref      sql.TableRef
+	info     *RelationInfo
+	restrict []sql.Expr // single-relation conjuncts
+	rows     float64    // cardinality after restriction
+	path     *Plan      // cheapest access path
+}
+
+// binder resolves column references to relations.
+type binder struct {
+	rels    []*baseRel
+	byAlias map[string]*baseRel
+}
+
+func newBinder(p *Planner, sel *sql.Select) (*binder, error) {
+	refs := append([]sql.TableRef(nil), sel.From...)
+	for _, j := range sel.Joins {
+		refs = append(refs, j.Table)
+	}
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("optimizer: query references no tables")
+	}
+	if len(refs) > 63 {
+		return nil, fmt.Errorf("optimizer: too many relations (%d)", len(refs))
+	}
+	b := &binder{byAlias: make(map[string]*baseRel, len(refs))}
+	for i, ref := range refs {
+		info, err := p.relationInfo(ref.Table)
+		if err != nil {
+			return nil, err
+		}
+		rel := &baseRel{id: 1 << uint(i), ref: ref, info: info}
+		alias := ref.EffectiveName()
+		if _, dup := b.byAlias[alias]; dup {
+			return nil, fmt.Errorf("optimizer: duplicate table alias %q", alias)
+		}
+		b.byAlias[alias] = rel
+		b.rels = append(b.rels, rel)
+	}
+	return b, nil
+}
+
+// resolveColumn finds the relation and column a reference denotes.
+func (b *binder) resolveColumn(ref *sql.ColumnRef) (*baseRel, *catalog.Column, error) {
+	if ref.Table != "" {
+		rel := b.byAlias[ref.Table]
+		if rel == nil {
+			return nil, nil, fmt.Errorf("optimizer: unknown table alias %q", ref.Table)
+		}
+		col := rel.info.Table.Column(ref.Column)
+		if col == nil {
+			return nil, nil, fmt.Errorf("optimizer: unknown column %q", ref.String())
+		}
+		return rel, col, nil
+	}
+	var foundRel *baseRel
+	var foundCol *catalog.Column
+	for _, rel := range b.rels {
+		if col := rel.info.Table.Column(ref.Column); col != nil {
+			if foundRel != nil {
+				return nil, nil, fmt.Errorf("optimizer: ambiguous column %q", ref.Column)
+			}
+			foundRel, foundCol = rel, col
+		}
+	}
+	if foundRel == nil {
+		return nil, nil, fmt.Errorf("optimizer: unknown column %q", ref.Column)
+	}
+	return foundRel, foundCol, nil
+}
+
+// relsOf returns the bitmask of relations an expression references.
+// Unresolvable references surface as an error.
+func (b *binder) relsOf(e sql.Expr) (uint64, error) {
+	var mask uint64
+	var firstErr error
+	sql.WalkExprs(e, func(x sql.Expr) {
+		ref, ok := x.(*sql.ColumnRef)
+		if !ok || ref.Column == "*" {
+			return
+		}
+		rel, _, err := b.resolveColumn(ref)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			return
+		}
+		mask |= rel.id
+	})
+	return mask, firstErr
+}
+
+// relByMask returns the single relation for a singleton bitmask.
+func (b *binder) relByMask(mask uint64) *baseRel {
+	for _, rel := range b.rels {
+		if rel.id == mask {
+			return rel
+		}
+	}
+	return nil
+}
+
+// allMask is the bitmask covering every relation.
+func (b *binder) allMask() uint64 {
+	var m uint64
+	for _, rel := range b.rels {
+		m |= rel.id
+	}
+	return m
+}

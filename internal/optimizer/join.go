@@ -1,0 +1,258 @@
+package optimizer
+
+import (
+	"math"
+	"math/bits"
+
+	"repro/internal/sql"
+)
+
+// joinClause is a conjunct referencing two or more relations.
+type joinClause struct {
+	expr sql.Expr
+	mask uint64
+}
+
+// dpJoinOrder runs System-R dynamic programming over connected
+// subsets, returning the cheapest plan joining every relation. The
+// search is exhaustive — PARINDA's pitch is precisely that it does not
+// prune the candidate space greedily — and our workloads join at most
+// a handful of tables, so exhaustive stays interactive.
+func (p *Planner) dpJoinOrder(b *binder, clauses []joinClause) *Plan {
+	all := b.allMask()
+	dp := make(map[uint64]*Plan)
+	rows := make(map[uint64]float64)
+	for _, rel := range b.rels {
+		dp[rel.id] = rel.path
+		rows[rel.id] = rel.rows
+	}
+	if bits.OnesCount64(all) == 1 {
+		return dp[all]
+	}
+
+	// subsetRows computes the consistent cardinality of a subset:
+	// base rows times every internal join clause's selectivity.
+	subsetRows := func(s uint64) float64 {
+		r := 1.0
+		for _, rel := range b.rels {
+			if rel.id&s != 0 {
+				r *= rel.rows
+			}
+		}
+		for _, jc := range clauses {
+			if jc.mask&s == jc.mask {
+				r *= b.clauseSelectivity(jc.expr)
+			}
+		}
+		return clampRows(r)
+	}
+
+	n := bits.OnesCount64(all)
+	// Enumerate subsets by increasing size.
+	subsetsBySize := make([][]uint64, n+1)
+	for s := uint64(1); s <= all; s++ {
+		if s&all != s {
+			continue
+		}
+		c := bits.OnesCount64(s)
+		subsetsBySize[c] = append(subsetsBySize[c], s)
+	}
+
+	for size := 2; size <= n; size++ {
+		for _, s := range subsetsBySize[size] {
+			rows[s] = subsetRows(s)
+			var best *Plan
+			tryPairs := func(requireClause bool) {
+				for sub := (s - 1) & s; sub > 0; sub = (sub - 1) & s {
+					other := s ^ sub
+					if sub < other {
+						continue // each unordered pair once; orientations handled below
+					}
+					left, right := dp[sub], dp[other]
+					if left == nil || right == nil {
+						continue
+					}
+					var crossing []sql.Expr
+					for _, jc := range clauses {
+						if jc.mask&s == jc.mask && jc.mask&sub != 0 && jc.mask&other != 0 {
+							crossing = append(crossing, jc.expr)
+						}
+					}
+					if requireClause && len(crossing) == 0 {
+						continue
+					}
+					outRows := rows[s]
+					for _, pl := range p.joinPaths(b, left, right, crossing, outRows) {
+						if best == nil || pl.TotalCost < best.TotalCost {
+							best = pl
+						}
+					}
+				}
+			}
+			tryPairs(true)
+			if best == nil {
+				tryPairs(false) // cartesian fallback for disconnected queries
+			}
+			if best != nil {
+				dp[s] = best
+			}
+		}
+	}
+	return dp[all]
+}
+
+// joinPaths builds candidate join plans for left ⋈ right with the
+// given crossing clauses, in both orientations.
+func (p *Planner) joinPaths(b *binder, left, right *Plan, clauses []sql.Expr, outRows float64) []*Plan {
+	var out []*Plan
+	eq := findSimpleEquijoin(clauses)
+	for _, orient := range [2][2]*Plan{{left, right}, {right, left}} {
+		outer, inner := orient[0], orient[1]
+		out = append(out, p.nestLoopPath(b, outer, inner, clauses, eq, outRows))
+		if eq != nil {
+			out = append(out, p.hashJoinPath(outer, inner, clauses, outRows))
+			out = append(out, p.mergeJoinPath(outer, inner, clauses, outRows))
+		}
+	}
+	return out
+}
+
+// findSimpleEquijoin returns the first clause of shape col = col, the
+// shape hash and merge joins require.
+func findSimpleEquijoin(clauses []sql.Expr) *sql.BinaryExpr {
+	for _, c := range clauses {
+		if be, ok := c.(*sql.BinaryExpr); ok && be.Op == sql.OpEq {
+			_, lok := be.Left.(*sql.ColumnRef)
+			_, rok := be.Right.(*sql.ColumnRef)
+			if lok && rok {
+				return be
+			}
+		}
+	}
+	return nil
+}
+
+// nestLoopPath costs a nested loop; when the inner side is a base
+// relation scan with an index whose leading column appears in an
+// equijoin clause, it re-plans the inner as a parameterized index
+// probe (the plan INUM's nested-loop-enabled cache entry captures).
+func (p *Planner) nestLoopPath(b *binder, outer, inner *Plan, clauses []sql.Expr, eq *sql.BinaryExpr, outRows float64) *Plan {
+	indexed := false
+	innerCost := inner.TotalCost // rescan cost of the materialized inner
+
+	if eq != nil && (inner.Type == NodeSeqScan || inner.Type == NodeIndexScan) {
+		if rel := b.byAlias[inner.Alias]; rel != nil {
+			if probe, ok := p.indexProbeCost(rel, eq, outer, outRows); ok {
+				innerCost = probe
+				indexed = true
+			}
+		}
+	}
+
+	var total float64
+	if indexed {
+		total = outer.TotalCost + clampRows(outer.Rows)*innerCost
+	} else {
+		total = outer.TotalCost + clampRows(outer.Rows)*inner.TotalCost
+		// Per-pair qual evaluation.
+		total += outer.Rows * inner.Rows * float64(len(clauses)) * p.Params.CPUOperatorCost
+	}
+	total += outRows * p.CPUTuple()
+	if !p.Flags.EnableNestLoop {
+		total += DisabledCost
+	}
+	return &Plan{
+		Type:         NodeNestLoop,
+		Outer:        outer,
+		Inner:        inner,
+		JoinCond:     clauses,
+		Rows:         outRows,
+		TotalCost:    total,
+		InnerIndexed: indexed,
+	}
+}
+
+// indexProbeCost returns the cost of one parameterized index probe
+// into rel using the equijoin clause, when rel has a usable index.
+func (p *Planner) indexProbeCost(rel *baseRel, eq *sql.BinaryExpr, outer *Plan, outRows float64) (float64, bool) {
+	// Which side of the clause belongs to this relation?
+	var innerCol *sql.ColumnRef
+	for _, side := range []sql.Expr{eq.Left, eq.Right} {
+		if c, ok := side.(*sql.ColumnRef); ok {
+			if r, _, err := (&binder{rels: []*baseRel{rel}, byAlias: map[string]*baseRel{rel.ref.EffectiveName(): rel}}).resolveColumn(c); err == nil && r == rel {
+				innerCol = c
+			}
+		}
+	}
+	if innerCol == nil {
+		return 0, false
+	}
+	for _, ix := range rel.info.Indexes {
+		if len(ix.Columns) == 0 || ix.Columns[0] != innerCol.Column {
+			continue
+		}
+		// Rows matched per probe: join output shared across outer rows.
+		perProbe := outRows / clampRows(outer.Rows)
+		if perProbe < 0 {
+			perProbe = 0
+		}
+		descent := float64(ix.Height+1) * p.Params.RandomPageCost
+		fetch := perProbe * (p.Params.CPUIndexTuple + p.CPUTuple() + p.Params.RandomPageCost)
+		return descent + fetch, true
+	}
+	return 0, false
+}
+
+// hashJoinPath costs a hash join: build the inner table, probe with
+// the outer.
+func (p *Planner) hashJoinPath(outer, inner *Plan, clauses []sql.Expr, outRows float64) *Plan {
+	startup := inner.TotalCost + clampRows(inner.Rows)*p.Params.CPUOperatorCost
+	total := startup +
+		outer.TotalCost +
+		clampRows(outer.Rows)*p.Params.CPUOperatorCost +
+		outRows*p.CPUTuple()
+	if !p.Flags.EnableHashJoin {
+		total += DisabledCost
+	}
+	return &Plan{
+		Type:        NodeHashJoin,
+		Outer:       outer,
+		Inner:       inner,
+		JoinCond:    clauses,
+		Rows:        outRows,
+		StartupCost: startup,
+		TotalCost:   total,
+	}
+}
+
+// mergeJoinPath costs a merge join with explicit sorts on both inputs
+// (we do not track interesting orders through scans; the sort is
+// always charged, making merge competitive only for large inputs).
+func (p *Planner) mergeJoinPath(outer, inner *Plan, clauses []sql.Expr, outRows float64) *Plan {
+	sortedOuter := p.sortCost(outer)
+	sortedInner := p.sortCost(inner)
+	total := sortedOuter + sortedInner +
+		(clampRows(outer.Rows)+clampRows(inner.Rows))*p.Params.CPUOperatorCost +
+		outRows*p.CPUTuple()
+	if !p.Flags.EnableMergeJoin {
+		total += DisabledCost
+	}
+	return &Plan{
+		Type:      NodeMergeJoin,
+		Outer:     outer,
+		Inner:     inner,
+		JoinCond:  clauses,
+		Rows:      outRows,
+		TotalCost: total,
+	}
+}
+
+// sortCost is input cost plus n·log₂(n) comparison cost.
+func (p *Planner) sortCost(in *Plan) float64 {
+	n := clampRows(in.Rows)
+	cost := in.TotalCost + 2*n*math.Log2(n+1)*p.Params.CPUOperatorCost
+	if !p.Flags.EnableSort {
+		cost += DisabledCost
+	}
+	return cost
+}

@@ -1,0 +1,593 @@
+package optimizer
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/catalog"
+	"repro/internal/sql"
+)
+
+// testCatalog builds an SDSS-like catalog with synthetic statistics:
+// photoobj (1M rows), specobj (100k rows).
+func testCatalog(t testing.TB) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	mk := func(ddl string, rows int64) *catalog.Table {
+		st, err := sql.Parse(ddl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab := catalog.NewTable(st.(*sql.CreateTable))
+		tab.RowCount = rows
+		tab.Pages = tab.EstimatePages(rows)
+		if err := cat.AddTable(tab); err != nil {
+			t.Fatal(err)
+		}
+		return tab
+	}
+	po := mk(`CREATE TABLE photoobj (objid bigint, ra float8, dec float8, run int,
+		camcol int, field int, type int, u float8, g float8, r float8, i float8,
+		z float8, PRIMARY KEY (objid))`, 1000000)
+	po.Column("objid").Stats = catalog.SyntheticUniformStats(0, 1e6, 1000000, 1e6)
+	po.Column("objid").Stats.Correlation = 1 // insertion order
+	po.Column("ra").Stats = catalog.SyntheticUniformStats(0, 360, 1000000, 800000)
+	po.Column("dec").Stats = catalog.SyntheticUniformStats(-90, 90, 1000000, 800000)
+	po.Column("run").Stats = catalog.SyntheticUniformStats(0, 100, 1000000, 100)
+	po.Column("camcol").Stats = catalog.SyntheticUniformStats(1, 6, 1000000, 6)
+	po.Column("field").Stats = catalog.SyntheticUniformStats(0, 1000, 1000000, 1000)
+	typeStats := &catalog.ColumnStats{
+		NDistinct: 2,
+		MCVs: []catalog.MCV{
+			{Value: catalog.IntDatum(3), Freq: 0.4},
+			{Value: catalog.IntDatum(6), Freq: 0.6},
+		},
+		AvgWidth: 4,
+	}
+	po.Column("type").Stats = typeStats
+	for _, band := range []string{"u", "g", "r", "i", "z"} {
+		po.Column(band).Stats = catalog.SyntheticUniformStats(12, 26, 1000000, 500000)
+	}
+
+	so := mk(`CREATE TABLE specobj (specid bigint, bestobjid bigint, z float8,
+		class int, PRIMARY KEY (specid))`, 100000)
+	so.Column("specid").Stats = catalog.SyntheticUniformStats(0, 1e5, 100000, 1e5)
+	so.Column("bestobjid").Stats = catalog.SyntheticUniformStats(0, 1e6, 100000, 95000)
+	so.Column("z").Stats = catalog.SyntheticUniformStats(0, 3, 100000, 90000)
+	so.Column("class").Stats = catalog.SyntheticUniformStats(0, 3, 100000, 4)
+	return cat
+}
+
+func plan(t testing.TB, p *Planner, q string) *Plan {
+	t.Helper()
+	sel, err := sql.ParseSelect(q)
+	if err != nil {
+		t.Fatalf("parse %q: %v", q, err)
+	}
+	pl, err := p.Plan(sel)
+	if err != nil {
+		t.Fatalf("plan %q: %v", q, err)
+	}
+	return pl
+}
+
+func TestSeqScanWhenNoIndex(t *testing.T) {
+	p := New(testCatalog(t))
+	pl := plan(t, p, "SELECT objid FROM photoobj WHERE ra BETWEEN 100 AND 101")
+	if pl.Type != NodeSeqScan {
+		t.Errorf("plan type = %v, want Seq Scan:\n%s", pl.Type, Explain(pl))
+	}
+	// Selectivity ~1/360 of 1M rows.
+	if pl.Rows < 1000 || pl.Rows > 10000 {
+		t.Errorf("rows = %v, want ~2800", pl.Rows)
+	}
+}
+
+func TestIndexScanChosenWhenSelective(t *testing.T) {
+	cat := testCatalog(t)
+	if err := cat.AddIndex(&catalog.Index{
+		Name: "i_ra", Table: "photoobj", Columns: []string{"ra"},
+		Pages: catalog.IndexPages(cat.Table("photoobj"), []string{"ra"}, 1000000),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p := New(cat)
+	pl := plan(t, p, "SELECT objid FROM photoobj WHERE ra BETWEEN 100 AND 101")
+	if pl.Type != NodeIndexScan {
+		t.Fatalf("plan type = %v, want Index Scan:\n%s", pl.Type, Explain(pl))
+	}
+	if pl.Index.Name != "i_ra" {
+		t.Errorf("index = %q", pl.Index.Name)
+	}
+	if len(pl.IndexCond) != 1 {
+		t.Errorf("index conds = %d", len(pl.IndexCond))
+	}
+	// A non-selective predicate keeps the seq scan.
+	pl = plan(t, p, "SELECT objid FROM photoobj WHERE ra > 10")
+	if pl.Type != NodeSeqScan {
+		t.Errorf("non-selective plan = %v, want Seq Scan", pl.Type)
+	}
+}
+
+func TestMulticolumnIndexPrefixMatch(t *testing.T) {
+	cat := testCatalog(t)
+	if err := cat.AddIndex(&catalog.Index{
+		Name: "i_run_camcol_field", Table: "photoobj",
+		Columns: []string{"run", "camcol", "field"},
+		Pages:   catalog.IndexPages(cat.Table("photoobj"), []string{"run", "camcol", "field"}, 1000000),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p := New(cat)
+	// eq + eq + range uses all three columns.
+	pl := plan(t, p, "SELECT objid FROM photoobj WHERE run = 5 AND camcol = 3 AND field BETWEEN 100 AND 200")
+	if pl.Type != NodeIndexScan || len(pl.IndexCond) != 3 {
+		t.Fatalf("want 3-column index match, got:\n%s", Explain(pl))
+	}
+	// Predicate only on a non-leading column cannot use the index.
+	pl = plan(t, p, "SELECT objid FROM photoobj WHERE camcol = 3")
+	if pl.Type != NodeSeqScan {
+		t.Errorf("non-leading column matched index:\n%s", Explain(pl))
+	}
+	// eq on run + range on camcol stops before field.
+	pl = plan(t, p, "SELECT objid FROM photoobj WHERE run = 5 AND camcol > 3 AND field = 7")
+	if pl.Type != NodeIndexScan {
+		t.Fatalf("plan:\n%s", Explain(pl))
+	}
+	if len(pl.IndexCond) != 2 || len(pl.Filter) != 1 {
+		t.Errorf("index conds = %d, filter = %d, want 2 and 1", len(pl.IndexCond), len(pl.Filter))
+	}
+}
+
+func TestRelationInfoHookInjectsHypotheticalIndex(t *testing.T) {
+	cat := testCatalog(t)
+	p := New(cat)
+	q := "SELECT objid FROM photoobj WHERE ra BETWEEN 100 AND 101"
+	before := plan(t, p, q)
+	if before.Type != NodeSeqScan {
+		t.Fatal("expected seq scan before hook")
+	}
+	hypo := &catalog.Index{
+		Name: "<hypo>i_ra", Table: "photoobj", Columns: []string{"ra"},
+		Pages:        catalog.IndexPages(cat.Table("photoobj"), []string{"ra"}, 1000000),
+		Hypothetical: true,
+	}
+	p.RelationInfoHook = func(name string, info *RelationInfo) *RelationInfo {
+		if name != "photoobj" || info == nil {
+			return info
+		}
+		return &RelationInfo{Table: info.Table, Indexes: append(append([]*catalog.Index(nil), info.Indexes...), hypo)}
+	}
+	after := plan(t, p, q)
+	if after.Type != NodeIndexScan || after.Index.Name != "<hypo>i_ra" {
+		t.Fatalf("hook did not inject index:\n%s", Explain(after))
+	}
+	if after.TotalCost >= before.TotalCost {
+		t.Errorf("hypothetical index did not reduce cost: %v >= %v", after.TotalCost, before.TotalCost)
+	}
+	// Removing the hook restores the original plan.
+	p.RelationInfoHook = nil
+	restored := plan(t, p, q)
+	if restored.Type != NodeSeqScan {
+		t.Error("hook removal did not restore plan")
+	}
+}
+
+func TestJoinPlanAndCardinality(t *testing.T) {
+	p := New(testCatalog(t))
+	pl := plan(t, p, `SELECT p.objid, s.z FROM photoobj p, specobj s
+		WHERE p.objid = s.bestobjid`)
+	if pl.Type != NodeHashJoin && pl.Type != NodeMergeJoin && pl.Type != NodeNestLoop {
+		t.Fatalf("top node = %v", pl.Type)
+	}
+	// ~100k rows out: each spec row matches ~1 photo row.
+	if pl.Rows < 10000 || pl.Rows > 1000000 {
+		t.Errorf("join rows = %v, want ~100k", pl.Rows)
+	}
+}
+
+func TestDisableNestLoopChangesPlan(t *testing.T) {
+	cat := testCatalog(t)
+	// Index on the join column makes indexed NL attractive for a
+	// selective outer.
+	if err := cat.AddIndex(&catalog.Index{
+		Name: "i_objid", Table: "photoobj", Columns: []string{"objid"},
+		Pages: catalog.IndexPages(cat.Table("photoobj"), []string{"objid"}, 1000000),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p := New(cat)
+	q := `SELECT p.objid FROM photoobj p, specobj s
+		WHERE p.objid = s.bestobjid AND s.specid = 42`
+	withNL := plan(t, p, q)
+	if withNL.Type != NodeNestLoop || !withNL.InnerIndexed {
+		t.Fatalf("expected indexed nested loop for selective join:\n%s", Explain(withNL))
+	}
+	p.Flags.EnableNestLoop = false
+	withoutNL := plan(t, p, q)
+	if withoutNL.Type == NodeNestLoop {
+		t.Fatalf("nestloop chosen while disabled:\n%s", Explain(withoutNL))
+	}
+	if withoutNL.TotalCost <= withNL.TotalCost {
+		t.Errorf("disabled plan should cost more: %v <= %v", withoutNL.TotalCost, withNL.TotalCost)
+	}
+}
+
+func TestThreeWayJoinOrder(t *testing.T) {
+	cat := testCatalog(t)
+	st, _ := sql.Parse("CREATE TABLE neighbors (objid bigint, neighborobjid bigint, distance float8)")
+	nb := catalog.NewTable(st.(*sql.CreateTable))
+	nb.RowCount = 500000
+	nb.Pages = nb.EstimatePages(500000)
+	nb.Column("objid").Stats = catalog.SyntheticUniformStats(0, 1e6, 500000, 400000)
+	nb.Column("neighborobjid").Stats = catalog.SyntheticUniformStats(0, 1e6, 500000, 400000)
+	nb.Column("distance").Stats = catalog.SyntheticUniformStats(0, 1, 500000, 400000)
+	if err := cat.AddTable(nb); err != nil {
+		t.Fatal(err)
+	}
+	p := New(cat)
+	pl := plan(t, p, `SELECT p.objid FROM photoobj p, specobj s, neighbors n
+		WHERE p.objid = s.bestobjid AND p.objid = n.objid AND s.z > 2.9`)
+	scanned := pl.TablesScanned()
+	if len(scanned) != 3 {
+		t.Fatalf("scanned %v", scanned)
+	}
+	if pl.TotalCost <= 0 || math.IsNaN(pl.TotalCost) {
+		t.Errorf("cost = %v", pl.TotalCost)
+	}
+}
+
+func TestAggregateAndSortCosting(t *testing.T) {
+	p := New(testCatalog(t))
+	base := plan(t, p, "SELECT objid FROM photoobj WHERE run = 5")
+	agg := plan(t, p, "SELECT run, COUNT(*) FROM photoobj WHERE run = 5 GROUP BY run")
+	if agg.Type != NodeAggregate {
+		t.Fatalf("agg plan = %v", agg.Type)
+	}
+	if agg.TotalCost <= base.TotalCost {
+		t.Error("aggregate must add cost")
+	}
+	srt := plan(t, p, "SELECT objid FROM photoobj WHERE run = 5 ORDER BY ra")
+	if srt.Type != NodeSort {
+		t.Fatalf("sort plan = %v", srt.Type)
+	}
+	if srt.TotalCost <= base.TotalCost {
+		t.Error("sort must add cost")
+	}
+	// Group count estimate: run has 100 distinct values.
+	aggAll := plan(t, p, "SELECT run, COUNT(*) FROM photoobj GROUP BY run")
+	if aggAll.Rows < 50 || aggAll.Rows > 200 {
+		t.Errorf("group estimate = %v, want ~100", aggAll.Rows)
+	}
+}
+
+func TestLimitProratesCost(t *testing.T) {
+	p := New(testCatalog(t))
+	full := plan(t, p, "SELECT objid FROM photoobj")
+	lim := plan(t, p, "SELECT objid FROM photoobj LIMIT 10")
+	if lim.Type != NodeLimit {
+		t.Fatalf("limit plan = %v", lim.Type)
+	}
+	if lim.TotalCost >= full.TotalCost {
+		t.Errorf("limit did not reduce cost: %v >= %v", lim.TotalCost, full.TotalCost)
+	}
+	if lim.Rows != 10 {
+		t.Errorf("limit rows = %v", lim.Rows)
+	}
+	// LIMIT above a sort still pays the whole sort (startup cost).
+	limSort := plan(t, p, "SELECT objid FROM photoobj ORDER BY ra LIMIT 10")
+	sortAll := plan(t, p, "SELECT objid FROM photoobj ORDER BY ra")
+	if limSort.TotalCost < 0.9*sortAll.TotalCost {
+		t.Errorf("limit over sort skipped the sort: %v vs %v", limSort.TotalCost, sortAll.TotalCost)
+	}
+}
+
+func TestSelectivityMCV(t *testing.T) {
+	cat := testCatalog(t)
+	p := New(cat)
+	// type = 6 has MCV freq 0.6 → ~600k rows.
+	pl := plan(t, p, "SELECT objid FROM photoobj WHERE type = 6")
+	if pl.Rows < 550000 || pl.Rows > 650000 {
+		t.Errorf("MCV rows = %v, want ~600k", pl.Rows)
+	}
+	pl = plan(t, p, "SELECT objid FROM photoobj WHERE type = 3")
+	if pl.Rows < 350000 || pl.Rows > 450000 {
+		t.Errorf("MCV rows = %v, want ~400k", pl.Rows)
+	}
+	// IN combines both.
+	pl = plan(t, p, "SELECT objid FROM photoobj WHERE type IN (3, 6)")
+	if pl.Rows < 900000 {
+		t.Errorf("IN rows = %v, want ~1M", pl.Rows)
+	}
+}
+
+func TestSelectivityRange(t *testing.T) {
+	p := New(testCatalog(t))
+	// dec in [-90,90]: predicate dec > 0 selects ~half.
+	pl := plan(t, p, "SELECT objid FROM photoobj WHERE dec > 0")
+	if pl.Rows < 400000 || pl.Rows > 600000 {
+		t.Errorf("range rows = %v, want ~500k", pl.Rows)
+	}
+	// Conjunction multiplies.
+	pl = plan(t, p, "SELECT objid FROM photoobj WHERE dec > 0 AND ra < 36")
+	if pl.Rows < 20000 || pl.Rows > 100000 {
+		t.Errorf("conjunct rows = %v, want ~50k", pl.Rows)
+	}
+	// Impossible-ish range clamps but stays positive.
+	pl = plan(t, p, "SELECT objid FROM photoobj WHERE ra > 359.9999")
+	if pl.Rows < 1 {
+		t.Errorf("rows = %v", pl.Rows)
+	}
+}
+
+func TestSelectivityMonotonicRange(t *testing.T) {
+	p := New(testCatalog(t))
+	cost := func(hi float64) float64 {
+		sel, err := sql.ParseSelect("SELECT objid FROM photoobj WHERE ra < 180")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel.Where.(*sql.BinaryExpr).Right = &sql.FloatLit{Value: hi}
+		pl, err := p.Plan(sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pl.Rows
+	}
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return cost(a) <= cost(b)+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExplainOutput(t *testing.T) {
+	cat := testCatalog(t)
+	if err := cat.AddIndex(&catalog.Index{
+		Name: "i_ra", Table: "photoobj", Columns: []string{"ra"},
+		Pages: catalog.IndexPages(cat.Table("photoobj"), []string{"ra"}, 1000000),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p := New(cat)
+	pl := plan(t, p, `SELECT p.objid FROM photoobj p, specobj s
+		WHERE p.objid = s.bestobjid AND p.ra BETWEEN 100 AND 100.5 ORDER BY p.objid`)
+	out := Explain(pl)
+	for _, want := range []string{"Sort", "cost=", "rows="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSameShape(t *testing.T) {
+	p := New(testCatalog(t))
+	a := plan(t, p, "SELECT objid FROM photoobj WHERE ra < 10")
+	b := plan(t, p, "SELECT objid FROM photoobj WHERE ra < 20")
+	if !SameShape(a, b) {
+		t.Error("same-shape plans reported different")
+	}
+	c := plan(t, p, "SELECT objid FROM photoobj ORDER BY ra")
+	if SameShape(a, c) {
+		t.Error("different plans reported same")
+	}
+}
+
+func TestPlannerErrors(t *testing.T) {
+	p := New(testCatalog(t))
+	bad := []string{
+		"SELECT objid FROM nosuch",
+		"SELECT nosuchcol FROM photoobj",
+		"SELECT objid FROM photoobj WHERE nosuchcol = 1",
+		"SELECT p.objid FROM photoobj p, photoobj p WHERE p.ra > 0",
+		"SELECT objid FROM photoobj p, specobj s WHERE z > 0 AND objid = bestobjid ORDER BY nosuch",
+	}
+	for _, q := range bad {
+		sel, err := sql.ParseSelect(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		if _, err := p.Plan(sel); err == nil {
+			t.Errorf("Plan(%q) succeeded, want error", q)
+		}
+	}
+}
+
+func TestAmbiguousColumnAcrossTables(t *testing.T) {
+	p := New(testCatalog(t))
+	// z exists in both photoobj and specobj.
+	sel, err := sql.ParseSelect("SELECT z FROM photoobj, specobj WHERE objid = bestobjid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Plan(sel); err == nil {
+		t.Error("ambiguous column accepted")
+	}
+}
+
+func TestPlanCallsCounter(t *testing.T) {
+	p := New(testCatalog(t))
+	before := p.PlanCalls
+	plan(t, p, "SELECT objid FROM photoobj")
+	plan(t, p, "SELECT objid FROM photoobj")
+	if p.PlanCalls != before+2 {
+		t.Errorf("PlanCalls = %d, want %d", p.PlanCalls, before+2)
+	}
+}
+
+func TestCostDeterminism(t *testing.T) {
+	p := New(testCatalog(t))
+	q := `SELECT p.objid FROM photoobj p, specobj s
+		WHERE p.objid = s.bestobjid AND s.z > 1 ORDER BY p.ra LIMIT 100`
+	c1 := plan(t, p, q).TotalCost
+	for i := 0; i < 5; i++ {
+		if c := plan(t, p, q).TotalCost; c != c1 {
+			t.Fatalf("nondeterministic cost: %v vs %v", c, c1)
+		}
+	}
+}
+
+func TestCorrelationLowersIndexCost(t *testing.T) {
+	cat := testCatalog(t)
+	add := func(name, col string) {
+		if err := cat.AddIndex(&catalog.Index{
+			Name: name, Table: "photoobj", Columns: []string{col},
+			Pages: catalog.IndexPages(cat.Table("photoobj"), []string{col}, 1000000),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("i_objid", "objid") // correlation 1
+	add("i_ra", "ra")       // correlation 0
+	p := New(cat)
+	corr := plan(t, p, "SELECT ra FROM photoobj WHERE objid BETWEEN 0 AND 99999")
+	uncorr := plan(t, p, "SELECT objid FROM photoobj WHERE ra BETWEEN 0 AND 36")
+	if corr.Type != NodeIndexScan {
+		t.Fatalf("correlated scan not indexed:\n%s", Explain(corr))
+	}
+	// Both select ~10%; the correlated one must be much cheaper per
+	// row because heap access is sequential.
+	if corr.TotalCost >= uncorr.TotalCost {
+		t.Errorf("correlated index scan (%v) should beat uncorrelated (%v)",
+			corr.TotalCost, uncorr.TotalCost)
+	}
+}
+
+func TestBitmapAndScanChosen(t *testing.T) {
+	cat := testCatalog(t)
+	for _, col := range []string{"ra", "dec"} {
+		if err := cat.AddIndex(&catalog.Index{
+			Name: "i_" + col, Table: "photoobj", Columns: []string{col},
+			Pages: catalog.IndexPages(cat.Table("photoobj"), []string{col}, 1000000),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := New(cat)
+	// A box search: each predicate alone selects ~3%, together ~0.1%.
+	// Single-index scans fetch ~30k random tuples (worse than a seq
+	// scan); the ANDed bitmap fetches ~900 and wins.
+	q := "SELECT objid FROM photoobj WHERE ra BETWEEN 100 AND 111 AND dec BETWEEN 0 AND 5.5"
+	pl := plan(t, p, q)
+	if pl.Type != NodeBitmapHeapScan {
+		t.Fatalf("plan = %v, want Bitmap Heap Scan:\n%s", pl.Type, Explain(pl))
+	}
+	if len(pl.BitmapIndexes) != 2 {
+		t.Fatalf("bitmap arms = %d", len(pl.BitmapIndexes))
+	}
+	if got := pl.IndexesUsed(); len(got) != 2 {
+		t.Errorf("IndexesUsed = %v", got)
+	}
+	if !strings.Contains(Explain(pl), "BitmapAnd") {
+		t.Errorf("explain missing BitmapAnd:\n%s", Explain(pl))
+	}
+	// Disabling bitmap scans must fall back to another plan type.
+	p.Flags.EnableBitmapScan = false
+	pl2 := plan(t, p, q)
+	if pl2.Type == NodeBitmapHeapScan {
+		t.Errorf("bitmap scan chosen while disabled")
+	}
+}
+
+func TestBitmapNotUsedForSingleArm(t *testing.T) {
+	cat := testCatalog(t)
+	if err := cat.AddIndex(&catalog.Index{
+		Name: "i_ra", Table: "photoobj", Columns: []string{"ra"},
+		Pages: catalog.IndexPages(cat.Table("photoobj"), []string{"ra"}, 1000000),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p := New(cat)
+	pl := plan(t, p, "SELECT objid FROM photoobj WHERE ra BETWEEN 100 AND 100.5")
+	if pl.Type == NodeBitmapHeapScan {
+		t.Error("bitmap scan with a single index arm")
+	}
+}
+
+func TestAccessPathCost(t *testing.T) {
+	cat := testCatalog(t)
+	if err := cat.AddIndex(&catalog.Index{
+		Name: "i_ra", Table: "photoobj", Columns: []string{"ra"},
+		Pages: catalog.IndexPages(cat.Table("photoobj"), []string{"ra"}, 1000000),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p := New(cat)
+	sel, err := sql.ParseSelect(`SELECT p.objid FROM photoobj p, specobj s
+		WHERE p.objid = s.bestobjid AND p.ra BETWEEN 10 AND 10.1 AND s.z > 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, err := p.AccessPathCost(sel, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap.Index != "i_ra" {
+		t.Errorf("access path index = %q, want i_ra", ap.Index)
+	}
+	if ap.Table != "photoobj" || ap.Cost <= 0 {
+		t.Errorf("access path = %+v", ap)
+	}
+	// The spec side has no applicable index.
+	ap, err = p.AccessPathCost(sel, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap.Index != "" {
+		t.Errorf("unexpected index %q on specobj", ap.Index)
+	}
+	// Unknown alias errors.
+	if _, err := p.AccessPathCost(sel, "zz"); err == nil {
+		t.Error("unknown alias accepted")
+	}
+}
+
+func TestRelationAliases(t *testing.T) {
+	sel, err := sql.ParseSelect(`SELECT 1 FROM photoobj p JOIN specobj s ON p.objid = s.bestobjid`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := RelationAliases(sel)
+	if !reflect.DeepEqual(got, []string{"p", "s"}) {
+		t.Errorf("aliases = %v", got)
+	}
+}
+
+func TestCartesianFallbackForDisconnectedJoin(t *testing.T) {
+	p := New(testCatalog(t))
+	// No join clause at all: planner must still produce a plan.
+	pl := plan(t, p, "SELECT p.objid FROM photoobj p, specobj s WHERE p.objid = 1 AND s.specid = 2")
+	if pl == nil || pl.TotalCost <= 0 {
+		t.Fatal("no plan for cartesian query")
+	}
+	if got := len(pl.TablesScanned()); got != 2 {
+		t.Errorf("scanned %d tables", got)
+	}
+}
+
+func TestInListMatchesIndex(t *testing.T) {
+	cat := testCatalog(t)
+	if err := cat.AddIndex(&catalog.Index{
+		Name: "i_field", Table: "photoobj", Columns: []string{"field"},
+		Pages: catalog.IndexPages(cat.Table("photoobj"), []string{"field"}, 1000000),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p := New(cat)
+	// field has 1000 distinct values: IN (3, 5) selects ~0.2%, which
+	// the index wins; an unselective IN must keep the seq scan.
+	pl := plan(t, p, "SELECT objid FROM photoobj WHERE field IN (3, 5)")
+	if pl.Type != NodeIndexScan {
+		t.Errorf("IN-list did not use the index:\n%s", Explain(pl))
+	}
+}

@@ -1,0 +1,94 @@
+// Package optimizer implements a PostgreSQL-style cost-based query
+// optimizer: statistics-driven selectivity estimation, sequential and
+// index access paths, System-R dynamic-programming join ordering, and
+// a cost model using PostgreSQL 8.3's constants.
+//
+// Crucially for PARINDA, the planner plans *from catalog statistics
+// only* — it never touches heap data — and it exposes the two override
+// points the paper's what-if machinery needs:
+//
+//   - RelationInfoHook, the analogue of PostgreSQL's
+//     get_relation_info_hook, lets a caller substitute a table's
+//     statistics and splice in hypothetical indexes at plan time;
+//   - Flags (enable_nestloop et al.), the analogue of the planner
+//     GUCs, lets INUM cache plans with a join method forced off.
+package optimizer
+
+// CostParams are the planner cost constants; defaults mirror
+// PostgreSQL 8.3's postgresql.conf.
+type CostParams struct {
+	SeqPageCost     float64 // cost of a sequentially fetched page
+	RandomPageCost  float64 // cost of a non-sequentially fetched page
+	CPUTupleCost    float64 // cost of processing one tuple
+	CPUIndexTuple   float64 // cost of processing one index entry
+	CPUOperatorCost float64 // cost of one operator/function call
+	EffectiveCache  int64   // effective_cache_size in pages
+}
+
+// DefaultCostParams returns PostgreSQL 8.3 defaults.
+func DefaultCostParams() CostParams {
+	return CostParams{
+		SeqPageCost:     1.0,
+		RandomPageCost:  4.0,
+		CPUTupleCost:    0.01,
+		CPUIndexTuple:   0.005,
+		CPUOperatorCost: 0.0025,
+		EffectiveCache:  16384, // 128 MB
+	}
+}
+
+// Flags toggle plan types, mirroring the enable_* GUCs. A disabled
+// path is not removed; it is penalized by DisabledCost, exactly as
+// PostgreSQL does, so a plan always exists.
+type Flags struct {
+	EnableSeqScan    bool
+	EnableIndexScan  bool
+	EnableBitmapScan bool
+	EnableNestLoop   bool
+	EnableHashJoin   bool
+	EnableMergeJoin  bool
+	EnableSort       bool
+}
+
+// DefaultFlags enables everything.
+func DefaultFlags() Flags {
+	return Flags{
+		EnableSeqScan:    true,
+		EnableIndexScan:  true,
+		EnableBitmapScan: true,
+		EnableNestLoop:   true,
+		EnableHashJoin:   true,
+		EnableMergeJoin:  true,
+		EnableSort:       true,
+	}
+}
+
+// DisabledCost is added to paths whose type is disabled, matching
+// PostgreSQL's disable_cost.
+const DisabledCost = 1.0e10
+
+// Selectivity defaults, from PostgreSQL's selfuncs.
+const (
+	DefaultEqSel    = 0.005
+	DefaultIneqSel  = 1.0 / 3.0
+	DefaultRangeSel = 0.005
+	DefaultLikeSel  = 0.005
+	MinSelectivity  = 1.0e-7
+)
+
+func clampSel(s float64) float64 {
+	if s < MinSelectivity {
+		return MinSelectivity
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+func clampRows(r float64) float64 {
+	if r < 1 {
+		return 1
+	}
+	return r
+}

@@ -1,0 +1,247 @@
+package optimizer
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/sql"
+)
+
+// NodeType enumerates physical plan operators.
+type NodeType int
+
+// Plan node types.
+const (
+	NodeSeqScan NodeType = iota
+	NodeIndexScan
+	NodeBitmapHeapScan
+	NodeNestLoop
+	NodeHashJoin
+	NodeMergeJoin
+	NodeSort
+	NodeAggregate
+	NodeLimit
+)
+
+func (t NodeType) String() string {
+	switch t {
+	case NodeSeqScan:
+		return "Seq Scan"
+	case NodeIndexScan:
+		return "Index Scan"
+	case NodeBitmapHeapScan:
+		return "Bitmap Heap Scan"
+	case NodeNestLoop:
+		return "Nested Loop"
+	case NodeHashJoin:
+		return "Hash Join"
+	case NodeMergeJoin:
+		return "Merge Join"
+	case NodeSort:
+		return "Sort"
+	case NodeAggregate:
+		return "Aggregate"
+	case NodeLimit:
+		return "Limit"
+	}
+	return "?"
+}
+
+// Plan is one node of a physical plan tree. Costs follow PostgreSQL's
+// convention: StartupCost to produce the first row, TotalCost to
+// produce all rows; Rows is the estimated output cardinality.
+type Plan struct {
+	Type        NodeType
+	StartupCost float64
+	TotalCost   float64
+	Rows        float64
+
+	// Scan fields.
+	Table     string         // base table name
+	Alias     string         // query alias
+	Index     *catalog.Index // for NodeIndexScan
+	IndexCond []sql.Expr     // conditions satisfied by the index
+	Filter    []sql.Expr     // residual filter
+	// BitmapIndexes are the ANDed indexes of a bitmap heap scan.
+	BitmapIndexes []*catalog.Index
+
+	// Join fields.
+	JoinCond []sql.Expr
+	Inner    *Plan
+	Outer    *Plan
+	// InnerIndexed marks a nested loop whose inner side is re-probed
+	// through an index using the join key (parameterized inner path).
+	InnerIndexed bool
+
+	// Sort / Aggregate fields.
+	SortKeys  []sql.OrderItem
+	GroupKeys []sql.Expr
+	LimitN    int64
+
+	// Child for unary nodes (Sort, Aggregate, Limit).
+	Child *Plan
+}
+
+// Children returns the node's children in outer-first order.
+func (p *Plan) Children() []*Plan {
+	switch {
+	case p.Child != nil:
+		return []*Plan{p.Child}
+	case p.Outer != nil && p.Inner != nil:
+		return []*Plan{p.Outer, p.Inner}
+	}
+	return nil
+}
+
+// Walk visits the tree depth-first, node before children.
+func (p *Plan) Walk(fn func(*Plan)) {
+	if p == nil {
+		return
+	}
+	fn(p)
+	for _, c := range p.Children() {
+		c.Walk(fn)
+	}
+}
+
+// IndexesUsed returns the names of every index referenced by scans in
+// the tree, deduplicated, in traversal order.
+func (p *Plan) IndexesUsed() []string {
+	var names []string
+	seen := map[string]bool{}
+	p.Walk(func(n *Plan) {
+		if n.Type == NodeIndexScan && n.Index != nil && !seen[n.Index.Name] {
+			seen[n.Index.Name] = true
+			names = append(names, n.Index.Name)
+		}
+		for _, ix := range n.BitmapIndexes {
+			if !seen[ix.Name] {
+				seen[ix.Name] = true
+				names = append(names, ix.Name)
+			}
+		}
+	})
+	return names
+}
+
+// TablesScanned returns the base tables scanned by the plan.
+func (p *Plan) TablesScanned() []string {
+	var names []string
+	seen := map[string]bool{}
+	p.Walk(func(n *Plan) {
+		if (n.Type == NodeSeqScan || n.Type == NodeIndexScan || n.Type == NodeBitmapHeapScan) && !seen[n.Table] {
+			seen[n.Table] = true
+			names = append(names, n.Table)
+		}
+	})
+	return names
+}
+
+// Explain renders the plan in a PostgreSQL-like EXPLAIN format.
+func Explain(p *Plan) string {
+	var b strings.Builder
+	explainNode(&b, p, 0)
+	return b.String()
+}
+
+func explainNode(b *strings.Builder, p *Plan, depth int) {
+	if p == nil {
+		return
+	}
+	indent := strings.Repeat("  ", depth)
+	if depth > 0 {
+		indent += "->  "
+	}
+	head := p.Type.String()
+	switch p.Type {
+	case NodeSeqScan:
+		head += " on " + p.Table
+		if p.Alias != "" && p.Alias != p.Table {
+			head += " " + p.Alias
+		}
+	case NodeIndexScan:
+		head += " using " + p.Index.Name + " on " + p.Table
+		if p.Alias != "" && p.Alias != p.Table {
+			head += " " + p.Alias
+		}
+	case NodeBitmapHeapScan:
+		names := make([]string, len(p.BitmapIndexes))
+		for i, ix := range p.BitmapIndexes {
+			names[i] = ix.Name
+		}
+		head += " on " + p.Table + " (BitmapAnd: " + strings.Join(names, ", ") + ")"
+		if p.Alias != "" && p.Alias != p.Table {
+			head += " " + p.Alias
+		}
+	case NodeNestLoop:
+		if p.InnerIndexed {
+			head = "Nested Loop (indexed inner)"
+		}
+	}
+	fmt.Fprintf(b, "%s%s  (cost=%.2f..%.2f rows=%.0f)\n",
+		indent, head, p.StartupCost, p.TotalCost, p.Rows)
+	detail := strings.Repeat("  ", depth+1)
+	if len(p.IndexCond) > 0 {
+		fmt.Fprintf(b, "%sIndex Cond: %s\n", detail, exprList(p.IndexCond))
+	}
+	if len(p.JoinCond) > 0 {
+		fmt.Fprintf(b, "%sJoin Cond: %s\n", detail, exprList(p.JoinCond))
+	}
+	if len(p.Filter) > 0 {
+		fmt.Fprintf(b, "%sFilter: %s\n", detail, exprList(p.Filter))
+	}
+	if len(p.SortKeys) > 0 {
+		keys := make([]string, len(p.SortKeys))
+		for i, k := range p.SortKeys {
+			keys[i] = sql.PrintExpr(k.Expr)
+			if k.Desc {
+				keys[i] += " DESC"
+			}
+		}
+		fmt.Fprintf(b, "%sSort Key: %s\n", detail, strings.Join(keys, ", "))
+	}
+	if len(p.GroupKeys) > 0 {
+		fmt.Fprintf(b, "%sGroup Key: %s\n", detail, exprList(p.GroupKeys))
+	}
+	for _, c := range p.Children() {
+		explainNode(b, c, depth+1)
+	}
+}
+
+func exprList(exprs []sql.Expr) string {
+	parts := make([]string, len(exprs))
+	for i, e := range exprs {
+		parts[i] = sql.PrintExpr(e)
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// SameShape reports whether two plans have identical operator trees
+// (types, tables and index names), ignoring costs and cardinalities.
+// The interactive scenario uses it to verify that a what-if design's
+// plan matches the materialized design's plan.
+func SameShape(a, b *Plan) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Type != b.Type || a.Table != b.Table {
+		return false
+	}
+	if (a.Index == nil) != (b.Index == nil) {
+		return false
+	}
+	if a.Index != nil && a.Index.Name != b.Index.Name {
+		return false
+	}
+	ac, bc := a.Children(), b.Children()
+	if len(ac) != len(bc) {
+		return false
+	}
+	for i := range ac {
+		if !SameShape(ac[i], bc[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,231 @@
+package optimizer
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/catalog"
+	"repro/internal/sql"
+)
+
+// Planner turns a parsed SELECT into a costed physical plan using only
+// catalog statistics. It is safe to reconfigure (hook, flags, params)
+// between Plan calls; a single Planner is not safe for concurrent use.
+type Planner struct {
+	Catalog *catalog.Catalog
+	Params  CostParams
+	Flags   Flags
+	// RelationInfoHook, when set, intercepts every relation lookup —
+	// the splice point for what-if tables and indexes.
+	RelationInfoHook RelationInfoHook
+	// PlanCalls counts optimizer invocations; INUM's speedup claim is
+	// measured against this.
+	PlanCalls int64
+}
+
+// New returns a planner over cat with default parameters and flags.
+func New(cat *catalog.Catalog) *Planner {
+	return &Planner{
+		Catalog: cat,
+		Params:  DefaultCostParams(),
+		Flags:   DefaultFlags(),
+	}
+}
+
+// relationInfo assembles the planner's view of a table, applying the
+// hook when installed.
+func (p *Planner) relationInfo(name string) (*RelationInfo, error) {
+	var info *RelationInfo
+	if t := p.Catalog.Table(name); t != nil {
+		info = &RelationInfo{Table: t, Indexes: p.Catalog.IndexesOn(name)}
+	}
+	if p.RelationInfoHook != nil {
+		info = p.RelationInfoHook(name, info)
+	}
+	if info == nil || info.Table == nil {
+		return nil, fmt.Errorf("optimizer: unknown table %q", name)
+	}
+	return info, nil
+}
+
+// Plan optimizes sel and returns the cheapest physical plan found.
+func (p *Planner) Plan(sel *sql.Select) (*Plan, error) {
+	p.PlanCalls++
+	b, err := newBinder(p, sel)
+	if err != nil {
+		return nil, err
+	}
+
+	// Gather and classify conjuncts from WHERE and JOIN ... ON.
+	conjuncts := sql.ConjunctsOf(sel.Where)
+	for _, j := range sel.Joins {
+		conjuncts = append(conjuncts, sql.ConjunctsOf(j.Cond)...)
+	}
+	var joins []joinClause
+	var constClauses []sql.Expr
+	for _, c := range conjuncts {
+		mask, err := b.relsOf(c)
+		if err != nil {
+			return nil, err
+		}
+		switch bits.OnesCount64(mask) {
+		case 0:
+			constClauses = append(constClauses, c)
+		case 1:
+			rel := b.relByMask(mask)
+			rel.restrict = append(rel.restrict, c)
+		default:
+			joins = append(joins, joinClause{expr: c, mask: mask})
+		}
+	}
+
+	// Validate projection / group / order column references up front
+	// so planning errors match execution errors.
+	if err := b.validateExprs(sel); err != nil {
+		return nil, err
+	}
+
+	for _, rel := range b.rels {
+		p.makeAccessPaths(b, rel)
+	}
+
+	plan := p.dpJoinOrder(b, joins)
+	if plan == nil {
+		return nil, fmt.Errorf("optimizer: no plan produced")
+	}
+
+	// Constant clauses become a top filter; estimate half selectivity
+	// each (they are rare in our workloads).
+	if len(constClauses) > 0 {
+		filtered := *plan
+		filtered.Filter = append(append([]sql.Expr(nil), plan.Filter...), constClauses...)
+		filtered.Rows = clampRows(plan.Rows * math.Pow(0.5, float64(len(constClauses))))
+		filtered.TotalCost += plan.Rows * float64(len(constClauses)) * p.Params.CPUOperatorCost
+		plan = &filtered
+	}
+
+	// Aggregation.
+	if hasAggregate(sel) || len(sel.GroupBy) > 0 {
+		groups := b.groupCountEstimate(sel.GroupBy, plan.Rows)
+		aggCount := countAggregates(sel)
+		total := plan.TotalCost +
+			plan.Rows*float64(aggCount+len(sel.GroupBy))*p.Params.CPUOperatorCost +
+			groups*p.CPUTuple()
+		rows := groups
+		if sel.Having != nil {
+			rows = clampRows(rows * 0.5)
+		}
+		plan = &Plan{
+			Type:        NodeAggregate,
+			Child:       plan,
+			GroupKeys:   sel.GroupBy,
+			Rows:        rows,
+			StartupCost: total, // hash aggregate delivers at the end
+			TotalCost:   total,
+		}
+	}
+
+	// Ordering.
+	if len(sel.OrderBy) > 0 {
+		total := p.sortCost(plan)
+		plan = &Plan{
+			Type:        NodeSort,
+			Child:       plan,
+			SortKeys:    sel.OrderBy,
+			Rows:        plan.Rows,
+			StartupCost: total, // sorts deliver after consuming input
+			TotalCost:   total,
+		}
+	}
+
+	// LIMIT prorates the run cost, as PostgreSQL's cost_limit does.
+	if sel.Limit >= 0 {
+		n := float64(sel.Limit)
+		rows := plan.Rows
+		if n < rows {
+			rows = n
+		}
+		frac := 1.0
+		if plan.Rows > 0 {
+			frac = rows / plan.Rows
+		}
+		total := plan.StartupCost + (plan.TotalCost-plan.StartupCost)*frac
+		plan = &Plan{
+			Type:        NodeLimit,
+			Child:       plan,
+			LimitN:      sel.Limit,
+			Rows:        clampRows(rows),
+			StartupCost: plan.StartupCost,
+			TotalCost:   total,
+		}
+	}
+	return plan, nil
+}
+
+// Cost plans sel and returns its estimated total cost.
+func (p *Planner) Cost(sel *sql.Select) (float64, error) {
+	plan, err := p.Plan(sel)
+	if err != nil {
+		return 0, err
+	}
+	return plan.TotalCost, nil
+}
+
+// validateExprs checks that every column reference in the projection,
+// grouping and ordering clauses resolves (ORDER BY may also reference
+// projection aliases).
+func (b *binder) validateExprs(sel *sql.Select) error {
+	aliases := map[string]bool{}
+	for _, it := range sel.Items {
+		if it.Alias != "" {
+			aliases[it.Alias] = true
+		}
+	}
+	var firstErr error
+	check := func(e sql.Expr, allowAlias bool) {
+		sql.WalkExprs(e, func(x sql.Expr) {
+			ref, ok := x.(*sql.ColumnRef)
+			if !ok || ref.Column == "*" || firstErr != nil {
+				return
+			}
+			if allowAlias && ref.Table == "" && aliases[ref.Column] {
+				return
+			}
+			if _, _, err := b.resolveColumn(ref); err != nil {
+				firstErr = err
+			}
+		})
+	}
+	for _, it := range sel.Items {
+		check(it.Expr, false)
+	}
+	for _, g := range sel.GroupBy {
+		check(g, false)
+	}
+	check(sel.Having, true)
+	for _, o := range sel.OrderBy {
+		check(o.Expr, true)
+	}
+	return firstErr
+}
+
+func hasAggregate(sel *sql.Select) bool {
+	found := false
+	sql.WalkSelect(sel, func(e sql.Expr) {
+		if f, ok := e.(*sql.FuncExpr); ok && f.IsAggregate() {
+			found = true
+		}
+	})
+	return found
+}
+
+func countAggregates(sel *sql.Select) int {
+	n := 0
+	sql.WalkSelect(sel, func(e sql.Expr) {
+		if f, ok := e.(*sql.FuncExpr); ok && f.IsAggregate() {
+			n++
+		}
+	})
+	return n
+}

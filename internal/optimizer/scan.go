@@ -1,0 +1,317 @@
+package optimizer
+
+import (
+	"math"
+
+	"repro/internal/catalog"
+	"repro/internal/sql"
+)
+
+// makeAccessPaths computes the cheapest access path for a base
+// relation: a sequential scan, and one index scan per applicable
+// index. Disabled path types survive with DisabledCost added, so a
+// path always exists.
+func (p *Planner) makeAccessPaths(b *binder, rel *baseRel) {
+	sel := b.restrictionSelectivity(rel.restrict)
+	rel.rows = clampRows(float64(rel.info.Table.RowCount) * sel)
+
+	best := p.seqScanPath(b, rel)
+	for _, ix := range rel.info.Indexes {
+		if ip := p.indexScanPath(b, rel, ix); ip != nil && ip.TotalCost < best.TotalCost {
+			best = ip
+		}
+	}
+	if bp := p.bitmapAndPath(b, rel); bp != nil && bp.TotalCost < best.TotalCost {
+		best = bp
+	}
+	rel.path = best
+}
+
+// bitmapAndPath considers ANDing two single-index bitmaps, the
+// PostgreSQL BitmapAnd plan: each index contributes its own matched
+// clauses, the bitmaps intersect, and the heap is read once in
+// physical page order. Worth it when two moderately selective
+// predicates hit different indexes (the classic ra/dec box search).
+func (p *Planner) bitmapAndPath(b *binder, rel *baseRel) *Plan {
+	type arm struct {
+		ix      *catalog.Index
+		matched []sql.Expr
+		sel     float64
+	}
+	var arms []arm
+	for _, ix := range rel.info.Indexes {
+		matched, _ := matchIndexClauses(b, rel, ix)
+		if len(matched) == 0 {
+			continue
+		}
+		arms = append(arms, arm{ix, matched, b.restrictionSelectivity(matched)})
+	}
+	if len(arms) < 2 {
+		return nil
+	}
+	// Pick the two most selective arms over distinct leading columns.
+	bestPair := [2]int{-1, -1}
+	bestSel := 1.0
+	for i := 0; i < len(arms); i++ {
+		for j := i + 1; j < len(arms); j++ {
+			if arms[i].ix.Columns[0] == arms[j].ix.Columns[0] {
+				continue // same column: one index suffices
+			}
+			if s := arms[i].sel * arms[j].sel; s < bestSel {
+				bestSel, bestPair = s, [2]int{i, j}
+			}
+		}
+	}
+	if bestPair[0] < 0 {
+		return nil
+	}
+	a1, a2 := arms[bestPair[0]], arms[bestPair[1]]
+	t := rel.info.Table
+	tuples := clampRows(float64(t.RowCount) * bestSel)
+
+	// Index I/O of both bitmap builds.
+	indexIO := 0.0
+	indexCPU := 0.0
+	for _, a := range []arm{a1, a2} {
+		indexIO += (math.Ceil(a.sel*float64(a.ix.Pages)) + float64(a.ix.Height)) * p.Params.RandomPageCost
+		indexCPU += clampRows(float64(t.RowCount)*a.sel) * p.Params.CPUIndexTuple
+	}
+	// Heap pages fetched: Mackert–Lohman-style saturation — tuples
+	// spread over T pages hit ~T(1-e^{-n/T}) distinct pages, read in
+	// page order (sequential-ish).
+	T := float64(t.Pages)
+	heapPages := T * (1 - math.Exp(-tuples/T))
+	heapIO := heapPages * (p.Params.SeqPageCost + p.Params.RandomPageCost) / 2
+	heapCPU := tuples * p.CPUTuple()
+	// Residual filter: clauses not matched by either arm.
+	matchedSet := map[sql.Expr]bool{}
+	for _, m := range append(append([]sql.Expr(nil), a1.matched...), a2.matched...) {
+		matchedSet[m] = true
+	}
+	var indexConds, residual []sql.Expr
+	for _, c := range rel.restrict {
+		if matchedSet[c] {
+			indexConds = append(indexConds, c)
+		} else {
+			residual = append(residual, c)
+		}
+	}
+	filterCPU := tuples * float64(len(residual)) * p.Params.CPUOperatorCost
+
+	total := indexIO + indexCPU + heapIO + heapCPU + filterCPU
+	if !p.Flags.EnableBitmapScan {
+		total += DisabledCost
+	}
+	return &Plan{
+		Type:          NodeBitmapHeapScan,
+		Table:         t.Name,
+		Alias:         rel.ref.EffectiveName(),
+		BitmapIndexes: []*catalog.Index{a1.ix, a2.ix},
+		IndexCond:     indexConds,
+		Filter:        residual,
+		Rows:          rel.rows,
+		TotalCost:     total,
+	}
+}
+
+// seqScanPath costs a full heap scan with the restriction applied.
+func (p *Planner) seqScanPath(b *binder, rel *baseRel) *Plan {
+	t := rel.info.Table
+	ioCost := float64(t.Pages) * p.Params.SeqPageCost
+	cpuCost := float64(t.RowCount) * p.CPUTuple()
+	cpuCost += float64(t.RowCount) * float64(len(rel.restrict)) * p.Params.CPUOperatorCost
+	total := ioCost + cpuCost
+	if !p.Flags.EnableSeqScan {
+		total += DisabledCost
+	}
+	return &Plan{
+		Type:      NodeSeqScan,
+		Table:     t.Name,
+		Alias:     rel.ref.EffectiveName(),
+		Filter:    rel.restrict,
+		Rows:      rel.rows,
+		TotalCost: total,
+	}
+}
+
+// indexScanPath matches restriction clauses to the index's column
+// prefix and costs the scan; nil when the index is unusable (no
+// sargable clause on the leading column).
+func (p *Planner) indexScanPath(b *binder, rel *baseRel, ix *catalog.Index) *Plan {
+	matched, residual := matchIndexClauses(b, rel, ix)
+	if len(matched) == 0 {
+		return nil
+	}
+	indexSel := b.restrictionSelectivity(matched)
+	plan := p.costIndexScan(b, rel, ix, matched, residual, indexSel)
+	return plan
+}
+
+// costIndexScan implements the PostgreSQL 8.3-style index scan cost:
+// index I/O proportional to the selected fraction of leaf pages, heap
+// I/O interpolated between the perfectly-correlated and random cases
+// by the square of the column correlation.
+func (p *Planner) costIndexScan(b *binder, rel *baseRel, ix *catalog.Index,
+	matched, residual []sql.Expr, indexSel float64) *Plan {
+
+	t := rel.info.Table
+	tuples := clampRows(float64(t.RowCount) * indexSel)
+
+	// Index I/O: fraction of leaf pages plus the descent.
+	indexPages := math.Ceil(indexSel*float64(ix.Pages)) + float64(ix.Height)
+	indexIO := indexPages * p.Params.RandomPageCost
+	indexCPU := tuples * p.Params.CPUIndexTuple
+
+	// Heap I/O: perfectly correlated lower bound vs. one random page
+	// per tuple upper bound (capped at 2x the table), interpolated by
+	// correlation² as in cost_index().
+	corr := leadingCorrelation(t, ix)
+	minPages := math.Ceil(indexSel * float64(t.Pages))
+	maxPages := tuples
+	if cap2 := 2 * float64(t.Pages); maxPages > cap2 {
+		maxPages = cap2
+	}
+	if maxPages < minPages {
+		maxPages = minPages
+	}
+	minIO := minPages * p.Params.SeqPageCost
+	maxIO := maxPages * p.Params.RandomPageCost
+	c2 := corr * corr
+	heapIO := maxIO + c2*(minIO-maxIO)
+
+	heapCPU := tuples * p.CPUTuple()
+	filterCPU := tuples * float64(len(residual)) * p.Params.CPUOperatorCost
+
+	total := indexIO + indexCPU + heapIO + heapCPU + filterCPU
+	if !p.Flags.EnableIndexScan {
+		total += DisabledCost
+	}
+
+	// Output rows apply the full restriction, not just the indexed
+	// part.
+	return &Plan{
+		Type:      NodeIndexScan,
+		Table:     t.Name,
+		Alias:     rel.ref.EffectiveName(),
+		Index:     ix,
+		IndexCond: matched,
+		Filter:    residual,
+		Rows:      rel.rows,
+		TotalCost: total,
+	}
+}
+
+// leadingCorrelation returns the physical correlation of the index's
+// leading column, defaulting to 0 (uncorrelated) when unknown.
+func leadingCorrelation(t *catalog.Table, ix *catalog.Index) float64 {
+	if len(ix.Columns) == 0 {
+		return 0
+	}
+	c := t.Column(ix.Columns[0])
+	if c == nil || c.Stats == nil {
+		return 0
+	}
+	return c.Stats.Correlation
+}
+
+// matchIndexClauses splits a relation's restriction into clauses the
+// index can satisfy (equalities on a prefix of the index columns,
+// then at most one range clause on the next column) and the residual
+// filter, following btree index path matching rules.
+func matchIndexClauses(b *binder, rel *baseRel, ix *catalog.Index) (matched, residual []sql.Expr) {
+	remaining := append([]sql.Expr(nil), rel.restrict...)
+	alias := rel.ref.EffectiveName()
+	for i, col := range ix.Columns {
+		// Equality first: it lets matching continue to the next
+		// column.
+		eqIdx := findClause(remaining, alias, col, clauseEq)
+		if eqIdx >= 0 {
+			matched = append(matched, remaining[eqIdx])
+			remaining = append(remaining[:eqIdx], remaining[eqIdx+1:]...)
+			continue
+		}
+		// Otherwise any range clauses on this column terminate the
+		// match (collect all of them: lo and hi bounds).
+		for {
+			rIdx := findClause(remaining, alias, col, clauseRange)
+			if rIdx < 0 {
+				break
+			}
+			matched = append(matched, remaining[rIdx])
+			remaining = append(remaining[:rIdx], remaining[rIdx+1:]...)
+		}
+		_ = i
+		break
+	}
+	return matched, remaining
+}
+
+type clauseKind int
+
+const (
+	clauseEq clauseKind = iota
+	clauseRange
+)
+
+// findClause locates a sargable clause of the given kind on
+// alias.col, returning its position in list or -1.
+func findClause(list []sql.Expr, alias, col string, kind clauseKind) int {
+	for i, e := range list {
+		if clauseMatches(e, alias, col, kind) {
+			return i
+		}
+	}
+	return -1
+}
+
+func clauseMatches(e sql.Expr, alias, col string, kind clauseKind) bool {
+	isCol := func(x sql.Expr) bool {
+		c, ok := x.(*sql.ColumnRef)
+		return ok && c.Column == col && (c.Table == "" || c.Table == alias)
+	}
+	isConst := func(x sql.Expr) bool {
+		_, ok := catalog.DatumFromLiteral(x)
+		return ok
+	}
+	switch v := e.(type) {
+	case *sql.BinaryExpr:
+		if !v.Op.IsComparison() || v.Op == sql.OpNe {
+			return false
+		}
+		colLeft := isCol(v.Left) && isConst(v.Right)
+		colRight := isCol(v.Right) && isConst(v.Left)
+		if !colLeft && !colRight {
+			return false
+		}
+		if kind == clauseEq {
+			return v.Op == sql.OpEq
+		}
+		return v.Op != sql.OpEq
+	case *sql.BetweenExpr:
+		if v.Negated || kind == clauseEq {
+			return false
+		}
+		_, okLo := catalog.DatumFromLiteral(v.Lo)
+		_, okHi := catalog.DatumFromLiteral(v.Hi)
+		return isCol(v.Expr) && okLo && okHi
+	case *sql.InExpr:
+		// IN-lists are handled as an "equality-ish" match on the
+		// column (scanned as repeated probes).
+		if v.Negated || kind != clauseEq {
+			return false
+		}
+		if !isCol(v.Expr) {
+			return false
+		}
+		for _, item := range v.List {
+			if !isConst(item) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// CPUTuple returns the per-tuple CPU cost.
+func (p *Planner) CPUTuple() float64 { return p.Params.CPUTupleCost }

@@ -1,0 +1,410 @@
+// Package rewrite implements PARINDA's automatic query rewriter: given
+// a vertical partitioning of base tables, it rewrites each workload
+// query to read from the partition fragments instead — a single
+// fragment when one covers every referenced column, or a primary-key
+// join of fragments otherwise. The rewritten workload is what the
+// AutoPart component evaluates against what-if partition tables and
+// what the DBA can save to disk (§3.3, §4).
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/sql"
+)
+
+// Fragment is one vertical fragment of a parent table: the fragment
+// table's name and the parent columns it holds. Every fragment
+// implicitly holds the parent's primary key (the what-if Table
+// component adds it), so the parent row can be reconstructed.
+type Fragment struct {
+	Name    string
+	Columns []string
+}
+
+// HasColumn reports whether the fragment carries col.
+func (f *Fragment) HasColumn(col string) bool {
+	for _, c := range f.Columns {
+		if c == col {
+			return true
+		}
+	}
+	return false
+}
+
+// Partitioning is a full vertical partitioning of one parent table.
+type Partitioning struct {
+	Parent    *catalog.Table
+	Fragments []Fragment
+}
+
+// Covers reports whether every column in cols appears in some
+// fragment (primary-key columns are always covered).
+func (p *Partitioning) Covers(cols []string) bool {
+	for _, c := range cols {
+		if p.isPK(c) {
+			continue
+		}
+		found := false
+		for i := range p.Fragments {
+			if p.Fragments[i].HasColumn(c) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *Partitioning) isPK(col string) bool {
+	for _, pk := range p.Parent.PrimaryKey {
+		if pk == col {
+			return true
+		}
+	}
+	return false
+}
+
+// Rewriter rewrites queries onto a set of partitionings, keyed by
+// parent table name.
+type Rewriter struct {
+	parts map[string]*Partitioning
+}
+
+// New returns a rewriter for the given partitionings.
+func New(parts map[string]*Partitioning) *Rewriter {
+	return &Rewriter{parts: parts}
+}
+
+// Rewrite returns a copy of sel reading from fragments wherever a
+// referenced table is partitioned. Unpartitioned tables pass through.
+// The original statement is never mutated.
+func (r *Rewriter) Rewrite(sel *sql.Select) (*sql.Select, error) {
+	out := sql.CloneSelect(sel)
+
+	// Resolve which columns each alias needs.
+	type refInfo struct {
+		ref   sql.TableRef
+		part  *Partitioning
+		needs map[string]bool
+		star  bool
+	}
+	var infos []*refInfo
+	byAlias := map[string]*refInfo{}
+	record := func(tr sql.TableRef) {
+		ri := &refInfo{ref: tr, part: r.parts[tr.Table], needs: map[string]bool{}}
+		infos = append(infos, ri)
+		byAlias[tr.EffectiveName()] = ri
+	}
+	for _, tr := range out.From {
+		record(tr)
+	}
+	for _, j := range out.Joins {
+		record(j.Table)
+	}
+
+	// A bare star needs every column of every table; a qualified star
+	// needs every column of that table.
+	for _, it := range out.Items {
+		if !it.Star {
+			continue
+		}
+		if it.Expr == nil {
+			for _, ri := range infos {
+				ri.star = true
+			}
+		} else if ri := byAlias[it.Expr.(*sql.ColumnRef).Table]; ri != nil {
+			ri.star = true
+		}
+	}
+
+	// Expand stars that touch partitioned tables into explicit column
+	// references now; after the rewrite those columns may live in
+	// several fragment tables and a star could not name them.
+	var newItems []sql.SelectItem
+	for _, it := range out.Items {
+		if !it.Star {
+			newItems = append(newItems, it)
+			continue
+		}
+		var targets []*refInfo
+		if it.Expr == nil {
+			targets = infos
+		} else if ri := byAlias[it.Expr.(*sql.ColumnRef).Table]; ri != nil {
+			targets = []*refInfo{ri}
+		}
+		anyPartitioned := false
+		for _, ri := range targets {
+			if ri.part != nil {
+				anyPartitioned = true
+			}
+		}
+		if !anyPartitioned {
+			newItems = append(newItems, it)
+			continue
+		}
+		for _, ri := range targets {
+			if ri.part == nil {
+				// Keep a qualified star for the untouched table.
+				newItems = append(newItems, sql.SelectItem{
+					Star: true,
+					Expr: &sql.ColumnRef{Table: ri.ref.EffectiveName(), Column: "*"},
+				})
+				continue
+			}
+			for _, c := range ri.part.Parent.Columns {
+				newItems = append(newItems, sql.SelectItem{
+					Expr: &sql.ColumnRef{Table: ri.ref.EffectiveName(), Column: c.Name},
+				})
+			}
+		}
+	}
+	out.Items = newItems
+
+	var resolveErr error
+	noteRef := func(e sql.Expr) {
+		ref, ok := e.(*sql.ColumnRef)
+		if !ok || ref.Column == "*" {
+			return
+		}
+		if ref.Table != "" {
+			if ri := byAlias[ref.Table]; ri != nil {
+				ri.needs[ref.Column] = true
+			}
+			return
+		}
+		// Unqualified: attribute to the unique table that has it.
+		var owner *refInfo
+		for _, ri := range infos {
+			var t *catalog.Table
+			if ri.part != nil {
+				t = ri.part.Parent
+			}
+			if t == nil {
+				continue
+			}
+			if t.ColumnIndex(ref.Column) >= 0 {
+				if owner != nil {
+					resolveErr = fmt.Errorf("rewrite: ambiguous column %q", ref.Column)
+					return
+				}
+				owner = ri
+			}
+		}
+		if owner != nil {
+			owner.needs[ref.Column] = true
+		}
+	}
+	sql.WalkSelect(out, noteRef)
+	if resolveErr != nil {
+		return nil, resolveErr
+	}
+
+	// Rewrite each partitioned reference.
+	var newFrom []sql.TableRef
+	var extraConds []sql.Expr
+	colProvider := map[string]map[string]string{} // alias → column → provider alias
+	for _, ri := range infos {
+		if ri.part == nil {
+			newFrom = append(newFrom, ri.ref)
+			continue
+		}
+		needed := make([]string, 0, len(ri.needs))
+		if ri.star {
+			for _, c := range ri.part.Parent.Columns {
+				needed = append(needed, c.Name)
+			}
+		} else {
+			for c := range ri.needs {
+				needed = append(needed, c)
+			}
+		}
+		sort.Strings(needed)
+		cover, err := chooseCover(ri.part, needed)
+		if err != nil {
+			return nil, fmt.Errorf("rewrite: table %s: %w", ri.ref.Table, err)
+		}
+		alias := ri.ref.EffectiveName()
+		if len(cover) == 1 {
+			// Single fragment: swap the table, keep the alias so
+			// column references still resolve.
+			newFrom = append(newFrom, sql.TableRef{Table: cover[0].Name, Alias: alias})
+			continue
+		}
+		// Multiple fragments: join them on the primary key.
+		providers := map[string]string{}
+		var fragAliases []string
+		for i, fr := range cover {
+			fa := fmt.Sprintf("%s_f%d", alias, i+1)
+			fragAliases = append(fragAliases, fa)
+			newFrom = append(newFrom, sql.TableRef{Table: fr.Name, Alias: fa})
+			for _, c := range fr.Columns {
+				if _, done := providers[c]; !done {
+					providers[c] = fa
+				}
+			}
+		}
+		// PK columns resolve from the first fragment.
+		for _, pk := range ri.part.Parent.PrimaryKey {
+			if _, done := providers[pk]; !done {
+				providers[pk] = fragAliases[0]
+			}
+		}
+		colProvider[alias] = providers
+		for i := 1; i < len(fragAliases); i++ {
+			for _, pk := range ri.part.Parent.PrimaryKey {
+				extraConds = append(extraConds, &sql.BinaryExpr{
+					Op:    sql.OpEq,
+					Left:  &sql.ColumnRef{Table: fragAliases[0], Column: pk},
+					Right: &sql.ColumnRef{Table: fragAliases[i], Column: pk},
+				})
+			}
+		}
+	}
+
+	// Fold explicit JOINs into FROM (their conditions join the WHERE)
+	// — fragment joins make the mixed form ambiguous.
+	for _, j := range out.Joins {
+		if j.Cond != nil {
+			extraConds = append(extraConds, j.Cond)
+		}
+	}
+	out.Joins = nil
+	out.From = newFrom
+
+	// Redirect column references of split tables to their providers.
+	redirect := func(e sql.Expr) {
+		ref, ok := e.(*sql.ColumnRef)
+		if !ok || ref.Column == "*" {
+			return
+		}
+		alias := ref.Table
+		if alias == "" {
+			// Unqualified references: find the owning split table.
+			for a, providers := range colProvider {
+				if _, ok := providers[ref.Column]; ok {
+					alias = a
+					break
+				}
+			}
+		}
+		if providers, ok := colProvider[alias]; ok {
+			if provider, ok := providers[ref.Column]; ok {
+				ref.Table = provider
+			}
+		}
+	}
+	sql.WalkSelect(out, redirect)
+	for _, c := range extraConds {
+		sql.WalkExprs(c, redirect)
+	}
+
+	out.Where = sql.AndAll(append(sql.ConjunctsOf(out.Where), extraConds...))
+	return out, nil
+}
+
+// chooseCover selects a minimal-ish set of fragments covering the
+// needed columns: a single covering fragment when one exists
+// (preferring the narrowest), otherwise a greedy set cover.
+func chooseCover(p *Partitioning, needed []string) ([]Fragment, error) {
+	var nonPK []string
+	for _, c := range needed {
+		if !p.isPK(c) {
+			if p.Parent.ColumnIndex(c) < 0 {
+				return nil, fmt.Errorf("unknown column %q", c)
+			}
+			nonPK = append(nonPK, c)
+		}
+	}
+	if len(nonPK) == 0 {
+		// Only PK columns referenced: any fragment works; pick the
+		// narrowest.
+		best := -1
+		for i := range p.Fragments {
+			if best < 0 || len(p.Fragments[i].Columns) < len(p.Fragments[best].Columns) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("partitioning has no fragments")
+		}
+		return []Fragment{p.Fragments[best]}, nil
+	}
+
+	// Single covering fragment?
+	best := -1
+	for i := range p.Fragments {
+		covers := true
+		for _, c := range nonPK {
+			if !p.Fragments[i].HasColumn(c) {
+				covers = false
+				break
+			}
+		}
+		if covers && (best < 0 || len(p.Fragments[i].Columns) < len(p.Fragments[best].Columns)) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		return []Fragment{p.Fragments[best]}, nil
+	}
+
+	// Greedy set cover.
+	remaining := map[string]bool{}
+	for _, c := range nonPK {
+		remaining[c] = true
+	}
+	var cover []Fragment
+	used := map[string]bool{}
+	for len(remaining) > 0 {
+		bestIdx, bestGain := -1, 0
+		for i := range p.Fragments {
+			if used[p.Fragments[i].Name] {
+				continue
+			}
+			gain := 0
+			for _, c := range p.Fragments[i].Columns {
+				if remaining[c] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				bestGain, bestIdx = gain, i
+			}
+		}
+		if bestIdx < 0 {
+			missing := make([]string, 0, len(remaining))
+			for c := range remaining {
+				missing = append(missing, c)
+			}
+			sort.Strings(missing)
+			return nil, fmt.Errorf("columns not covered by any fragment: %s", strings.Join(missing, ", "))
+		}
+		used[p.Fragments[bestIdx].Name] = true
+		cover = append(cover, p.Fragments[bestIdx])
+		for _, c := range p.Fragments[bestIdx].Columns {
+			delete(remaining, c)
+		}
+	}
+	return cover, nil
+}
+
+// RewriteAll rewrites a workload, returning the rewritten statements
+// in order.
+func (r *Rewriter) RewriteAll(sels []*sql.Select) ([]*sql.Select, error) {
+	out := make([]*sql.Select, len(sels))
+	for i, s := range sels {
+		rw, err := r.Rewrite(s)
+		if err != nil {
+			return nil, fmt.Errorf("rewrite: query %d: %w", i+1, err)
+		}
+		out[i] = rw
+	}
+	return out, nil
+}

@@ -1,0 +1,428 @@
+package rewrite
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/sql"
+	"repro/internal/storage"
+)
+
+func parentTable(t *testing.T) *catalog.Table {
+	t.Helper()
+	st, err := sql.Parse(`CREATE TABLE photoobj (objid bigint, ra float8, dec float8,
+		run int, type int, u float8, g float8, r float8, PRIMARY KEY (objid))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return catalog.NewTable(st.(*sql.CreateTable))
+}
+
+func testParts(t *testing.T) map[string]*Partitioning {
+	t.Helper()
+	return map[string]*Partitioning{
+		"photoobj": {
+			Parent: parentTable(t),
+			Fragments: []Fragment{
+				{Name: "photoobj_pos", Columns: []string{"ra", "dec"}},
+				{Name: "photoobj_meta", Columns: []string{"run", "type"}},
+				{Name: "photoobj_mags", Columns: []string{"u", "g", "r"}},
+			},
+		},
+	}
+}
+
+func rewriteQ(t *testing.T, parts map[string]*Partitioning, q string) *sql.Select {
+	t.Helper()
+	sel, err := sql.ParseSelect(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := New(parts).Rewrite(sel)
+	if err != nil {
+		t.Fatalf("rewrite %q: %v", q, err)
+	}
+	// The rewritten query must parse back.
+	if _, err := sql.ParseSelect(sql.PrintSelect(out)); err != nil {
+		t.Fatalf("rewritten query unparseable: %v\n%s", err, sql.PrintSelect(out))
+	}
+	return out
+}
+
+func TestSingleFragmentSwap(t *testing.T) {
+	parts := testParts(t)
+	out := rewriteQ(t, parts, "SELECT objid, ra, dec FROM photoobj WHERE ra BETWEEN 1 AND 2")
+	if len(out.From) != 1 || out.From[0].Table != "photoobj_pos" {
+		t.Fatalf("from = %+v", out.From)
+	}
+	// Alias preserved so references still work.
+	if out.From[0].Alias != "photoobj" {
+		t.Errorf("alias = %q", out.From[0].Alias)
+	}
+}
+
+func TestMultiFragmentJoinOnPK(t *testing.T) {
+	parts := testParts(t)
+	out := rewriteQ(t, parts, "SELECT ra, run FROM photoobj WHERE type = 6")
+	if len(out.From) != 2 {
+		t.Fatalf("expected 2 fragments, got %+v", out.From)
+	}
+	printed := sql.PrintSelect(out)
+	if !strings.Contains(printed, "objid = ") {
+		t.Errorf("missing PK join: %s", printed)
+	}
+	// Column references must be redirected to fragment aliases.
+	if strings.Contains(printed, "photoobj.ra") {
+		t.Errorf("unredirected reference: %s", printed)
+	}
+}
+
+func TestStarExpansion(t *testing.T) {
+	parts := testParts(t)
+	out := rewriteQ(t, parts, "SELECT * FROM photoobj WHERE run = 5")
+	for _, it := range out.Items {
+		if it.Star {
+			t.Fatalf("star survived rewrite: %s", sql.PrintSelect(out))
+		}
+	}
+	// All 8 parent columns projected.
+	if len(out.Items) != 8 {
+		t.Errorf("items = %d, want 8", len(out.Items))
+	}
+}
+
+func TestUnpartitionedTablePassthrough(t *testing.T) {
+	parts := testParts(t)
+	out := rewriteQ(t, parts, "SELECT s.z FROM specobj s WHERE s.z > 1")
+	if out.From[0].Table != "specobj" {
+		t.Errorf("unpartitioned table touched: %+v", out.From)
+	}
+}
+
+func TestJoinQueryWithPartitionedSide(t *testing.T) {
+	parts := testParts(t)
+	out := rewriteQ(t, parts, `SELECT p.ra, s.z FROM photoobj p JOIN specobj s
+		ON p.objid = s.bestobjid WHERE s.z > 1`)
+	// JOIN folded into FROM; partitioned side swapped.
+	if len(out.Joins) != 0 {
+		t.Errorf("joins remain: %+v", out.Joins)
+	}
+	found := false
+	for _, tr := range out.From {
+		if tr.Table == "photoobj_pos" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("fragment missing: %s", sql.PrintSelect(out))
+	}
+}
+
+func TestUncoveredColumnError(t *testing.T) {
+	parts := testParts(t)
+	// Remove the mags fragment: u/g/r become uncoverable.
+	parts["photoobj"].Fragments = parts["photoobj"].Fragments[:2]
+	sel, err := sql.ParseSelect("SELECT u FROM photoobj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(parts).Rewrite(sel); err == nil {
+		t.Error("uncovered column accepted")
+	}
+}
+
+func TestCoversAndHasColumn(t *testing.T) {
+	parts := testParts(t)
+	p := parts["photoobj"]
+	if !p.Covers([]string{"ra", "run", "objid"}) {
+		t.Error("coverage check failed")
+	}
+	if p.Covers([]string{"nope"}) {
+		t.Error("covered a missing column")
+	}
+	if !p.Fragments[0].HasColumn("ra") || p.Fragments[0].HasColumn("run") {
+		t.Error("HasColumn wrong")
+	}
+}
+
+func TestPKOnlyQueryUsesNarrowestFragment(t *testing.T) {
+	parts := testParts(t)
+	out := rewriteQ(t, parts, "SELECT COUNT(*) FROM photoobj")
+	if len(out.From) != 1 {
+		t.Fatalf("from = %+v", out.From)
+	}
+	// Narrowest fragment is photoobj_pos or photoobj_meta (2 cols each);
+	// either is acceptable, but it must be a fragment.
+	if !strings.HasPrefix(out.From[0].Table, "photoobj_") {
+		t.Errorf("did not use a fragment: %+v", out.From)
+	}
+}
+
+// TestExecutionEquivalence materializes the fragments in a real
+// database and checks that original and rewritten queries return
+// identical results — the rewriter's central correctness invariant.
+func TestExecutionEquivalence(t *testing.T) {
+	db := storage.NewDatabase(4096)
+	mustCreate := func(ddl string) {
+		st, err := sql.Parse(ddl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.CreateTable(st.(*sql.CreateTable)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustCreate(`CREATE TABLE photoobj (objid bigint, ra float8, dec float8,
+		run int, type int, u float8, g float8, r float8, PRIMARY KEY (objid))`)
+	mustCreate(`CREATE TABLE photoobj_pos (objid bigint, ra float8, dec float8, PRIMARY KEY (objid))`)
+	mustCreate(`CREATE TABLE photoobj_meta (objid bigint, run int, type int, PRIMARY KEY (objid))`)
+	mustCreate(`CREATE TABLE photoobj_mags (objid bigint, u float8, g float8, r float8, PRIMARY KEY (objid))`)
+	mustCreate(`CREATE TABLE specobj (specid bigint, bestobjid bigint, z float8, PRIMARY KEY (specid))`)
+
+	r := rand.New(rand.NewSource(11))
+	const n = 3000
+	for i := 0; i < n; i++ {
+		objid := catalog.IntDatum(int64(i))
+		ra := catalog.FloatDatum(r.Float64() * 360)
+		dec := catalog.FloatDatum(r.Float64()*180 - 90)
+		run := catalog.IntDatum(int64(r.Intn(8)))
+		typ := catalog.IntDatum(int64([]int{3, 6}[r.Intn(2)]))
+		u := catalog.FloatDatum(14 + r.Float64()*10)
+		g := catalog.FloatDatum(14 + r.Float64()*10)
+		rr := catalog.FloatDatum(14 + r.Float64()*10)
+		if err := db.Insert("photoobj", []catalog.Datum{objid, ra, dec, run, typ, u, g, rr}); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Insert("photoobj_pos", []catalog.Datum{objid, ra, dec}); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Insert("photoobj_meta", []catalog.Datum{objid, run, typ}); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Insert("photoobj_mags", []catalog.Datum{objid, u, g, rr}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n/5; i++ {
+		if err := db.Insert("specobj", []catalog.Datum{
+			catalog.IntDatum(int64(i)),
+			catalog.IntDatum(int64(r.Intn(n))),
+			catalog.FloatDatum(r.Float64() * 3),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.AnalyzeAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	parts := map[string]*Partitioning{
+		"photoobj": {
+			Parent: db.Catalog.Table("photoobj"),
+			Fragments: []Fragment{
+				{Name: "photoobj_pos", Columns: []string{"ra", "dec"}},
+				{Name: "photoobj_meta", Columns: []string{"run", "type"}},
+				{Name: "photoobj_mags", Columns: []string{"u", "g", "r"}},
+			},
+		},
+	}
+	rw := New(parts)
+
+	queries := []string{
+		"SELECT objid, ra FROM photoobj WHERE ra BETWEEN 10 AND 50 ORDER BY objid",
+		"SELECT objid, ra, run FROM photoobj WHERE run = 3 AND dec > 0 ORDER BY objid",
+		"SELECT run, COUNT(*) AS n FROM photoobj GROUP BY run ORDER BY run",
+		"SELECT objid, u, g FROM photoobj WHERE u BETWEEN 15 AND 16 AND type = 6 ORDER BY objid",
+		"SELECT p.objid, s.z FROM photoobj p, specobj s WHERE p.objid = s.bestobjid AND p.run = 2 AND s.z > 1 ORDER BY p.objid, s.z",
+		"SELECT COUNT(*) FROM photoobj WHERE type = 3",
+		"SELECT objid FROM photoobj WHERE ra < 20 AND g > 20 ORDER BY objid",
+	}
+	for _, q := range queries {
+		sel, err := sql.ParseSelect(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		orig, err := db.Execute(sel)
+		if err != nil {
+			t.Fatalf("execute original %q: %v", q, err)
+		}
+		rq, err := rw.Rewrite(sel)
+		if err != nil {
+			t.Fatalf("rewrite %q: %v", q, err)
+		}
+		got, err := db.Execute(rq)
+		if err != nil {
+			t.Fatalf("execute rewritten %q: %v\nrewritten: %s", q, err, sql.PrintSelect(rq))
+		}
+		if !sameRows(orig.Rows, got.Rows) {
+			t.Errorf("results differ for %q\noriginal %d rows, rewritten %d rows\nrewritten SQL: %s",
+				q, len(orig.Rows), len(got.Rows), sql.PrintSelect(rq))
+		}
+	}
+}
+
+// sameRows compares row multisets after canonicalizing each row.
+func sameRows(a, b [][]catalog.Datum) bool {
+	key := func(rows [][]catalog.Datum) []string {
+		out := make([]string, len(rows))
+		for i, r := range rows {
+			parts := make([]string, len(r))
+			for j, d := range r {
+				parts[j] = d.Key()
+			}
+			out[i] = strings.Join(parts, "|")
+		}
+		sort.Strings(out)
+		return out
+	}
+	return reflect.DeepEqual(key(a), key(b))
+}
+
+func TestRewriteAll(t *testing.T) {
+	parts := testParts(t)
+	sels := []*sql.Select{}
+	for _, q := range []string{
+		"SELECT ra FROM photoobj",
+		"SELECT run FROM photoobj WHERE run > 3",
+	} {
+		s, err := sql.ParseSelect(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sels = append(sels, s)
+	}
+	out, err := New(parts).RewriteAll(sels)
+	if err != nil || len(out) != 2 {
+		t.Fatalf("RewriteAll: %v", err)
+	}
+	// Originals untouched.
+	if sels[0].From[0].Table != "photoobj" {
+		t.Error("rewrite mutated the original statement")
+	}
+}
+
+// TestPropertyRandomPartitioningEquivalence: for random partitionings
+// of a table and random single-table queries, the rewritten query
+// always returns the original result set. This is the rewriter's
+// soundness property, checked against the real engine.
+func TestPropertyRandomPartitioningEquivalence(t *testing.T) {
+	db := storage.NewDatabase(2048)
+	mustCreate := func(ddl string) {
+		st, err := sql.Parse(ddl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.CreateTable(st.(*sql.CreateTable)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustCreate(`CREATE TABLE t (id bigint, a float8, b float8, c int, d int, e float8, PRIMARY KEY (id))`)
+	r := rand.New(rand.NewSource(31))
+	const n = 1200
+	for i := 0; i < n; i++ {
+		if err := db.Insert("t", []catalog.Datum{
+			catalog.IntDatum(int64(i)),
+			catalog.FloatDatum(r.Float64() * 100),
+			catalog.FloatDatum(r.Float64() * 100),
+			catalog.IntDatum(int64(r.Intn(5))),
+			catalog.IntDatum(int64(r.Intn(20))),
+			catalog.FloatDatum(r.NormFloat64()),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.AnalyzeAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	nonPK := []string{"a", "b", "c", "d", "e"}
+	queries := []string{
+		"SELECT id, a FROM t WHERE a < 50 ORDER BY id",
+		"SELECT id, a, b FROM t WHERE a BETWEEN 10 AND 60 AND b > 30 ORDER BY id",
+		"SELECT c, COUNT(*) AS n, AVG(e) FROM t GROUP BY c ORDER BY c",
+		"SELECT id FROM t WHERE c = 2 AND d > 10 ORDER BY id",
+		"SELECT id, a, b, c, d, e FROM t WHERE e > 0 ORDER BY id",
+		"SELECT COUNT(*) FROM t",
+	}
+
+	for trial := 0; trial < 12; trial++ {
+		// Random partitioning: shuffle columns, cut into 1-4 groups.
+		cols := append([]string(nil), nonPK...)
+		r.Shuffle(len(cols), func(i, j int) { cols[i], cols[j] = cols[j], cols[i] })
+		groups := 1 + r.Intn(4)
+		frags := make([][]string, groups)
+		for i, c := range cols {
+			frags[i%groups] = append(frags[i%groups], c)
+		}
+		// Materialize fragment tables for this trial.
+		part := &Partitioning{Parent: db.Catalog.Table("t")}
+		var created []string
+		for fi, fcols := range frags {
+			name := fmt.Sprintf("t_tr%d_f%d", trial, fi)
+			ddlCols := "id bigint"
+			for _, c := range fcols {
+				ty := "float8"
+				if c == "c" || c == "d" {
+					ty = "int"
+				}
+				ddlCols += ", " + c + " " + ty
+			}
+			mustCreate("CREATE TABLE " + name + " (" + ddlCols + ", PRIMARY KEY (id))")
+			created = append(created, name)
+			part.Fragments = append(part.Fragments, Fragment{Name: name, Columns: fcols})
+			// Copy the projection.
+			parent := db.Catalog.Table("t")
+			ords := []int{parent.ColumnIndex("id")}
+			for _, c := range fcols {
+				ords = append(ords, parent.ColumnIndex(c))
+			}
+			it := db.Heap("t").Scan()
+			for {
+				row, ok := it.Next()
+				if !ok {
+					break
+				}
+				out := make([]catalog.Datum, len(ords))
+				for k, o := range ords {
+					out[k] = row[o]
+				}
+				if err := db.Insert(name, out); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		rw := New(map[string]*Partitioning{"t": part})
+		for _, q := range queries {
+			sel, err := sql.ParseSelect(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			orig, err := db.Execute(sel)
+			if err != nil {
+				t.Fatalf("trial %d original %q: %v", trial, q, err)
+			}
+			rq, err := rw.Rewrite(sel)
+			if err != nil {
+				t.Fatalf("trial %d rewrite %q: %v", trial, q, err)
+			}
+			got, err := db.Execute(rq)
+			if err != nil {
+				t.Fatalf("trial %d rewritten %q: %v\n%s", trial, q, err, sql.PrintSelect(rq))
+			}
+			if !sameRows(orig.Rows, got.Rows) {
+				t.Fatalf("trial %d query %q: mismatch (%d vs %d rows)\nfragments: %v\nrewritten: %s",
+					trial, q, len(orig.Rows), len(got.Rows), frags, sql.PrintSelect(rq))
+			}
+		}
+		for _, name := range created {
+			if err := db.Catalog.DropTable(name); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}

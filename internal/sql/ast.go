@@ -1,0 +1,383 @@
+package sql
+
+import "strings"
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// Expr is any scalar or boolean expression node.
+type Expr interface{ expr() }
+
+// Select is a single-block SELECT statement.
+type Select struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Joins    []Join // explicit JOIN ... ON clauses, applied left-to-right
+	Where    Expr   // nil when absent
+	GroupBy  []Expr
+	Having   Expr // nil when absent
+	OrderBy  []OrderItem
+	Limit    int64 // -1 when absent
+}
+
+func (*Select) stmt() {}
+
+// SelectItem is one entry of the projection list.
+type SelectItem struct {
+	Expr  Expr   // nil for a bare star
+	Alias string // optional AS alias
+	Star  bool   // SELECT * (Expr nil) or table.* (Expr is ColumnRef with Column "*")
+}
+
+// TableRef names a base table with an optional alias.
+type TableRef struct {
+	Table string
+	Alias string
+}
+
+// EffectiveName returns the name queries use to qualify columns of the
+// reference: the alias when present, the table name otherwise.
+func (t TableRef) EffectiveName() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// Join is an explicit inner join clause: JOIN <table> ON <cond>.
+type Join struct {
+	Table TableRef
+	Cond  Expr
+}
+
+// OrderItem is one ORDER BY entry.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// CreateTable is a CREATE TABLE statement.
+type CreateTable struct {
+	Name       string
+	Columns    []ColumnDef
+	PrimaryKey []string // column names, possibly empty
+}
+
+func (*CreateTable) stmt() {}
+
+// ColumnDef declares one column of a CREATE TABLE.
+type ColumnDef struct {
+	Name string
+	Type TypeName
+}
+
+// TypeName enumerates the column types in the dialect.
+type TypeName int
+
+// Supported column types. Sizes follow PostgreSQL: int4, int8, float8,
+// variable-width text, bool.
+const (
+	TypeInt TypeName = iota
+	TypeBigInt
+	TypeFloat
+	TypeText
+	TypeBool
+)
+
+func (t TypeName) String() string {
+	switch t {
+	case TypeInt:
+		return "int"
+	case TypeBigInt:
+		return "bigint"
+	case TypeFloat:
+		return "float8"
+	case TypeText:
+		return "text"
+	case TypeBool:
+		return "bool"
+	}
+	return "unknown"
+}
+
+// CreateIndex is a CREATE [UNIQUE] INDEX statement.
+type CreateIndex struct {
+	Name    string
+	Table   string
+	Columns []string
+	Unique  bool
+}
+
+func (*CreateIndex) stmt() {}
+
+// ColumnRef references a column, optionally qualified by table or alias.
+type ColumnRef struct {
+	Table  string // empty when unqualified
+	Column string
+}
+
+func (*ColumnRef) expr() {}
+
+// String renders the reference as it would appear in SQL.
+func (c *ColumnRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Column
+	}
+	return c.Column
+}
+
+// IntLit is an integer literal.
+type IntLit struct{ Value int64 }
+
+func (*IntLit) expr() {}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct{ Value float64 }
+
+func (*FloatLit) expr() {}
+
+// StringLit is a string literal.
+type StringLit struct{ Value string }
+
+func (*StringLit) expr() {}
+
+// BoolLit is TRUE or FALSE.
+type BoolLit struct{ Value bool }
+
+func (*BoolLit) expr() {}
+
+// NullLit is the NULL literal.
+type NullLit struct{}
+
+func (*NullLit) expr() {}
+
+// BinaryOp enumerates binary operators.
+type BinaryOp int
+
+// Binary operators, in rough precedence groups.
+const (
+	OpEq BinaryOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpAnd
+	OpOr
+	OpConcat
+)
+
+// opText maps operators to their SQL spelling.
+var opText = map[BinaryOp]string{
+	OpEq: "=", OpNe: "<>", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpAnd: "AND",
+	OpOr: "OR", OpConcat: "||",
+}
+
+func (op BinaryOp) String() string { return opText[op] }
+
+// IsComparison reports whether op compares two values into a boolean.
+func (op BinaryOp) IsComparison() bool { return op <= OpGe }
+
+// Inverse returns the comparison with its operands swapped (a < b ==
+// b > a). It panics for non-comparison operators.
+func (op BinaryOp) Inverse() BinaryOp {
+	switch op {
+	case OpEq, OpNe:
+		return op
+	case OpLt:
+		return OpGt
+	case OpLe:
+		return OpGe
+	case OpGt:
+		return OpLt
+	case OpGe:
+		return OpLe
+	}
+	panic("sql: Inverse on non-comparison operator")
+}
+
+// BinaryExpr is a binary operation.
+type BinaryExpr struct {
+	Op    BinaryOp
+	Left  Expr
+	Right Expr
+}
+
+func (*BinaryExpr) expr() {}
+
+// NotExpr is logical negation.
+type NotExpr struct{ Inner Expr }
+
+func (*NotExpr) expr() {}
+
+// BetweenExpr is `expr [NOT] BETWEEN lo AND hi`.
+type BetweenExpr struct {
+	Expr    Expr
+	Lo, Hi  Expr
+	Negated bool
+}
+
+func (*BetweenExpr) expr() {}
+
+// InExpr is `expr [NOT] IN (list...)`.
+type InExpr struct {
+	Expr    Expr
+	List    []Expr
+	Negated bool
+}
+
+func (*InExpr) expr() {}
+
+// LikeExpr is `expr [NOT] LIKE pattern`.
+type LikeExpr struct {
+	Expr    Expr
+	Pattern string
+	Negated bool
+}
+
+func (*LikeExpr) expr() {}
+
+// IsNullExpr is `expr IS [NOT] NULL`.
+type IsNullExpr struct {
+	Expr    Expr
+	Negated bool
+}
+
+func (*IsNullExpr) expr() {}
+
+// FuncExpr is an aggregate or scalar function call. Star marks
+// COUNT(*).
+type FuncExpr struct {
+	Name string // lower-cased
+	Args []Expr
+	Star bool
+}
+
+func (*FuncExpr) expr() {}
+
+// IsAggregate reports whether the function is one of the aggregate
+// functions the dialect supports.
+func (f *FuncExpr) IsAggregate() bool {
+	switch f.Name {
+	case "count", "sum", "avg", "min", "max":
+		return true
+	}
+	return false
+}
+
+// UnaryMinus negates a numeric expression.
+type UnaryMinus struct{ Inner Expr }
+
+func (*UnaryMinus) expr() {}
+
+// WalkExprs calls fn for every expression node reachable from e,
+// including e itself, in depth-first order.
+func WalkExprs(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch v := e.(type) {
+	case *BinaryExpr:
+		WalkExprs(v.Left, fn)
+		WalkExprs(v.Right, fn)
+	case *NotExpr:
+		WalkExprs(v.Inner, fn)
+	case *BetweenExpr:
+		WalkExprs(v.Expr, fn)
+		WalkExprs(v.Lo, fn)
+		WalkExprs(v.Hi, fn)
+	case *InExpr:
+		WalkExprs(v.Expr, fn)
+		for _, x := range v.List {
+			WalkExprs(x, fn)
+		}
+	case *LikeExpr:
+		WalkExprs(v.Expr, fn)
+	case *IsNullExpr:
+		WalkExprs(v.Expr, fn)
+	case *FuncExpr:
+		for _, a := range v.Args {
+			WalkExprs(a, fn)
+		}
+	case *UnaryMinus:
+		WalkExprs(v.Inner, fn)
+	}
+}
+
+// WalkSelect calls fn on every expression in the statement: select
+// items, join conditions, WHERE, GROUP BY, HAVING and ORDER BY.
+func WalkSelect(s *Select, fn func(Expr)) {
+	for _, it := range s.Items {
+		WalkExprs(it.Expr, fn)
+	}
+	for _, j := range s.Joins {
+		WalkExprs(j.Cond, fn)
+	}
+	WalkExprs(s.Where, fn)
+	for _, g := range s.GroupBy {
+		WalkExprs(g, fn)
+	}
+	WalkExprs(s.Having, fn)
+	for _, o := range s.OrderBy {
+		WalkExprs(o.Expr, fn)
+	}
+}
+
+// ColumnRefs returns every column reference in the statement, in
+// traversal order.
+func ColumnRefs(s *Select) []*ColumnRef {
+	var refs []*ColumnRef
+	WalkSelect(s, func(e Expr) {
+		if c, ok := e.(*ColumnRef); ok && c.Column != "*" {
+			refs = append(refs, c)
+		}
+	})
+	return refs
+}
+
+// ConjunctsOf splits a boolean expression into its top-level AND
+// conjuncts. A nil expression yields nil.
+func ConjunctsOf(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*BinaryExpr); ok && b.Op == OpAnd {
+		return append(ConjunctsOf(b.Left), ConjunctsOf(b.Right)...)
+	}
+	return []Expr{e}
+}
+
+// AndAll joins the expressions with AND; nil for an empty list.
+func AndAll(exprs []Expr) Expr {
+	var out Expr
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		if out == nil {
+			out = e
+		} else {
+			out = &BinaryExpr{Op: OpAnd, Left: out, Right: e}
+		}
+	}
+	return out
+}
+
+// LikePrefix returns the constant prefix of a LIKE pattern (up to the
+// first wildcard) and whether the pattern is a pure prefix match
+// ("abc%"). A pattern with no wildcard is an exact match with prefix =
+// the whole pattern.
+func LikePrefix(pattern string) (prefix string, pureFixedPrefix bool) {
+	i := strings.IndexAny(pattern, "%_")
+	if i < 0 {
+		return pattern, true
+	}
+	return pattern[:i], i == len(pattern)-1 && pattern[i] == '%'
+}

@@ -1,0 +1,83 @@
+package sql
+
+// CloneSelect returns a deep copy of a SELECT statement. The rewriter
+// mutates clones so the original workload ASTs stay intact.
+func CloneSelect(s *Select) *Select {
+	if s == nil {
+		return nil
+	}
+	n := &Select{
+		Distinct: s.Distinct,
+		Limit:    s.Limit,
+		Where:    CloneExpr(s.Where),
+		Having:   CloneExpr(s.Having),
+	}
+	for _, it := range s.Items {
+		n.Items = append(n.Items, SelectItem{
+			Expr:  CloneExpr(it.Expr),
+			Alias: it.Alias,
+			Star:  it.Star,
+		})
+	}
+	n.From = append([]TableRef(nil), s.From...)
+	for _, j := range s.Joins {
+		n.Joins = append(n.Joins, Join{Table: j.Table, Cond: CloneExpr(j.Cond)})
+	}
+	for _, g := range s.GroupBy {
+		n.GroupBy = append(n.GroupBy, CloneExpr(g))
+	}
+	for _, o := range s.OrderBy {
+		n.OrderBy = append(n.OrderBy, OrderItem{Expr: CloneExpr(o.Expr), Desc: o.Desc})
+	}
+	return n
+}
+
+// CloneExpr returns a deep copy of an expression tree.
+func CloneExpr(e Expr) Expr {
+	switch v := e.(type) {
+	case nil:
+		return nil
+	case *ColumnRef:
+		c := *v
+		return &c
+	case *IntLit:
+		c := *v
+		return &c
+	case *FloatLit:
+		c := *v
+		return &c
+	case *StringLit:
+		c := *v
+		return &c
+	case *BoolLit:
+		c := *v
+		return &c
+	case *NullLit:
+		return &NullLit{}
+	case *BinaryExpr:
+		return &BinaryExpr{Op: v.Op, Left: CloneExpr(v.Left), Right: CloneExpr(v.Right)}
+	case *NotExpr:
+		return &NotExpr{Inner: CloneExpr(v.Inner)}
+	case *BetweenExpr:
+		return &BetweenExpr{Expr: CloneExpr(v.Expr), Lo: CloneExpr(v.Lo), Hi: CloneExpr(v.Hi), Negated: v.Negated}
+	case *InExpr:
+		n := &InExpr{Expr: CloneExpr(v.Expr), Negated: v.Negated}
+		for _, x := range v.List {
+			n.List = append(n.List, CloneExpr(x))
+		}
+		return n
+	case *LikeExpr:
+		return &LikeExpr{Expr: CloneExpr(v.Expr), Pattern: v.Pattern, Negated: v.Negated}
+	case *IsNullExpr:
+		return &IsNullExpr{Expr: CloneExpr(v.Expr), Negated: v.Negated}
+	case *FuncExpr:
+		n := &FuncExpr{Name: v.Name, Star: v.Star}
+		for _, a := range v.Args {
+			n.Args = append(n.Args, CloneExpr(a))
+		}
+		return n
+	case *UnaryMinus:
+		return &UnaryMinus{Inner: CloneExpr(v.Inner)}
+	}
+	return e
+}

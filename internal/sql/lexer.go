@@ -1,0 +1,209 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lexer turns a SQL string into a stream of tokens. It is used by the
+// parser and is exported so tools (e.g. the workload loader) can split
+// statements without a full parse.
+type Lexer struct {
+	src string
+	pos int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src} }
+
+// Next returns the next token, or an error for an unterminated string
+// or an unexpected byte.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		word := strings.ToLower(l.src[start:l.pos])
+		kind := TokIdent
+		if IsKeyword(word) {
+			kind = TokKeyword
+		}
+		return Token{Kind: kind, Text: word, Pos: start}, nil
+	case isDigit(c) || (c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+		l.lexNumber()
+		return Token{Kind: TokNumber, Text: l.src[start:l.pos], Pos: start}, nil
+	case c == '\'':
+		text, err := l.lexString()
+		if err != nil {
+			return Token{}, err
+		}
+		return Token{Kind: TokString, Text: text, Pos: start}, nil
+	default:
+		sym, err := l.lexSymbol()
+		if err != nil {
+			return Token{}, err
+		}
+		return Token{Kind: TokSymbol, Text: sym, Pos: start}, nil
+	}
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				l.pos = len(l.src)
+			} else {
+				l.pos += 2 + end + 2
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *Lexer) lexNumber() {
+	for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '.' {
+		l.pos++
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+		}
+	}
+	// Exponent part: 1e9, 2.5E-3.
+	if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+		save := l.pos
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+			l.pos++
+		}
+		if l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				l.pos++
+			}
+		} else {
+			l.pos = save // 'e' was the start of an identifier, not an exponent
+		}
+	}
+}
+
+// lexString consumes a single-quoted string literal, handling the SQL
+// convention of doubling quotes ('it”s') for embedded quotes.
+func (l *Lexer) lexString() (string, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return b.String(), nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return "", fmt.Errorf("sql: unterminated string literal at offset %d", start)
+}
+
+func (l *Lexer) lexSymbol() (string, error) {
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "<>", "!=", "||":
+		l.pos += 2
+		return two, nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', ',', '*', '+', '-', '/', '=', '<', '>', '.', ';', '%':
+		l.pos++
+		return string(c), nil
+	}
+	return "", fmt.Errorf("sql: unexpected character %q at offset %d", c, l.pos)
+}
+
+// Tokenize lexes the whole input, returning every token up to EOF.
+func Tokenize(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+// SplitStatements splits a script into statements on top-level
+// semicolons, respecting string literals and comments. Empty
+// statements are dropped. It is used by the workload file loader.
+func SplitStatements(script string) ([]string, error) {
+	l := NewLexer(script)
+	var stmts []string
+	start := -1
+	prevEnd := 0
+	for {
+		posBefore := l.pos
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == TokEOF {
+			if start >= 0 && strings.TrimSpace(script[start:]) != "" {
+				stmts = append(stmts, strings.TrimSpace(script[start:]))
+			}
+			return stmts, nil
+		}
+		if t.Kind == TokSymbol && t.Text == ";" {
+			if start >= 0 {
+				s := strings.TrimSpace(script[start:posBefore])
+				if s != "" {
+					stmts = append(stmts, s)
+				}
+			}
+			start = -1
+			prevEnd = l.pos
+			continue
+		}
+		if start < 0 {
+			start = t.Pos
+		}
+		_ = prevEnd
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

@@ -1,0 +1,742 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parser is a recursive-descent parser for the dialect. Create one
+// with NewParser and call ParseStatement, or use the package-level
+// Parse / ParseSelect helpers.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// NewParser returns a parser over src. Lexing happens eagerly; lexical
+// errors surface from ParseStatement.
+func NewParser(src string) (*Parser, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Parser{toks: toks}, nil
+}
+
+// Parse parses a single statement and verifies nothing but an optional
+// trailing semicolon follows it.
+func Parse(src string) (Statement, error) {
+	p, err := NewParser(src)
+	if err != nil {
+		return nil, err
+	}
+	st, err := p.ParseStatement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(TokSymbol, ";")
+	if !p.atEOF() {
+		return nil, fmt.Errorf("sql: unexpected %s after statement", p.peek())
+	}
+	return st, nil
+}
+
+// ParseSelect parses src and requires it to be a SELECT statement.
+func ParseSelect(src string) (*Select, error) {
+	st, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*Select)
+	if !ok {
+		return nil, fmt.Errorf("sql: expected SELECT statement, got %T", st)
+	}
+	return sel, nil
+}
+
+// ParseScript parses a semicolon-separated script into statements.
+func ParseScript(src string) ([]Statement, error) {
+	parts, err := SplitStatements(src)
+	if err != nil {
+		return nil, err
+	}
+	stmts := make([]Statement, 0, len(parts))
+	for _, part := range parts {
+		st, err := Parse(part)
+		if err != nil {
+			return nil, fmt.Errorf("%w\nin statement: %s", err, part)
+		}
+		stmts = append(stmts, st)
+	}
+	return stmts, nil
+}
+
+// ParseStatement parses one statement starting at the current token.
+func (p *Parser) ParseStatement() (Statement, error) {
+	switch {
+	case p.peekKeyword("select"):
+		return p.parseSelect()
+	case p.peekKeyword("create"):
+		return p.parseCreate()
+	}
+	return nil, fmt.Errorf("sql: expected SELECT or CREATE, got %s", p.peek())
+}
+
+func (p *Parser) parseSelect() (*Select, error) {
+	p.expectKeyword("select")
+	sel := &Select{Limit: -1}
+	sel.Distinct = p.acceptKeyword("distinct")
+
+	// Projection list.
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+
+	if err := p.expectKeywordErr("from"); err != nil {
+		return nil, err
+	}
+	for {
+		tr, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		sel.From = append(sel.From, tr)
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+	for p.acceptKeyword("inner") || p.peekKeyword("join") {
+		if err := p.expectKeywordErr("join"); err != nil {
+			return nil, err
+		}
+		tr, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeywordErr("on"); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Joins = append(sel.Joins, Join{Table: tr, Cond: cond})
+	}
+
+	if p.acceptKeyword("where") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = e
+	}
+	if p.acceptKeyword("group") {
+		if err := p.expectKeywordErr("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("having") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = e
+	}
+	if p.acceptKeyword("order") {
+		if err := p.expectKeywordErr("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			it := OrderItem{Expr: e}
+			if p.acceptKeyword("desc") {
+				it.Desc = true
+			} else {
+				p.acceptKeyword("asc")
+			}
+			sel.OrderBy = append(sel.OrderBy, it)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("limit") {
+		t := p.peek()
+		if t.Kind != TokNumber {
+			return nil, fmt.Errorf("sql: LIMIT expects a number, got %s", t)
+		}
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad LIMIT value %q", t.Text)
+		}
+		p.pos++
+		sel.Limit = n
+	}
+	return sel, nil
+}
+
+func (p *Parser) parseSelectItem() (SelectItem, error) {
+	if p.accept(TokSymbol, "*") {
+		return SelectItem{Star: true}, nil
+	}
+	// table.* form: identifier '.' '*'
+	if p.peek().Kind == TokIdent && p.peekAt(1).Kind == TokSymbol && p.peekAt(1).Text == "." &&
+		p.peekAt(2).Kind == TokSymbol && p.peekAt(2).Text == "*" {
+		tbl := p.peek().Text
+		p.pos += 3
+		return SelectItem{Star: true, Expr: &ColumnRef{Table: tbl, Column: "*"}}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("as") {
+		t := p.peek()
+		if t.Kind != TokIdent && t.Kind != TokKeyword {
+			return SelectItem{}, fmt.Errorf("sql: expected alias after AS, got %s", t)
+		}
+		p.pos++
+		item.Alias = t.Text
+	} else if p.peek().Kind == TokIdent {
+		item.Alias = p.peek().Text
+		p.pos++
+	}
+	return item, nil
+}
+
+func (p *Parser) parseTableRef() (TableRef, error) {
+	t := p.peek()
+	if t.Kind != TokIdent {
+		return TableRef{}, fmt.Errorf("sql: expected table name, got %s", t)
+	}
+	p.pos++
+	tr := TableRef{Table: t.Text}
+	if p.acceptKeyword("as") {
+		a := p.peek()
+		if a.Kind != TokIdent {
+			return TableRef{}, fmt.Errorf("sql: expected alias after AS, got %s", a)
+		}
+		p.pos++
+		tr.Alias = a.Text
+	} else if p.peek().Kind == TokIdent {
+		tr.Alias = p.peek().Text
+		p.pos++
+	}
+	return tr, nil
+}
+
+func (p *Parser) parseCreate() (Statement, error) {
+	p.expectKeyword("create")
+	unique := p.acceptKeyword("unique")
+	switch {
+	case p.acceptKeyword("table"):
+		if unique {
+			return nil, fmt.Errorf("sql: UNIQUE is not valid before TABLE")
+		}
+		return p.parseCreateTable()
+	case p.acceptKeyword("index"):
+		return p.parseCreateIndex(unique)
+	}
+	return nil, fmt.Errorf("sql: expected TABLE or INDEX after CREATE, got %s", p.peek())
+}
+
+func (p *Parser) parseCreateTable() (*CreateTable, error) {
+	name := p.peek()
+	if name.Kind != TokIdent {
+		return nil, fmt.Errorf("sql: expected table name, got %s", name)
+	}
+	p.pos++
+	if !p.accept(TokSymbol, "(") {
+		return nil, fmt.Errorf("sql: expected '(' after table name, got %s", p.peek())
+	}
+	ct := &CreateTable{Name: name.Text}
+	for {
+		if p.acceptKeyword("primary") {
+			if err := p.expectKeywordErr("key"); err != nil {
+				return nil, err
+			}
+			if !p.accept(TokSymbol, "(") {
+				return nil, fmt.Errorf("sql: expected '(' after PRIMARY KEY")
+			}
+			for {
+				c := p.peek()
+				if c.Kind != TokIdent {
+					return nil, fmt.Errorf("sql: expected column in PRIMARY KEY, got %s", c)
+				}
+				p.pos++
+				ct.PrimaryKey = append(ct.PrimaryKey, c.Text)
+				if !p.accept(TokSymbol, ",") {
+					break
+				}
+			}
+			if !p.accept(TokSymbol, ")") {
+				return nil, fmt.Errorf("sql: expected ')' closing PRIMARY KEY")
+			}
+		} else {
+			col := p.peek()
+			if col.Kind != TokIdent {
+				return nil, fmt.Errorf("sql: expected column name, got %s", col)
+			}
+			p.pos++
+			ty, err := p.parseTypeName()
+			if err != nil {
+				return nil, err
+			}
+			ct.Columns = append(ct.Columns, ColumnDef{Name: col.Text, Type: ty})
+		}
+		if p.accept(TokSymbol, ",") {
+			continue
+		}
+		break
+	}
+	if !p.accept(TokSymbol, ")") {
+		return nil, fmt.Errorf("sql: expected ')' closing CREATE TABLE, got %s", p.peek())
+	}
+	return ct, nil
+}
+
+func (p *Parser) parseTypeName() (TypeName, error) {
+	t := p.peek()
+	if t.Kind != TokIdent && t.Kind != TokKeyword {
+		return 0, fmt.Errorf("sql: expected type name, got %s", t)
+	}
+	p.pos++
+	switch strings.ToLower(t.Text) {
+	case "int", "int4", "integer", "smallint", "int2":
+		return TypeInt, nil
+	case "bigint", "int8":
+		return TypeBigInt, nil
+	case "float8", "float", "double", "real", "float4", "numeric":
+		// "double precision" — consume the trailing word.
+		if t.Text == "double" && p.peek().Kind == TokIdent && p.peek().Text == "precision" {
+			p.pos++
+		}
+		return TypeFloat, nil
+	case "text", "varchar", "char":
+		// Optional length: varchar(32).
+		if p.accept(TokSymbol, "(") {
+			if p.peek().Kind != TokNumber {
+				return 0, fmt.Errorf("sql: expected length in type, got %s", p.peek())
+			}
+			p.pos++
+			if !p.accept(TokSymbol, ")") {
+				return 0, fmt.Errorf("sql: expected ')' after type length")
+			}
+		}
+		return TypeText, nil
+	case "bool", "boolean":
+		return TypeBool, nil
+	}
+	return 0, fmt.Errorf("sql: unknown type %q", t.Text)
+}
+
+func (p *Parser) parseCreateIndex(unique bool) (*CreateIndex, error) {
+	name := p.peek()
+	if name.Kind != TokIdent {
+		return nil, fmt.Errorf("sql: expected index name, got %s", name)
+	}
+	p.pos++
+	if err := p.expectKeywordErr("on"); err != nil {
+		return nil, err
+	}
+	tbl := p.peek()
+	if tbl.Kind != TokIdent {
+		return nil, fmt.Errorf("sql: expected table name, got %s", tbl)
+	}
+	p.pos++
+	if !p.accept(TokSymbol, "(") {
+		return nil, fmt.Errorf("sql: expected '(' in CREATE INDEX, got %s", p.peek())
+	}
+	ci := &CreateIndex{Name: name.Text, Table: tbl.Text, Unique: unique}
+	for {
+		c := p.peek()
+		if c.Kind != TokIdent {
+			return nil, fmt.Errorf("sql: expected column name, got %s", c)
+		}
+		p.pos++
+		ci.Columns = append(ci.Columns, c.Text)
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+	if !p.accept(TokSymbol, ")") {
+		return nil, fmt.Errorf("sql: expected ')' closing CREATE INDEX, got %s", p.peek())
+	}
+	return ci, nil
+}
+
+// --- expression parsing, precedence climbing ---
+
+// parseExpr parses OR-level expressions (lowest precedence).
+func (p *Parser) parseExpr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("or") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: OpOr, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("and") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: OpAnd, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("not") {
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{Inner: inner}, nil
+	}
+	return p.parsePredicate()
+}
+
+// parsePredicate parses comparison and SQL predicate forms (BETWEEN,
+// IN, LIKE, IS NULL) over additive expressions.
+func (p *Parser) parsePredicate() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	negated := false
+	if p.peekKeyword("not") && (p.peekAtKeyword(1, "between") || p.peekAtKeyword(1, "in") || p.peekAtKeyword(1, "like")) {
+		p.pos++
+		negated = true
+	}
+	switch {
+	case p.acceptKeyword("between"):
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeywordErr("and"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenExpr{Expr: left, Lo: lo, Hi: hi, Negated: negated}, nil
+	case p.acceptKeyword("in"):
+		if !p.accept(TokSymbol, "(") {
+			return nil, fmt.Errorf("sql: expected '(' after IN, got %s", p.peek())
+		}
+		var list []Expr
+		for {
+			e, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+		if !p.accept(TokSymbol, ")") {
+			return nil, fmt.Errorf("sql: expected ')' closing IN list, got %s", p.peek())
+		}
+		return &InExpr{Expr: left, List: list, Negated: negated}, nil
+	case p.acceptKeyword("like"):
+		pat := p.peek()
+		if pat.Kind != TokString {
+			return nil, fmt.Errorf("sql: LIKE expects a string pattern, got %s", pat)
+		}
+		p.pos++
+		return &LikeExpr{Expr: left, Pattern: pat.Text, Negated: negated}, nil
+	case p.acceptKeyword("is"):
+		neg := p.acceptKeyword("not")
+		if err := p.expectKeywordErr("null"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{Expr: left, Negated: neg}, nil
+	}
+	if negated {
+		return nil, fmt.Errorf("sql: dangling NOT before %s", p.peek())
+	}
+	for {
+		var op BinaryOp
+		switch {
+		case p.accept(TokSymbol, "="):
+			op = OpEq
+		case p.accept(TokSymbol, "<>"), p.accept(TokSymbol, "!="):
+			op = OpNe
+		case p.accept(TokSymbol, "<="):
+			op = OpLe
+		case p.accept(TokSymbol, ">="):
+			op = OpGe
+		case p.accept(TokSymbol, "<"):
+			op = OpLt
+		case p.accept(TokSymbol, ">"):
+			op = OpGt
+		default:
+			return left, nil
+		}
+		right, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *Parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinaryOp
+		switch {
+		case p.accept(TokSymbol, "+"):
+			op = OpAdd
+		case p.accept(TokSymbol, "-"):
+			op = OpSub
+		case p.accept(TokSymbol, "||"):
+			op = OpConcat
+		default:
+			return left, nil
+		}
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *Parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinaryOp
+		switch {
+		case p.accept(TokSymbol, "*"):
+			op = OpMul
+		case p.accept(TokSymbol, "/"):
+			op = OpDiv
+		default:
+			return left, nil
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if p.accept(TokSymbol, "-") {
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold a negated literal immediately; keeps plans and
+		// printers simple.
+		switch v := inner.(type) {
+		case *IntLit:
+			return &IntLit{Value: -v.Value}, nil
+		case *FloatLit:
+			return &FloatLit{Value: -v.Value}, nil
+		}
+		return &UnaryMinus{Inner: inner}, nil
+	}
+	p.accept(TokSymbol, "+")
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokNumber:
+		p.pos++
+		if strings.ContainsAny(t.Text, ".eE") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sql: bad number %q", t.Text)
+			}
+			return &FloatLit{Value: f}, nil
+		}
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			// Overflowing integers degrade to float.
+			f, ferr := strconv.ParseFloat(t.Text, 64)
+			if ferr != nil {
+				return nil, fmt.Errorf("sql: bad number %q", t.Text)
+			}
+			return &FloatLit{Value: f}, nil
+		}
+		return &IntLit{Value: n}, nil
+	case TokString:
+		p.pos++
+		return &StringLit{Value: t.Text}, nil
+	case TokKeyword:
+		switch t.Text {
+		case "true":
+			p.pos++
+			return &BoolLit{Value: true}, nil
+		case "false":
+			p.pos++
+			return &BoolLit{Value: false}, nil
+		case "null":
+			p.pos++
+			return &NullLit{}, nil
+		case "count", "sum", "avg", "min", "max":
+			return p.parseFuncCall()
+		case "not":
+			p.pos++
+			inner, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			return &NotExpr{Inner: inner}, nil
+		}
+		return nil, fmt.Errorf("sql: unexpected keyword %s in expression", t)
+	case TokIdent:
+		// Function call?
+		if p.peekAt(1).Kind == TokSymbol && p.peekAt(1).Text == "(" {
+			return p.parseFuncCall()
+		}
+		p.pos++
+		ref := &ColumnRef{Column: t.Text}
+		if p.accept(TokSymbol, ".") {
+			c := p.peek()
+			if c.Kind != TokIdent && !(c.Kind == TokSymbol && c.Text == "*") {
+				return nil, fmt.Errorf("sql: expected column after '.', got %s", c)
+			}
+			p.pos++
+			ref.Table = t.Text
+			ref.Column = c.Text
+		}
+		return ref, nil
+	case TokSymbol:
+		if t.Text == "(" {
+			p.pos++
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if !p.accept(TokSymbol, ")") {
+				return nil, fmt.Errorf("sql: expected ')' to close expression, got %s", p.peek())
+			}
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("sql: unexpected %s in expression", t)
+}
+
+func (p *Parser) parseFuncCall() (Expr, error) {
+	name := p.peek().Text
+	p.pos++
+	if !p.accept(TokSymbol, "(") {
+		return nil, fmt.Errorf("sql: expected '(' after function %s", name)
+	}
+	fn := &FuncExpr{Name: strings.ToLower(name)}
+	if p.accept(TokSymbol, "*") {
+		fn.Star = true
+	} else if !(p.peek().Kind == TokSymbol && p.peek().Text == ")") {
+		for {
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			fn.Args = append(fn.Args, a)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if !p.accept(TokSymbol, ")") {
+		return nil, fmt.Errorf("sql: expected ')' closing call to %s, got %s", name, p.peek())
+	}
+	return fn, nil
+}
+
+// --- token helpers ---
+
+func (p *Parser) peek() Token { return p.peekAt(0) }
+
+func (p *Parser) peekAt(n int) Token {
+	if p.pos+n >= len(p.toks) {
+		return Token{Kind: TokEOF}
+	}
+	return p.toks[p.pos+n]
+}
+
+func (p *Parser) atEOF() bool { return p.peek().Kind == TokEOF }
+
+func (p *Parser) accept(kind TokenKind, text string) bool {
+	t := p.peek()
+	if t.Kind == kind && t.Text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) acceptKeyword(kw string) bool { return p.accept(TokKeyword, kw) }
+
+func (p *Parser) peekKeyword(kw string) bool {
+	t := p.peek()
+	return t.Kind == TokKeyword && t.Text == kw
+}
+
+func (p *Parser) peekAtKeyword(n int, kw string) bool {
+	t := p.peekAt(n)
+	return t.Kind == TokKeyword && t.Text == kw
+}
+
+func (p *Parser) expectKeyword(kw string) {
+	if !p.acceptKeyword(kw) {
+		panic(fmt.Sprintf("sql: internal parser error, expected %q", kw))
+	}
+}
+
+func (p *Parser) expectKeywordErr(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return fmt.Errorf("sql: expected %s, got %s", strings.ToUpper(kw), p.peek())
+	}
+	return nil
+}

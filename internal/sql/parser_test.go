@@ -1,0 +1,421 @@
+package sql
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustSelect(t *testing.T, src string) *Select {
+	t.Helper()
+	s, err := ParseSelect(src)
+	if err != nil {
+		t.Fatalf("ParseSelect(%q): %v", src, err)
+	}
+	return s
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	s := mustSelect(t, "SELECT objid, ra, dec FROM photoobj WHERE ra BETWEEN 180 AND 190")
+	if len(s.Items) != 3 {
+		t.Fatalf("items = %d, want 3", len(s.Items))
+	}
+	if s.From[0].Table != "photoobj" {
+		t.Errorf("table = %q", s.From[0].Table)
+	}
+	bw, ok := s.Where.(*BetweenExpr)
+	if !ok {
+		t.Fatalf("where is %T, want *BetweenExpr", s.Where)
+	}
+	if bw.Negated {
+		t.Error("unexpected negation")
+	}
+	col := bw.Expr.(*ColumnRef)
+	if col.Column != "ra" {
+		t.Errorf("between column = %q", col.Column)
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	s := mustSelect(t, "select * from specobj")
+	if !s.Items[0].Star || s.Items[0].Expr != nil {
+		t.Fatalf("expected bare star, got %+v", s.Items[0])
+	}
+	s = mustSelect(t, "select p.* from photoobj p")
+	if !s.Items[0].Star {
+		t.Fatal("expected qualified star")
+	}
+	if ref := s.Items[0].Expr.(*ColumnRef); ref.Table != "p" {
+		t.Errorf("star qualifier = %q", ref.Table)
+	}
+}
+
+func TestParseJoinForms(t *testing.T) {
+	// Comma join with WHERE equality.
+	s := mustSelect(t, "SELECT p.objid FROM photoobj p, specobj s WHERE p.objid = s.bestobjid AND s.z > 0.1")
+	if len(s.From) != 2 {
+		t.Fatalf("from = %d tables", len(s.From))
+	}
+	// Explicit JOIN ... ON.
+	s = mustSelect(t, "SELECT p.objid FROM photoobj p JOIN specobj s ON p.objid = s.bestobjid WHERE s.z > 0.1")
+	if len(s.Joins) != 1 {
+		t.Fatalf("joins = %d, want 1", len(s.Joins))
+	}
+	if s.Joins[0].Table.Alias != "s" {
+		t.Errorf("join alias = %q", s.Joins[0].Table.Alias)
+	}
+	// INNER JOIN spelling.
+	s = mustSelect(t, "SELECT 1 FROM a INNER JOIN b ON a.x = b.x")
+	if len(s.Joins) != 1 {
+		t.Fatalf("inner joins = %d, want 1", len(s.Joins))
+	}
+}
+
+func TestParseAggregatesGroupOrderLimit(t *testing.T) {
+	s := mustSelect(t, `SELECT run, COUNT(*) AS n, AVG(r) FROM photoobj
+		WHERE type = 6 GROUP BY run HAVING COUNT(*) > 10 ORDER BY n DESC, run LIMIT 25`)
+	if len(s.GroupBy) != 1 || len(s.OrderBy) != 2 || s.Limit != 25 {
+		t.Fatalf("clauses wrong: %+v", s)
+	}
+	fe := s.Items[1].Expr.(*FuncExpr)
+	if !fe.Star || fe.Name != "count" {
+		t.Errorf("count(*) parsed as %+v", fe)
+	}
+	if s.Items[1].Alias != "n" {
+		t.Errorf("alias = %q", s.Items[1].Alias)
+	}
+	if !s.OrderBy[0].Desc || s.OrderBy[1].Desc {
+		t.Errorf("order directions wrong: %+v", s.OrderBy)
+	}
+	if s.Having == nil {
+		t.Error("missing HAVING")
+	}
+}
+
+func TestParsePredicates(t *testing.T) {
+	s := mustSelect(t, `SELECT objid FROM photoobj WHERE type IN (3, 6)
+		AND name LIKE 'SDSS%' AND err IS NOT NULL AND NOT (flags > 0 OR mode = 2)`)
+	conj := ConjunctsOf(s.Where)
+	if len(conj) != 4 {
+		t.Fatalf("conjuncts = %d, want 4", len(conj))
+	}
+	in := conj[0].(*InExpr)
+	if len(in.List) != 2 {
+		t.Errorf("in list = %d", len(in.List))
+	}
+	like := conj[1].(*LikeExpr)
+	if like.Pattern != "SDSS%" {
+		t.Errorf("pattern = %q", like.Pattern)
+	}
+	isn := conj[2].(*IsNullExpr)
+	if !isn.Negated {
+		t.Error("IS NOT NULL lost negation")
+	}
+	if _, ok := conj[3].(*NotExpr); !ok {
+		t.Errorf("conj[3] is %T", conj[3])
+	}
+}
+
+func TestParseNotBetweenAndNotIn(t *testing.T) {
+	s := mustSelect(t, "SELECT 1 FROM t WHERE a NOT BETWEEN 1 AND 2 AND b NOT IN (1,2,3) AND c NOT LIKE 'x%'")
+	conj := ConjunctsOf(s.Where)
+	if !conj[0].(*BetweenExpr).Negated {
+		t.Error("NOT BETWEEN lost negation")
+	}
+	if !conj[1].(*InExpr).Negated {
+		t.Error("NOT IN lost negation")
+	}
+	if !conj[2].(*LikeExpr).Negated {
+		t.Error("NOT LIKE lost negation")
+	}
+}
+
+func TestParseArithmeticPrecedence(t *testing.T) {
+	s := mustSelect(t, "SELECT 1 FROM t WHERE a + b * 2 > c - 1")
+	cmp := s.Where.(*BinaryExpr)
+	if cmp.Op != OpGt {
+		t.Fatalf("top op = %v", cmp.Op)
+	}
+	add := cmp.Left.(*BinaryExpr)
+	if add.Op != OpAdd {
+		t.Fatalf("left op = %v", add.Op)
+	}
+	if mul := add.Right.(*BinaryExpr); mul.Op != OpMul {
+		t.Fatalf("mul op = %v", mul.Op)
+	}
+}
+
+func TestParseNegativeNumbers(t *testing.T) {
+	s := mustSelect(t, "SELECT 1 FROM t WHERE dec BETWEEN -1.5 AND 2e3 AND g = -4")
+	conj := ConjunctsOf(s.Where)
+	bw := conj[0].(*BetweenExpr)
+	if lo := bw.Lo.(*FloatLit); lo.Value != -1.5 {
+		t.Errorf("lo = %v", lo.Value)
+	}
+	if hi := bw.Hi.(*FloatLit); hi.Value != 2000 {
+		t.Errorf("hi = %v", hi.Value)
+	}
+	eq := conj[1].(*BinaryExpr)
+	if v := eq.Right.(*IntLit); v.Value != -4 {
+		t.Errorf("negated int = %v", v.Value)
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	st, err := Parse(`CREATE TABLE photoobj (objid bigint, ra float8, dec float8,
+		name varchar(32), flag bool, PRIMARY KEY (objid))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := st.(*CreateTable)
+	if ct.Name != "photoobj" || len(ct.Columns) != 5 {
+		t.Fatalf("parsed %+v", ct)
+	}
+	want := []TypeName{TypeBigInt, TypeFloat, TypeFloat, TypeText, TypeBool}
+	for i, w := range want {
+		if ct.Columns[i].Type != w {
+			t.Errorf("col %d type = %v, want %v", i, ct.Columns[i].Type, w)
+		}
+	}
+	if !reflect.DeepEqual(ct.PrimaryKey, []string{"objid"}) {
+		t.Errorf("pk = %v", ct.PrimaryKey)
+	}
+}
+
+func TestParseCreateIndex(t *testing.T) {
+	st, err := Parse("CREATE UNIQUE INDEX idx_radec ON photoobj (ra, dec)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := st.(*CreateIndex)
+	if !ci.Unique || ci.Table != "photoobj" || len(ci.Columns) != 2 {
+		t.Fatalf("parsed %+v", ci)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t WHERE a >",
+		"SELECT a FROM t GROUP",
+		"SELECT a FROM t LIMIT x",
+		"CREATE VIEW v",
+		"CREATE TABLE t (a unknown_type)",
+		"CREATE INDEX i ON t a",
+		"SELECT a FROM t WHERE a IN ()",
+		"SELECT a FROM t; SELECT b", // trailing content after Parse
+		"SELECT 'unterminated FROM t",
+		"SELECT a FROM t WHERE a LIKE 5",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestSplitStatements(t *testing.T) {
+	script := `-- workload
+SELECT a FROM t; /* second */ SELECT b FROM u WHERE s = 'x;y';
+SELECT c FROM v`
+	stmts, err := SplitStatements(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("split into %d statements: %q", len(stmts), stmts)
+	}
+	if !strings.Contains(stmts[1], "x;y") {
+		t.Errorf("semicolon inside string broke splitting: %q", stmts[1])
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	s := mustSelect(t, "SELECT 1 FROM t WHERE name = 'it''s'")
+	eq := s.Where.(*BinaryExpr)
+	if v := eq.Right.(*StringLit); v.Value != "it's" {
+		t.Errorf("escaped string = %q", v.Value)
+	}
+}
+
+// TestPrintRoundTrip checks Print ∘ Parse is a fixpoint: parsing the
+// printed form yields the same printed form again.
+func TestPrintRoundTrip(t *testing.T) {
+	queries := []string{
+		"SELECT objid, ra FROM photoobj WHERE ra BETWEEN 180 AND 190 AND dec > -1.5",
+		"SELECT p.objid, s.z FROM photoobj p JOIN specobj s ON p.objid = s.bestobjid WHERE s.z > 0.1 ORDER BY s.z DESC LIMIT 10",
+		"SELECT run, COUNT(*) AS n FROM photoobj GROUP BY run HAVING COUNT(*) > 5 ORDER BY n DESC",
+		"SELECT DISTINCT type FROM photoobj WHERE name LIKE 'SDSS%' AND flags IN (1, 2, 3)",
+		"SELECT a FROM t WHERE NOT (a = 1 OR b = 2) AND c IS NOT NULL",
+		"SELECT a + b * 2 AS x FROM t WHERE (a + b) * 2 > 10",
+		"CREATE TABLE t (a int, b float8, PRIMARY KEY (a))",
+		"CREATE INDEX i ON t (a, b)",
+	}
+	for _, q := range queries {
+		st1, err := Parse(q)
+		if err != nil {
+			t.Fatalf("parse %q: %v", q, err)
+		}
+		printed := Print(st1)
+		st2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("reparse of %q failed: %v", printed, err)
+		}
+		if p2 := Print(st2); p2 != printed {
+			t.Errorf("not a fixpoint:\n first: %s\nsecond: %s", printed, p2)
+		}
+	}
+}
+
+func TestColumnRefs(t *testing.T) {
+	s := mustSelect(t, "SELECT p.a, SUM(p.b) FROM t p WHERE p.c > 1 GROUP BY p.a ORDER BY p.d")
+	refs := ColumnRefs(s)
+	got := make(map[string]bool)
+	for _, r := range refs {
+		got[r.Column] = true
+	}
+	for _, want := range []string{"a", "b", "c", "d"} {
+		if !got[want] {
+			t.Errorf("missing column ref %q in %v", want, refs)
+		}
+	}
+}
+
+func TestConjunctsAndAndAll(t *testing.T) {
+	s := mustSelect(t, "SELECT 1 FROM t WHERE a = 1 AND b = 2 AND c = 3")
+	conj := ConjunctsOf(s.Where)
+	if len(conj) != 3 {
+		t.Fatalf("conjuncts = %d", len(conj))
+	}
+	rejoined := AndAll(conj)
+	if len(ConjunctsOf(rejoined)) != 3 {
+		t.Error("AndAll did not preserve conjuncts")
+	}
+	if AndAll(nil) != nil {
+		t.Error("AndAll(nil) should be nil")
+	}
+}
+
+func TestLikePrefix(t *testing.T) {
+	cases := []struct {
+		pat    string
+		prefix string
+		pure   bool
+	}{
+		{"SDSS%", "SDSS", true},
+		{"SDSS%x", "SDSS", false},
+		{"exact", "exact", true},
+		{"%any", "", false},
+		{"a_b", "a", false},
+	}
+	for _, c := range cases {
+		p, pure := LikePrefix(c.pat)
+		if p != c.prefix || pure != c.pure {
+			t.Errorf("LikePrefix(%q) = (%q,%v), want (%q,%v)", c.pat, p, pure, c.prefix, c.pure)
+		}
+	}
+}
+
+func TestInverseOp(t *testing.T) {
+	pairs := map[BinaryOp]BinaryOp{
+		OpEq: OpEq, OpNe: OpNe, OpLt: OpGt, OpLe: OpGe, OpGt: OpLt, OpGe: OpLe,
+	}
+	for op, want := range pairs {
+		if got := op.Inverse(); got != want {
+			t.Errorf("Inverse(%v) = %v, want %v", op, got, want)
+		}
+	}
+}
+
+// randomExprSQL builds a random but valid predicate over columns a..e,
+// used by the property test below.
+func randomExprSQL(r *rand.Rand, depth int) string {
+	cols := []string{"a", "b", "c", "d", "e"}
+	col := cols[r.Intn(len(cols))]
+	if depth <= 0 || r.Intn(3) == 0 {
+		switch r.Intn(5) {
+		case 0:
+			return col + " = " + itoa(r.Intn(100))
+		case 1:
+			return col + " BETWEEN " + itoa(r.Intn(50)) + " AND " + itoa(50+r.Intn(50))
+		case 2:
+			return col + " IN (" + itoa(r.Intn(10)) + ", " + itoa(10+r.Intn(10)) + ")"
+		case 3:
+			return col + " IS NULL"
+		default:
+			return col + " > " + itoa(r.Intn(100))
+		}
+	}
+	op := " AND "
+	if r.Intn(2) == 0 {
+		op = " OR "
+	}
+	return "(" + randomExprSQL(r, depth-1) + op + randomExprSQL(r, depth-1) + ")"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}
+
+// TestPropertyRandomPredicateRoundTrip: every random predicate parses,
+// prints, and reparses to the same rendering.
+func TestPropertyRandomPredicateRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := "SELECT a FROM t WHERE " + randomExprSQL(r, 3)
+		st, err := Parse(q)
+		if err != nil {
+			t.Logf("parse failed for %q: %v", q, err)
+			return false
+		}
+		printed := Print(st)
+		st2, err := Parse(printed)
+		if err != nil {
+			t.Logf("reparse failed for %q: %v", printed, err)
+			return false
+		}
+		return Print(st2) == printed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenizeComments(t *testing.T) {
+	toks, err := Tokenize("SELECT /* hi */ a -- tail\nFROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var words []string
+	for _, tok := range toks {
+		if tok.Kind != TokEOF {
+			words = append(words, tok.Text)
+		}
+	}
+	if !reflect.DeepEqual(words, []string{"select", "a", "from", "t"}) {
+		t.Errorf("tokens = %v", words)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := Tokenize("SELECT a ? b"); err == nil {
+		t.Error("expected error for '?'")
+	}
+	if _, err := Tokenize("'open"); err == nil {
+		t.Error("expected error for unterminated string")
+	}
+}

@@ -1,0 +1,60 @@
+// Package sql implements the lexer, parser, abstract syntax tree and
+// printer for the SQL dialect PARINDA's workloads use: single-block
+// SELECT-PROJECT-JOIN-AGGREGATE queries plus the CREATE TABLE / CREATE
+// INDEX statements that describe physical designs.
+//
+// The dialect intentionally mirrors the subset of PostgreSQL 8.3 SQL
+// exercised by the SDSS demonstration workload in the paper: qualified
+// column references, arithmetic, comparison, BETWEEN / IN / LIKE / IS
+// NULL predicates, inner joins (comma or JOIN ... ON syntax), GROUP BY,
+// ORDER BY and LIMIT.
+package sql
+
+import "fmt"
+
+// TokenKind identifies the lexical class of a token.
+type TokenKind int
+
+// Token kinds produced by the lexer.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokKeyword
+	TokSymbol
+)
+
+// Token is a single lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string // raw text; keywords and identifiers are lower-cased
+	Pos  int    // byte offset in the input
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokString:
+		return fmt.Sprintf("string %q", t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// keywords lists every reserved word in the dialect. Identifiers that
+// match (case-insensitively) lex as TokKeyword.
+var keywords = map[string]bool{
+	"select": true, "distinct": true, "from": true, "where": true,
+	"group": true, "by": true, "order": true, "asc": true, "desc": true,
+	"limit": true, "and": true, "or": true, "not": true, "between": true,
+	"in": true, "like": true, "is": true, "null": true, "as": true,
+	"join": true, "inner": true, "on": true, "create": true, "table": true,
+	"index": true, "unique": true, "primary": true, "key": true,
+	"true": true, "false": true, "count": true, "sum": true, "avg": true,
+	"min": true, "max": true, "having": true,
+}
+
+// IsKeyword reports whether the lower-cased word is reserved.
+func IsKeyword(w string) bool { return keywords[w] }

@@ -1,0 +1,383 @@
+package storage
+
+import (
+	"repro/internal/catalog"
+)
+
+// btreeOrder is the maximum number of keys per node. It approximates
+// the fan-out of an 8 KiB PostgreSQL B-Tree page for small keys.
+const btreeOrder = 128
+
+// BTree is an in-memory B+Tree mapping composite keys (one Datum per
+// index column) to heap TIDs. Duplicate keys are allowed for
+// non-unique indexes. Leaves are chained for range scans.
+type BTree struct {
+	root   *btNode
+	height int // levels above the leaf level
+	size   int64
+	leaves int64
+}
+
+type btNode struct {
+	leaf     bool
+	keys     [][]catalog.Datum
+	tids     []TID     // leaf only, parallel to keys
+	children []*btNode // internal only, len(keys)+1
+	next     *btNode   // leaf chain
+}
+
+// NewBTree returns an empty tree.
+func NewBTree() *BTree {
+	return &BTree{root: &btNode{leaf: true}, leaves: 1}
+}
+
+// BulkLoad builds a tree from entries already sorted by key, packing
+// leaves to the page fill factor for the given per-entry byte width —
+// the way a real CREATE INDEX lays out its leaf pages. entryBytes is
+// the on-page size of one entry (tuple overhead + aligned key width);
+// it determines how many entries one 8 KiB leaf holds, so LeafPages
+// matches Equation 1 closely.
+func BulkLoad(keys [][]catalog.Datum, tids []TID, entryBytes int) *BTree {
+	if len(keys) != len(tids) {
+		panic("storage: BulkLoad key/tid length mismatch")
+	}
+	if entryBytes < 1 {
+		entryBytes = 1
+	}
+	perLeaf := int(float64(catalog.PageSize-catalog.PageHeaderSize) * catalog.BTreeFillFactor / float64(entryBytes))
+	if perLeaf < 2 {
+		perLeaf = 2
+	}
+	if perLeaf > btreeOrder {
+		// Node capacity also bounds in-memory fan-out; account the
+		// page-equivalent count separately below.
+	}
+
+	t := &BTree{}
+	if len(keys) == 0 {
+		t.root = &btNode{leaf: true}
+		t.leaves = 1
+		return t
+	}
+
+	// Build leaves.
+	var leaves []*btNode
+	for i := 0; i < len(keys); i += perLeaf {
+		j := i + perLeaf
+		if j > len(keys) {
+			j = len(keys)
+		}
+		leaves = append(leaves, &btNode{
+			leaf: true,
+			keys: append([][]catalog.Datum(nil), keys[i:j]...),
+			tids: append([]TID(nil), tids[i:j]...),
+		})
+	}
+	for i := 0; i+1 < len(leaves); i++ {
+		leaves[i].next = leaves[i+1]
+	}
+	t.leaves = int64(len(leaves))
+	t.size = int64(len(keys))
+
+	// Build internal levels bottom-up.
+	level := leaves
+	for len(level) > 1 {
+		var parents []*btNode
+		const fanout = btreeOrder
+		for i := 0; i < len(level); i += fanout {
+			j := i + fanout
+			if j > len(level) {
+				j = len(level)
+			}
+			n := &btNode{children: append([]*btNode(nil), level[i:j]...)}
+			for k := i + 1; k < j; k++ {
+				n.keys = append(n.keys, firstKey(level[k]))
+			}
+			parents = append(parents, n)
+		}
+		level = parents
+		t.height++
+	}
+	t.root = level[0]
+	return t
+}
+
+// firstKey returns the smallest key under n.
+func firstKey(n *btNode) []catalog.Datum {
+	for !n.leaf {
+		n = n.children[0]
+	}
+	return n.keys[0]
+}
+
+// Size returns the number of entries.
+func (t *BTree) Size() int64 { return t.size }
+
+// Height returns the number of levels above the leaves.
+func (t *BTree) Height() int { return t.height }
+
+// LeafPages returns the number of leaf nodes, the in-memory analogue
+// of the leaf page count Equation 1 estimates.
+func (t *BTree) LeafPages() int64 { return t.leaves }
+
+// CompareKeys orders composite keys lexicographically. When one key is
+// a strict prefix of the other and all compared datums are equal, the
+// shorter key sorts first; scans exploit this for prefix bounds.
+func CompareKeys(a, b []catalog.Datum) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := catalog.Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// Insert adds an entry. Duplicate keys append after existing equals.
+func (t *BTree) Insert(key []catalog.Datum, tid TID) {
+	splitKey, right := t.insert(t.root, key, tid)
+	if right != nil {
+		newRoot := &btNode{
+			keys:     [][]catalog.Datum{splitKey},
+			children: []*btNode{t.root, right},
+		}
+		t.root = newRoot
+		t.height++
+	}
+	t.size++
+}
+
+// insert descends to a leaf; on overflow it splits and returns the
+// separator key and the new right sibling.
+func (t *BTree) insert(n *btNode, key []catalog.Datum, tid TID) ([]catalog.Datum, *btNode) {
+	if n.leaf {
+		// upperBound: first position with keys[i] > key, so equal
+		// keys keep insertion order.
+		i := upperBound(n.keys, key)
+		n.keys = append(n.keys, nil)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		n.tids = append(n.tids, TID{})
+		copy(n.tids[i+1:], n.tids[i:])
+		n.tids[i] = tid
+		if len(n.keys) <= btreeOrder {
+			return nil, nil
+		}
+		return t.splitLeaf(n)
+	}
+	ci := upperBound(n.keys, key)
+	splitKey, right := t.insert(n.children[ci], key, tid)
+	if right == nil {
+		return nil, nil
+	}
+	n.keys = append(n.keys, nil)
+	copy(n.keys[ci+1:], n.keys[ci:])
+	n.keys[ci] = splitKey
+	n.children = append(n.children, nil)
+	copy(n.children[ci+2:], n.children[ci+1:])
+	n.children[ci+1] = right
+	if len(n.keys) <= btreeOrder {
+		return nil, nil
+	}
+	return t.splitInternal(n)
+}
+
+func (t *BTree) splitLeaf(n *btNode) ([]catalog.Datum, *btNode) {
+	mid := len(n.keys) / 2
+	right := &btNode{
+		leaf: true,
+		keys: append([][]catalog.Datum(nil), n.keys[mid:]...),
+		tids: append([]TID(nil), n.tids[mid:]...),
+		next: n.next,
+	}
+	n.keys = n.keys[:mid:mid]
+	n.tids = n.tids[:mid:mid]
+	n.next = right
+	t.leaves++
+	return right.keys[0], right
+}
+
+func (t *BTree) splitInternal(n *btNode) ([]catalog.Datum, *btNode) {
+	mid := len(n.keys) / 2
+	sep := n.keys[mid]
+	right := &btNode{
+		keys:     append([][]catalog.Datum(nil), n.keys[mid+1:]...),
+		children: append([]*btNode(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	return sep, right
+}
+
+// upperBound returns the first index with keys[i] > key.
+func upperBound(keys [][]catalog.Datum, key []catalog.Datum) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if CompareKeys(keys[mid], key) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// lowerBound returns the first index with keys[i] >= key.
+func lowerBound(keys [][]catalog.Datum, key []catalog.Datum) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if CompareKeys(keys[mid], key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Bound is one end of a range scan.
+type Bound struct {
+	Key       []catalog.Datum
+	Inclusive bool
+	// Unbounded marks an open end; Key is ignored.
+	Unbounded bool
+}
+
+// Scan visits every (key, tid) with lo <= key <= hi (subject to the
+// inclusive flags) in key order, calling fn; fn returning false stops
+// the scan. Prefix keys work as bounds: Scan over {x} .. {x} visits
+// every composite key whose first column equals x when hi is the
+// prefix with Inclusive and hiAsPrefix semantics handled by the
+// caller via PrefixSuccessor.
+func (t *BTree) Scan(lo, hi Bound, fn func(key []catalog.Datum, tid TID) bool) {
+	n := t.root
+	for !n.leaf {
+		var ci int
+		if lo.Unbounded {
+			ci = 0
+		} else {
+			ci = upperBound(n.keys, loSeekKey(lo))
+			// For inclusive bounds we must not skip equal separators'
+			// left subtree; lowerBound handles that.
+			if lo.Inclusive {
+				ci = lowerBoundChild(n, lo.Key)
+			}
+		}
+		n = n.children[ci]
+	}
+	var i int
+	if lo.Unbounded {
+		i = 0
+	} else if lo.Inclusive {
+		i = lowerBound(n.keys, lo.Key)
+	} else {
+		i = upperBound(n.keys, lo.Key)
+	}
+	for n != nil {
+		for ; i < len(n.keys); i++ {
+			k := n.keys[i]
+			if !hi.Unbounded {
+				c := CompareKeys(k, hi.Key)
+				if c > 0 || (c == 0 && !hi.Inclusive) {
+					return
+				}
+			}
+			if !fn(k, n.tids[i]) {
+				return
+			}
+		}
+		n = n.next
+		i = 0
+	}
+}
+
+// lowerBoundChild returns the child index to descend for an inclusive
+// lower bound: first child whose subtree may contain keys >= key.
+func lowerBoundChild(n *btNode, key []catalog.Datum) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if CompareKeys(n.keys[mid], key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// Separator equal to key: equal keys may live in the left child
+	// (duplicates), so descend left of the first >= separator... but
+	// our separators are copies of right-child first keys, so equal
+	// keys are in the right child or later; descending at `lo` is
+	// correct because child[lo] holds keys < keys[lo], child[lo+1]
+	// holds keys >= keys[lo]. We need the leftmost leaf that could
+	// hold `key`, which is child[lo] when keys[lo] > key, child[lo]
+	// also when keys[lo] == key? Duplicates split across siblings
+	// make the equal separator's left sibling possibly end with equal
+	// keys; be safe and descend left.
+	return lo
+}
+
+func loSeekKey(b Bound) []catalog.Datum { return b.Key }
+
+// ScanAll visits every entry in key order.
+func (t *BTree) ScanAll(fn func(key []catalog.Datum, tid TID) bool) {
+	t.Scan(Bound{Unbounded: true}, Bound{Unbounded: true}, fn)
+}
+
+// SearchEqual visits every entry whose key equals key exactly.
+func (t *BTree) SearchEqual(key []catalog.Datum, fn func(tid TID) bool) {
+	t.Scan(Bound{Key: key, Inclusive: true}, Bound{Key: key, Inclusive: true},
+		func(_ []catalog.Datum, tid TID) bool { return fn(tid) })
+}
+
+// PrefixSuccessor returns the smallest key strictly greater than every
+// composite key beginning with prefix — used to turn a prefix equality
+// into a [prefix, successor) range. ok=false when no successor exists
+// in the datum ordering (practically never for our types).
+func PrefixSuccessor(prefix []catalog.Datum) (key []catalog.Datum, ok bool) {
+	succ := append([]catalog.Datum(nil), prefix...)
+	for i := len(succ) - 1; i >= 0; i-- {
+		d := succ[i]
+		switch d.Kind {
+		case catalog.KindInt:
+			if d.I < 1<<62 {
+				succ[i] = catalog.IntDatum(d.I + 1)
+				return succ[:i+1], true
+			}
+		case catalog.KindFloat:
+			succ[i] = catalog.FloatDatum(nextAfter(d.F))
+			return succ[:i+1], true
+		case catalog.KindString:
+			succ[i] = catalog.StringDatum(d.S + "\x00")
+			return succ[:i+1], true
+		case catalog.KindBool:
+			if !d.B {
+				succ[i] = catalog.BoolDatum(true)
+				return succ[:i+1], true
+			}
+		}
+	}
+	return nil, false
+}
+
+func nextAfter(f float64) float64 {
+	// Tiny relative bump; adequate for range bounds on statistics
+	// domains. Avoids importing math for one call site's ULP needs.
+	if f == 0 {
+		return 1e-300
+	}
+	if f > 0 {
+		return f * (1 + 1e-15)
+	}
+	return f * (1 - 1e-15)
+}

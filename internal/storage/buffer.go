@@ -1,0 +1,72 @@
+package storage
+
+import "container/list"
+
+// BufferPool is an LRU page cache shared across heaps. The pool does
+// not own page memory (heaps are in-memory already); it exists to
+// *account* for page accesses so experiments can report logical reads,
+// hits and misses — the I/O proxy our benchmarks use in place of a
+// real disk.
+type BufferPool struct {
+	capacity int
+	lru      *list.List // front = most recent; values are pageKey
+	present  map[pageKey]*list.Element
+	nextFile int
+
+	hits   int64
+	misses int64
+}
+
+type pageKey struct {
+	file int
+	page int32
+}
+
+// NewBufferPool returns a pool that caches up to capacity pages.
+func NewBufferPool(capacity int) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BufferPool{
+		capacity: capacity,
+		lru:      list.New(),
+		present:  make(map[pageKey]*list.Element),
+	}
+}
+
+func (bp *BufferPool) registerFile() int {
+	bp.nextFile++
+	return bp.nextFile
+}
+
+// access records a page touch, updating LRU state and counters.
+func (bp *BufferPool) access(file int, page int32) {
+	k := pageKey{file, page}
+	if el, ok := bp.present[k]; ok {
+		bp.hits++
+		bp.lru.MoveToFront(el)
+		return
+	}
+	bp.misses++
+	el := bp.lru.PushFront(k)
+	bp.present[k] = el
+	if bp.lru.Len() > bp.capacity {
+		tail := bp.lru.Back()
+		bp.lru.Remove(tail)
+		delete(bp.present, tail.Value.(pageKey))
+	}
+}
+
+// Hits returns the cumulative cache hit count.
+func (bp *BufferPool) Hits() int64 { return bp.hits }
+
+// Misses returns the cumulative cache miss count; each miss models one
+// physical page read.
+func (bp *BufferPool) Misses() int64 { return bp.misses }
+
+// Reset clears counters and cached pages.
+func (bp *BufferPool) Reset() {
+	bp.hits, bp.misses = 0, 0
+	bp.lru.Init()
+	bp.present = make(map[pageKey]*list.Element)
+}

@@ -1,0 +1,216 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/sql"
+)
+
+// Database couples a schema catalog with physical storage: one heap
+// per table, one B-Tree per built index, and a shared buffer pool for
+// page accounting.
+type Database struct {
+	Catalog *catalog.Catalog
+	Pool    *BufferPool
+
+	heaps   map[string]*Heap
+	indexes map[string]*BTree
+}
+
+// NewDatabase returns an empty database with a pool of poolPages
+// cached pages.
+func NewDatabase(poolPages int) *Database {
+	return &Database{
+		Catalog: catalog.New(),
+		Pool:    NewBufferPool(poolPages),
+		heaps:   make(map[string]*Heap),
+		indexes: make(map[string]*BTree),
+	}
+}
+
+// CreateTable registers a table and its (empty) heap.
+func (db *Database) CreateTable(ct *sql.CreateTable) (*catalog.Table, error) {
+	t := catalog.NewTable(ct)
+	if err := db.Catalog.AddTable(t); err != nil {
+		return nil, err
+	}
+	h := NewHeap(t.Columns)
+	h.AttachPool(db.Pool)
+	db.heaps[t.Name] = h
+	return t, nil
+}
+
+// Heap returns the heap of a table, or nil.
+func (db *Database) Heap(table string) *Heap { return db.heaps[table] }
+
+// Insert adds one row to a table.
+func (db *Database) Insert(table string, row []catalog.Datum) error {
+	h := db.heaps[table]
+	if h == nil {
+		return fmt.Errorf("storage: unknown table %q", table)
+	}
+	tid, err := h.Insert(row)
+	if err != nil {
+		return err
+	}
+	// Maintain built indexes.
+	for _, ix := range db.Catalog.IndexesOn(table) {
+		bt := db.indexes[ix.Name]
+		if bt == nil {
+			continue
+		}
+		t := db.Catalog.Table(table)
+		key := make([]catalog.Datum, len(ix.Columns))
+		for i, col := range ix.Columns {
+			key[i] = row[t.ColumnIndex(col)]
+		}
+		bt.Insert(key, tid)
+	}
+	return nil
+}
+
+// InsertRows bulk-inserts rows.
+func (db *Database) InsertRows(table string, rows [][]catalog.Datum) error {
+	for _, r := range rows {
+		if err := db.Insert(table, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BuildIndex materializes a B-Tree over the given table columns,
+// registering it in the catalog with its *measured* leaf page count.
+// This is the expensive operation what-if indexes avoid.
+func (db *Database) BuildIndex(ci *sql.CreateIndex) (*catalog.Index, error) {
+	t := db.Catalog.Table(ci.Table)
+	if t == nil {
+		return nil, fmt.Errorf("storage: unknown table %q", ci.Table)
+	}
+	h := db.heaps[ci.Table]
+	ordinals := make([]int, len(ci.Columns))
+	for i, col := range ci.Columns {
+		ord := t.ColumnIndex(col)
+		if ord < 0 {
+			return nil, fmt.Errorf("storage: unknown column %q.%q", ci.Table, col)
+		}
+		ordinals[i] = ord
+	}
+
+	// Collect and sort all (key, tid) pairs, then bulk-insert in key
+	// order — the standard external-sort index build, minus the disk.
+	type entry struct {
+		key []catalog.Datum
+		tid TID
+	}
+	entries := make([]entry, 0, h.NumRows())
+	it := h.Scan()
+	for {
+		row, tid, ok := it.NextTID()
+		if !ok {
+			break
+		}
+		key := make([]catalog.Datum, len(ordinals))
+		for i, ord := range ordinals {
+			key[i] = row[ord]
+		}
+		entries = append(entries, entry{key, tid})
+	}
+	if err := it.Err(); err != nil {
+		return nil, err
+	}
+	sort.SliceStable(entries, func(i, j int) bool {
+		return CompareKeys(entries[i].key, entries[j].key) < 0
+	})
+	keys := make([][]catalog.Datum, len(entries))
+	tids := make([]TID, len(entries))
+	for i, e := range entries {
+		keys[i] = e.key
+		tids[i] = e.tid
+	}
+	// Per-entry byte width on a leaf page, matching Equation 1's
+	// accounting, so the built tree's page count is comparable to the
+	// what-if estimate.
+	entryBytes := catalog.IndexTupleOverhead
+	offset := 0
+	for _, col := range ci.Columns {
+		c := t.Column(col)
+		offset = catalog.AlignedWidth(offset, catalog.TypeAlign(c.Type))
+		offset += c.Width()
+	}
+	entryBytes += catalog.AlignedWidth(offset, 8)
+	bt := BulkLoad(keys, tids, entryBytes)
+
+	ix := &catalog.Index{
+		Name:    ci.Name,
+		Table:   ci.Table,
+		Columns: append([]string(nil), ci.Columns...),
+		Unique:  ci.Unique,
+		Pages:   bt.LeafPages(),
+		Height:  bt.Height(),
+	}
+	if err := db.Catalog.AddIndex(ix); err != nil {
+		return nil, err
+	}
+	db.indexes[ci.Name] = bt
+	return ix, nil
+}
+
+// Index returns the built B-Tree for an index name, or nil (e.g. for
+// hypothetical indexes, which have no tree).
+func (db *Database) Index(name string) *BTree { return db.indexes[name] }
+
+// DropIndex removes both the tree and the catalog entry.
+func (db *Database) DropIndex(name string) error {
+	if err := db.Catalog.DropIndex(name); err != nil {
+		return err
+	}
+	delete(db.indexes, name)
+	return nil
+}
+
+// AnalyzeTable recomputes statistics for one table from its heap.
+func (db *Database) AnalyzeTable(name string) error {
+	t := db.Catalog.Table(name)
+	h := db.heaps[name]
+	if t == nil || h == nil {
+		return fmt.Errorf("storage: unknown table %q", name)
+	}
+	catalog.Analyze(t, h.Scan())
+	// Heap pages are real here; prefer the measured count.
+	if p := h.NumPages(); p > 0 {
+		t.Pages = p
+	}
+	return nil
+}
+
+// AnalyzeTableSampled recomputes statistics from a deterministic
+// reservoir sample of sampleRows rows — the PostgreSQL-style ANALYZE
+// for tables too large to scan whole.
+func (db *Database) AnalyzeTableSampled(name string, sampleRows int, seed int64) error {
+	t := db.Catalog.Table(name)
+	h := db.heaps[name]
+	if t == nil || h == nil {
+		return fmt.Errorf("storage: unknown table %q", name)
+	}
+	catalog.AnalyzeSampled(t, h.Scan(), sampleRows, seed)
+	if p := h.NumPages(); p > 0 {
+		t.Pages = p
+	}
+	return nil
+}
+
+// AnalyzeAll runs ANALYZE on every table.
+func (db *Database) AnalyzeAll() error {
+	for _, t := range db.Catalog.Tables() {
+		if db.heaps[t.Name] == nil {
+			continue
+		}
+		if err := db.AnalyzeTable(t.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

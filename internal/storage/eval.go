@@ -1,0 +1,321 @@
+package storage
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/sql"
+)
+
+// BoundCol names one column of a runtime row: its qualifier (table
+// alias) and column name.
+type BoundCol struct {
+	Qual string
+	Name string
+}
+
+// RowEnv binds a schema of qualified columns to the values of the
+// current row; expression evaluation resolves column references
+// against it. Aggs optionally binds computed aggregate values by their
+// printed expression text (used above GROUP BY).
+type RowEnv struct {
+	Schema []BoundCol
+	Values []catalog.Datum
+	Aggs   map[string]catalog.Datum
+}
+
+// Resolve finds the value of a column reference. Unqualified names
+// must be unambiguous.
+func (e *RowEnv) Resolve(ref *sql.ColumnRef) (catalog.Datum, error) {
+	found := -1
+	for i, c := range e.Schema {
+		if ref.Table != "" && c.Qual != ref.Table {
+			continue
+		}
+		if c.Name != ref.Column {
+			continue
+		}
+		if found >= 0 {
+			return catalog.Datum{}, fmt.Errorf("storage: ambiguous column %q", ref.String())
+		}
+		found = i
+	}
+	if found < 0 {
+		return catalog.Datum{}, fmt.Errorf("storage: unknown column %q", ref.String())
+	}
+	return e.Values[found], nil
+}
+
+// EvalExpr evaluates an expression against the row environment,
+// returning a Datum with SQL NULL semantics (NULL propagates through
+// operators; comparisons with NULL are NULL, which filters treat as
+// false).
+func EvalExpr(env *RowEnv, e sql.Expr) (catalog.Datum, error) {
+	switch v := e.(type) {
+	case *sql.ColumnRef:
+		return env.Resolve(v)
+	case *sql.IntLit:
+		return catalog.IntDatum(v.Value), nil
+	case *sql.FloatLit:
+		return catalog.FloatDatum(v.Value), nil
+	case *sql.StringLit:
+		return catalog.StringDatum(v.Value), nil
+	case *sql.BoolLit:
+		return catalog.BoolDatum(v.Value), nil
+	case *sql.NullLit:
+		return catalog.NullDatum(), nil
+	case *sql.UnaryMinus:
+		d, err := EvalExpr(env, v.Inner)
+		if err != nil || d.IsNull() {
+			return d, err
+		}
+		switch d.Kind {
+		case catalog.KindInt:
+			return catalog.IntDatum(-d.I), nil
+		case catalog.KindFloat:
+			return catalog.FloatDatum(-d.F), nil
+		}
+		return catalog.Datum{}, fmt.Errorf("storage: cannot negate %s", d)
+	case *sql.BinaryExpr:
+		return evalBinary(env, v)
+	case *sql.NotExpr:
+		d, err := EvalExpr(env, v.Inner)
+		if err != nil || d.IsNull() {
+			return d, err
+		}
+		return catalog.BoolDatum(!truthy(d)), nil
+	case *sql.BetweenExpr:
+		x, err := EvalExpr(env, v.Expr)
+		if err != nil {
+			return catalog.Datum{}, err
+		}
+		lo, err := EvalExpr(env, v.Lo)
+		if err != nil {
+			return catalog.Datum{}, err
+		}
+		hi, err := EvalExpr(env, v.Hi)
+		if err != nil {
+			return catalog.Datum{}, err
+		}
+		if x.IsNull() || lo.IsNull() || hi.IsNull() {
+			return catalog.NullDatum(), nil
+		}
+		in := catalog.Compare(x, lo) >= 0 && catalog.Compare(x, hi) <= 0
+		return catalog.BoolDatum(in != v.Negated), nil
+	case *sql.InExpr:
+		x, err := EvalExpr(env, v.Expr)
+		if err != nil {
+			return catalog.Datum{}, err
+		}
+		if x.IsNull() {
+			return catalog.NullDatum(), nil
+		}
+		sawNull := false
+		for _, item := range v.List {
+			d, err := EvalExpr(env, item)
+			if err != nil {
+				return catalog.Datum{}, err
+			}
+			if d.IsNull() {
+				sawNull = true
+				continue
+			}
+			if catalog.Equal(x, d) {
+				return catalog.BoolDatum(!v.Negated), nil
+			}
+		}
+		if sawNull {
+			return catalog.NullDatum(), nil
+		}
+		return catalog.BoolDatum(v.Negated), nil
+	case *sql.LikeExpr:
+		x, err := EvalExpr(env, v.Expr)
+		if err != nil {
+			return catalog.Datum{}, err
+		}
+		if x.IsNull() {
+			return catalog.NullDatum(), nil
+		}
+		s := x.S
+		if x.Kind != catalog.KindString {
+			s = strings.Trim(x.String(), "'")
+		}
+		return catalog.BoolDatum(likeMatch(s, v.Pattern) != v.Negated), nil
+	case *sql.IsNullExpr:
+		x, err := EvalExpr(env, v.Expr)
+		if err != nil {
+			return catalog.Datum{}, err
+		}
+		return catalog.BoolDatum(x.IsNull() != v.Negated), nil
+	case *sql.FuncExpr:
+		if v.IsAggregate() {
+			if env.Aggs != nil {
+				if d, ok := env.Aggs[sql.PrintExpr(v)]; ok {
+					return d, nil
+				}
+			}
+			return catalog.Datum{}, fmt.Errorf("storage: aggregate %s outside GROUP BY context", sql.PrintExpr(v))
+		}
+		return catalog.Datum{}, fmt.Errorf("storage: unknown function %q", v.Name)
+	}
+	return catalog.Datum{}, fmt.Errorf("storage: cannot evaluate %T", e)
+}
+
+func evalBinary(env *RowEnv, v *sql.BinaryExpr) (catalog.Datum, error) {
+	// AND/OR with three-valued logic and short circuits.
+	if v.Op == sql.OpAnd || v.Op == sql.OpOr {
+		l, err := EvalExpr(env, v.Left)
+		if err != nil {
+			return catalog.Datum{}, err
+		}
+		if v.Op == sql.OpAnd && !l.IsNull() && !truthy(l) {
+			return catalog.BoolDatum(false), nil
+		}
+		if v.Op == sql.OpOr && !l.IsNull() && truthy(l) {
+			return catalog.BoolDatum(true), nil
+		}
+		r, err := EvalExpr(env, v.Right)
+		if err != nil {
+			return catalog.Datum{}, err
+		}
+		if v.Op == sql.OpAnd {
+			if !r.IsNull() && !truthy(r) {
+				return catalog.BoolDatum(false), nil
+			}
+			if l.IsNull() || r.IsNull() {
+				return catalog.NullDatum(), nil
+			}
+			return catalog.BoolDatum(true), nil
+		}
+		if !r.IsNull() && truthy(r) {
+			return catalog.BoolDatum(true), nil
+		}
+		if l.IsNull() || r.IsNull() {
+			return catalog.NullDatum(), nil
+		}
+		return catalog.BoolDatum(false), nil
+	}
+
+	l, err := EvalExpr(env, v.Left)
+	if err != nil {
+		return catalog.Datum{}, err
+	}
+	r, err := EvalExpr(env, v.Right)
+	if err != nil {
+		return catalog.Datum{}, err
+	}
+	if l.IsNull() || r.IsNull() {
+		return catalog.NullDatum(), nil
+	}
+	if v.Op.IsComparison() {
+		c := catalog.Compare(l, r)
+		var out bool
+		switch v.Op {
+		case sql.OpEq:
+			out = c == 0
+		case sql.OpNe:
+			out = c != 0
+		case sql.OpLt:
+			out = c < 0
+		case sql.OpLe:
+			out = c <= 0
+		case sql.OpGt:
+			out = c > 0
+		case sql.OpGe:
+			out = c >= 0
+		}
+		return catalog.BoolDatum(out), nil
+	}
+	if v.Op == sql.OpConcat {
+		return catalog.StringDatum(strings.Trim(l.String(), "'") + strings.Trim(r.String(), "'")), nil
+	}
+	lf, lok := l.Float()
+	rf, rok := r.Float()
+	if !lok || !rok {
+		return catalog.Datum{}, fmt.Errorf("storage: arithmetic on non-numeric %s %s %s", l, v.Op, r)
+	}
+	bothInt := l.Kind == catalog.KindInt && r.Kind == catalog.KindInt
+	switch v.Op {
+	case sql.OpAdd:
+		if bothInt {
+			return catalog.IntDatum(l.I + r.I), nil
+		}
+		return catalog.FloatDatum(lf + rf), nil
+	case sql.OpSub:
+		if bothInt {
+			return catalog.IntDatum(l.I - r.I), nil
+		}
+		return catalog.FloatDatum(lf - rf), nil
+	case sql.OpMul:
+		if bothInt {
+			return catalog.IntDatum(l.I * r.I), nil
+		}
+		return catalog.FloatDatum(lf * rf), nil
+	case sql.OpDiv:
+		if rf == 0 {
+			return catalog.Datum{}, fmt.Errorf("storage: division by zero")
+		}
+		if bothInt {
+			return catalog.IntDatum(l.I / r.I), nil
+		}
+		return catalog.FloatDatum(lf / rf), nil
+	}
+	return catalog.Datum{}, fmt.Errorf("storage: unsupported operator %s", v.Op)
+}
+
+func truthy(d catalog.Datum) bool {
+	switch d.Kind {
+	case catalog.KindBool:
+		return d.B
+	case catalog.KindInt:
+		return d.I != 0
+	case catalog.KindFloat:
+		return d.F != 0
+	}
+	return false
+}
+
+// likeMatch implements SQL LIKE: % matches any run, _ any single byte.
+func likeMatch(s, pattern string) bool {
+	// Dynamic programming over pattern/string positions, iterative to
+	// avoid pathological recursion.
+	n, m := len(s), len(pattern)
+	dp := make([]bool, n+1)
+	dp[0] = true
+	for j := 0; j < m; j++ {
+		p := pattern[j]
+		if p == '%' {
+			// dp'[i] = any dp[k] for k <= i
+			seen := false
+			for i := 0; i <= n; i++ {
+				if dp[i] {
+					seen = true
+				}
+				dp[i] = seen
+			}
+			continue
+		}
+		next := make([]bool, n+1)
+		for i := 1; i <= n; i++ {
+			if dp[i-1] && (p == '_' || s[i-1] == p) {
+				next[i] = true
+			}
+		}
+		dp = next
+	}
+	return dp[n]
+}
+
+// FilterTrue reports whether expr evaluates to TRUE (not NULL, not
+// FALSE) for the row — the WHERE-clause acceptance rule.
+func FilterTrue(env *RowEnv, e sql.Expr) (bool, error) {
+	if e == nil {
+		return true, nil
+	}
+	d, err := EvalExpr(env, e)
+	if err != nil {
+		return false, err
+	}
+	return !d.IsNull() && truthy(d), nil
+}

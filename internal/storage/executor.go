@@ -1,0 +1,790 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/sql"
+)
+
+// Result is the output of executing a query: named columns and rows.
+type Result struct {
+	Columns []string
+	Rows    [][]catalog.Datum
+}
+
+// ExecOptions tunes execution.
+type ExecOptions struct {
+	// UseIndexes lets scans pick a built index matching pushed-down
+	// predicates instead of a sequential scan.
+	UseIndexes bool
+}
+
+// Execute runs a single-block SELECT and returns its full result.
+// The executor is tuple-at-a-time and deliberately simple: its job is
+// ground truth for plan validation and rewriter equivalence, not raw
+// speed. Joins use hash join on equijoin predicates and fall back to
+// nested-loop filtering.
+func (db *Database) Execute(sel *sql.Select) (*Result, error) {
+	return db.ExecuteOpts(sel, ExecOptions{UseIndexes: true})
+}
+
+// ExecuteOpts is Execute with explicit options.
+func (db *Database) ExecuteOpts(sel *sql.Select, opts ExecOptions) (*Result, error) {
+	refs := append([]sql.TableRef(nil), sel.From...)
+	conds := sql.ConjunctsOf(sel.Where)
+	for _, j := range sel.Joins {
+		refs = append(refs, j.Table)
+		conds = append(conds, sql.ConjunctsOf(j.Cond)...)
+	}
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("storage: query has no tables")
+	}
+	seen := map[string]bool{}
+	for _, r := range refs {
+		name := r.EffectiveName()
+		if seen[name] {
+			return nil, fmt.Errorf("storage: duplicate table alias %q", name)
+		}
+		seen[name] = true
+	}
+
+	// Split conjuncts into single-table (pushed to scans) and
+	// multi-table (applied at joins / afterwards).
+	perTable := make(map[string][]sql.Expr)
+	var joinConds []sql.Expr
+	for _, c := range conds {
+		tbls := referencedAliases(c, refs)
+		if len(tbls) == 1 {
+			var only string
+			for t := range tbls {
+				only = t
+			}
+			perTable[only] = append(perTable[only], c)
+		} else {
+			joinConds = append(joinConds, c)
+		}
+	}
+
+	// Scan the first table, then fold the rest in, preferring hash
+	// joins on available equijoin conditions.
+	cur, err := db.scanTable(refs[0], perTable[refs[0].EffectiveName()], opts)
+	if err != nil {
+		return nil, err
+	}
+	remaining := append([]sql.TableRef(nil), refs[1:]...)
+	pending := append([]sql.Expr(nil), joinConds...)
+	for len(remaining) > 0 {
+		// Pick the first remaining table that has an equijoin
+		// condition against the current result; otherwise take the
+		// next one (cartesian).
+		pick := -1
+		var eq *sql.BinaryExpr
+		var leftKey, rightKey sql.Expr
+		for i, tr := range remaining {
+			e, lk, rk := findEquijoin(pending, cur.schemaAliases(), tr.EffectiveName(), refs)
+			if e != nil {
+				pick, eq, leftKey, rightKey = i, e, lk, rk
+				break
+			}
+		}
+		if pick < 0 {
+			pick = 0
+		}
+		tr := remaining[pick]
+		remaining = append(remaining[:pick], remaining[pick+1:]...)
+		right, err := db.scanTable(tr, perTable[tr.EffectiveName()], opts)
+		if err != nil {
+			return nil, err
+		}
+		if eq != nil {
+			cur, err = hashJoin(cur, right, leftKey, rightKey)
+			if err != nil {
+				return nil, err
+			}
+			pending = removeExpr(pending, eq)
+		} else {
+			cur = crossJoin(cur, right)
+		}
+		// Apply any pending conditions now answerable.
+		cur, pending, err = applyResolvable(cur, pending)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Whatever remains must be evaluable now.
+	if len(pending) > 0 {
+		var err error
+		cur, err = filterRows(cur, sql.AndAll(pending))
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if hasAggregates(sel) || len(sel.GroupBy) > 0 {
+		return db.aggregate(sel, cur)
+	}
+	return db.project(sel, cur)
+}
+
+// intermediate is a materialized intermediate result.
+type intermediate struct {
+	schema []BoundCol
+	rows   [][]catalog.Datum
+}
+
+func (im *intermediate) schemaAliases() map[string]bool {
+	m := map[string]bool{}
+	for _, c := range im.schema {
+		m[c.Qual] = true
+	}
+	return m
+}
+
+// scanTable produces the filtered rows of one table reference. With
+// UseIndexes it tries a built index whose leading column carries an
+// equality or range predicate.
+func (db *Database) scanTable(tr sql.TableRef, preds []sql.Expr, opts ExecOptions) (*intermediate, error) {
+	t := db.Catalog.Table(tr.Table)
+	h := db.heaps[tr.Table]
+	if t == nil || h == nil {
+		return nil, fmt.Errorf("storage: unknown table %q", tr.Table)
+	}
+	alias := tr.EffectiveName()
+	schema := make([]BoundCol, len(t.Columns))
+	for i, c := range t.Columns {
+		schema[i] = BoundCol{Qual: alias, Name: c.Name}
+	}
+	filter := sql.AndAll(preds)
+	out := &intermediate{schema: schema}
+	env := &RowEnv{Schema: schema}
+
+	if opts.UseIndexes {
+		if ix, lo, hi, ok := db.chooseIndex(t, alias, preds); ok {
+			bt := db.indexes[ix.Name]
+			var scanErr error
+			bt.Scan(lo, hi, func(_ []catalog.Datum, tid TID) bool {
+				row, err := h.Fetch(tid)
+				if err != nil {
+					scanErr = err
+					return false
+				}
+				env.Values = row
+				keep, err := FilterTrue(env, filter)
+				if err != nil {
+					scanErr = err
+					return false
+				}
+				if keep {
+					out.rows = append(out.rows, row)
+				}
+				return true
+			})
+			if scanErr != nil {
+				return nil, scanErr
+			}
+			return out, nil
+		}
+	}
+
+	it := h.Scan()
+	for {
+		row, ok := it.Next()
+		if !ok {
+			break
+		}
+		env.Values = row
+		keep, err := FilterTrue(env, filter)
+		if err != nil {
+			return nil, err
+		}
+		if keep {
+			out.rows = append(out.rows, row)
+		}
+	}
+	if err := it.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// chooseIndex looks for a built index whose first column has a
+// sargable predicate among preds, returning scan bounds.
+func (db *Database) chooseIndex(t *catalog.Table, alias string, preds []sql.Expr) (*catalog.Index, Bound, Bound, bool) {
+	for _, ix := range db.Catalog.IndexesOn(t.Name) {
+		if db.indexes[ix.Name] == nil {
+			continue // hypothetical or unbuilt
+		}
+		first := ix.Columns[0]
+		for _, p := range preds {
+			lo, hi, ok := boundsFor(p, alias, first)
+			if ok {
+				return ix, lo, hi, true
+			}
+		}
+	}
+	return nil, Bound{}, Bound{}, false
+}
+
+// boundsFor extracts index scan bounds from a predicate on col.
+func boundsFor(p sql.Expr, alias, col string) (Bound, Bound, bool) {
+	matches := func(e sql.Expr) bool {
+		c, ok := e.(*sql.ColumnRef)
+		return ok && c.Column == col && (c.Table == "" || c.Table == alias)
+	}
+	switch v := p.(type) {
+	case *sql.BinaryExpr:
+		if !v.Op.IsComparison() || v.Op == sql.OpNe {
+			return Bound{}, Bound{}, false
+		}
+		var colSide, constSide sql.Expr
+		op := v.Op
+		if matches(v.Left) {
+			colSide, constSide = v.Left, v.Right
+		} else if matches(v.Right) {
+			colSide, constSide = v.Right, v.Left
+			op = op.Inverse()
+		} else {
+			return Bound{}, Bound{}, false
+		}
+		_ = colSide
+		d, ok := catalog.DatumFromLiteral(constSide)
+		if !ok {
+			return Bound{}, Bound{}, false
+		}
+		key := []catalog.Datum{d}
+		switch op {
+		case sql.OpEq:
+			return Bound{Key: key, Inclusive: true}, Bound{Key: key, Inclusive: true}, true
+		case sql.OpLt:
+			return Bound{Unbounded: true}, Bound{Key: key}, true
+		case sql.OpLe:
+			return Bound{Unbounded: true}, Bound{Key: key, Inclusive: true}, true
+		case sql.OpGt:
+			return Bound{Key: key}, Bound{Unbounded: true}, true
+		case sql.OpGe:
+			return Bound{Key: key, Inclusive: true}, Bound{Unbounded: true}, true
+		}
+	case *sql.BetweenExpr:
+		if v.Negated || !matches(v.Expr) {
+			return Bound{}, Bound{}, false
+		}
+		lo, okLo := catalog.DatumFromLiteral(v.Lo)
+		hi, okHi := catalog.DatumFromLiteral(v.Hi)
+		if !okLo || !okHi {
+			return Bound{}, Bound{}, false
+		}
+		return Bound{Key: []catalog.Datum{lo}, Inclusive: true},
+			Bound{Key: []catalog.Datum{hi}, Inclusive: true}, true
+	}
+	return Bound{}, Bound{}, false
+}
+
+// referencedAliases returns the table aliases an expression touches,
+// resolving unqualified columns against the referenced tables when
+// unambiguous (callers pass the full FROM list).
+func referencedAliases(e sql.Expr, refs []sql.TableRef) map[string]bool {
+	out := map[string]bool{}
+	sql.WalkExprs(e, func(x sql.Expr) {
+		c, ok := x.(*sql.ColumnRef)
+		if !ok || c.Column == "*" {
+			return
+		}
+		if c.Table != "" {
+			out[c.Table] = true
+			return
+		}
+		// Unqualified: attribute to every table (safe upper bound);
+		// single-table queries still classify correctly.
+		for _, r := range refs {
+			out[r.EffectiveName()] = true
+		}
+	})
+	return out
+}
+
+// findEquijoin locates a pending equality condition joining the
+// current result (aliases in left) with the candidate table alias.
+// It returns the condition and the key expressions for each side.
+func findEquijoin(pending []sql.Expr, left map[string]bool, rightAlias string, refs []sql.TableRef) (*sql.BinaryExpr, sql.Expr, sql.Expr) {
+	for _, p := range pending {
+		b, ok := p.(*sql.BinaryExpr)
+		if !ok || b.Op != sql.OpEq {
+			continue
+		}
+		lt := referencedAliases(b.Left, refs)
+		rt := referencedAliases(b.Right, refs)
+		if len(lt) != 1 || len(rt) != 1 {
+			continue
+		}
+		la, ra := onlyKey(lt), onlyKey(rt)
+		switch {
+		case left[la] && ra == rightAlias:
+			return b, b.Left, b.Right
+		case left[ra] && la == rightAlias:
+			return b, b.Right, b.Left
+		}
+	}
+	return nil, nil, nil
+}
+
+func onlyKey(m map[string]bool) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}
+
+func removeExpr(list []sql.Expr, target sql.Expr) []sql.Expr {
+	out := list[:0]
+	for _, e := range list {
+		if e != target {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// hashJoin joins two intermediates on leftKey = rightKey.
+func hashJoin(left, right *intermediate, leftKey, rightKey sql.Expr) (*intermediate, error) {
+	table := make(map[string][]int)
+	renv := &RowEnv{Schema: right.schema}
+	for i, row := range right.rows {
+		renv.Values = row
+		d, err := EvalExpr(renv, rightKey)
+		if err != nil {
+			return nil, err
+		}
+		if d.IsNull() {
+			continue
+		}
+		table[d.Key()] = append(table[d.Key()], i)
+	}
+	out := &intermediate{schema: append(append([]BoundCol(nil), left.schema...), right.schema...)}
+	lenv := &RowEnv{Schema: left.schema}
+	for _, lrow := range left.rows {
+		lenv.Values = lrow
+		d, err := EvalExpr(lenv, leftKey)
+		if err != nil {
+			return nil, err
+		}
+		if d.IsNull() {
+			continue
+		}
+		for _, ri := range table[d.Key()] {
+			joined := make([]catalog.Datum, 0, len(lrow)+len(right.rows[ri]))
+			joined = append(joined, lrow...)
+			joined = append(joined, right.rows[ri]...)
+			out.rows = append(out.rows, joined)
+		}
+	}
+	return out, nil
+}
+
+func crossJoin(left, right *intermediate) *intermediate {
+	out := &intermediate{schema: append(append([]BoundCol(nil), left.schema...), right.schema...)}
+	for _, l := range left.rows {
+		for _, r := range right.rows {
+			joined := make([]catalog.Datum, 0, len(l)+len(r))
+			joined = append(joined, l...)
+			joined = append(joined, r...)
+			out.rows = append(out.rows, joined)
+		}
+	}
+	return out
+}
+
+// applyResolvable filters cur by every pending condition whose
+// aliases are all present, returning the filtered rows and the still
+// pending conditions.
+func applyResolvable(cur *intermediate, pending []sql.Expr) (*intermediate, []sql.Expr, error) {
+	have := cur.schemaAliases()
+	var now, later []sql.Expr
+	for _, p := range pending {
+		ok := true
+		sql.WalkExprs(p, func(x sql.Expr) {
+			if c, isRef := x.(*sql.ColumnRef); isRef && c.Table != "" && !have[c.Table] {
+				ok = false
+			}
+		})
+		if ok {
+			now = append(now, p)
+		} else {
+			later = append(later, p)
+		}
+	}
+	if len(now) == 0 {
+		return cur, pending, nil
+	}
+	filtered, err := filterRows(cur, sql.AndAll(now))
+	return filtered, later, err
+}
+
+func filterRows(cur *intermediate, cond sql.Expr) (*intermediate, error) {
+	if cond == nil {
+		return cur, nil
+	}
+	env := &RowEnv{Schema: cur.schema}
+	out := &intermediate{schema: cur.schema}
+	for _, row := range cur.rows {
+		env.Values = row
+		keep, err := FilterTrue(env, cond)
+		if err != nil {
+			return nil, err
+		}
+		if keep {
+			out.rows = append(out.rows, row)
+		}
+	}
+	return out, nil
+}
+
+func hasAggregates(sel *sql.Select) bool {
+	agg := false
+	sql.WalkSelect(sel, func(e sql.Expr) {
+		if f, ok := e.(*sql.FuncExpr); ok && f.IsAggregate() {
+			agg = true
+		}
+	})
+	return agg
+}
+
+// aggregate evaluates GROUP BY / aggregate queries over the joined and
+// filtered rows.
+func (db *Database) aggregate(sel *sql.Select, cur *intermediate) (*Result, error) {
+	// Collect every distinct aggregate expression in the query.
+	aggSet := map[string]*sql.FuncExpr{}
+	sql.WalkSelect(sel, func(e sql.Expr) {
+		if f, ok := e.(*sql.FuncExpr); ok && f.IsAggregate() {
+			aggSet[sql.PrintExpr(f)] = f
+		}
+	})
+
+	type aggState struct {
+		count   int64
+		sum     float64
+		sumInt  int64
+		intOnly bool
+		min     catalog.Datum
+		max     catalog.Datum
+		seen    bool
+	}
+	type group struct {
+		keyVals []catalog.Datum
+		repRow  []catalog.Datum
+		aggs    map[string]*aggState
+	}
+	groups := map[string]*group{}
+	var order []string
+	env := &RowEnv{Schema: cur.schema}
+
+	for _, row := range cur.rows {
+		env.Values = row
+		var keyParts []string
+		keyVals := make([]catalog.Datum, len(sel.GroupBy))
+		for i, g := range sel.GroupBy {
+			d, err := EvalExpr(env, g)
+			if err != nil {
+				return nil, err
+			}
+			keyVals[i] = d
+			keyParts = append(keyParts, d.Key())
+		}
+		key := strings.Join(keyParts, "\x01")
+		gr := groups[key]
+		if gr == nil {
+			gr = &group{keyVals: keyVals, repRow: row, aggs: map[string]*aggState{}}
+			for name := range aggSet {
+				gr.aggs[name] = &aggState{intOnly: true}
+			}
+			groups[key] = gr
+			order = append(order, key)
+		}
+		for name, f := range aggSet {
+			st := gr.aggs[name]
+			if f.Star {
+				st.count++
+				continue
+			}
+			d, err := EvalExpr(env, f.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			if d.IsNull() {
+				continue
+			}
+			st.count++
+			if fv, ok := d.Float(); ok {
+				st.sum += fv
+				if d.Kind == catalog.KindInt {
+					st.sumInt += d.I
+				} else {
+					st.intOnly = false
+				}
+			} else {
+				st.intOnly = false
+			}
+			if !st.seen || catalog.Compare(d, st.min) < 0 {
+				st.min = d
+			}
+			if !st.seen || catalog.Compare(d, st.max) > 0 {
+				st.max = d
+			}
+			st.seen = true
+		}
+	}
+
+	// An aggregate query with no GROUP BY over zero rows yields one
+	// row (COUNT = 0 etc.).
+	if len(groups) == 0 && len(sel.GroupBy) == 0 {
+		gr := &group{repRow: make([]catalog.Datum, len(cur.schema)), aggs: map[string]*aggState{}}
+		for name := range aggSet {
+			gr.aggs[name] = &aggState{intOnly: true}
+		}
+		groups[""] = gr
+		order = append(order, "")
+	}
+
+	finish := func(name string, st *aggState) catalog.Datum {
+		f := aggSet[name]
+		switch f.Name {
+		case "count":
+			return catalog.IntDatum(st.count)
+		case "sum":
+			if st.count == 0 {
+				return catalog.NullDatum()
+			}
+			if st.intOnly {
+				return catalog.IntDatum(st.sumInt)
+			}
+			return catalog.FloatDatum(st.sum)
+		case "avg":
+			if st.count == 0 {
+				return catalog.NullDatum()
+			}
+			return catalog.FloatDatum(st.sum / float64(st.count))
+		case "min":
+			if !st.seen {
+				return catalog.NullDatum()
+			}
+			return st.min
+		case "max":
+			if !st.seen {
+				return catalog.NullDatum()
+			}
+			return st.max
+		}
+		return catalog.NullDatum()
+	}
+
+	outSchema, names := projectionSchema(sel, cur.schema)
+	out := &Result{Columns: names}
+	var auxRows []rowAux
+	for _, key := range order {
+		gr := groups[key]
+		genv := &RowEnv{Schema: cur.schema, Values: gr.repRow, Aggs: map[string]catalog.Datum{}}
+		for name, st := range gr.aggs {
+			genv.Aggs[name] = finish(name, st)
+		}
+		if sel.Having != nil {
+			keep, err := FilterTrue(genv, sel.Having)
+			if err != nil {
+				return nil, err
+			}
+			if !keep {
+				continue
+			}
+		}
+		row, err := evalProjection(sel, genv, outSchema)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, row)
+		auxRows = append(auxRows, rowAux{in: gr.repRow, aggs: genv.Aggs})
+	}
+	return db.finish(sel, cur.schema, out, auxRows)
+}
+
+// project evaluates the projection for non-aggregate queries.
+func (db *Database) project(sel *sql.Select, cur *intermediate) (*Result, error) {
+	outSchema, names := projectionSchema(sel, cur.schema)
+	out := &Result{Columns: names}
+	var auxRows []rowAux
+	env := &RowEnv{Schema: cur.schema}
+	for _, row := range cur.rows {
+		env.Values = row
+		r, err := evalProjection(sel, env, outSchema)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, r)
+		auxRows = append(auxRows, rowAux{in: row})
+	}
+	return db.finish(sel, cur.schema, out, auxRows)
+}
+
+// rowAux carries the evaluation context of one output row so ORDER BY
+// can reference input columns (possibly qualified) as well as output
+// aliases.
+type rowAux struct {
+	in   []catalog.Datum
+	aggs map[string]catalog.Datum
+}
+
+// projectionSchema expands stars and names output columns.
+func projectionSchema(sel *sql.Select, in []BoundCol) ([]sql.Expr, []string) {
+	var exprs []sql.Expr
+	var names []string
+	for _, it := range sel.Items {
+		switch {
+		case it.Star && it.Expr == nil:
+			for _, c := range in {
+				exprs = append(exprs, &sql.ColumnRef{Table: c.Qual, Column: c.Name})
+				names = append(names, c.Name)
+			}
+		case it.Star:
+			qual := it.Expr.(*sql.ColumnRef).Table
+			for _, c := range in {
+				if c.Qual == qual {
+					exprs = append(exprs, &sql.ColumnRef{Table: c.Qual, Column: c.Name})
+					names = append(names, c.Name)
+				}
+			}
+		default:
+			exprs = append(exprs, it.Expr)
+			name := it.Alias
+			if name == "" {
+				if c, ok := it.Expr.(*sql.ColumnRef); ok {
+					name = c.Column
+				} else {
+					name = sql.PrintExpr(it.Expr)
+				}
+			}
+			names = append(names, name)
+		}
+	}
+	return exprs, names
+}
+
+func evalProjection(sel *sql.Select, env *RowEnv, exprs []sql.Expr) ([]catalog.Datum, error) {
+	row := make([]catalog.Datum, len(exprs))
+	for i, e := range exprs {
+		d, err := EvalExpr(env, e)
+		if err != nil {
+			return nil, err
+		}
+		row[i] = d
+	}
+	return row, nil
+}
+
+// finish applies DISTINCT, ORDER BY and LIMIT to the projected result.
+// aux runs parallel to res.Rows and supplies each row's input values
+// for ORDER BY expressions that reference non-projected columns.
+func (db *Database) finish(sel *sql.Select, inSchema []BoundCol, res *Result, aux []rowAux) (*Result, error) {
+	if sel.Distinct {
+		seen := map[string]bool{}
+		var rows [][]catalog.Datum
+		var keptAux []rowAux
+		for i, r := range res.Rows {
+			parts := make([]string, len(r))
+			for j, d := range r {
+				parts[j] = d.Key()
+			}
+			k := strings.Join(parts, "\x01")
+			if !seen[k] {
+				seen[k] = true
+				rows = append(rows, r)
+				keptAux = append(keptAux, aux[i])
+			}
+		}
+		res.Rows = rows
+		aux = keptAux
+	}
+	if len(sel.OrderBy) > 0 {
+		// ORDER BY may reference output aliases or any input column:
+		// layer the output columns over the input row.
+		keyFor := func(row []catalog.Datum, a rowAux) ([]catalog.Datum, error) {
+			env := &RowEnv{Aggs: a.aggs}
+			for i, name := range res.Columns {
+				env.Schema = append(env.Schema, BoundCol{Name: name})
+				env.Values = append(env.Values, row[i])
+			}
+			if a.in != nil {
+				for i, c := range inSchema {
+					if i < len(a.in) {
+						env.Schema = append(env.Schema, c)
+						env.Values = append(env.Values, a.in[i])
+					}
+				}
+			}
+			keys := make([]catalog.Datum, len(sel.OrderBy))
+			for i, o := range sel.OrderBy {
+				d, err := evalOrderKey(env, o.Expr)
+				if err != nil {
+					return nil, err
+				}
+				keys[i] = d
+			}
+			return keys, nil
+		}
+		type sortable struct {
+			row  []catalog.Datum
+			keys []catalog.Datum
+		}
+		items := make([]sortable, len(res.Rows))
+		for i, r := range res.Rows {
+			var a rowAux
+			if i < len(aux) {
+				a = aux[i]
+			}
+			keys, err := keyFor(r, a)
+			if err != nil {
+				return nil, fmt.Errorf("storage: ORDER BY: %w", err)
+			}
+			items[i] = sortable{r, keys}
+		}
+		sort.SliceStable(items, func(a, b int) bool {
+			for i, o := range sel.OrderBy {
+				c := catalog.Compare(items[a].keys[i], items[b].keys[i])
+				if o.Desc {
+					c = -c
+				}
+				if c != 0 {
+					return c < 0
+				}
+			}
+			return false
+		})
+		for i, it := range items {
+			res.Rows[i] = it.row
+		}
+	}
+	if sel.Limit >= 0 && int64(len(res.Rows)) > sel.Limit {
+		res.Rows = res.Rows[:sel.Limit]
+	}
+	return res, nil
+}
+
+// evalOrderKey resolves an ORDER BY expression against the layered
+// environment, tolerating the output-alias/input-column duplication
+// that layering introduces: an unqualified name that is ambiguous
+// only because it appears both as an output column and an input
+// column resolves to the output occurrence.
+func evalOrderKey(env *RowEnv, e sql.Expr) (catalog.Datum, error) {
+	d, err := EvalExpr(env, e)
+	if err == nil {
+		return d, nil
+	}
+	// Retry resolving refs by first match (output layer wins).
+	if ref, ok := e.(*sql.ColumnRef); ok {
+		for i, c := range env.Schema {
+			if c.Name == ref.Column && (ref.Table == "" || ref.Table == c.Qual) {
+				return env.Values[i], nil
+			}
+		}
+	}
+	return catalog.Datum{}, err
+}

@@ -1,0 +1,248 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/catalog"
+)
+
+// TID identifies a tuple by heap page number and slot within the page.
+type TID struct {
+	Page int32
+	Slot int32
+}
+
+// Slotted page layout (within a catalog.PageSize byte array):
+//
+//	[0:2)  slot count n
+//	[2:4)  free-space lower bound (end of slot array)
+//	[4:6)  free-space upper bound (start of tuple data)
+//	[24:)  slot array: per slot 2-byte offset + 2-byte length
+//	tuples grow downward from the end of the page
+const (
+	pageSlotCountOff = 0
+	pageLowerOff     = 2
+	pageUpperOff     = 4
+	pageSlotArrayOff = catalog.PageHeaderSize
+	slotEntrySize    = 4
+)
+
+// Page is one slotted heap page.
+type Page struct {
+	data [catalog.PageSize]byte
+}
+
+// NewPage returns an initialized empty page.
+func NewPage() *Page {
+	p := &Page{}
+	p.setU16(pageSlotCountOff, 0)
+	p.setU16(pageLowerOff, pageSlotArrayOff)
+	p.setU16(pageUpperOff, catalog.PageSize)
+	return p
+}
+
+func (p *Page) u16(off int) int { return int(binary.LittleEndian.Uint16(p.data[off:])) }
+func (p *Page) setU16(off, v int) {
+	binary.LittleEndian.PutUint16(p.data[off:], uint16(v))
+}
+
+// SlotCount returns the number of tuples stored in the page.
+func (p *Page) SlotCount() int { return p.u16(pageSlotCountOff) }
+
+// FreeSpace returns the bytes available for one more tuple (accounting
+// for its slot entry).
+func (p *Page) FreeSpace() int {
+	free := p.u16(pageUpperOff) - p.u16(pageLowerOff) - slotEntrySize
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// Insert stores a tuple in the page, returning its slot number, or
+// ok=false when the page lacks space.
+func (p *Page) Insert(tuple []byte) (slot int, ok bool) {
+	if len(tuple) > p.FreeSpace() {
+		return 0, false
+	}
+	n := p.SlotCount()
+	upper := p.u16(pageUpperOff) - len(tuple)
+	copy(p.data[upper:], tuple)
+	slotOff := pageSlotArrayOff + n*slotEntrySize
+	p.setU16(slotOff, upper)
+	p.setU16(slotOff+2, len(tuple))
+	p.setU16(pageSlotCountOff, n+1)
+	p.setU16(pageLowerOff, slotOff+slotEntrySize)
+	p.setU16(pageUpperOff, upper)
+	return n, true
+}
+
+// Get returns the raw tuple bytes in the given slot.
+func (p *Page) Get(slot int) ([]byte, error) {
+	if slot < 0 || slot >= p.SlotCount() {
+		return nil, fmt.Errorf("storage: slot %d out of range (page has %d)", slot, p.SlotCount())
+	}
+	slotOff := pageSlotArrayOff + slot*slotEntrySize
+	off := p.u16(slotOff)
+	ln := p.u16(slotOff + 2)
+	return p.data[off : off+ln], nil
+}
+
+// Heap is a heap file: an append-only sequence of slotted pages holding
+// encoded tuples of one table.
+type Heap struct {
+	Columns []catalog.Column
+	pages   []*Page
+	rows    int64
+	pool    *BufferPool // optional; counts page accesses when set
+	fileID  int
+}
+
+// NewHeap creates an empty heap for the given column layout.
+func NewHeap(cols []catalog.Column) *Heap {
+	return &Heap{Columns: cols}
+}
+
+// AttachPool routes this heap's page reads through pool, so scans and
+// index fetches produce hit/miss accounting.
+func (h *Heap) AttachPool(pool *BufferPool) {
+	h.pool = pool
+	h.fileID = pool.registerFile()
+}
+
+// NumPages returns the page count of the heap (at least 0).
+func (h *Heap) NumPages() int64 { return int64(len(h.pages)) }
+
+// NumRows returns the tuple count.
+func (h *Heap) NumRows() int64 { return h.rows }
+
+// Insert encodes and stores a row, returning its TID.
+func (h *Heap) Insert(row []catalog.Datum) (TID, error) {
+	tuple, err := EncodeTuple(h.Columns, row)
+	if err != nil {
+		return TID{}, err
+	}
+	if len(tuple) > catalog.PageSize-catalog.PageHeaderSize-slotEntrySize {
+		return TID{}, fmt.Errorf("storage: tuple of %d bytes exceeds page capacity", len(tuple))
+	}
+	if len(h.pages) == 0 {
+		h.pages = append(h.pages, NewPage())
+	}
+	last := h.pages[len(h.pages)-1]
+	slot, ok := last.Insert(tuple)
+	if !ok {
+		h.pages = append(h.pages, NewPage())
+		last = h.pages[len(h.pages)-1]
+		slot, ok = last.Insert(tuple)
+		if !ok {
+			return TID{}, fmt.Errorf("storage: tuple does not fit an empty page")
+		}
+	}
+	h.rows++
+	return TID{Page: int32(len(h.pages) - 1), Slot: int32(slot)}, nil
+}
+
+// page returns page pn, going through the buffer pool when attached.
+func (h *Heap) page(pn int32) (*Page, error) {
+	if pn < 0 || int(pn) >= len(h.pages) {
+		return nil, fmt.Errorf("storage: page %d out of range (heap has %d)", pn, len(h.pages))
+	}
+	if h.pool != nil {
+		h.pool.access(h.fileID, pn)
+	}
+	return h.pages[pn], nil
+}
+
+// Fetch returns the decoded row at tid.
+func (h *Heap) Fetch(tid TID) ([]catalog.Datum, error) {
+	p, err := h.page(tid.Page)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := p.Get(int(tid.Slot))
+	if err != nil {
+		return nil, err
+	}
+	return DecodeTuple(h.Columns, raw)
+}
+
+// Scan returns an iterator over every row in physical order.
+func (h *Heap) Scan() *HeapIterator {
+	return &HeapIterator{heap: h}
+}
+
+// HeapIterator walks a heap page by page, slot by slot. It implements
+// catalog.RowSource so ANALYZE can run straight off a heap.
+type HeapIterator struct {
+	heap *Heap
+	page int32
+	slot int32
+	err  error
+}
+
+// Next returns the next row in physical order.
+func (it *HeapIterator) Next() ([]catalog.Datum, bool) {
+	for {
+		if int(it.page) >= len(it.heap.pages) {
+			return nil, false
+		}
+		p, err := it.heap.page(it.page)
+		if err != nil {
+			it.err = err
+			return nil, false
+		}
+		if int(it.slot) >= p.SlotCount() {
+			it.page++
+			it.slot = 0
+			continue
+		}
+		raw, err := p.Get(int(it.slot))
+		if err != nil {
+			it.err = err
+			return nil, false
+		}
+		it.slot++
+		row, err := DecodeTuple(it.heap.Columns, raw)
+		if err != nil {
+			it.err = err
+			return nil, false
+		}
+		return row, true
+	}
+}
+
+// NextTID returns the next row along with its TID.
+func (it *HeapIterator) NextTID() ([]catalog.Datum, TID, bool) {
+	for {
+		if int(it.page) >= len(it.heap.pages) {
+			return nil, TID{}, false
+		}
+		p, err := it.heap.page(it.page)
+		if err != nil {
+			it.err = err
+			return nil, TID{}, false
+		}
+		if int(it.slot) >= p.SlotCount() {
+			it.page++
+			it.slot = 0
+			continue
+		}
+		tid := TID{Page: it.page, Slot: it.slot}
+		raw, err := p.Get(int(it.slot))
+		if err != nil {
+			it.err = err
+			return nil, TID{}, false
+		}
+		it.slot++
+		row, err := DecodeTuple(it.heap.Columns, raw)
+		if err != nil {
+			it.err = err
+			return nil, TID{}, false
+		}
+		return row, tid, true
+	}
+}
+
+// Err returns the first decoding error encountered, if any.
+func (it *HeapIterator) Err() error { return it.err }

@@ -1,0 +1,809 @@
+package storage
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/catalog"
+	"repro/internal/sql"
+)
+
+func tableCols(t *testing.T, ddl string) []catalog.Column {
+	t.Helper()
+	st, err := sql.Parse(ddl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return catalog.NewTable(st.(*sql.CreateTable)).Columns
+}
+
+func TestTupleRoundTrip(t *testing.T) {
+	cols := tableCols(t, "CREATE TABLE t (a bigint, b int, c float8, d text, e bool)")
+	rows := [][]catalog.Datum{
+		{catalog.IntDatum(1), catalog.IntDatum(2), catalog.FloatDatum(3.5), catalog.StringDatum("hello"), catalog.BoolDatum(true)},
+		{catalog.IntDatum(-9e15), catalog.IntDatum(-5), catalog.FloatDatum(-0.25), catalog.StringDatum(""), catalog.BoolDatum(false)},
+		{catalog.NullDatum(), catalog.NullDatum(), catalog.NullDatum(), catalog.NullDatum(), catalog.NullDatum()},
+		{catalog.IntDatum(42), catalog.NullDatum(), catalog.FloatDatum(0), catalog.StringDatum("it's"), catalog.NullDatum()},
+	}
+	for _, row := range rows {
+		enc, err := EncodeTuple(cols, row)
+		if err != nil {
+			t.Fatalf("encode %v: %v", row, err)
+		}
+		dec, err := DecodeTuple(cols, enc)
+		if err != nil {
+			t.Fatalf("decode %v: %v", row, err)
+		}
+		for i := range row {
+			if row[i].IsNull() != dec[i].IsNull() {
+				t.Fatalf("null mismatch col %d: %v vs %v", i, row[i], dec[i])
+			}
+			if !row[i].IsNull() && catalog.Compare(row[i], dec[i]) != 0 {
+				t.Fatalf("value mismatch col %d: %v vs %v", i, row[i], dec[i])
+			}
+		}
+	}
+}
+
+func TestTupleRoundTripProperty(t *testing.T) {
+	cols := tableCols(t, "CREATE TABLE t (a bigint, b float8, c text)")
+	f := func(a int64, b float64, s string, na, nb, nc bool) bool {
+		row := []catalog.Datum{catalog.IntDatum(a), catalog.FloatDatum(b), catalog.StringDatum(s)}
+		if na {
+			row[0] = catalog.NullDatum()
+		}
+		if nb {
+			row[1] = catalog.NullDatum()
+		}
+		if nc {
+			row[2] = catalog.NullDatum()
+		}
+		enc, err := EncodeTuple(cols, row)
+		if err != nil {
+			return false
+		}
+		dec, err := DecodeTuple(cols, enc)
+		if err != nil {
+			return false
+		}
+		for i := range row {
+			if row[i].IsNull() != dec[i].IsNull() {
+				return false
+			}
+			if !row[i].IsNull() && catalog.Compare(row[i], dec[i]) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTupleErrors(t *testing.T) {
+	cols := tableCols(t, "CREATE TABLE t (a int)")
+	if _, err := EncodeTuple(cols, nil); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if _, err := EncodeTuple(cols, []catalog.Datum{catalog.StringDatum("x")}); err == nil {
+		t.Error("bad cast accepted")
+	}
+	if _, err := DecodeTuple(cols, []byte{0}); err == nil {
+		t.Error("truncated tuple accepted")
+	}
+}
+
+func TestPageInsertGet(t *testing.T) {
+	p := NewPage()
+	if p.SlotCount() != 0 {
+		t.Fatal("new page not empty")
+	}
+	var slots []int
+	payload := []byte("0123456789")
+	for {
+		s, ok := p.Insert(payload)
+		if !ok {
+			break
+		}
+		slots = append(slots, s)
+	}
+	if len(slots) == 0 {
+		t.Fatal("nothing fit in an empty page")
+	}
+	// (10 bytes + 4 slot) per tuple in 8168 usable: ~583.
+	if len(slots) < 500 || len(slots) > 600 {
+		t.Errorf("unexpected capacity %d tuples", len(slots))
+	}
+	for _, s := range slots {
+		got, err := p.Get(s)
+		if err != nil || string(got) != string(payload) {
+			t.Fatalf("Get(%d) = %q, %v", s, got, err)
+		}
+	}
+	if _, err := p.Get(len(slots)); err == nil {
+		t.Error("out-of-range slot accepted")
+	}
+}
+
+func TestHeapInsertScanFetch(t *testing.T) {
+	cols := tableCols(t, "CREATE TABLE t (a bigint, b text)")
+	h := NewHeap(cols)
+	var tids []TID
+	const n = 5000
+	for i := 0; i < n; i++ {
+		tid, err := h.Insert([]catalog.Datum{catalog.IntDatum(int64(i)), catalog.StringDatum("row")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tids = append(tids, tid)
+	}
+	if h.NumRows() != n {
+		t.Errorf("rows = %d", h.NumRows())
+	}
+	if h.NumPages() < 2 {
+		t.Errorf("pages = %d, expected multiple", h.NumPages())
+	}
+	// Scan preserves insertion order.
+	it := h.Scan()
+	for i := 0; i < n; i++ {
+		row, ok := it.Next()
+		if !ok {
+			t.Fatalf("scan ended at %d", i)
+		}
+		if row[0].I != int64(i) {
+			t.Fatalf("row %d has key %d", i, row[0].I)
+		}
+	}
+	if _, ok := it.Next(); ok {
+		t.Error("scan overran")
+	}
+	if it.Err() != nil {
+		t.Error(it.Err())
+	}
+	// Random TID fetches.
+	r := rand.New(rand.NewSource(1))
+	for k := 0; k < 100; k++ {
+		i := r.Intn(n)
+		row, err := h.Fetch(tids[i])
+		if err != nil || row[0].I != int64(i) {
+			t.Fatalf("Fetch(%v) = %v, %v", tids[i], row, err)
+		}
+	}
+	if _, err := h.Fetch(TID{Page: 9999}); err == nil {
+		t.Error("bad page accepted")
+	}
+}
+
+func TestBufferPoolLRU(t *testing.T) {
+	bp := NewBufferPool(2)
+	f := bp.registerFile()
+	bp.access(f, 1) // miss
+	bp.access(f, 1) // hit
+	bp.access(f, 2) // miss
+	bp.access(f, 3) // miss, evicts 1
+	bp.access(f, 1) // miss again
+	if bp.Hits() != 1 || bp.Misses() != 4 {
+		t.Errorf("hits=%d misses=%d", bp.Hits(), bp.Misses())
+	}
+	bp.Reset()
+	if bp.Hits() != 0 || bp.Misses() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func key1(v int64) []catalog.Datum { return []catalog.Datum{catalog.IntDatum(v)} }
+
+func TestBTreeInsertScanSorted(t *testing.T) {
+	bt := NewBTree()
+	r := rand.New(rand.NewSource(2))
+	const n = 20000
+	perm := r.Perm(n)
+	for i, v := range perm {
+		bt.Insert(key1(int64(v)), TID{Page: int32(i)})
+	}
+	if bt.Size() != n {
+		t.Errorf("size = %d", bt.Size())
+	}
+	if bt.Height() < 1 {
+		t.Errorf("height = %d for %d keys", bt.Height(), n)
+	}
+	prev := int64(-1)
+	count := 0
+	bt.ScanAll(func(k []catalog.Datum, _ TID) bool {
+		if k[0].I <= prev {
+			t.Fatalf("out of order: %d after %d", k[0].I, prev)
+		}
+		prev = k[0].I
+		count++
+		return true
+	})
+	if count != n {
+		t.Errorf("scanned %d of %d", count, n)
+	}
+}
+
+func TestBTreeRangeScanAgainstBruteForce(t *testing.T) {
+	bt := NewBTree()
+	r := rand.New(rand.NewSource(3))
+	var all []int64
+	for i := 0; i < 5000; i++ {
+		v := int64(r.Intn(1000)) // plenty of duplicates
+		all = append(all, v)
+		bt.Insert(key1(v), TID{Page: int32(i)})
+	}
+	check := func(lo, hi int64, loInc, hiInc bool) {
+		want := 0
+		for _, v := range all {
+			okLo := v > lo || (loInc && v == lo)
+			okHi := v < hi || (hiInc && v == hi)
+			if okLo && okHi {
+				want++
+			}
+		}
+		got := 0
+		bt.Scan(Bound{Key: key1(lo), Inclusive: loInc}, Bound{Key: key1(hi), Inclusive: hiInc},
+			func(k []catalog.Datum, _ TID) bool { got++; return true })
+		if got != want {
+			t.Errorf("range (%d..%d inc=%v,%v): got %d want %d", lo, hi, loInc, hiInc, got, want)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		lo := int64(r.Intn(1000))
+		hi := lo + int64(r.Intn(200))
+		check(lo, hi, true, true)
+		check(lo, hi, false, true)
+		check(lo, hi, true, false)
+		check(lo, hi, false, false)
+	}
+	// Unbounded ends.
+	got := 0
+	bt.Scan(Bound{Unbounded: true}, Bound{Key: key1(10), Inclusive: false},
+		func([]catalog.Datum, TID) bool { got++; return true })
+	want := 0
+	for _, v := range all {
+		if v < 10 {
+			want++
+		}
+	}
+	if got != want {
+		t.Errorf("unbounded-lo scan: got %d want %d", got, want)
+	}
+}
+
+func TestBTreeDuplicatesAndSearchEqual(t *testing.T) {
+	bt := NewBTree()
+	for i := 0; i < 1000; i++ {
+		bt.Insert(key1(7), TID{Page: int32(i)})
+	}
+	bt.Insert(key1(6), TID{})
+	bt.Insert(key1(8), TID{})
+	count := 0
+	bt.SearchEqual(key1(7), func(TID) bool { count++; return true })
+	if count != 1000 {
+		t.Errorf("found %d duplicates, want 1000", count)
+	}
+}
+
+func TestBTreeCompositeKeysAndPrefix(t *testing.T) {
+	bt := NewBTree()
+	n := 0
+	for a := int64(0); a < 50; a++ {
+		for b := int64(0); b < 20; b++ {
+			bt.Insert([]catalog.Datum{catalog.IntDatum(a), catalog.IntDatum(b)}, TID{Page: int32(n)})
+			n++
+		}
+	}
+	// Prefix scan: all keys with a == 7 via PrefixSuccessor.
+	prefix := key1(7)
+	succ, ok := PrefixSuccessor(prefix)
+	if !ok {
+		t.Fatal("no prefix successor")
+	}
+	count := 0
+	bt.Scan(Bound{Key: prefix, Inclusive: true}, Bound{Key: succ, Inclusive: false},
+		func(k []catalog.Datum, _ TID) bool {
+			if k[0].I != 7 {
+				t.Fatalf("prefix scan leaked key %v", k)
+			}
+			count++
+			return true
+		})
+	if count != 20 {
+		t.Errorf("prefix scan found %d, want 20", count)
+	}
+}
+
+func TestCompareKeysPrefixOrder(t *testing.T) {
+	short := key1(5)
+	long := []catalog.Datum{catalog.IntDatum(5), catalog.IntDatum(0)}
+	if CompareKeys(short, long) >= 0 {
+		t.Error("prefix must sort before its extensions")
+	}
+	if CompareKeys(long, short) <= 0 {
+		t.Error("asymmetry")
+	}
+	if CompareKeys(short, short) != 0 {
+		t.Error("reflexivity")
+	}
+}
+
+func TestPrefixSuccessorKinds(t *testing.T) {
+	s, ok := PrefixSuccessor([]catalog.Datum{catalog.StringDatum("abc")})
+	if !ok || catalog.Compare(s[0], catalog.StringDatum("abc")) <= 0 {
+		t.Error("string successor")
+	}
+	f, ok := PrefixSuccessor([]catalog.Datum{catalog.FloatDatum(1.5)})
+	if !ok || f[0].F <= 1.5 {
+		t.Error("float successor")
+	}
+	b, ok := PrefixSuccessor([]catalog.Datum{catalog.BoolDatum(false)})
+	if !ok || !b[0].B {
+		t.Error("bool successor")
+	}
+}
+
+// buildTestDB creates a two-table database with deterministic data.
+func buildTestDB(t testing.TB, rows int) *Database {
+	db := NewDatabase(1024)
+	mustCreate := func(ddl string) {
+		st, err := sql.Parse(ddl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.CreateTable(st.(*sql.CreateTable)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustCreate(`CREATE TABLE photoobj (objid bigint, ra float8, dec float8, run int, type int, r float8, PRIMARY KEY (objid))`)
+	mustCreate(`CREATE TABLE specobj (specid bigint, bestobjid bigint, z float8, class int, PRIMARY KEY (specid))`)
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < rows; i++ {
+		err := db.Insert("photoobj", []catalog.Datum{
+			catalog.IntDatum(int64(i)),
+			catalog.FloatDatum(r.Float64() * 360),
+			catalog.FloatDatum(r.Float64()*180 - 90),
+			catalog.IntDatum(int64(r.Intn(8))),
+			catalog.IntDatum(int64([]int{3, 6}[r.Intn(2)])),
+			catalog.FloatDatum(14 + r.Float64()*10),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < rows/5; i++ {
+		err := db.Insert("specobj", []catalog.Datum{
+			catalog.IntDatum(int64(i)),
+			catalog.IntDatum(int64(r.Intn(rows))),
+			catalog.FloatDatum(r.Float64() * 3),
+			catalog.IntDatum(int64(r.Intn(4))),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.AnalyzeAll(); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func exec(t testing.TB, db *Database, q string) *Result {
+	t.Helper()
+	sel, err := sql.ParseSelect(q)
+	if err != nil {
+		t.Fatalf("parse %q: %v", q, err)
+	}
+	res, err := db.Execute(sel)
+	if err != nil {
+		t.Fatalf("execute %q: %v", q, err)
+	}
+	return res
+}
+
+func TestExecuteFilterAndProject(t *testing.T) {
+	db := buildTestDB(t, 2000)
+	res := exec(t, db, "SELECT objid, ra FROM photoobj WHERE objid < 10")
+	if len(res.Rows) != 10 {
+		t.Errorf("rows = %d", len(res.Rows))
+	}
+	if !reflect.DeepEqual(res.Columns, []string{"objid", "ra"}) {
+		t.Errorf("columns = %v", res.Columns)
+	}
+	res = exec(t, db, "SELECT COUNT(*) FROM photoobj WHERE type = 6")
+	manual := exec(t, db, "SELECT objid FROM photoobj WHERE type = 6")
+	if res.Rows[0][0].I != int64(len(manual.Rows)) {
+		t.Errorf("count mismatch: %d vs %d", res.Rows[0][0].I, len(manual.Rows))
+	}
+}
+
+func TestExecuteJoin(t *testing.T) {
+	db := buildTestDB(t, 1000)
+	hashRes := exec(t, db, `SELECT p.objid, s.z FROM photoobj p, specobj s
+		WHERE p.objid = s.bestobjid AND s.z > 1.0`)
+	joinRes := exec(t, db, `SELECT p.objid, s.z FROM photoobj p JOIN specobj s
+		ON p.objid = s.bestobjid WHERE s.z > 1.0`)
+	if len(hashRes.Rows) == 0 {
+		t.Fatal("join produced no rows")
+	}
+	if len(hashRes.Rows) != len(joinRes.Rows) {
+		t.Errorf("comma join %d rows, JOIN ON %d rows", len(hashRes.Rows), len(joinRes.Rows))
+	}
+	for _, row := range hashRes.Rows {
+		if row[1].F <= 1.0 {
+			t.Fatalf("filter leaked: z = %v", row[1].F)
+		}
+	}
+}
+
+func TestExecuteAggregates(t *testing.T) {
+	db := buildTestDB(t, 3000)
+	res := exec(t, db, `SELECT run, COUNT(*) AS n, AVG(r) AS avg_r, MIN(r), MAX(r)
+		FROM photoobj GROUP BY run ORDER BY run`)
+	if len(res.Rows) != 8 {
+		t.Fatalf("groups = %d, want 8", len(res.Rows))
+	}
+	totalN := int64(0)
+	for _, row := range res.Rows {
+		totalN += row[1].I
+		if row[2].F < 14 || row[2].F > 24 {
+			t.Errorf("avg out of range: %v", row[2].F)
+		}
+		if catalog.Compare(row[3], row[4]) > 0 {
+			t.Errorf("min > max")
+		}
+	}
+	if totalN != 3000 {
+		t.Errorf("counts sum to %d", totalN)
+	}
+	// HAVING.
+	res = exec(t, db, `SELECT run, COUNT(*) AS n FROM photoobj GROUP BY run HAVING COUNT(*) > 400 ORDER BY n DESC`)
+	for _, row := range res.Rows {
+		if row[1].I <= 400 {
+			t.Errorf("HAVING leaked count %d", row[1].I)
+		}
+	}
+	// Empty-input aggregate without GROUP BY yields one row.
+	res = exec(t, db, "SELECT COUNT(*), SUM(r) FROM photoobj WHERE objid < 0")
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 0 || !res.Rows[0][1].IsNull() {
+		t.Errorf("empty aggregate = %v", res.Rows)
+	}
+}
+
+func TestExecuteOrderLimitDistinct(t *testing.T) {
+	db := buildTestDB(t, 500)
+	res := exec(t, db, "SELECT objid FROM photoobj ORDER BY objid DESC LIMIT 5")
+	if len(res.Rows) != 5 || res.Rows[0][0].I != 499 {
+		t.Errorf("order/limit: %v", res.Rows)
+	}
+	res = exec(t, db, "SELECT DISTINCT type FROM photoobj ORDER BY type")
+	if len(res.Rows) != 2 {
+		t.Errorf("distinct types = %d", len(res.Rows))
+	}
+}
+
+func TestIndexScanMatchesSeqScan(t *testing.T) {
+	db := buildTestDB(t, 4000)
+	ci, err := sql.Parse("CREATE INDEX i_ra ON photoobj (ra)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.BuildIndex(ci.(*sql.CreateIndex)); err != nil {
+		t.Fatal(err)
+	}
+	q := "SELECT objid FROM photoobj WHERE ra BETWEEN 100 AND 120 ORDER BY objid"
+	sel, err := sql.ParseSelect(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withIdx, err := db.ExecuteOpts(sel, ExecOptions{UseIndexes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noIdx, err := db.ExecuteOpts(sel, ExecOptions{UseIndexes: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withIdx.Rows) == 0 {
+		t.Fatal("empty result")
+	}
+	if !reflect.DeepEqual(withIdx.Rows, noIdx.Rows) {
+		t.Errorf("index scan (%d rows) and seq scan (%d rows) disagree", len(withIdx.Rows), len(noIdx.Rows))
+	}
+}
+
+func TestBuildIndexMaintainedByInsert(t *testing.T) {
+	db := buildTestDB(t, 100)
+	ci, _ := sql.Parse("CREATE INDEX i_run ON photoobj (run)")
+	ix, err := db.BuildIndex(ci.(*sql.CreateIndex))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Pages < 1 {
+		t.Error("index has no pages")
+	}
+	before := db.Index("i_run").Size()
+	err = db.Insert("photoobj", []catalog.Datum{
+		catalog.IntDatum(100000), catalog.FloatDatum(1), catalog.FloatDatum(1),
+		catalog.IntDatum(3), catalog.IntDatum(6), catalog.FloatDatum(15),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Index("i_run").Size() != before+1 {
+		t.Error("insert did not maintain index")
+	}
+}
+
+func TestAnalyzeFromHeap(t *testing.T) {
+	db := buildTestDB(t, 1000)
+	tab := db.Catalog.Table("photoobj")
+	if tab.RowCount != 1000 {
+		t.Errorf("rowcount = %d", tab.RowCount)
+	}
+	if tab.Pages != db.Heap("photoobj").NumPages() {
+		t.Errorf("pages %d != heap pages %d", tab.Pages, db.Heap("photoobj").NumPages())
+	}
+	if tab.Column("ra").Stats == nil {
+		t.Fatal("no stats")
+	}
+}
+
+func TestExecuteErrors(t *testing.T) {
+	db := buildTestDB(t, 10)
+	bad := []string{
+		"SELECT x FROM photoobj",                     // unknown column
+		"SELECT objid FROM nosuch",                   // unknown table
+		"SELECT p.objid FROM photoobj p, photoobj p", // duplicate alias
+	}
+	for _, q := range bad {
+		sel, err := sql.ParseSelect(q)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		if _, err := db.Execute(sel); err == nil {
+			t.Errorf("Execute(%q) succeeded, want error", q)
+		}
+	}
+}
+
+func TestLikeMatch(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"hello", "hello", true},
+		{"hello", "h%", true},
+		{"hello", "%o", true},
+		{"hello", "%ell%", true},
+		{"hello", "h_llo", true},
+		{"hello", "h_lo", false},
+		{"hello", "", false},
+		{"", "%", true},
+		{"abc", "a%c%", true},
+		{"abc", "_%_", true},
+		{"ab", "_%_%_", false},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.s, c.p); got != c.want {
+			t.Errorf("likeMatch(%q,%q) = %v", c.s, c.p, got)
+		}
+	}
+}
+
+func TestEvalNullSemantics(t *testing.T) {
+	env := &RowEnv{
+		Schema: []BoundCol{{Qual: "t", Name: "a"}},
+		Values: []catalog.Datum{catalog.NullDatum()},
+	}
+	parseExpr := func(s string) sql.Expr {
+		sel, err := sql.ParseSelect("SELECT 1 FROM t WHERE " + s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sel.Where
+	}
+	// NULL = NULL is NULL, so filter rejects.
+	ok, err := FilterTrue(env, parseExpr("a = a"))
+	if err != nil || ok {
+		t.Errorf("NULL = NULL accepted (%v)", err)
+	}
+	// NULL OR TRUE is TRUE.
+	ok, err = FilterTrue(env, parseExpr("a = 1 OR 1 = 1"))
+	if err != nil || !ok {
+		t.Errorf("NULL OR TRUE rejected (%v)", err)
+	}
+	// NULL AND FALSE is FALSE; IS NULL is TRUE.
+	ok, err = FilterTrue(env, parseExpr("a IS NULL"))
+	if err != nil || !ok {
+		t.Errorf("IS NULL rejected (%v)", err)
+	}
+	// a IN (1) with a NULL is NULL.
+	ok, err = FilterTrue(env, parseExpr("a IN (1, 2)"))
+	if err != nil || ok {
+		t.Errorf("NULL IN accepted (%v)", err)
+	}
+}
+
+func TestArithmeticEval(t *testing.T) {
+	db := buildTestDB(t, 50)
+	res := exec(t, db, "SELECT objid + 1 AS x, objid * 2, objid - objid FROM photoobj WHERE objid = 5")
+	row := res.Rows[0]
+	if row[0].I != 6 || row[1].I != 10 || row[2].I != 0 {
+		t.Errorf("arithmetic = %v", row)
+	}
+	// Division by zero errors.
+	sel, _ := sql.ParseSelect("SELECT objid / 0 FROM photoobj WHERE objid = 1")
+	if _, err := db.Execute(sel); err == nil {
+		t.Error("division by zero accepted")
+	}
+}
+
+func TestBulkLoadMatchesInsertBuiltTree(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	const n = 30000
+	keys := make([][]catalog.Datum, n)
+	tids := make([]TID, n)
+	for i := range keys {
+		keys[i] = key1(int64(r.Intn(5000)))
+		tids[i] = TID{Page: int32(i)}
+	}
+	// Insert-built tree (any order).
+	ins := NewBTree()
+	for i := range keys {
+		ins.Insert(keys[i], tids[i])
+	}
+	// Bulk-loaded tree needs sorted input.
+	sk := make([][]catalog.Datum, n)
+	st := make([]TID, n)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return CompareKeys(keys[idx[a]], keys[idx[b]]) < 0 })
+	for i, id := range idx {
+		sk[i] = keys[id]
+		st[i] = tids[id]
+	}
+	bulk := BulkLoad(sk, st, 32)
+
+	if bulk.Size() != ins.Size() {
+		t.Fatalf("sizes differ: %d vs %d", bulk.Size(), ins.Size())
+	}
+	// Same multiset of keys in the same order.
+	var a, b []int64
+	ins.ScanAll(func(k []catalog.Datum, _ TID) bool { a = append(a, k[0].I); return true })
+	bulk.ScanAll(func(k []catalog.Datum, _ TID) bool { b = append(b, k[0].I); return true })
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("bulk and insert trees scan differently")
+	}
+	// Range scans agree.
+	for i := 0; i < 30; i++ {
+		lo := int64(r.Intn(5000))
+		hi := lo + int64(r.Intn(500))
+		count := func(bt *BTree) int {
+			c := 0
+			bt.Scan(Bound{Key: key1(lo), Inclusive: true}, Bound{Key: key1(hi), Inclusive: true},
+				func([]catalog.Datum, TID) bool { c++; return true })
+			return c
+		}
+		if count(ins) != count(bulk) {
+			t.Fatalf("range [%d,%d] differs: %d vs %d", lo, hi, count(ins), count(bulk))
+		}
+	}
+	// Bulk leaves are packed near the fill factor.
+	perLeaf := float64(catalog.PageSize-catalog.PageHeaderSize) * catalog.BTreeFillFactor / 32
+	minLeaves := int64(float64(n) / perLeaf) // fully packed bound
+	if bulk.LeafPages() > minLeaves+2 {
+		t.Errorf("bulk leaves %d, want close to %d", bulk.LeafPages(), minLeaves)
+	}
+	if ins.LeafPages() <= bulk.LeafPages() {
+		t.Errorf("insert-built tree (%d leaves) should be less packed than bulk (%d)",
+			ins.LeafPages(), bulk.LeafPages())
+	}
+}
+
+func TestBulkLoadEmptyAndInsertAfter(t *testing.T) {
+	bt := BulkLoad(nil, nil, 32)
+	if bt.Size() != 0 || bt.LeafPages() != 1 {
+		t.Fatalf("empty bulk tree: size %d leaves %d", bt.Size(), bt.LeafPages())
+	}
+	// Inserting into a bulk-loaded tree still works.
+	bt = BulkLoad([][]catalog.Datum{key1(1), key1(3)}, []TID{{}, {}}, 32)
+	bt.Insert(key1(2), TID{})
+	var got []int64
+	bt.ScanAll(func(k []catalog.Datum, _ TID) bool { got = append(got, k[0].I); return true })
+	if !reflect.DeepEqual(got, []int64{1, 2, 3}) {
+		t.Errorf("scan = %v", got)
+	}
+}
+
+func TestBuildIndexLeafPagesMatchEquation1(t *testing.T) {
+	db := buildTestDB(t, 20000)
+	ci, _ := sql.Parse("CREATE INDEX eq1_ra ON photoobj (ra)")
+	ix, err := db.BuildIndex(ci.(*sql.CreateIndex))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := catalog.IndexPages(db.Catalog.Table("photoobj"), []string{"ra"}, 20000)
+	diff := ix.Pages - want
+	if diff < 0 {
+		diff = -diff
+	}
+	if float64(diff) > 0.05*float64(want) {
+		t.Errorf("built pages %d vs Equation-1 %d (>5%% apart)", ix.Pages, want)
+	}
+}
+
+func TestExecuteOrderByAggregate(t *testing.T) {
+	db := buildTestDB(t, 2000)
+	res := exec(t, db, "SELECT run, COUNT(*) AS n FROM photoobj GROUP BY run ORDER BY COUNT(*) DESC, run")
+	if len(res.Rows) != 8 {
+		t.Fatalf("groups = %d", len(res.Rows))
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i][1].I > res.Rows[i-1][1].I {
+			t.Fatalf("not sorted by count: %v then %v", res.Rows[i-1], res.Rows[i])
+		}
+	}
+}
+
+func TestExecuteQualifiedStar(t *testing.T) {
+	db := buildTestDB(t, 50)
+	res := exec(t, db, `SELECT s.*, p.objid FROM photoobj p, specobj s
+		WHERE p.objid = s.bestobjid LIMIT 3`)
+	// specobj has 4 columns + 1 projected objid.
+	if len(res.Columns) != 5 {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+	if res.Columns[4] != "objid" {
+		t.Errorf("last column = %q", res.Columns[4])
+	}
+}
+
+func TestExecuteOrderByInputColumnNotProjected(t *testing.T) {
+	db := buildTestDB(t, 200)
+	// Order by a column that is not in the projection.
+	res := exec(t, db, "SELECT objid FROM photoobj WHERE objid < 50 ORDER BY ra")
+	if len(res.Rows) != 50 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Verify the ordering against the ra values fetched separately.
+	full := exec(t, db, "SELECT objid, ra FROM photoobj WHERE objid < 50 ORDER BY ra")
+	for i := range res.Rows {
+		if res.Rows[i][0].I != full.Rows[i][0].I {
+			t.Fatalf("row %d: %v vs %v", i, res.Rows[i][0], full.Rows[i][0])
+		}
+	}
+}
+
+func TestExecuteDistinctWithOrderBy(t *testing.T) {
+	db := buildTestDB(t, 500)
+	res := exec(t, db, "SELECT DISTINCT run FROM photoobj ORDER BY run DESC")
+	if len(res.Rows) != 8 {
+		t.Fatalf("distinct runs = %d", len(res.Rows))
+	}
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i][0].I >= res.Rows[i-1][0].I {
+			t.Fatal("not descending")
+		}
+	}
+}
+
+func TestExecuteGroupByTwoKeys(t *testing.T) {
+	db := buildTestDB(t, 1500)
+	res := exec(t, db, "SELECT run, type, COUNT(*) FROM photoobj GROUP BY run, type ORDER BY run, type")
+	if len(res.Rows) != 16 { // 8 runs x 2 types
+		t.Fatalf("groups = %d, want 16", len(res.Rows))
+	}
+	total := int64(0)
+	for _, r := range res.Rows {
+		total += r[2].I
+	}
+	if total != 1500 {
+		t.Errorf("group counts sum to %d", total)
+	}
+}

@@ -1,0 +1,133 @@
+// Package storage implements the physical layer of the engine: a
+// slotted-page heap with an LRU buffer pool, real B-Tree indexes, an
+// index builder, and a tuple-at-a-time executor.
+//
+// PARINDA needs this layer for two things the paper demonstrates:
+// comparing a what-if design's plan against the plan of the same
+// design materialized on disk (scenario 1), and measuring how much
+// faster simulating a design feature is than building it (E1).
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/catalog"
+	"repro/internal/sql"
+)
+
+// EncodeTuple serializes a row to bytes: a null bitmap followed by the
+// encoded non-null values, using the table's column types. The layout
+// is compact rather than C-struct aligned; alignment only matters to
+// the *size model*, which lives in catalog.
+func EncodeTuple(cols []catalog.Column, row []catalog.Datum) ([]byte, error) {
+	if len(row) != len(cols) {
+		return nil, fmt.Errorf("storage: row has %d values for %d columns", len(row), len(cols))
+	}
+	bitmapLen := (len(cols) + 7) / 8
+	buf := make([]byte, bitmapLen, bitmapLen+len(cols)*8)
+	for i, d := range row {
+		if d.IsNull() {
+			buf[i/8] |= 1 << (i % 8)
+			continue
+		}
+	}
+	for i, d := range row {
+		if d.IsNull() {
+			continue
+		}
+		v, err := d.CastTo(cols[i].Type)
+		if err != nil {
+			return nil, fmt.Errorf("storage: column %s: %w", cols[i].Name, err)
+		}
+		switch cols[i].Type {
+		case sql.TypeInt:
+			var b [4]byte
+			binary.LittleEndian.PutUint32(b[:], uint32(int32(v.I)))
+			buf = append(buf, b[:]...)
+		case sql.TypeBigInt:
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], uint64(v.I))
+			buf = append(buf, b[:]...)
+		case sql.TypeFloat:
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(v.F))
+			buf = append(buf, b[:]...)
+		case sql.TypeBool:
+			if v.B {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
+		case sql.TypeText:
+			var b [4]byte
+			binary.LittleEndian.PutUint32(b[:], uint32(len(v.S)))
+			buf = append(buf, b[:]...)
+			buf = append(buf, v.S...)
+		default:
+			return nil, fmt.Errorf("storage: unsupported type %v", cols[i].Type)
+		}
+	}
+	return buf, nil
+}
+
+// DecodeTuple deserializes a row previously produced by EncodeTuple.
+func DecodeTuple(cols []catalog.Column, data []byte) ([]catalog.Datum, error) {
+	bitmapLen := (len(cols) + 7) / 8
+	if len(data) < bitmapLen {
+		return nil, fmt.Errorf("storage: tuple shorter than null bitmap")
+	}
+	row := make([]catalog.Datum, len(cols))
+	off := bitmapLen
+	for i := range cols {
+		if data[i/8]&(1<<(i%8)) != 0 {
+			row[i] = catalog.NullDatum()
+			continue
+		}
+		switch cols[i].Type {
+		case sql.TypeInt:
+			if off+4 > len(data) {
+				return nil, errTruncated(cols[i].Name)
+			}
+			row[i] = catalog.IntDatum(int64(int32(binary.LittleEndian.Uint32(data[off:]))))
+			off += 4
+		case sql.TypeBigInt:
+			if off+8 > len(data) {
+				return nil, errTruncated(cols[i].Name)
+			}
+			row[i] = catalog.IntDatum(int64(binary.LittleEndian.Uint64(data[off:])))
+			off += 8
+		case sql.TypeFloat:
+			if off+8 > len(data) {
+				return nil, errTruncated(cols[i].Name)
+			}
+			row[i] = catalog.FloatDatum(math.Float64frombits(binary.LittleEndian.Uint64(data[off:])))
+			off += 8
+		case sql.TypeBool:
+			if off+1 > len(data) {
+				return nil, errTruncated(cols[i].Name)
+			}
+			row[i] = catalog.BoolDatum(data[off] != 0)
+			off++
+		case sql.TypeText:
+			if off+4 > len(data) {
+				return nil, errTruncated(cols[i].Name)
+			}
+			n := int(binary.LittleEndian.Uint32(data[off:]))
+			off += 4
+			if off+n > len(data) {
+				return nil, errTruncated(cols[i].Name)
+			}
+			row[i] = catalog.StringDatum(string(data[off : off+n]))
+			off += n
+		default:
+			return nil, fmt.Errorf("storage: unsupported type %v", cols[i].Type)
+		}
+	}
+	return row, nil
+}
+
+func errTruncated(col string) error {
+	return fmt.Errorf("storage: truncated tuple at column %s", col)
+}

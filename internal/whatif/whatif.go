@@ -1,0 +1,273 @@
+// Package whatif implements PARINDA's what-if design features (§3.2
+// of the paper): hypothetical indexes sized by Equation 1,
+// hypothetical tables simulating vertical partitions with statistics
+// derived from their parent, and control over the nested-loop join
+// method. A Session installs these into the optimizer through its
+// RelationInfoHook — the same mechanism PostgreSQL exposes — so the
+// planner cannot tell simulated design features from real ones.
+package whatif
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/optimizer"
+	"repro/internal/sql"
+)
+
+// HypoPrefix marks hypothetical object names in EXPLAIN output.
+const HypoPrefix = "<what-if>"
+
+// Session is one what-if design session over a base catalog. Creating
+// hypothetical features never touches the base catalog or any data;
+// everything lives in the session and is visible only to planners
+// attached to it.
+type Session struct {
+	base    *catalog.Catalog
+	planner *optimizer.Planner
+
+	hypoIndexes map[string]*catalog.Index // by index name
+	hypoTables  map[string]*catalog.Table // by table name
+	nextID      int
+}
+
+// NewSession creates a session planning against cat.
+func NewSession(cat *catalog.Catalog) *Session {
+	s := &Session{
+		base:        cat,
+		hypoIndexes: make(map[string]*catalog.Index),
+		hypoTables:  make(map[string]*catalog.Table),
+	}
+	s.planner = optimizer.New(cat)
+	s.planner.RelationInfoHook = s.relationInfoHook
+	return s
+}
+
+// Planner returns the session's planner, with the what-if hook
+// installed.
+func (s *Session) Planner() *optimizer.Planner { return s.planner }
+
+// relationInfoHook is the get_relation_info analogue: it serves
+// what-if tables the base catalog does not know, and splices what-if
+// indexes into the index lists of both real and what-if tables.
+func (s *Session) relationInfoHook(name string, info *optimizer.RelationInfo) *optimizer.RelationInfo {
+	if info == nil {
+		t := s.hypoTables[name]
+		if t == nil {
+			return nil
+		}
+		info = &optimizer.RelationInfo{Table: t}
+	}
+	var extra []*catalog.Index
+	for _, ix := range s.sortedHypoIndexes() {
+		if ix.Table == name {
+			extra = append(extra, ix)
+		}
+	}
+	if len(extra) == 0 {
+		return info
+	}
+	return &optimizer.RelationInfo{
+		Table:   info.Table,
+		Indexes: append(append([]*catalog.Index(nil), info.Indexes...), extra...),
+	}
+}
+
+func (s *Session) sortedHypoIndexes() []*catalog.Index {
+	out := make([]*catalog.Index, 0, len(s.hypoIndexes))
+	for _, ix := range s.hypoIndexes {
+		out = append(out, ix)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// lookupTable finds a table in the base catalog or among what-if
+// tables.
+func (s *Session) lookupTable(name string) *catalog.Table {
+	if t := s.base.Table(name); t != nil {
+		return t
+	}
+	return s.hypoTables[name]
+}
+
+// CreateIndex simulates an index on table(columns...). The page count
+// comes from Equation 1 — never from data — and histogram statistics
+// are inherited from the base table, exactly as §3.2 describes. The
+// returned index is marked Hypothetical.
+func (s *Session) CreateIndex(table string, columns []string) (*catalog.Index, error) {
+	t := s.lookupTable(table)
+	if t == nil {
+		return nil, fmt.Errorf("whatif: unknown table %q", table)
+	}
+	if len(columns) == 0 {
+		return nil, fmt.Errorf("whatif: index needs at least one column")
+	}
+	for _, c := range columns {
+		if t.ColumnIndex(c) < 0 {
+			return nil, fmt.Errorf("whatif: table %q has no column %q", table, c)
+		}
+	}
+	s.nextID++
+	name := fmt.Sprintf("%six%d_%s_%s", HypoPrefix, s.nextID, table, strings.Join(columns, "_"))
+	pages := catalog.IndexPages(t, columns, t.RowCount)
+	ix := &catalog.Index{
+		Name:         name,
+		Table:        table,
+		Columns:      append([]string(nil), columns...),
+		Pages:        pages,
+		Height:       catalog.BTreeHeight(pages),
+		Hypothetical: true,
+	}
+	s.hypoIndexes[name] = ix
+	return ix, nil
+}
+
+// DropIndex removes a what-if index by name.
+func (s *Session) DropIndex(name string) error {
+	if _, ok := s.hypoIndexes[name]; !ok {
+		return fmt.Errorf("whatif: no what-if index %q", name)
+	}
+	delete(s.hypoIndexes, name)
+	return nil
+}
+
+// Indexes returns the session's hypothetical indexes sorted by name.
+func (s *Session) Indexes() []*catalog.Index { return s.sortedHypoIndexes() }
+
+// TableDef describes a what-if table simulating a vertical partition
+// of Parent holding the listed columns. The parent's primary key is
+// always included so the original rows remain reconstructible, as the
+// paper's What-If Table component requires.
+type TableDef struct {
+	Name    string
+	Parent  string
+	Columns []string
+}
+
+// CreateTable simulates a partition table. Statistics are copied from
+// the parent's columns; the row count equals the parent's; the page
+// count follows from the narrower row width. The what-if table exists
+// only in the session ("empty what-if tables" in the paper: the parser
+// must see them, the planner gets statistics spliced at plan time).
+func (s *Session) CreateTable(def TableDef) (*catalog.Table, error) {
+	parent := s.base.Table(def.Parent)
+	if parent == nil {
+		return nil, fmt.Errorf("whatif: unknown parent table %q", def.Parent)
+	}
+	if def.Name == "" {
+		return nil, fmt.Errorf("whatif: what-if table needs a name")
+	}
+	if s.lookupTable(def.Name) != nil {
+		return nil, fmt.Errorf("whatif: table %q already exists", def.Name)
+	}
+
+	// Column set: primary key first (for reconstruction), then the
+	// requested columns, deduplicated, in parent order.
+	want := make(map[string]bool)
+	for _, pk := range parent.PrimaryKey {
+		want[pk] = true
+	}
+	for _, c := range def.Columns {
+		if parent.ColumnIndex(c) < 0 {
+			return nil, fmt.Errorf("whatif: parent %q has no column %q", def.Parent, c)
+		}
+		want[c] = true
+	}
+	t := &catalog.Table{
+		Name:         def.Name,
+		PrimaryKey:   append([]string(nil), parent.PrimaryKey...),
+		RowCount:     parent.RowCount,
+		Hypothetical: true,
+		PartitionOf:  parent.Name,
+	}
+	for _, col := range parent.Columns {
+		if !want[col.Name] {
+			continue
+		}
+		nc := col // copy
+		if col.Stats != nil {
+			nc.Stats = col.Stats.Clone()
+		}
+		t.Columns = append(t.Columns, nc)
+	}
+	t.Pages = t.EstimatePages(t.RowCount)
+	s.hypoTables[def.Name] = t
+	return t, nil
+}
+
+// DropTable removes a what-if table and any what-if indexes on it.
+func (s *Session) DropTable(name string) error {
+	if _, ok := s.hypoTables[name]; !ok {
+		return fmt.Errorf("whatif: no what-if table %q", name)
+	}
+	delete(s.hypoTables, name)
+	for iname, ix := range s.hypoIndexes {
+		if ix.Table == name {
+			delete(s.hypoIndexes, iname)
+		}
+	}
+	return nil
+}
+
+// Tables returns the session's what-if tables sorted by name.
+func (s *Session) Tables() []*catalog.Table {
+	out := make([]*catalog.Table, 0, len(s.hypoTables))
+	for _, t := range s.hypoTables {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SetNestLoop toggles the nested-loop join method — the What-If Join
+// component. INUM uses it to capture one plan with nested loops
+// enabled and one without.
+func (s *Session) SetNestLoop(enabled bool) {
+	s.planner.Flags.EnableNestLoop = enabled
+}
+
+// NestLoopEnabled reports the current nested-loop setting.
+func (s *Session) NestLoopEnabled() bool { return s.planner.Flags.EnableNestLoop }
+
+// Plan plans a query under the session's hypothetical design.
+func (s *Session) Plan(sel *sql.Select) (*optimizer.Plan, error) {
+	return s.planner.Plan(sel)
+}
+
+// Cost returns the estimated cost of sel under the session's design.
+func (s *Session) Cost(sel *sql.Select) (float64, error) {
+	return s.planner.Cost(sel)
+}
+
+// TotalIndexSize returns the summed Equation-1 size of the session's
+// what-if indexes, in bytes. Advisors check their storage budget
+// against this.
+func (s *Session) TotalIndexSize() int64 {
+	var pages int64
+	for _, ix := range s.hypoIndexes {
+		pages += ix.Pages
+	}
+	return pages * catalog.PageSize
+}
+
+// Reset drops every hypothetical feature and re-enables nested loops.
+func (s *Session) Reset() {
+	s.hypoIndexes = make(map[string]*catalog.Index)
+	s.hypoTables = make(map[string]*catalog.Table)
+	s.planner.Flags = optimizer.DefaultFlags()
+}
+
+// IndexSizeBytes returns the Equation-1 size of an index over the
+// given columns of a (real or what-if) table, in bytes, without
+// creating anything — candidate enumeration uses this to respect
+// storage constraints before simulating.
+func (s *Session) IndexSizeBytes(table string, columns []string) (int64, error) {
+	t := s.lookupTable(table)
+	if t == nil {
+		return 0, fmt.Errorf("whatif: unknown table %q", table)
+	}
+	return catalog.IndexPages(t, columns, t.RowCount) * catalog.PageSize, nil
+}

@@ -1,0 +1,274 @@
+package whatif
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/optimizer"
+	"repro/internal/sql"
+)
+
+func testCatalog(t testing.TB) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	st, err := sql.Parse(`CREATE TABLE photoobj (objid bigint, ra float8, dec float8,
+		run int, type int, u float8, g float8, r float8, PRIMARY KEY (objid))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := catalog.NewTable(st.(*sql.CreateTable))
+	tab.RowCount = 1000000
+	tab.Pages = tab.EstimatePages(tab.RowCount)
+	tab.Column("objid").Stats = catalog.SyntheticUniformStats(0, 1e6, tab.RowCount, 1e6)
+	tab.Column("ra").Stats = catalog.SyntheticUniformStats(0, 360, tab.RowCount, 800000)
+	tab.Column("dec").Stats = catalog.SyntheticUniformStats(-90, 90, tab.RowCount, 800000)
+	tab.Column("run").Stats = catalog.SyntheticUniformStats(0, 100, tab.RowCount, 100)
+	tab.Column("type").Stats = catalog.SyntheticUniformStats(0, 6, tab.RowCount, 2)
+	for _, c := range []string{"u", "g", "r"} {
+		tab.Column(c).Stats = catalog.SyntheticUniformStats(12, 26, tab.RowCount, 500000)
+	}
+	if err := cat.AddTable(tab); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func parse(t testing.TB, q string) *sql.Select {
+	t.Helper()
+	sel, err := sql.ParseSelect(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sel
+}
+
+func TestWhatIfIndexChangesPlanWithoutTouchingCatalog(t *testing.T) {
+	cat := testCatalog(t)
+	s := NewSession(cat)
+	q := parse(t, "SELECT objid FROM photoobj WHERE ra BETWEEN 100 AND 100.5")
+
+	before, err := s.Cost(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := s.CreateIndex("photoobj", []string{"ra"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ix.Hypothetical {
+		t.Error("index not marked hypothetical")
+	}
+	after, err := s.Cost(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before {
+		t.Errorf("what-if index did not help: %v >= %v", after, before)
+	}
+	pl, err := s.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Type != optimizer.NodeIndexScan || !strings.HasPrefix(pl.Index.Name, HypoPrefix) {
+		t.Fatalf("expected what-if index scan:\n%s", optimizer.Explain(pl))
+	}
+	// The base catalog must not know the index.
+	if len(cat.Indexes()) != 0 {
+		t.Error("what-if index leaked into the base catalog")
+	}
+	// Dropping restores the original cost.
+	if err := s.DropIndex(ix.Name); err != nil {
+		t.Fatal(err)
+	}
+	restored, _ := s.Cost(q)
+	if restored != before {
+		t.Errorf("drop did not restore cost: %v != %v", restored, before)
+	}
+}
+
+func TestWhatIfIndexSizeMatchesEquation1(t *testing.T) {
+	cat := testCatalog(t)
+	s := NewSession(cat)
+	ix, err := s.CreateIndex("photoobj", []string{"ra", "dec"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := catalog.IndexPages(cat.Table("photoobj"), []string{"ra", "dec"}, 1000000)
+	if ix.Pages != want {
+		t.Errorf("pages = %d, want %d", ix.Pages, want)
+	}
+	sz, err := s.IndexSizeBytes("photoobj", []string{"ra", "dec"})
+	if err != nil || sz != want*catalog.PageSize {
+		t.Errorf("IndexSizeBytes = %d, %v", sz, err)
+	}
+	if s.TotalIndexSize() != sz {
+		t.Errorf("TotalIndexSize = %d, want %d", s.TotalIndexSize(), sz)
+	}
+}
+
+func TestWhatIfIndexErrors(t *testing.T) {
+	s := NewSession(testCatalog(t))
+	if _, err := s.CreateIndex("nosuch", []string{"a"}); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if _, err := s.CreateIndex("photoobj", nil); err == nil {
+		t.Error("empty column list accepted")
+	}
+	if _, err := s.CreateIndex("photoobj", []string{"nope"}); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if err := s.DropIndex("nosuch"); err == nil {
+		t.Error("dropping unknown index accepted")
+	}
+}
+
+func TestWhatIfTableSimulatesPartition(t *testing.T) {
+	cat := testCatalog(t)
+	s := NewSession(cat)
+	// Narrow partition holding only (objid, ra, dec).
+	pt, err := s.CreateTable(TableDef{
+		Name: "photoobj_radec", Parent: "photoobj", Columns: []string{"ra", "dec"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pt.Hypothetical || pt.PartitionOf != "photoobj" {
+		t.Errorf("partition metadata wrong: %+v", pt)
+	}
+	if pt.RowCount != 1000000 {
+		t.Errorf("rowcount = %d", pt.RowCount)
+	}
+	// PK must be included even though not requested.
+	if pt.ColumnIndex("objid") < 0 {
+		t.Error("primary key column missing from partition")
+	}
+	if pt.Pages >= cat.Table("photoobj").Pages {
+		t.Errorf("narrow partition (%d pages) must be smaller than parent (%d)",
+			pt.Pages, cat.Table("photoobj").Pages)
+	}
+	// Stats are inherited.
+	if pt.Column("ra").Stats == nil {
+		t.Fatal("partition lost parent statistics")
+	}
+
+	// The planner can plan against the what-if table, and scanning the
+	// narrow partition costs less than scanning the parent.
+	full, err := s.Cost(parse(t, "SELECT objid, ra, dec FROM photoobj WHERE ra < 100"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := s.Cost(parse(t, "SELECT objid, ra, dec FROM photoobj_radec WHERE ra < 100"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part >= full {
+		t.Errorf("partition scan (%v) must beat full-table scan (%v)", part, full)
+	}
+}
+
+func TestWhatIfIndexOnWhatIfTable(t *testing.T) {
+	s := NewSession(testCatalog(t))
+	if _, err := s.CreateTable(TableDef{Name: "p_ra", Parent: "photoobj", Columns: []string{"ra"}}); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := s.CreateIndex("p_ra", []string{"ra"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := parse(t, "SELECT objid FROM p_ra WHERE ra BETWEEN 1 AND 1.1")
+	pl, err := s.Plan(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Type != optimizer.NodeIndexScan || pl.Index.Name != ix.Name {
+		t.Fatalf("expected index scan on what-if table:\n%s", optimizer.Explain(pl))
+	}
+}
+
+func TestWhatIfTableErrors(t *testing.T) {
+	s := NewSession(testCatalog(t))
+	if _, err := s.CreateTable(TableDef{Name: "x", Parent: "nosuch"}); err == nil {
+		t.Error("unknown parent accepted")
+	}
+	if _, err := s.CreateTable(TableDef{Parent: "photoobj"}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := s.CreateTable(TableDef{Name: "photoobj", Parent: "photoobj"}); err == nil {
+		t.Error("name collision with base table accepted")
+	}
+	if _, err := s.CreateTable(TableDef{Name: "x", Parent: "photoobj", Columns: []string{"nope"}}); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if _, err := s.CreateTable(TableDef{Name: "y", Parent: "photoobj", Columns: []string{"ra"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateTable(TableDef{Name: "y", Parent: "photoobj", Columns: []string{"ra"}}); err == nil {
+		t.Error("duplicate what-if table accepted")
+	}
+	if err := s.DropTable("nosuch"); err == nil {
+		t.Error("dropping unknown table accepted")
+	}
+}
+
+func TestDropTableCascadesToIndexes(t *testing.T) {
+	s := NewSession(testCatalog(t))
+	if _, err := s.CreateTable(TableDef{Name: "p1", Parent: "photoobj", Columns: []string{"ra"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateIndex("p1", []string{"ra"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DropTable("p1"); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Indexes()) != 0 {
+		t.Error("index on dropped what-if table survived")
+	}
+}
+
+func TestNestLoopToggle(t *testing.T) {
+	s := NewSession(testCatalog(t))
+	if !s.NestLoopEnabled() {
+		t.Error("nestloop should start enabled")
+	}
+	s.SetNestLoop(false)
+	if s.NestLoopEnabled() {
+		t.Error("toggle failed")
+	}
+	s.Reset()
+	if !s.NestLoopEnabled() {
+		t.Error("reset did not restore nestloop")
+	}
+}
+
+func TestResetClearsEverything(t *testing.T) {
+	s := NewSession(testCatalog(t))
+	if _, err := s.CreateIndex("photoobj", []string{"ra"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateTable(TableDef{Name: "p1", Parent: "photoobj", Columns: []string{"ra"}}); err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	if len(s.Indexes()) != 0 || len(s.Tables()) != 0 {
+		t.Error("reset left hypothetical features behind")
+	}
+}
+
+func TestSimulationIsDeterministic(t *testing.T) {
+	s := NewSession(testCatalog(t))
+	if _, err := s.CreateIndex("photoobj", []string{"run", "type"}); err != nil {
+		t.Fatal(err)
+	}
+	q := parse(t, "SELECT objid FROM photoobj WHERE run = 5 AND type = 3")
+	c1, err := s.Cost(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if c, _ := s.Cost(q); c != c1 {
+			t.Fatalf("nondeterministic what-if cost")
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/catalog"
+	"repro/internal/sql"
+	"repro/internal/storage"
+)
+
+// PopulateDatabase creates the schema in db, generates scale rows of
+// photoobj (other tables proportional) with the deterministic seed,
+// and runs ANALYZE. Distributions match applySyntheticStats so the
+// planner sees the same world either way.
+func PopulateDatabase(db *storage.Database, scale int64, seed int64) error {
+	for _, ddl := range SchemaDDL() {
+		st, err := sql.Parse(ddl)
+		if err != nil {
+			return err
+		}
+		if _, err := db.CreateTable(st.(*sql.CreateTable)); err != nil {
+			return err
+		}
+	}
+	rows := TableRows(scale)
+	r := rand.New(rand.NewSource(seed))
+
+	if err := generatePhotoObj(db, r, rows["photoobj"]); err != nil {
+		return err
+	}
+	if err := generateSpecObj(db, r, rows["specobj"], rows["photoobj"]); err != nil {
+		return err
+	}
+	if err := generateNeighbors(db, r, rows["neighbors"], rows["photoobj"]); err != nil {
+		return err
+	}
+	if err := generateField(db, r, rows["field"]); err != nil {
+		return err
+	}
+	if err := generatePlateX(db, r, rows["platex"]); err != nil {
+		return err
+	}
+	return db.AnalyzeAll()
+}
+
+func generatePhotoObj(db *storage.Database, r *rand.Rand, n int64) error {
+	i64 := catalog.IntDatum
+	f64 := catalog.FloatDatum
+	for k := int64(0); k < n; k++ {
+		typ := int64(3)
+		if r.Float64() < 0.65 {
+			typ = 6
+		}
+		row := []catalog.Datum{
+			i64(k),                      // objid (serial → correlation 1)
+			f64(r.Float64() * 360),      // ra
+			f64(r.Float64()*180 - 90),   // dec
+			i64(int64(r.Intn(250)) * 3), // run
+			i64(int64(40 + r.Intn(5))),  // rerun
+			i64(int64(1 + r.Intn(6))),   // camcol
+			i64(int64(r.Intn(1000))),    // field
+			i64(int64(r.Intn(500))),     // obj
+			i64(typ),                    // type
+			i64(int64(r.Intn(4096))),    // status
+			i64(int64(r.Intn(1 << 30))), // flags
+			i64(int64(1 + r.Intn(3))),   // mode
+		}
+		for b := 0; b < 5; b++ { // u g r i z
+			row = append(row, f64(12+r.Float64()*16))
+		}
+		for b := 0; b < 5; b++ { // err_*
+			row = append(row, f64(r.Float64()))
+		}
+		for b := 0; b < 5; b++ { // psfmag_*
+			row = append(row, f64(12+r.Float64()*16))
+		}
+		for b := 0; b < 5; b++ { // petromag_*
+			row = append(row, f64(12+r.Float64()*16))
+		}
+		row = append(row,
+			f64(r.Float64()*30),            // petrorad_r
+			f64(r.Float64()),               // extinction_r
+			f64(r.Float64()*1500),          // rowc
+			f64(r.Float64()*2000),          // colc
+			f64(20+r.Float64()*2),          // sky_r
+			f64(1+r.Float64()*0.6),         // airmass_r
+			i64(int64(51000+r.Intn(2500))), // mjd
+			i64(int64(r.Intn(1<<40))),      // htmid
+		)
+		if err := db.Insert("photoobj", row); err != nil {
+			return fmt.Errorf("workload: photoobj row %d: %w", k, err)
+		}
+	}
+	return nil
+}
+
+func generateSpecObj(db *storage.Database, r *rand.Rand, n, photoRows int64) error {
+	i64 := catalog.IntDatum
+	f64 := catalog.FloatDatum
+	for k := int64(0); k < n; k++ {
+		class := int64(4)
+		switch p := r.Float64(); {
+		case p < 0.70:
+			class = 2
+		case p < 0.85:
+			class = 1
+		case p < 0.95:
+			class = 3
+		}
+		row := []catalog.Datum{
+			i64(k),
+			i64(int64(r.Int63n(photoRows))),  // bestobjid joins photoobj.objid
+			f64(r.Float64() * 3),             // z
+			f64(r.Float64() * 0.01),          // zerr
+			f64(r.Float64()),                 // zconf
+			i64(int64(r.Intn(12))),           // zstatus
+			i64(class),                       // specclass
+			i64(int64(266 + r.Intn(735))),    // plate
+			i64(int64(51000 + r.Intn(2500))), // mjd
+			i64(int64(1 + r.Intn(640))),      // fiberid
+			f64(r.Float64() * 30),            // sn_median
+			f64(r.Float64()*1000 - 500),      // velocity
+		}
+		if err := db.Insert("specobj", row); err != nil {
+			return fmt.Errorf("workload: specobj row %d: %w", k, err)
+		}
+	}
+	return nil
+}
+
+func generateNeighbors(db *storage.Database, r *rand.Rand, n, photoRows int64) error {
+	i64 := catalog.IntDatum
+	f64 := catalog.FloatDatum
+	seen := make(map[[2]int64]bool, n)
+	for k := int64(0); k < n; {
+		a := r.Int63n(photoRows)
+		b := r.Int63n(photoRows)
+		if a == b || seen[[2]int64{a, b}] {
+			continue
+		}
+		seen[[2]int64{a, b}] = true
+		typ := int64(3)
+		if r.Float64() < 0.6 {
+			typ = 6
+		}
+		row := []catalog.Datum{
+			i64(a), i64(b),
+			f64(r.Float64() * 0.5), // distance (arcmin)
+			i64(typ),
+			i64(int64(1 + r.Intn(3))),
+		}
+		if err := db.Insert("neighbors", row); err != nil {
+			return fmt.Errorf("workload: neighbors row %d: %w", k, err)
+		}
+		k++
+	}
+	return nil
+}
+
+func generateField(db *storage.Database, r *rand.Rand, n int64) error {
+	i64 := catalog.IntDatum
+	f64 := catalog.FloatDatum
+	for k := int64(0); k < n; k++ {
+		row := []catalog.Datum{
+			i64(k),
+			i64(int64(r.Intn(250)) * 3),
+			i64(int64(1 + r.Intn(6))),
+			i64(int64(r.Intn(1000))),
+			f64(r.Float64() * 360),
+			f64(r.Float64()*180 - 90),
+			i64(int64(r.Intn(2000))),
+			i64(int64(1 + r.Intn(3))),
+			i64(int64(51000 + r.Intn(2500))),
+		}
+		if err := db.Insert("field", row); err != nil {
+			return fmt.Errorf("workload: field row %d: %w", k, err)
+		}
+	}
+	return nil
+}
+
+func generatePlateX(db *storage.Database, r *rand.Rand, n int64) error {
+	i64 := catalog.IntDatum
+	f64 := catalog.FloatDatum
+	for k := int64(0); k < n; k++ {
+		row := []catalog.Datum{
+			i64(k),
+			i64(int64(266 + r.Intn(735))),
+			i64(int64(51000 + r.Intn(2500))),
+			f64(r.Float64() * 360),
+			f64(r.Float64()*180 - 90),
+			i64(int64(1 + r.Intn(9))),
+			i64(int64(1 + r.Intn(3))),
+		}
+		if err := db.Insert("platex", row); err != nil {
+			return fmt.Errorf("workload: platex row %d: %w", k, err)
+		}
+	}
+	return nil
+}

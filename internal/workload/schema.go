@@ -1,0 +1,208 @@
+// Package workload provides the evaluation substrate of the
+// reproduction: an SDSS-like astronomical schema (the paper
+// demonstrates on a 5% sample of SDSS DR4), a deterministic synthetic
+// data generator, the 30 prototypical queries, and workload file I/O.
+//
+// The real SDSS photoobj table has hundreds of columns; we model a
+// 40-column core that preserves the property AutoPart exploits (wide
+// rows, narrow query projections) and the selective multi-column
+// predicates the index advisor exploits.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/sql"
+)
+
+// SchemaDDL returns the CREATE TABLE statements of the SDSS-like
+// schema, in creation order.
+func SchemaDDL() []string {
+	return []string{
+		`CREATE TABLE photoobj (
+			objid bigint, ra float8, dec float8, run int, rerun int, camcol int,
+			field int, obj int, type int, status int, flags bigint, mode int,
+			u float8, g float8, r float8, i float8, z float8,
+			err_u float8, err_g float8, err_r float8, err_i float8, err_z float8,
+			psfmag_u float8, psfmag_g float8, psfmag_r float8, psfmag_i float8, psfmag_z float8,
+			petromag_u float8, petromag_g float8, petromag_r float8, petromag_i float8, petromag_z float8,
+			petrorad_r float8, extinction_r float8, rowc float8, colc float8,
+			sky_r float8, airmass_r float8, mjd int, htmid bigint,
+			PRIMARY KEY (objid))`,
+		`CREATE TABLE specobj (
+			specobjid bigint, bestobjid bigint, z float8, zerr float8, zconf float8,
+			zstatus int, specclass int, plate int, mjd int, fiberid int,
+			sn_median float8, velocity float8,
+			PRIMARY KEY (specobjid))`,
+		`CREATE TABLE neighbors (
+			objid bigint, neighborobjid bigint, distance float8, neighbortype int,
+			mode int,
+			PRIMARY KEY (objid, neighborobjid))`,
+		`CREATE TABLE field (
+			fieldid bigint, run int, camcol int, field int, ra float8, dec float8,
+			nobjects int, quality int, mjd int,
+			PRIMARY KEY (fieldid))`,
+		`CREATE TABLE platex (
+			plateid bigint, plate int, mjd int, ra float8, dec float8, nexp int,
+			quality int,
+			PRIMARY KEY (plateid))`,
+	}
+}
+
+// TableRows returns each table's row count at the given photoobj
+// scale (the other tables scale proportionally, mirroring SDSS
+// cardinality ratios).
+func TableRows(scale int64) map[string]int64 {
+	if scale < 100 {
+		scale = 100
+	}
+	return map[string]int64{
+		"photoobj":  scale,
+		"specobj":   scale / 10,
+		"neighbors": scale / 2,
+		"field":     scale/100 + 1,
+		"platex":    scale/1000 + 1,
+	}
+}
+
+// parseSchema parses the DDL into catalog tables.
+func parseSchema() ([]*catalog.Table, error) {
+	var out []*catalog.Table
+	for _, ddl := range SchemaDDL() {
+		st, err := sql.Parse(ddl)
+		if err != nil {
+			return nil, fmt.Errorf("workload: schema DDL: %w", err)
+		}
+		ct, ok := st.(*sql.CreateTable)
+		if !ok {
+			return nil, fmt.Errorf("workload: schema statement is %T", st)
+		}
+		out = append(out, catalog.NewTable(ct))
+	}
+	return out, nil
+}
+
+// BuildCatalog returns a catalog with synthetic statistics for the
+// schema at the given scale, without generating any data. Experiments
+// that only need the planner (what-if studies, advisors) use this;
+// execution experiments use PopulateDatabase instead.
+func BuildCatalog(scale int64) (*catalog.Catalog, error) {
+	tables, err := parseSchema()
+	if err != nil {
+		return nil, err
+	}
+	rows := TableRows(scale)
+	cat := catalog.New()
+	for _, t := range tables {
+		n := rows[t.Name]
+		t.RowCount = n
+		t.Pages = t.EstimatePages(n)
+		applySyntheticStats(t, n)
+		if err := cat.AddTable(t); err != nil {
+			return nil, err
+		}
+	}
+	return cat, nil
+}
+
+// applySyntheticStats installs per-column statistics matching the
+// generator's distributions (generator.go), so planner-only and
+// execution experiments see the same shapes.
+func applySyntheticStats(t *catalog.Table, rows int64) {
+	uniform := func(col string, lo, hi, distinct float64) {
+		if c := t.Column(col); c != nil {
+			c.Stats = catalog.SyntheticUniformStats(lo, hi, rows, distinct)
+		}
+	}
+	serial := func(col string) {
+		if c := t.Column(col); c != nil {
+			st := catalog.SyntheticUniformStats(0, float64(rows), rows, float64(rows))
+			st.Correlation = 1 // assigned in insertion order
+			c.Stats = st
+		}
+	}
+	frows := float64(rows)
+	switch t.Name {
+	case "photoobj":
+		serial("objid")
+		uniform("ra", 0, 360, frows*0.8)
+		uniform("dec", -90, 90, frows*0.8)
+		uniform("run", 0, 750, 250)
+		uniform("rerun", 40, 44, 4)
+		uniform("camcol", 1, 6, 6)
+		uniform("field", 0, 1000, 800)
+		uniform("obj", 0, 500, 500)
+		t.Column("type").Stats = &catalog.ColumnStats{
+			NDistinct: 2,
+			MCVs: []catalog.MCV{
+				{Value: catalog.IntDatum(6), Freq: 0.65}, // stars
+				{Value: catalog.IntDatum(3), Freq: 0.35}, // galaxies
+			},
+			AvgWidth: 4,
+		}
+		uniform("status", 0, 4096, 200)
+		uniform("flags", 0, 1<<30, frows*0.5)
+		uniform("mode", 1, 3, 3)
+		for _, band := range []string{"u", "g", "r", "i", "z"} {
+			uniform(band, 12, 28, frows*0.5)
+			uniform("err_"+band, 0, 1, frows*0.5)
+			uniform("psfmag_"+band, 12, 28, frows*0.5)
+			uniform("petromag_"+band, 12, 28, frows*0.5)
+		}
+		uniform("petrorad_r", 0, 30, frows*0.5)
+		uniform("extinction_r", 0, 1, frows*0.3)
+		uniform("rowc", 0, 1500, frows*0.5)
+		uniform("colc", 0, 2000, frows*0.5)
+		uniform("sky_r", 20, 22, frows*0.3)
+		uniform("airmass_r", 1, 1.6, frows*0.3)
+		uniform("mjd", 51000, 53500, 900)
+		uniform("htmid", 0, 1<<40, frows*0.9)
+	case "specobj":
+		serial("specobjid")
+		uniform("bestobjid", 0, frows*10, frows*0.95)
+		uniform("z", 0, 3, frows*0.9)
+		uniform("zerr", 0, 0.01, frows*0.5)
+		uniform("zconf", 0, 1, frows*0.5)
+		uniform("zstatus", 0, 12, 12)
+		t.Column("specclass").Stats = &catalog.ColumnStats{
+			NDistinct: 4,
+			MCVs: []catalog.MCV{
+				{Value: catalog.IntDatum(2), Freq: 0.70}, // galaxies
+				{Value: catalog.IntDatum(1), Freq: 0.15}, // stars
+				{Value: catalog.IntDatum(3), Freq: 0.10}, // QSOs
+				{Value: catalog.IntDatum(4), Freq: 0.05}, // unknown
+			},
+			AvgWidth: 4,
+		}
+		uniform("plate", 266, 1000, 700)
+		uniform("mjd", 51000, 53500, 900)
+		uniform("fiberid", 1, 640, 640)
+		uniform("sn_median", 0, 30, frows*0.5)
+		uniform("velocity", -500, 500, frows*0.5)
+	case "neighbors":
+		uniform("objid", 0, frows*2, frows*0.8)
+		uniform("neighborobjid", 0, frows*2, frows*0.8)
+		uniform("distance", 0, 0.5, frows*0.7)
+		uniform("neighbortype", 3, 6, 2)
+		uniform("mode", 1, 3, 3)
+	case "field":
+		serial("fieldid")
+		uniform("run", 0, 750, 250)
+		uniform("camcol", 1, 6, 6)
+		uniform("field", 0, 1000, 800)
+		uniform("ra", 0, 360, frows*0.8)
+		uniform("dec", -90, 90, frows*0.8)
+		uniform("nobjects", 0, 2000, 1500)
+		uniform("quality", 1, 3, 3)
+		uniform("mjd", 51000, 53500, 900)
+	case "platex":
+		serial("plateid")
+		uniform("plate", 266, 1000, 700)
+		uniform("mjd", 51000, 53500, 900)
+		uniform("ra", 0, 360, frows*0.8)
+		uniform("dec", -90, 90, frows*0.8)
+		uniform("nexp", 1, 9, 9)
+		uniform("quality", 1, 3, 3)
+	}
+}

@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Template generates parameterized instances of one query shape: the
+// same tables and predicate columns with fresh constants. Large
+// workloads — the regime where the paper says the ILP advisor
+// outperforms greedy — are built by instantiating templates many
+// times; workload compression recovers the templates.
+type Template struct {
+	// Name identifies the template in reports.
+	Name string
+	// Generate returns one SQL instance using r for constants.
+	Generate func(r *rand.Rand) string
+}
+
+// Templates returns the parameterized shapes of the demonstration
+// workload's most common query classes.
+func Templates() []Template {
+	return []Template{
+		{
+			Name: "cone_search",
+			Generate: func(r *rand.Rand) string {
+				ra := r.Float64() * 359
+				dec := r.Float64()*170 - 85
+				return fmt.Sprintf(
+					"SELECT objid, ra, dec FROM photoobj WHERE ra BETWEEN %.3f AND %.3f AND dec BETWEEN %.3f AND %.3f",
+					ra, ra+0.5, dec, dec+0.5)
+			},
+		},
+		{
+			Name: "run_field_lookup",
+			Generate: func(r *rand.Rand) string {
+				run := r.Intn(250) * 3
+				camcol := 1 + r.Intn(6)
+				lo := r.Intn(900)
+				return fmt.Sprintf(
+					"SELECT objid FROM photoobj WHERE run = %d AND camcol = %d AND field BETWEEN %d AND %d",
+					run, camcol, lo, lo+20)
+			},
+		},
+		{
+			Name: "magnitude_cut",
+			Generate: func(r *rand.Rand) string {
+				m := 12 + r.Float64()*15
+				return fmt.Sprintf(
+					"SELECT objid, r FROM photoobj WHERE r BETWEEN %.3f AND %.3f AND type = 6",
+					m, m+0.05)
+			},
+		},
+		{
+			Name: "spec_join",
+			Generate: func(r *rand.Rand) string {
+				z := r.Float64() * 2.9
+				return fmt.Sprintf(
+					"SELECT p.objid, s.z FROM photoobj p, specobj s WHERE p.objid = s.bestobjid AND s.z BETWEEN %.4f AND %.4f",
+					z, z+0.02)
+			},
+		},
+		{
+			Name: "neighbor_pairs",
+			Generate: func(r *rand.Rand) string {
+				d := 0.001 + r.Float64()*0.01
+				return fmt.Sprintf(
+					"SELECT n.objid, n.neighborobjid FROM neighbors n WHERE n.distance < %.5f AND n.neighbortype = %d",
+					d, []int{3, 6}[r.Intn(2)])
+			},
+		},
+		{
+			Name: "run_aggregate",
+			Generate: func(r *rand.Rand) string {
+				lo := 51000 + r.Intn(2400)
+				return fmt.Sprintf(
+					"SELECT run, COUNT(*) AS n FROM photoobj WHERE mjd BETWEEN %d AND %d GROUP BY run ORDER BY n DESC LIMIT 20",
+					lo, lo+30)
+			},
+		},
+	}
+}
+
+// GenerateInstances produces n query instances by cycling through the
+// templates with a deterministic PRNG — the input to large-workload
+// advisor experiments.
+func GenerateInstances(n int, seed int64) []string {
+	templates := Templates()
+	r := rand.New(rand.NewSource(seed))
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, templates[i%len(templates)].Generate(r))
+	}
+	return out
+}

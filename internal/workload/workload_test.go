@@ -1,0 +1,227 @@
+package workload
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/optimizer"
+	"repro/internal/sql"
+	"repro/internal/storage"
+)
+
+func TestSchemaParses(t *testing.T) {
+	tables, err := parseSchema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 5 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	po := tables[0]
+	if po.Name != "photoobj" || len(po.Columns) < 35 {
+		t.Errorf("photoobj has %d columns, want a wide table", len(po.Columns))
+	}
+}
+
+func TestTableRowsScaling(t *testing.T) {
+	rows := TableRows(100000)
+	if rows["photoobj"] != 100000 || rows["specobj"] != 10000 || rows["neighbors"] != 50000 {
+		t.Errorf("scaling wrong: %v", rows)
+	}
+	tiny := TableRows(1)
+	if tiny["photoobj"] < 100 {
+		t.Errorf("minimum scale not enforced: %v", tiny)
+	}
+}
+
+func TestBuildCatalogStats(t *testing.T) {
+	cat, err := BuildCatalog(100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	po := cat.Table("photoobj")
+	if po == nil || po.RowCount != 100000 || po.Pages <= 0 {
+		t.Fatalf("photoobj: %+v", po)
+	}
+	for _, c := range po.Columns {
+		if c.Stats == nil {
+			t.Errorf("photoobj.%s has no stats", c.Name)
+		}
+	}
+	if f, ok := po.Column("type").Stats.MCVFreq(catalog.IntDatum(6)); !ok || f != 0.65 {
+		t.Errorf("type MCV = %v (ok=%v)", f, ok)
+	}
+	if po.Column("objid").Stats.Correlation != 1 {
+		t.Error("objid should be perfectly correlated")
+	}
+}
+
+func TestAll30QueriesParseAndPlan(t *testing.T) {
+	qs := Queries()
+	if len(qs) != 30 {
+		t.Fatalf("queries = %d, want 30", len(qs))
+	}
+	cat, err := BuildCatalog(100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := optimizer.New(cat)
+	for i, q := range qs {
+		sel, err := sql.ParseSelect(q)
+		if err != nil {
+			t.Errorf("Q%d does not parse: %v", i+1, err)
+			continue
+		}
+		plan, err := p.Plan(sel)
+		if err != nil {
+			t.Errorf("Q%d does not plan: %v", i+1, err)
+			continue
+		}
+		if plan.TotalCost <= 0 {
+			t.Errorf("Q%d cost = %v", i+1, plan.TotalCost)
+		}
+	}
+}
+
+func TestPopulateAndExecuteQueries(t *testing.T) {
+	db := storage.NewDatabase(4096)
+	if err := PopulateDatabase(db, 3000, 42); err != nil {
+		t.Fatal(err)
+	}
+	if db.Heap("photoobj").NumRows() != 3000 {
+		t.Errorf("photoobj rows = %d", db.Heap("photoobj").NumRows())
+	}
+	if db.Heap("specobj").NumRows() != 300 {
+		t.Errorf("specobj rows = %d", db.Heap("specobj").NumRows())
+	}
+	// Every query must execute without error (result sizes vary).
+	for i, q := range Queries() {
+		sel, err := sql.ParseSelect(q)
+		if err != nil {
+			t.Fatalf("Q%d: %v", i+1, err)
+		}
+		if _, err := db.Execute(sel); err != nil {
+			t.Errorf("Q%d failed to execute: %v", i+1, err)
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	db1 := storage.NewDatabase(256)
+	db2 := storage.NewDatabase(256)
+	if err := PopulateDatabase(db1, 500, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := PopulateDatabase(db2, 500, 7); err != nil {
+		t.Fatal(err)
+	}
+	q, _ := sql.ParseSelect("SELECT SUM(objid), AVG(ra), COUNT(*) FROM photoobj")
+	r1, err := db1.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := db2.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Rows[0] {
+		if r1.Rows[0][i] != r2.Rows[0][i] {
+			t.Errorf("column %d differs: %v vs %v", i, r1.Rows[0][i], r2.Rows[0][i])
+		}
+	}
+}
+
+func TestJoinKeysActuallyJoin(t *testing.T) {
+	db := storage.NewDatabase(1024)
+	if err := PopulateDatabase(db, 1000, 1); err != nil {
+		t.Fatal(err)
+	}
+	q, _ := sql.ParseSelect("SELECT COUNT(*) FROM photoobj p, specobj s WHERE p.objid = s.bestobjid")
+	res, err := db.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every specobj row references a valid photoobj.
+	if res.Rows[0][0].I != 100 {
+		t.Errorf("join count = %d, want 100 (all spec rows)", res.Rows[0][0].I)
+	}
+}
+
+func TestWorkloadFileRoundTrip(t *testing.T) {
+	contents := FormatWorkloadFile(Queries())
+	stmts, err := ParseWorkloadFile(contents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 30 {
+		t.Fatalf("round-trip produced %d statements", len(stmts))
+	}
+	// And via disk.
+	path := filepath.Join(t.TempDir(), "workload.sql")
+	if err := os.WriteFile(path, []byte(contents), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadWorkloadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 30 {
+		t.Errorf("loaded %d statements", len(loaded))
+	}
+}
+
+func TestParseWorkloadFileErrors(t *testing.T) {
+	if _, err := ParseWorkloadFile(""); err == nil {
+		t.Error("empty file accepted")
+	}
+	if _, err := ParseWorkloadFile("CREATE TABLE t (a int);"); err == nil {
+		t.Error("DDL accepted as workload")
+	}
+	if _, err := ParseWorkloadFile("SELECT FROM;"); err == nil {
+		t.Error("bad SQL accepted")
+	}
+	if _, err := LoadWorkloadFile("/nonexistent/file.sql"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestTemplatesGenerateValidSQL(t *testing.T) {
+	cat, err := BuildCatalog(50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := optimizer.New(cat)
+	instances := GenerateInstances(60, 5)
+	if len(instances) != 60 {
+		t.Fatalf("instances = %d", len(instances))
+	}
+	for i, q := range instances {
+		sel, err := sql.ParseSelect(q)
+		if err != nil {
+			t.Fatalf("instance %d unparseable: %v\n%s", i, err, q)
+		}
+		if _, err := p.Plan(sel); err != nil {
+			t.Fatalf("instance %d unplannable: %v\n%s", i, err, q)
+		}
+	}
+	// Deterministic.
+	again := GenerateInstances(60, 5)
+	for i := range instances {
+		if instances[i] != again[i] {
+			t.Fatal("template generation nondeterministic")
+		}
+	}
+	// Different seeds differ.
+	other := GenerateInstances(60, 6)
+	same := 0
+	for i := range instances {
+		if instances[i] == other[i] {
+			same++
+		}
+	}
+	if same == 60 {
+		t.Error("seed has no effect")
+	}
+}
