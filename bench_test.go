@@ -14,13 +14,16 @@ package repro
 //	plancalls   full optimizer invocations consumed
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/advisor"
 	"repro/internal/autopart"
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/costlab"
 	"repro/internal/inum"
 	"repro/internal/optimizer"
 	"repro/internal/sql"
@@ -240,6 +243,49 @@ func BenchmarkE5_INUMThroughput(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	})
+}
+
+// --- Costlab: parallel candidate pricing ----------------------------
+// The ROADMAP's "fast as the hardware allows" axis: the ILP advisor's
+// candidate-pricing sweep (queries × configurations) fanned out over
+// costlab's worker pool must beat the sequential baseline on
+// multi-core hosts. Each job runs the full optimizer on a pooled
+// what-if session, so the work parallelizes with zero sharing.
+
+func BenchmarkCostlabParallelPricing(b *testing.B) {
+	cat := planCatalog(b, 300000)
+	queries, err := workload.ParseQueries()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cands := advisor.GenerateCandidates(cat, queries, advisor.Options{})
+	const maxCands = 16
+	if len(cands) > maxCands {
+		cands = cands[:maxCands]
+	}
+	cfgs := make([]costlab.Config, len(cands))
+	for i, spec := range cands {
+		cfgs[i] = costlab.Config{spec}
+	}
+	stmts := make([]*sql.Select, len(queries))
+	for i, q := range queries {
+		stmts[i] = q.Stmt
+	}
+	ctx := context.Background()
+	run := func(b *testing.B, workers int) {
+		est := costlab.NewFull(cat)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := costlab.EvaluateMatrix(ctx, est, stmts, cfgs, workers); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(stmts)*len(cfgs)), "jobs")
+	}
+	b.Run("Sequential", func(b *testing.B) { run(b, 1) })
+	b.Run(fmt.Sprintf("Parallel/workers=%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		run(b, runtime.GOMAXPROCS(0))
 	})
 }
 

@@ -1,4 +1,4 @@
-// Command experiments runs the full E1–E8 experiment suite of the
+// Command experiments runs the full E1–E9 experiment suite of the
 // reproduction and prints a report; EXPERIMENTS.md records its output
 // next to the paper's claims. Each experiment is also available as a
 // benchmark in bench_test.go; this binary exists so the whole table
@@ -8,15 +8,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/advisor"
 	"repro/internal/autopart"
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/costlab"
 	"repro/internal/inum"
 	"repro/internal/optimizer"
 	"repro/internal/sql"
@@ -41,6 +44,7 @@ func main() {
 	runE6(*dataScale)
 	runE7(*dataScale)
 	runE8(*scale)
+	runE9(*scale)
 }
 
 func fatal(err error) {
@@ -212,42 +216,33 @@ func runE4(scale int64) {
 	fmt.Printf("  best per-query speedup (unlimited): %.1fx\n\n", best)
 }
 
-// E5: INUM throughput vs full optimizer invocations.
+// E5: INUM throughput vs full optimizer invocations, both priced
+// through the shared costlab.CostEstimator interface.
 func runE5(scale int64) {
-	fmt.Println("== E5: INUM cache-based costing vs full optimizer ==")
+	fmt.Println("== E5: INUM cache-based costing vs full optimizer (costlab backends) ==")
 	cat := mustCatalog(scale)
 	q := mustSelect(`SELECT p.objid FROM photoobj p, specobj s, neighbors n, field f
 		WHERE p.objid = s.bestobjid AND p.objid = n.objid
 		AND p.run = f.run AND p.camcol = f.camcol AND p.field = f.field
 		AND p.ra BETWEEN 10 AND 10.2 AND p.run = 93 AND s.z > 2.9 AND n.distance < 0.01`)
-	cols := []string{"ra", "run", "camcol", "field", "mjd", "htmid", "r", "colc"}
-	var cfgs []inum.Config
-	for i := range cols {
-		for j := range cols {
-			if i == j {
-				cfgs = append(cfgs, inum.Config{{Table: "photoobj", Columns: []string{cols[i]}}})
-			} else {
-				cfgs = append(cfgs, inum.Config{{Table: "photoobj", Columns: []string{cols[i], cols[j]}}})
-			}
-		}
-	}
+	cfgs := e5Configs()
 	const rounds = 40
-	cache := inum.New(cat)
+	inumEst := costlab.NewINUM(cat)
 	t0 := time.Now()
 	for r := 0; r < rounds; r++ {
 		for _, cfg := range cfgs {
-			if _, err := cache.Cost(q, cfg); err != nil {
+			if _, err := inumEst.Cost(q, cfg); err != nil {
 				fatal(err)
 			}
 		}
 	}
 	inumPer := time.Since(t0) / time.Duration(rounds*len(cfgs))
-	inumCalls := cache.PlanerCalls
+	inumCalls := inumEst.PlanCalls()
 
-	cache2 := inum.New(cat)
+	fullEst := costlab.NewFull(cat)
 	t0 = time.Now()
 	for _, cfg := range cfgs {
-		if _, err := cache2.FullOptimizerCost(q, cfg); err != nil {
+		if _, err := fullEst.Cost(q, cfg); err != nil {
 			fatal(err)
 		}
 	}
@@ -261,6 +256,22 @@ func runE5(scale int64) {
 	fmt.Printf("  per-config speedup %.1fx; at PostgreSQL-scale optimize times the call\n"+
 		"  reduction is the 'millions in minutes instead of days' effect\n\n",
 		float64(fullPer)/float64(inumPer))
+}
+
+// e5Configs enumerates single- and two-column photoobj configurations.
+func e5Configs() []costlab.Config {
+	cols := []string{"ra", "run", "camcol", "field", "mjd", "htmid", "r", "colc"}
+	var cfgs []costlab.Config
+	for i := range cols {
+		for j := range cols {
+			if i == j {
+				cfgs = append(cfgs, costlab.Config{{Table: "photoobj", Columns: []string{cols[i]}}})
+			} else {
+				cfgs = append(cfgs, costlab.Config{{Table: "photoobj", Columns: []string{cols[i], cols[j]}}})
+			}
+		}
+	}
+	return cfgs
 }
 
 // E6: what-if accuracy against the materialized design.
@@ -360,6 +371,57 @@ func runE8(scale int64) {
 		100*single.AvgBenefit(), single.Speedup())
 	fmt.Printf("  multicolumn advantage: %.2fx additional speedup\n\n",
 		multi.Speedup()/single.Speedup())
+}
+
+// E9: parallel candidate pricing through costlab's worker pool — the
+// ROADMAP's "fast as the hardware allows" axis. The same ILP pricing
+// sweep (queries × candidate configurations) runs once on a single
+// worker and once fanned out over GOMAXPROCS.
+func runE9(scale int64) {
+	fmt.Println("== E9: costlab parallel candidate pricing ==")
+	cat := mustCatalog(scale)
+	queries, err := workload.ParseQueries()
+	if err != nil {
+		fatal(err)
+	}
+	cands := advisor.GenerateCandidates(cat, queries, advisor.Options{})
+	var jobs []costlab.Job
+	for _, q := range queries {
+		for _, spec := range cands {
+			jobs = append(jobs, costlab.Job{Stmt: q.Stmt, Config: costlab.Config{spec}})
+		}
+	}
+	const maxJobs = 600
+	if len(jobs) > maxJobs {
+		jobs = jobs[:maxJobs]
+	}
+	ctx := context.Background()
+
+	t0 := time.Now()
+	seq, err := costlab.EvaluateAll(ctx, costlab.NewFull(cat), jobs, 1)
+	if err != nil {
+		fatal(err)
+	}
+	seqTime := time.Since(t0)
+
+	workers := runtime.GOMAXPROCS(0)
+	par := costlab.NewFull(cat)
+	t0 = time.Now()
+	parCosts, err := costlab.EvaluateAll(ctx, par, jobs, workers)
+	if err != nil {
+		fatal(err)
+	}
+	parTime := time.Since(t0)
+	for i := range seq {
+		if seq[i] != parCosts[i] {
+			fatal(fmt.Errorf("parallel pricing diverged at job %d: %v vs %v", i, seq[i], parCosts[i]))
+		}
+	}
+	fmt.Printf("  %d pricing jobs (full-optimizer backend), results identical\n", len(jobs))
+	fmt.Printf("  sequential: %v    parallel (%d workers, %d pooled sessions): %v\n",
+		seqTime.Round(time.Millisecond), workers, par.Sessions(), parTime.Round(time.Millisecond))
+	fmt.Printf("  speedup %.2fx (scales with cores; 1.0x expected on a single-core host)\n\n",
+		float64(seqTime)/float64(parTime))
 }
 
 func abs(f float64) float64 {

@@ -22,6 +22,7 @@ import (
 	"repro/internal/autopart"
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/costlab"
 	"repro/internal/inum"
 	"repro/internal/optimizer"
 	"repro/internal/sql"
@@ -202,6 +203,7 @@ func cmdPartitions(args []string) error {
 	scale := fs.Int64("scale", 1000000, "photoobj row count of the synthetic catalog")
 	replication := fs.Int64("replication", 1<<30, "replication space budget in bytes")
 	saveRewritten := fs.String("save-rewritten", "", "write the rewritten workload to this file")
+	workers := fs.Int("workers", 0, "parallel cost-estimation workers (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -215,6 +217,7 @@ func cmdPartitions(args []string) error {
 	}
 	res, err := core.New(cat).SuggestPartitions(queries, autopart.Options{
 		ReplicationBudget: *replication,
+		Workers:           *workers,
 	})
 	if err != nil {
 		return err
@@ -251,6 +254,9 @@ func cmdIndexes(args []string) error {
 	greedy := fs.Bool("greedy", false, "use the greedy baseline instead of the ILP")
 	single := fs.Bool("single-column", false, "restrict candidates to single-column indexes")
 	compress := fs.Int("compress", 0, "compress the workload to at most N template queries (0 = off)")
+	backend := fs.String("backend", costlab.BackendINUM,
+		"candidate pricing backend: inum (cache-based) or full (full optimizer)")
+	workers := fs.Int("workers", 0, "parallel cost-estimation workers (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -262,7 +268,12 @@ func cmdIndexes(args []string) error {
 	if err != nil {
 		return err
 	}
-	opts := advisor.Options{StorageBudget: *budget, SingleColumnOnly: *single}
+	opts := advisor.Options{
+		StorageBudget:    *budget,
+		SingleColumnOnly: *single,
+		Backend:          *backend,
+		Workers:          *workers,
+	}
 	parsed, err := advisor.ParseWorkload(queries)
 	if err != nil {
 		return err

@@ -5,6 +5,25 @@
 // cost model — built over a PostgreSQL-style cost-based optimizer and
 // storage engine implemented from scratch in this module.
 //
+// Package map (each internal package carries its own doc comment):
+//
+//	internal/sql        SQL lexer, parser, AST, printer
+//	internal/catalog    schema, statistics, Equation-1 sizing
+//	internal/storage    heap/B-Tree storage engine, ANALYZE
+//	internal/optimizer  cost-based planner (access paths, DP join order)
+//	internal/whatif     what-if sessions: hypothetical indexes/tables
+//	internal/inum       INUM scenario cache (single-session core)
+//	internal/costlab    unified concurrent cost-estimation layer: one
+//	                    CostEstimator interface, full-optimizer and
+//	                    INUM backends, pooled sessions, parallel
+//	                    EvaluateAll batch driver
+//	internal/ilp        exact branch-and-bound ILP solver
+//	internal/advisor    index advisor (ILP + greedy) over costlab
+//	internal/autopart   AutoPart vertical partitioner over costlab
+//	internal/rewrite    workload rewriting onto partition fragments
+//	internal/workload   SDSS-like schema, 30-query workload, generator
+//	internal/core       PARINDA facade tying the components together
+//
 // See README.md for the layout, DESIGN.md for the system inventory,
-// and bench_test.go for the experiment harness (E1–E8).
+// and bench_test.go for the experiment harness (E1–E9).
 package repro

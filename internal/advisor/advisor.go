@@ -8,10 +8,12 @@
 package advisor
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/catalog"
+	"repro/internal/costlab"
 	"repro/internal/inum"
 	"repro/internal/sql"
 )
@@ -55,6 +57,26 @@ type Options struct {
 	// row) charged against its benefit — the "update costs" constraint
 	// of the paper's ILP (§3.4).
 	UpdateRates map[string]float64
+	// Backend selects the candidate-pricing engine:
+	// costlab.BackendINUM (the default for "") or costlab.BackendFull.
+	Backend string
+	// Workers caps the parallelism of candidate-pricing batches
+	// (0 = GOMAXPROCS).
+	Workers int
+}
+
+// newBackend builds the pricing backend the options select.
+func (o Options) newBackend(cat *catalog.Catalog) (costlab.Backend, error) {
+	return costlab.NewBackend(cat, o.Backend)
+}
+
+// weighted adapts the workload to costlab's batch driver.
+func weighted(queries []Query) []costlab.WeightedQuery {
+	out := make([]costlab.WeightedQuery, len(queries))
+	for i, q := range queries {
+		out[i] = costlab.WeightedQuery{Stmt: q.Stmt, Weight: q.Weight}
+	}
+	return out
 }
 
 // maintenanceCost prices the upkeep of one candidate index under the
@@ -138,31 +160,37 @@ func (r *Result) AvgBenefit() float64 {
 }
 
 // evaluate prices every query under the chosen design with the full
-// optimizer (not the cache), producing the per-query report.
-func evaluate(cache *inum.Cache, queries []Query, chosen []inum.IndexSpec) (float64, float64, []QueryBenefit, error) {
+// optimizer (not the cache), producing the per-query report. Base
+// costs and design plans each fan out over the worker pool; the
+// chosen indexes install once per pooled session. It returns the
+// optimizer invocations it consumed so callers can fold them into
+// the advisor's accounting.
+func evaluate(cat *catalog.Catalog, queries []Query, chosen []inum.IndexSpec, workers int) (float64, float64, []QueryBenefit, int64, error) {
+	ctx := context.Background()
+	base := costlab.NewFull(cat)
+	bases, err := costlab.EvaluateAll(ctx, base, baseJobs(queries), workers)
+	if err != nil {
+		return 0, 0, nil, 0, err
+	}
+	setup, chosenNames := costlab.IndexSetup(chosen, nil)
+	full := costlab.NewFullWithSetup(cat, setup)
+	stmts := make([]*sql.Select, len(queries))
+	for i, q := range queries {
+		stmts[i] = q.Stmt
+	}
+	plans, err := full.PlanAll(ctx, stmts, workers)
+	if err != nil {
+		return 0, 0, nil, 0, err
+	}
+	nameToKey := map[string]string{}
+	for i, name := range chosenNames() {
+		nameToKey[name] = chosen[i].Key()
+	}
 	var baseTotal, newTotal float64
 	var per []QueryBenefit
-	session := cache.Session()
-	for _, q := range queries {
-		base, err := cache.FullOptimizerCost(q.Stmt, nil)
-		if err != nil {
-			return 0, 0, nil, err
-		}
-		session.Reset()
-		nameToKey := map[string]string{}
-		for _, spec := range chosen {
-			ix, err := session.CreateIndex(spec.Table, spec.Columns)
-			if err != nil {
-				return 0, 0, nil, err
-			}
-			nameToKey[ix.Name] = spec.Key()
-		}
-		plan, err := session.Plan(q.Stmt)
-		if err != nil {
-			return 0, 0, nil, err
-		}
+	for qi, q := range queries {
 		var used []string
-		for _, name := range plan.IndexesUsed() {
+		for _, name := range plans[qi].IndexesUsed() {
 			if key, ok := nameToKey[name]; ok {
 				used = append(used, key)
 			}
@@ -170,22 +198,30 @@ func evaluate(cache *inum.Cache, queries []Query, chosen []inum.IndexSpec) (floa
 		sort.Strings(used)
 		per = append(per, QueryBenefit{
 			SQL:         q.SQL,
-			BaseCost:    base * q.Weight,
-			NewCost:     plan.TotalCost * q.Weight,
+			BaseCost:    bases[qi] * q.Weight,
+			NewCost:     plans[qi].TotalCost * q.Weight,
 			IndexesUsed: used,
 		})
-		baseTotal += base * q.Weight
-		newTotal += plan.TotalCost * q.Weight
+		baseTotal += bases[qi] * q.Weight
+		newTotal += plans[qi].TotalCost * q.Weight
 	}
-	session.Reset()
-	return baseTotal, newTotal, per, nil
+	return baseTotal, newTotal, per, base.PlanCalls() + full.PlanCalls(), nil
+}
+
+// baseJobs builds the empty-configuration pricing batch.
+func baseJobs(queries []Query) []costlab.Job {
+	jobs := make([]costlab.Job, len(queries))
+	for i, q := range queries {
+		jobs[i] = costlab.Job{Stmt: q.Stmt}
+	}
+	return jobs
 }
 
 // totalSize sums Equation-1 sizes of the specs.
-func totalSize(cache *inum.Cache, specs []inum.IndexSpec) (int64, error) {
+func totalSize(est costlab.Backend, specs []inum.IndexSpec) (int64, error) {
 	var total int64
 	for _, s := range specs {
-		sz, err := cache.SpecSizeBytes(s)
+		sz, err := est.SpecSizeBytes(s)
 		if err != nil {
 			return 0, err
 		}
@@ -208,6 +244,3 @@ func MaterializeStatements(specs []inum.IndexSpec) []string {
 	}
 	return out
 }
-
-// newCache builds an INUM cache for a catalog.
-func newCache(cat *catalog.Catalog) *inum.Cache { return inum.New(cat) }

@@ -293,7 +293,7 @@ func TestWeightsInfluenceSelection(t *testing.T) {
 	// the dec index.
 	qs[1].Weight = 1000
 	// Find the size of a single-column index to set the budget.
-	cache := newCache(cat)
+	cache := inum.New(cat)
 	oneIx, err := cache.SpecSizeBytes(inum.IndexSpec{Table: "photoobj", Columns: []string{"dec"}})
 	if err != nil {
 		t.Fatal(err)

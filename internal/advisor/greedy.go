@@ -1,9 +1,11 @@
 package advisor
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/catalog"
+	"repro/internal/costlab"
 	"repro/internal/inum"
 )
 
@@ -11,8 +13,10 @@ import (
 // compared against: the classic greedy loop used by the commercial
 // tools (§1–2). Starting from the empty design it repeatedly adds the
 // candidate with the highest benefit-per-byte that fits the remaining
-// budget, re-pricing the workload through INUM after every addition,
-// until no candidate improves the workload.
+// budget, re-pricing the workload through the costlab backend after
+// every addition, until no candidate improves the workload. Each
+// round's candidate sweep is one EvaluateAll batch (candidates ×
+// queries) fanned out over the worker pool.
 //
 // Greedy prunes the combination space aggressively — that is exactly
 // the behaviour whose lost opportunities the ILP recovers.
@@ -20,26 +24,18 @@ func SuggestIndexesGreedy(cat *catalog.Catalog, queries []Query, opts Options) (
 	if len(queries) == 0 {
 		return nil, fmt.Errorf("advisor: empty workload")
 	}
-	cache := newCache(cat)
-	cache.ResetStats()
-	candidates := GenerateCandidates(cat, queries, opts)
-
-	workloadCost := func(cfg inum.Config) (float64, error) {
-		total := 0.0
-		for _, q := range queries {
-			c, err := cache.Cost(q.Stmt, cfg)
-			if err != nil {
-				return 0, err
-			}
-			total += c * q.Weight
-		}
-		return total, nil
+	ctx := context.Background()
+	est, err := opts.newBackend(cat)
+	if err != nil {
+		return nil, err
 	}
+	candidates := GenerateCandidates(cat, queries, opts)
+	wq := weighted(queries)
 
 	var chosen inum.Config
 	var chosenSize int64
 	var totalMaint float64
-	current, err := workloadCost(nil)
+	current, err := costlab.WorkloadCost(ctx, est, wq, nil, opts.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -48,38 +44,62 @@ func SuggestIndexesGreedy(cat *catalog.Catalog, queries []Query, opts Options) (
 	consts := defaultCostConstants()
 
 	for len(remaining) > 0 {
-		bestIdx, bestCost := -1, current
-		bestScore, bestMaint := 0.0, 0.0
+		// Candidates that still fit the budget, with their sizes.
+		type viable struct {
+			idx  int // position in remaining
+			size int64
+		}
+		var sweep []viable
 		for i, spec := range remaining {
-			sz, err := cache.SpecSizeBytes(spec)
+			sz, err := est.SpecSizeBytes(spec)
 			if err != nil {
 				return nil, err
 			}
 			if opts.StorageBudget > 0 && chosenSize+sz > opts.StorageBudget {
 				continue
 			}
-			cost, err := workloadCost(append(append(inum.Config(nil), chosen...), spec))
-			if err != nil {
-				return nil, err
+			sweep = append(sweep, viable{idx: i, size: sz})
+		}
+		if len(sweep) == 0 {
+			break
+		}
+		// One batch prices every trial design over the whole workload.
+		jobs := make([]costlab.Job, 0, len(sweep)*len(queries))
+		for _, v := range sweep {
+			trial := append(append(inum.Config(nil), chosen...), remaining[v.idx])
+			for _, q := range queries {
+				jobs = append(jobs, costlab.Job{Stmt: q.Stmt, Config: trial})
 			}
-			evals++
-			maint := opts.maintenanceCost(spec, catalog.BTreeHeight(sz/catalog.PageSize), consts)
+		}
+		costs, err := costlab.EvaluateAll(ctx, est, jobs, opts.Workers)
+		if err != nil {
+			return nil, err
+		}
+		evals += len(sweep)
+
+		bestIdx, bestCost := -1, current
+		bestScore, bestMaint := 0.0, 0.0
+		var bestSize int64
+		for vi, v := range sweep {
+			cost := 0.0
+			for qi, q := range queries {
+				cost += costs[vi*len(queries)+qi] * q.Weight
+			}
+			maint := opts.maintenanceCost(remaining[v.idx], catalog.BTreeHeight(v.size/catalog.PageSize), consts)
 			gain := current - cost - maint
 			if gain <= 1e-9 {
 				continue
 			}
-			score := gain / float64(sz)
+			score := gain / float64(v.size)
 			if score > bestScore {
-				bestScore, bestIdx, bestCost, bestMaint = score, i, cost, maint
+				bestScore, bestIdx, bestCost, bestMaint, bestSize = score, v.idx, cost, maint, v.size
 			}
 		}
 		if bestIdx < 0 {
 			break
 		}
-		spec := remaining[bestIdx]
-		sz, _ := cache.SpecSizeBytes(spec)
-		chosen = append(chosen, spec)
-		chosenSize += sz
+		chosen = append(chosen, remaining[bestIdx])
+		chosenSize += bestSize
 		totalMaint += bestMaint
 		current = bestCost
 		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
@@ -87,7 +107,7 @@ func SuggestIndexesGreedy(cat *catalog.Catalog, queries []Query, opts Options) (
 
 	specs := append([]inum.IndexSpec(nil), chosen...)
 	inum.SortSpecs(specs)
-	base, newC, per, err := evaluate(cache, queries, specs)
+	base, newC, per, evalCalls, err := evaluate(cat, queries, specs, opts.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -99,7 +119,7 @@ func SuggestIndexesGreedy(cat *catalog.Catalog, queries []Query, opts Options) (
 		PerQuery:        per,
 		Candidates:      len(candidates),
 		SolverWork:      evals,
-		PlanCalls:       cache.PlanerCalls,
+		PlanCalls:       est.PlanCalls() + evalCalls,
 		MaintenanceCost: totalMaint,
 	}, nil
 }

@@ -1,10 +1,12 @@
 package advisor
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/catalog"
+	"repro/internal/costlab"
 	"repro/internal/ilp"
 	"repro/internal/inum"
 )
@@ -26,37 +28,36 @@ func SuggestIndexesILP(cat *catalog.Catalog, queries []Query, opts Options) (*Re
 	if len(queries) == 0 {
 		return nil, fmt.Errorf("advisor: empty workload")
 	}
-	cache := newCache(cat)
-	cache.ResetStats()
+	ctx := context.Background()
+	est, err := opts.newBackend(cat)
+	if err != nil {
+		return nil, err
+	}
 	candidates := GenerateCandidates(cat, queries, opts)
 	if len(candidates) == 0 {
-		base, newC, per, err := evaluate(cache, queries, nil)
+		base, newC, per, _, err := evaluate(cat, queries, nil, opts.Workers)
 		if err != nil {
 			return nil, err
 		}
 		return &Result{BaseCost: base, NewCost: newC, PerQuery: per}, nil
 	}
 
-	// Base costs and the configuration benefit matrix via INUM. A
-	// configuration here is a small set of candidate indexes used
-	// together by one query: every single candidate, plus pairs of
-	// candidates on the same table (a bitmap-AND plan uses two
-	// indexes of one table at once, so single-index pricing would
-	// undervalue synergistic pairs).
-	baseCosts := make([]float64, len(queries))
-	for qi, q := range queries {
-		c, err := cache.Cost(q.Stmt, nil)
-		if err != nil {
-			return nil, err
-		}
-		baseCosts[qi] = c
-	}
-	type benefit struct {
+	// Base costs and the configuration benefit matrix via the pricing
+	// backend. A configuration here is a small set of candidate
+	// indexes used together by one query: every single candidate, plus
+	// pairs of candidates on the same table (a bitmap-AND plan uses
+	// two indexes of one table at once, so single-index pricing would
+	// undervalue synergistic pairs). The whole O(queries × (singles +
+	// pairs)) sweep is assembled up front and priced as one
+	// EvaluateAll batch over the worker pool: jobs [0, len(queries))
+	// are the empty-configuration base costs, the rest carry one
+	// priced configuration each.
+	type priced struct {
 		q       int
 		members []int // candidate indexes of the configuration
-		val     float64
 	}
-	var benefits []benefit
+	jobs := baseJobs(queries)
+	var sweep []priced
 	for qi, q := range queries {
 		// Candidates sargable for this query: leading column carries
 		// one of the query's predicate columns. These are the pair
@@ -65,13 +66,8 @@ func SuggestIndexesILP(cat *catalog.Catalog, queries []Query, opts Options) (*Re
 		// that helped alone.
 		sargable := sargableCandidates(cat, q, candidates)
 		for ji, spec := range candidates {
-			c, err := cache.Cost(q.Stmt, inum.Config{spec})
-			if err != nil {
-				return nil, err
-			}
-			if b := baseCosts[qi] - c; b > 1e-9 {
-				benefits = append(benefits, benefit{qi, []int{ji}, b * q.Weight})
-			}
+			sweep = append(sweep, priced{qi, []int{ji}})
+			jobs = append(jobs, costlab.Job{Stmt: q.Stmt, Config: costlab.Config{spec}})
 		}
 		for a := 0; a < len(sargable); a++ {
 			for b := a + 1; b < len(sargable); b++ {
@@ -80,14 +76,35 @@ func SuggestIndexesILP(cat *catalog.Catalog, queries []Query, opts Options) (*Re
 				if sa.Table != sb.Table || sa.Columns[0] == sb.Columns[0] {
 					continue
 				}
-				c, err := cache.Cost(q.Stmt, inum.Config{sa, sb})
-				if err != nil {
-					return nil, err
-				}
-				if gain := baseCosts[qi] - c; gain > 1e-9 {
-					benefits = append(benefits, benefit{qi, []int{ja, jb}, gain * q.Weight})
-				}
+				sweep = append(sweep, priced{qi, []int{ja, jb}})
+				jobs = append(jobs, costlab.Job{Stmt: q.Stmt, Config: costlab.Config{sa, sb}})
 			}
+		}
+	}
+	// The batch is built query-major (all configs of one query
+	// adjacent), which would serialize the INUM backend's shard
+	// mutexes; the grouped driver schedules it round-robin across
+	// queries instead.
+	costs, err := costlab.EvaluateAllGrouped(ctx, est, jobs, func(i int) int {
+		if i < len(queries) {
+			return i
+		}
+		return sweep[i-len(queries)].q
+	}, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	baseCosts := costs[:len(queries)]
+	type benefit struct {
+		q       int
+		members []int
+		val     float64
+	}
+	var benefits []benefit
+	for si, pc := range sweep {
+		gain := baseCosts[pc.q] - costs[len(queries)+si]
+		if gain > 1e-9 {
+			benefits = append(benefits, benefit{pc.q, pc.members, gain * queries[pc.q].Weight})
 		}
 	}
 
@@ -134,7 +151,7 @@ func SuggestIndexesILP(cat *catalog.Catalog, queries []Query, opts Options) (*Re
 	}
 	sizes := make([]float64, nx)
 	for ji, spec := range candidates {
-		sz, err := cache.SpecSizeBytes(spec)
+		sz, err := est.SpecSizeBytes(spec)
 		if err != nil {
 			return nil, err
 		}
@@ -205,25 +222,25 @@ func SuggestIndexesILP(cat *catalog.Catalog, queries []Query, opts Options) (*Re
 	// Polish: the ILP optimizes the *priced* configurations; residual
 	// interactions (three-way bitmaps, cross-table nested loops) can
 	// leave cheap improvements on the table. Augment greedily within
-	// the leftover budget using the same INUM pricing — the global
+	// the leftover budget using the same backend pricing — the global
 	// structure stays the solver's, the polish only mops up.
-	chosen, err = polishSelection(cache, queries, candidates, chosen, opts)
+	chosen, err = polishSelection(ctx, est, queries, candidates, chosen, opts)
 	if err != nil {
 		return nil, err
 	}
 	inum.SortSpecs(chosen)
 
-	base, newC, per, err := evaluate(cache, queries, chosen)
+	base, newC, per, evalCalls, err := evaluate(cat, queries, chosen, opts.Workers)
 	if err != nil {
 		return nil, err
 	}
-	size, err := totalSize(cache, chosen)
+	size, err := totalSize(est, chosen)
 	if err != nil {
 		return nil, err
 	}
 	maint := 0.0
 	for _, spec := range chosen {
-		sz, _ := cache.SpecSizeBytes(spec)
+		sz, _ := est.SpecSizeBytes(spec)
 		maint += opts.maintenanceCost(spec, catalog.BTreeHeight(sz/catalog.PageSize), consts)
 	}
 	return &Result{
@@ -234,36 +251,26 @@ func SuggestIndexesILP(cat *catalog.Catalog, queries []Query, opts Options) (*Re
 		PerQuery:        per,
 		Candidates:      len(candidates),
 		SolverWork:      sol.Nodes,
-		PlanCalls:       cache.PlanerCalls,
+		PlanCalls:       est.PlanCalls() + evalCalls,
 		MaintenanceCost: maint,
 	}, nil
 }
 
 // polishSelection greedily adds leftover candidates that still fit the
-// budget and reduce the INUM-priced workload cost of the full set.
-func polishSelection(cache *inum.Cache, queries []Query, candidates, chosen []inum.IndexSpec, opts Options) ([]inum.IndexSpec, error) {
-	workloadCost := func(cfg inum.Config) (float64, error) {
-		total := 0.0
-		for _, q := range queries {
-			c, err := cache.Cost(q.Stmt, cfg)
-			if err != nil {
-				return 0, err
-			}
-			total += c * q.Weight
-		}
-		return total, nil
-	}
+// budget and reduce the backend-priced workload cost of the full set.
+func polishSelection(ctx context.Context, est costlab.Backend, queries []Query, candidates, chosen []inum.IndexSpec, opts Options) ([]inum.IndexSpec, error) {
+	wq := weighted(queries)
 	have := map[string]bool{}
 	var size int64
 	for _, s := range chosen {
 		have[s.Key()] = true
-		sz, err := cache.SpecSizeBytes(s)
+		sz, err := est.SpecSizeBytes(s)
 		if err != nil {
 			return nil, err
 		}
 		size += sz
 	}
-	current, err := workloadCost(inum.Config(chosen))
+	current, err := costlab.WorkloadCost(ctx, est, wq, inum.Config(chosen), opts.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -275,7 +282,7 @@ func polishSelection(cache *inum.Cache, queries []Query, candidates, chosen []in
 			if have[spec.Key()] {
 				continue
 			}
-			sz, err := cache.SpecSizeBytes(spec)
+			sz, err := est.SpecSizeBytes(spec)
 			if err != nil {
 				return nil, err
 			}
@@ -283,7 +290,7 @@ func polishSelection(cache *inum.Cache, queries []Query, candidates, chosen []in
 				continue
 			}
 			trial := append(append(inum.Config(nil), chosen...), spec)
-			cost, err := workloadCost(trial)
+			cost, err := costlab.WorkloadCost(ctx, est, wq, trial, opts.Workers)
 			if err != nil {
 				return nil, err
 			}

@@ -12,12 +12,15 @@
 package autopart
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 
 	"repro/internal/advisor"
 	"repro/internal/catalog"
+	"repro/internal/costlab"
 	"repro/internal/rewrite"
 	"repro/internal/sql"
 	"repro/internal/whatif"
@@ -35,6 +38,9 @@ type Options struct {
 	// Tables restricts partitioning to the named tables; empty means
 	// every table the workload touches.
 	Tables []string
+	// Workers caps the parallelism of workload pricing batches
+	// (0 = GOMAXPROCS).
+	Workers int
 }
 
 func (o Options) maxIter() int {
@@ -218,11 +224,16 @@ func Suggest(cat *catalog.Catalog, queries []advisor.Query, opts Options) (*Resu
 		selected[t] = append([][]string(nil), frags...)
 	}
 
+	// One baseline estimator serves the whole run — base costs and the
+	// final per-query report price through its pooled sessions instead
+	// of constructing a fresh what-if session per query.
+	ctx := context.Background()
+	base := costlab.NewFull(cat)
 	evalCost := func(sel map[string][][]string) (float64, []float64, error) {
-		return evaluateDesign(cat, queries, tables, sel)
+		return evaluateDesign(ctx, cat, queries, tables, sel, opts.Workers)
 	}
 
-	baseCost, _, err := workloadBaseCost(cat, queries)
+	baseCost, origCosts, err := workloadBaseCost(ctx, base, queries, opts.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -297,36 +308,33 @@ func Suggest(cat *catalog.Catalog, queries []advisor.Query, opts Options) (*Resu
 	}
 
 	// Build the final result: partitionings, rewritten workload,
-	// per-query benefits.
+	// per-query benefits. Rewritten costs price as one parallel
+	// batch; original costs reuse the base batch priced up front.
 	parts := buildPartitionings(cat, tables, selected)
-	session, rw, err := installDesign(cat, tables, selected)
-	if err != nil {
-		return nil, err
-	}
+	design, rw := designEstimator(cat, tables, selected)
 	var rewritten []string
-	var per []advisor.QueryBenefit
-	var newTotal float64
-	for _, q := range queries {
+	newJobs := make([]costlab.Job, len(queries))
+	for i, q := range queries {
 		rq, err := rw.Rewrite(q.Stmt)
 		if err != nil {
 			return nil, err
 		}
 		rewritten = append(rewritten, sql.PrintSelect(rq))
-		newCost, err := session.Cost(rq)
-		if err != nil {
-			return nil, err
-		}
-		origPlanner := whatif.NewSession(cat)
-		origCost, err := origPlanner.Cost(q.Stmt)
-		if err != nil {
-			return nil, err
-		}
+		newJobs[i] = costlab.Job{Stmt: rq}
+	}
+	newCosts, err := costlab.EvaluateAll(ctx, design, newJobs, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	var per []advisor.QueryBenefit
+	var newTotal float64
+	for i, q := range queries {
 		per = append(per, advisor.QueryBenefit{
 			SQL:      q.SQL,
-			BaseCost: origCost * q.Weight,
-			NewCost:  newCost * q.Weight,
+			BaseCost: origCosts[i],
+			NewCost:  newCosts[i] * q.Weight,
 		})
-		newTotal += newCost * q.Weight
+		newTotal += newCosts[i] * q.Weight
 	}
 	return &Result{
 		Partitions: parts,
@@ -338,64 +346,84 @@ func Suggest(cat *catalog.Catalog, queries []advisor.Query, opts Options) (*Resu
 	}, nil
 }
 
-// workloadBaseCost prices the workload on the unpartitioned schema.
-func workloadBaseCost(cat *catalog.Catalog, queries []advisor.Query) (float64, []float64, error) {
-	s := whatif.NewSession(cat)
+// workloadBaseCost prices the workload on the unpartitioned schema
+// through the shared baseline estimator.
+func workloadBaseCost(ctx context.Context, base costlab.CostEstimator, queries []advisor.Query, workers int) (float64, []float64, error) {
+	jobs := make([]costlab.Job, len(queries))
+	for i, q := range queries {
+		jobs[i] = costlab.Job{Stmt: q.Stmt}
+	}
+	costs, err := costlab.EvaluateAll(ctx, base, jobs, workers)
+	if err != nil {
+		return 0, nil, batchQueryErr("autopart: base cost of query", err)
+	}
 	total := 0.0
 	per := make([]float64, len(queries))
 	for i, q := range queries {
-		c, err := s.Cost(q.Stmt)
-		if err != nil {
-			return 0, nil, fmt.Errorf("autopart: base cost of query %d: %w", i+1, err)
-		}
-		per[i] = c * q.Weight
+		per[i] = costs[i] * q.Weight
 		total += per[i]
 	}
 	return total, per, nil
 }
 
 // evaluateDesign prices the workload rewritten onto the candidate
-// fragment selection, using what-if partition tables.
-func evaluateDesign(cat *catalog.Catalog, queries []advisor.Query, tables []string, sel map[string][][]string) (float64, []float64, error) {
-	session, rw, err := installDesign(cat, tables, sel)
-	if err != nil {
-		return 0, nil, err
-	}
-	total := 0.0
-	per := make([]float64, len(queries))
+// fragment selection: what-if partition tables are installed into
+// pooled sessions by the design estimator's setup hook and the
+// rewritten queries are priced as one parallel batch.
+func evaluateDesign(ctx context.Context, cat *catalog.Catalog, queries []advisor.Query, tables []string, sel map[string][][]string, workers int) (float64, []float64, error) {
+	design, rw := designEstimator(cat, tables, sel)
+	jobs := make([]costlab.Job, len(queries))
 	for i, q := range queries {
 		rq, err := rw.Rewrite(q.Stmt)
 		if err != nil {
 			return 0, nil, err
 		}
-		c, err := session.Cost(rq)
-		if err != nil {
-			return 0, nil, fmt.Errorf("autopart: cost of rewritten query %d: %w", i+1, err)
-		}
-		per[i] = c * q.Weight
+		jobs[i] = costlab.Job{Stmt: rq}
+	}
+	costs, err := costlab.EvaluateAll(ctx, design, jobs, workers)
+	if err != nil {
+		return 0, nil, batchQueryErr("autopart: cost of rewritten query", err)
+	}
+	total := 0.0
+	per := make([]float64, len(queries))
+	for i, q := range queries {
+		per[i] = costs[i] * q.Weight
 		total += per[i]
 	}
 	return total, per, nil
 }
 
-// installDesign creates what-if tables for every fragment and returns
-// the session plus a rewriter targeting them.
-func installDesign(cat *catalog.Catalog, tables []string, sel map[string][][]string) (*whatif.Session, *rewrite.Rewriter, error) {
-	session := whatif.NewSession(cat)
+// batchQueryErr attributes a costlab batch failure to its 1-based
+// query position, preserving the numbered error messages of the
+// pre-batch code.
+func batchQueryErr(prefix string, err error) error {
+	var je *costlab.JobError
+	if errors.As(err, &je) {
+		return fmt.Errorf("%s %d: %w", prefix, je.Index+1, je.Err)
+	}
+	return fmt.Errorf("%s: %w", prefix, err)
+}
+
+// designEstimator builds a full-optimizer estimator whose pooled
+// sessions each carry the candidate design as what-if partition
+// tables, plus a rewriter targeting those fragments.
+func designEstimator(cat *catalog.Catalog, tables []string, sel map[string][][]string) (*costlab.Full, *rewrite.Rewriter) {
 	parts := buildPartitionings(cat, tables, sel)
-	for _, t := range tables {
-		for i, frag := range parts[t].Fragments {
-			_, err := session.CreateTable(whatif.TableDef{
-				Name:    frag.Name,
-				Parent:  t,
-				Columns: sel[t][i],
-			})
-			if err != nil {
-				return nil, nil, err
+	setup := func(s *whatif.Session) error {
+		for _, t := range tables {
+			for i, frag := range parts[t].Fragments {
+				if _, err := s.CreateTable(whatif.TableDef{
+					Name:    frag.Name,
+					Parent:  t,
+					Columns: sel[t][i],
+				}); err != nil {
+					return err
+				}
 			}
 		}
+		return nil
 	}
-	return session, rewrite.New(parts), nil
+	return costlab.NewFullWithSetup(cat, setup), rewrite.New(parts)
 }
 
 // buildPartitionings names fragments deterministically and assembles

@@ -15,6 +15,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -22,6 +24,7 @@ import (
 	"repro/internal/advisor"
 	"repro/internal/autopart"
 	"repro/internal/catalog"
+	"repro/internal/costlab"
 	"repro/internal/inum"
 	"repro/internal/optimizer"
 	"repro/internal/rewrite"
@@ -88,48 +91,68 @@ func (r *InteractiveReport) Speedup() float64 {
 // EvaluateDesign simulates the design over the workload: what-if
 // tables for every partition fragment, what-if indexes for every
 // index, automatic rewriting onto the fragments, and per-query
-// costing. Nothing is built; the base catalog is untouched.
+// costing — all through the costlab estimation layer. Base costs
+// price as one parallel batch; design plans come from pooled what-if
+// sessions carrying the partition tables. Nothing is built; the base
+// catalog is untouched.
 func (p *PARINDA) EvaluateDesign(workloadSQL []string, d Design) (*InteractiveReport, error) {
 	queries, err := advisor.ParseWorkload(workloadSQL)
 	if err != nil {
 		return nil, err
 	}
-	session := whatif.NewSession(p.cat)
-	rw, err := installPartitions(session, p.cat, d.Partitions)
+	partSetup, rw, err := partitionSetup(p.cat, d.Partitions)
 	if err != nil {
 		return nil, err
 	}
-	report := &InteractiveReport{}
-	nameToKey := map[string]string{}
-	for _, spec := range d.Indexes {
-		ix, err := session.CreateIndex(spec.Table, spec.Columns)
-		if err != nil {
-			return nil, err
-		}
-		nameToKey[ix.Name] = spec.Key()
-		report.IndexNames = append(report.IndexNames, ix.Name)
+	// The whole design — fragment tables and indexes — installs once
+	// per pooled session; the first setup run records the generated
+	// index names for the report.
+	setup, ixNames := costlab.IndexSetup(d.Indexes, partSetup)
+	design := costlab.NewFullWithSetup(p.cat, setup)
+	// Validate the design eagerly: a bad index or fragment spec must
+	// error here (as the old eager installation did), not surface as
+	// a plan error on the first query — and IndexNames must populate
+	// even for an empty workload.
+	if err := design.Warm(); err != nil {
+		return nil, err
+	}
+	base := costlab.NewFull(p.cat)
+
+	jobs := make([]costlab.Job, len(queries))
+	for i, q := range queries {
+		jobs[i] = costlab.Job{Stmt: q.Stmt}
+	}
+	baseCosts, err := costlab.EvaluateAll(context.Background(), base, jobs, 0)
+	if err != nil {
+		return nil, describeBatchErr("base cost", queries, err)
 	}
 
-	base := whatif.NewSession(p.cat)
-	for _, q := range queries {
-		baseCost, err := base.Cost(q.Stmt)
-		if err != nil {
-			return nil, fmt.Errorf("core: base cost of %q: %w", q.SQL, err)
-		}
-		target := q.Stmt
+	report := &InteractiveReport{}
+	report.IndexNames = ixNames()
+	nameToKey := map[string]string{}
+	for i, name := range report.IndexNames {
+		nameToKey[name] = d.Indexes[i].Key()
+	}
+	// Rewrite the workload onto the fragments, then plan it as one
+	// parallel batch over the design's pooled sessions.
+	targets := make([]*sql.Select, len(queries))
+	for i, q := range queries {
+		targets[i] = q.Stmt
 		if rw != nil {
-			target, err = rw.Rewrite(q.Stmt)
+			targets[i], err = rw.Rewrite(q.Stmt)
 			if err != nil {
 				return nil, fmt.Errorf("core: rewrite of %q: %w", q.SQL, err)
 			}
 		}
-		report.Rewritten = append(report.Rewritten, sql.PrintSelect(target))
-		plan, err := session.Plan(target)
-		if err != nil {
-			return nil, fmt.Errorf("core: what-if plan of %q: %w", q.SQL, err)
-		}
+		report.Rewritten = append(report.Rewritten, sql.PrintSelect(targets[i]))
+	}
+	plans, err := design.PlanAll(context.Background(), targets, 0)
+	if err != nil {
+		return nil, describeBatchErr("what-if plan", queries, err)
+	}
+	for qi, q := range queries {
 		var used []string
-		for _, name := range plan.IndexesUsed() {
+		for _, name := range plans[qi].IndexesUsed() {
 			if key, ok := nameToKey[name]; ok {
 				used = append(used, key)
 			}
@@ -137,44 +160,64 @@ func (p *PARINDA) EvaluateDesign(workloadSQL []string, d Design) (*InteractiveRe
 		sort.Strings(used)
 		report.PerQuery = append(report.PerQuery, advisor.QueryBenefit{
 			SQL:         q.SQL,
-			BaseCost:    baseCost,
-			NewCost:     plan.TotalCost,
+			BaseCost:    baseCosts[qi],
+			NewCost:     plans[qi].TotalCost,
 			IndexesUsed: used,
 		})
-		report.Explains = append(report.Explains, optimizer.Explain(plan))
-		report.BaseCost += baseCost
-		report.NewCost += plan.TotalCost
+		report.Explains = append(report.Explains, optimizer.Explain(plans[qi]))
+		report.BaseCost += baseCosts[qi]
+		report.NewCost += plans[qi].TotalCost
 	}
 	return report, nil
 }
 
-// installPartitions registers what-if fragment tables and returns a
-// rewriter for them (nil when the design has no partitions).
-func installPartitions(session *whatif.Session, cat *catalog.Catalog, defs []PartitionDef) (*rewrite.Rewriter, error) {
+// describeBatchErr attributes a costlab batch failure to the failing
+// workload statement, keeping the per-query error messages the
+// interactive API has always produced.
+func describeBatchErr(what string, queries []advisor.Query, err error) error {
+	var je *costlab.JobError
+	if errors.As(err, &je) && je.Index >= 0 && je.Index < len(queries) {
+		return fmt.Errorf("core: %s of %q: %w", what, queries[je.Index].SQL, je.Err)
+	}
+	return fmt.Errorf("core: %s: %w", what, err)
+}
+
+// partitionSetup validates the partition design and returns a session
+// setup hook registering its what-if fragment tables, plus a rewriter
+// targeting them (both nil when the design has no partitions). The
+// hook runs once on every session the design estimator pools. The
+// fragment definitions are built exactly once, so the names the
+// rewriter targets and the what-if tables the hook creates cannot
+// drift apart.
+func partitionSetup(cat *catalog.Catalog, defs []PartitionDef) (func(*whatif.Session) error, *rewrite.Rewriter, error) {
 	if len(defs) == 0 {
-		return nil, nil
+		return nil, nil, nil
 	}
 	parts := map[string]*rewrite.Partitioning{}
+	var frags []whatif.TableDef
 	for _, def := range defs {
 		parent := cat.Table(def.Table)
 		if parent == nil {
-			return nil, fmt.Errorf("core: unknown table %q in partition design", def.Table)
+			return nil, nil, fmt.Errorf("core: unknown table %q in partition design", def.Table)
 		}
 		pt := &rewrite.Partitioning{Parent: parent}
 		for i, cols := range def.Fragments {
 			name := fmt.Sprintf("%s_p%d", def.Table, i+1)
-			if _, err := session.CreateTable(whatif.TableDef{
-				Name: name, Parent: def.Table, Columns: cols,
-			}); err != nil {
-				return nil, err
-			}
-			pt.Fragments = append(pt.Fragments, rewrite.Fragment{
-				Name: name, Columns: append([]string(nil), cols...),
-			})
+			cols := append([]string(nil), cols...)
+			pt.Fragments = append(pt.Fragments, rewrite.Fragment{Name: name, Columns: cols})
+			frags = append(frags, whatif.TableDef{Name: name, Parent: def.Table, Columns: cols})
 		}
 		parts[def.Table] = pt
 	}
-	return rewrite.New(parts), nil
+	setup := func(s *whatif.Session) error {
+		for _, td := range frags {
+			if _, err := s.CreateTable(td); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return setup, rewrite.New(parts), nil
 }
 
 // SuggestIndexes runs the ILP index advisor (scenario 3).

@@ -1,0 +1,403 @@
+// Tests for the unified cost-estimation layer. They live in an
+// external test package so the seed workload and its catalog can be
+// reused without an import cycle (workload → advisor → costlab).
+package costlab_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/advisor"
+	"repro/internal/catalog"
+	"repro/internal/costlab"
+	"repro/internal/inum"
+	"repro/internal/sql"
+	"repro/internal/workload"
+)
+
+func seedCatalog(t testing.TB, scale int64) *catalog.Catalog {
+	t.Helper()
+	cat, err := workload.BuildCatalog(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func seedQueries(t testing.TB) []advisor.Query {
+	t.Helper()
+	qs, err := workload.ParseQueries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qs
+}
+
+// pricingJobs builds the agreement/concurrency workload: every seed
+// query under the empty configuration and under a handful of mined
+// candidate indexes.
+func pricingJobs(t testing.TB, cat *catalog.Catalog, queries []advisor.Query, perQuery int) []costlab.Job {
+	t.Helper()
+	cands := advisor.GenerateCandidates(cat, queries, advisor.Options{})
+	if len(cands) == 0 {
+		t.Fatal("no candidates mined from the seed workload")
+	}
+	var jobs []costlab.Job
+	for qi, q := range queries {
+		jobs = append(jobs, costlab.Job{Stmt: q.Stmt})
+		for k := 0; k < perQuery && k < len(cands); k++ {
+			spec := cands[(qi+k)%len(cands)]
+			jobs = append(jobs, costlab.Job{Stmt: q.Stmt, Config: costlab.Config{spec}})
+		}
+	}
+	return jobs
+}
+
+// TestBackendAgreement checks the two implementations of the
+// CostEstimator contract against each other on the seed workload: the
+// INUM reconstruction must stay within the paper's error envelope of
+// the full optimizer, and must preserve which configurations help.
+func TestBackendAgreement(t *testing.T) {
+	cat := seedCatalog(t, 100000)
+	queries := seedQueries(t)
+	jobs := pricingJobs(t, cat, queries, 2)
+
+	ctx := context.Background()
+	inumCosts, err := costlab.EvaluateAll(ctx, costlab.NewINUM(cat), jobs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullCosts, err := costlab.EvaluateAll(ctx, costlab.NewFull(cat), jobs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumRel float64
+	for i := range jobs {
+		if fullCosts[i] <= 0 {
+			t.Fatalf("job %d: non-positive optimizer cost %v", i, fullCosts[i])
+		}
+		rel := math.Abs(inumCosts[i]-fullCosts[i]) / fullCosts[i]
+		sumRel += rel
+		// Per-configuration bound: INUM's reconstruction error on any
+		// single scenario (matches the envelope inum's own tests use).
+		if rel > 0.5 {
+			t.Errorf("job %d (%v): INUM %v vs optimizer %v (rel err %.2f)",
+				i, jobs[i].Config, inumCosts[i], fullCosts[i], rel)
+		}
+	}
+	// Aggregate bound: the average disagreement must be far tighter —
+	// the cache is useful because it is usually near-exact.
+	if avg := sumRel / float64(len(jobs)); avg > 0.10 {
+		t.Errorf("mean INUM vs optimizer error %.3f, want <= 0.10", avg)
+	}
+}
+
+// TestConcurrentPricingMatchesSequential prices the same workload from
+// 8 goroutines through one shared estimator of each backend and
+// asserts every goroutine saw costs identical to the sequential path.
+// Run with -race: the pooled sessions and sharded caches must never
+// share a planner between goroutines.
+func TestConcurrentPricingMatchesSequential(t *testing.T) {
+	cat := seedCatalog(t, 50000)
+	queries := seedQueries(t)[:10]
+	jobs := pricingJobs(t, cat, queries, 2)
+	ctx := context.Background()
+
+	backends := map[string]func() costlab.Backend{
+		costlab.BackendINUM: func() costlab.Backend { return costlab.NewINUM(cat) },
+		costlab.BackendFull: func() costlab.Backend { return costlab.NewFull(cat) },
+	}
+	for name, mk := range backends {
+		t.Run(name, func(t *testing.T) {
+			sequential, err := costlab.EvaluateAll(ctx, mk(), jobs, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			shared := mk()
+			const goroutines = 8
+			results := make([][]float64, goroutines)
+			errs := make([]error, goroutines)
+			// PlanCalls must be readable mid-flight (progress
+			// reporting); hammer it while the goroutines price.
+			stopPolling := make(chan struct{})
+			var pollWg sync.WaitGroup
+			pollWg.Add(1)
+			go func() {
+				defer pollWg.Done()
+				for {
+					select {
+					case <-stopPolling:
+						return
+					default:
+						_ = shared.PlanCalls()
+					}
+				}
+			}()
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					out := make([]float64, len(jobs))
+					for i, job := range jobs {
+						c, err := shared.Cost(job.Stmt, job.Config)
+						if err != nil {
+							errs[g] = err
+							return
+						}
+						out[i] = c
+					}
+					results[g] = out
+				}(g)
+			}
+			wg.Wait()
+			close(stopPolling)
+			pollWg.Wait()
+			for g := 0; g < goroutines; g++ {
+				if errs[g] != nil {
+					t.Fatalf("goroutine %d: %v", g, errs[g])
+				}
+				for i := range jobs {
+					if results[g][i] != sequential[i] {
+						t.Fatalf("goroutine %d job %d: concurrent cost %v != sequential %v",
+							g, i, results[g][i], sequential[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEvaluateAllDeterministicOrdering fans jobs out over many workers
+// and checks results land at their job's index.
+func TestEvaluateAllDeterministicOrdering(t *testing.T) {
+	cat := seedCatalog(t, 50000)
+	queries := seedQueries(t)[:12]
+	jobs := pricingJobs(t, cat, queries, 1)
+	est := costlab.NewINUM(cat)
+	ctx := context.Background()
+	want, err := costlab.EvaluateAll(ctx, est, jobs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got, err := costlab.EvaluateAll(ctx, est, jobs, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: job %d cost %v, want %v", workers, i, got[i], want[i])
+			}
+		}
+		// The shard-aware scheduler must return the same caller-order
+		// results whatever grouping it is given.
+		grouped, err := costlab.EvaluateAllGrouped(ctx, est, jobs, func(i int) int { return i / 3 }, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if grouped[i] != want[i] {
+				t.Fatalf("grouped workers=%d: job %d cost %v, want %v", workers, i, grouped[i], want[i])
+			}
+		}
+	}
+}
+
+// failAfter errors once its call budget is exhausted — the
+// cancellation path's test double.
+type failAfter struct {
+	mu    sync.Mutex
+	calls int
+	limit int
+}
+
+func (f *failAfter) Cost(stmt *sql.Select, cfg costlab.Config) (float64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	if f.calls > f.limit {
+		return 0, fmt.Errorf("budget exhausted")
+	}
+	return float64(f.calls), nil
+}
+
+func TestEvaluateAllFirstErrorCancels(t *testing.T) {
+	sel, err := sql.ParseSelect("SELECT objid FROM photoobj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := make([]costlab.Job, 64)
+	for i := range jobs {
+		jobs[i] = costlab.Job{Stmt: sel}
+	}
+	est := &failAfter{limit: 5}
+	_, err = costlab.EvaluateAll(context.Background(), est, jobs, 4)
+	if err == nil || !strings.Contains(err.Error(), "budget exhausted") {
+		t.Fatalf("error = %v, want budget exhaustion", err)
+	}
+	// The error must attribute the failure to a job index callers can
+	// map back to their batch.
+	var je *costlab.JobError
+	if !errors.As(err, &je) || je.Index < 0 || je.Index >= len(jobs) {
+		t.Fatalf("error %v did not unwrap to an in-range JobError", err)
+	}
+	est.mu.Lock()
+	calls := est.calls
+	est.mu.Unlock()
+	// Cancellation must stop the fleet long before all 64 jobs run;
+	// at most the in-flight job per worker can slip through.
+	if calls >= len(jobs) {
+		t.Errorf("ran %d jobs after first error, cancellation failed", calls)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := costlab.EvaluateAll(ctx, &failAfter{limit: 1 << 30}, jobs, 4); err == nil {
+		t.Error("cancelled context accepted")
+	}
+}
+
+func TestNewBackend(t *testing.T) {
+	cat := seedCatalog(t, 50000)
+	for _, kind := range []string{"", costlab.BackendINUM, costlab.BackendFull} {
+		est, err := costlab.NewBackend(cat, kind)
+		if err != nil || est == nil {
+			t.Fatalf("NewBackend(%q) = %v, %v", kind, est, err)
+		}
+		sz, err := est.SpecSizeBytes(inum.IndexSpec{Table: "photoobj", Columns: []string{"ra"}})
+		if err != nil || sz <= 0 {
+			t.Errorf("backend %q sizing: %d, %v", kind, sz, err)
+		}
+	}
+	if _, err := costlab.NewBackend(cat, "oracle"); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}
+
+// TestFullPlanNamesAlignWithConfig checks the spec↔name contract that
+// the advisor's per-query report relies on.
+func TestFullPlanNamesAlignWithConfig(t *testing.T) {
+	cat := seedCatalog(t, 100000)
+	full := costlab.NewFull(cat)
+	sel, err := sql.ParseSelect("SELECT objid FROM photoobj WHERE ra BETWEEN 10 AND 10.01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := costlab.Config{
+		{Table: "photoobj", Columns: []string{"ra"}},
+		{Table: "specobj", Columns: []string{"bestobjid"}},
+	}
+	plan, names, err := full.Plan(sel, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != len(cfg) {
+		t.Fatalf("names = %v for %d specs", names, len(cfg))
+	}
+	used := plan.IndexesUsed()
+	if len(used) == 0 || used[0] != names[0] {
+		t.Errorf("selective ra index not used: plan uses %v, ra index is %q", used, names[0])
+	}
+	// The per-call indexes must not leak into later calls.
+	baseCost, err := full.Cost(sel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ixCost, err := full.Cost(sel, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ixCost >= baseCost {
+		t.Errorf("index config did not help: %v >= %v", ixCost, baseCost)
+	}
+}
+
+// TestEvaluateMatrixShape checks the cross-product driver against
+// individual Cost calls: out[qi][ci] must price stmts[qi] under
+// cfgs[ci].
+func TestEvaluateMatrixShape(t *testing.T) {
+	cat := seedCatalog(t, 50000)
+	queries := seedQueries(t)[:5]
+	cands := advisor.GenerateCandidates(cat, queries, advisor.Options{})
+	cfgs := []costlab.Config{nil, {cands[0]}, {cands[len(cands)/2]}}
+	stmts := make([]*sql.Select, len(queries))
+	for i, q := range queries {
+		stmts[i] = q.Stmt
+	}
+	est := costlab.NewINUM(cat)
+	out, err := costlab.EvaluateMatrix(context.Background(), est, stmts, cfgs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(stmts) {
+		t.Fatalf("rows = %d, want %d", len(out), len(stmts))
+	}
+	for qi := range stmts {
+		if len(out[qi]) != len(cfgs) {
+			t.Fatalf("row %d has %d costs, want %d", qi, len(out[qi]), len(cfgs))
+		}
+		for ci := range cfgs {
+			want, err := est.Cost(stmts[qi], cfgs[ci])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out[qi][ci] != want {
+				t.Errorf("out[%d][%d] = %v, want %v", qi, ci, out[qi][ci], want)
+			}
+		}
+	}
+}
+
+// TestInterleaveByStmt: the permutation must visit groups round-robin
+// and cover every index exactly once.
+func TestInterleaveByStmt(t *testing.T) {
+	// Groups: 0 → {0,1,2}, 1 → {3}, 2 → {4,5}.
+	group := []int{0, 0, 0, 1, 2, 2}
+	order := costlab.InterleaveByStmt(len(group), func(i int) int { return group[i] })
+	want := []int{0, 3, 4, 1, 5, 2}
+	if len(order) != len(group) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	seen := map[int]bool{}
+	for _, oi := range order {
+		if seen[oi] {
+			t.Fatalf("duplicate index %d in %v", oi, order)
+		}
+		seen[oi] = true
+	}
+}
+
+// TestINUMShardingInvariance: estimated costs must not depend on the
+// shard count.
+func TestINUMShardingInvariance(t *testing.T) {
+	cat := seedCatalog(t, 50000)
+	queries := seedQueries(t)[:8]
+	jobs := pricingJobs(t, cat, queries, 2)
+	ctx := context.Background()
+	want, err := costlab.EvaluateAll(ctx, costlab.NewINUMShards(cat, 1), jobs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 7} {
+		got, err := costlab.EvaluateAll(ctx, costlab.NewINUMShards(cat, shards), jobs, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shards=%d: job %d cost %v, want %v", shards, i, got[i], want[i])
+			}
+		}
+	}
+}
