@@ -26,6 +26,7 @@ import (
 	"repro/internal/costlab"
 	"repro/internal/inum"
 	"repro/internal/optimizer"
+	"repro/internal/session"
 	"repro/internal/sql"
 	"repro/internal/storage"
 	"repro/internal/whatif"
@@ -286,6 +287,79 @@ func BenchmarkCostlabParallelPricing(b *testing.B) {
 	b.Run("Sequential", func(b *testing.B) { run(b, 1) })
 	b.Run(fmt.Sprintf("Parallel/workers=%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
 		run(b, runtime.GOMAXPROCS(0))
+	})
+}
+
+// --- Session: incremental design edits ------------------------------
+// The paper's interactive-speed claim, measured on the engine that
+// carries it: one index edit on the 30-query SDSS workload must issue
+// optimizer calls ONLY for the queries that reference the edited
+// table — everything else is served from the session memo. The
+// assertion is on optimizer-call counts, not wall time; the
+// FromScratch sub-benchmark shows what the same loop costs when every
+// edit re-prices the whole workload.
+
+func BenchmarkSessionIncrementalEdit(b *testing.B) {
+	cat := planCatalog(b, 500000)
+	wl := workload.Queries()
+	spec := inum.IndexSpec{Table: "field", Columns: []string{"run", "camcol"}}
+	// Count the queries the edit is allowed to re-plan.
+	touched := 0
+	for _, q := range wl {
+		sel := mustSelect(b, q)
+		if sql.FootprintOf(sel).TouchesTable(spec.Table) {
+			touched++
+		}
+	}
+	if touched == 0 || touched == len(wl) {
+		b.Fatalf("workload unsuitable: %d/%d queries touch %s", touched, len(wl), spec.Table)
+	}
+
+	b.Run("Incremental", func(b *testing.B) {
+		s, err := session.New(cat, wl, session.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		baseCalls := s.PlanCalls() // workload-sized: the one-time base pricing
+		var rep *session.InteractiveReport
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep, err = s.AddIndex(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err = s.DropIndex(spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		// The incremental contract: across every iteration, only the
+		// FIRST add planned anything (later adds and every drop hit
+		// the memo), and it planned exactly the touched queries.
+		delta := s.PlanCalls() - baseCalls
+		if delta != int64(touched) {
+			b.Fatalf("edit loop consumed %d optimizer calls, want %d (only queries referencing %s)",
+				delta, touched, spec.Table)
+		}
+		if rep.Invalidated != touched {
+			b.Fatalf("edit invalidated %d queries, want %d", rep.Invalidated, touched)
+		}
+		b.ReportMetric(float64(touched), "queries_touched")
+		b.ReportMetric(float64(len(wl)), "workload_queries")
+		b.ReportMetric(float64(delta), "plancalls_total")
+	})
+	b.Run("FromScratch", func(b *testing.B) {
+		p := core.New(cat)
+		design := core.Design{Indexes: []inum.IndexSpec{spec}}
+		var calls int64
+		for i := 0; i < b.N; i++ {
+			rep, err := p.EvaluateDesign(wl, design)
+			if err != nil {
+				b.Fatal(err)
+			}
+			calls += rep.PlanCalls
+		}
+		b.ReportMetric(float64(calls), "plancalls_total")
 	})
 }
 

@@ -420,8 +420,32 @@ func runE9(scale int64) {
 	fmt.Printf("  %d pricing jobs (full-optimizer backend), results identical\n", len(jobs))
 	fmt.Printf("  sequential: %v    parallel (%d workers, %d pooled sessions): %v\n",
 		seqTime.Round(time.Millisecond), workers, par.Sessions(), parTime.Round(time.Millisecond))
-	fmt.Printf("  speedup %.2fx (scales with cores; 1.0x expected on a single-core host)\n\n",
+	fmt.Printf("  speedup %.2fx (scales with cores; 1.0x expected on a single-core host)\n",
 		float64(seqTime)/float64(parTime))
+
+	// The same sweep through the sharded INUM backend, cold and warm,
+	// with the cache counters that explain the difference: the cold
+	// pass pays one scenario build per (query, scenario) on each
+	// shard, the warm pass reconstructs everything from cache.
+	inumEst := costlab.NewINUM(cat)
+	group := func(i int) int { return i / len(cands) }
+	t0 = time.Now()
+	if _, err := costlab.EvaluateAllGrouped(ctx, inumEst, jobs, group, workers); err != nil {
+		fatal(err)
+	}
+	coldTime := time.Since(t0)
+	hits, misses, scenarios := inumEst.Stats()
+	fmt.Printf("  INUM backend cold: %v over %d shards — %d cache hits, %d misses, %d scenarios, %d plan calls\n",
+		coldTime.Round(time.Millisecond), inumEst.Shards(), hits, misses, scenarios, inumEst.PlanCalls())
+	t0 = time.Now()
+	if _, err := costlab.EvaluateAllGrouped(ctx, inumEst, jobs, group, workers); err != nil {
+		fatal(err)
+	}
+	warmTime := time.Since(t0)
+	hits2, misses2, _ := inumEst.Stats()
+	fmt.Printf("  INUM backend warm: %v — %d hits, %d misses this pass (%.2fx over cold)\n\n",
+		warmTime.Round(time.Millisecond), hits2-hits, misses2-misses,
+		float64(coldTime)/float64(warmTime))
 }
 
 func abs(f float64) float64 {

@@ -4,17 +4,39 @@
 //
 //	parinda generate    write the 30-query demonstration workload file
 //	parinda interactive evaluate a manual what-if design (scenario 1)
+//	parinda session     interactive design REPL over a live session
 //	parinda partitions  suggest table partitions via AutoPart (scenario 2)
 //	parinda indexes     suggest indexes via ILP over INUM (scenario 3)
 //	parinda explain     show the optimizer plan for one query
 //
+// The session REPL is the paper's Figure-1 workflow: one design edit
+// at a time, costs updating incrementally after each. Its commands:
+//
+//	create index <table>(<col>,<col>)  add a what-if index
+//	drop index <table>(<col>,<col>)    remove a design index
+//	partition <table>:<cols>|<cols>    set/replace a vertical partitioning
+//	drop partition <table>             remove a partitioning (and its
+//	                                   fragment indexes)
+//	nestloop on|off                    toggle the what-if join method
+//	costs                              per-query costs under the design
+//	explain <n>                        plan of query n under the design
+//	design                             show the current design
+//	stats                              incremental-pricing counters
+//	suggest [budget-mb]                greedy advisor, warm-started from
+//	                                   the session's cost memo
+//	undo                               revert the last edit
+//	help, quit
+//
 // All subcommands plan against a synthetic SDSS-like catalog whose
-// photoobj row count is set by -scale.
+// photoobj row count is set by -scale. Unknown subcommands and flag
+// errors exit with status 2; runtime failures exit with status 1.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -30,41 +52,88 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
-	}
-	var err error
-	switch os.Args[1] {
-	case "generate":
-		err = cmdGenerate(os.Args[2:])
-	case "interactive":
-		err = cmdInteractive(os.Args[2:])
-	case "partitions":
-		err = cmdPartitions(os.Args[2:])
-	case "indexes":
-		err = cmdIndexes(os.Args[2:])
-	case "explain":
-		err = cmdExplain(os.Args[2:])
-	case "help", "-h", "--help":
-		usage()
-	default:
-		fmt.Fprintf(os.Stderr, "parinda: unknown command %q\n\n", os.Args[1])
-		usage()
-		os.Exit(2)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "parinda:", err)
-		os.Exit(1)
-	}
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
 
-func usage() {
-	fmt.Fprint(os.Stderr, `usage: parinda <command> [flags]
+// run dispatches the subcommand and returns the process exit status:
+// 0 on success, 1 on a runtime failure, 2 on a usage error (unknown
+// subcommand or bad flags).
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
+	}
+	var err error
+	switch cmd := args[0]; cmd {
+	case "generate":
+		err = cmdGenerate(args[1:], stdout, stderr)
+	case "interactive":
+		err = cmdInteractive(args[1:], stdout, stderr)
+	case "session":
+		err = cmdSession(args[1:], stdin, stdout, stderr)
+	case "partitions":
+		err = cmdPartitions(args[1:], stdout, stderr)
+	case "indexes":
+		err = cmdIndexes(args[1:], stdout, stderr)
+	case "explain":
+		err = cmdExplain(args[1:], stdout, stderr)
+	case "help", "-h", "--help":
+		usage(stderr)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "parinda: unknown command %q\n\n", cmd)
+		usage(stderr)
+		return 2
+	}
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		var ue *usageError
+		if errors.As(err, &ue) {
+			if !ue.reported {
+				fmt.Fprintln(stderr, "parinda:", err)
+			}
+			return 2
+		}
+		fmt.Fprintln(stderr, "parinda:", err)
+		return 1
+	}
+	return 0
+}
+
+// usageError marks bad invocations (flag-parse failures, malformed
+// specs) so run exits 2 instead of 1. reported is set when the error
+// text already reached stderr (the flag package prints its own parse
+// failures), so run doesn't repeat it.
+type usageError struct {
+	err      error
+	reported bool
+}
+
+func (e *usageError) Error() string { return e.err.Error() }
+func (e *usageError) Unwrap() error { return e.err }
+
+// parseFlags parses fs against args, converting parse failures into
+// usage errors (flag already printed the message to stderr).
+func parseFlags(fs *flag.FlagSet, args []string, stderr io.Writer) error {
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return flag.ErrHelp
+		}
+		return &usageError{err: err, reported: true}
+	}
+	return nil
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage: parinda <command> [flags]
 
 commands:
   generate     write the 30-query SDSS demonstration workload to a file
   interactive  evaluate a manual what-if design over a workload
+  session      interactive design REPL (incremental re-pricing)
   partitions   suggest table partitions (AutoPart)
   indexes      suggest indexes (ILP over INUM; -greedy for the baseline)
   explain      print the plan of a single query
@@ -84,17 +153,17 @@ func buildCatalog(scale int64) (*catalog.Catalog, error) {
 	return workload.BuildCatalog(scale)
 }
 
-func cmdGenerate(args []string) error {
-	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+func cmdGenerate(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("generate", flag.ContinueOnError)
 	out := fs.String("out", "workload.sql", "output workload file")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args, stderr); err != nil {
 		return err
 	}
 	contents := workload.FormatWorkloadFile(workload.Queries())
 	if err := os.WriteFile(*out, []byte(contents), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %d queries to %s\n", len(workload.Queries()), *out)
+	fmt.Fprintf(stdout, "wrote %d queries to %s\n", len(workload.Queries()), *out)
 	return nil
 }
 
@@ -148,14 +217,14 @@ type stringList []string
 func (s *stringList) String() string     { return strings.Join(*s, ";") }
 func (s *stringList) Set(v string) error { *s = append(*s, v); return nil }
 
-func cmdInteractive(args []string) error {
-	fs := flag.NewFlagSet("interactive", flag.ExitOnError)
+func cmdInteractive(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("interactive", flag.ContinueOnError)
 	wl := fs.String("workload", "", "workload file (default: built-in 30 queries)")
 	scale := fs.Int64("scale", 1000000, "photoobj row count of the synthetic catalog")
 	var indexes, partitions stringList
 	fs.Var(&indexes, "index", "what-if index as table(col,col); repeatable")
 	fs.Var(&partitions, "partition", "what-if partitioning as table:cols|cols; repeatable")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args, stderr); err != nil {
 		return err
 	}
 	queries, err := loadQueries(*wl)
@@ -170,14 +239,14 @@ func cmdInteractive(args []string) error {
 	for _, s := range indexes {
 		spec, err := parseIndexSpec(s)
 		if err != nil {
-			return err
+			return &usageError{err: err}
 		}
 		design.Indexes = append(design.Indexes, spec)
 	}
 	for _, s := range partitions {
 		def, err := parsePartitionDef(s)
 		if err != nil {
-			return err
+			return &usageError{err: err}
 		}
 		design.Partitions = append(design.Partitions, def)
 	}
@@ -185,26 +254,26 @@ func cmdInteractive(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("Interactive what-if evaluation (%d queries)\n", len(queries))
-	fmt.Printf("  average workload benefit: %5.1f%%   speedup: %.2fx\n",
+	fmt.Fprintf(stdout, "Interactive what-if evaluation (%d queries)\n", len(queries))
+	fmt.Fprintf(stdout, "  average workload benefit: %5.1f%%   speedup: %.2fx\n",
 		100*rep.AvgBenefit(), rep.Speedup())
-	fmt.Println("  per-query benefits:")
+	fmt.Fprintln(stdout, "  per-query benefits:")
 	for i, pq := range rep.PerQuery {
-		fmt.Printf("   Q%-3d base %12.1f  new %12.1f  benefit %6.1f%%  uses %s\n",
+		fmt.Fprintf(stdout, "   Q%-3d base %12.1f  new %12.1f  benefit %6.1f%%  uses %s\n",
 			i+1, pq.BaseCost, pq.NewCost, 100*(1-pq.NewCost/pq.BaseCost),
 			strings.Join(pq.IndexesUsed, " "))
 	}
 	return nil
 }
 
-func cmdPartitions(args []string) error {
-	fs := flag.NewFlagSet("partitions", flag.ExitOnError)
+func cmdPartitions(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("partitions", flag.ContinueOnError)
 	wl := fs.String("workload", "", "workload file (default: built-in 30 queries)")
 	scale := fs.Int64("scale", 1000000, "photoobj row count of the synthetic catalog")
 	replication := fs.Int64("replication", 1<<30, "replication space budget in bytes")
 	saveRewritten := fs.String("save-rewritten", "", "write the rewritten workload to this file")
 	workers := fs.Int("workers", 0, "parallel cost-estimation workers (0 = GOMAXPROCS)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args, stderr); err != nil {
 		return err
 	}
 	queries, err := loadQueries(*wl)
@@ -222,32 +291,32 @@ func cmdPartitions(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("Automatic partition suggestion (%d queries, %d iterations)\n",
+	fmt.Fprintf(stdout, "Automatic partition suggestion (%d queries, %d iterations)\n",
 		len(queries), res.Iterations)
-	fmt.Printf("  average workload benefit: %5.1f%%   speedup: %.2fx\n",
+	fmt.Fprintf(stdout, "  average workload benefit: %5.1f%%   speedup: %.2fx\n",
 		100*res.AvgBenefit(), res.Speedup())
 	for table, part := range res.Partitions {
-		fmt.Printf("  %s:\n", table)
+		fmt.Fprintf(stdout, "  %s:\n", table)
 		for _, f := range part.Fragments {
-			fmt.Printf("    %-24s (%s)\n", f.Name, strings.Join(f.Columns, ", "))
+			fmt.Fprintf(stdout, "    %-24s (%s)\n", f.Name, strings.Join(f.Columns, ", "))
 		}
 	}
-	fmt.Println("  per-query benefits:")
+	fmt.Fprintln(stdout, "  per-query benefits:")
 	for i, pq := range res.PerQuery {
-		fmt.Printf("   Q%-3d base %12.1f  new %12.1f  benefit %6.1f%%\n",
+		fmt.Fprintf(stdout, "   Q%-3d base %12.1f  new %12.1f  benefit %6.1f%%\n",
 			i+1, pq.BaseCost, pq.NewCost, 100*(1-pq.NewCost/pq.BaseCost))
 	}
 	if *saveRewritten != "" {
 		if err := os.WriteFile(*saveRewritten, []byte(workload.FormatWorkloadFile(res.Rewritten)), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("  rewritten workload saved to %s\n", *saveRewritten)
+		fmt.Fprintf(stdout, "  rewritten workload saved to %s\n", *saveRewritten)
 	}
 	return nil
 }
 
-func cmdIndexes(args []string) error {
-	fs := flag.NewFlagSet("indexes", flag.ExitOnError)
+func cmdIndexes(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("indexes", flag.ContinueOnError)
 	wl := fs.String("workload", "", "workload file (default: built-in 30 queries)")
 	scale := fs.Int64("scale", 1000000, "photoobj row count of the synthetic catalog")
 	budget := fs.Int64("budget", 0, "total index size budget in bytes (0 = unlimited)")
@@ -257,7 +326,7 @@ func cmdIndexes(args []string) error {
 	backend := fs.String("backend", costlab.BackendINUM,
 		"candidate pricing backend: inum (cache-based) or full (full optimizer)")
 	workers := fs.Int("workers", 0, "parallel cost-estimation workers (0 = GOMAXPROCS)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args, stderr); err != nil {
 		return err
 	}
 	queries, err := loadQueries(*wl)
@@ -281,7 +350,7 @@ func cmdIndexes(args []string) error {
 	if *compress > 0 {
 		before := len(parsed)
 		parsed = advisor.CompressWorkload(cat, parsed, *compress)
-		fmt.Printf("workload compressed: %d queries -> %d templates\n", before, len(parsed))
+		fmt.Fprintf(stdout, "workload compressed: %d queries -> %d templates\n", before, len(parsed))
 	}
 	var res *advisor.Result
 	if *greedy {
@@ -296,34 +365,34 @@ func cmdIndexes(args []string) error {
 	if *greedy {
 		method = "greedy"
 	}
-	fmt.Printf("Automatic index suggestion (%s, %d queries, %d candidates)\n",
+	fmt.Fprintf(stdout, "Automatic index suggestion (%s, %d queries, %d candidates)\n",
 		method, len(queries), res.Candidates)
-	fmt.Printf("  average workload benefit: %5.1f%%   speedup: %.2fx   size: %.1f MB\n",
+	fmt.Fprintf(stdout, "  average workload benefit: %5.1f%%   speedup: %.2fx   size: %.1f MB\n",
 		100*res.AvgBenefit(), res.Speedup(), float64(res.SizeBytes)/(1<<20))
-	fmt.Println("  suggested indexes:")
+	fmt.Fprintln(stdout, "  suggested indexes:")
 	for _, stmt := range advisor.MaterializeStatements(res.Indexes) {
-		fmt.Printf("    %s;\n", stmt)
+		fmt.Fprintf(stdout, "    %s;\n", stmt)
 	}
-	fmt.Println("  per-query benefits:")
+	fmt.Fprintln(stdout, "  per-query benefits:")
 	for i, pq := range res.PerQuery {
-		fmt.Printf("   Q%-3d base %12.1f  new %12.1f  benefit %6.1f%%  uses %s\n",
+		fmt.Fprintf(stdout, "   Q%-3d base %12.1f  new %12.1f  benefit %6.1f%%  uses %s\n",
 			i+1, pq.BaseCost, pq.NewCost, 100*(1-pq.NewCost/pq.BaseCost),
 			strings.Join(pq.IndexesUsed, " "))
 	}
 	return nil
 }
 
-func cmdExplain(args []string) error {
-	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+func cmdExplain(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("explain", flag.ContinueOnError)
 	query := fs.String("query", "", "SQL query to explain (required)")
 	scale := fs.Int64("scale", 1000000, "photoobj row count of the synthetic catalog")
 	var indexes stringList
 	fs.Var(&indexes, "index", "what-if index as table(col,col); repeatable")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args, stderr); err != nil {
 		return err
 	}
 	if *query == "" {
-		return fmt.Errorf("explain: -query is required")
+		return &usageError{err: fmt.Errorf("explain: -query is required")}
 	}
 	sel, err := sql.ParseSelect(*query)
 	if err != nil {
@@ -338,14 +407,14 @@ func cmdExplain(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Print(optimizer.Explain(plan))
+		fmt.Fprint(stdout, optimizer.Explain(plan))
 		return nil
 	}
 	design := core.Design{}
 	for _, s := range indexes {
 		spec, err := parseIndexSpec(s)
 		if err != nil {
-			return err
+			return &usageError{err: err}
 		}
 		design.Indexes = append(design.Indexes, spec)
 	}
@@ -353,6 +422,6 @@ func cmdExplain(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Print(rep.Explains[0])
+	fmt.Fprint(stdout, rep.Explains[0])
 	return nil
 }

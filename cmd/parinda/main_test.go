@@ -1,7 +1,9 @@
 package main
 
 import (
+	"bytes"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -48,5 +50,88 @@ func TestStringListFlag(t *testing.T) {
 	}
 	if l.String() != "a;b" || len(l) != 2 {
 		t.Errorf("list = %v", l)
+	}
+}
+
+func TestRunExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"no args", nil, 2},
+		{"unknown subcommand", []string{"frobnicate"}, 2},
+		{"help", []string{"help"}, 0},
+		{"bad flag", []string{"indexes", "-nosuchflag"}, 2},
+		{"bad flag value", []string{"interactive", "-scale", "notanumber"}, 2},
+		{"bad index spec", []string{"explain", "-scale", "1000", "-query", "SELECT objid FROM photoobj", "-index", "garbage"}, 2},
+		{"missing required flag", []string{"explain"}, 2},
+		{"runtime failure", []string{"explain", "-scale", "1000", "-query", "SELECT nope FROM"}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			got := run(tc.args, strings.NewReader(""), &stdout, &stderr)
+			if got != tc.want {
+				t.Errorf("run(%v) = %d, want %d\nstderr: %s", tc.args, got, tc.want, stderr.String())
+			}
+			if tc.want != 0 && stderr.Len() == 0 {
+				t.Errorf("run(%v) failed silently", tc.args)
+			}
+		})
+	}
+}
+
+func TestRunUnknownSubcommandPrintsUsage(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"bogus"}, strings.NewReader(""), &stdout, &stderr); got != 2 {
+		t.Fatalf("exit = %d, want 2", got)
+	}
+	if !strings.Contains(stderr.String(), "unknown command") || !strings.Contains(stderr.String(), "usage: parinda") {
+		t.Errorf("missing usage message:\n%s", stderr.String())
+	}
+}
+
+// TestSessionREPL drives the interactive session subcommand through a
+// scripted stdin: the Figure-1 one-change-at-a-time workflow.
+func TestSessionREPL(t *testing.T) {
+	script := strings.Join([]string{
+		"help",
+		"create index photoobj(ra)",
+		"costs",
+		"explain 1",
+		"design",
+		"stats",
+		"undo",
+		"create index nosuch(x)", // error, loop must continue
+		"nestloop off",
+		"nestloop on",
+		"quit",
+	}, "\n") + "\n"
+	var stdout, stderr bytes.Buffer
+	got := run([]string{"session", "-scale", "50000"}, strings.NewReader(script), &stdout, &stderr)
+	if got != 0 {
+		t.Fatalf("exit = %d, stderr: %s", got, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"PARINDA design session",
+		"benefit",                 // edit summaries
+		"re-planned",              // incremental counters
+		"index      photoobj(ra)", // design listing
+		"memo:",                   // stats
+		"error:",                  // bad edit reported, not fatal
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("REPL output missing %q\n---\n%s", want, out)
+		}
+	}
+}
+
+// TestSessionREPLEOF: an exhausted stdin ends the session cleanly.
+func TestSessionREPLEOF(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"session", "-scale", "50000"}, strings.NewReader(""), &stdout, &stderr); got != 0 {
+		t.Fatalf("exit = %d, stderr: %s", got, stderr.String())
 	}
 }

@@ -1,0 +1,284 @@
+package main
+
+// The `parinda session` subcommand: an interactive REPL over the
+// incremental design-session engine — the paper's Figure-1 workflow.
+// Each edit re-prices only the queries it can affect; everything else
+// is served from the session memo, and the per-edit summary line
+// shows exactly how much work was saved.
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/advisor"
+	"repro/internal/session"
+)
+
+func cmdSession(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("session", flag.ContinueOnError)
+	wl := fs.String("workload", "", "workload file (default: built-in 30 queries)")
+	scale := fs.Int64("scale", 1000000, "photoobj row count of the synthetic catalog")
+	workers := fs.Int("workers", 0, "parallel cost-estimation workers (0 = GOMAXPROCS)")
+	if err := parseFlags(fs, args, stderr); err != nil {
+		return err
+	}
+	queries, err := loadQueries(*wl)
+	if err != nil {
+		return err
+	}
+	cat, err := buildCatalog(*scale)
+	if err != nil {
+		return err
+	}
+	s, err := session.New(cat, queries, session.Options{Workers: *workers})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "PARINDA design session: %d queries, scale %d. Type 'help' for commands.\n",
+		len(queries), *scale)
+	printSummary(stdout, s.Report())
+	return runREPL(s, stdin, stdout)
+}
+
+// runREPL drives the session until EOF or quit. Command errors are
+// reported and the loop continues; only I/O failures abort.
+func runREPL(s *session.DesignSession, in io.Reader, out io.Writer) error {
+	sc := bufio.NewScanner(in)
+	for {
+		fmt.Fprint(out, "parinda> ")
+		if !sc.Scan() {
+			fmt.Fprintln(out)
+			return sc.Err()
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		quit, err := execREPLLine(s, line, out)
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+			continue
+		}
+		if quit {
+			return nil
+		}
+	}
+}
+
+// execREPLLine executes one REPL command; quit reports an exit
+// request.
+func execREPLLine(s *session.DesignSession, line string, out io.Writer) (quit bool, err error) {
+	fields := strings.Fields(line)
+	cmd := strings.ToLower(fields[0])
+	rest := strings.TrimSpace(line[len(fields[0]):])
+
+	switch cmd {
+	case "quit", "exit", "q":
+		return true, nil
+	case "help", "?":
+		replHelp(out)
+		return false, nil
+	case "create": // create index t(c1,c2)
+		sub, arg := splitKeyword(rest)
+		if sub != "index" || arg == "" {
+			return false, fmt.Errorf("usage: create index <table>(<col>,<col>)")
+		}
+		spec, err := parseIndexSpec(arg)
+		if err != nil {
+			return false, err
+		}
+		rep, err := s.AddIndex(spec)
+		if err != nil {
+			return false, err
+		}
+		printSummary(out, rep)
+		return false, nil
+	case "drop": // drop index t(c1,c2) | drop partition t
+		sub, arg := splitKeyword(rest)
+		switch {
+		case sub == "index" && arg != "":
+			spec, err := parseIndexSpec(arg)
+			if err != nil {
+				return false, err
+			}
+			rep, err := s.DropIndex(spec)
+			if err != nil {
+				return false, err
+			}
+			printSummary(out, rep)
+		case sub == "partition" && arg != "":
+			rep, err := s.DropPartition(arg)
+			if err != nil {
+				return false, err
+			}
+			printSummary(out, rep)
+		default:
+			return false, fmt.Errorf("usage: drop index <table>(<cols>) | drop partition <table>")
+		}
+		return false, nil
+	case "partition", "repartition": // partition t:a,b|c,d
+		if rest == "" {
+			return false, fmt.Errorf("usage: partition <table>:<cols>|<cols>")
+		}
+		def, err := parsePartitionDef(rest)
+		if err != nil {
+			return false, err
+		}
+		rep, err := s.AddPartition(def)
+		if err != nil {
+			return false, err
+		}
+		printSummary(out, rep)
+		return false, nil
+	case "nestloop": // nestloop on|off
+		var enabled bool
+		switch strings.ToLower(rest) {
+		case "on":
+			enabled = true
+		case "off":
+			enabled = false
+		default:
+			return false, fmt.Errorf("usage: nestloop on|off")
+		}
+		rep, err := s.SetNestLoop(enabled)
+		if err != nil {
+			return false, err
+		}
+		printSummary(out, rep)
+		return false, nil
+	case "undo":
+		rep, err := s.Undo()
+		if err != nil {
+			return false, err
+		}
+		printSummary(out, rep)
+		return false, nil
+	case "costs":
+		printCosts(out, s.Report())
+		return false, nil
+	case "explain": // explain <n>
+		n, err := strconv.Atoi(rest)
+		if err != nil {
+			return false, fmt.Errorf("usage: explain <query number>")
+		}
+		text, err := s.Explain(n - 1)
+		if err != nil {
+			return false, err
+		}
+		fmt.Fprint(out, text)
+		return false, nil
+	case "design":
+		printDesign(out, s)
+		return false, nil
+	case "stats":
+		st := s.Stats()
+		fmt.Fprintf(out, "memo: %d hits / %d misses (%d entries)   optimizer calls: %d\n",
+			st.MemoHits, st.MemoMisses, st.MemoEntries, st.PlanCalls)
+		fmt.Fprintf(out, "last edit: %d queries invalidated, %d re-planned\n",
+			st.Invalidated, st.Repriced)
+		return false, nil
+	case "suggest": // suggest [budget-mb]
+		opts := advisor.Options{}
+		if rest != "" {
+			mb, err := strconv.Atoi(rest)
+			if err != nil || mb <= 0 {
+				return false, fmt.Errorf("usage: suggest [budget-mb]")
+			}
+			opts.StorageBudget = int64(mb) << 20
+		}
+		res, err := s.SuggestIndexesGreedy(opts)
+		if err != nil {
+			return false, err
+		}
+		fmt.Fprintf(out, "greedy suggestion (%d candidates, warm start: %d priced jobs reused):\n",
+			res.Candidates, res.MemoHits)
+		for _, stmt := range advisor.MaterializeStatements(res.Indexes) {
+			fmt.Fprintf(out, "  %s;\n", stmt)
+		}
+		fmt.Fprintf(out, "  benefit %.1f%%  speedup %.2fx  size %.1f MB\n",
+			100*res.AvgBenefit(), res.Speedup(), float64(res.SizeBytes)/(1<<20))
+		return false, nil
+	case "queries":
+		for i, q := range s.Queries() {
+			fmt.Fprintf(out, "Q%-3d %s\n", i+1, q.SQL)
+		}
+		return false, nil
+	}
+	return false, fmt.Errorf("unknown command %q (try 'help')", cmd)
+}
+
+// splitKeyword splits "index photoobj(ra)" into ("index",
+// "photoobj(ra)").
+func splitKeyword(s string) (keyword, rest string) {
+	s = strings.TrimSpace(s)
+	i := strings.IndexAny(s, " \t")
+	if i < 0 {
+		return strings.ToLower(s), ""
+	}
+	return strings.ToLower(s[:i]), strings.TrimSpace(s[i:])
+}
+
+// printSummary is the one-line outcome of an edit: the headline
+// benefit plus how little work the incremental engine did.
+func printSummary(out io.Writer, rep *session.InteractiveReport) {
+	fmt.Fprintf(out,
+		"benefit %5.1f%%  speedup %5.2fx | %d invalidated, %d re-planned (session: %d optimizer calls, %d memo hits)\n",
+		100*rep.AvgBenefit(), rep.Speedup(), rep.Invalidated, rep.Repriced,
+		rep.PlanCalls, rep.MemoHits)
+}
+
+func printCosts(out io.Writer, rep *session.InteractiveReport) {
+	for i, pq := range rep.PerQuery {
+		benefit := 0.0
+		if pq.BaseCost > 0 {
+			benefit = 100 * (1 - pq.NewCost/pq.BaseCost)
+		}
+		fmt.Fprintf(out, "Q%-3d base %12.1f  new %12.1f  benefit %6.1f%%  uses %s\n",
+			i+1, pq.BaseCost, pq.NewCost, benefit, strings.Join(pq.IndexesUsed, " "))
+	}
+	fmt.Fprintf(out, "total base %.1f  new %.1f  benefit %.1f%%  speedup %.2fx\n",
+		rep.BaseCost, rep.NewCost, 100*rep.AvgBenefit(), rep.Speedup())
+}
+
+func printDesign(out io.Writer, s *session.DesignSession) {
+	d := s.Design()
+	if len(d.Indexes) == 0 && len(d.Partitions) == 0 {
+		fmt.Fprintln(out, "design is empty")
+	}
+	for _, spec := range d.Indexes {
+		fmt.Fprintf(out, "index      %s\n", spec.Key())
+	}
+	for _, def := range d.Partitions {
+		var groups []string
+		for _, cols := range def.Fragments {
+			groups = append(groups, strings.Join(cols, ","))
+		}
+		fmt.Fprintf(out, "partition  %s: %s\n", def.Table, strings.Join(groups, " | "))
+	}
+	if !s.NestLoopEnabled() {
+		fmt.Fprintln(out, "nestloop   off")
+	}
+	fmt.Fprintf(out, "signature  %q\n", s.Signature())
+}
+
+func replHelp(out io.Writer) {
+	fmt.Fprint(out, `commands:
+  create index <table>(<col>,<col>)   add a what-if index
+  drop index <table>(<col>,<col>)     remove a design index
+  partition <table>:<cols>|<cols>     set/replace a vertical partitioning
+  drop partition <table>              remove a partitioning
+  nestloop on|off                     toggle the what-if join method
+  costs                               per-query costs under the design
+  explain <n>                         plan of query n under the design
+  design                              show the current design
+  queries                             list the workload
+  stats                               incremental-pricing counters
+  suggest [budget-mb]                 greedy advisor (memo warm start)
+  undo                                revert the last edit
+  quit                                leave the session
+`)
+}

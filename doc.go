@@ -22,8 +22,11 @@
 //	internal/autopart   AutoPart vertical partitioner over costlab
 //	internal/rewrite    workload rewriting onto partition fragments
 //	internal/workload   SDSS-like schema, 30-query workload, generator
+//	internal/session    incremental design sessions: delta re-pricing,
+//	                    per-(query, design) cost memoization, undo —
+//	                    the engine behind the `parinda session` REPL
 //	internal/core       PARINDA facade tying the components together
 //
-// See README.md for the layout, DESIGN.md for the system inventory,
-// and bench_test.go for the experiment harness (E1–E9).
+// See README.md for the layout and the session REPL commands, and
+// bench_test.go for the experiment harness (E1–E9).
 package repro

@@ -63,6 +63,13 @@ type Options struct {
 	// Workers caps the parallelism of candidate-pricing batches
 	// (0 = GOMAXPROCS).
 	Workers int
+	// Memo, when set, warm-starts pricing from previously computed
+	// (query, configuration) costs — typically a design session's
+	// memo, so configurations the DBA already explored interactively
+	// are never re-batched. The memo's costs must come from the same
+	// backend kind this run uses; an interactive session records
+	// full-optimizer costs, so pair it with costlab.BackendFull.
+	Memo *costlab.Memo
 }
 
 // newBackend builds the pricing backend the options select.
@@ -137,6 +144,10 @@ type Result struct {
 	Candidates int   // candidate indexes considered
 	SolverWork int   // branch-and-bound nodes (ILP) or evaluations (greedy)
 	PlanCalls  int64 // full optimizer invocations consumed
+	// MemoHits / MemoMisses split the greedy pricing jobs between the
+	// warm-start memo and the estimator (both zero for the ILP path).
+	MemoHits   int64
+	MemoMisses int64
 	// MaintenanceCost is the total update upkeep of the chosen
 	// indexes per workload execution (0 without UpdateRates).
 	MaintenanceCost float64

@@ -15,8 +15,11 @@ import (
 // candidate with the highest benefit-per-byte that fits the remaining
 // budget, re-pricing the workload through the costlab backend after
 // every addition, until no candidate improves the workload. Each
-// round's candidate sweep is one EvaluateAll batch (candidates ×
-// queries) fanned out over the worker pool.
+// round's candidate sweep is one incremental EvaluateDelta batch
+// (candidates × queries) fanned out over the worker pool: jobs whose
+// cost is already in the pricing memo — from an earlier round, or
+// from an interactive design session handed in via Options.Memo —
+// never reach the estimator.
 //
 // Greedy prunes the combination space aggressively — that is exactly
 // the behaviour whose lost opportunities the ILP recovers.
@@ -29,15 +32,29 @@ func SuggestIndexesGreedy(cat *catalog.Catalog, queries []Query, opts Options) (
 	if err != nil {
 		return nil, err
 	}
+	memo := opts.Memo
+	if memo == nil {
+		memo = costlab.NewMemo()
+	}
+	var memoHits, memoMisses int64
 	candidates := GenerateCandidates(cat, queries, opts)
-	wq := weighted(queries)
 
 	var chosen inum.Config
 	var chosenSize int64
 	var totalMaint float64
-	current, err := costlab.WorkloadCost(ctx, est, wq, nil, opts.Workers)
+	baseJobs := make([]costlab.Job, len(queries))
+	for i, q := range queries {
+		baseJobs[i] = costlab.Job{Stmt: q.Stmt}
+	}
+	baseCosts, bstats, err := costlab.EvaluateDelta(ctx, est, baseJobs, memo, opts.Workers)
 	if err != nil {
 		return nil, err
+	}
+	memoHits += int64(bstats.Hits)
+	memoMisses += int64(bstats.Misses)
+	current := 0.0
+	for i, q := range queries {
+		current += baseCosts[i] * q.Weight
 	}
 	remaining := append([]inum.IndexSpec(nil), candidates...)
 	evals := 0
@@ -71,10 +88,12 @@ func SuggestIndexesGreedy(cat *catalog.Catalog, queries []Query, opts Options) (
 				jobs = append(jobs, costlab.Job{Stmt: q.Stmt, Config: trial})
 			}
 		}
-		costs, err := costlab.EvaluateAll(ctx, est, jobs, opts.Workers)
+		costs, stats, err := costlab.EvaluateDelta(ctx, est, jobs, memo, opts.Workers)
 		if err != nil {
 			return nil, err
 		}
+		memoHits += int64(stats.Hits)
+		memoMisses += int64(stats.Misses)
 		evals += len(sweep)
 
 		bestIdx, bestCost := -1, current
@@ -120,6 +139,8 @@ func SuggestIndexesGreedy(cat *catalog.Catalog, queries []Query, opts Options) (
 		Candidates:      len(candidates),
 		SolverWork:      evals,
 		PlanCalls:       est.PlanCalls() + evalCalls,
+		MemoHits:        memoHits,
+		MemoMisses:      memoMisses,
 		MaintenanceCost: totalMaint,
 	}, nil
 }

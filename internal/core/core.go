@@ -15,22 +15,17 @@
 package core
 
 import (
-	"context"
-	"errors"
 	"fmt"
-	"sort"
 	"strings"
 
 	"repro/internal/advisor"
 	"repro/internal/autopart"
 	"repro/internal/catalog"
-	"repro/internal/costlab"
-	"repro/internal/inum"
 	"repro/internal/optimizer"
 	"repro/internal/rewrite"
+	"repro/internal/session"
 	"repro/internal/sql"
 	"repro/internal/storage"
-	"repro/internal/whatif"
 )
 
 // PARINDA is one tool instance over a schema catalog.
@@ -49,175 +44,36 @@ func (p *PARINDA) Catalog() *catalog.Catalog { return p.cat }
 
 // PartitionDef is one manual partitioning: the parent table and the
 // column groups of each fragment (primary keys are implicit).
-type PartitionDef struct {
-	Table     string
-	Fragments [][]string
-}
+type PartitionDef = session.PartitionDef
 
 // Design is a manual physical design for the interactive scenario:
 // what-if indexes and what-if table partitions.
-type Design struct {
-	Indexes    []inum.IndexSpec
-	Partitions []PartitionDef
-}
+type Design = session.Design
 
 // InteractiveReport is the output of the interactive component: the
 // numbers Figure 3's right panel displays.
-type InteractiveReport struct {
-	PerQuery   []advisor.QueryBenefit
-	BaseCost   float64
-	NewCost    float64
-	Rewritten  []string // workload rewritten for the partitions, in order
-	Explains   []string // EXPLAIN of each query under the design
-	IndexNames []string // what-if index names created
-}
-
-// AvgBenefit returns 1 - new/base.
-func (r *InteractiveReport) AvgBenefit() float64 {
-	if r.BaseCost <= 0 {
-		return 0
-	}
-	return 1 - r.NewCost/r.BaseCost
-}
-
-// Speedup returns base/new.
-func (r *InteractiveReport) Speedup() float64 {
-	if r.NewCost <= 0 {
-		return 1
-	}
-	return r.BaseCost / r.NewCost
-}
+type InteractiveReport = session.InteractiveReport
 
 // EvaluateDesign simulates the design over the workload: what-if
 // tables for every partition fragment, what-if indexes for every
 // index, automatic rewriting onto the fragments, and per-query
-// costing — all through the costlab estimation layer. Base costs
-// price as one parallel batch; design plans come from pooled what-if
-// sessions carrying the partition tables. Nothing is built; the base
-// catalog is untouched.
+// costing. It is a thin one-shot wrapper over a throwaway
+// session.DesignSession — long-lived interactive work (the
+// one-change-at-a-time loop of §4) should hold a DesignSession
+// instead, which re-prices only each edit's delta. Nothing is built;
+// the base catalog is untouched.
 func (p *PARINDA) EvaluateDesign(workloadSQL []string, d Design) (*InteractiveReport, error) {
-	queries, err := advisor.ParseWorkload(workloadSQL)
+	s, err := session.New(p.cat, workloadSQL, session.Options{})
 	if err != nil {
 		return nil, err
 	}
-	partSetup, rw, err := partitionSetup(p.cat, d.Partitions)
-	if err != nil {
-		return nil, err
-	}
-	// The whole design — fragment tables and indexes — installs once
-	// per pooled session; the first setup run records the generated
-	// index names for the report.
-	setup, ixNames := costlab.IndexSetup(d.Indexes, partSetup)
-	design := costlab.NewFullWithSetup(p.cat, setup)
-	// Validate the design eagerly: a bad index or fragment spec must
-	// error here (as the old eager installation did), not surface as
-	// a plan error on the first query — and IndexNames must populate
-	// even for an empty workload.
-	if err := design.Warm(); err != nil {
-		return nil, err
-	}
-	base := costlab.NewFull(p.cat)
-
-	jobs := make([]costlab.Job, len(queries))
-	for i, q := range queries {
-		jobs[i] = costlab.Job{Stmt: q.Stmt}
-	}
-	baseCosts, err := costlab.EvaluateAll(context.Background(), base, jobs, 0)
-	if err != nil {
-		return nil, describeBatchErr("base cost", queries, err)
-	}
-
-	report := &InteractiveReport{}
-	report.IndexNames = ixNames()
-	nameToKey := map[string]string{}
-	for i, name := range report.IndexNames {
-		nameToKey[name] = d.Indexes[i].Key()
-	}
-	// Rewrite the workload onto the fragments, then plan it as one
-	// parallel batch over the design's pooled sessions.
-	targets := make([]*sql.Select, len(queries))
-	for i, q := range queries {
-		targets[i] = q.Stmt
-		if rw != nil {
-			targets[i], err = rw.Rewrite(q.Stmt)
-			if err != nil {
-				return nil, fmt.Errorf("core: rewrite of %q: %w", q.SQL, err)
-			}
-		}
-		report.Rewritten = append(report.Rewritten, sql.PrintSelect(targets[i]))
-	}
-	plans, err := design.PlanAll(context.Background(), targets, 0)
-	if err != nil {
-		return nil, describeBatchErr("what-if plan", queries, err)
-	}
-	for qi, q := range queries {
-		var used []string
-		for _, name := range plans[qi].IndexesUsed() {
-			if key, ok := nameToKey[name]; ok {
-				used = append(used, key)
-			}
-		}
-		sort.Strings(used)
-		report.PerQuery = append(report.PerQuery, advisor.QueryBenefit{
-			SQL:         q.SQL,
-			BaseCost:    baseCosts[qi],
-			NewCost:     plans[qi].TotalCost,
-			IndexesUsed: used,
-		})
-		report.Explains = append(report.Explains, optimizer.Explain(plans[qi]))
-		report.BaseCost += baseCosts[qi]
-		report.NewCost += plans[qi].TotalCost
-	}
-	return report, nil
+	return s.ApplyDesign(d)
 }
 
-// describeBatchErr attributes a costlab batch failure to the failing
-// workload statement, keeping the per-query error messages the
-// interactive API has always produced.
-func describeBatchErr(what string, queries []advisor.Query, err error) error {
-	var je *costlab.JobError
-	if errors.As(err, &je) && je.Index >= 0 && je.Index < len(queries) {
-		return fmt.Errorf("core: %s of %q: %w", what, queries[je.Index].SQL, je.Err)
-	}
-	return fmt.Errorf("core: %s: %w", what, err)
-}
-
-// partitionSetup validates the partition design and returns a session
-// setup hook registering its what-if fragment tables, plus a rewriter
-// targeting them (both nil when the design has no partitions). The
-// hook runs once on every session the design estimator pools. The
-// fragment definitions are built exactly once, so the names the
-// rewriter targets and the what-if tables the hook creates cannot
-// drift apart.
-func partitionSetup(cat *catalog.Catalog, defs []PartitionDef) (func(*whatif.Session) error, *rewrite.Rewriter, error) {
-	if len(defs) == 0 {
-		return nil, nil, nil
-	}
-	parts := map[string]*rewrite.Partitioning{}
-	var frags []whatif.TableDef
-	for _, def := range defs {
-		parent := cat.Table(def.Table)
-		if parent == nil {
-			return nil, nil, fmt.Errorf("core: unknown table %q in partition design", def.Table)
-		}
-		pt := &rewrite.Partitioning{Parent: parent}
-		for i, cols := range def.Fragments {
-			name := fmt.Sprintf("%s_p%d", def.Table, i+1)
-			cols := append([]string(nil), cols...)
-			pt.Fragments = append(pt.Fragments, rewrite.Fragment{Name: name, Columns: cols})
-			frags = append(frags, whatif.TableDef{Name: name, Parent: def.Table, Columns: cols})
-		}
-		parts[def.Table] = pt
-	}
-	setup := func(s *whatif.Session) error {
-		for _, td := range frags {
-			if _, err := s.CreateTable(td); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	return setup, rewrite.New(parts), nil
+// NewSession opens an incremental design session over the workload —
+// the stateful engine behind the `parinda session` REPL.
+func (p *PARINDA) NewSession(workloadSQL []string, opts session.Options) (*session.DesignSession, error) {
+	return session.New(p.cat, workloadSQL, opts)
 }
 
 // SuggestIndexes runs the ILP index advisor (scenario 3).

@@ -401,3 +401,132 @@ func TestINUMShardingInvariance(t *testing.T) {
 		}
 	}
 }
+
+// countingEstimator wraps a backend and counts Cost invocations, so
+// tests can assert that memo hits never reach the estimator.
+type countingEstimator struct {
+	inner costlab.CostEstimator
+	mu    sync.Mutex
+	calls int
+}
+
+func (c *countingEstimator) Cost(stmt *sql.Select, cfg costlab.Config) (float64, error) {
+	c.mu.Lock()
+	c.calls++
+	c.mu.Unlock()
+	return c.inner.Cost(stmt, cfg)
+}
+
+func (c *countingEstimator) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls
+}
+
+func TestEvaluateDeltaMemoizes(t *testing.T) {
+	cat := seedCatalog(t, 200000)
+	queries := seedQueries(t)[:8]
+	jobs := pricingJobs(t, cat, queries, 2)
+
+	ctx := context.Background()
+	want, err := costlab.EvaluateAll(ctx, costlab.NewFull(cat), jobs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	est := &countingEstimator{inner: costlab.NewFull(cat)}
+	memo := costlab.NewMemo()
+	got, stats, err := costlab.EvaluateDelta(ctx, est, jobs, memo, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Hits != 0 || stats.Misses != len(jobs) {
+		t.Errorf("cold batch stats = %+v", stats)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("job %d: delta %v != all %v", i, got[i], want[i])
+		}
+	}
+	coldCalls := est.count()
+
+	// Second identical batch: every job is a hit, the estimator is
+	// never consulted.
+	got2, stats2, err := costlab.EvaluateDelta(ctx, est, jobs, memo, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Hits != len(jobs) || stats2.Misses != 0 {
+		t.Errorf("warm batch stats = %+v", stats2)
+	}
+	if est.count() != coldCalls {
+		t.Errorf("warm batch reached the estimator: %d -> %d calls", coldCalls, est.count())
+	}
+	for i := range want {
+		if got2[i] != want[i] {
+			t.Fatalf("warm job %d: %v != %v", i, got2[i], want[i])
+		}
+	}
+	ms := memo.Stats()
+	if ms.Entries == 0 || ms.Hits != int64(len(jobs)) || ms.Misses != int64(len(jobs)) {
+		t.Errorf("memo stats = %+v", ms)
+	}
+
+	// A partially-new batch prices only the new jobs.
+	extra := append(append([]costlab.Job(nil), jobs...), costlab.Job{
+		Stmt:   queries[0].Stmt,
+		Config: costlab.Config{{Table: "photoobj", Columns: []string{"dec", "ra"}}},
+	})
+	_, stats3, err := costlab.EvaluateDelta(ctx, est, extra, memo, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats3.Hits != len(jobs) || stats3.Misses != 1 {
+		t.Errorf("incremental batch stats = %+v", stats3)
+	}
+	if est.count() != coldCalls+1 {
+		t.Errorf("incremental batch estimator calls = %d, want %d", est.count(), coldCalls+1)
+	}
+}
+
+func TestEvaluateDeltaNilMemo(t *testing.T) {
+	cat := seedCatalog(t, 200000)
+	queries := seedQueries(t)[:3]
+	jobs := pricingJobs(t, cat, queries, 1)
+	got, stats, err := costlab.EvaluateDelta(context.Background(), costlab.NewFull(cat), jobs, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(jobs) || stats.Hits != 0 || stats.Misses != len(jobs) {
+		t.Errorf("nil-memo delta: %d results, stats %+v", len(got), stats)
+	}
+}
+
+func TestConfigKeyOrderInsensitive(t *testing.T) {
+	a := costlab.Config{{Table: "photoobj", Columns: []string{"ra"}}, {Table: "specobj", Columns: []string{"z"}}}
+	b := costlab.Config{{Table: "specobj", Columns: []string{"z"}}, {Table: "photoobj", Columns: []string{"ra"}}}
+	if costlab.ConfigKey(a) != costlab.ConfigKey(b) {
+		t.Errorf("permuted configs key differently: %q vs %q", costlab.ConfigKey(a), costlab.ConfigKey(b))
+	}
+	if costlab.ConfigKey(nil) != "" {
+		t.Errorf("empty config key = %q", costlab.ConfigKey(nil))
+	}
+	c := costlab.Config{{Table: "photoobj", Columns: []string{"ra", "dec"}}}
+	if costlab.ConfigKey(a) == costlab.ConfigKey(c) {
+		t.Error("distinct configs collided")
+	}
+}
+
+func TestEvaluateDeltaPropagatesJobError(t *testing.T) {
+	cat := seedCatalog(t, 200000)
+	q := seedQueries(t)[0]
+	jobs := []costlab.Job{
+		{Stmt: q.Stmt},
+		{Stmt: q.Stmt, Config: costlab.Config{{Table: "nosuch", Columns: []string{"x"}}}},
+	}
+	_, _, err := costlab.EvaluateDelta(context.Background(), costlab.NewFull(cat), jobs, costlab.NewMemo(), 0)
+	var je *costlab.JobError
+	if !errors.As(err, &je) || je.Index != 1 {
+		t.Fatalf("err = %v, want JobError at index 1", err)
+	}
+}

@@ -95,6 +95,9 @@ func (e *INUM) SpecSizeBytes(spec inum.IndexSpec) (int64, error) {
 	return e.sizeSes.IndexSizeBytes(spec.Table, spec.Columns)
 }
 
+// Shards reports the number of cache shards.
+func (e *INUM) Shards() int { return len(e.shards) }
+
 // PlanCalls reports full optimizer invocations across every shard.
 func (e *INUM) PlanCalls() int64 {
 	var total int64

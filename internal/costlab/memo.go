@@ -1,0 +1,161 @@
+package costlab
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sql"
+)
+
+// Memo is a concurrency-safe cost memo keyed by (query identity,
+// configuration signature). It is the persistence layer behind
+// incremental re-pricing: a design session records every cost it
+// computes, EvaluateDelta serves repeat jobs from it without touching
+// the estimator, and advisors can warm-start from a memo a session
+// already filled.
+//
+// Costs from different estimator backends are NOT interchangeable
+// (INUM reconstructs, Full optimizes); a memo must only ever be fed
+// by — and serve — one backend kind. Callers own that pairing.
+type Memo struct {
+	mu sync.RWMutex
+	m  map[memoKey]float64
+
+	// stmtKeys memoizes statement → printed identity by pointer, so
+	// hot paths don't re-print the SQL on every lookup.
+	stmtKeys sync.Map // *sql.Select → string
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type memoKey struct{ stmt, cfg string }
+
+// NewMemo returns an empty memo.
+func NewMemo() *Memo {
+	return &Memo{m: make(map[memoKey]float64)}
+}
+
+// StmtKey returns the canonical identity of a statement (its printed
+// SQL), memoized by pointer.
+func (mo *Memo) StmtKey(stmt *sql.Select) string {
+	if k, ok := mo.stmtKeys.Load(stmt); ok {
+		return k.(string)
+	}
+	k := sql.PrintSelect(stmt)
+	mo.stmtKeys.Store(stmt, k)
+	return k
+}
+
+// ConfigKey returns the canonical identity of a configuration: the
+// sorted spec keys. Order-insensitive, so permutations of one index
+// set share memo entries.
+func ConfigKey(cfg Config) string {
+	if len(cfg) == 0 {
+		return ""
+	}
+	keys := make([]string, len(cfg))
+	for i, spec := range cfg {
+		keys[i] = spec.Key()
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ";")
+}
+
+// Lookup returns the memoized cost of (stmt, cfg) and whether one is
+// recorded, bumping the hit/miss counters.
+func (mo *Memo) Lookup(stmt *sql.Select, cfg Config) (float64, bool) {
+	cost, ok := mo.LookupKey(mo.StmtKey(stmt), ConfigKey(cfg))
+	return cost, ok
+}
+
+// LookupKey is Lookup over pre-computed keys (the design session keys
+// configurations by projected design signature rather than Config).
+func (mo *Memo) LookupKey(stmtKey, cfgKey string) (float64, bool) {
+	mo.mu.RLock()
+	cost, ok := mo.m[memoKey{stmtKey, cfgKey}]
+	mo.mu.RUnlock()
+	if ok {
+		mo.hits.Add(1)
+	} else {
+		mo.misses.Add(1)
+	}
+	return cost, ok
+}
+
+// Store records the cost of (stmt, cfg).
+func (mo *Memo) Store(stmt *sql.Select, cfg Config, cost float64) {
+	mo.StoreKey(mo.StmtKey(stmt), ConfigKey(cfg), cost)
+}
+
+// StoreKey is Store over pre-computed keys.
+func (mo *Memo) StoreKey(stmtKey, cfgKey string, cost float64) {
+	mo.mu.Lock()
+	mo.m[memoKey{stmtKey, cfgKey}] = cost
+	mo.mu.Unlock()
+}
+
+// MemoStats reports a memo's lifetime counters.
+type MemoStats struct {
+	Hits    int64 // lookups served from the memo
+	Misses  int64 // lookups that found nothing
+	Entries int   // recorded (query, configuration) costs
+}
+
+// Stats returns the memo's lifetime counters.
+func (mo *Memo) Stats() MemoStats {
+	mo.mu.RLock()
+	n := len(mo.m)
+	mo.mu.RUnlock()
+	return MemoStats{Hits: mo.hits.Load(), Misses: mo.misses.Load(), Entries: n}
+}
+
+// BatchStats reports how one incremental batch split between the memo
+// and the estimator.
+type BatchStats struct {
+	Hits   int // jobs served from the memo, no estimator call
+	Misses int // jobs priced by the estimator (now memoized)
+}
+
+// EvaluateDelta is the incremental sibling of EvaluateAll: jobs whose
+// (statement, configuration) cost is already in memo are served
+// without touching est, and only the remainder fans out over the
+// worker pool (which then records its results back into memo).
+// Results are in job order; the returned stats make the incremental
+// saving observable. A nil memo degrades to plain EvaluateAll.
+func EvaluateDelta(ctx context.Context, est CostEstimator, jobs []Job, memo *Memo, workers int) ([]float64, BatchStats, error) {
+	if memo == nil {
+		costs, err := EvaluateAll(ctx, est, jobs, workers)
+		return costs, BatchStats{Misses: len(jobs)}, err
+	}
+	results := make([]float64, len(jobs))
+	var missIdx []int
+	for i, job := range jobs {
+		if cost, ok := memo.Lookup(job.Stmt, job.Config); ok {
+			results[i] = cost
+		} else {
+			missIdx = append(missIdx, i)
+		}
+	}
+	stats := BatchStats{Hits: len(jobs) - len(missIdx), Misses: len(missIdx)}
+	if len(missIdx) == 0 {
+		return results, stats, nil
+	}
+	err := forEach(ctx, len(missIdx), workers, func(p int) error {
+		i := missIdx[p]
+		cost, err := est.Cost(jobs[i].Stmt, jobs[i].Config)
+		if err != nil {
+			return &JobError{Index: i, Err: err}
+		}
+		results[i] = cost
+		memo.Store(jobs[i].Stmt, jobs[i].Config, cost)
+		return nil
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	return results, stats, nil
+}

@@ -89,8 +89,8 @@ func (c *Cache) Cost(sel *sql.Select, cfg Config) (float64, error) {
 	}
 
 	aliases := optimizer.RelationAliases(sel)
-	joinCols := joinColumnsByAlias(sel)
-	aliasTable := tableByAlias(sel)
+	joinCols := sql.EquiJoinColumnsByAlias(sel)
+	aliasTable := sql.TableByAlias(sel)
 	accessTotal := 0.0
 	var scenarioBits []string
 	for _, alias := range aliases {
@@ -189,50 +189,6 @@ func (c *Cache) ResetStats() {
 
 // queryKey canonicalizes a query for cache identity.
 func queryKey(sel *sql.Select) string { return sql.PrintSelect(sel) }
-
-// tableByAlias maps each relation alias of sel to its table name.
-func tableByAlias(sel *sql.Select) map[string]string {
-	out := map[string]string{}
-	for _, tr := range sel.From {
-		out[tr.EffectiveName()] = tr.Table
-	}
-	for _, j := range sel.Joins {
-		out[j.Table.EffectiveName()] = j.Table.Table
-	}
-	return out
-}
-
-// joinColumnsByAlias collects, per relation alias, the columns that
-// appear in simple equijoin clauses (col = col across relations).
-func joinColumnsByAlias(sel *sql.Select) map[string]map[string]bool {
-	out := map[string]map[string]bool{}
-	note := func(ref *sql.ColumnRef) {
-		if ref.Table == "" {
-			return
-		}
-		if out[ref.Table] == nil {
-			out[ref.Table] = map[string]bool{}
-		}
-		out[ref.Table][ref.Column] = true
-	}
-	conjuncts := sql.ConjunctsOf(sel.Where)
-	for _, j := range sel.Joins {
-		conjuncts = append(conjuncts, sql.ConjunctsOf(j.Cond)...)
-	}
-	for _, cj := range conjuncts {
-		be, ok := cj.(*sql.BinaryExpr)
-		if !ok || be.Op != sql.OpEq {
-			continue
-		}
-		l, lok := be.Left.(*sql.ColumnRef)
-		r, rok := be.Right.(*sql.ColumnRef)
-		if lok && rok && l.Table != r.Table {
-			note(l)
-			note(r)
-		}
-	}
-	return out
-}
 
 // SpecSizeBytes returns the Equation-1 size of a candidate index.
 func (c *Cache) SpecSizeBytes(spec IndexSpec) (int64, error) {

@@ -1,0 +1,964 @@
+// Package session is PARINDA's incremental design-session engine: the
+// stateful core behind the paper's interactive one-change-at-a-time
+// workflow (§4, Figure 1). A DesignSession parses the workload once,
+// owns the current physical design, and re-prices an edit's *delta*
+// only — queries whose referenced tables intersect the edited object
+// (decided from the shared query-footprint analysis in internal/sql)
+// are re-planned, every other query's cost, plan explain and rewrite
+// are served from a memo keyed by (query identity, projected design
+// signature). Design mutations reach the planner through
+// whatif.Session.ApplyDelta instead of a full rebuild, and an undo
+// stack replays earlier designs almost entirely from the memo.
+//
+// core.EvaluateDesign is a thin one-shot wrapper over a throwaway
+// DesignSession; `parinda session` drives a long-lived one.
+package session
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/advisor"
+	"repro/internal/catalog"
+	"repro/internal/costlab"
+	"repro/internal/inum"
+	"repro/internal/optimizer"
+	"repro/internal/rewrite"
+	"repro/internal/sql"
+	"repro/internal/whatif"
+)
+
+// PartitionDef is one manual partitioning: the parent table and the
+// column groups of each fragment (primary keys are implicit).
+type PartitionDef struct {
+	Table     string
+	Fragments [][]string
+}
+
+// Design is a manual physical design: what-if indexes and what-if
+// table partitions.
+type Design struct {
+	Indexes    []inum.IndexSpec
+	Partitions []PartitionDef
+}
+
+// clone deep-copies the design so snapshots are immune to later edits.
+func (d Design) clone() Design {
+	out := Design{Indexes: append([]inum.IndexSpec(nil), d.Indexes...)}
+	for i, spec := range out.Indexes {
+		out.Indexes[i].Columns = append([]string(nil), spec.Columns...)
+	}
+	for _, def := range d.Partitions {
+		cp := PartitionDef{Table: def.Table}
+		for _, cols := range def.Fragments {
+			cp.Fragments = append(cp.Fragments, append([]string(nil), cols...))
+		}
+		out.Partitions = append(out.Partitions, cp)
+	}
+	return out
+}
+
+// partKey canonicalizes a partition definition for signature and diff
+// purposes. Fragment order matters (it fixes the generated names).
+func partKey(def PartitionDef) string {
+	var sb strings.Builder
+	sb.WriteString(def.Table)
+	sb.WriteByte(':')
+	for i, cols := range def.Fragments {
+		if i > 0 {
+			sb.WriteByte('|')
+		}
+		sb.WriteString(strings.Join(cols, ","))
+	}
+	return sb.String()
+}
+
+// InteractiveReport is the interactive component's output — the
+// numbers Figure 3's right panel displays, plus the incremental
+// pricing counters that make the session's savings observable.
+type InteractiveReport struct {
+	PerQuery   []advisor.QueryBenefit
+	BaseCost   float64
+	NewCost    float64
+	Rewritten  []string // workload rewritten for the partitions, in order
+	Explains   []string // EXPLAIN of each query under the design
+	IndexNames []string // what-if index names, aligned with Design.Indexes
+
+	// Incremental-pricing observability (see Stats for meanings).
+	Invalidated int   // queries the last edit invalidated
+	Repriced    int   // of those, how many needed an optimizer call
+	MemoHits    int64 // session-lifetime memo hits
+	MemoMisses  int64 // session-lifetime memo misses
+	PlanCalls   int64 // session-lifetime full optimizer invocations
+}
+
+// AvgBenefit returns 1 - new/base.
+func (r *InteractiveReport) AvgBenefit() float64 {
+	if r.BaseCost <= 0 {
+		return 0
+	}
+	return 1 - r.NewCost/r.BaseCost
+}
+
+// Speedup returns base/new.
+func (r *InteractiveReport) Speedup() float64 {
+	if r.NewCost <= 0 {
+		return 1
+	}
+	return r.BaseCost / r.NewCost
+}
+
+// Stats reports a session's incremental-pricing counters.
+type Stats struct {
+	MemoHits    int64 // repricings served from the memo, no optimizer call
+	MemoMisses  int64 // repricings that planned with the optimizer
+	MemoEntries int   // memoized (query, design-signature) states
+	PlanCalls   int64 // full optimizer invocations, session lifetime
+	Invalidated int   // queries invalidated by the last edit
+	Repriced    int   // of those, queries that needed an optimizer call
+}
+
+// Options configure a session.
+type Options struct {
+	// Workers caps the parallelism of batch pricing (initial base
+	// costs and large invalidation sets). 0 means GOMAXPROCS; 1
+	// forces sequential pricing through the session's own planner.
+	Workers int
+}
+
+// queryState is the memoized pricing of one query under one projected
+// design: everything the report needs, so a memo hit re-plans nothing.
+type queryState struct {
+	rewritten    *sql.Select
+	rewrittenSQL string
+	cost         float64
+	explain      string
+	indexesUsed  []string // design-index keys, sorted
+}
+
+type memoKey struct {
+	qi  int
+	sig string
+}
+
+// snapshot captures everything an undo (or a failed edit's rollback)
+// must restore besides the memo, which only ever grows.
+type snapshot struct {
+	design   Design
+	nestLoop bool
+}
+
+// DesignSession is a stateful interactive design session over one
+// workload. It is not safe for concurrent use; batch pricing inside
+// an edit parallelizes internally.
+type DesignSession struct {
+	cat     *catalog.Catalog
+	opts    Options
+	queries []advisor.Query
+	foot    []*sql.Footprint // original-query footprints, parsed once
+
+	ws         *whatif.Session   // mirrors the current design at all times
+	design     Design            // current design
+	nestLoop   bool              // current What-If Join flag
+	ixName     map[string]string // design-index key → what-if index name
+	fragParent map[string]string // fragment table → parent table
+	rw         *rewrite.Rewriter // nil when the design has no partitions
+
+	states    []*queryState // current pricing, one per query
+	baseCosts []float64     // empty-design costs, fixed at creation
+	memo      map[memoKey]*queryState
+	shared    *costlab.Memo // cost-only mirror; advisors warm-start from it
+
+	memoHits, memoMisses, planCalls int64
+	lastInvalidated, lastRepriced   int
+
+	undo []snapshot
+}
+
+// New opens a session: the workload is parsed once, base costs price
+// as one parallel batch, and the design starts empty.
+func New(cat *catalog.Catalog, workloadSQL []string, opts Options) (*DesignSession, error) {
+	queries, err := advisor.ParseWorkload(workloadSQL)
+	if err != nil {
+		return nil, err
+	}
+	s := &DesignSession{
+		cat:        cat,
+		opts:       opts,
+		queries:    queries,
+		ws:         whatif.NewSession(cat),
+		nestLoop:   true,
+		ixName:     map[string]string{},
+		fragParent: map[string]string{},
+		states:     make([]*queryState, len(queries)),
+		memo:       map[memoKey]*queryState{},
+		shared:     costlab.NewMemo(),
+	}
+	for _, q := range queries {
+		s.foot = append(s.foot, sql.FootprintOf(q.Stmt))
+	}
+	// Price the empty design: every query is "invalidated" once.
+	all := make(map[int]bool, len(queries))
+	for qi := range queries {
+		all[qi] = true
+	}
+	if err := s.reprice(all); err != nil {
+		return nil, err
+	}
+	s.baseCosts = make([]float64, len(queries))
+	for qi, st := range s.states {
+		s.baseCosts[qi] = st.cost
+	}
+	s.publishShared()
+	return s, nil
+}
+
+// Queries returns the parsed workload.
+func (s *DesignSession) Queries() []advisor.Query { return s.queries }
+
+// Design returns a copy of the current design.
+func (s *DesignSession) Design() Design { return s.design.clone() }
+
+// NestLoopEnabled reports the current What-If Join flag.
+func (s *DesignSession) NestLoopEnabled() bool { return s.nestLoop }
+
+// Signature returns the what-if session's canonical design signature.
+func (s *DesignSession) Signature() string { return s.ws.Signature() }
+
+// Stats returns the session's incremental-pricing counters.
+func (s *DesignSession) Stats() Stats {
+	return Stats{
+		MemoHits:    s.memoHits,
+		MemoMisses:  s.memoMisses,
+		MemoEntries: len(s.memo),
+		PlanCalls:   s.planCalls,
+		Invalidated: s.lastInvalidated,
+		Repriced:    s.lastRepriced,
+	}
+}
+
+// PlanCalls reports full optimizer invocations consumed so far.
+func (s *DesignSession) PlanCalls() int64 { return s.planCalls }
+
+// Memo exposes the session's cost memo: full-optimizer costs keyed by
+// (query, index configuration), maintained whenever the design is
+// partition-free. Advisors warm-start from it.
+func (s *DesignSession) Memo() *costlab.Memo { return s.shared }
+
+// SuggestIndexesGreedy runs the greedy advisor over the session's
+// workload, warm-started from the session's memo: configurations the
+// DBA already priced interactively are never re-batched. The memo
+// holds full-optimizer costs, so the backend is forced to "full".
+func (s *DesignSession) SuggestIndexesGreedy(opts advisor.Options) (*advisor.Result, error) {
+	opts.Backend = costlab.BackendFull
+	opts.Memo = s.shared
+	if opts.Workers == 0 {
+		opts.Workers = s.opts.Workers
+	}
+	return advisor.SuggestIndexesGreedy(s.cat, s.queries, opts)
+}
+
+// AddIndex adds a what-if index and re-prices only the queries that
+// reference its table.
+func (s *DesignSession) AddIndex(spec inum.IndexSpec) (*InteractiveReport, error) {
+	for _, have := range s.design.Indexes {
+		if have.Key() == spec.Key() {
+			return nil, fmt.Errorf("session: index %s is already in the design", spec.Key())
+		}
+	}
+	target := s.design.clone()
+	// Copy the caller's column slice: the design (and its undo
+	// snapshots) must not alias caller-owned memory.
+	spec.Columns = append([]string(nil), spec.Columns...)
+	target.Indexes = append(target.Indexes, spec)
+	return s.edit(target, s.nestLoop)
+}
+
+// DropIndex removes the design index with spec's identity.
+func (s *DesignSession) DropIndex(spec inum.IndexSpec) (*InteractiveReport, error) {
+	return s.DropIndexKey(spec.Key())
+}
+
+// DropIndexKey removes a design index by its key ("table(col,col)").
+func (s *DesignSession) DropIndexKey(key string) (*InteractiveReport, error) {
+	target := s.design.clone()
+	kept := target.Indexes[:0]
+	found := false
+	for _, have := range target.Indexes {
+		if have.Key() == key {
+			found = true
+			continue
+		}
+		kept = append(kept, have)
+	}
+	if !found {
+		return nil, fmt.Errorf("session: no design index %s", key)
+	}
+	target.Indexes = kept
+	return s.edit(target, s.nestLoop)
+}
+
+// AddPartition installs (or replaces — "repartition") the vertical
+// partitioning of def.Table. Replacing drops the old fragments and
+// any design indexes on them.
+func (s *DesignSession) AddPartition(def PartitionDef) (*InteractiveReport, error) {
+	target := s.design.clone()
+	target = removePartition(target, def.Table)
+	// Copy the caller's fragment slices: the design (and its undo
+	// snapshots) must not alias caller-owned memory.
+	cp := PartitionDef{Table: def.Table}
+	for _, cols := range def.Fragments {
+		cp.Fragments = append(cp.Fragments, append([]string(nil), cols...))
+	}
+	target.Partitions = append(target.Partitions, cp)
+	return s.edit(target, s.nestLoop)
+}
+
+// DropPartition removes def.Table's partitioning and any design
+// indexes on its fragments.
+func (s *DesignSession) DropPartition(table string) (*InteractiveReport, error) {
+	found := false
+	for _, def := range s.design.Partitions {
+		if def.Table == table {
+			found = true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("session: table %q is not partitioned in the design", table)
+	}
+	target := removePartition(s.design.clone(), table)
+	return s.edit(target, s.nestLoop)
+}
+
+// removePartition drops table's partition def and cascades to design
+// indexes on its fragments.
+func removePartition(d Design, table string) Design {
+	frags := map[string]bool{}
+	keptParts := d.Partitions[:0]
+	for _, def := range d.Partitions {
+		if def.Table != table {
+			keptParts = append(keptParts, def)
+			continue
+		}
+		for name := range fragmentsOf(def) {
+			frags[name] = true
+		}
+	}
+	d.Partitions = keptParts
+	keptIx := d.Indexes[:0]
+	for _, spec := range d.Indexes {
+		if !frags[spec.Table] {
+			keptIx = append(keptIx, spec)
+		}
+	}
+	d.Indexes = keptIx
+	return d
+}
+
+// fragName is the single source of the generated fragment-table
+// naming convention. Every site that creates, validates, rewrites
+// onto, or drops fragments must name them through it, or the rewriter
+// targets and the what-if tables drift apart.
+func fragName(table string, i int) string {
+	return fmt.Sprintf("%s_p%d", table, i+1)
+}
+
+// fragmentsOf names def's generated fragment tables.
+func fragmentsOf(def PartitionDef) map[string][]string {
+	out := map[string][]string{}
+	for i, cols := range def.Fragments {
+		out[fragName(def.Table, i)] = cols
+	}
+	return out
+}
+
+// SetNestLoop toggles the What-If Join component and re-prices the
+// queries whose plans can contain a join.
+func (s *DesignSession) SetNestLoop(enabled bool) (*InteractiveReport, error) {
+	if enabled == s.nestLoop {
+		return s.Report(), nil
+	}
+	return s.edit(s.design.clone(), enabled)
+}
+
+// ApplyDesign replaces the whole design in one edit — the one-shot
+// entry point core.EvaluateDesign uses, and a bulk "load design" for
+// the REPL. Only the diff against the current design is re-priced.
+func (s *DesignSession) ApplyDesign(d Design) (*InteractiveReport, error) {
+	return s.edit(d.clone(), s.nestLoop)
+}
+
+// Undo reverts the last successful edit. Re-pricing is served from
+// the memo, so undoing costs no optimizer calls.
+func (s *DesignSession) Undo() (*InteractiveReport, error) {
+	if len(s.undo) == 0 {
+		return nil, errors.New("session: nothing to undo")
+	}
+	prev := s.undo[len(s.undo)-1]
+	rep, err := s.edit(prev.design, prev.nestLoop)
+	if err != nil {
+		return nil, err
+	}
+	// edit pushed the pre-undo state; drop both frames so undo walks
+	// backwards instead of toggling.
+	s.undo = s.undo[:len(s.undo)-2]
+	return rep, nil
+}
+
+// CanUndo reports whether an edit is available to revert.
+func (s *DesignSession) CanUndo() bool { return len(s.undo) > 0 }
+
+// Report assembles the interactive report for the current design.
+func (s *DesignSession) Report() *InteractiveReport {
+	rep := &InteractiveReport{
+		Invalidated: s.lastInvalidated,
+		Repriced:    s.lastRepriced,
+		MemoHits:    s.memoHits,
+		MemoMisses:  s.memoMisses,
+		PlanCalls:   s.planCalls,
+	}
+	for _, spec := range s.design.Indexes {
+		rep.IndexNames = append(rep.IndexNames, s.ixName[spec.Key()])
+	}
+	for qi, q := range s.queries {
+		st := s.states[qi]
+		rep.PerQuery = append(rep.PerQuery, advisor.QueryBenefit{
+			SQL:         q.SQL,
+			BaseCost:    s.baseCosts[qi],
+			NewCost:     st.cost,
+			IndexesUsed: append([]string(nil), st.indexesUsed...),
+		})
+		rep.Rewritten = append(rep.Rewritten, st.rewrittenSQL)
+		rep.Explains = append(rep.Explains, st.explain)
+		rep.BaseCost += s.baseCosts[qi]
+		rep.NewCost += st.cost
+	}
+	return rep
+}
+
+// Explain returns the current plan explain of query qi.
+func (s *DesignSession) Explain(qi int) (string, error) {
+	if qi < 0 || qi >= len(s.states) {
+		return "", fmt.Errorf("session: no query %d (workload has %d)", qi+1, len(s.states))
+	}
+	return s.states[qi].explain, nil
+}
+
+// ---------------------------------------------------------------------
+// Edit machinery
+// ---------------------------------------------------------------------
+
+// edit transitions the session to (target, targetNL): it validates the
+// target, applies the diff to the what-if session, re-prices the
+// invalidated queries (memo first), and pushes an undo frame. On any
+// error the session is left exactly as it was.
+func (s *DesignSession) edit(target Design, targetNL bool) (*InteractiveReport, error) {
+	prev := snapshot{design: s.design.clone(), nestLoop: s.nestLoop}
+	inval, err := s.applyDesign(target, targetNL)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.reprice(inval); err != nil {
+		// Re-pricing failed (e.g. a fragment set no query rewrite can
+		// cover): revert the design mutation. The target validated
+		// structurally, so the inverse transition cannot fail.
+		if _, rerr := s.applyDesign(prev.design, prev.nestLoop); rerr != nil {
+			return nil, fmt.Errorf("session: rollback after %v failed: %w", err, rerr)
+		}
+		return nil, err
+	}
+	s.publishShared()
+	s.undo = append(s.undo, prev)
+	return s.Report(), nil
+}
+
+// applyDesign mutates the what-if session, rewriter and bookkeeping
+// from the current design to (target, targetNL) and returns the
+// indices of the queries the transition invalidates. The mutation is
+// atomic: validation runs before anything changes, and the two
+// what-if deltas (drops, then creates) cannot fail after it.
+func (s *DesignSession) applyDesign(target Design, targetNL bool) (map[int]bool, error) {
+	targetFrags, err := validateDesign(s.cat, target)
+	if err != nil {
+		return nil, err
+	}
+
+	// Diff partitions by canonical key.
+	curParts := map[string]string{}
+	for _, def := range s.design.Partitions {
+		curParts[def.Table] = partKey(def)
+	}
+	tgtParts := map[string]string{}
+	for _, def := range target.Partitions {
+		tgtParts[def.Table] = partKey(def)
+	}
+	affected := map[string]bool{} // parent-level table names
+	var dropTables []string
+	for _, def := range s.design.Partitions {
+		if tgtParts[def.Table] == curParts[def.Table] && tgtParts[def.Table] != "" {
+			continue // unchanged partitioning
+		}
+		affected[def.Table] = true
+		for name := range fragmentsOf(def) {
+			dropTables = append(dropTables, name)
+		}
+	}
+	var createTables []whatif.TableDef
+	for _, def := range target.Partitions {
+		if curParts[def.Table] == tgtParts[def.Table] {
+			continue
+		}
+		affected[def.Table] = true
+		for i, cols := range def.Fragments {
+			createTables = append(createTables, whatif.TableDef{
+				Name:    fragName(def.Table, i),
+				Parent:  def.Table,
+				Columns: cols,
+			})
+		}
+	}
+	sort.Strings(dropTables)
+	sort.Slice(createTables, func(i, j int) bool { return createTables[i].Name < createTables[j].Name })
+
+	// Diff indexes by key. parentOf resolves fragments through the
+	// union of both designs' fragment maps, so an index riding on a
+	// dropped or created fragment still invalidates its parent's
+	// queries.
+	parentOf := func(table string) string {
+		if p, ok := targetFrags[table]; ok {
+			return p
+		}
+		if p, ok := s.fragParent[table]; ok {
+			return p
+		}
+		return table
+	}
+	curIx := map[string]bool{}
+	for _, spec := range s.design.Indexes {
+		curIx[spec.Key()] = true
+	}
+	tgtIx := map[string]bool{}
+	for _, spec := range target.Indexes {
+		tgtIx[spec.Key()] = true
+	}
+	droppedByTable := map[string]bool{}
+	for _, name := range dropTables {
+		droppedByTable[name] = true
+	}
+	var dropIndexes []string
+	for _, spec := range s.design.Indexes {
+		if tgtIx[spec.Key()] {
+			continue
+		}
+		affected[parentOf(spec.Table)] = true
+		if !droppedByTable[spec.Table] {
+			// Indexes on dropped fragments go with their table.
+			dropIndexes = append(dropIndexes, s.ixName[spec.Key()])
+		}
+	}
+	var createIndexes []whatif.IndexDef
+	var createKeys []string
+	for _, spec := range target.Indexes {
+		onFreshFragment := false
+		for _, td := range createTables {
+			if td.Name == spec.Table {
+				onFreshFragment = true
+			}
+		}
+		if curIx[spec.Key()] && !onFreshFragment {
+			continue
+		}
+		// A surviving key on a re-created fragment must be re-created
+		// too (its table was just dropped and rebuilt).
+		affected[parentOf(spec.Table)] = true
+		createIndexes = append(createIndexes, whatif.IndexDef{Table: spec.Table, Columns: spec.Columns})
+		createKeys = append(createKeys, spec.Key())
+	}
+
+	nlChanged := targetNL != s.nestLoop
+
+	if len(dropTables) == 0 && len(createTables) == 0 && len(dropIndexes) == 0 &&
+		len(createIndexes) == 0 && !nlChanged {
+		// No structural change (e.g. ApplyDesign of the current
+		// design): adopt the target ordering and stop.
+		s.design = target
+		return map[int]bool{}, nil
+	}
+
+	// Apply: drops first so a repartition can reuse fragment names.
+	if _, err := s.ws.ApplyDelta(whatif.Delta{DropIndexes: dropIndexes, DropTables: dropTables}); err != nil {
+		return nil, fmt.Errorf("session: %w", err)
+	}
+	nl := targetNL
+	created, err := s.ws.ApplyDelta(whatif.Delta{
+		CreateTables:  createTables,
+		CreateIndexes: createIndexes,
+		NestLoop:      &nl,
+	})
+	if err != nil {
+		// validateDesign guarantees this cannot happen; fail loudly
+		// rather than limp on with a half-applied design.
+		return nil, fmt.Errorf("session: design diverged from validation: %w", err)
+	}
+
+	// Commit bookkeeping.
+	s.design = target
+	s.nestLoop = targetNL
+	ixName := map[string]string{}
+	for _, spec := range target.Indexes {
+		if name, ok := s.ixName[spec.Key()]; ok {
+			ixName[spec.Key()] = name
+		}
+	}
+	for i, ix := range created {
+		ixName[createKeys[i]] = ix.Name
+	}
+	s.ixName = ixName
+	s.fragParent = targetFrags
+	s.rw = nil
+	if len(target.Partitions) > 0 {
+		parts := map[string]*rewrite.Partitioning{}
+		for _, def := range target.Partitions {
+			pt := &rewrite.Partitioning{Parent: s.cat.Table(def.Table)}
+			for i, cols := range def.Fragments {
+				pt.Fragments = append(pt.Fragments, rewrite.Fragment{
+					Name:    fragName(def.Table, i),
+					Columns: append([]string(nil), cols...),
+				})
+			}
+			parts[def.Table] = pt
+		}
+		s.rw = rewrite.New(parts)
+	}
+
+	// Invalidate: queries touching an affected table, plus — on a
+	// join-flag change — every query whose plan can contain a join
+	// (multi-relation, or touching a partitioned table in either
+	// design, since fragment rewrites introduce joins).
+	inval := map[int]bool{}
+	for qi, fp := range s.foot {
+		for table := range affected {
+			if fp.TouchesTable(table) {
+				inval[qi] = true
+			}
+		}
+		if nlChanged && s.joinCapable(qi) {
+			inval[qi] = true
+		}
+	}
+	return inval, nil
+}
+
+// joinCapable reports whether query qi's plan can contain a join
+// under the (already committed) current design: it names several
+// relations, or touches a partitioned table and so may rewrite into
+// a fragment join.
+func (s *DesignSession) joinCapable(qi int) bool {
+	if s.foot[qi].Relations >= 2 {
+		return true
+	}
+	for _, def := range s.design.Partitions {
+		if s.foot[qi].TouchesTable(def.Table) {
+			return true
+		}
+	}
+	return false
+}
+
+// validateDesign checks target against the base catalog and returns
+// its fragment→parent map. It performs every check the what-if layer
+// would, so applying a validated design cannot fail halfway.
+func validateDesign(cat *catalog.Catalog, target Design) (map[string]string, error) {
+	frags := map[string]string{}
+	fragCols := map[string]map[string]bool{}
+	seenPart := map[string]bool{}
+	for _, def := range target.Partitions {
+		parent := cat.Table(def.Table)
+		if parent == nil {
+			return nil, fmt.Errorf("session: unknown table %q in partition design", def.Table)
+		}
+		if seenPart[def.Table] {
+			return nil, fmt.Errorf("session: duplicate partitioning of %q", def.Table)
+		}
+		seenPart[def.Table] = true
+		if len(def.Fragments) == 0 {
+			return nil, fmt.Errorf("session: partitioning of %q has no fragments", def.Table)
+		}
+		for i, cols := range def.Fragments {
+			name := fragName(def.Table, i)
+			// A generated fragment name must not shadow a real table:
+			// applyDesign's create delta runs after its drop delta, so
+			// every failure mode has to be caught here — this is the
+			// one CreateTable error the drop phase cannot clear.
+			if cat.Table(name) != nil {
+				return nil, fmt.Errorf("session: fragment name %q collides with an existing table", name)
+			}
+			set := map[string]bool{}
+			for _, pk := range parent.PrimaryKey {
+				set[pk] = true
+			}
+			for _, c := range cols {
+				if parent.ColumnIndex(c) < 0 {
+					return nil, fmt.Errorf("session: parent %q has no column %q", def.Table, c)
+				}
+				set[c] = true
+			}
+			frags[name] = def.Table
+			fragCols[name] = set
+		}
+	}
+	seenIx := map[string]bool{}
+	for _, spec := range target.Indexes {
+		if len(spec.Columns) == 0 {
+			return nil, fmt.Errorf("session: index on %q needs at least one column", spec.Table)
+		}
+		if seenIx[spec.Key()] {
+			return nil, fmt.Errorf("session: duplicate index %s in design", spec.Key())
+		}
+		seenIx[spec.Key()] = true
+		if cols, ok := fragCols[spec.Table]; ok {
+			for _, c := range spec.Columns {
+				if !cols[c] {
+					return nil, fmt.Errorf("session: fragment %q has no column %q", spec.Table, c)
+				}
+			}
+			continue
+		}
+		t := cat.Table(spec.Table)
+		if t == nil {
+			return nil, fmt.Errorf("session: unknown table %q in index design", spec.Table)
+		}
+		for _, c := range spec.Columns {
+			if t.ColumnIndex(c) < 0 {
+				return nil, fmt.Errorf("session: table %q has no column %q", spec.Table, c)
+			}
+		}
+	}
+	return frags, nil
+}
+
+// projectedSig is the memo identity of the design as query qi sees
+// it: only the indexes, partitions and flags that can influence qi's
+// plan participate, so an edit elsewhere leaves qi's signature — and
+// its memo entry — untouched.
+func (s *DesignSession) projectedSig(qi int) string {
+	fp := s.foot[qi]
+	var parts []string
+	join := fp.Relations >= 2
+	for _, def := range s.design.Partitions {
+		if fp.TouchesTable(def.Table) {
+			parts = append(parts, "part:"+partKey(def))
+			join = true // fragment rewrites can introduce joins
+		}
+	}
+	for _, spec := range s.design.Indexes {
+		parent := spec.Table
+		if p, ok := s.fragParent[spec.Table]; ok {
+			parent = p
+		}
+		if fp.TouchesTable(parent) {
+			parts = append(parts, "ix:"+spec.Key())
+		}
+	}
+	sort.Strings(parts)
+	if join && !s.nestLoop {
+		parts = append(parts, "nl:off")
+	}
+	return strings.Join(parts, ";")
+}
+
+// parallelRepriceThreshold is the invalidation-set size above which
+// re-pricing fans out over pooled sessions instead of planning
+// sequentially on the session's own planner.
+const parallelRepriceThreshold = 4
+
+// reprice refreshes the states of the invalidated queries: memo hits
+// restore the full state without planning; misses re-plan (in
+// parallel when the miss set is large). All-or-nothing — on error no
+// state, memo entry, or edit counter changes.
+func (s *DesignSession) reprice(inval map[int]bool) error {
+	if len(inval) == 0 {
+		s.lastInvalidated, s.lastRepriced = 0, 0
+		return nil
+	}
+	idxs := make([]int, 0, len(inval))
+	for qi := range inval {
+		idxs = append(idxs, qi)
+	}
+	sort.Ints(idxs)
+
+	var misses []pendingPrice
+	hits := 0
+	fresh := map[int]*queryState{}
+	for _, qi := range idxs {
+		sig := s.projectedSig(qi)
+		if st, ok := s.memo[memoKey{qi, sig}]; ok {
+			// The memoized state carries its own rewritten form; only
+			// misses pay for a rewrite.
+			hits++
+			fresh[qi] = st
+			continue
+		}
+		target := s.queries[qi].Stmt
+		if s.rw != nil {
+			var err error
+			target, err = s.rw.Rewrite(target)
+			if err != nil {
+				return fmt.Errorf("session: rewrite of %q: %w", s.queries[qi].SQL, err)
+			}
+		}
+		misses = append(misses, pendingPrice{qi: qi, sig: sig, target: target})
+	}
+
+	if len(misses) > 0 {
+		nameToKey := map[string]string{}
+		rename := map[string]string{}
+		plans := make([]*optimizer.Plan, len(misses))
+		if len(misses) >= parallelRepriceThreshold && s.opts.Workers != 1 {
+			if err := s.planParallel(misses, plans, nameToKey, rename); err != nil {
+				return err
+			}
+		} else {
+			for name, key := range s.ixNameToKey() {
+				nameToKey[name] = key
+			}
+			for i, p := range misses {
+				plan, err := s.ws.Plan(p.target)
+				s.planCalls++
+				if err != nil {
+					return fmt.Errorf("session: what-if plan of %q: %w", s.queries[p.qi].SQL, err)
+				}
+				plans[i] = plan
+			}
+		}
+		for i, p := range misses {
+			st := &queryState{
+				rewritten:    p.target,
+				rewrittenSQL: sql.PrintSelect(p.target),
+				cost:         plans[i].TotalCost,
+				explain:      renameIndexes(optimizer.Explain(plans[i]), rename),
+			}
+			for _, name := range plans[i].IndexesUsed() {
+				if key, ok := nameToKey[name]; ok {
+					st.indexesUsed = append(st.indexesUsed, key)
+				}
+			}
+			sort.Strings(st.indexesUsed)
+			fresh[p.qi] = st
+			s.memo[memoKey{p.qi, p.sig}] = st
+		}
+	}
+	// Commit — nothing above this point mutated session state, so a
+	// failed edit leaves states, memo and counters describing the last
+	// successful one.
+	for qi, st := range fresh {
+		s.states[qi] = st
+	}
+	s.memoHits += int64(hits)
+	s.memoMisses += int64(len(misses))
+	s.lastInvalidated = len(inval)
+	s.lastRepriced = len(misses)
+	return nil
+}
+
+// ixNameToKey inverts the design-index name map.
+func (s *DesignSession) ixNameToKey() map[string]string {
+	out := map[string]string{}
+	for key, name := range s.ixName {
+		out[name] = key
+	}
+	return out
+}
+
+// pendingPrice is one memo miss awaiting an optimizer call.
+type pendingPrice struct {
+	qi     int
+	sig    string
+	target *sql.Select
+}
+
+// renameIndexes maps hypothetical index names inside an explain text
+// through rename, longest name first so a name that is a prefix of
+// another (ix1_t_ra vs ix1_t_ra_dec) never clobbers it.
+func renameIndexes(explain string, rename map[string]string) string {
+	if len(rename) == 0 {
+		return explain
+	}
+	froms := make([]string, 0, len(rename))
+	for from := range rename {
+		froms = append(froms, from)
+	}
+	sort.Slice(froms, func(i, j int) bool { return len(froms[i]) > len(froms[j]) })
+	for _, from := range froms {
+		explain = strings.ReplaceAll(explain, from, rename[from])
+	}
+	return explain
+}
+
+// planParallel prices the missed queries through a throwaway pool of
+// what-if sessions carrying the current design — the same fan-out
+// core.EvaluateDesign has always used for full evaluations. The
+// pooled sessions regenerate hypothetical index names from a fresh
+// counter; nameToKey is filled with those pool names, and rename maps
+// them back to the live session's names so user-visible explains stay
+// consistent with InteractiveReport.IndexNames.
+func (s *DesignSession) planParallel(misses []pendingPrice, plans []*optimizer.Plan, nameToKey, rename map[string]string) error {
+	nl := s.nestLoop
+	design := s.design
+	inner := func(ws *whatif.Session) error {
+		for _, def := range design.Partitions {
+			for i, cols := range def.Fragments {
+				if _, err := ws.CreateTable(whatif.TableDef{
+					Name:    fragName(def.Table, i),
+					Parent:  def.Table,
+					Columns: cols,
+				}); err != nil {
+					return err
+				}
+			}
+		}
+		ws.SetNestLoop(nl)
+		return nil
+	}
+	setup, names := costlab.IndexSetup(design.Indexes, inner)
+	est := costlab.NewFullWithSetup(s.cat, setup)
+	targets := make([]*sql.Select, len(misses))
+	for i, p := range misses {
+		targets[i] = p.target
+	}
+	got, err := est.PlanAll(context.Background(), targets, s.opts.Workers)
+	s.planCalls += est.PlanCalls()
+	if err != nil {
+		var je *costlab.JobError
+		if errors.As(err, &je) && je.Index >= 0 && je.Index < len(misses) {
+			return fmt.Errorf("session: what-if plan of %q: %w", s.queries[misses[je.Index].qi].SQL, je.Err)
+		}
+		return fmt.Errorf("session: what-if plan: %w", err)
+	}
+	copy(plans, got)
+	for i, name := range names() {
+		key := design.Indexes[i].Key()
+		nameToKey[name] = key
+		if live, ok := s.ixName[key]; ok && live != name {
+			rename[name] = live
+		}
+	}
+	return nil
+}
+
+// publishShared mirrors the current per-query costs into the shared
+// cost memo when the design is expressible as a plain index
+// configuration (no partitions, nested loops enabled) — exactly the
+// shape advisor pricing jobs have.
+func (s *DesignSession) publishShared() {
+	if len(s.design.Partitions) > 0 || !s.nestLoop {
+		return
+	}
+	cfgKey := costlab.ConfigKey(costlab.Config(s.design.Indexes))
+	for qi, q := range s.queries {
+		s.shared.StoreKey(s.shared.StmtKey(q.Stmt), cfgKey, s.states[qi].cost)
+	}
+}

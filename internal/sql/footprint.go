@@ -1,0 +1,137 @@
+package sql
+
+// Query-footprint analysis: which tables (and which of their columns)
+// a statement touches. The INUM cache keys its scenarios on this
+// information, and the interactive design-session engine uses it to
+// decide which queries a physical-design edit can possibly affect —
+// both consume the same helpers so the two layers cannot drift apart.
+
+// Footprint summarizes the relations a statement reads: the base
+// tables it references, the columns it touches per table, and how many
+// relation references appear in the FROM/JOIN clauses (self-joins
+// count each reference).
+type Footprint struct {
+	// Tables holds every referenced base-table name.
+	Tables map[string]bool
+	// Columns maps table name → referenced column names. Unqualified
+	// column references cannot be attributed without a catalog, so
+	// they are conservatively charged to every referenced table —
+	// consumers treat Columns as a superset, which keeps
+	// invalidation decisions safe.
+	Columns map[string]map[string]bool
+	// Relations counts relation references (FROM entries plus JOINs).
+	Relations int
+}
+
+// FootprintOf analyzes sel. Aliases are resolved to their base-table
+// names, so `photoobj p JOIN photoobj q` yields one table with two
+// relation references.
+func FootprintOf(sel *Select) *Footprint {
+	fp := &Footprint{
+		Tables:  map[string]bool{},
+		Columns: map[string]map[string]bool{},
+	}
+	byAlias := TableByAlias(sel)
+	note := func(table, col string) {
+		if fp.Columns[table] == nil {
+			fp.Columns[table] = map[string]bool{}
+		}
+		fp.Columns[table][col] = true
+	}
+	record := func(tr TableRef) {
+		fp.Tables[tr.Table] = true
+		fp.Relations++
+	}
+	for _, tr := range sel.From {
+		record(tr)
+	}
+	for _, j := range sel.Joins {
+		record(j.Table)
+	}
+	WalkSelect(sel, func(e Expr) {
+		ref, ok := e.(*ColumnRef)
+		if !ok || ref.Column == "*" {
+			return
+		}
+		if ref.Table != "" {
+			if table, ok := byAlias[ref.Table]; ok {
+				note(table, ref.Column)
+			}
+			return
+		}
+		// Unqualified: attribute to every table (safe superset).
+		for table := range fp.Tables {
+			note(table, ref.Column)
+		}
+	})
+	return fp
+}
+
+// TouchesTable reports whether the statement references table.
+func (fp *Footprint) TouchesTable(table string) bool { return fp.Tables[table] }
+
+// TouchesAnyColumn reports whether the statement references table and
+// at least one of cols on it (or any column, when cols is empty).
+func (fp *Footprint) TouchesAnyColumn(table string, cols []string) bool {
+	set := fp.Columns[table]
+	if set == nil {
+		return false
+	}
+	if len(cols) == 0 {
+		return true
+	}
+	for _, c := range cols {
+		if set[c] {
+			return true
+		}
+	}
+	return false
+}
+
+// TableByAlias maps each relation alias of sel (the effective name —
+// the alias when present, the table name otherwise) to its base-table
+// name.
+func TableByAlias(sel *Select) map[string]string {
+	out := map[string]string{}
+	for _, tr := range sel.From {
+		out[tr.EffectiveName()] = tr.Table
+	}
+	for _, j := range sel.Joins {
+		out[j.Table.EffectiveName()] = j.Table.Table
+	}
+	return out
+}
+
+// EquiJoinColumnsByAlias collects, per relation alias, the columns
+// that appear in simple equijoin clauses (col = col across
+// relations) — WHERE conjuncts and explicit JOIN conditions alike.
+// INUM's interesting-order scenario bits come from this set.
+func EquiJoinColumnsByAlias(sel *Select) map[string]map[string]bool {
+	out := map[string]map[string]bool{}
+	note := func(ref *ColumnRef) {
+		if ref.Table == "" {
+			return
+		}
+		if out[ref.Table] == nil {
+			out[ref.Table] = map[string]bool{}
+		}
+		out[ref.Table][ref.Column] = true
+	}
+	conjuncts := ConjunctsOf(sel.Where)
+	for _, j := range sel.Joins {
+		conjuncts = append(conjuncts, ConjunctsOf(j.Cond)...)
+	}
+	for _, cj := range conjuncts {
+		be, ok := cj.(*BinaryExpr)
+		if !ok || be.Op != OpEq {
+			continue
+		}
+		l, lok := be.Left.(*ColumnRef)
+		r, rok := be.Right.(*ColumnRef)
+		if lok && rok && l.Table != r.Table {
+			note(l)
+			note(r)
+		}
+	}
+	return out
+}

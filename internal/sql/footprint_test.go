@@ -1,0 +1,113 @@
+package sql
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func mustParse(t *testing.T, q string) *Select {
+	t.Helper()
+	sel, err := ParseSelect(q)
+	if err != nil {
+		t.Fatalf("parse %q: %v", q, err)
+	}
+	return sel
+}
+
+func sortedKeys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestFootprintSimple(t *testing.T) {
+	fp := FootprintOf(mustParse(t, "SELECT objid FROM photoobj WHERE ra BETWEEN 1 AND 2"))
+	if got := sortedKeys(fp.Tables); !reflect.DeepEqual(got, []string{"photoobj"}) {
+		t.Fatalf("tables = %v", got)
+	}
+	if fp.Relations != 1 {
+		t.Errorf("relations = %d, want 1", fp.Relations)
+	}
+	// Unqualified refs attribute to the single table.
+	if got := sortedKeys(fp.Columns["photoobj"]); !reflect.DeepEqual(got, []string{"objid", "ra"}) {
+		t.Errorf("columns = %v", got)
+	}
+	if !fp.TouchesTable("photoobj") || fp.TouchesTable("specobj") {
+		t.Error("TouchesTable wrong")
+	}
+	if !fp.TouchesAnyColumn("photoobj", []string{"ra", "zz"}) {
+		t.Error("TouchesAnyColumn missed ra")
+	}
+	if fp.TouchesAnyColumn("photoobj", []string{"zz"}) {
+		t.Error("TouchesAnyColumn false positive")
+	}
+}
+
+func TestFootprintAliasedJoin(t *testing.T) {
+	// Aliases must resolve to base tables, across both implicit and
+	// explicit join syntax.
+	fp := FootprintOf(mustParse(t,
+		`SELECT p.objid, s.z FROM photoobj p JOIN specobj s ON p.objid = s.bestobjid WHERE s.z > 2.9`))
+	if got := sortedKeys(fp.Tables); !reflect.DeepEqual(got, []string{"photoobj", "specobj"}) {
+		t.Fatalf("tables = %v", got)
+	}
+	if fp.Relations != 2 {
+		t.Errorf("relations = %d, want 2", fp.Relations)
+	}
+	if got := sortedKeys(fp.Columns["photoobj"]); !reflect.DeepEqual(got, []string{"objid"}) {
+		t.Errorf("photoobj columns = %v", got)
+	}
+	if got := sortedKeys(fp.Columns["specobj"]); !reflect.DeepEqual(got, []string{"bestobjid", "z"}) {
+		t.Errorf("specobj columns = %v", got)
+	}
+}
+
+func TestFootprintSelfJoin(t *testing.T) {
+	// A self-join is one table with two relation references; columns
+	// reached through either alias land on the same table.
+	fp := FootprintOf(mustParse(t,
+		`SELECT p.objid, q.objid AS o2 FROM photoobj p, photoobj q, neighbors n
+		 WHERE p.objid = n.objid AND q.objid = n.neighborobjid AND n.distance < 0.001 AND q.type = 6`))
+	if got := sortedKeys(fp.Tables); !reflect.DeepEqual(got, []string{"neighbors", "photoobj"}) {
+		t.Fatalf("tables = %v", got)
+	}
+	if fp.Relations != 3 {
+		t.Errorf("relations = %d, want 3", fp.Relations)
+	}
+	if got := sortedKeys(fp.Columns["photoobj"]); !reflect.DeepEqual(got, []string{"objid", "type"}) {
+		t.Errorf("photoobj columns = %v", got)
+	}
+}
+
+func TestTableByAlias(t *testing.T) {
+	got := TableByAlias(mustParse(t,
+		`SELECT p.objid FROM photoobj p, field JOIN specobj s ON p.objid = s.bestobjid WHERE field.run = 1`))
+	want := map[string]string{"p": "photoobj", "s": "specobj", "field": "field"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("TableByAlias = %v, want %v", got, want)
+	}
+}
+
+func TestEquiJoinColumnsByAlias(t *testing.T) {
+	// Join columns must be collected from WHERE conjuncts and explicit
+	// ON conditions, per alias; single-relation predicates don't count.
+	got := EquiJoinColumnsByAlias(mustParse(t,
+		`SELECT p.objid FROM photoobj p, field f JOIN specobj s ON p.objid = s.bestobjid
+		 WHERE p.run = f.run AND p.camcol = f.camcol AND s.z > 2 AND p.ra = p.dec`))
+	if !got["p"]["objid"] || !got["s"]["bestobjid"] {
+		t.Errorf("ON-clause join columns missing: %v", got)
+	}
+	if !got["p"]["run"] || !got["f"]["run"] || !got["p"]["camcol"] || !got["f"]["camcol"] {
+		t.Errorf("WHERE-clause join columns missing: %v", got)
+	}
+	if got["s"]["z"] {
+		t.Error("selection predicate counted as join column")
+	}
+	if got["p"]["ra"] || got["p"]["dec"] {
+		t.Error("same-relation equality counted as join column")
+	}
+}

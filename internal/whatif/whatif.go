@@ -253,6 +253,115 @@ func (s *Session) TotalIndexSize() int64 {
 	return pages * catalog.PageSize
 }
 
+// IndexDef names an index to create in a Delta: a table and its key
+// columns.
+type IndexDef struct {
+	Table   string
+	Columns []string
+}
+
+// Delta is a batch of design edits applied atomically by ApplyDelta —
+// the middle ground between per-edit mutation and a full Reset.
+// Operations apply in the order: create tables, create indexes, drop
+// indexes, drop tables, set the nested-loop flag.
+type Delta struct {
+	CreateTables  []TableDef
+	CreateIndexes []IndexDef
+	DropIndexes   []string // what-if index names
+	DropTables    []string // what-if table names (cascades to their indexes)
+	NestLoop      *bool    // nil leaves the flag unchanged
+}
+
+// Empty reports whether the delta performs no edits.
+func (d Delta) Empty() bool {
+	return len(d.CreateTables) == 0 && len(d.CreateIndexes) == 0 &&
+		len(d.DropIndexes) == 0 && len(d.DropTables) == 0 && d.NestLoop == nil
+}
+
+// ApplyDelta applies the batch atomically: either every edit lands or
+// the session is left exactly as it was (including generated-name
+// counters). It returns the created what-if indexes in
+// d.CreateIndexes order. The design-session engine applies one edit's
+// delta per interaction instead of rebuilding the design from
+// scratch.
+func (s *Session) ApplyDelta(d Delta) ([]*catalog.Index, error) {
+	// Snapshot the cheap mutable state; the maps hold only the
+	// session's few hypothetical objects.
+	prevIndexes := make(map[string]*catalog.Index, len(s.hypoIndexes))
+	for k, v := range s.hypoIndexes {
+		prevIndexes[k] = v
+	}
+	prevTables := make(map[string]*catalog.Table, len(s.hypoTables))
+	for k, v := range s.hypoTables {
+		prevTables[k] = v
+	}
+	prevID, prevNL := s.nextID, s.NestLoopEnabled()
+
+	restore := func() {
+		s.hypoIndexes = prevIndexes
+		s.hypoTables = prevTables
+		s.nextID = prevID
+		s.SetNestLoop(prevNL)
+	}
+
+	for _, td := range d.CreateTables {
+		if _, err := s.CreateTable(td); err != nil {
+			restore()
+			return nil, err
+		}
+	}
+	created := make([]*catalog.Index, 0, len(d.CreateIndexes))
+	for _, id := range d.CreateIndexes {
+		ix, err := s.CreateIndex(id.Table, id.Columns)
+		if err != nil {
+			restore()
+			return nil, err
+		}
+		created = append(created, ix)
+	}
+	for _, name := range d.DropIndexes {
+		if err := s.DropIndex(name); err != nil {
+			restore()
+			return nil, err
+		}
+	}
+	for _, name := range d.DropTables {
+		if err := s.DropTable(name); err != nil {
+			restore()
+			return nil, err
+		}
+	}
+	if d.NestLoop != nil {
+		s.SetNestLoop(*d.NestLoop)
+	}
+	return created, nil
+}
+
+// Signature returns a canonical, cheap-to-compare identity of the
+// session's hypothetical design: every what-if index as table(cols),
+// every what-if table as name<parent, and the nested-loop flag.
+// Generated object names are deliberately excluded, so two sessions
+// holding the same design — built in any order, with any counter
+// history — produce equal signatures.
+func (s *Session) Signature() string {
+	var parts []string
+	for _, ix := range s.hypoIndexes {
+		parts = append(parts, "ix:"+ix.Table+"("+strings.Join(ix.Columns, ",")+")")
+	}
+	for _, t := range s.hypoTables {
+		cols := make([]string, 0, len(t.Columns))
+		for _, c := range t.Columns {
+			cols = append(cols, c.Name)
+		}
+		parts = append(parts, "tab:"+t.Name+"<"+t.PartitionOf+"("+strings.Join(cols, ",")+")")
+	}
+	sort.Strings(parts)
+	if !s.NestLoopEnabled() {
+		parts = append(parts, "nl:off")
+	}
+	return strings.Join(parts, ";")
+}
+
 // Reset drops every hypothetical feature and re-enables nested loops.
 func (s *Session) Reset() {
 	s.hypoIndexes = make(map[string]*catalog.Index)

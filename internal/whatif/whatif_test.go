@@ -272,3 +272,116 @@ func TestSimulationIsDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestApplyDeltaAtomic(t *testing.T) {
+	s := NewSession(testCatalog(t))
+	off := false
+	created, err := s.ApplyDelta(Delta{
+		CreateTables:  []TableDef{{Name: "p1", Parent: "photoobj", Columns: []string{"ra"}}},
+		CreateIndexes: []IndexDef{{Table: "p1", Columns: []string{"ra"}}, {Table: "photoobj", Columns: []string{"run"}}},
+		NestLoop:      &off,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(created) != 2 || created[0].Table != "p1" || created[1].Table != "photoobj" {
+		t.Fatalf("created = %v", created)
+	}
+	if len(s.Indexes()) != 2 || len(s.Tables()) != 1 || s.NestLoopEnabled() {
+		t.Fatalf("delta not fully applied")
+	}
+	// Drop everything through a second delta.
+	on := true
+	if _, err := s.ApplyDelta(Delta{
+		DropIndexes: []string{created[1].Name},
+		DropTables:  []string{"p1"}, // cascades to the p1 index
+		NestLoop:    &on,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Indexes()) != 0 || len(s.Tables()) != 0 || !s.NestLoopEnabled() {
+		t.Fatalf("drop delta incomplete: ix=%d tab=%d", len(s.Indexes()), len(s.Tables()))
+	}
+}
+
+func TestApplyDeltaRollsBackOnError(t *testing.T) {
+	s := NewSession(testCatalog(t))
+	base, err := s.CreateIndex("photoobj", []string{"ra"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigBefore := s.Signature()
+	// Second index in the batch is invalid: nothing may land.
+	if _, err := s.ApplyDelta(Delta{
+		CreateIndexes: []IndexDef{{Table: "photoobj", Columns: []string{"run"}}, {Table: "photoobj", Columns: []string{"nosuch"}}},
+	}); err == nil {
+		t.Fatal("invalid delta accepted")
+	}
+	if got := s.Signature(); got != sigBefore {
+		t.Errorf("failed delta mutated the session: %q != %q", got, sigBefore)
+	}
+	if len(s.Indexes()) != 1 || s.Indexes()[0].Name != base.Name {
+		t.Errorf("rollback lost the pre-existing index")
+	}
+	// Generated names must also restore: a fresh create after a failed
+	// delta names objects as if the failure never happened.
+	ix2, err := s.CreateIndex("photoobj", []string{"run"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewSession(testCatalog(t))
+	if _, err := s2.CreateIndex("photoobj", []string{"ra"}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := s2.CreateIndex("photoobj", []string{"run"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix2.Name != want.Name {
+		t.Errorf("name counter leaked through rollback: %q vs %q", ix2.Name, want.Name)
+	}
+}
+
+func TestSignatureIsOrderAndNameIndependent(t *testing.T) {
+	a := NewSession(testCatalog(t))
+	b := NewSession(testCatalog(t))
+	if a.Signature() != "" || a.Signature() != b.Signature() {
+		t.Fatalf("empty sessions disagree: %q vs %q", a.Signature(), b.Signature())
+	}
+	// Same design, built in different orders with different counter
+	// histories, must collide.
+	if _, err := a.CreateIndex("photoobj", []string{"ra"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.CreateIndex("photoobj", []string{"run", "type"}); err != nil {
+		t.Fatal(err)
+	}
+	tmp, err := b.CreateIndex("photoobj", []string{"dec"}) // bump b's counter
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.DropIndex(tmp.Name); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.CreateIndex("photoobj", []string{"run", "type"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.CreateIndex("photoobj", []string{"ra"}); err != nil {
+		t.Fatal(err)
+	}
+	if a.Signature() != b.Signature() {
+		t.Errorf("same design, different signatures:\n%q\n%q", a.Signature(), b.Signature())
+	}
+	// Different designs must not collide; the nest-loop flag counts.
+	b.SetNestLoop(false)
+	if a.Signature() == b.Signature() {
+		t.Error("nest-loop flag not in signature")
+	}
+	b.SetNestLoop(true)
+	if _, err := b.CreateTable(TableDef{Name: "p1", Parent: "photoobj", Columns: []string{"ra"}}); err != nil {
+		t.Fatal(err)
+	}
+	if a.Signature() == b.Signature() {
+		t.Error("what-if table not in signature")
+	}
+}
