@@ -14,9 +14,17 @@ package repro
 //	plancalls   full optimizer invocations consumed
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/advisor"
@@ -26,6 +34,7 @@ import (
 	"repro/internal/costlab"
 	"repro/internal/inum"
 	"repro/internal/optimizer"
+	"repro/internal/serve"
 	"repro/internal/session"
 	"repro/internal/sql"
 	"repro/internal/storage"
@@ -361,6 +370,130 @@ func BenchmarkSessionIncrementalEdit(b *testing.B) {
 		}
 		b.ReportMetric(float64(calls), "plancalls_total")
 	})
+}
+
+// --- Serve: multi-tenant sessions over one shared memo ---------------
+// The serving subsystem's headline: tenants share one pricing memo,
+// so after tenant A prices an edit, an identical edit by any other
+// tenant — including the tenant's own session creation — issues ZERO
+// optimizer calls, and the costs responses are byte-identical across
+// tenants and runs even under concurrent load. Asserted, not just
+// reported, via the real HTTP surface.
+
+func BenchmarkServeConcurrentTenants(b *testing.B) {
+	cat := planCatalog(b, 300000)
+	wl := workload.Queries()
+	const tenants = 8
+	mgr := serve.NewManager(cat, wl, serve.Options{MaxSessions: 2*tenants + 2})
+	ts := httptest.NewServer(mgr.Handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	// do returns errors instead of failing, because it also runs on
+	// tenant goroutines where b.Fatal is not allowed.
+	do := func(method, path, body string, want int) ([]byte, error) {
+		req, err := http.NewRequest(method, ts.URL+path, strings.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != want {
+			return nil, fmt.Errorf("%s %s = %d, want %d (%s)", method, path, resp.StatusCode, want, raw)
+		}
+		return raw, nil
+	}
+	planCallsOf := func(name string) (int64, error) {
+		raw, err := do("GET", "/sessions/"+name+"/stats", "", http.StatusOK)
+		if err != nil {
+			return 0, err
+		}
+		var st struct {
+			PlanCalls int64 `json:"planCalls"`
+		}
+		if err := json.Unmarshal(raw, &st); err != nil {
+			return 0, err
+		}
+		return st.PlanCalls, nil
+	}
+	mustDo := func(method, path, body string, want int) []byte { // main goroutine only
+		raw, err := do(method, path, body, want)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return raw
+	}
+
+	// Tenant A (the "warm" tenant) prices the base design and the
+	// edit; everything later is served from the shared memo.
+	const editBody = `{"table":"field","columns":["run","camcol"]}`
+	mustDo("POST", "/sessions", `{"name":"warm"}`, http.StatusCreated)
+	mustDo("POST", "/sessions/warm/indexes", editBody, http.StatusOK)
+	warmCalls, err := planCallsOf("warm")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if warmCalls == 0 {
+		b.Fatal("warm tenant priced nothing — the benchmark premise is broken")
+	}
+	reference := mustDo("GET", "/sessions/warm/costs", "", http.StatusOK)
+
+	var tenantCalls atomic.Int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for tn := 0; tn < tenants; tn++ {
+			wg.Add(1)
+			go func(tn int) {
+				defer wg.Done()
+				name := fmt.Sprintf("t%d-%d", i, tn)
+				tenant := func() error {
+					if _, err := do("POST", "/sessions", fmt.Sprintf(`{"name":%q}`, name), http.StatusCreated); err != nil {
+						return err
+					}
+					if _, err := do("POST", "/sessions/"+name+"/indexes", editBody, http.StatusOK); err != nil {
+						return err
+					}
+					calls, err := planCallsOf(name)
+					if err != nil {
+						return err
+					}
+					tenantCalls.Add(calls)
+					if calls != 0 {
+						return fmt.Errorf("tenant %s issued %d optimizer calls, want 0 (shared memo)", name, calls)
+					}
+					costs, err := do("GET", "/sessions/"+name+"/costs", "", http.StatusOK)
+					if err != nil {
+						return err
+					}
+					if !bytes.Equal(costs, reference) {
+						return fmt.Errorf("tenant %s costs response differs from the reference:\n got %s\nwant %s",
+							name, costs, reference)
+					}
+					_, err = do("DELETE", "/sessions/"+name, "", http.StatusNoContent)
+					return err
+				}
+				if err := tenant(); err != nil {
+					b.Error(err) // Error (not Fatal) is goroutine-safe
+				}
+			}(tn)
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	st := mgr.Shared().Stats()
+	b.ReportMetric(float64(warmCalls), "plancalls_warm")
+	b.ReportMetric(float64(tenantCalls.Load()), "plancalls_tenants")
+	b.ReportMetric(float64(st.Hits), "shared_hits")
+	b.ReportMetric(float64(st.DupStores), "shared_dupstores")
+	b.ReportMetric(float64(tenants), "tenants_per_run")
 }
 
 // --- E6: what-if accuracy against the materialized design -----------

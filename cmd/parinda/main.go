@@ -5,6 +5,7 @@
 //	parinda generate    write the 30-query demonstration workload file
 //	parinda interactive evaluate a manual what-if design (scenario 1)
 //	parinda session     interactive design REPL over a live session
+//	parinda serve       multi-tenant design-session HTTP service
 //	parinda partitions  suggest table partitions via AutoPart (scenario 2)
 //	parinda indexes     suggest indexes via ILP over INUM (scenario 3)
 //	parinda explain     show the optimizer plan for one query
@@ -25,6 +26,8 @@
 //	suggest [budget-mb]                greedy advisor, warm-started from
 //	                                   the session's cost memo
 //	undo                               revert the last edit
+//	redo                               re-apply the last undone edit
+//	design -json                       dump the design as JSON
 //	help, quit
 //
 // All subcommands plan against a synthetic SDSS-like catalog whose
@@ -71,6 +74,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		err = cmdInteractive(args[1:], stdout, stderr)
 	case "session":
 		err = cmdSession(args[1:], stdin, stdout, stderr)
+	case "serve":
+		err = cmdServe(args[1:], stdout, stderr)
 	case "partitions":
 		err = cmdPartitions(args[1:], stdout, stderr)
 	case "indexes":
@@ -134,6 +139,7 @@ commands:
   generate     write the 30-query SDSS demonstration workload to a file
   interactive  evaluate a manual what-if design over a workload
   session      interactive design REPL (incremental re-pricing)
+  serve        multi-tenant design-session HTTP service
   partitions   suggest table partitions (AutoPart)
   indexes      suggest indexes (ILP over INUM; -greedy for the baseline)
   explain      print the plan of a single query

@@ -103,6 +103,10 @@ func TestSessionREPL(t *testing.T) {
 		"design",
 		"stats",
 		"undo",
+		"redo",
+		"undo",
+		"redo", // back to the indexed design
+		"design -json",
 		"create index nosuch(x)", // error, loop must continue
 		"nestloop off",
 		"nestloop on",
@@ -119,6 +123,8 @@ func TestSessionREPL(t *testing.T) {
 		"benefit",                 // edit summaries
 		"re-planned",              // incremental counters
 		"index      photoobj(ra)", // design listing
+		`"columns": [`,            // design -json dump
+		`"table": "photoobj"`,     // design -json dump
 		"memo:",                   // stats
 		"error:",                  // bad edit reported, not fatal
 	} {

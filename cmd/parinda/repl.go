@@ -8,6 +8,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -157,6 +158,13 @@ func execREPLLine(s *session.DesignSession, line string, out io.Writer) (quit bo
 		}
 		printSummary(out, rep)
 		return false, nil
+	case "redo":
+		rep, err := s.Redo()
+		if err != nil {
+			return false, err
+		}
+		printSummary(out, rep)
+		return false, nil
 	case "costs":
 		printCosts(out, s.Report())
 		return false, nil
@@ -171,7 +179,15 @@ func execREPLLine(s *session.DesignSession, line string, out io.Writer) (quit bo
 		}
 		fmt.Fprint(out, text)
 		return false, nil
-	case "design":
+	case "design": // design [-json]
+		if strings.EqualFold(rest, "-json") {
+			blob, err := json.MarshalIndent(s.Design(), "", "  ")
+			if err != nil {
+				return false, err
+			}
+			fmt.Fprintf(out, "%s\n", blob)
+			return false, nil
+		}
 		printDesign(out, s)
 		return false, nil
 	case "stats":
@@ -274,11 +290,12 @@ func replHelp(out io.Writer) {
   nestloop on|off                     toggle the what-if join method
   costs                               per-query costs under the design
   explain <n>                         plan of query n under the design
-  design                              show the current design
+  design [-json]                      show the current design (JSON with -json)
   queries                             list the workload
   stats                               incremental-pricing counters
   suggest [budget-mb]                 greedy advisor (memo warm start)
   undo                                revert the last edit
+  redo                                re-apply the last undone edit
   quit                                leave the session
 `)
 }

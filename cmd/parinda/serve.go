@@ -1,0 +1,55 @@
+package main
+
+// The `parinda serve` subcommand: the multi-tenant design-session
+// service. One process hosts many named sessions over one catalog and
+// one shared pricing memo; SIGINT/SIGTERM drain in-flight requests
+// before exiting.
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func cmdServe(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7341", "listen address (port 0 picks a free one)")
+	maxSessions := fs.Int("max-sessions", serve.DefaultMaxSessions,
+		"resident session cap; past it the LRU idle session is evicted")
+	idleTTL := fs.Duration("idle-ttl", 30*time.Minute, "evict sessions idle this long (0 = never)")
+	drain := fs.Duration("drain", serve.DefaultDrainTimeout, "graceful-shutdown drain timeout")
+	workers := fs.Int("workers", 0, "default per-session pricing workers (0 = GOMAXPROCS)")
+	wl := fs.String("workload", "", "default workload file (default: built-in 30 queries)")
+	scale := fs.Int64("scale", 1000000, "photoobj row count of the synthetic catalog")
+	if err := parseFlags(fs, args, stderr); err != nil {
+		return err
+	}
+	queries, err := loadQueries(*wl)
+	if err != nil {
+		return err
+	}
+	cat, err := buildCatalog(*scale)
+	if err != nil {
+		return err
+	}
+	sv := serve.New(cat, queries, serve.Options{
+		MaxSessions:  *maxSessions,
+		IdleTTL:      *idleTTL,
+		Workers:      *workers,
+		DrainTimeout: *drain,
+	})
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return sv.ListenAndServe(ctx, *addr, func(a net.Addr) {
+		fmt.Fprintf(stdout, "parinda serve: listening on http://%s (default workload: %d queries, scale %d, max %d sessions)\n",
+			a, len(queries), *scale, *maxSessions)
+	})
+}

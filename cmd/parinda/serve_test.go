@@ -1,0 +1,142 @@
+package main
+
+// End-to-end test of `parinda serve`: boot on an ephemeral port,
+// drive the HTTP API (create a session, add an index, read costs),
+// then deliver SIGINT and assert the graceful shutdown exits 0 — the
+// same sequence the CI smoke step runs against the built binary.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syncBuffer lets the test read the serve goroutine's stdout safely.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestServeEndToEnd(t *testing.T) {
+	var stdout, stderr syncBuffer
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run([]string{"serve", "-addr", "127.0.0.1:0", "-scale", "50000", "-max-sessions", "4"},
+			strings.NewReader(""), &stdout, &stderr)
+	}()
+
+	// The only way to learn the ephemeral port is the listening line.
+	addrRE := regexp.MustCompile(`listening on (http://[0-9.:]+)`)
+	var base string
+	for deadline := time.Now().Add(30 * time.Second); time.Now().Before(deadline); {
+		if m := addrRE.FindStringSubmatch(stdout.String()); m != nil {
+			base = m[1]
+			break
+		}
+		select {
+		case code := <-exit:
+			t.Fatalf("serve exited %d before listening, stderr: %s", code, stderr.String())
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	if base == "" {
+		t.Fatalf("no listening line in %q", stdout.String())
+	}
+
+	post := func(path, body string, wantStatus int) []byte {
+		t.Helper()
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("POST %s = %d, want %d (%s)", path, resp.StatusCode, wantStatus, raw)
+		}
+		return raw
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	post("/sessions", `{"name":"smoke"}`, http.StatusCreated)
+	post("/sessions/smoke/indexes", `{"table":"photoobj","columns":["ra"]}`, http.StatusOK)
+
+	costsResp, err := http.Get(base + "/sessions/smoke/costs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(costsResp.Body)
+	costsResp.Body.Close()
+	if costsResp.StatusCode != http.StatusOK {
+		t.Fatalf("costs = %d (%s)", costsResp.StatusCode, raw)
+	}
+	var costs struct {
+		BaseCost float64 `json:"baseCost"`
+		NewCost  float64 `json:"newCost"`
+		Queries  []struct {
+			IndexesUsed []string `json:"indexesUsed"`
+		} `json:"queries"`
+	}
+	if err := json.Unmarshal(raw, &costs); err != nil {
+		t.Fatalf("costs decode %q: %v", raw, err)
+	}
+	if costs.NewCost >= costs.BaseCost {
+		t.Errorf("index brought no benefit: base %v, new %v", costs.BaseCost, costs.NewCost)
+	}
+	used := false
+	for _, q := range costs.Queries {
+		for _, k := range q.IndexesUsed {
+			if k == "photoobj(ra)" {
+				used = true
+			}
+		}
+	}
+	if !used {
+		t.Errorf("no query uses photoobj(ra): %s", raw)
+	}
+
+	// Graceful shutdown: SIGINT (what ^C and the CI step deliver) must
+	// drain and exit 0. signal.NotifyContext registered the handler,
+	// so the test process survives the self-signal.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Errorf("serve exited %d after SIGINT, want 0 (stderr: %s)", code, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve did not exit after SIGINT")
+	}
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("server still serving after shutdown")
+	}
+}

@@ -23,8 +23,14 @@
 //	internal/rewrite    workload rewriting onto partition fragments
 //	internal/workload   SDSS-like schema, 30-query workload, generator
 //	internal/session    incremental design sessions: delta re-pricing,
-//	                    per-(query, design) cost memoization, undo —
-//	                    the engine behind the `parinda session` REPL
+//	                    per-(query, design) cost memoization, undo and
+//	                    redo, cross-session SharedMemo — the engine
+//	                    behind the `parinda session` REPL
+//	internal/serve      multi-tenant design-session service: N named
+//	                    sessions over one catalog + one shared memo,
+//	                    HTTP/JSON API, per-session serialization, LRU
+//	                    and idle-TTL eviction, graceful shutdown —
+//	                    the `parinda serve` subcommand
 //	internal/core       PARINDA facade tying the components together
 //
 // See README.md for the layout and the session REPL commands, and

@@ -118,12 +118,13 @@ func (o Options) maxCols() int {
 	return o.MaxIndexColumns
 }
 
-// QueryBenefit reports one query's costs under the suggestion.
+// QueryBenefit reports one query's costs under the suggestion. The
+// JSON form is part of the serve/session wire format.
 type QueryBenefit struct {
-	SQL         string
-	BaseCost    float64
-	NewCost     float64
-	IndexesUsed []string // keys of suggested indexes this query uses
+	SQL         string   `json:"sql"`
+	BaseCost    float64  `json:"baseCost"`
+	NewCost     float64  `json:"newCost"`
+	IndexesUsed []string `json:"indexesUsed,omitempty"` // keys of suggested indexes this query uses
 }
 
 // Speedup returns BaseCost / NewCost (1 = unchanged).

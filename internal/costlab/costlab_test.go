@@ -530,3 +530,22 @@ func TestEvaluateDeltaPropagatesJobError(t *testing.T) {
 		t.Fatalf("err = %v, want JobError at index 1", err)
 	}
 }
+
+// TestMemoContentionStats: a store whose key is already recorded is a
+// duplicate — the cross-tenant contention signal the serve layer
+// surfaces in its /stats endpoint.
+func TestMemoContentionStats(t *testing.T) {
+	memo := costlab.NewMemo()
+	memo.StoreKey("q1", "cfgA", 10)
+	memo.StoreKey("q1", "cfgB", 20)
+	memo.StoreKey("q1", "cfgA", 10) // duplicate (a racing tenant)
+	memo.LookupKey("q1", "cfgA")
+	memo.LookupKey("q1", "nope")
+	st := memo.Stats()
+	if st.Stores != 3 || st.DupStores != 1 {
+		t.Errorf("stores = %d dup = %d, want 3 and 1", st.Stores, st.DupStores)
+	}
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 2 {
+		t.Errorf("hits %d misses %d entries %d, want 1, 1, 2", st.Hits, st.Misses, st.Entries)
+	}
+}

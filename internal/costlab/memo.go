@@ -28,8 +28,10 @@ type Memo struct {
 	// hot paths don't re-print the SQL on every lookup.
 	stmtKeys sync.Map // *sql.Select → string
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	stores    atomic.Int64
+	dupStores atomic.Int64
 }
 
 type memoKey struct{ stmt, cfg string }
@@ -91,11 +93,39 @@ func (mo *Memo) Store(stmt *sql.Select, cfg Config, cost float64) {
 	mo.StoreKey(mo.StmtKey(stmt), ConfigKey(cfg), cost)
 }
 
-// StoreKey is Store over pre-computed keys.
+// StoreKey is Store over pre-computed keys. A store whose key is
+// already recorded counts as a duplicate: the caller priced work the
+// memo already held — under a shared memo, the signature of
+// concurrent sessions racing to price the same job. Callers that
+// merely mirror state they may have published before (and did not
+// re-price) should use StoreKeyIfAbsent so the DupStores counter
+// keeps meaning "duplicated pricing work".
 func (mo *Memo) StoreKey(stmtKey, cfgKey string, cost float64) {
+	k := memoKey{stmtKey, cfgKey}
 	mo.mu.Lock()
-	mo.m[memoKey{stmtKey, cfgKey}] = cost
+	_, dup := mo.m[k]
+	mo.m[k] = cost
 	mo.mu.Unlock()
+	mo.stores.Add(1)
+	if dup {
+		mo.dupStores.Add(1)
+	}
+}
+
+// StoreKeyIfAbsent records the cost only when the key is missing, and
+// counts neither a store nor a duplicate otherwise — the idempotent
+// publication path for callers re-mirroring known state.
+func (mo *Memo) StoreKeyIfAbsent(stmtKey, cfgKey string, cost float64) {
+	k := memoKey{stmtKey, cfgKey}
+	mo.mu.Lock()
+	_, have := mo.m[k]
+	if !have {
+		mo.m[k] = cost
+	}
+	mo.mu.Unlock()
+	if !have {
+		mo.stores.Add(1)
+	}
 }
 
 // MemoStats reports a memo's lifetime counters.
@@ -103,6 +133,11 @@ type MemoStats struct {
 	Hits    int64 // lookups served from the memo
 	Misses  int64 // lookups that found nothing
 	Entries int   // recorded (query, configuration) costs
+	Stores  int64 // store calls, duplicates included
+	// DupStores counts stores that found their key already recorded —
+	// pricing work duplicated by concurrent sessions sharing the memo
+	// (the contention the shared-memo design is meant to shrink).
+	DupStores int64
 }
 
 // Stats returns the memo's lifetime counters.
@@ -110,7 +145,13 @@ func (mo *Memo) Stats() MemoStats {
 	mo.mu.RLock()
 	n := len(mo.m)
 	mo.mu.RUnlock()
-	return MemoStats{Hits: mo.hits.Load(), Misses: mo.misses.Load(), Entries: n}
+	return MemoStats{
+		Hits:      mo.hits.Load(),
+		Misses:    mo.misses.Load(),
+		Entries:   n,
+		Stores:    mo.stores.Load(),
+		DupStores: mo.dupStores.Load(),
+	}
 }
 
 // BatchStats reports how one incremental batch split between the memo

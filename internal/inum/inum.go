@@ -31,9 +31,10 @@ import (
 )
 
 // IndexSpec names a candidate index: a table and its key columns.
+// The JSON form is the serve/session wire format for design indexes.
 type IndexSpec struct {
-	Table   string
-	Columns []string
+	Table   string   `json:"table"`
+	Columns []string `json:"columns"`
 }
 
 // Key returns a canonical string identity for the spec.

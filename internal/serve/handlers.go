@@ -1,0 +1,390 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/advisor"
+	"repro/internal/inum"
+	"repro/internal/session"
+)
+
+// Handler returns the manager's HTTP/JSON API:
+//
+//	GET    /healthz                              liveness + session count
+//	GET    /stats                                manager + shared-memo counters
+//	GET    /sessions                             list resident sessions
+//	POST   /sessions                             create (CreateSessionRequest)
+//	GET    /sessions/{name}                      design, signature, stats
+//	DELETE /sessions/{name}                      drop
+//	GET    /sessions/{name}/costs                per-query costs (CostsResponse)
+//	GET    /sessions/{name}/design               the design alone (session.Design)
+//	POST   /sessions/{name}/design               replace the design (session.Design)
+//	POST   /sessions/{name}/indexes              add index (IndexRequest)
+//	DELETE /sessions/{name}/indexes?key=t(c,c)   drop index (or IndexRequest body)
+//	POST   /sessions/{name}/partitions           set partitioning (PartitionRequest)
+//	DELETE /sessions/{name}/partitions/{table}   drop partitioning
+//	POST   /sessions/{name}/nestloop             toggle join method (NestLoopRequest)
+//	POST   /sessions/{name}/undo                 revert the last edit
+//	POST   /sessions/{name}/redo                 re-apply the last undone edit
+//	GET    /sessions/{name}/explain/{q}          text/plain plan of query q (1-based)
+//	POST   /sessions/{name}/suggest              greedy advisor (SuggestRequest)
+//	GET    /sessions/{name}/stats                session pricing counters
+//
+// Mutations respond with EditResponse. Errors are ErrorResponse with
+// 400 (malformed request), 404 (no such session/query), 409 (exists,
+// nothing to undo/redo, domain conflicts) or 503 (capacity).
+func (m *Manager) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", m.handleHealth)
+	mux.HandleFunc("GET /stats", m.handleStats)
+	mux.HandleFunc("GET /sessions", m.handleList)
+	mux.HandleFunc("POST /sessions", m.handleCreate)
+	mux.HandleFunc("GET /sessions/{name}", m.handleInfo)
+	mux.HandleFunc("DELETE /sessions/{name}", m.handleDrop)
+	mux.HandleFunc("GET /sessions/{name}/costs", m.handleCosts)
+	mux.HandleFunc("GET /sessions/{name}/design", m.handleGetDesign)
+	mux.HandleFunc("POST /sessions/{name}/design", m.handleApplyDesign)
+	mux.HandleFunc("POST /sessions/{name}/indexes", m.handleAddIndex)
+	mux.HandleFunc("DELETE /sessions/{name}/indexes", m.handleDropIndex)
+	mux.HandleFunc("POST /sessions/{name}/partitions", m.handleAddPartition)
+	mux.HandleFunc("DELETE /sessions/{name}/partitions/{table}", m.handleDropPartition)
+	mux.HandleFunc("POST /sessions/{name}/nestloop", m.handleNestLoop)
+	mux.HandleFunc("POST /sessions/{name}/undo", m.handleUndo)
+	mux.HandleFunc("POST /sessions/{name}/redo", m.handleRedo)
+	mux.HandleFunc("GET /sessions/{name}/explain/{q}", m.handleExplain)
+	mux.HandleFunc("POST /sessions/{name}/suggest", m.handleSuggest)
+	mux.HandleFunc("GET /sessions/{name}/stats", m.handleSessionStats)
+	return mux
+}
+
+// writeJSON marshals v with a stable layout. Marshal errors are
+// impossible for the wire types (no channels/funcs), so they panic;
+// write errors are ordinary client disconnects and are ignored.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	blob, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("serve: encode response: %v", err))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(blob, '\n'))
+}
+
+// writeError maps err to a status code and an ErrorResponse body.
+// Session errors are plain fmt.Errorf text, so state conflicts are
+// recognized by the phrases below (kept in sync with internal/session
+// by the handler tests): all of them — an edit that is already
+// applied, one that targets a design object that is not there, or an
+// empty undo/redo stack — are 409s; every other session error is a
+// 400 (invalid design against the catalog).
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	msg := err.Error()
+	switch {
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrExists):
+		status = http.StatusConflict
+	case errors.Is(err, ErrCapacity):
+		status = http.StatusServiceUnavailable
+	case strings.Contains(msg, "nothing to undo"), strings.Contains(msg, "nothing to redo"),
+		strings.Contains(msg, "already in the design"), strings.Contains(msg, "no design index"),
+		strings.Contains(msg, "is not partitioned in the design"):
+		status = http.StatusConflict
+	}
+	writeJSON(w, status, ErrorResponse{Error: msg})
+}
+
+// decodeBody strictly decodes the request body into v. An empty body
+// is allowed when allowEmpty (endpoints whose request is optional).
+func decodeBody(r *http.Request, v any, allowEmpty bool) error {
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 1<<20))
+	if err != nil {
+		return fmt.Errorf("serve: read request body: %w", err)
+	}
+	if len(strings.TrimSpace(string(body))) == 0 {
+		if allowEmpty {
+			return nil
+		}
+		return fmt.Errorf("serve: request body required")
+	}
+	dec := json.NewDecoder(strings.NewReader(string(body)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("serve: bad request body: %w", err)
+	}
+	var trailing json.RawMessage
+	if err := dec.Decode(&trailing); err != io.EOF {
+		return fmt.Errorf("serve: bad request body: trailing data after the JSON value")
+	}
+	return nil
+}
+
+func (m *Manager) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{OK: true, Sessions: m.Len()})
+}
+
+func (m *Manager) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, m.Stats())
+}
+
+func (m *Manager) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, ListResponse{Sessions: m.List()})
+}
+
+func (m *Manager) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateSessionRequest
+	if err := decodeBody(r, &req, false); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := m.Create(req.Name, req.Workload, req.Workers); err != nil {
+		writeError(w, err)
+		return
+	}
+	var info *SessionInfo
+	if err := m.Do(req.Name, func(s *session.DesignSession) error {
+		info = sessionInfo(req.Name, s)
+		return nil
+	}); err != nil {
+		// Created but evicted before we could describe it — report
+		// the create as successful anyway.
+		writeJSON(w, http.StatusCreated, SessionInfo{Name: req.Name})
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func sessionInfo(name string, s *session.DesignSession) *SessionInfo {
+	return &SessionInfo{
+		Name:      name,
+		Queries:   len(s.Queries()),
+		Design:    s.Design(),
+		Signature: s.Signature(),
+		NestLoop:  s.NestLoopEnabled(),
+		CanUndo:   s.CanUndo(),
+		CanRedo:   s.CanRedo(),
+		Stats:     sessionStats(s.Stats()),
+	}
+}
+
+func (m *Manager) handleInfo(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var info *SessionInfo
+	if err := m.Do(name, func(s *session.DesignSession) error {
+		info = sessionInfo(name, s)
+		return nil
+	}); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (m *Manager) handleDrop(w http.ResponseWriter, r *http.Request) {
+	if err := m.Drop(r.PathValue("name")); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// edit runs a design mutation under the session lock and writes the
+// EditResponse.
+func (m *Manager) edit(w http.ResponseWriter, name string, fn func(*session.DesignSession) (*session.InteractiveReport, error)) {
+	var resp *EditResponse
+	if err := m.Do(name, func(s *session.DesignSession) error {
+		rep, err := fn(s)
+		if err != nil {
+			return err
+		}
+		resp = editResponse(s, rep)
+		return nil
+	}); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (m *Manager) handleAddIndex(w http.ResponseWriter, r *http.Request) {
+	var req IndexRequest
+	if err := decodeBody(r, &req, false); err != nil {
+		writeError(w, err)
+		return
+	}
+	m.edit(w, r.PathValue("name"), func(s *session.DesignSession) (*session.InteractiveReport, error) {
+		return s.AddIndex(inum.IndexSpec{Table: req.Table, Columns: req.Columns})
+	})
+}
+
+func (m *Manager) handleDropIndex(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		var req IndexRequest
+		if err := decodeBody(r, &req, false); err != nil {
+			writeError(w, fmt.Errorf("serve: drop index wants ?key=table(col,col) or a body: %w", err))
+			return
+		}
+		key = inum.IndexSpec{Table: req.Table, Columns: req.Columns}.Key()
+	}
+	m.edit(w, r.PathValue("name"), func(s *session.DesignSession) (*session.InteractiveReport, error) {
+		return s.DropIndexKey(key)
+	})
+}
+
+func (m *Manager) handleAddPartition(w http.ResponseWriter, r *http.Request) {
+	var req PartitionRequest
+	if err := decodeBody(r, &req, false); err != nil {
+		writeError(w, err)
+		return
+	}
+	m.edit(w, r.PathValue("name"), func(s *session.DesignSession) (*session.InteractiveReport, error) {
+		return s.AddPartition(session.PartitionDef{Table: req.Table, Fragments: req.Fragments})
+	})
+}
+
+func (m *Manager) handleDropPartition(w http.ResponseWriter, r *http.Request) {
+	table := r.PathValue("table")
+	m.edit(w, r.PathValue("name"), func(s *session.DesignSession) (*session.InteractiveReport, error) {
+		return s.DropPartition(table)
+	})
+}
+
+func (m *Manager) handleNestLoop(w http.ResponseWriter, r *http.Request) {
+	var req NestLoopRequest
+	if err := decodeBody(r, &req, false); err != nil {
+		writeError(w, err)
+		return
+	}
+	m.edit(w, r.PathValue("name"), func(s *session.DesignSession) (*session.InteractiveReport, error) {
+		return s.SetNestLoop(req.Enabled)
+	})
+}
+
+func (m *Manager) handleUndo(w http.ResponseWriter, r *http.Request) {
+	m.edit(w, r.PathValue("name"), func(s *session.DesignSession) (*session.InteractiveReport, error) {
+		return s.Undo()
+	})
+}
+
+func (m *Manager) handleRedo(w http.ResponseWriter, r *http.Request) {
+	m.edit(w, r.PathValue("name"), func(s *session.DesignSession) (*session.InteractiveReport, error) {
+		return s.Redo()
+	})
+}
+
+func (m *Manager) handleApplyDesign(w http.ResponseWriter, r *http.Request) {
+	var d session.Design
+	if err := decodeBody(r, &d, false); err != nil {
+		writeError(w, err)
+		return
+	}
+	m.edit(w, r.PathValue("name"), func(s *session.DesignSession) (*session.InteractiveReport, error) {
+		return s.ApplyDesign(d)
+	})
+}
+
+func (m *Manager) handleGetDesign(w http.ResponseWriter, r *http.Request) {
+	var d session.Design
+	if err := m.Do(r.PathValue("name"), func(s *session.DesignSession) error {
+		d = s.Design()
+		return nil
+	}); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, d)
+}
+
+func (m *Manager) handleCosts(w http.ResponseWriter, r *http.Request) {
+	var resp *CostsResponse
+	if err := m.Do(r.PathValue("name"), func(s *session.DesignSession) error {
+		resp = costsResponse(s)
+		return nil
+	}); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (m *Manager) handleExplain(w http.ResponseWriter, r *http.Request) {
+	q, err := strconv.Atoi(r.PathValue("q"))
+	if err != nil {
+		writeError(w, fmt.Errorf("serve: query number %q is not an integer", r.PathValue("q")))
+		return
+	}
+	var text string
+	if err := m.Do(r.PathValue("name"), func(s *session.DesignSession) error {
+		var err error
+		text, err = s.Explain(q - 1)
+		return err
+	}); err != nil {
+		if strings.Contains(err.Error(), "no query") {
+			writeJSON(w, http.StatusNotFound, ErrorResponse{Error: err.Error()})
+			return
+		}
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, text)
+}
+
+func (m *Manager) handleSuggest(w http.ResponseWriter, r *http.Request) {
+	var req SuggestRequest
+	if err := decodeBody(r, &req, true); err != nil {
+		writeError(w, err)
+		return
+	}
+	opts := advisor.Options{}
+	if req.BudgetMB > 0 {
+		opts.StorageBudget = int64(req.BudgetMB) << 20
+	}
+	var resp *SuggestResponse
+	if err := m.Do(r.PathValue("name"), func(s *session.DesignSession) error {
+		res, err := s.SuggestIndexesGreedy(opts)
+		if err != nil {
+			return err
+		}
+		resp = &SuggestResponse{
+			BenefitPct: 100 * res.AvgBenefit(),
+			Speedup:    res.Speedup(),
+			SizeBytes:  res.SizeBytes,
+			Candidates: res.Candidates,
+			MemoHits:   res.MemoHits,
+		}
+		stmts := advisor.MaterializeStatements(res.Indexes)
+		for i, spec := range res.Indexes {
+			resp.Indexes = append(resp.Indexes, SuggestedIndex{
+				Table:   spec.Table,
+				Columns: spec.Columns,
+				SQL:     stmts[i],
+			})
+		}
+		return nil
+	}); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (m *Manager) handleSessionStats(w http.ResponseWriter, r *http.Request) {
+	var st SessionStats
+	if err := m.Do(r.PathValue("name"), func(s *session.DesignSession) error {
+		st = sessionStats(s.Stats())
+		return nil
+	}); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}

@@ -1,0 +1,290 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/session"
+)
+
+func testServer(t *testing.T, opts Options) (*httptest.Server, *Manager) {
+	t.Helper()
+	if opts.MaxSessions == 0 {
+		opts.MaxSessions = 8
+	}
+	m := NewManager(testCatalog(t), testWorkload(), opts)
+	ts := httptest.NewServer(m.Handler())
+	t.Cleanup(ts.Close)
+	return ts, m
+}
+
+// call issues one JSON request and decodes the response into out
+// (skipped when out is nil), asserting the status code.
+func call(t *testing.T, ts *httptest.Server, method, path string, body any, wantStatus int, out any) []byte {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		blob, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(blob)
+	}
+	req, err := http.NewRequest(method, ts.URL+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("%s %s = %d, want %d (body: %s)", method, path, resp.StatusCode, wantStatus, raw)
+	}
+	if out != nil {
+		// Zero the destination first: tests reuse response structs, and
+		// omitempty fields absent from this response must not leak the
+		// previous call's values through Unmarshal's merge semantics.
+		rv := reflect.ValueOf(out).Elem()
+		rv.Set(reflect.Zero(rv.Type()))
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("%s %s: decode %q: %v", method, path, raw, err)
+		}
+	}
+	return raw
+}
+
+// photoFragments splits photoobj into [ra,dec | every other column],
+// a partitioning that covers any projection the workload needs.
+func photoFragments(t *testing.T) [][]string {
+	t.Helper()
+	var rest []string
+	for _, c := range testCatalog(t).Table("photoobj").Columns {
+		switch c.Name {
+		case "objid", "ra", "dec":
+		default:
+			rest = append(rest, c.Name)
+		}
+	}
+	return [][]string{{"ra", "dec"}, rest}
+}
+
+func TestAPISessionLifecycle(t *testing.T) {
+	ts, _ := testServer(t, Options{})
+
+	var health HealthResponse
+	call(t, ts, "GET", "/healthz", nil, http.StatusOK, &health)
+	if !health.OK || health.Sessions != 0 {
+		t.Errorf("health = %+v", health)
+	}
+
+	var info SessionInfo
+	call(t, ts, "POST", "/sessions", CreateSessionRequest{Name: "dba1"}, http.StatusCreated, &info)
+	if info.Name != "dba1" || info.Queries != 6 || info.CanUndo || info.CanRedo {
+		t.Errorf("created session info = %+v", info)
+	}
+	// Duplicate name → 409; capacity and not-found paths too.
+	call(t, ts, "POST", "/sessions", CreateSessionRequest{Name: "dba1"}, http.StatusConflict, nil)
+	call(t, ts, "GET", "/sessions/nope", nil, http.StatusNotFound, nil)
+	call(t, ts, "POST", "/sessions", map[string]any{"bogus": 1}, http.StatusBadRequest, nil)
+	// Strict decoding: trailing data after the JSON value is a 400.
+	if resp, err := ts.Client().Post(ts.URL+"/sessions", "application/json",
+		strings.NewReader(`{"name":"x"}{"name":"y"}`)); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("trailing-garbage body = %d, want 400", resp.StatusCode)
+		}
+	}
+
+	// Edit: add an index, check the deterministic envelope.
+	var edit EditResponse
+	call(t, ts, "POST", "/sessions/dba1/indexes",
+		IndexRequest{Table: "photoobj", Columns: []string{"ra"}}, http.StatusOK, &edit)
+	if len(edit.Design.Indexes) != 1 || edit.Design.Indexes[0].Key() != "photoobj(ra)" {
+		t.Errorf("edit design = %+v", edit.Design)
+	}
+	if edit.NewCost >= edit.BaseCost || edit.Invalidated == 0 || !edit.CanUndo || edit.CanRedo {
+		t.Errorf("edit envelope = %+v", edit)
+	}
+	// Duplicate edit → 409.
+	call(t, ts, "POST", "/sessions/dba1/indexes",
+		IndexRequest{Table: "photoobj", Columns: []string{"ra"}}, http.StatusConflict, nil)
+	// Unknown column → 400.
+	call(t, ts, "POST", "/sessions/dba1/indexes",
+		IndexRequest{Table: "photoobj", Columns: []string{"no_such"}}, http.StatusBadRequest, nil)
+
+	// Costs panel.
+	var costs CostsResponse
+	call(t, ts, "GET", "/sessions/dba1/costs", nil, http.StatusOK, &costs)
+	if len(costs.Queries) != 6 || costs.NewCost != edit.NewCost || costs.Signature != edit.Signature {
+		t.Errorf("costs = %+v vs edit %+v", costs, edit)
+	}
+
+	// Explain is plain text; out-of-range is 404.
+	raw := call(t, ts, "GET", "/sessions/dba1/explain/1", nil, http.StatusOK, nil)
+	if !strings.Contains(string(raw), "photoobj") {
+		t.Errorf("explain body %q", raw)
+	}
+	call(t, ts, "GET", "/sessions/dba1/explain/99", nil, http.StatusNotFound, nil)
+	call(t, ts, "GET", "/sessions/dba1/explain/xx", nil, http.StatusBadRequest, nil)
+
+	// Partition round trip. The fragment set must cover every column
+	// the workload touches, so split photoobj into [ra,dec | rest].
+	call(t, ts, "POST", "/sessions/dba1/partitions",
+		PartitionRequest{Table: "photoobj", Fragments: photoFragments(t)}, http.StatusOK, &edit)
+	if len(edit.Design.Partitions) != 1 {
+		t.Errorf("partition edit design = %+v", edit.Design)
+	}
+	call(t, ts, "DELETE", "/sessions/dba1/partitions/photoobj", nil, http.StatusOK, &edit)
+	if len(edit.Design.Partitions) != 0 {
+		t.Errorf("partition not dropped: %+v", edit.Design)
+	}
+	// Dropping what is not there is a state conflict, like undo/redo
+	// on an empty stack.
+	call(t, ts, "DELETE", "/sessions/dba1/partitions/photoobj", nil, http.StatusConflict, nil)
+	call(t, ts, "DELETE", "/sessions/dba1/indexes?key=field(run)", nil, http.StatusConflict, nil)
+
+	// Undo/redo walk: drop the index via ?key=, undo, redo.
+	call(t, ts, "DELETE", "/sessions/dba1/indexes?key=photoobj(ra)", nil, http.StatusOK, &edit)
+	if len(edit.Design.Indexes) != 0 {
+		t.Errorf("index not dropped: %+v", edit.Design)
+	}
+	call(t, ts, "POST", "/sessions/dba1/undo", nil, http.StatusOK, &edit)
+	if len(edit.Design.Indexes) != 1 || !edit.CanRedo {
+		t.Errorf("undo envelope = %+v", edit)
+	}
+	call(t, ts, "POST", "/sessions/dba1/redo", nil, http.StatusOK, &edit)
+	if len(edit.Design.Indexes) != 0 || edit.CanRedo {
+		t.Errorf("redo envelope = %+v", edit)
+	}
+	// Redo stack exhausted → 409.
+	call(t, ts, "POST", "/sessions/dba1/redo", nil, http.StatusConflict, nil)
+
+	// Apply a whole design as JSON (the session.Design wire form).
+	call(t, ts, "POST", "/sessions/dba1/design",
+		session.Design{Partitions: []session.PartitionDef{{Table: "photoobj", Fragments: photoFragments(t)}}},
+		http.StatusOK, &edit)
+	var d session.Design
+	call(t, ts, "GET", "/sessions/dba1/design", nil, http.StatusOK, &d)
+	if len(d.Partitions) != 1 || d.Partitions[0].Table != "photoobj" {
+		t.Errorf("design round trip = %+v", d)
+	}
+
+	// Listing and teardown.
+	var list ListResponse
+	call(t, ts, "GET", "/sessions", nil, http.StatusOK, &list)
+	if len(list.Sessions) != 1 || list.Sessions[0].Name != "dba1" {
+		t.Errorf("list = %+v", list)
+	}
+	call(t, ts, "DELETE", "/sessions/dba1", nil, http.StatusNoContent, nil)
+	call(t, ts, "DELETE", "/sessions/dba1", nil, http.StatusNotFound, nil)
+}
+
+// TestAPISharedMemoAcrossTenants drives the shared-memo effect
+// through the HTTP surface: tenant B repeats tenant A's edit and the
+// stats endpoint must show zero optimizer calls; the costs responses
+// must be byte-identical.
+func TestAPISharedMemoAcrossTenants(t *testing.T) {
+	ts, _ := testServer(t, Options{})
+	ix := IndexRequest{Table: "photoobj", Columns: []string{"ra"}}
+
+	call(t, ts, "POST", "/sessions", CreateSessionRequest{Name: "a"}, http.StatusCreated, nil)
+	call(t, ts, "POST", "/sessions/a/indexes", ix, http.StatusOK, nil)
+	costsA := call(t, ts, "GET", "/sessions/a/costs", nil, http.StatusOK, nil)
+
+	call(t, ts, "POST", "/sessions", CreateSessionRequest{Name: "b"}, http.StatusCreated, nil)
+	call(t, ts, "POST", "/sessions/b/indexes", ix, http.StatusOK, nil)
+	costsB := call(t, ts, "GET", "/sessions/b/costs", nil, http.StatusOK, nil)
+
+	if !bytes.Equal(costsA, costsB) {
+		t.Errorf("costs responses differ:\n a: %s\n b: %s", costsA, costsB)
+	}
+	var st SessionStats
+	call(t, ts, "GET", "/sessions/b/stats", nil, http.StatusOK, &st)
+	if st.PlanCalls != 0 {
+		t.Errorf("tenant b consumed %d optimizer calls, want 0", st.PlanCalls)
+	}
+	if st.SharedHits == 0 {
+		t.Error("tenant b reports no shared-memo hits")
+	}
+	var ms ManagerStats
+	call(t, ts, "GET", "/stats", nil, http.StatusOK, &ms)
+	if ms.Sessions != 2 || ms.Shared.Hits == 0 {
+		t.Errorf("manager stats = %+v", ms)
+	}
+}
+
+func TestAPISuggestWarmStart(t *testing.T) {
+	ts, _ := testServer(t, Options{})
+	call(t, ts, "POST", "/sessions", CreateSessionRequest{Name: "a"}, http.StatusCreated, nil)
+	var sug SuggestResponse
+	call(t, ts, "POST", "/sessions/a/suggest", SuggestRequest{BudgetMB: 64}, http.StatusOK, &sug)
+	if len(sug.Indexes) == 0 || sug.Candidates == 0 {
+		t.Errorf("suggestion = %+v", sug)
+	}
+	for _, ix := range sug.Indexes {
+		if !strings.HasPrefix(ix.SQL, "CREATE INDEX") {
+			t.Errorf("suggested SQL %q", ix.SQL)
+		}
+	}
+	// The base pricing the session already did must warm-start the
+	// advisor: at least one priced job reused.
+	if sug.MemoHits == 0 {
+		t.Error("suggest saw no memo warm start")
+	}
+	// Empty body is fine too (all defaults).
+	call(t, ts, "POST", "/sessions/a/suggest", nil, http.StatusOK, &sug)
+}
+
+func TestAPICapacityResponse(t *testing.T) {
+	ts, m := testServer(t, Options{MaxSessions: 1})
+	call(t, ts, "POST", "/sessions", CreateSessionRequest{Name: "pinned"}, http.StatusCreated, nil)
+	// Pin the only session so the next create cannot evict it.
+	hold := make(chan struct{})
+	entered := make(chan struct{})
+	go m.Do("pinned", func(*session.DesignSession) error {
+		close(entered)
+		<-hold
+		return nil
+	})
+	<-entered
+	call(t, ts, "POST", "/sessions", CreateSessionRequest{Name: "overflow"}, http.StatusServiceUnavailable, nil)
+	close(hold)
+}
+
+func TestAPICustomWorkload(t *testing.T) {
+	ts, _ := testServer(t, Options{})
+	var info SessionInfo
+	call(t, ts, "POST", "/sessions", CreateSessionRequest{
+		Name:     "tiny",
+		Workload: []string{"SELECT objid FROM photoobj WHERE ra BETWEEN 1 AND 2"},
+	}, http.StatusCreated, &info)
+	if info.Queries != 1 {
+		t.Errorf("custom workload session has %d queries, want 1", info.Queries)
+	}
+	// A workload that fails to parse must 400 and leave nothing behind.
+	call(t, ts, "POST", "/sessions", CreateSessionRequest{
+		Name:     "broken",
+		Workload: []string{"NOT SQL AT ALL"},
+	}, http.StatusBadRequest, nil)
+	call(t, ts, "GET", "/sessions/broken", nil, http.StatusNotFound, nil)
+	var list ListResponse
+	call(t, ts, "GET", "/sessions", nil, http.StatusOK, &list)
+	if fmt.Sprint(len(list.Sessions)) != "1" {
+		t.Errorf("list after failed create = %+v", list)
+	}
+}

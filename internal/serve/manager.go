@@ -1,0 +1,333 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/session"
+)
+
+// Sentinel errors the HTTP layer maps to status codes.
+var (
+	ErrNotFound = errors.New("serve: no such session")
+	ErrExists   = errors.New("serve: session already exists")
+	// ErrCapacity means the manager is full and every resident
+	// session is currently serving a request, so none can be evicted.
+	ErrCapacity = errors.New("serve: session capacity exhausted")
+)
+
+// Options configure a Manager.
+type Options struct {
+	// MaxSessions caps resident sessions. Creating one past the cap
+	// evicts the least-recently-used idle session; if every session
+	// is busy the create fails with ErrCapacity. 0 means
+	// DefaultMaxSessions.
+	MaxSessions int
+	// IdleTTL evicts sessions idle this long (0 = never). The Server
+	// sweeps on a timer; Create also sweeps opportunistically.
+	IdleTTL time.Duration
+	// Workers is the default per-session pricing parallelism
+	// (session.Options.Workers) for sessions created without an
+	// explicit worker count.
+	Workers int
+	// DrainTimeout bounds graceful shutdown: in-flight requests get
+	// this long to finish before the listener is torn down. 0 means
+	// DefaultDrainTimeout.
+	DrainTimeout time.Duration
+}
+
+// DefaultMaxSessions is the session cap when Options.MaxSessions is 0.
+const DefaultMaxSessions = 64
+
+// DefaultDrainTimeout is the graceful-shutdown bound when
+// Options.DrainTimeout is 0.
+const DefaultDrainTimeout = 10 * time.Second
+
+// Manager owns N named design sessions over one shared read-only
+// catalog and one shared cross-session pricing memo. Requests to one
+// session serialize on that session's lock (DesignSession is
+// single-threaded by design); requests to different sessions run in
+// parallel. The shared memo means pricing work is pooled: an edit one
+// tenant priced is memo-served to every tenant that repeats it, and a
+// fresh session over the default workload boots without a single
+// optimizer call once any session has priced the base design.
+//
+// Eviction (capacity LRU and idle TTL) only ever removes sessions
+// with no request in flight or queued: a request registers itself
+// under the manager lock before touching the session, so eviction can
+// never race an in-flight edit.
+type Manager struct {
+	cat       *catalog.Catalog
+	defaultWL []string
+	shared    *session.SharedMemo
+	opts      Options
+	now       func() time.Time // test seam
+
+	mu          sync.Mutex
+	tenants     map[string]*tenant
+	clock       uint64 // LRU tick, bumped on every touch
+	evictions   int64  // capacity (LRU) evictions
+	expirations int64  // idle-TTL evictions
+	created     int64  // sessions ever created
+}
+
+// tenant is one named session plus the bookkeeping the manager needs
+// to serialize and evict it.
+type tenant struct {
+	name string
+	mu   sync.Mutex // serializes every use of s
+
+	// s is set (under mu) once creation finishes; a waiter that
+	// acquires mu and finds it nil raced a failed creation.
+	s *session.DesignSession
+
+	// Guarded by Manager.mu, NOT tenant.mu:
+	inflight int       // requests holding or queued on tenant.mu
+	lastUsed time.Time // completion time of the last request
+	tick     uint64    // LRU ordinal of that completion
+}
+
+// NewManager returns a manager whose sessions plan against cat and
+// default to defaultWorkload when a create names no queries.
+func NewManager(cat *catalog.Catalog, defaultWorkload []string, opts Options) *Manager {
+	return &Manager{
+		cat:       cat,
+		defaultWL: defaultWorkload,
+		shared:    session.NewSharedMemo(),
+		opts:      opts,
+		now:       time.Now,
+		tenants:   map[string]*tenant{},
+	}
+}
+
+// Shared exposes the cross-session pricing memo (for stats).
+func (m *Manager) Shared() *session.SharedMemo { return m.shared }
+
+func (m *Manager) maxSessions() int {
+	if m.opts.MaxSessions <= 0 {
+		return DefaultMaxSessions
+	}
+	return m.opts.MaxSessions
+}
+
+// Create opens session name. workloadSQL nil means the manager's
+// default workload; workers 0 means the manager's default. The
+// expensive part — base pricing — runs outside the manager lock, so
+// concurrent creates of different sessions proceed in parallel (and
+// after the first create over a given workload, the shared memo makes
+// the pricing free anyway).
+func (m *Manager) Create(name string, workloadSQL []string, workers int) error {
+	if name == "" {
+		return fmt.Errorf("serve: session name must not be empty")
+	}
+	m.mu.Lock()
+	m.sweepLocked(m.now())
+	if _, ok := m.tenants[name]; ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	if len(m.tenants) >= m.maxSessions() && !m.evictLRULocked() {
+		m.mu.Unlock()
+		return fmt.Errorf("%w (%d sessions, all busy)", ErrCapacity, len(m.tenants))
+	}
+	t := &tenant{name: name, lastUsed: m.now(), tick: m.clock}
+	m.clock++
+	t.inflight++ // the creation itself counts: uncreated sessions are unevictable
+	t.mu.Lock()
+	m.tenants[name] = t
+	m.mu.Unlock()
+
+	wl := workloadSQL
+	if len(wl) == 0 {
+		wl = m.defaultWL
+	}
+	if workers == 0 {
+		workers = m.opts.Workers
+	}
+	s, err := session.New(m.cat, wl, session.Options{Workers: workers, Shared: m.shared})
+
+	m.mu.Lock()
+	t.inflight--
+	if err != nil {
+		// Remove only OUR placeholder: a concurrent Drop + re-Create
+		// may have installed a different live session under this name.
+		if m.tenants[name] == t {
+			delete(m.tenants, name)
+		}
+	} else {
+		t.s = s
+		t.lastUsed = m.now()
+		t.tick = m.clock
+		m.clock++
+		m.created++
+	}
+	m.mu.Unlock()
+	t.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("serve: create session %q: %w", name, err)
+	}
+	return nil
+}
+
+// Do runs fn with exclusive access to session name. Calls against one
+// session are serialized in arrival order (sync.Mutex queueing);
+// calls against different sessions run concurrently. fn must not
+// retain the session past its return.
+func (m *Manager) Do(name string, fn func(*session.DesignSession) error) error {
+	m.mu.Lock()
+	t, ok := m.tenants[name]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	// Registering under the manager lock is the eviction handshake:
+	// from here until the deferred decrement, inflight > 0 keeps this
+	// tenant unevictable.
+	t.inflight++
+	m.mu.Unlock()
+
+	t.mu.Lock()
+	defer func() {
+		t.mu.Unlock()
+		m.mu.Lock()
+		t.inflight--
+		t.lastUsed = m.now()
+		t.tick = m.clock
+		m.clock++
+		m.mu.Unlock()
+	}()
+	if t.s == nil {
+		// The creation this call queued behind failed.
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return fn(t.s)
+}
+
+// Drop removes session name immediately. A request already in flight
+// on it finishes against the orphaned session object.
+func (m *Manager) Drop(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.tenants[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	delete(m.tenants, name)
+	return nil
+}
+
+// evictLRULocked removes the least-recently-used idle session.
+// Requires m.mu. Reports whether a session was evicted.
+func (m *Manager) evictLRULocked() bool {
+	var victim *tenant
+	for _, t := range m.tenants {
+		if t.inflight > 0 {
+			continue // never evict a session with a request in flight
+		}
+		if victim == nil || t.tick < victim.tick {
+			victim = t
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	delete(m.tenants, victim.name)
+	m.evictions++
+	return true
+}
+
+// sweepLocked evicts idle-TTL-expired sessions. Requires m.mu.
+func (m *Manager) sweepLocked(now time.Time) int {
+	if m.opts.IdleTTL <= 0 {
+		return 0
+	}
+	n := 0
+	for name, t := range m.tenants {
+		if t.inflight == 0 && now.Sub(t.lastUsed) >= m.opts.IdleTTL {
+			delete(m.tenants, name)
+			m.expirations++
+			n++
+		}
+	}
+	return n
+}
+
+// Sweep evicts idle-TTL-expired sessions and reports how many.
+func (m *Manager) Sweep() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sweepLocked(m.now())
+}
+
+// Len reports the resident session count.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.tenants)
+}
+
+// SessionEntry is one resident session's manager-level metadata.
+// Session internals (design, costs) are behind the per-session lock
+// and served by the per-session endpoints instead.
+type SessionEntry struct {
+	Name     string  `json:"name"`
+	Inflight int     `json:"inflight"`           // requests holding or queued
+	IdleSecs float64 `json:"idleSeconds"`        // since the last completed request
+	Creating bool    `json:"creating,omitempty"` // base pricing still running
+}
+
+// List returns the resident sessions sorted by name.
+func (m *Manager) List() []SessionEntry {
+	now := m.now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]SessionEntry, 0, len(m.tenants))
+	for _, t := range m.tenants {
+		out = append(out, SessionEntry{
+			Name:     t.name,
+			Inflight: t.inflight,
+			IdleSecs: now.Sub(t.lastUsed).Seconds(),
+			Creating: t.s == nil,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ManagerStats is the service-wide observability snapshot.
+type ManagerStats struct {
+	Sessions    int   `json:"sessions"`
+	MaxSessions int   `json:"maxSessions"`
+	Created     int64 `json:"created"`     // sessions ever created
+	Evictions   int64 `json:"evictions"`   // capacity (LRU) evictions
+	Expirations int64 `json:"expirations"` // idle-TTL evictions
+
+	// Shared is the cross-session memo: Hits are repricings some
+	// tenant got for free, DupStores is pricing work tenants
+	// duplicated by racing.
+	Shared session.SharedStats `json:"shared"`
+	// SharedCostEntries is the cost tier's size (advisor warm-start
+	// pool).
+	SharedCostEntries int `json:"sharedCostEntries"`
+}
+
+// Stats returns the manager-wide counters.
+func (m *Manager) Stats() ManagerStats {
+	m.mu.Lock()
+	n := len(m.tenants)
+	created, ev, exp := m.created, m.evictions, m.expirations
+	m.mu.Unlock()
+	sh := m.shared.Stats()
+	return ManagerStats{
+		Sessions:          n,
+		MaxSessions:       m.maxSessions(),
+		Created:           created,
+		Evictions:         ev,
+		Expirations:       exp,
+		Shared:            sh,
+		SharedCostEntries: sh.Costs.Entries,
+	}
+}

@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"repro/internal/session"
+)
+
+// Wire types of the HTTP/JSON API. Design, PartitionDef and
+// InteractiveReport marshal through their session-package JSON forms;
+// the types here are the envelopes around them.
+//
+// CostsResponse is deliberately deterministic: given the same
+// workload and design it marshals to identical bytes regardless of
+// which tenant priced the work first or how often the session has
+// been used (BenchmarkServeConcurrentTenants asserts this). Lifetime
+// counters (memo hits, optimizer calls) live in the stats responses;
+// EditResponse carries the per-edit accounting, whose Repriced field
+// legitimately varies with shared-memo warmth.
+
+// CreateSessionRequest opens a session. An empty workload means the
+// server's default; Workers 0 means the server's default.
+type CreateSessionRequest struct {
+	Name     string   `json:"name"`
+	Workload []string `json:"workload,omitempty"`
+	Workers  int      `json:"workers,omitempty"`
+}
+
+// IndexRequest names a what-if index.
+type IndexRequest struct {
+	Table   string   `json:"table"`
+	Columns []string `json:"columns"`
+}
+
+// PartitionRequest sets (or replaces) one table's vertical
+// partitioning.
+type PartitionRequest struct {
+	Table     string     `json:"table"`
+	Fragments [][]string `json:"fragments"`
+}
+
+// NestLoopRequest toggles the what-if join method.
+type NestLoopRequest struct {
+	Enabled bool `json:"enabled"`
+}
+
+// SuggestRequest runs the greedy advisor, warm-started from the
+// shared memo. BudgetMB 0 means unlimited.
+type SuggestRequest struct {
+	BudgetMB int `json:"budgetMB,omitempty"`
+}
+
+// EditResponse is the outcome of a design mutation (create/drop
+// index, partition, nestloop, apply-design, undo, redo).
+type EditResponse struct {
+	Design     session.Design `json:"design"`
+	Signature  string         `json:"signature"`
+	BaseCost   float64        `json:"baseCost"`
+	NewCost    float64        `json:"newCost"`
+	BenefitPct float64        `json:"benefitPct"`
+	Speedup    float64        `json:"speedup"`
+	// Per-edit incremental accounting. Invalidated is fixed by the
+	// transition; Repriced additionally depends on memo warmth — a
+	// tenant repeating an already-priced edit sees 0.
+	Invalidated int  `json:"invalidated"`
+	Repriced    int  `json:"repriced"`
+	CanUndo     bool `json:"canUndo"`
+	CanRedo     bool `json:"canRedo"`
+}
+
+// QueryCost is one workload query's pricing under the design.
+type QueryCost struct {
+	Query       int      `json:"query"` // 1-based workload position
+	SQL         string   `json:"sql"`
+	BaseCost    float64  `json:"baseCost"`
+	NewCost     float64  `json:"newCost"`
+	BenefitPct  float64  `json:"benefitPct"`
+	IndexesUsed []string `json:"indexesUsed,omitempty"` // design-index keys, sorted
+	Rewritten   string   `json:"rewritten,omitempty"`   // set when partitions rewrote the query
+}
+
+// CostsResponse is the interactive costs panel: per-query and total
+// costs under the session's current design.
+type CostsResponse struct {
+	Signature  string      `json:"signature"`
+	Queries    []QueryCost `json:"queries"`
+	BaseCost   float64     `json:"baseCost"`
+	NewCost    float64     `json:"newCost"`
+	BenefitPct float64     `json:"benefitPct"`
+	Speedup    float64     `json:"speedup"`
+}
+
+// SessionStats is session.Stats in wire form.
+type SessionStats struct {
+	MemoHits    int64 `json:"memoHits"`
+	SharedHits  int64 `json:"sharedHits"`
+	MemoMisses  int64 `json:"memoMisses"`
+	MemoEntries int   `json:"memoEntries"`
+	PlanCalls   int64 `json:"planCalls"`
+	Invalidated int   `json:"invalidated"`
+	Repriced    int   `json:"repriced"`
+}
+
+// SessionInfo is one session's full description.
+type SessionInfo struct {
+	Name      string         `json:"name"`
+	Queries   int            `json:"queries"`
+	Design    session.Design `json:"design"`
+	Signature string         `json:"signature"`
+	NestLoop  bool           `json:"nestLoop"`
+	CanUndo   bool           `json:"canUndo"`
+	CanRedo   bool           `json:"canRedo"`
+	Stats     SessionStats   `json:"stats"`
+}
+
+// SuggestedIndex is one advisor pick.
+type SuggestedIndex struct {
+	Table   string   `json:"table"`
+	Columns []string `json:"columns"`
+	SQL     string   `json:"sql"` // CREATE INDEX statement
+}
+
+// SuggestResponse is the greedy advisor's result.
+type SuggestResponse struct {
+	Indexes    []SuggestedIndex `json:"indexes"`
+	BenefitPct float64          `json:"benefitPct"`
+	Speedup    float64          `json:"speedup"`
+	SizeBytes  int64            `json:"sizeBytes"`
+	Candidates int              `json:"candidates"`
+	MemoHits   int64            `json:"memoHits"` // priced jobs reused from the shared memo
+}
+
+// ListResponse enumerates resident sessions.
+type ListResponse struct {
+	Sessions []SessionEntry `json:"sessions"`
+}
+
+// HealthResponse is the liveness probe body.
+type HealthResponse struct {
+	OK       bool `json:"ok"`
+	Sessions int  `json:"sessions"`
+}
+
+// ErrorResponse carries any non-2xx outcome.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// editResponse assembles the deterministic edit envelope from a
+// session (which the caller holds locked) and its report.
+func editResponse(s *session.DesignSession, rep *session.InteractiveReport) *EditResponse {
+	return &EditResponse{
+		Design:      s.Design(),
+		Signature:   s.Signature(),
+		BaseCost:    rep.BaseCost,
+		NewCost:     rep.NewCost,
+		BenefitPct:  100 * rep.AvgBenefit(),
+		Speedup:     rep.Speedup(),
+		Invalidated: rep.Invalidated,
+		Repriced:    rep.Repriced,
+		CanUndo:     s.CanUndo(),
+		CanRedo:     s.CanRedo(),
+	}
+}
+
+// costsResponse assembles the costs panel from a locked session.
+func costsResponse(s *session.DesignSession) *CostsResponse {
+	rep := s.Report()
+	hasParts := len(s.Design().Partitions) > 0
+	out := &CostsResponse{
+		Signature:  s.Signature(),
+		BaseCost:   rep.BaseCost,
+		NewCost:    rep.NewCost,
+		BenefitPct: 100 * rep.AvgBenefit(),
+		Speedup:    rep.Speedup(),
+	}
+	for i, pq := range rep.PerQuery {
+		qc := QueryCost{
+			Query:       i + 1,
+			SQL:         pq.SQL,
+			BaseCost:    pq.BaseCost,
+			NewCost:     pq.NewCost,
+			IndexesUsed: pq.IndexesUsed,
+		}
+		if pq.BaseCost > 0 {
+			qc.BenefitPct = 100 * (1 - pq.NewCost/pq.BaseCost)
+		}
+		if hasParts && len(rep.Rewritten) > i {
+			qc.Rewritten = rep.Rewritten[i]
+		}
+		out.Queries = append(out.Queries, qc)
+	}
+	return out
+}
+
+// sessionStats converts session.Stats to wire form.
+func sessionStats(st session.Stats) SessionStats {
+	return SessionStats{
+		MemoHits:    st.MemoHits,
+		SharedHits:  st.SharedHits,
+		MemoMisses:  st.MemoMisses,
+		MemoEntries: st.MemoEntries,
+		PlanCalls:   st.PlanCalls,
+		Invalidated: st.Invalidated,
+		Repriced:    st.Repriced,
+	}
+}

@@ -32,17 +32,20 @@ import (
 )
 
 // PartitionDef is one manual partitioning: the parent table and the
-// column groups of each fragment (primary keys are implicit).
+// column groups of each fragment (primary keys are implicit). The
+// JSON form is shared by the serve wire format and `design -json`.
 type PartitionDef struct {
-	Table     string
-	Fragments [][]string
+	Table     string     `json:"table"`
+	Fragments [][]string `json:"fragments"`
 }
 
 // Design is a manual physical design: what-if indexes and what-if
-// table partitions.
+// table partitions. The JSON form is shared by the serve wire format
+// and `design -json`; round-tripping it through encoding/json is
+// lossless.
 type Design struct {
-	Indexes    []inum.IndexSpec
-	Partitions []PartitionDef
+	Indexes    []inum.IndexSpec `json:"indexes,omitempty"`
+	Partitions []PartitionDef   `json:"partitions,omitempty"`
 }
 
 // clone deep-copies the design so snapshots are immune to later edits.
@@ -80,19 +83,19 @@ func partKey(def PartitionDef) string {
 // numbers Figure 3's right panel displays, plus the incremental
 // pricing counters that make the session's savings observable.
 type InteractiveReport struct {
-	PerQuery   []advisor.QueryBenefit
-	BaseCost   float64
-	NewCost    float64
-	Rewritten  []string // workload rewritten for the partitions, in order
-	Explains   []string // EXPLAIN of each query under the design
-	IndexNames []string // what-if index names, aligned with Design.Indexes
+	PerQuery   []advisor.QueryBenefit `json:"perQuery"`
+	BaseCost   float64                `json:"baseCost"`
+	NewCost    float64                `json:"newCost"`
+	Rewritten  []string               `json:"rewritten,omitempty"`  // workload rewritten for the partitions, in order
+	Explains   []string               `json:"explains,omitempty"`   // EXPLAIN of each query under the design
+	IndexNames []string               `json:"indexNames,omitempty"` // what-if index names, aligned with Design.Indexes
 
 	// Incremental-pricing observability (see Stats for meanings).
-	Invalidated int   // queries the last edit invalidated
-	Repriced    int   // of those, how many needed an optimizer call
-	MemoHits    int64 // session-lifetime memo hits
-	MemoMisses  int64 // session-lifetime memo misses
-	PlanCalls   int64 // session-lifetime full optimizer invocations
+	Invalidated int   `json:"invalidated"` // queries the last edit invalidated
+	Repriced    int   `json:"repriced"`    // of those, how many needed an optimizer call
+	MemoHits    int64 `json:"memoHits"`    // session-lifetime memo hits
+	MemoMisses  int64 `json:"memoMisses"`  // session-lifetime memo misses
+	PlanCalls   int64 `json:"planCalls"`   // session-lifetime full optimizer invocations
 }
 
 // AvgBenefit returns 1 - new/base.
@@ -113,7 +116,8 @@ func (r *InteractiveReport) Speedup() float64 {
 
 // Stats reports a session's incremental-pricing counters.
 type Stats struct {
-	MemoHits    int64 // repricings served from the memo, no optimizer call
+	MemoHits    int64 // repricings served from a memo, no optimizer call
+	SharedHits  int64 // of those, served from the cross-session SharedMemo
 	MemoMisses  int64 // repricings that planned with the optimizer
 	MemoEntries int   // memoized (query, design-signature) states
 	PlanCalls   int64 // full optimizer invocations, session lifetime
@@ -127,12 +131,23 @@ type Options struct {
 	// costs and large invalidation sets). 0 means GOMAXPROCS; 1
 	// forces sequential pricing through the session's own planner.
 	Workers int
+
+	// Shared, when non-nil, plugs the session into a cross-session
+	// pricing memo: repricings missing the session's own memo are
+	// served from states other sessions over the same catalog already
+	// priced, and every state this session prices is published back.
+	// The serve layer hands every tenant the same SharedMemo, so an
+	// edit one tenant priced costs every other tenant zero optimizer
+	// calls. The session's cost memo (Memo()) is the SharedMemo's
+	// cost tier instead of a private one.
+	Shared *SharedMemo
 }
 
 // queryState is the memoized pricing of one query under one projected
 // design: everything the report needs, so a memo hit re-plans nothing.
+// States are retained for the session's (and, via SharedMemo, the
+// process's) lifetime, so they hold only flat strings — no ASTs.
 type queryState struct {
-	rewritten    *sql.Select
 	rewrittenSQL string
 	cost         float64
 	explain      string
@@ -171,11 +186,14 @@ type DesignSession struct {
 	baseCosts []float64     // empty-design costs, fixed at creation
 	memo      map[memoKey]*queryState
 	shared    *costlab.Memo // cost-only mirror; advisors warm-start from it
+	stmtKeys  []string      // canonical query identities, for SharedMemo keys
 
 	memoHits, memoMisses, planCalls int64
+	sharedHits                      int64
 	lastInvalidated, lastRepriced   int
 
 	undo []snapshot
+	redo []snapshot
 }
 
 // New opens a session: the workload is parsed once, base costs price
@@ -197,8 +215,12 @@ func New(cat *catalog.Catalog, workloadSQL []string, opts Options) (*DesignSessi
 		memo:       map[memoKey]*queryState{},
 		shared:     costlab.NewMemo(),
 	}
+	if opts.Shared != nil {
+		s.shared = opts.Shared.costs
+	}
 	for _, q := range queries {
 		s.foot = append(s.foot, sql.FootprintOf(q.Stmt))
+		s.stmtKeys = append(s.stmtKeys, sql.PrintSelect(q.Stmt))
 	}
 	// Price the empty design: every query is "invalidated" once.
 	all := make(map[int]bool, len(queries))
@@ -232,6 +254,7 @@ func (s *DesignSession) Signature() string { return s.ws.Signature() }
 func (s *DesignSession) Stats() Stats {
 	return Stats{
 		MemoHits:    s.memoHits,
+		SharedHits:  s.sharedHits,
 		MemoMisses:  s.memoMisses,
 		MemoEntries: len(s.memo),
 		PlanCalls:   s.planCalls,
@@ -274,7 +297,7 @@ func (s *DesignSession) AddIndex(spec inum.IndexSpec) (*InteractiveReport, error
 	// snapshots) must not alias caller-owned memory.
 	spec.Columns = append([]string(nil), spec.Columns...)
 	target.Indexes = append(target.Indexes, spec)
-	return s.edit(target, s.nestLoop)
+	return s.userEdit(target, s.nestLoop)
 }
 
 // DropIndex removes the design index with spec's identity.
@@ -298,7 +321,7 @@ func (s *DesignSession) DropIndexKey(key string) (*InteractiveReport, error) {
 		return nil, fmt.Errorf("session: no design index %s", key)
 	}
 	target.Indexes = kept
-	return s.edit(target, s.nestLoop)
+	return s.userEdit(target, s.nestLoop)
 }
 
 // AddPartition installs (or replaces — "repartition") the vertical
@@ -314,7 +337,7 @@ func (s *DesignSession) AddPartition(def PartitionDef) (*InteractiveReport, erro
 		cp.Fragments = append(cp.Fragments, append([]string(nil), cols...))
 	}
 	target.Partitions = append(target.Partitions, cp)
-	return s.edit(target, s.nestLoop)
+	return s.userEdit(target, s.nestLoop)
 }
 
 // DropPartition removes def.Table's partitioning and any design
@@ -330,7 +353,7 @@ func (s *DesignSession) DropPartition(table string) (*InteractiveReport, error) 
 		return nil, fmt.Errorf("session: table %q is not partitioned in the design", table)
 	}
 	target := removePartition(s.design.clone(), table)
-	return s.edit(target, s.nestLoop)
+	return s.userEdit(target, s.nestLoop)
 }
 
 // removePartition drops table's partition def and cascades to design
@@ -381,35 +404,61 @@ func (s *DesignSession) SetNestLoop(enabled bool) (*InteractiveReport, error) {
 	if enabled == s.nestLoop {
 		return s.Report(), nil
 	}
-	return s.edit(s.design.clone(), enabled)
+	return s.userEdit(s.design.clone(), enabled)
 }
 
 // ApplyDesign replaces the whole design in one edit — the one-shot
 // entry point core.EvaluateDesign uses, and a bulk "load design" for
 // the REPL. Only the diff against the current design is re-priced.
 func (s *DesignSession) ApplyDesign(d Design) (*InteractiveReport, error) {
-	return s.edit(d.clone(), s.nestLoop)
+	return s.userEdit(d.clone(), s.nestLoop)
 }
 
-// Undo reverts the last successful edit. Re-pricing is served from
-// the memo, so undoing costs no optimizer calls.
+// Undo reverts the last successful edit and makes it available to
+// Redo. Re-pricing is served from the memo, so undoing costs no
+// optimizer calls.
 func (s *DesignSession) Undo() (*InteractiveReport, error) {
 	if len(s.undo) == 0 {
 		return nil, errors.New("session: nothing to undo")
 	}
 	prev := s.undo[len(s.undo)-1]
+	cur := snapshot{design: s.design.clone(), nestLoop: s.nestLoop}
 	rep, err := s.edit(prev.design, prev.nestLoop)
 	if err != nil {
 		return nil, err
 	}
 	// edit pushed the pre-undo state; drop both frames so undo walks
-	// backwards instead of toggling.
+	// backwards instead of toggling, and park the undone state on the
+	// redo stack.
 	s.undo = s.undo[:len(s.undo)-2]
+	s.redo = append(s.redo, cur)
+	return rep, nil
+}
+
+// Redo re-applies the most recently undone edit — the inverse of
+// Undo. The redone design's states are already memoized (Undo walked
+// away from them), so redoing costs no optimizer calls. Any fresh
+// edit clears the redo stack.
+func (s *DesignSession) Redo() (*InteractiveReport, error) {
+	if len(s.redo) == 0 {
+		return nil, errors.New("session: nothing to redo")
+	}
+	next := s.redo[len(s.redo)-1]
+	// edit pushes the pre-redo state onto the undo stack, which is
+	// exactly what lets a later Undo revert this Redo.
+	rep, err := s.edit(next.design, next.nestLoop)
+	if err != nil {
+		return nil, err
+	}
+	s.redo = s.redo[:len(s.redo)-1]
 	return rep, nil
 }
 
 // CanUndo reports whether an edit is available to revert.
 func (s *DesignSession) CanUndo() bool { return len(s.undo) > 0 }
+
+// CanRedo reports whether an undone edit is available to re-apply.
+func (s *DesignSession) CanRedo() bool { return len(s.redo) > 0 }
 
 // Report assembles the interactive report for the current design.
 func (s *DesignSession) Report() *InteractiveReport {
@@ -451,21 +500,44 @@ func (s *DesignSession) Explain(qi int) (string, error) {
 // Edit machinery
 // ---------------------------------------------------------------------
 
+// userEdit is edit for user-initiated mutations: a successful one
+// forks history, so the redo stack is discarded. Structural no-ops
+// (re-applying the current design) push no frame and keep the redo
+// stack, detected by the undo depth. Undo and Redo call edit directly
+// to keep the stack they are walking.
+func (s *DesignSession) userEdit(target Design, targetNL bool) (*InteractiveReport, error) {
+	depth := len(s.undo)
+	rep, err := s.edit(target, targetNL)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.undo) != depth {
+		s.redo = s.redo[:0]
+	}
+	return rep, nil
+}
+
 // edit transitions the session to (target, targetNL): it validates the
 // target, applies the diff to the what-if session, re-prices the
 // invalidated queries (memo first), and pushes an undo frame. On any
 // error the session is left exactly as it was.
 func (s *DesignSession) edit(target Design, targetNL bool) (*InteractiveReport, error) {
 	prev := snapshot{design: s.design.clone(), nestLoop: s.nestLoop}
-	inval, err := s.applyDesign(target, targetNL)
+	inval, changed, err := s.applyDesign(target, targetNL)
 	if err != nil {
 		return nil, err
+	}
+	if !changed {
+		// Structural no-op (e.g. re-applying the current design):
+		// nothing re-priced and no history frame, so an undo after this
+		// still reverts the last real edit.
+		return s.Report(), nil
 	}
 	if err := s.reprice(inval); err != nil {
 		// Re-pricing failed (e.g. a fragment set no query rewrite can
 		// cover): revert the design mutation. The target validated
 		// structurally, so the inverse transition cannot fail.
-		if _, rerr := s.applyDesign(prev.design, prev.nestLoop); rerr != nil {
+		if _, _, rerr := s.applyDesign(prev.design, prev.nestLoop); rerr != nil {
 			return nil, fmt.Errorf("session: rollback after %v failed: %w", err, rerr)
 		}
 		return nil, err
@@ -477,13 +549,14 @@ func (s *DesignSession) edit(target Design, targetNL bool) (*InteractiveReport, 
 
 // applyDesign mutates the what-if session, rewriter and bookkeeping
 // from the current design to (target, targetNL) and returns the
-// indices of the queries the transition invalidates. The mutation is
-// atomic: validation runs before anything changes, and the two
-// what-if deltas (drops, then creates) cannot fail after it.
-func (s *DesignSession) applyDesign(target Design, targetNL bool) (map[int]bool, error) {
+// indices of the queries the transition invalidates, plus whether the
+// transition changed anything structurally. The mutation is atomic:
+// validation runs before anything changes, and the two what-if deltas
+// (drops, then creates) cannot fail after it.
+func (s *DesignSession) applyDesign(target Design, targetNL bool) (map[int]bool, bool, error) {
 	targetFrags, err := validateDesign(s.cat, target)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 
 	// Diff partitions by canonical key.
@@ -585,12 +658,12 @@ func (s *DesignSession) applyDesign(target Design, targetNL bool) (map[int]bool,
 		// No structural change (e.g. ApplyDesign of the current
 		// design): adopt the target ordering and stop.
 		s.design = target
-		return map[int]bool{}, nil
+		return map[int]bool{}, false, nil
 	}
 
 	// Apply: drops first so a repartition can reuse fragment names.
 	if _, err := s.ws.ApplyDelta(whatif.Delta{DropIndexes: dropIndexes, DropTables: dropTables}); err != nil {
-		return nil, fmt.Errorf("session: %w", err)
+		return nil, false, fmt.Errorf("session: %w", err)
 	}
 	nl := targetNL
 	created, err := s.ws.ApplyDelta(whatif.Delta{
@@ -601,7 +674,7 @@ func (s *DesignSession) applyDesign(target Design, targetNL bool) (map[int]bool,
 	if err != nil {
 		// validateDesign guarantees this cannot happen; fail loudly
 		// rather than limp on with a half-applied design.
-		return nil, fmt.Errorf("session: design diverged from validation: %w", err)
+		return nil, false, fmt.Errorf("session: design diverged from validation: %w", err)
 	}
 
 	// Commit bookkeeping.
@@ -649,7 +722,7 @@ func (s *DesignSession) applyDesign(target Design, targetNL bool) (map[int]bool,
 			inval[qi] = true
 		}
 	}
-	return inval, nil
+	return inval, true, nil
 }
 
 // joinCapable reports whether query qi's plan can contain a join
@@ -791,6 +864,7 @@ func (s *DesignSession) reprice(inval map[int]bool) error {
 	sort.Ints(idxs)
 
 	var misses []pendingPrice
+	var fromShared []pendingMemo
 	hits := 0
 	fresh := map[int]*queryState{}
 	for _, qi := range idxs {
@@ -801,6 +875,17 @@ func (s *DesignSession) reprice(inval map[int]bool) error {
 			hits++
 			fresh[qi] = st
 			continue
+		}
+		if s.opts.Shared != nil {
+			if st, ok := s.opts.Shared.lookup(s.stmtKeys[qi], sig); ok {
+				// Another session already priced this (query, design)
+				// pair: localize its canonical state (explains name
+				// indexes by key in the shared tier) and defer the
+				// local-memo insert to the commit below.
+				fromShared = append(fromShared, pendingMemo{qi: qi, sig: sig, st: s.localizeState(st)})
+				fresh[qi] = fromShared[len(fromShared)-1].st
+				continue
+			}
 		}
 		target := s.queries[qi].Stmt
 		if s.rw != nil {
@@ -836,7 +921,6 @@ func (s *DesignSession) reprice(inval map[int]bool) error {
 		}
 		for i, p := range misses {
 			st := &queryState{
-				rewritten:    p.target,
 				rewrittenSQL: sql.PrintSelect(p.target),
 				cost:         plans[i].TotalCost,
 				explain:      renameIndexes(optimizer.Explain(plans[i]), rename),
@@ -849,19 +933,55 @@ func (s *DesignSession) reprice(inval map[int]bool) error {
 			sort.Strings(st.indexesUsed)
 			fresh[p.qi] = st
 			s.memo[memoKey{p.qi, p.sig}] = st
+			if s.opts.Shared != nil {
+				s.opts.Shared.store(s.stmtKeys[p.qi], p.sig, s.canonicalState(st))
+			}
 		}
 	}
 	// Commit — nothing above this point mutated session state, so a
 	// failed edit leaves states, memo and counters describing the last
 	// successful one.
+	for _, pm := range fromShared {
+		s.memo[memoKey{pm.qi, pm.sig}] = pm.st
+	}
 	for qi, st := range fresh {
 		s.states[qi] = st
 	}
-	s.memoHits += int64(hits)
+	s.memoHits += int64(hits + len(fromShared))
+	s.sharedHits += int64(len(fromShared))
 	s.memoMisses += int64(len(misses))
 	s.lastInvalidated = len(inval)
 	s.lastRepriced = len(misses)
 	return nil
+}
+
+// pendingMemo is one shared-memo hit awaiting its local-memo insert
+// at commit time (reprice is all-or-nothing).
+type pendingMemo struct {
+	qi  int
+	sig string
+	st  *queryState
+}
+
+// localizeState copies a canonical shared-memo state into this
+// session's naming: the shared tier names indexes by their design key
+// so states survive across sessions whose hypothetical-index names
+// differ; the local explain must use this session's live names.
+func (s *DesignSession) localizeState(st *queryState) *queryState {
+	cp := *st
+	cp.indexesUsed = append([]string(nil), st.indexesUsed...)
+	cp.explain = renameIndexes(st.explain, s.ixName)
+	return &cp
+}
+
+// canonicalState is the inverse of localizeState: live index names in
+// the explain are replaced by their design keys before the state is
+// published to the shared memo.
+func (s *DesignSession) canonicalState(st *queryState) *queryState {
+	cp := *st
+	cp.indexesUsed = append([]string(nil), st.indexesUsed...)
+	cp.explain = renameIndexes(st.explain, s.ixNameToKey())
+	return &cp
 }
 
 // ixNameToKey inverts the design-index name map.
@@ -957,8 +1077,14 @@ func (s *DesignSession) publishShared() {
 	if len(s.design.Partitions) > 0 || !s.nestLoop {
 		return
 	}
+	// If-absent: undo/redo and design revisits re-publish identical
+	// costs, which must not read as duplicated pricing work in the
+	// memo's contention stats. The pre-printed stmtKeys are used
+	// instead of Memo.StmtKey so a shared memo outliving this session
+	// (serve's tenant churn) never pins the session's ASTs through
+	// the memo's pointer-keyed print cache.
 	cfgKey := costlab.ConfigKey(costlab.Config(s.design.Indexes))
-	for qi, q := range s.queries {
-		s.shared.StoreKey(s.shared.StmtKey(q.Stmt), cfgKey, s.states[qi].cost)
+	for qi := range s.queries {
+		s.shared.StoreKeyIfAbsent(s.stmtKeys[qi], cfgKey, s.states[qi].cost)
 	}
 }

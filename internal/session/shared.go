@@ -1,0 +1,123 @@
+package session
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/costlab"
+)
+
+// SharedMemo is the cross-session pricing memo behind multi-tenant
+// serving: many DesignSessions over one read-only catalog share one,
+// so a (query, projected-design) state any tenant priced is served to
+// every other tenant with zero optimizer calls — including the
+// workload-sized base pricing a fresh session performs at creation.
+//
+// It has two tiers. The state tier holds full query states (cost,
+// explain, rewrite, indexes used) keyed by (canonical query SQL,
+// projected design signature); explains are stored canonically with
+// hypothetical index names replaced by design keys, so sessions whose
+// name counters diverged still exchange states. The cost tier is a
+// costlab.Memo holding plain (query, index-configuration) costs; it
+// doubles as every attached session's Memo(), so advisor warm starts
+// see the union of all tenants' pricing work.
+//
+// The memo is append-only and lives as long as its owner (the serve
+// Manager keeps one for its whole life): distinct (query, design)
+// states accumulate without eviction, which is the point — any tenant
+// may revisit them for free — but also means memory grows with the
+// number of distinct states ever priced. States hold only flat
+// strings to keep entries small; bounding or sharding the memo is the
+// future scaling work the serve layer is built to host, and the
+// States/Stores counters in Stats exist so operators can watch the
+// growth.
+//
+// All methods are safe for concurrent use; the sessions sharing a
+// SharedMemo may live on different goroutines (each individual
+// session still requires external serialization).
+type SharedMemo struct {
+	costs *costlab.Memo
+
+	mu     sync.RWMutex
+	states map[sharedKey]*queryState
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	stores atomic.Int64
+	// dupStores counts state publications that found their key
+	// already present: two sessions raced to price the same state —
+	// the duplicated work the memo exists to shrink.
+	dupStores atomic.Int64
+}
+
+type sharedKey struct{ stmt, sig string }
+
+// NewSharedMemo returns an empty shared memo.
+func NewSharedMemo() *SharedMemo {
+	return &SharedMemo{
+		costs:  costlab.NewMemo(),
+		states: map[sharedKey]*queryState{},
+	}
+}
+
+// Costs exposes the memo's cost tier (full-optimizer costs only).
+func (m *SharedMemo) Costs() *costlab.Memo { return m.costs }
+
+// lookup returns the canonical state of (stmtKey, sig), if any
+// session published one. Returned states are immutable; callers
+// localize a copy.
+func (m *SharedMemo) lookup(stmtKey, sig string) (*queryState, bool) {
+	m.mu.RLock()
+	st, ok := m.states[sharedKey{stmtKey, sig}]
+	m.mu.RUnlock()
+	if ok {
+		m.hits.Add(1)
+	} else {
+		m.misses.Add(1)
+	}
+	return st, ok
+}
+
+// store publishes a canonical state. First writer wins: a duplicate
+// publication is dropped (and counted), so concurrent readers never
+// see an entry's pointer change.
+func (m *SharedMemo) store(stmtKey, sig string, st *queryState) {
+	k := sharedKey{stmtKey, sig}
+	m.mu.Lock()
+	_, dup := m.states[k]
+	if !dup {
+		m.states[k] = st
+	}
+	m.mu.Unlock()
+	m.stores.Add(1)
+	if dup {
+		m.dupStores.Add(1)
+	}
+}
+
+// SharedStats reports a shared memo's lifetime counters.
+type SharedStats struct {
+	Hits   int64 `json:"hits"`   // state lookups served
+	Misses int64 `json:"misses"` // state lookups that found nothing
+	States int   `json:"states"` // published (query, design) states
+	Stores int64 `json:"stores"` // state publications, duplicates included
+	// DupStores counts publications that lost the race to an earlier
+	// identical one — pricing work duplicated by concurrent tenants.
+	DupStores int64             `json:"dupStores"`
+	Costs     costlab.MemoStats `json:"-"` // cost-tier counters
+}
+
+// Stats returns the memo's lifetime counters.
+func (m *SharedMemo) Stats() SharedStats {
+	m.mu.RLock()
+	n := len(m.states)
+	m.mu.RUnlock()
+	return SharedStats{
+		Hits:      m.hits.Load(),
+		Misses:    m.misses.Load(),
+		States:    n,
+		Stores:    m.stores.Load(),
+		DupStores: m.dupStores.Load(),
+		Costs:     m.costs.Stats(),
+	}
+}
