@@ -34,6 +34,7 @@ import (
 	"repro/internal/costlab"
 	"repro/internal/inum"
 	"repro/internal/optimizer"
+	"repro/internal/recommend"
 	"repro/internal/serve"
 	"repro/internal/session"
 	"repro/internal/sql"
@@ -158,7 +159,7 @@ func BenchmarkE3_AutoPart(b *testing.B) {
 	var res *autopart.Result
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err = autopart.Suggest(cat, queries, autopart.Options{ReplicationBudget: 256 << 20})
+		res, err = autopart.Suggest(context.Background(), cat, queries, autopart.Options{ReplicationBudget: 256 << 20})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -181,7 +182,7 @@ func BenchmarkE4_ILPvsGreedy(b *testing.B) {
 	b.Run("ILP", func(b *testing.B) {
 		var res *advisor.Result
 		for i := 0; i < b.N; i++ {
-			res, err = advisor.SuggestIndexesILP(cat, queries, advisor.Options{StorageBudget: budget})
+			res, err = advisor.SuggestIndexesILP(context.Background(), cat, queries, advisor.Options{StorageBudget: budget})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -193,7 +194,7 @@ func BenchmarkE4_ILPvsGreedy(b *testing.B) {
 	b.Run("Greedy", func(b *testing.B) {
 		var res *advisor.Result
 		for i := 0; i < b.N; i++ {
-			res, err = advisor.SuggestIndexesGreedy(cat, queries, advisor.Options{StorageBudget: budget})
+			res, err = advisor.SuggestIndexesGreedy(context.Background(), cat, queries, advisor.Options{StorageBudget: budget})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -496,6 +497,97 @@ func BenchmarkServeConcurrentTenants(b *testing.B) {
 	b.ReportMetric(float64(tenants), "tenants_per_run")
 }
 
+// --- Recommend: budgeted anytime joint search ------------------------
+// The unified recommender's headline: a budget-capped joint
+// (index + partition) search must return a valid best-so-far design —
+// it applies cleanly to a design session — with a monotonically
+// non-increasing workload cost across rounds, while issuing strictly
+// fewer optimizer calls than the unbudgeted run. Asserted, not just
+// reported.
+
+func BenchmarkRecommendAnytime(b *testing.B) {
+	cat := planCatalog(b, 300000)
+	all := workload.Queries()
+	subset := []string{all[0], all[1], all[3], all[6], all[26], all[27]}
+	queries, err := advisor.ParseWorkload(subset)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	assertMonotone := func(trace []float64, label string) {
+		for i := 1; i < len(trace); i++ {
+			if trace[i] > trace[i-1]+1e-9 {
+				b.Fatalf("%s cost trace not monotone at round %d: %v", label, i, trace)
+			}
+		}
+	}
+
+	var full, capped *recommend.Result
+	for i := 0; i < b.N; i++ {
+		// Unbudgeted joint greedy: the convergence baseline.
+		full, err = recommend.Recommend(ctx, cat, queries, recommend.Options{
+			Objects: recommend.ObjectsJoint,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		assertMonotone(full.CostTrace, "unbudgeted")
+		if full.Evaluations < 2 {
+			b.Fatalf("baseline search trivial: %d evaluations", full.Evaluations)
+		}
+		// Budget-capped anytime run at half the baseline's evaluations.
+		budget := full.Evaluations / 2
+		capped, err = recommend.Recommend(ctx, cat, queries, recommend.Options{
+			Objects:  recommend.ObjectsJoint,
+			Strategy: recommend.StrategyAnytime,
+			Budget:   recommend.Budget{MaxEvaluations: budget},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if capped.Evaluations > budget {
+			b.Fatalf("budget violated: %d evaluations > %d", capped.Evaluations, budget)
+		}
+		if capped.PlanCalls >= full.PlanCalls {
+			b.Fatalf("budget saved nothing: %d optimizer calls vs %d unbudgeted",
+				capped.PlanCalls, full.PlanCalls)
+		}
+		if capped.NewCost > capped.BaseCost+1e-6 {
+			b.Fatalf("best-so-far design worse than doing nothing: %v > %v",
+				capped.NewCost, capped.BaseCost)
+		}
+		assertMonotone(capped.CostTrace, "budgeted")
+	}
+	b.StopTimer()
+
+	// Validity: the best-so-far design applies cleanly to a real
+	// design session (structural validation + full re-pricing).
+	s, err := session.New(cat, subset, session.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	design := session.Design{Indexes: capped.Design.Indexes}
+	for _, def := range capped.Design.Partitions {
+		design.Partitions = append(design.Partitions, session.PartitionDef{
+			Table: def.Table, Fragments: def.Fragments,
+		})
+	}
+	rep, err := s.ApplyDesign(design)
+	if err != nil {
+		b.Fatalf("best-so-far design invalid: %v", err)
+	}
+	if rep.NewCost > capped.BaseCost+1e-6 {
+		b.Fatalf("applied design re-priced worse than base: %v > %v", rep.NewCost, capped.BaseCost)
+	}
+
+	b.ReportMetric(full.Speedup(), "speedup_unbudgeted")
+	b.ReportMetric(capped.Speedup(), "speedup_budgeted")
+	b.ReportMetric(float64(full.Evaluations), "evals_unbudgeted")
+	b.ReportMetric(float64(capped.Evaluations), "evals_budgeted")
+	b.ReportMetric(float64(full.PlanCalls), "plancalls_unbudgeted")
+	b.ReportMetric(float64(capped.PlanCalls), "plancalls_budgeted")
+}
+
 // --- E6: what-if accuracy against the materialized design -----------
 // Scenario 1's verification step: plan shape must match and the
 // estimated cost must be close once the design is physically built.
@@ -575,11 +667,11 @@ func BenchmarkE7_ZeroSizeIndexAblation(b *testing.B) {
 	const budget = 8 << 20
 	var overshoot float64
 	for i := 0; i < b.N; i++ {
-		sized, err := advisor.SuggestIndexesILP(cat, queries, advisor.Options{StorageBudget: budget})
+		sized, err := advisor.SuggestIndexesILP(context.Background(), cat, queries, advisor.Options{StorageBudget: budget})
 		if err != nil {
 			b.Fatal(err)
 		}
-		free, err := advisor.SuggestIndexesILP(cat, queries, advisor.Options{}) // zero-size belief
+		free, err := advisor.SuggestIndexesILP(context.Background(), cat, queries, advisor.Options{}) // zero-size belief
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -623,7 +715,7 @@ func BenchmarkE8_MulticolumnAblation(b *testing.B) {
 	b.Run("Multicolumn", func(b *testing.B) {
 		var res *advisor.Result
 		for i := 0; i < b.N; i++ {
-			res, err = advisor.SuggestIndexesILP(cat, queries, advisor.Options{})
+			res, err = advisor.SuggestIndexesILP(context.Background(), cat, queries, advisor.Options{})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -634,7 +726,7 @@ func BenchmarkE8_MulticolumnAblation(b *testing.B) {
 	b.Run("SingleColumnOnly", func(b *testing.B) {
 		var res *advisor.Result
 		for i := 0; i < b.N; i++ {
-			res, err = advisor.SuggestIndexesILP(cat, queries, advisor.Options{SingleColumnOnly: true})
+			res, err = advisor.SuggestIndexesILP(context.Background(), cat, queries, advisor.Options{SingleColumnOnly: true})
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -155,7 +155,7 @@ func runE3(scale int64) {
 		fatal(err)
 	}
 	t0 := time.Now()
-	res, err := autopart.Suggest(cat, queries, autopart.Options{ReplicationBudget: 256 << 20})
+	res, err := autopart.Suggest(context.Background(), cat, queries, autopart.Options{ReplicationBudget: 256 << 20})
 	if err != nil {
 		fatal(err)
 	}
@@ -190,11 +190,11 @@ func runE4(scale int64) {
 	// branch and bound — so the default sweep skips them; pass a
 	// budget to `parinda indexes` to explore any point.
 	for _, budget := range []int64{16 << 20, 32 << 20, 0} {
-		ilpRes, err := advisor.SuggestIndexesILP(cat, queries, advisor.Options{StorageBudget: budget})
+		ilpRes, err := advisor.SuggestIndexesILP(context.Background(), cat, queries, advisor.Options{StorageBudget: budget})
 		if err != nil {
 			fatal(err)
 		}
-		gRes, err := advisor.SuggestIndexesGreedy(cat, queries, advisor.Options{StorageBudget: budget})
+		gRes, err := advisor.SuggestIndexesGreedy(context.Background(), cat, queries, advisor.Options{StorageBudget: budget})
 		if err != nil {
 			fatal(err)
 		}
@@ -207,7 +207,7 @@ func runE4(scale int64) {
 			100*gRes.AvgBenefit(), gRes.Speedup())
 	}
 	best := 0.0
-	res, _ := advisor.SuggestIndexesILP(cat, queries, advisor.Options{})
+	res, _ := advisor.SuggestIndexesILP(context.Background(), cat, queries, advisor.Options{})
 	for _, pq := range res.PerQuery {
 		if s := pq.Speedup(); s > best {
 			best = s
@@ -331,11 +331,11 @@ func runE7(scale int64) {
 	}
 	queries = queries[:12]
 	const budget = 8 << 20
-	sized, err := advisor.SuggestIndexesILP(db.Catalog, queries, advisor.Options{StorageBudget: budget})
+	sized, err := advisor.SuggestIndexesILP(context.Background(), db.Catalog, queries, advisor.Options{StorageBudget: budget})
 	if err != nil {
 		fatal(err)
 	}
-	free, err := advisor.SuggestIndexesILP(db.Catalog, queries, advisor.Options{})
+	free, err := advisor.SuggestIndexesILP(context.Background(), db.Catalog, queries, advisor.Options{})
 	if err != nil {
 		fatal(err)
 	}
@@ -357,11 +357,11 @@ func runE8(scale int64) {
 	if err != nil {
 		fatal(err)
 	}
-	multi, err := advisor.SuggestIndexesILP(cat, queries, advisor.Options{})
+	multi, err := advisor.SuggestIndexesILP(context.Background(), cat, queries, advisor.Options{})
 	if err != nil {
 		fatal(err)
 	}
-	single, err := advisor.SuggestIndexesILP(cat, queries, advisor.Options{SingleColumnOnly: true})
+	single, err := advisor.SuggestIndexesILP(context.Background(), cat, queries, advisor.Options{SingleColumnOnly: true})
 	if err != nil {
 		fatal(err)
 	}

@@ -8,6 +8,7 @@
 //	parinda serve       multi-tenant design-session HTTP service
 //	parinda partitions  suggest table partitions via AutoPart (scenario 2)
 //	parinda indexes     suggest indexes via ILP over INUM (scenario 3)
+//	parinda recommend   joint index+partition recommender (budgeted anytime)
 //	parinda explain     show the optimizer plan for one query
 //
 // The session REPL is the paper's Figure-1 workflow: one design edit
@@ -36,6 +37,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -80,6 +82,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		err = cmdPartitions(args[1:], stdout, stderr)
 	case "indexes":
 		err = cmdIndexes(args[1:], stdout, stderr)
+	case "recommend":
+		err = cmdRecommend(args[1:], stdout, stderr)
 	case "explain":
 		err = cmdExplain(args[1:], stdout, stderr)
 	case "help", "-h", "--help":
@@ -142,10 +146,20 @@ commands:
   serve        multi-tenant design-session HTTP service
   partitions   suggest table partitions (AutoPart)
   indexes      suggest indexes (ILP over INUM; -greedy for the baseline)
+  recommend    joint index+partition recommender (budgeted anytime search)
   explain      print the plan of a single query
 
 run 'parinda <command> -h' for the command's flags
 `)
+}
+
+// benefitPct renders a per-query benefit percentage, guarded against
+// degenerate zero base costs (no NaN/Inf in CLI output).
+func benefitPct(base, new float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return 100 * (1 - new/base)
 }
 
 func loadQueries(path string) ([]string, error) {
@@ -266,7 +280,7 @@ func cmdInteractive(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintln(stdout, "  per-query benefits:")
 	for i, pq := range rep.PerQuery {
 		fmt.Fprintf(stdout, "   Q%-3d base %12.1f  new %12.1f  benefit %6.1f%%  uses %s\n",
-			i+1, pq.BaseCost, pq.NewCost, 100*(1-pq.NewCost/pq.BaseCost),
+			i+1, pq.BaseCost, pq.NewCost, benefitPct(pq.BaseCost, pq.NewCost),
 			strings.Join(pq.IndexesUsed, " "))
 	}
 	return nil
@@ -310,7 +324,7 @@ func cmdPartitions(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintln(stdout, "  per-query benefits:")
 	for i, pq := range res.PerQuery {
 		fmt.Fprintf(stdout, "   Q%-3d base %12.1f  new %12.1f  benefit %6.1f%%\n",
-			i+1, pq.BaseCost, pq.NewCost, 100*(1-pq.NewCost/pq.BaseCost))
+			i+1, pq.BaseCost, pq.NewCost, benefitPct(pq.BaseCost, pq.NewCost))
 	}
 	if *saveRewritten != "" {
 		if err := os.WriteFile(*saveRewritten, []byte(workload.FormatWorkloadFile(res.Rewritten)), 0o644); err != nil {
@@ -360,9 +374,9 @@ func cmdIndexes(args []string, stdout, stderr io.Writer) error {
 	}
 	var res *advisor.Result
 	if *greedy {
-		res, err = advisor.SuggestIndexesGreedy(cat, parsed, opts)
+		res, err = advisor.SuggestIndexesGreedy(context.Background(), cat, parsed, opts)
 	} else {
-		res, err = advisor.SuggestIndexesILP(cat, parsed, opts)
+		res, err = advisor.SuggestIndexesILP(context.Background(), cat, parsed, opts)
 	}
 	if err != nil {
 		return err
@@ -382,7 +396,7 @@ func cmdIndexes(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintln(stdout, "  per-query benefits:")
 	for i, pq := range res.PerQuery {
 		fmt.Fprintf(stdout, "   Q%-3d base %12.1f  new %12.1f  benefit %6.1f%%  uses %s\n",
-			i+1, pq.BaseCost, pq.NewCost, 100*(1-pq.NewCost/pq.BaseCost),
+			i+1, pq.BaseCost, pq.NewCost, benefitPct(pq.BaseCost, pq.NewCost),
 			strings.Join(pq.IndexesUsed, " "))
 	}
 	return nil

@@ -110,6 +110,9 @@ func TestSessionREPL(t *testing.T) {
 		"create index nosuch(x)", // error, loop must continue
 		"nestloop off",
 		"nestloop on",
+		"suggest -joint -budget 5", // budgeted joint recommender
+		"suggest -budget",          // usage error, loop must continue
+		"bogus",                    // unknown command hints at help
 		"quit",
 	}, "\n") + "\n"
 	var stdout, stderr bytes.Buffer
@@ -120,17 +123,45 @@ func TestSessionREPL(t *testing.T) {
 	out := stdout.String()
 	for _, want := range []string{
 		"PARINDA design session",
-		"benefit",                 // edit summaries
-		"re-planned",              // incremental counters
-		"index      photoobj(ra)", // design listing
-		`"columns": [`,            // design -json dump
-		`"table": "photoobj"`,     // design -json dump
-		"memo:",                   // stats
-		"error:",                  // bad edit reported, not fatal
+		"benefit",                          // edit summaries
+		"re-planned",                       // incremental counters
+		"index      photoobj(ra)",          // design listing
+		`"columns": [`,                     // design -json dump
+		`"table": "photoobj"`,              // design -json dump
+		"memo:",                            // stats
+		"error:",                           // bad edit reported, not fatal
+		"joint index+partition suggestion", // suggest -joint ran
+		"usage: suggest",                   // bad suggest flags hint usage
+		"try 'help'",                       // unknown command hints at help
+		"suggest -joint",                   // help lists the joint recommender
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("REPL output missing %q\n---\n%s", want, out)
 		}
+	}
+}
+
+// TestRecommendCommand runs the one-shot joint recommender under a
+// tight evaluation budget.
+func TestRecommendCommand(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	got := run([]string{"recommend", "-scale", "30000", "-max-evals", "20", "-compress", "6", "-quiet"},
+		strings.NewReader(""), &stdout, &stderr)
+	if got != 0 {
+		t.Fatalf("exit = %d, stderr: %s", got, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"Joint design recommendation", "per-query benefits:", "evaluations)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("recommend output missing %q\n---\n%s", want, out)
+		}
+	}
+	// Bad objects value is a runtime failure (exit 1), not a crash.
+	stdout.Reset()
+	stderr.Reset()
+	if got := run([]string{"recommend", "-scale", "30000", "-objects", "bogus"},
+		strings.NewReader(""), &stdout, &stderr); got != 1 {
+		t.Errorf("bad -objects exit = %d, want 1", got)
 	}
 }
 

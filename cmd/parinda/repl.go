@@ -8,14 +8,17 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/advisor"
+	"repro/internal/recommend"
 	"repro/internal/session"
 )
 
@@ -197,27 +200,8 @@ func execREPLLine(s *session.DesignSession, line string, out io.Writer) (quit bo
 		fmt.Fprintf(out, "last edit: %d queries invalidated, %d re-planned\n",
 			st.Invalidated, st.Repriced)
 		return false, nil
-	case "suggest": // suggest [budget-mb]
-		opts := advisor.Options{}
-		if rest != "" {
-			mb, err := strconv.Atoi(rest)
-			if err != nil || mb <= 0 {
-				return false, fmt.Errorf("usage: suggest [budget-mb]")
-			}
-			opts.StorageBudget = int64(mb) << 20
-		}
-		res, err := s.SuggestIndexesGreedy(opts)
-		if err != nil {
-			return false, err
-		}
-		fmt.Fprintf(out, "greedy suggestion (%d candidates, warm start: %d priced jobs reused):\n",
-			res.Candidates, res.MemoHits)
-		for _, stmt := range advisor.MaterializeStatements(res.Indexes) {
-			fmt.Fprintf(out, "  %s;\n", stmt)
-		}
-		fmt.Fprintf(out, "  benefit %.1f%%  speedup %.2fx  size %.1f MB\n",
-			100*res.AvgBenefit(), res.Speedup(), float64(res.SizeBytes)/(1<<20))
-		return false, nil
+	case "suggest": // suggest [budget-mb] [-joint] [-budget evals] [-time ms]
+		return false, replSuggest(s, rest, out)
 	case "queries":
 		for i, q := range s.Queries() {
 			fmt.Fprintf(out, "Q%-3d %s\n", i+1, q.SQL)
@@ -225,6 +209,72 @@ func execREPLLine(s *session.DesignSession, line string, out io.Writer) (quit bo
 		return false, nil
 	}
 	return false, fmt.Errorf("unknown command %q (try 'help')", cmd)
+}
+
+// replSuggest runs the advisor from the REPL, warm-started from the
+// session memo. Without flags it is the classic greedy index advisor;
+// -joint searches indexes and partitions together, and -budget/-time
+// bound the search (anytime: the best design found so far is
+// returned).
+//
+//	suggest [budget-mb] [-joint] [-budget <max-evals>] [-time <ms>]
+func replSuggest(s *session.DesignSession, rest string, out io.Writer) error {
+	usage := fmt.Errorf("usage: suggest [budget-mb] [-joint] [-budget <max-evals>] [-time <ms>]")
+	opts := recommend.Options{Objects: recommend.ObjectsIndexes, Strategy: recommend.StrategyGreedy}
+	fields := strings.Fields(rest)
+	for i := 0; i < len(fields); i++ {
+		switch f := strings.ToLower(fields[i]); f {
+		case "-joint":
+			opts.Objects = recommend.ObjectsJoint
+		case "-budget", "-time":
+			if i+1 >= len(fields) {
+				return usage
+			}
+			n, err := strconv.Atoi(fields[i+1])
+			if err != nil || n <= 0 {
+				return usage
+			}
+			if f == "-budget" {
+				opts.Budget.MaxEvaluations = int64(n)
+			} else {
+				opts.Budget.MaxDuration = time.Duration(n) * time.Millisecond
+			}
+			opts.Strategy = recommend.StrategyAnytime
+			i++
+		default:
+			mb, err := strconv.Atoi(fields[i])
+			if err != nil || mb <= 0 {
+				return usage
+			}
+			opts.StorageBudget = int64(mb) << 20
+		}
+	}
+	res, err := s.Recommend(context.Background(), opts)
+	if err != nil {
+		return err
+	}
+	kind := "greedy index suggestion"
+	if opts.Objects == recommend.ObjectsJoint {
+		kind = "joint index+partition suggestion"
+	}
+	fmt.Fprintf(out, "%s (%d candidates, %d rounds, %d evaluations, warm start: %d priced jobs reused):\n",
+		kind, res.Candidates, res.Rounds, res.Evaluations, res.MemoHits)
+	for _, stmt := range advisor.MaterializeStatements(res.Design.Indexes) {
+		fmt.Fprintf(out, "  %s;\n", stmt)
+	}
+	for _, def := range res.Design.Partitions {
+		var groups []string
+		for _, cols := range def.Fragments {
+			groups = append(groups, strings.Join(cols, ","))
+		}
+		fmt.Fprintf(out, "  partition %s: %s\n", def.Table, strings.Join(groups, " | "))
+	}
+	fmt.Fprintf(out, "  benefit %.1f%%  speedup %.2fx  size %.1f MB\n",
+		100*res.AvgBenefit(), res.Speedup(), float64(res.SizeBytes+res.ReplicationBytes)/(1<<20))
+	if res.Truncated {
+		fmt.Fprintln(out, "  (budget exhausted: best design found so far)")
+	}
+	return nil
 }
 
 // splitKeyword splits "index photoobj(ra)" into ("index",
@@ -293,9 +343,12 @@ func replHelp(out io.Writer) {
   design [-json]                      show the current design (JSON with -json)
   queries                             list the workload
   stats                               incremental-pricing counters
-  suggest [budget-mb]                 greedy advisor (memo warm start)
+  suggest [budget-mb]                 greedy index advisor (memo warm start)
+  suggest -joint [-budget <evals>]    joint index+partition recommender;
+          [-time <ms>]                -budget/-time bound the anytime search
   undo                                revert the last edit
   redo                                re-apply the last undone edit
+  help                                this command list
   quit                                leave the session
 `)
 }

@@ -18,8 +18,16 @@
 //	                    INUM backends, pooled sessions, parallel
 //	                    EvaluateAll batch driver
 //	internal/ilp        exact branch-and-bound ILP solver
-//	internal/advisor    index advisor (ILP + greedy) over costlab
-//	internal/autopart   AutoPart vertical partitioner over costlab
+//	internal/recommend  unified joint physical-design recommender:
+//	                    candidate generators (index mining, atomic
+//	                    fragments), shared pruning/compression,
+//	                    interchangeable search strategies (greedy,
+//	                    ILP, budgeted anytime with best-so-far
+//	                    results), one evaluation core
+//	internal/advisor    index advisor — thin wrapper over recommend;
+//	                    owns and registers the ILP strategy
+//	internal/autopart   AutoPart vertical partitioner — thin wrapper
+//	                    over recommend's partition-only greedy
 //	internal/rewrite    workload rewriting onto partition fragments
 //	internal/workload   SDSS-like schema, 30-query workload, generator
 //	internal/session    incremental design sessions: delta re-pricing,
@@ -29,8 +37,9 @@
 //	internal/serve      multi-tenant design-session service: N named
 //	                    sessions over one catalog + one shared memo,
 //	                    HTTP/JSON API, per-session serialization, LRU
-//	                    and idle-TTL eviction, graceful shutdown —
-//	                    the `parinda serve` subcommand
+//	                    and idle-TTL eviction, asynchronous cancellable
+//	                    recommend jobs, graceful shutdown — the
+//	                    `parinda serve` subcommand
 //	internal/core       PARINDA facade tying the components together
 //
 // See README.md for the layout and the session REPL commands, and

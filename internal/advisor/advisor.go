@@ -5,38 +5,38 @@
 // Ailamaki (SMDB 2007) — one access path per table per query, total
 // size budget — and solves it exactly. A classic greedy advisor is
 // included as the baseline the paper compares against.
+//
+// Both entry points are thin wrappers over the unified recommendation
+// pipeline in internal/recommend: candidate generation, workload
+// compression and all pricing live there, shared with AutoPart and the
+// joint recommender. This package owns the ILP formulation, which it
+// registers as the pipeline's "ilp" search strategy.
 package advisor
 
 import (
 	"context"
 	"fmt"
-	"sort"
 
 	"repro/internal/catalog"
 	"repro/internal/costlab"
 	"repro/internal/inum"
+	"repro/internal/recommend"
 	"repro/internal/sql"
 )
 
-// Query is one weighted workload statement.
-type Query struct {
-	SQL    string
-	Stmt   *sql.Select
-	Weight float64 // relative frequency; default 1
-}
+// Query is one weighted workload statement. It aliases the pipeline's
+// query type, so parsed workloads flow between the advisor front-ends
+// and internal/recommend unchanged.
+type Query = recommend.Query
+
+// QueryBenefit reports one query's costs under the suggestion. The
+// JSON form is part of the serve/session wire format.
+type QueryBenefit = recommend.QueryBenefit
 
 // ParseWorkload parses a list of SQL strings into queries with unit
 // weights.
 func ParseWorkload(sqls []string) ([]Query, error) {
-	out := make([]Query, 0, len(sqls))
-	for _, s := range sqls {
-		stmt, err := sql.ParseSelect(s)
-		if err != nil {
-			return nil, fmt.Errorf("advisor: workload query %q: %w", s, err)
-		}
-		out = append(out, Query{SQL: s, Stmt: stmt, Weight: 1})
-	}
-	return out, nil
+	return recommend.ParseWorkload(sqls)
 }
 
 // Options configure a suggestion run.
@@ -69,70 +69,24 @@ type Options struct {
 	// are never re-batched. The memo's costs must come from the same
 	// backend kind this run uses; an interactive session records
 	// full-optimizer costs, so pair it with costlab.BackendFull.
+	// Honoured by the greedy path only.
 	Memo *costlab.Memo
 }
 
-// newBackend builds the pricing backend the options select.
-func (o Options) newBackend(cat *catalog.Catalog) (costlab.Backend, error) {
-	return costlab.NewBackend(cat, o.Backend)
-}
-
-// weighted adapts the workload to costlab's batch driver.
-func weighted(queries []Query) []costlab.WeightedQuery {
-	out := make([]costlab.WeightedQuery, len(queries))
-	for i, q := range queries {
-		out[i] = costlab.WeightedQuery{Stmt: q.Stmt, Weight: q.Weight}
+// pipelineOptions translates advisor options into pipeline options for
+// an index-only search with the given strategy.
+func (o Options) pipelineOptions(strategy string) recommend.Options {
+	return recommend.Options{
+		Objects:          recommend.ObjectsIndexes,
+		Strategy:         strategy,
+		StorageBudget:    o.StorageBudget,
+		MaxIndexColumns:  o.MaxIndexColumns,
+		SingleColumnOnly: o.SingleColumnOnly,
+		MaxSolverNodes:   o.MaxSolverNodes,
+		UpdateRates:      o.UpdateRates,
+		Backend:          o.Backend,
+		Workers:          o.Workers,
 	}
-	return out
-}
-
-// maintenanceCost prices the upkeep of one candidate index under the
-// update profile: per modified row, one descent plus one leaf write.
-func (o Options) maintenanceCost(spec inum.IndexSpec, height int, params costConstants) float64 {
-	rate := o.UpdateRates[spec.Table]
-	if rate <= 0 {
-		return 0
-	}
-	perRow := 2*float64(height+1)*params.randomPage + params.cpuIndexTuple
-	return rate * perRow
-}
-
-// costConstants decouples the advisor from the optimizer package's
-// parameter struct.
-type costConstants struct {
-	randomPage    float64
-	cpuIndexTuple float64
-}
-
-func defaultCostConstants() costConstants {
-	return costConstants{randomPage: 4.0, cpuIndexTuple: 0.005}
-}
-
-func (o Options) maxCols() int {
-	if o.SingleColumnOnly {
-		return 1
-	}
-	if o.MaxIndexColumns <= 0 {
-		return 3
-	}
-	return o.MaxIndexColumns
-}
-
-// QueryBenefit reports one query's costs under the suggestion. The
-// JSON form is part of the serve/session wire format.
-type QueryBenefit struct {
-	SQL         string   `json:"sql"`
-	BaseCost    float64  `json:"baseCost"`
-	NewCost     float64  `json:"newCost"`
-	IndexesUsed []string `json:"indexesUsed,omitempty"` // keys of suggested indexes this query uses
-}
-
-// Speedup returns BaseCost / NewCost (1 = unchanged).
-func (q QueryBenefit) Speedup() float64 {
-	if q.NewCost <= 0 {
-		return 1
-	}
-	return q.BaseCost / q.NewCost
 }
 
 // Result is a completed suggestion.
@@ -154,16 +108,18 @@ type Result struct {
 	MaintenanceCost float64
 }
 
-// Speedup returns the overall workload speedup.
+// Speedup returns the overall workload speedup: BaseCost / NewCost,
+// guarded to 1 for degenerate zero costs (an empty or free workload
+// never reports NaN or Inf).
 func (r *Result) Speedup() float64 {
-	if r.NewCost <= 0 {
+	if r.NewCost <= 0 || r.BaseCost <= 0 {
 		return 1
 	}
 	return r.BaseCost / r.NewCost
 }
 
 // AvgBenefit returns 1 - new/base, the "average workload benefit" the
-// PARINDA GUI displays.
+// PARINDA GUI displays (0 when the base cost is degenerate).
 func (r *Result) AvgBenefit() float64 {
 	if r.BaseCost <= 0 {
 		return 0
@@ -171,75 +127,39 @@ func (r *Result) AvgBenefit() float64 {
 	return 1 - r.NewCost/r.BaseCost
 }
 
-// evaluate prices every query under the chosen design with the full
-// optimizer (not the cache), producing the per-query report. Base
-// costs and design plans each fan out over the worker pool; the
-// chosen indexes install once per pooled session. It returns the
-// optimizer invocations it consumed so callers can fold them into
-// the advisor's accounting.
-func evaluate(cat *catalog.Catalog, queries []Query, chosen []inum.IndexSpec, workers int) (float64, float64, []QueryBenefit, int64, error) {
-	ctx := context.Background()
-	base := costlab.NewFull(cat)
-	bases, err := costlab.EvaluateAll(ctx, base, baseJobs(queries), workers)
-	if err != nil {
-		return 0, 0, nil, 0, err
+// fromRecommend converts a pipeline result into the advisor's result
+// shape.
+func fromRecommend(rec *recommend.Result) *Result {
+	return &Result{
+		Indexes:         rec.Design.Indexes,
+		SizeBytes:       rec.SizeBytes,
+		BaseCost:        rec.BaseCost,
+		NewCost:         rec.NewCost,
+		PerQuery:        rec.PerQuery,
+		Candidates:      rec.Candidates,
+		SolverWork:      rec.SolverWork,
+		PlanCalls:       rec.PlanCalls,
+		MemoHits:        rec.MemoHits,
+		MemoMisses:      rec.MemoMisses,
+		MaintenanceCost: rec.MaintenanceCost,
 	}
-	setup, chosenNames := costlab.IndexSetup(chosen, nil)
-	full := costlab.NewFullWithSetup(cat, setup)
-	stmts := make([]*sql.Select, len(queries))
-	for i, q := range queries {
-		stmts[i] = q.Stmt
-	}
-	plans, err := full.PlanAll(ctx, stmts, workers)
-	if err != nil {
-		return 0, 0, nil, 0, err
-	}
-	nameToKey := map[string]string{}
-	for i, name := range chosenNames() {
-		nameToKey[name] = chosen[i].Key()
-	}
-	var baseTotal, newTotal float64
-	var per []QueryBenefit
-	for qi, q := range queries {
-		var used []string
-		for _, name := range plans[qi].IndexesUsed() {
-			if key, ok := nameToKey[name]; ok {
-				used = append(used, key)
-			}
-		}
-		sort.Strings(used)
-		per = append(per, QueryBenefit{
-			SQL:         q.SQL,
-			BaseCost:    bases[qi] * q.Weight,
-			NewCost:     plans[qi].TotalCost * q.Weight,
-			IndexesUsed: used,
-		})
-		baseTotal += bases[qi] * q.Weight
-		newTotal += plans[qi].TotalCost * q.Weight
-	}
-	return baseTotal, newTotal, per, base.PlanCalls() + full.PlanCalls(), nil
 }
 
-// baseJobs builds the empty-configuration pricing batch.
-func baseJobs(queries []Query) []costlab.Job {
-	jobs := make([]costlab.Job, len(queries))
-	for i, q := range queries {
-		jobs[i] = costlab.Job{Stmt: q.Stmt}
-	}
-	return jobs
+// GenerateCandidates mines candidate indexes from the workload (see
+// recommend.IndexCandidates, the pipeline's index-candidate
+// generator).
+func GenerateCandidates(cat *catalog.Catalog, queries []Query, opts Options) []inum.IndexSpec {
+	return recommend.IndexCandidates(cat, queries, recommend.CandidateOptions{
+		MaxIndexColumns:  opts.MaxIndexColumns,
+		SingleColumnOnly: opts.SingleColumnOnly,
+	})
 }
 
-// totalSize sums Equation-1 sizes of the specs.
-func totalSize(est costlab.Backend, specs []inum.IndexSpec) (int64, error) {
-	var total int64
-	for _, s := range specs {
-		sz, err := est.SpecSizeBytes(s)
-		if err != nil {
-			return 0, err
-		}
-		total += sz
-	}
-	return total, nil
+// CompressWorkload reduces a large workload to at most maxQueries
+// representative template queries, preserving total weight (see
+// recommend.CompressWorkload, the pipeline's compression stage).
+func CompressWorkload(cat *catalog.Catalog, queries []Query, maxQueries int) []Query {
+	return recommend.CompressWorkload(cat, queries, maxQueries)
 }
 
 // MaterializeStatements renders the suggestion as CREATE INDEX DDL,
@@ -255,4 +175,21 @@ func MaterializeStatements(specs []inum.IndexSpec) []string {
 		out = append(out, sql.Print(ci))
 	}
 	return out
+}
+
+// SuggestIndexesGreedy is the baseline advisor PARINDA's ILP is
+// compared against: the classic greedy loop used by the commercial
+// tools (§1–2), run through the unified pipeline's greedy strategy.
+// ctx cancels the search, aborting any in-flight pricing batch.
+func SuggestIndexesGreedy(ctx context.Context, cat *catalog.Catalog, queries []Query, opts Options) (*Result, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("advisor: empty workload")
+	}
+	popts := opts.pipelineOptions(recommend.StrategyGreedy)
+	popts.Memo = opts.Memo
+	rec, err := recommend.Recommend(ctx, cat, queries, popts)
+	if err != nil {
+		return nil, err
+	}
+	return fromRecommend(rec), nil
 }

@@ -1,6 +1,7 @@
 package advisor
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -117,7 +118,7 @@ func TestILPAdvisorFindsUsefulIndexes(t *testing.T) {
 		"SELECT objid FROM photoobj WHERE run = 125 AND camcol = 3",
 		"SELECT objid, r FROM photoobj WHERE ra BETWEEN 200 AND 200.1",
 	)
-	res, err := SuggestIndexesILP(cat, qs, Options{})
+	res, err := SuggestIndexesILP(context.Background(), cat, qs, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestILPRespectsStorageBudget(t *testing.T) {
 		"SELECT objid FROM photoobj WHERE dec BETWEEN 0 AND 0.2",
 		"SELECT objid FROM photoobj WHERE run = 125",
 	)
-	unlimited, err := SuggestIndexesILP(cat, qs, Options{})
+	unlimited, err := SuggestIndexesILP(context.Background(), cat, qs, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestILPRespectsStorageBudget(t *testing.T) {
 	}
 	// Budget for roughly one index.
 	budget := unlimited.SizeBytes / 2
-	limited, err := SuggestIndexesILP(cat, qs, Options{StorageBudget: budget})
+	limited, err := SuggestIndexesILP(context.Background(), cat, qs, Options{StorageBudget: budget})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +186,7 @@ func TestGreedyAdvisor(t *testing.T) {
 		"SELECT objid FROM photoobj WHERE ra BETWEEN 180 AND 180.2",
 		"SELECT objid FROM photoobj WHERE run = 125 AND camcol = 3",
 	)
-	res, err := SuggestIndexesGreedy(cat, qs, Options{})
+	res, err := SuggestIndexesGreedy(context.Background(), cat, qs, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,11 +215,11 @@ func TestILPAtLeastAsGoodAsGreedyUnderBudget(t *testing.T) {
 	)
 	budgets := []int64{8 << 20, 16 << 20, 64 << 20}
 	for _, budget := range budgets {
-		ilpRes, err := SuggestIndexesILP(cat, qs, Options{StorageBudget: budget})
+		ilpRes, err := SuggestIndexesILP(context.Background(), cat, qs, Options{StorageBudget: budget})
 		if err != nil {
 			t.Fatal(err)
 		}
-		greedyRes, err := SuggestIndexesGreedy(cat, qs, Options{StorageBudget: budget})
+		greedyRes, err := SuggestIndexesGreedy(context.Background(), cat, qs, Options{StorageBudget: budget})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -232,10 +233,10 @@ func TestILPAtLeastAsGoodAsGreedyUnderBudget(t *testing.T) {
 
 func TestEmptyWorkloadErrors(t *testing.T) {
 	cat := testCatalog(t)
-	if _, err := SuggestIndexesILP(cat, nil, Options{}); err == nil {
+	if _, err := SuggestIndexesILP(context.Background(), cat, nil, Options{}); err == nil {
 		t.Error("ILP accepted empty workload")
 	}
-	if _, err := SuggestIndexesGreedy(cat, nil, Options{}); err == nil {
+	if _, err := SuggestIndexesGreedy(context.Background(), cat, nil, Options{}); err == nil {
 		t.Error("greedy accepted empty workload")
 	}
 }
@@ -298,7 +299,7 @@ func TestWeightsInfluenceSelection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := SuggestIndexesILP(cat, qs, Options{StorageBudget: oneIx + oneIx/4})
+	res, err := SuggestIndexesILP(context.Background(), cat, qs, Options{StorageBudget: oneIx + oneIx/4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,7 +321,7 @@ func TestUpdateRatesSuppressIndexesOnHotTables(t *testing.T) {
 		"SELECT specid FROM specobj WHERE z BETWEEN 2.98 AND 3.0",
 	)
 	// Without updates both tables get indexes.
-	calm, err := SuggestIndexesILP(cat, qs, Options{})
+	calm, err := SuggestIndexesILP(context.Background(), cat, qs, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -339,7 +340,7 @@ func TestUpdateRatesSuppressIndexesOnHotTables(t *testing.T) {
 		t.Errorf("maintenance without updates = %v", calm.MaintenanceCost)
 	}
 	// A very hot photoobj makes its index not worth maintaining.
-	hot, err := SuggestIndexesILP(cat, qs, Options{
+	hot, err := SuggestIndexesILP(context.Background(), cat, qs, Options{
 		UpdateRates: map[string]float64{"photoobj": 1e6},
 	})
 	if err != nil {
@@ -352,7 +353,7 @@ func TestUpdateRatesSuppressIndexesOnHotTables(t *testing.T) {
 		t.Errorf("cold table lost its index: %v", hot.Indexes)
 	}
 	// Greedy honours the same constraint.
-	hotGreedy, err := SuggestIndexesGreedy(cat, qs, Options{
+	hotGreedy, err := SuggestIndexesGreedy(context.Background(), cat, qs, Options{
 		UpdateRates: map[string]float64{"photoobj": 1e6},
 	})
 	if err != nil {
@@ -362,7 +363,7 @@ func TestUpdateRatesSuppressIndexesOnHotTables(t *testing.T) {
 		t.Errorf("greedy kept index on hot table: %v", hotGreedy.Indexes)
 	}
 	// Moderate updates: index survives but maintenance is reported.
-	warm, err := SuggestIndexesILP(cat, qs, Options{
+	warm, err := SuggestIndexesILP(context.Background(), cat, qs, Options{
 		UpdateRates: map[string]float64{"photoobj": 10},
 	})
 	if err != nil {
@@ -408,7 +409,7 @@ func TestCompressWorkloadGroupsTemplates(t *testing.T) {
 	}
 	// The advisor over the compressed workload still finds the right
 	// indexes.
-	res, err := SuggestIndexesILP(cat, compressed, Options{})
+	res, err := SuggestIndexesILP(context.Background(), cat, compressed, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -474,11 +475,11 @@ func TestLargeWorkloadViaCompression(t *testing.T) {
 	if len(compressed) >= len(qs) {
 		t.Fatalf("no compression: %d", len(compressed))
 	}
-	ilpRes, err := SuggestIndexesILP(cat, compressed, Options{})
+	ilpRes, err := SuggestIndexesILP(context.Background(), cat, compressed, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	greedyRes, err := SuggestIndexesGreedy(cat, compressed, Options{})
+	greedyRes, err := SuggestIndexesGreedy(context.Background(), cat, compressed, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -488,5 +489,26 @@ func TestLargeWorkloadViaCompression(t *testing.T) {
 	}
 	if ilpRes.Speedup() < 2 {
 		t.Errorf("large-workload speedup = %.2f", ilpRes.Speedup())
+	}
+}
+
+// TestResultDegenerateGuards: Speedup/AvgBenefit on zero base costs
+// (empty or free workloads) must return their identity values, never
+// NaN or Inf.
+func TestResultDegenerateGuards(t *testing.T) {
+	zero := &Result{}
+	if zero.Speedup() != 1 {
+		t.Errorf("zero-cost speedup = %v, want 1", zero.Speedup())
+	}
+	if zero.AvgBenefit() != 0 {
+		t.Errorf("zero-cost benefit = %v, want 0", zero.AvgBenefit())
+	}
+	freeBase := &Result{BaseCost: 0, NewCost: 42}
+	if s := freeBase.Speedup(); s != 1 {
+		t.Errorf("zero-base speedup = %v, want 1", s)
+	}
+	freeNew := &Result{BaseCost: 42, NewCost: 0}
+	if s := freeNew.Speedup(); s != 1 {
+		t.Errorf("zero-new speedup = %v, want 1", s)
 	}
 }

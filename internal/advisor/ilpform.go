@@ -9,10 +9,20 @@ import (
 	"repro/internal/costlab"
 	"repro/internal/ilp"
 	"repro/internal/inum"
+	"repro/internal/recommend"
 )
 
+// This file owns the ILP formulation and registers it as the unified
+// pipeline's "ilp" search strategy, so the exact solver is
+// interchangeable with the greedy and anytime strategies wherever the
+// pipeline is exposed (serve jobs, `parinda recommend`, the REPL).
+func init() {
+	recommend.RegisterStrategy(recommend.StrategyILP, searchILP)
+}
+
 // SuggestIndexesILP runs the ILP advisor: candidate generation, INUM
-// benefit pricing, ILP assembly and exact branch-and-bound solve.
+// benefit pricing, ILP assembly and exact branch-and-bound solve — the
+// pipeline with the "ilp" strategy.
 //
 // The program (Papadomanolakis & Ailamaki, SMDB 2007):
 //
@@ -24,22 +34,31 @@ import (
 //	           x, y ∈ {0,1}
 //
 // where b_qj is the INUM-estimated benefit of index j for query q.
-func SuggestIndexesILP(cat *catalog.Catalog, queries []Query, opts Options) (*Result, error) {
+// ctx cancels the search, aborting any in-flight pricing batch.
+func SuggestIndexesILP(ctx context.Context, cat *catalog.Catalog, queries []Query, opts Options) (*Result, error) {
 	if len(queries) == 0 {
 		return nil, fmt.Errorf("advisor: empty workload")
 	}
-	ctx := context.Background()
-	est, err := opts.newBackend(cat)
+	rec, err := recommend.Recommend(ctx, cat, queries, opts.pipelineOptions(recommend.StrategyILP))
 	if err != nil {
 		return nil, err
 	}
-	candidates := GenerateCandidates(cat, queries, opts)
+	return fromRecommend(rec), nil
+}
+
+// searchILP is the pipeline strategy: it prices the candidate benefit
+// matrix through the shared evaluation core, solves the ILP exactly,
+// and greedily polishes residual interactions within the leftover
+// budget.
+func searchILP(ctx context.Context, p *recommend.Problem) (*recommend.Outcome, error) {
+	if p.Opts.Objects != recommend.ObjectsIndexes {
+		return nil, fmt.Errorf("advisor: the ILP strategy searches indexes only (got objects %q)", p.Opts.Objects)
+	}
+	ev := p.Eval
+	queries := p.Queries
+	candidates := p.IndexCandidates
 	if len(candidates) == 0 {
-		base, newC, per, _, err := evaluate(cat, queries, nil, opts.Workers)
-		if err != nil {
-			return nil, err
-		}
-		return &Result{BaseCost: base, NewCost: newC, PerQuery: per}, nil
+		return &recommend.Outcome{}, nil
 	}
 
 	// Base costs and the configuration benefit matrix via the pricing
@@ -48,15 +67,18 @@ func SuggestIndexesILP(cat *catalog.Catalog, queries []Query, opts Options) (*Re
 	// pairs of candidates on the same table (a bitmap-AND plan uses
 	// two indexes of one table at once, so single-index pricing would
 	// undervalue synergistic pairs). The whole O(queries × (singles +
-	// pairs)) sweep is assembled up front and priced as one
-	// EvaluateAll batch over the worker pool: jobs [0, len(queries))
-	// are the empty-configuration base costs, the rest carry one
-	// priced configuration each.
+	// pairs)) sweep is assembled up front and priced as one grouped
+	// batch over the worker pool: jobs [0, len(queries)) are the
+	// empty-configuration base costs, the rest carry one priced
+	// configuration each.
 	type priced struct {
 		q       int
 		members []int // candidate indexes of the configuration
 	}
-	jobs := baseJobs(queries)
+	jobs := make([]costlab.Job, len(queries))
+	for i, q := range queries {
+		jobs[i] = costlab.Job{Stmt: q.Stmt}
+	}
 	var sweep []priced
 	for qi, q := range queries {
 		// Candidates sargable for this query: leading column carries
@@ -64,7 +86,7 @@ func SuggestIndexesILP(cat *catalog.Catalog, queries []Query, opts Options) (*Re
 		// arms — a bitmap-AND of two individually useless indexes can
 		// still win, so pairing must not be restricted to singles
 		// that helped alone.
-		sargable := sargableCandidates(cat, q, candidates)
+		sargable := recommend.SargableCandidates(p.Cat, q, candidates)
 		for ji, spec := range candidates {
 			sweep = append(sweep, priced{qi, []int{ji}})
 			jobs = append(jobs, costlab.Job{Stmt: q.Stmt, Config: costlab.Config{spec}})
@@ -85,12 +107,12 @@ func SuggestIndexesILP(cat *catalog.Catalog, queries []Query, opts Options) (*Re
 	// adjacent), which would serialize the INUM backend's shard
 	// mutexes; the grouped driver schedules it round-robin across
 	// queries instead.
-	costs, err := costlab.EvaluateAllGrouped(ctx, est, jobs, func(i int) int {
+	costs, err := ev.EvaluateGrouped(ctx, jobs, func(i int) int {
 		if i < len(queries) {
 			return i
 		}
 		return sweep[i-len(queries)].q
-	}, opts.Workers)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -151,7 +173,7 @@ func SuggestIndexesILP(cat *catalog.Catalog, queries []Query, opts Options) (*Re
 	}
 	sizes := make([]float64, nx)
 	for ji, spec := range candidates {
-		sz, err := est.SpecSizeBytes(spec)
+		sz, err := ev.SpecSizeBytes(spec)
 		if err != nil {
 			return nil, err
 		}
@@ -183,29 +205,27 @@ func SuggestIndexesILP(cat *catalog.Catalog, queries []Query, opts Options) (*Re
 		prob.AddConstraint(ilp.Constraint{Coeffs: coeffs, Op: ilp.LE, RHS: 1, Name: "path " + key})
 	}
 	// Storage budget.
-	if opts.StorageBudget > 0 {
+	if p.Opts.StorageBudget > 0 {
 		coeffs := map[int]float64{}
 		for ji := range candidates {
 			coeffs[ji] = sizes[ji]
 		}
 		prob.AddConstraint(ilp.Constraint{
-			Coeffs: coeffs, Op: ilp.LE, RHS: float64(opts.StorageBudget), Name: "storage",
+			Coeffs: coeffs, Op: ilp.LE, RHS: float64(p.Opts.StorageBudget), Name: "storage",
 		})
 	}
 	// Each x_j carries its maintenance cost under the update profile
 	// (plus a tiny build penalty that keeps useless indexes out of
 	// the solution without distorting real benefits).
-	consts := defaultCostConstants()
 	for ji, spec := range candidates {
-		pages := int64(sizes[ji]) / catalog.PageSize
-		maint := opts.maintenanceCost(spec, catalog.BTreeHeight(pages), consts)
+		maint := recommend.MaintenanceCost(spec, int64(sizes[ji]), p.Opts.UpdateRates)
 		prob.Objective[ji] = -maint - 1e-6
 	}
 
 	// A 0.5% optimality gap keeps the exact search interactive on the
 	// larger programs; the solver still proves near-optimality rather
 	// than pruning candidates heuristically.
-	sol, err := ilp.Solve(prob, ilp.Options{MaxNodes: opts.MaxSolverNodes, Gap: 0.005})
+	sol, err := ilp.Solve(prob, ilp.Options{MaxNodes: p.Opts.MaxSolverNodes, Gap: 0.005})
 	if err != nil {
 		return nil, err
 	}
@@ -224,77 +244,68 @@ func SuggestIndexesILP(cat *catalog.Catalog, queries []Query, opts Options) (*Re
 	// leave cheap improvements on the table. Augment greedily within
 	// the leftover budget using the same backend pricing — the global
 	// structure stays the solver's, the polish only mops up.
-	chosen, err = polishSelection(ctx, est, queries, candidates, chosen, opts)
+	chosen, err = polishSelection(ctx, p, chosen)
 	if err != nil {
 		return nil, err
 	}
 	inum.SortSpecs(chosen)
 
-	base, newC, per, evalCalls, err := evaluate(cat, queries, chosen, opts.Workers)
-	if err != nil {
-		return nil, err
-	}
-	size, err := totalSize(est, chosen)
-	if err != nil {
-		return nil, err
-	}
+	var size int64
 	maint := 0.0
 	for _, spec := range chosen {
-		sz, _ := est.SpecSizeBytes(spec)
-		maint += opts.maintenanceCost(spec, catalog.BTreeHeight(sz/catalog.PageSize), consts)
+		sz, err := ev.SpecSizeBytes(spec)
+		if err != nil {
+			return nil, err
+		}
+		size += sz
+		maint += recommend.MaintenanceCost(spec, sz, p.Opts.UpdateRates)
 	}
-	return &Result{
-		Indexes:         chosen,
-		SizeBytes:       size,
-		BaseCost:        base,
-		NewCost:         newC,
-		PerQuery:        per,
-		Candidates:      len(candidates),
-		SolverWork:      sol.Nodes,
-		PlanCalls:       est.PlanCalls() + evalCalls,
-		MaintenanceCost: maint,
+	return &recommend.Outcome{
+		Design:      recommend.Design{Indexes: chosen},
+		SizeBytes:   size,
+		Maintenance: maint,
+		Work:        sol.Nodes,
 	}, nil
 }
 
 // polishSelection greedily adds leftover candidates that still fit the
 // budget and reduce the backend-priced workload cost of the full set.
-func polishSelection(ctx context.Context, est costlab.Backend, queries []Query, candidates, chosen []inum.IndexSpec, opts Options) ([]inum.IndexSpec, error) {
-	wq := weighted(queries)
+func polishSelection(ctx context.Context, p *recommend.Problem, chosen []inum.IndexSpec) ([]inum.IndexSpec, error) {
+	ev := p.Eval
 	have := map[string]bool{}
 	var size int64
 	for _, s := range chosen {
 		have[s.Key()] = true
-		sz, err := est.SpecSizeBytes(s)
+		sz, err := ev.SpecSizeBytes(s)
 		if err != nil {
 			return nil, err
 		}
 		size += sz
 	}
-	current, err := costlab.WorkloadCost(ctx, est, wq, inum.Config(chosen), opts.Workers)
+	current, err := ev.DesignCost(ctx, recommend.Design{Indexes: chosen})
 	if err != nil {
 		return nil, err
 	}
-	consts := defaultCostConstants()
 	improved := true
 	for improved {
 		improved = false
-		for _, spec := range candidates {
+		for _, spec := range p.IndexCandidates {
 			if have[spec.Key()] {
 				continue
 			}
-			sz, err := est.SpecSizeBytes(spec)
+			sz, err := ev.SpecSizeBytes(spec)
 			if err != nil {
 				return nil, err
 			}
-			if opts.StorageBudget > 0 && size+sz > opts.StorageBudget {
+			if p.Opts.StorageBudget > 0 && size+sz > p.Opts.StorageBudget {
 				continue
 			}
-			trial := append(append(inum.Config(nil), chosen...), spec)
-			cost, err := costlab.WorkloadCost(ctx, est, wq, trial, opts.Workers)
+			trial := append(append([]inum.IndexSpec(nil), chosen...), spec)
+			cost, err := ev.DesignCost(ctx, recommend.Design{Indexes: trial})
 			if err != nil {
 				return nil, err
 			}
-			maint := opts.maintenanceCost(spec, catalog.BTreeHeight(sz/catalog.PageSize), consts)
+			maint := recommend.MaintenanceCost(spec, sz, p.Opts.UpdateRates)
 			if cost+maint < current-1e-9 {
 				chosen = append(chosen, spec)
 				have[spec.Key()] = true

@@ -9,21 +9,22 @@
 //  3. Select fragments by evaluating the rewritten workload against
 //     what-if partition tables, under a replication constraint.
 //  4. Stop when no candidate improves the workload.
+//
+// Suggest is a thin wrapper over the unified recommendation pipeline
+// in internal/recommend, which hosts the fragment generators, the
+// refinement loop and the shared evaluation core (also used by the
+// index advisor and the joint recommender).
 package autopart
 
 import (
 	"context"
-	"errors"
 	"fmt"
-	"sort"
-	"strings"
 
 	"repro/internal/advisor"
 	"repro/internal/catalog"
-	"repro/internal/costlab"
+	"repro/internal/recommend"
 	"repro/internal/rewrite"
 	"repro/internal/sql"
-	"repro/internal/whatif"
 )
 
 // Options configure a partitioning run.
@@ -43,13 +44,6 @@ type Options struct {
 	Workers int
 }
 
-func (o Options) maxIter() int {
-	if o.MaxIterations <= 0 {
-		return 10
-	}
-	return o.MaxIterations
-}
-
 // Result is a completed partition suggestion.
 type Result struct {
 	// Partitions maps parent table → suggested fragments.
@@ -64,15 +58,17 @@ type Result struct {
 	Iterations int
 }
 
-// Speedup returns BaseCost / NewCost.
+// Speedup returns BaseCost / NewCost, guarded to 1 for degenerate
+// zero costs.
 func (r *Result) Speedup() float64 {
-	if r.NewCost <= 0 {
+	if r.NewCost <= 0 || r.BaseCost <= 0 {
 		return 1
 	}
 	return r.BaseCost / r.NewCost
 }
 
-// AvgBenefit returns 1 - new/base.
+// AvgBenefit returns 1 - new/base (0 when the base cost is
+// degenerate).
 func (r *Result) AvgBenefit() float64 {
 	if r.BaseCost <= 0 {
 		return 0
@@ -80,494 +76,45 @@ func (r *Result) AvgBenefit() float64 {
 	return 1 - r.NewCost/r.BaseCost
 }
 
-// fragKey canonicalizes a column set.
-func fragKey(cols []string) string {
-	s := append([]string(nil), cols...)
-	sort.Strings(s)
-	return strings.Join(s, ",")
-}
-
 // AtomicFragments computes the finest column grouping of table such
-// that every query reads a union of groups: start from one fragment
-// holding all non-PK columns and split it by each query's referenced
-// column set.
+// that every query reads a union of groups (see
+// recommend.AtomicFragments, the pipeline's partition-fragment
+// generator).
 func AtomicFragments(tab *catalog.Table, queries []advisor.Query) [][]string {
-	pk := map[string]bool{}
-	for _, c := range tab.PrimaryKey {
-		pk[c] = true
-	}
-	var all []string
-	for _, c := range tab.Columns {
-		if !pk[c.Name] {
-			all = append(all, c.Name)
-		}
-	}
-	fragments := [][]string{all}
-	for _, q := range queries {
-		refs := queryColumnsOnTable(tab, q.Stmt)
-		var next [][]string
-		for _, frag := range fragments {
-			var in, out []string
-			for _, c := range frag {
-				if refs[c] {
-					in = append(in, c)
-				} else {
-					out = append(out, c)
-				}
-			}
-			if len(in) > 0 {
-				next = append(next, in)
-			}
-			if len(out) > 0 {
-				next = append(next, out)
-			}
-		}
-		fragments = next
-	}
-	for _, f := range fragments {
-		sort.Strings(f)
-	}
-	sort.Slice(fragments, func(i, j int) bool {
-		return fragKey(fragments[i]) < fragKey(fragments[j])
-	})
-	return fragments
+	return recommend.AtomicFragments(tab, queries)
 }
 
 // queryColumnsOnTable returns the set of tab's columns referenced by
-// sel (via qualified or unambiguous unqualified references, or stars).
+// sel.
 func queryColumnsOnTable(tab *catalog.Table, sel *sql.Select) map[string]bool {
-	out := map[string]bool{}
-	aliases := map[string]bool{}
-	touches := false
-	for _, tr := range sel.From {
-		if tr.Table == tab.Name {
-			aliases[tr.EffectiveName()] = true
-			touches = true
-		}
-	}
-	for _, j := range sel.Joins {
-		if j.Table.Table == tab.Name {
-			aliases[j.Table.EffectiveName()] = true
-			touches = true
-		}
-	}
-	if !touches {
-		return out
-	}
-	for _, it := range sel.Items {
-		if it.Star && it.Expr == nil {
-			for _, c := range tab.Columns {
-				out[c.Name] = true
-			}
-		}
-		if it.Star && it.Expr != nil && aliases[it.Expr.(*sql.ColumnRef).Table] {
-			for _, c := range tab.Columns {
-				out[c.Name] = true
-			}
-		}
-	}
-	sql.WalkSelect(sel, func(e sql.Expr) {
-		ref, ok := e.(*sql.ColumnRef)
-		if !ok || ref.Column == "*" {
-			return
-		}
-		if ref.Table != "" {
-			if aliases[ref.Table] {
-				out[ref.Column] = true
-			}
-			return
-		}
-		if tab.ColumnIndex(ref.Column) >= 0 {
-			out[ref.Column] = true
-		}
-	})
-	return out
+	return recommend.QueryColumnsOnTable(tab, sel)
 }
 
-// Suggest runs the AutoPart loop over the workload and returns the
-// best partitioning found.
-func Suggest(cat *catalog.Catalog, queries []advisor.Query, opts Options) (*Result, error) {
+// Suggest runs the AutoPart loop over the workload through the
+// pipeline's partition-only greedy strategy and returns the best
+// partitioning found. ctx cancels the search, aborting any in-flight
+// pricing batch.
+func Suggest(ctx context.Context, cat *catalog.Catalog, queries []advisor.Query, opts Options) (*Result, error) {
 	if len(queries) == 0 {
 		return nil, fmt.Errorf("autopart: empty workload")
 	}
-	tables := opts.Tables
-	if len(tables) == 0 {
-		seen := map[string]bool{}
-		for _, q := range queries {
-			for _, tr := range q.Stmt.From {
-				seen[tr.Table] = true
-			}
-			for _, j := range q.Stmt.Joins {
-				seen[j.Table.Table] = true
-			}
-		}
-		for t := range seen {
-			tables = append(tables, t)
-		}
-		sort.Strings(tables)
-	}
-	for _, t := range tables {
-		if cat.Table(t) == nil {
-			return nil, fmt.Errorf("autopart: unknown table %q", t)
-		}
-	}
-
-	// State: per table, the atomic fragments plus any composites
-	// selected so far. The rewriter prefers single covering
-	// fragments, so adding a composite that matches a query's column
-	// set removes that query's fragment joins.
-	atomic := map[string][][]string{}
-	selected := map[string][][]string{}
-	for _, t := range tables {
-		frags := AtomicFragments(cat.Table(t), queries)
-		atomic[t] = frags
-		selected[t] = append([][]string(nil), frags...)
-	}
-
-	// One baseline estimator serves the whole run — base costs and the
-	// final per-query report price through its pooled sessions instead
-	// of constructing a fresh what-if session per query.
-	ctx := context.Background()
-	base := costlab.NewFull(cat)
-	evalCost := func(sel map[string][][]string) (float64, []float64, error) {
-		return evaluateDesign(ctx, cat, queries, tables, sel, opts.Workers)
-	}
-
-	baseCost, origCosts, err := workloadBaseCost(ctx, base, queries, opts.Workers)
+	rec, err := recommend.Recommend(ctx, cat, queries, recommend.Options{
+		Objects:           recommend.ObjectsPartitions,
+		Strategy:          recommend.StrategyGreedy,
+		ReplicationBudget: opts.ReplicationBudget,
+		MaxIterations:     opts.MaxIterations,
+		Tables:            opts.Tables,
+		Workers:           opts.Workers,
+	})
 	if err != nil {
 		return nil, err
-	}
-	currentCost, _, err := evalCost(selected)
-	if err != nil {
-		return nil, err
-	}
-
-	iterations := 0
-	for iterations < opts.maxIter() {
-		iterations++
-		type candidate struct {
-			table string
-			frag  []string
-		}
-		var best *candidate
-		bestCost := currentCost
-		for _, t := range tables {
-			have := map[string]bool{}
-			for _, f := range selected[t] {
-				have[fragKey(f)] = true
-			}
-			// Composite candidates: selected ∪ atomic, atomic ∪ atomic.
-			var cands [][]string
-			for _, s := range selected[t] {
-				for _, a := range atomic[t] {
-					cands = append(cands, unionCols(s, a))
-				}
-			}
-			for i := range atomic[t] {
-				for j := i + 1; j < len(atomic[t]); j++ {
-					cands = append(cands, unionCols(atomic[t][i], atomic[t][j]))
-				}
-			}
-			tried := map[string]bool{}
-			for _, cand := range cands {
-				k := fragKey(cand)
-				if have[k] || tried[k] {
-					continue
-				}
-				tried[k] = true
-				trial := copySelection(selected)
-				trial[t] = append(trial[t], cand)
-				if over, err := replicationOverhead(cat, tables, trial); err != nil {
-					return nil, err
-				} else if over > opts.ReplicationBudget {
-					continue
-				}
-				cost, _, err := evalCost(trial)
-				if err != nil {
-					return nil, err
-				}
-				if cost < bestCost-1e-9 {
-					bestCost = cost
-					best = &candidate{table: t, frag: cand}
-				}
-			}
-		}
-		if best == nil {
-			break
-		}
-		selected[best.table] = append(selected[best.table], best.frag)
-		currentCost = bestCost
-	}
-
-	// Prune fragments no rewritten query uses, keeping coverage: every
-	// non-PK column must still live in some fragment (unreferenced
-	// columns stay in their atomic fragment).
-	selected, err = pruneSelection(cat, queries, tables, selected)
-	if err != nil {
-		return nil, err
-	}
-
-	// Build the final result: partitionings, rewritten workload,
-	// per-query benefits. Rewritten costs price as one parallel
-	// batch; original costs reuse the base batch priced up front.
-	parts := buildPartitionings(cat, tables, selected)
-	design, rw := designEstimator(cat, tables, selected)
-	var rewritten []string
-	newJobs := make([]costlab.Job, len(queries))
-	for i, q := range queries {
-		rq, err := rw.Rewrite(q.Stmt)
-		if err != nil {
-			return nil, err
-		}
-		rewritten = append(rewritten, sql.PrintSelect(rq))
-		newJobs[i] = costlab.Job{Stmt: rq}
-	}
-	newCosts, err := costlab.EvaluateAll(ctx, design, newJobs, opts.Workers)
-	if err != nil {
-		return nil, err
-	}
-	var per []advisor.QueryBenefit
-	var newTotal float64
-	for i, q := range queries {
-		per = append(per, advisor.QueryBenefit{
-			SQL:      q.SQL,
-			BaseCost: origCosts[i],
-			NewCost:  newCosts[i] * q.Weight,
-		})
-		newTotal += newCosts[i] * q.Weight
 	}
 	return &Result{
-		Partitions: parts,
-		Rewritten:  rewritten,
-		BaseCost:   baseCost,
-		NewCost:    newTotal,
-		PerQuery:   per,
-		Iterations: iterations,
+		Partitions: rec.Partitions,
+		Rewritten:  rec.Rewritten,
+		BaseCost:   rec.BaseCost,
+		NewCost:    rec.NewCost,
+		PerQuery:   rec.PerQuery,
+		Iterations: rec.Rounds,
 	}, nil
-}
-
-// workloadBaseCost prices the workload on the unpartitioned schema
-// through the shared baseline estimator.
-func workloadBaseCost(ctx context.Context, base costlab.CostEstimator, queries []advisor.Query, workers int) (float64, []float64, error) {
-	jobs := make([]costlab.Job, len(queries))
-	for i, q := range queries {
-		jobs[i] = costlab.Job{Stmt: q.Stmt}
-	}
-	costs, err := costlab.EvaluateAll(ctx, base, jobs, workers)
-	if err != nil {
-		return 0, nil, batchQueryErr("autopart: base cost of query", err)
-	}
-	total := 0.0
-	per := make([]float64, len(queries))
-	for i, q := range queries {
-		per[i] = costs[i] * q.Weight
-		total += per[i]
-	}
-	return total, per, nil
-}
-
-// evaluateDesign prices the workload rewritten onto the candidate
-// fragment selection: what-if partition tables are installed into
-// pooled sessions by the design estimator's setup hook and the
-// rewritten queries are priced as one parallel batch.
-func evaluateDesign(ctx context.Context, cat *catalog.Catalog, queries []advisor.Query, tables []string, sel map[string][][]string, workers int) (float64, []float64, error) {
-	design, rw := designEstimator(cat, tables, sel)
-	jobs := make([]costlab.Job, len(queries))
-	for i, q := range queries {
-		rq, err := rw.Rewrite(q.Stmt)
-		if err != nil {
-			return 0, nil, err
-		}
-		jobs[i] = costlab.Job{Stmt: rq}
-	}
-	costs, err := costlab.EvaluateAll(ctx, design, jobs, workers)
-	if err != nil {
-		return 0, nil, batchQueryErr("autopart: cost of rewritten query", err)
-	}
-	total := 0.0
-	per := make([]float64, len(queries))
-	for i, q := range queries {
-		per[i] = costs[i] * q.Weight
-		total += per[i]
-	}
-	return total, per, nil
-}
-
-// batchQueryErr attributes a costlab batch failure to its 1-based
-// query position, preserving the numbered error messages of the
-// pre-batch code.
-func batchQueryErr(prefix string, err error) error {
-	var je *costlab.JobError
-	if errors.As(err, &je) {
-		return fmt.Errorf("%s %d: %w", prefix, je.Index+1, je.Err)
-	}
-	return fmt.Errorf("%s: %w", prefix, err)
-}
-
-// designEstimator builds a full-optimizer estimator whose pooled
-// sessions each carry the candidate design as what-if partition
-// tables, plus a rewriter targeting those fragments.
-func designEstimator(cat *catalog.Catalog, tables []string, sel map[string][][]string) (*costlab.Full, *rewrite.Rewriter) {
-	parts := buildPartitionings(cat, tables, sel)
-	setup := func(s *whatif.Session) error {
-		for _, t := range tables {
-			for i, frag := range parts[t].Fragments {
-				if _, err := s.CreateTable(whatif.TableDef{
-					Name:    frag.Name,
-					Parent:  t,
-					Columns: sel[t][i],
-				}); err != nil {
-					return err
-				}
-			}
-		}
-		return nil
-	}
-	return costlab.NewFullWithSetup(cat, setup), rewrite.New(parts)
-}
-
-// buildPartitionings names fragments deterministically and assembles
-// rewriter partitionings.
-func buildPartitionings(cat *catalog.Catalog, tables []string, sel map[string][][]string) map[string]*rewrite.Partitioning {
-	parts := map[string]*rewrite.Partitioning{}
-	for _, t := range tables {
-		p := &rewrite.Partitioning{Parent: cat.Table(t)}
-		for i, cols := range sel[t] {
-			p.Fragments = append(p.Fragments, rewrite.Fragment{
-				Name:    fmt.Sprintf("%s_p%d", t, i+1),
-				Columns: append([]string(nil), cols...),
-			})
-		}
-		parts[t] = p
-	}
-	return parts
-}
-
-// replicationOverhead estimates the extra bytes a selection needs
-// beyond the original tables: Σ fragment heap sizes − original heap
-// size, per table, floored at 0 per table.
-func replicationOverhead(cat *catalog.Catalog, tables []string, sel map[string][][]string) (int64, error) {
-	var total int64
-	for _, t := range tables {
-		tab := cat.Table(t)
-		var fragBytes int64
-		for _, cols := range sel[t] {
-			ft := fragmentShape(tab, cols)
-			fragBytes += ft.EstimatePages(tab.RowCount) * catalog.PageSize
-		}
-		origBytes := tab.EstimatePages(tab.RowCount) * catalog.PageSize
-		if d := fragBytes - origBytes; d > 0 {
-			total += d
-		}
-	}
-	return total, nil
-}
-
-// fragmentShape builds the column layout of a fragment (PK + columns)
-// without registering it anywhere.
-func fragmentShape(parent *catalog.Table, cols []string) *catalog.Table {
-	want := map[string]bool{}
-	for _, pk := range parent.PrimaryKey {
-		want[pk] = true
-	}
-	for _, c := range cols {
-		want[c] = true
-	}
-	t := &catalog.Table{Name: "frag", PrimaryKey: parent.PrimaryKey}
-	for _, c := range parent.Columns {
-		if want[c.Name] {
-			t.Columns = append(t.Columns, catalog.Column{Name: c.Name, Type: c.Type, AvgWidth: c.AvgWidth})
-		}
-	}
-	return t
-}
-
-func unionCols(a, b []string) []string {
-	set := map[string]bool{}
-	for _, c := range a {
-		set[c] = true
-	}
-	for _, c := range b {
-		set[c] = true
-	}
-	out := make([]string, 0, len(set))
-	for c := range set {
-		out = append(out, c)
-	}
-	sort.Strings(out)
-	return out
-}
-
-// pruneSelection drops fragments that no rewritten query reads,
-// keeping one home fragment for every column so the partitioning
-// still reconstructs the parent tables.
-func pruneSelection(cat *catalog.Catalog, queries []advisor.Query, tables []string, sel map[string][][]string) (map[string][][]string, error) {
-	parts := buildPartitionings(cat, tables, sel)
-	rw := rewrite.New(parts)
-	used := map[string]map[string]bool{} // table → fragment key → used
-	for _, t := range tables {
-		used[t] = map[string]bool{}
-	}
-	nameToKey := map[string]string{}
-	nameToTable := map[string]string{}
-	for _, t := range tables {
-		for i, f := range parts[t].Fragments {
-			nameToKey[f.Name] = fragKey(sel[t][i])
-			nameToTable[f.Name] = t
-		}
-	}
-	for _, q := range queries {
-		rq, err := rw.Rewrite(q.Stmt)
-		if err != nil {
-			return nil, err
-		}
-		for _, tr := range rq.From {
-			if t, ok := nameToTable[tr.Table]; ok {
-				used[t][nameToKey[tr.Table]] = true
-			}
-		}
-	}
-	out := map[string][][]string{}
-	for _, t := range tables {
-		covered := map[string]bool{}
-		var kept [][]string
-		for _, frag := range sel[t] {
-			if used[t][fragKey(frag)] {
-				kept = append(kept, frag)
-				for _, c := range frag {
-					covered[c] = true
-				}
-			}
-		}
-		for _, frag := range sel[t] {
-			if used[t][fragKey(frag)] {
-				continue
-			}
-			needed := false
-			for _, c := range frag {
-				if !covered[c] {
-					needed = true
-				}
-			}
-			if needed {
-				kept = append(kept, frag)
-				for _, c := range frag {
-					covered[c] = true
-				}
-			}
-		}
-		if len(kept) == 0 {
-			kept = append([][]string(nil), sel[t]...)
-		}
-		out[t] = kept
-	}
-	return out, nil
-}
-
-func copySelection(sel map[string][][]string) map[string][][]string {
-	out := make(map[string][][]string, len(sel))
-	for t, frags := range sel {
-		out[t] = append([][]string(nil), frags...)
-	}
-	return out
 }

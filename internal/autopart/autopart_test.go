@@ -1,6 +1,7 @@
 package autopart
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -124,7 +125,7 @@ func TestSuggestImprovesNarrowWorkload(t *testing.T) {
 		"SELECT run, COUNT(*) FROM photoobj GROUP BY run",
 		"SELECT objid, u, g FROM photoobj WHERE u BETWEEN 15 AND 18",
 	)
-	res, err := Suggest(cat, qs, Options{ReplicationBudget: 1 << 30})
+	res, err := Suggest(context.Background(), cat, qs, Options{ReplicationBudget: 1 << 30})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,11 +181,11 @@ func TestReplicationBudgetRestricts(t *testing.T) {
 		"SELECT objid, ra, dec FROM photoobj WHERE ra BETWEEN 100 AND 140",
 		"SELECT objid, ra, u FROM photoobj WHERE u BETWEEN 15 AND 16",
 	)
-	generous, err := Suggest(cat, qs, Options{ReplicationBudget: 1 << 32})
+	generous, err := Suggest(context.Background(), cat, qs, Options{ReplicationBudget: 1 << 32})
 	if err != nil {
 		t.Fatal(err)
 	}
-	tight, err := Suggest(cat, qs, Options{ReplicationBudget: 0})
+	tight, err := Suggest(context.Background(), cat, qs, Options{ReplicationBudget: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,11 +197,11 @@ func TestReplicationBudgetRestricts(t *testing.T) {
 
 func TestSuggestErrors(t *testing.T) {
 	cat := wideCatalog(t)
-	if _, err := Suggest(cat, nil, Options{}); err == nil {
+	if _, err := Suggest(context.Background(), cat, nil, Options{}); err == nil {
 		t.Error("empty workload accepted")
 	}
 	qs := workload(t, "SELECT objid FROM photoobj")
-	if _, err := Suggest(cat, qs, Options{Tables: []string{"nosuch"}}); err == nil {
+	if _, err := Suggest(context.Background(), cat, qs, Options{Tables: []string{"nosuch"}}); err == nil {
 		t.Error("unknown table accepted")
 	}
 }
@@ -211,11 +212,11 @@ func TestSuggestDeterministic(t *testing.T) {
 		"SELECT objid, ra, dec FROM photoobj WHERE ra BETWEEN 100 AND 140",
 		"SELECT objid, u FROM photoobj WHERE u BETWEEN 15 AND 16",
 	)
-	a, err := Suggest(cat, qs, Options{ReplicationBudget: 1 << 30})
+	a, err := Suggest(context.Background(), cat, qs, Options{ReplicationBudget: 1 << 30})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Suggest(cat, qs, Options{ReplicationBudget: 1 << 30})
+	b, err := Suggest(context.Background(), cat, qs, Options{ReplicationBudget: 1 << 30})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,5 +242,18 @@ func TestQueryColumnsOnTable(t *testing.T) {
 	sel, _ = sql.ParseSelect("SELECT z FROM specobj")
 	if cols := queryColumnsOnTable(tab, sel); len(cols) != 0 {
 		t.Errorf("phantom columns: %v", cols)
+	}
+}
+
+// TestResultDegenerateGuards: Speedup/AvgBenefit on zero base costs
+// must return their identity values, never NaN or Inf.
+func TestResultDegenerateGuards(t *testing.T) {
+	zero := &Result{}
+	if zero.Speedup() != 1 || zero.AvgBenefit() != 0 {
+		t.Errorf("zero-cost result: speedup %v benefit %v", zero.Speedup(), zero.AvgBenefit())
+	}
+	freeBase := &Result{BaseCost: 0, NewCost: 42}
+	if s := freeBase.Speedup(); s != 1 {
+		t.Errorf("zero-base speedup = %v, want 1", s)
 	}
 }

@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -22,6 +23,7 @@ import (
 	"repro/internal/autopart"
 	"repro/internal/catalog"
 	"repro/internal/optimizer"
+	"repro/internal/recommend"
 	"repro/internal/rewrite"
 	"repro/internal/session"
 	"repro/internal/sql"
@@ -82,7 +84,7 @@ func (p *PARINDA) SuggestIndexes(workloadSQL []string, opts advisor.Options) (*a
 	if err != nil {
 		return nil, err
 	}
-	return advisor.SuggestIndexesILP(p.cat, queries, opts)
+	return advisor.SuggestIndexesILP(context.Background(), p.cat, queries, opts)
 }
 
 // SuggestIndexesGreedy runs the greedy baseline advisor.
@@ -91,7 +93,7 @@ func (p *PARINDA) SuggestIndexesGreedy(workloadSQL []string, opts advisor.Option
 	if err != nil {
 		return nil, err
 	}
-	return advisor.SuggestIndexesGreedy(p.cat, queries, opts)
+	return advisor.SuggestIndexesGreedy(context.Background(), p.cat, queries, opts)
 }
 
 // SuggestPartitions runs the AutoPart advisor (scenario 2).
@@ -100,7 +102,17 @@ func (p *PARINDA) SuggestPartitions(workloadSQL []string, opts autopart.Options)
 	if err != nil {
 		return nil, err
 	}
-	return autopart.Suggest(p.cat, queries, opts)
+	return autopart.Suggest(context.Background(), p.cat, queries, opts)
+}
+
+// Recommend runs the unified joint recommender (indexes and
+// partitions through one budgeted pipeline).
+func (p *PARINDA) Recommend(ctx context.Context, workloadSQL []string, opts recommend.Options) (*recommend.Result, error) {
+	queries, err := advisor.ParseWorkload(workloadSQL)
+	if err != nil {
+		return nil, err
+	}
+	return recommend.Recommend(ctx, p.cat, queries, opts)
 }
 
 // ComparisonEntry records the what-if vs. materialized check of one

@@ -5,6 +5,7 @@
 package integration
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -49,7 +50,7 @@ func TestSuggestedIndexReducesRealIO(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := advisor.SuggestIndexesILP(db.Catalog, queries, advisor.Options{})
+	res, err := advisor.SuggestIndexesILP(context.Background(), db.Catalog, queries, advisor.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestEstimatedAndRealSpeedupAgreeInDirection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := advisor.SuggestIndexesILP(db.Catalog, queries, advisor.Options{})
+	res, err := advisor.SuggestIndexesILP(context.Background(), db.Catalog, queries, advisor.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestAutoPartRewrittenWorkloadEquivalentOnRealData(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := autopart.Suggest(db.Catalog, queries, autopart.Options{
+	res, err := autopart.Suggest(context.Background(), db.Catalog, queries, autopart.Options{
 		ReplicationBudget: 1 << 30,
 		Tables:            []string{"photoobj"},
 	})
@@ -293,7 +294,7 @@ func TestRewriterCoverageOfFullWorkload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := autopart.Suggest(cat, queries, autopart.Options{
+	res, err := autopart.Suggest(context.Background(), cat, queries, autopart.Options{
 		ReplicationBudget: 1 << 30,
 		Tables:            []string{"photoobj"},
 		MaxIterations:     3,

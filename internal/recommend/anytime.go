@@ -1,0 +1,325 @@
+package recommend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/inum"
+)
+
+// defaultJointIterations bounds the joint loop when the caller sets no
+// explicit iteration limit; greedy acceptance converges far earlier on
+// real workloads.
+const defaultJointIterations = 64
+
+// searchAnytime is the budgeted anytime strategy: a joint greedy loop
+// in which every round may pick an index or a partitioning move —
+// splitting a table into its atomic fragments, or adding a composite
+// fragment to an existing split — scored by benefit per byte against
+// one storage budget shared across index bytes and partition
+// replication. The search honours ctx cancellation and the
+// max-evaluations/wall-clock budget in Options.Budget, checking
+// between candidate-design trials, and always returns the best design
+// found so far: the accepted design is best-so-far by construction
+// (only improving moves are applied), so the workload cost recorded in
+// CostTrace is monotonically non-increasing across rounds.
+//
+// In the spirit of anytime approximation for decision procedures, the
+// quality of the answer degrades gracefully with the budget instead of
+// the procedure running to completion or not at all.
+func searchAnytime(ctx context.Context, p *Problem) (*Outcome, error) {
+	ev := p.Eval
+	opts := p.Opts
+	if opts.Budget.MaxDuration > 0 {
+		// A real deadline lets the budget abort mid-batch, not just
+		// between trials.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Budget.MaxDuration)
+		defer cancel()
+	}
+	maxIter := opts.MaxIterations
+	if maxIter <= 0 {
+		maxIter = defaultJointIterations
+	}
+
+	basePer, err := ev.BaseCosts(ctx)
+	if err != nil {
+		return nil, err
+	}
+	base := ev.WeightedTotal(basePer)
+
+	// Search state: the accepted design, which is also the best-so-far
+	// design at every point in time.
+	var chosen inum.Config
+	var ixSize int64
+	var maint float64
+	// ixMeta remembers each accepted index's size and maintenance so a
+	// later partitioning of its table can refund them exactly.
+	type ixCost struct {
+		size  int64
+		maint float64
+	}
+	ixMeta := map[string]ixCost{}
+	sel := map[string][][]string{} // partition selections; absent = unpartitioned
+	var repl int64
+	curPer := basePer
+	current := base
+	trace := []float64{current}
+	truncated := false
+	rounds := 0
+
+	budgetLeft := func() bool {
+		if ctx.Err() != nil {
+			return false
+		}
+		if opts.Budget.MaxEvaluations > 0 && ev.Trials() >= opts.Budget.MaxEvaluations {
+			return false
+		}
+		return true
+	}
+	// budgetStopped classifies a pricing error as "the budget ran out
+	// mid-batch" (context cancelled or deadline passed) rather than a
+	// real estimation failure.
+	budgetStopped := func(err error) bool {
+		return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+	}
+
+	type move struct {
+		desc  string
+		apply func()
+		per   []float64
+		cost  float64
+		gain  float64
+		bytes int64 // storage delta the score normalizes by
+	}
+
+	report(p, 0, base, current, "")
+	remaining := append([]inum.IndexSpec(nil), p.IndexCandidates...)
+
+	for rounds < maxIter {
+		if !budgetLeft() {
+			truncated = true
+			break
+		}
+		var best *move
+		stopped := false // budget ran out mid-sweep
+		bestScore := 0.0
+		consider := func(m *move) {
+			if m.gain <= 1e-9 {
+				return
+			}
+			bytes := m.bytes
+			if bytes < 1 {
+				bytes = 1 // free moves score by raw gain
+			}
+			if score := m.gain / float64(bytes); score > bestScore {
+				bestScore, best = score, m
+			}
+		}
+		// trial prices one candidate design, honouring the budget. A
+		// nil result with nil error means the budget stopped the round.
+		trial := func(d Design) ([]float64, error) {
+			if !budgetLeft() {
+				return nil, nil
+			}
+			per, err := ev.DesignCosts(ctx, d)
+			if err != nil {
+				if budgetStopped(err) {
+					return nil, nil
+				}
+				return nil, err
+			}
+			return per, nil
+		}
+
+		// Index moves. Candidates on currently partitioned tables are
+		// skipped: the rewritten workload no longer references the
+		// parent, so such an index can never be used.
+		for i, spec := range remaining {
+			if stopped {
+				break
+			}
+			if sel[spec.Table] != nil {
+				continue
+			}
+			sz, err := ev.SpecSizeBytes(spec)
+			if err != nil {
+				return nil, err
+			}
+			if opts.StorageBudget > 0 && ixSize+repl+sz > opts.StorageBudget {
+				continue
+			}
+			per, err := trial(designFromSelection(append(append(inum.Config(nil), chosen...), spec), sel))
+			if err != nil {
+				return nil, err
+			}
+			if per == nil {
+				stopped = true
+				break
+			}
+			cost := ev.WeightedTotal(per)
+			mc := MaintenanceCost(spec, sz, opts.UpdateRates)
+			consider(&move{
+				desc: "index " + spec.Key(),
+				per:  per, cost: cost,
+				gain:  current - cost - mc,
+				bytes: sz,
+				apply: func() {
+					chosen = append(chosen, remaining[i])
+					ixMeta[spec.Key()] = ixCost{size: sz, maint: mc}
+					ixSize += sz
+					maint += mc
+					remaining = append(remaining[:i], remaining[i+1:]...)
+				},
+			})
+		}
+
+		// Partitioning moves: split an intact table into its atomic
+		// fragments, or add one composite fragment to a split table.
+		for _, t := range p.PartitionTables {
+			if stopped {
+				break
+			}
+			var cands [][][]string // each candidate is t's whole new selection
+			var descs []string
+			if sel[t] == nil {
+				if len(p.Atomic[t]) >= 2 {
+					cands = append(cands, append([][]string(nil), p.Atomic[t]...))
+					descs = append(descs, fmt.Sprintf("partition %s into %d atomic fragments", t, len(p.Atomic[t])))
+				}
+			} else {
+				have := map[string]bool{}
+				for _, f := range sel[t] {
+					have[fragKey(f)] = true
+				}
+				tried := map[string]bool{}
+				addCand := func(frag []string) {
+					k := fragKey(frag)
+					if have[k] || tried[k] {
+						return
+					}
+					tried[k] = true
+					cands = append(cands, append(append([][]string(nil), sel[t]...), frag))
+					descs = append(descs, fmt.Sprintf("fragment %s(%s)", t, k))
+				}
+				for _, s := range sel[t] {
+					for _, a := range p.Atomic[t] {
+						addCand(unionCols(s, a))
+					}
+				}
+				for i := range p.Atomic[t] {
+					for j := i + 1; j < len(p.Atomic[t]); j++ {
+						addCand(unionCols(p.Atomic[t][i], p.Atomic[t][j]))
+					}
+				}
+			}
+			// Partitioning t evicts its (now dead) chosen indexes, so
+			// their bytes count as freed in the shared-budget check.
+			var freed int64
+			for _, spec := range chosen {
+				if spec.Table == t {
+					freed += ixMeta[spec.Key()].size
+				}
+			}
+			for ci, cand := range cands {
+				if stopped {
+					break
+				}
+				trialSel := copySelection(sel)
+				trialSel[t] = cand
+				trialRepl := replicationOverhead(p.Cat, trialSel)
+				if opts.StorageBudget > 0 && ixSize-freed+trialRepl > opts.StorageBudget {
+					continue
+				}
+				// A partition-only anytime search honours AutoPart's
+				// replication convention, like the greedy loop does.
+				if opts.Objects == ObjectsPartitions && trialRepl > opts.partitionReplicationBudget() {
+					continue
+				}
+				per, err := trial(designFromSelection(chosen, trialSel))
+				if err != nil {
+					return nil, err
+				}
+				if per == nil {
+					stopped = true
+					break
+				}
+				cost := ev.WeightedTotal(per)
+				consider(&move{
+					desc: descs[ci],
+					per:  per, cost: cost,
+					gain:  current - cost,
+					bytes: trialRepl - repl,
+					apply: func() {
+						sel[t] = cand
+						repl = trialRepl
+						// Indexes chosen earlier on this table are dead
+						// now: the rewritten workload references only
+						// fragments, so they can never appear in a plan.
+						// Evicting them cannot change the priced cost;
+						// it frees their storage and maintenance.
+						kept := chosen[:0]
+						for _, spec := range chosen {
+							if spec.Table == t {
+								mc := ixMeta[spec.Key()]
+								ixSize -= mc.size
+								maint -= mc.maint
+								delete(ixMeta, spec.Key())
+								continue
+							}
+							kept = append(kept, spec)
+						}
+						chosen = kept
+					},
+				})
+			}
+		}
+
+		// An improving move found before the budget ran out is still
+		// applied — every priced trial contributes to the best-so-far
+		// design.
+		if best != nil {
+			best.apply()
+			current = best.cost
+			curPer = best.per
+			rounds++
+			trace = append(trace, current)
+			report(p, rounds, base, current, best.desc)
+		}
+		if stopped {
+			truncated = true
+			break
+		}
+		if best == nil {
+			break // converged: no move improves the workload
+		}
+	}
+
+	// Prune unused fragments from the accepted selections (coverage is
+	// preserved, so the rewritten workload — and its cost — do not
+	// change).
+	if len(sel) > 0 && ctx.Err() == nil {
+		tables := make([]string, 0, len(sel))
+		for t := range sel {
+			tables = append(tables, t)
+		}
+		pruned, err := pruneSelection(p.Cat, p.Queries, tables, sel)
+		if err == nil {
+			sel = pruned
+		}
+	}
+
+	return &Outcome{
+		Design:      designFromSelection(chosen, sel),
+		BaseCost:    base,
+		Cost:        current,
+		PerCosts:    curPer,
+		SizeBytes:   ixSize,
+		Maintenance: maint,
+		Rounds:      rounds,
+		Work:        int(ev.Trials()),
+		Truncated:   truncated,
+		CostTrace:   trace,
+	}, nil
+}

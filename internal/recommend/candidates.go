@@ -1,4 +1,4 @@
-package advisor
+package recommend
 
 import (
 	"sort"
@@ -8,6 +8,25 @@ import (
 	"repro/internal/sql"
 )
 
+// CandidateOptions configure index-candidate mining.
+type CandidateOptions struct {
+	// MaxIndexColumns bounds candidate width (default 3).
+	MaxIndexColumns int
+	// SingleColumnOnly restricts candidates to one column — the COLT
+	// comparison ablation from §2 of the paper.
+	SingleColumnOnly bool
+}
+
+func (o CandidateOptions) maxCols() int {
+	if o.SingleColumnOnly {
+		return 1
+	}
+	if o.MaxIndexColumns <= 0 {
+		return 3
+	}
+	return o.MaxIndexColumns
+}
+
 // columnUse records how a query touches one column of one table.
 type columnUse struct {
 	eq    bool // equality or IN predicate
@@ -16,14 +35,14 @@ type columnUse struct {
 	order bool // ORDER BY / GROUP BY column
 }
 
-// GenerateCandidates mines candidate indexes from the workload: for
-// every query and table it collects equality, range, join and
-// ordering columns, then emits single-column candidates and
-// multicolumn candidates with equality columns leading and at most
-// one range column trailing — the standard sargability-ordered shapes.
-// Candidates are deduplicated across queries and returned in
-// deterministic order.
-func GenerateCandidates(cat *catalog.Catalog, queries []Query, opts Options) []inum.IndexSpec {
+// IndexCandidates mines candidate indexes from the workload — the
+// pipeline's index-candidate generator: for every query and table it
+// collects equality, range, join and ordering columns, then emits
+// single-column candidates and multicolumn candidates with equality
+// columns leading and at most one range column trailing — the standard
+// sargability-ordered shapes. Candidates are deduplicated across
+// queries and returned in deterministic order.
+func IndexCandidates(cat *catalog.Catalog, queries []Query, opts CandidateOptions) []inum.IndexSpec {
 	maxCols := opts.maxCols()
 	seen := map[string]bool{}
 	var out []inum.IndexSpec
@@ -98,10 +117,45 @@ func GenerateCandidates(cat *catalog.Catalog, queries []Query, opts Options) []i
 	return out
 }
 
-// sargableCandidates returns the indices of candidates whose leading
+// capCandidates trims a sorted candidate list to at most n entries,
+// taking them round-robin across tables so the cap never starves a
+// table whose name happens to sort late. Within a table the sorted
+// (narrowest-first) order is preserved; the result is re-sorted into
+// canonical order.
+func capCandidates(cands []inum.IndexSpec, n int) []inum.IndexSpec {
+	if n <= 0 || len(cands) <= n {
+		return cands
+	}
+	byTable := map[string][]inum.IndexSpec{}
+	var tables []string
+	for _, spec := range cands {
+		if _, ok := byTable[spec.Table]; !ok {
+			tables = append(tables, spec.Table)
+		}
+		byTable[spec.Table] = append(byTable[spec.Table], spec)
+	}
+	out := make([]inum.IndexSpec, 0, n)
+	for round := 0; len(out) < n; round++ {
+		took := false
+		for _, t := range tables {
+			if round < len(byTable[t]) && len(out) < n {
+				out = append(out, byTable[t][round])
+				took = true
+			}
+		}
+		if !took {
+			break
+		}
+	}
+	inum.SortSpecs(out)
+	return out
+}
+
+// SargableCandidates returns the indices of candidates whose leading
 // column carries an equality or range predicate of q — the indexes a
-// bitmap-AND could combine for that query.
-func sargableCandidates(cat *catalog.Catalog, q Query, candidates []inum.IndexSpec) []int {
+// bitmap-AND could combine for that query. The ILP advisor's pair
+// pricing is built on it.
+func SargableCandidates(cat *catalog.Catalog, q Query, candidates []inum.IndexSpec) []int {
 	uses := analyzeQuery(cat, q.Stmt)
 	var out []int
 	for ji, spec := range candidates {

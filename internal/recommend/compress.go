@@ -1,4 +1,4 @@
-package advisor
+package recommend
 
 import (
 	"sort"
@@ -8,7 +8,8 @@ import (
 	"repro/internal/sql"
 )
 
-// CompressWorkload reduces a large workload to at most maxQueries
+// CompressWorkload is the pipeline's shared pruning/compression stage
+// for workloads: it reduces a large workload to at most maxQueries
 // representative queries, preserving total weight. Queries are grouped
 // by *template signature* — the tables they touch and the columns they
 // constrain, which is exactly the information candidate generation and

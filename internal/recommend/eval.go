@@ -1,0 +1,350 @@
+package recommend
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/catalog"
+	"repro/internal/costlab"
+	"repro/internal/inum"
+	"repro/internal/rewrite"
+	"repro/internal/sql"
+	"repro/internal/whatif"
+)
+
+// Evaluator is the pipeline's single evaluation core: every candidate
+// design — an index configuration, a partition selection, or a joint
+// design mixing both — prices through it. It replaced the duplicated
+// workloadBaseCost/evaluateDesign loops the advisor and AutoPart each
+// carried.
+//
+// Index-only designs price through the selected costlab backend (INUM
+// or full optimizer) with memo-served warm starts; designs carrying
+// partitions always price through the full optimizer (INUM cannot
+// reconstruct fragment-join plans), memoized by canonical DesignKey.
+// The memo may be a design session's shared cost memo, in which case
+// configurations a DBA priced interactively are never re-batched.
+type Evaluator struct {
+	cat      *catalog.Catalog
+	queries  []Query
+	stmts    []*sql.Select
+	stmtKeys []string
+	workers  int
+	est      costlab.Backend
+	estFull  bool // est prices with the full optimizer
+	memo     *costlab.Memo
+
+	trials     atomic.Int64 // candidate designs priced
+	memoHits   atomic.Int64
+	memoMisses atomic.Int64
+	extraCalls atomic.Int64 // optimizer calls outside est (partition pricing, reports)
+
+	mu         sync.Mutex
+	searchBase []float64 // unweighted base costs through est
+	reportBase []float64 // unweighted base costs through the full optimizer
+}
+
+// NewEvaluator builds the evaluation core for one workload. backend
+// selects the index-pricing engine ("" defaults to INUM); memo may be
+// nil for cold pricing.
+func NewEvaluator(cat *catalog.Catalog, queries []Query, backend string, workers int, memo *costlab.Memo) (*Evaluator, error) {
+	est, err := costlab.NewBackend(cat, backend)
+	if err != nil {
+		return nil, err
+	}
+	if memo == nil {
+		memo = costlab.NewMemo()
+	}
+	ev := &Evaluator{
+		cat:     cat,
+		queries: queries,
+		workers: workers,
+		est:     est,
+		estFull: backend == costlab.BackendFull,
+		memo:    memo,
+	}
+	for _, q := range queries {
+		ev.stmts = append(ev.stmts, q.Stmt)
+		ev.stmtKeys = append(ev.stmtKeys, sql.PrintSelect(q.Stmt))
+	}
+	return ev, nil
+}
+
+// WeightedTotal folds unweighted per-query costs into the workload
+// objective.
+func (ev *Evaluator) WeightedTotal(per []float64) float64 {
+	total := 0.0
+	for i, q := range ev.queries {
+		total += per[i] * q.Weight
+	}
+	return total
+}
+
+// BaseCosts prices the workload under the empty design through the
+// search backend, memo first. Cached for the evaluator's lifetime.
+func (ev *Evaluator) BaseCosts(ctx context.Context) ([]float64, error) {
+	ev.mu.Lock()
+	cached := ev.searchBase
+	ev.mu.Unlock()
+	if cached != nil {
+		return cached, nil
+	}
+	jobs := make([]costlab.Job, len(ev.stmts))
+	for i, stmt := range ev.stmts {
+		jobs[i] = costlab.Job{Stmt: stmt}
+	}
+	costs, err := ev.EvaluateJobs(ctx, jobs, 0)
+	if err != nil {
+		return nil, err
+	}
+	ev.mu.Lock()
+	ev.searchBase = costs
+	ev.mu.Unlock()
+	return costs, nil
+}
+
+// EvaluateJobs prices a batch of (statement, index configuration)
+// jobs through the backend, serving repeats from the memo, and counts
+// trials candidate designs against the evaluation budget.
+func (ev *Evaluator) EvaluateJobs(ctx context.Context, jobs []costlab.Job, trials int) ([]float64, error) {
+	costs, stats, err := costlab.EvaluateDelta(ctx, ev.est, jobs, ev.memo, ev.workers)
+	if err != nil {
+		return nil, err
+	}
+	ev.memoHits.Add(int64(stats.Hits))
+	ev.memoMisses.Add(int64(stats.Misses))
+	ev.trials.Add(int64(trials))
+	return costs, nil
+}
+
+// EvaluateGrouped prices a batch with shard-aware scheduling and no
+// memo — the ILP advisor's benefit-matrix sweep shape, where every job
+// is distinct by construction.
+func (ev *Evaluator) EvaluateGrouped(ctx context.Context, jobs []costlab.Job, group func(i int) int) ([]float64, error) {
+	return costlab.EvaluateAllGrouped(ctx, ev.est, jobs, group, ev.workers)
+}
+
+// DesignCosts prices every workload query under one joint design and
+// returns the unweighted per-query costs. One call counts as one
+// design trial.
+func (ev *Evaluator) DesignCosts(ctx context.Context, d Design) ([]float64, error) {
+	ev.trials.Add(1)
+	if len(d.Partitions) == 0 {
+		jobs := make([]costlab.Job, len(ev.stmts))
+		cfg := costlab.Config(d.Indexes)
+		for i, stmt := range ev.stmts {
+			jobs[i] = costlab.Job{Stmt: stmt, Config: cfg}
+		}
+		return ev.EvaluateJobs(ctx, jobs, 0)
+	}
+	return ev.partitionCosts(ctx, d)
+}
+
+// DesignCost is DesignCosts folded into the weighted workload total.
+func (ev *Evaluator) DesignCost(ctx context.Context, d Design) (float64, error) {
+	per, err := ev.DesignCosts(ctx, d)
+	if err != nil {
+		return 0, err
+	}
+	return ev.WeightedTotal(per), nil
+}
+
+// partitionCosts prices a partition-carrying design: queries rewrite
+// onto the fragments and plan with the full optimizer against what-if
+// fragment tables, memoized by (query, DesignKey).
+func (ev *Evaluator) partitionCosts(ctx context.Context, d Design) ([]float64, error) {
+	key := DesignKey(d)
+	costs := make([]float64, len(ev.stmts))
+	var missIdx []int
+	for i := range ev.stmts {
+		if c, ok := ev.memo.LookupKey(ev.stmtKeys[i], key); ok {
+			costs[i] = c
+		} else {
+			missIdx = append(missIdx, i)
+		}
+	}
+	ev.memoHits.Add(int64(len(ev.stmts) - len(missIdx)))
+	ev.memoMisses.Add(int64(len(missIdx)))
+	if len(missIdx) == 0 {
+		return costs, nil
+	}
+	full, rw, _ := ev.designEstimator(d)
+	jobs := make([]costlab.Job, len(missIdx))
+	for p, i := range missIdx {
+		rq, err := rw.Rewrite(ev.stmts[i])
+		if err != nil {
+			return nil, err
+		}
+		jobs[p] = costlab.Job{Stmt: rq}
+	}
+	got, err := costlab.EvaluateAll(ctx, full, jobs, ev.workers)
+	ev.extraCalls.Add(full.PlanCalls())
+	if err != nil {
+		return nil, remapJobErr(err, missIdx)
+	}
+	for p, i := range missIdx {
+		costs[i] = got[p]
+		ev.memo.StoreKey(ev.stmtKeys[i], key, got[p])
+	}
+	return costs, nil
+}
+
+// remapJobErr rewrites a JobError's index from a miss-batch position
+// back to the caller's query position.
+func remapJobErr(err error, missIdx []int) error {
+	if je, ok := err.(*costlab.JobError); ok && je.Index >= 0 && je.Index < len(missIdx) {
+		return &costlab.JobError{Index: missIdx[je.Index], Err: je.Err}
+	}
+	return err
+}
+
+// designEstimator builds a full-optimizer estimator whose pooled
+// sessions carry the design — what-if fragment tables plus the chosen
+// indexes — along with the rewriter targeting the fragments and the
+// accessor for the generated index names (aligned with d.Indexes).
+func (ev *Evaluator) designEstimator(d Design) (*costlab.Full, *rewrite.Rewriter, func() []string) {
+	sel, tables := d.selection()
+	var rw *rewrite.Rewriter
+	var inner func(*whatif.Session) error
+	if len(tables) > 0 {
+		parts := Partitionings(ev.cat, tables, sel)
+		rw = rewrite.New(parts)
+		inner = func(s *whatif.Session) error {
+			for _, t := range tables {
+				for i, frag := range parts[t].Fragments {
+					if _, err := s.CreateTable(whatif.TableDef{
+						Name:    frag.Name,
+						Parent:  t,
+						Columns: sel[t][i],
+					}); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}
+	}
+	setup, names := costlab.IndexSetup(d.Indexes, inner)
+	return costlab.NewFullWithSetup(ev.cat, setup), rw, names
+}
+
+// SpecSizeBytes returns the Equation-1 size of a candidate index.
+func (ev *Evaluator) SpecSizeBytes(spec inum.IndexSpec) (int64, error) {
+	return ev.est.SpecSizeBytes(spec)
+}
+
+// ReplicationOverhead estimates the extra bytes a design's partition
+// selection occupies beyond the original tables.
+func (ev *Evaluator) ReplicationOverhead(d Design) int64 {
+	sel, _ := d.selection()
+	return replicationOverhead(ev.cat, sel)
+}
+
+// PlanCalls reports full optimizer invocations consumed so far, across
+// the backend, partition pricing and reports.
+func (ev *Evaluator) PlanCalls() int64 { return ev.est.PlanCalls() + ev.extraCalls.Load() }
+
+// Trials reports candidate designs priced so far — the anytime
+// budget's evaluation currency.
+func (ev *Evaluator) Trials() int64 { return ev.trials.Load() }
+
+// MemoHits and MemoMisses split pricing jobs between the warm-start
+// memo and the estimator.
+func (ev *Evaluator) MemoHits() int64   { return ev.memoHits.Load() }
+func (ev *Evaluator) MemoMisses() int64 { return ev.memoMisses.Load() }
+
+// Report is the final full-optimizer account of a chosen design.
+type Report struct {
+	BaseCost  float64 // weighted workload cost before
+	NewCost   float64 // weighted workload cost after
+	PerQuery  []QueryBenefit
+	Rewritten []string // workload rewritten onto fragments, when partitioned
+}
+
+// Report prices every query under the chosen design with the full
+// optimizer (not the cache), producing the per-query report — the one
+// implementation behind the advisor's and AutoPart's result panels.
+func (ev *Evaluator) Report(ctx context.Context, d Design) (*Report, error) {
+	base, err := ev.reportBaseCosts(ctx)
+	if err != nil {
+		return nil, err
+	}
+	full, rw, names := ev.designEstimator(d)
+	targets := make([]*sql.Select, len(ev.stmts))
+	var rewritten []string
+	for i, stmt := range ev.stmts {
+		targets[i] = stmt
+		if rw != nil {
+			rq, err := rw.Rewrite(stmt)
+			if err != nil {
+				return nil, err
+			}
+			targets[i] = rq
+			rewritten = append(rewritten, sql.PrintSelect(rq))
+		}
+	}
+	plans, err := full.PlanAll(ctx, targets, ev.workers)
+	ev.extraCalls.Add(full.PlanCalls())
+	if err != nil {
+		return nil, err
+	}
+	nameToKey := map[string]string{}
+	for i, name := range names() {
+		nameToKey[name] = d.Indexes[i].Key()
+	}
+	rep := &Report{Rewritten: rewritten}
+	for qi, q := range ev.queries {
+		var used []string
+		for _, name := range plans[qi].IndexesUsed() {
+			if key, ok := nameToKey[name]; ok {
+				used = append(used, key)
+			}
+		}
+		sort.Strings(used)
+		rep.PerQuery = append(rep.PerQuery, QueryBenefit{
+			SQL:         q.SQL,
+			BaseCost:    base[qi] * q.Weight,
+			NewCost:     plans[qi].TotalCost * q.Weight,
+			IndexesUsed: used,
+		})
+		rep.BaseCost += base[qi] * q.Weight
+		rep.NewCost += plans[qi].TotalCost * q.Weight
+	}
+	return rep, nil
+}
+
+// reportBaseCosts prices the empty design with the full optimizer,
+// once per evaluator — the report's "before" column, kept separate
+// from the search backend so INUM-searched results are still reported
+// in full-optimizer units.
+func (ev *Evaluator) reportBaseCosts(ctx context.Context) ([]float64, error) {
+	ev.mu.Lock()
+	if ev.reportBase == nil && ev.estFull && ev.searchBase != nil {
+		// The search backend already priced the base workload in
+		// full-optimizer units; re-pricing would only repeat the calls.
+		ev.reportBase = ev.searchBase
+	}
+	if ev.reportBase != nil {
+		cached := ev.reportBase
+		ev.mu.Unlock()
+		return cached, nil
+	}
+	ev.mu.Unlock()
+
+	base := costlab.NewFull(ev.cat)
+	jobs := make([]costlab.Job, len(ev.stmts))
+	for i, stmt := range ev.stmts {
+		jobs[i] = costlab.Job{Stmt: stmt}
+	}
+	costs, err := costlab.EvaluateAll(ctx, base, jobs, ev.workers)
+	ev.extraCalls.Add(base.PlanCalls())
+	if err != nil {
+		return nil, err
+	}
+	ev.mu.Lock()
+	ev.reportBase = costs
+	ev.mu.Unlock()
+	return costs, nil
+}

@@ -1,0 +1,274 @@
+package recommend
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/rewrite"
+	"repro/internal/sql"
+)
+
+// This file is the pipeline's partition-candidate machinery: atomic
+// fragments (AutoPart step 1), composite-fragment generation, fragment
+// naming, replication sizing, and selection pruning. It was hoisted
+// from internal/autopart so the joint recommender and the AutoPart
+// wrapper share one implementation.
+
+// fragKey canonicalizes a column set.
+func fragKey(cols []string) string {
+	s := append([]string(nil), cols...)
+	sort.Strings(s)
+	return strings.Join(s, ",")
+}
+
+// AtomicFragments computes the finest column grouping of table such
+// that every query reads a union of groups: start from one fragment
+// holding all non-PK columns and split it by each query's referenced
+// column set.
+func AtomicFragments(tab *catalog.Table, queries []Query) [][]string {
+	pk := map[string]bool{}
+	for _, c := range tab.PrimaryKey {
+		pk[c] = true
+	}
+	var all []string
+	for _, c := range tab.Columns {
+		if !pk[c.Name] {
+			all = append(all, c.Name)
+		}
+	}
+	fragments := [][]string{all}
+	for _, q := range queries {
+		refs := QueryColumnsOnTable(tab, q.Stmt)
+		var next [][]string
+		for _, frag := range fragments {
+			var in, out []string
+			for _, c := range frag {
+				if refs[c] {
+					in = append(in, c)
+				} else {
+					out = append(out, c)
+				}
+			}
+			if len(in) > 0 {
+				next = append(next, in)
+			}
+			if len(out) > 0 {
+				next = append(next, out)
+			}
+		}
+		fragments = next
+	}
+	for _, f := range fragments {
+		sort.Strings(f)
+	}
+	sort.Slice(fragments, func(i, j int) bool {
+		return fragKey(fragments[i]) < fragKey(fragments[j])
+	})
+	return fragments
+}
+
+// QueryColumnsOnTable returns the set of tab's columns referenced by
+// sel (via qualified or unambiguous unqualified references, or stars).
+func QueryColumnsOnTable(tab *catalog.Table, sel *sql.Select) map[string]bool {
+	out := map[string]bool{}
+	aliases := map[string]bool{}
+	touches := false
+	for _, tr := range sel.From {
+		if tr.Table == tab.Name {
+			aliases[tr.EffectiveName()] = true
+			touches = true
+		}
+	}
+	for _, j := range sel.Joins {
+		if j.Table.Table == tab.Name {
+			aliases[j.Table.EffectiveName()] = true
+			touches = true
+		}
+	}
+	if !touches {
+		return out
+	}
+	for _, it := range sel.Items {
+		if it.Star && it.Expr == nil {
+			for _, c := range tab.Columns {
+				out[c.Name] = true
+			}
+		}
+		if it.Star && it.Expr != nil && aliases[it.Expr.(*sql.ColumnRef).Table] {
+			for _, c := range tab.Columns {
+				out[c.Name] = true
+			}
+		}
+	}
+	sql.WalkSelect(sel, func(e sql.Expr) {
+		ref, ok := e.(*sql.ColumnRef)
+		if !ok || ref.Column == "*" {
+			return
+		}
+		if ref.Table != "" {
+			if aliases[ref.Table] {
+				out[ref.Column] = true
+			}
+			return
+		}
+		if tab.ColumnIndex(ref.Column) >= 0 {
+			out[ref.Column] = true
+		}
+	})
+	return out
+}
+
+// fragName names the i-th fragment of table — the same generated
+// convention internal/session uses, so a recommended partitioning can
+// be applied to a design session verbatim.
+func fragName(table string, i int) string {
+	return fmt.Sprintf("%s_p%d", table, i+1)
+}
+
+// Partitionings names each selected table's fragments
+// deterministically and assembles rewriter partitionings for them.
+func Partitionings(cat *catalog.Catalog, tables []string, sel map[string][][]string) map[string]*rewrite.Partitioning {
+	parts := map[string]*rewrite.Partitioning{}
+	for _, t := range tables {
+		p := &rewrite.Partitioning{Parent: cat.Table(t)}
+		for i, cols := range sel[t] {
+			p.Fragments = append(p.Fragments, rewrite.Fragment{
+				Name:    fragName(t, i),
+				Columns: append([]string(nil), cols...),
+			})
+		}
+		parts[t] = p
+	}
+	return parts
+}
+
+// replicationOverhead estimates the extra bytes a selection needs
+// beyond the original tables: Σ fragment heap sizes − original heap
+// size, per table, floored at 0 per table.
+func replicationOverhead(cat *catalog.Catalog, sel map[string][][]string) int64 {
+	var total int64
+	for t, frags := range sel {
+		tab := cat.Table(t)
+		var fragBytes int64
+		for _, cols := range frags {
+			ft := fragmentShape(tab, cols)
+			fragBytes += ft.EstimatePages(tab.RowCount) * catalog.PageSize
+		}
+		origBytes := tab.EstimatePages(tab.RowCount) * catalog.PageSize
+		if d := fragBytes - origBytes; d > 0 {
+			total += d
+		}
+	}
+	return total
+}
+
+// fragmentShape builds the column layout of a fragment (PK + columns)
+// without registering it anywhere.
+func fragmentShape(parent *catalog.Table, cols []string) *catalog.Table {
+	want := map[string]bool{}
+	for _, pk := range parent.PrimaryKey {
+		want[pk] = true
+	}
+	for _, c := range cols {
+		want[c] = true
+	}
+	t := &catalog.Table{Name: "frag", PrimaryKey: parent.PrimaryKey}
+	for _, c := range parent.Columns {
+		if want[c.Name] {
+			t.Columns = append(t.Columns, catalog.Column{Name: c.Name, Type: c.Type, AvgWidth: c.AvgWidth})
+		}
+	}
+	return t
+}
+
+func unionCols(a, b []string) []string {
+	set := map[string]bool{}
+	for _, c := range a {
+		set[c] = true
+	}
+	for _, c := range b {
+		set[c] = true
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// pruneSelection drops fragments that no rewritten query reads,
+// keeping one home fragment for every column so the partitioning
+// still reconstructs the parent tables.
+func pruneSelection(cat *catalog.Catalog, queries []Query, tables []string, sel map[string][][]string) (map[string][][]string, error) {
+	parts := Partitionings(cat, tables, sel)
+	rw := rewrite.New(parts)
+	used := map[string]map[string]bool{} // table → fragment key → used
+	for _, t := range tables {
+		used[t] = map[string]bool{}
+	}
+	nameToKey := map[string]string{}
+	nameToTable := map[string]string{}
+	for _, t := range tables {
+		for i, f := range parts[t].Fragments {
+			nameToKey[f.Name] = fragKey(sel[t][i])
+			nameToTable[f.Name] = t
+		}
+	}
+	for _, q := range queries {
+		rq, err := rw.Rewrite(q.Stmt)
+		if err != nil {
+			return nil, err
+		}
+		for _, tr := range rq.From {
+			if t, ok := nameToTable[tr.Table]; ok {
+				used[t][nameToKey[tr.Table]] = true
+			}
+		}
+	}
+	out := map[string][][]string{}
+	for _, t := range tables {
+		covered := map[string]bool{}
+		var kept [][]string
+		for _, frag := range sel[t] {
+			if used[t][fragKey(frag)] {
+				kept = append(kept, frag)
+				for _, c := range frag {
+					covered[c] = true
+				}
+			}
+		}
+		for _, frag := range sel[t] {
+			if used[t][fragKey(frag)] {
+				continue
+			}
+			needed := false
+			for _, c := range frag {
+				if !covered[c] {
+					needed = true
+				}
+			}
+			if needed {
+				kept = append(kept, frag)
+				for _, c := range frag {
+					covered[c] = true
+				}
+			}
+		}
+		if len(kept) == 0 {
+			kept = append([][]string(nil), sel[t]...)
+		}
+		out[t] = kept
+	}
+	return out, nil
+}
+
+func copySelection(sel map[string][][]string) map[string][][]string {
+	out := make(map[string][][]string, len(sel))
+	for t, frags := range sel {
+		out[t] = append([][]string(nil), frags...)
+	}
+	return out
+}

@@ -1,0 +1,253 @@
+package recommend
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/costlab"
+	"repro/internal/inum"
+)
+
+// searchGreedy is the classic run-to-convergence strategy. Its
+// index-only mode is the greedy baseline advisor PARINDA's ILP is
+// compared against (§1–2) and reproduces the legacy
+// advisor.SuggestIndexesGreedy round for round; its partition-only
+// mode is the AutoPart refinement loop (§3.3); the joint mode is the
+// budgeted anytime loop with no budget.
+func searchGreedy(ctx context.Context, p *Problem) (*Outcome, error) {
+	switch p.Opts.Objects {
+	case ObjectsIndexes:
+		return searchGreedyIndexes(ctx, p)
+	case ObjectsPartitions:
+		return searchAutoPart(ctx, p)
+	default:
+		return searchAnytime(ctx, p)
+	}
+}
+
+// searchGreedyIndexes: starting from the empty design, repeatedly add
+// the candidate with the highest benefit-per-byte that fits the
+// remaining budget, re-pricing the workload through the backend after
+// every addition, until no candidate improves the workload. Each
+// round's candidate sweep is one incremental batch (candidates ×
+// queries) fanned out over the worker pool: jobs whose cost is already
+// in the pricing memo — from an earlier round, or from an interactive
+// design session handed in via Options.Memo — never reach the
+// estimator.
+//
+// Greedy prunes the combination space aggressively — that is exactly
+// the behaviour whose lost opportunities the ILP strategy recovers.
+func searchGreedyIndexes(ctx context.Context, p *Problem) (*Outcome, error) {
+	ev := p.Eval
+	queries := p.Queries
+	basePer, err := ev.BaseCosts(ctx)
+	if err != nil {
+		return nil, err
+	}
+	current := ev.WeightedTotal(basePer)
+	base := current
+
+	var chosen inum.Config
+	var chosenSize int64
+	var totalMaint float64
+	remaining := append([]inum.IndexSpec(nil), p.IndexCandidates...)
+	evals := 0
+	trace := []float64{current}
+
+	for len(remaining) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Candidates that still fit the budget, with their sizes.
+		type viable struct {
+			idx  int // position in remaining
+			size int64
+		}
+		var sweep []viable
+		for i, spec := range remaining {
+			sz, err := ev.SpecSizeBytes(spec)
+			if err != nil {
+				return nil, err
+			}
+			if p.Opts.StorageBudget > 0 && chosenSize+sz > p.Opts.StorageBudget {
+				continue
+			}
+			sweep = append(sweep, viable{idx: i, size: sz})
+		}
+		if len(sweep) == 0 {
+			break
+		}
+		// One batch prices every trial design over the whole workload.
+		jobs := make([]costlab.Job, 0, len(sweep)*len(queries))
+		for _, v := range sweep {
+			trial := append(append(inum.Config(nil), chosen...), remaining[v.idx])
+			for _, q := range queries {
+				jobs = append(jobs, costlab.Job{Stmt: q.Stmt, Config: trial})
+			}
+		}
+		costs, err := ev.EvaluateJobs(ctx, jobs, len(sweep))
+		if err != nil {
+			return nil, err
+		}
+		evals += len(sweep)
+
+		bestIdx, bestCost := -1, current
+		bestScore, bestMaint := 0.0, 0.0
+		var bestSize int64
+		for vi, v := range sweep {
+			cost := 0.0
+			for qi, q := range queries {
+				cost += costs[vi*len(queries)+qi] * q.Weight
+			}
+			maint := MaintenanceCost(remaining[v.idx], v.size, p.Opts.UpdateRates)
+			gain := current - cost - maint
+			if gain <= 1e-9 {
+				continue
+			}
+			score := gain / float64(v.size)
+			if score > bestScore {
+				bestScore, bestIdx, bestCost, bestMaint, bestSize = score, v.idx, cost, maint, v.size
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		chosen = append(chosen, remaining[bestIdx])
+		chosenSize += bestSize
+		totalMaint += bestMaint
+		current = bestCost
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		trace = append(trace, current)
+		report(p, len(trace)-1, base, current, "index "+chosen[len(chosen)-1].Key())
+	}
+
+	return &Outcome{
+		Design:      designFromSelection(chosen, nil),
+		BaseCost:    base,
+		Cost:        current,
+		SizeBytes:   chosenSize,
+		Maintenance: totalMaint,
+		Rounds:      len(trace) - 1,
+		Work:        evals,
+		CostTrace:   trace,
+	}, nil
+}
+
+// searchAutoPart is the AutoPart refinement loop (§3.3): start from
+// every eligible table split into its atomic fragments, then
+// iteratively add the composite fragment (selected ∪ atomic or atomic
+// ∪ atomic) that most reduces the workload cost, under the replication
+// budget, until no candidate improves it. Unused fragments are pruned
+// at the end, keeping column coverage.
+func searchAutoPart(ctx context.Context, p *Problem) (*Outcome, error) {
+	ev := p.Eval
+	opts := p.Opts
+	maxIter := opts.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 10
+	}
+	replBudget := opts.partitionReplicationBudget()
+	basePer, err := ev.BaseCosts(ctx)
+	if err != nil {
+		return nil, err
+	}
+	base := ev.WeightedTotal(basePer)
+
+	tables := p.PartitionTables
+	selected := map[string][][]string{}
+	for _, t := range tables {
+		selected[t] = append([][]string(nil), p.Atomic[t]...)
+	}
+	curPer, err := ev.DesignCosts(ctx, designFromSelection(nil, selected))
+	if err != nil {
+		return nil, fmt.Errorf("autopart: %w", err)
+	}
+	currentCost := ev.WeightedTotal(curPer)
+	// The trace starts at this strategy's true starting design — the
+	// mandatory atomic split — not the unpartitioned base: the split
+	// is not guaranteed cheaper than base, and the trace's contract is
+	// monotone non-increase across search rounds.
+	trace := []float64{currentCost}
+
+	iterations := 0
+	for iterations < maxIter {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		iterations++
+		type candidate struct {
+			table string
+			frag  []string
+		}
+		var best *candidate
+		var bestPer []float64
+		bestCost := currentCost
+		for _, t := range tables {
+			have := map[string]bool{}
+			for _, f := range selected[t] {
+				have[fragKey(f)] = true
+			}
+			// Composite candidates: selected ∪ atomic, atomic ∪ atomic.
+			var cands [][]string
+			for _, s := range selected[t] {
+				for _, a := range p.Atomic[t] {
+					cands = append(cands, unionCols(s, a))
+				}
+			}
+			for i := range p.Atomic[t] {
+				for j := i + 1; j < len(p.Atomic[t]); j++ {
+					cands = append(cands, unionCols(p.Atomic[t][i], p.Atomic[t][j]))
+				}
+			}
+			tried := map[string]bool{}
+			for _, cand := range cands {
+				k := fragKey(cand)
+				if have[k] || tried[k] {
+					continue
+				}
+				tried[k] = true
+				trial := copySelection(selected)
+				trial[t] = append(trial[t], cand)
+				if replicationOverhead(p.Cat, trial) > replBudget {
+					continue
+				}
+				per, err := ev.DesignCosts(ctx, designFromSelection(nil, trial))
+				if err != nil {
+					return nil, fmt.Errorf("autopart: %w", err)
+				}
+				cost := ev.WeightedTotal(per)
+				if cost < bestCost-1e-9 {
+					bestCost = cost
+					bestPer = per
+					best = &candidate{table: t, frag: cand}
+				}
+			}
+		}
+		if best == nil {
+			break
+		}
+		selected[best.table] = append(selected[best.table], best.frag)
+		currentCost = bestCost
+		curPer = bestPer
+		trace = append(trace, currentCost)
+		report(p, iterations, base, currentCost,
+			fmt.Sprintf("fragment %s(%s)", best.table, fragKey(best.frag)))
+	}
+
+	// Prune fragments no rewritten query uses, keeping coverage: every
+	// non-PK column must still live in some fragment.
+	selected, err = pruneSelection(p.Cat, p.Queries, tables, selected)
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{
+		Design:   designFromSelection(nil, selected),
+		BaseCost: base,
+		Cost:     currentCost,
+		PerCosts: curPer,
+		Rounds:   iterations,
+		Work:     int(ev.Trials()),
+		CostTrace: append([]float64(nil),
+			trace...),
+	}, nil
+}

@@ -34,6 +34,10 @@ import (
 //	POST   /sessions/{name}/redo                 re-apply the last undone edit
 //	GET    /sessions/{name}/explain/{q}          text/plain plan of query q (1-based)
 //	POST   /sessions/{name}/suggest              greedy advisor (SuggestRequest)
+//	POST   /sessions/{name}/recommend            start async recommend job (202)
+//	GET    /sessions/{name}/recommend            list the session's jobs
+//	GET    /sessions/{name}/recommend/{job}      job status + anytime progress
+//	DELETE /sessions/{name}/recommend/{job}      cancel (running) / remove (done)
 //	GET    /sessions/{name}/stats                session pricing counters
 //
 // Mutations respond with EditResponse. Errors are ErrorResponse with
@@ -59,6 +63,10 @@ func (m *Manager) Handler() http.Handler {
 	mux.HandleFunc("POST /sessions/{name}/redo", m.handleRedo)
 	mux.HandleFunc("GET /sessions/{name}/explain/{q}", m.handleExplain)
 	mux.HandleFunc("POST /sessions/{name}/suggest", m.handleSuggest)
+	mux.HandleFunc("POST /sessions/{name}/recommend", m.handleRecommendStart)
+	mux.HandleFunc("GET /sessions/{name}/recommend", m.handleRecommendList)
+	mux.HandleFunc("GET /sessions/{name}/recommend/{job}", m.handleRecommendStatus)
+	mux.HandleFunc("DELETE /sessions/{name}/recommend/{job}", m.handleRecommendDelete)
 	mux.HandleFunc("GET /sessions/{name}/stats", m.handleSessionStats)
 	return mux
 }
@@ -350,7 +358,9 @@ func (m *Manager) handleSuggest(w http.ResponseWriter, r *http.Request) {
 	}
 	var resp *SuggestResponse
 	if err := m.Do(r.PathValue("name"), func(s *session.DesignSession) error {
-		res, err := s.SuggestIndexesGreedy(opts)
+		// The request context threads into the pricing batches, so a
+		// disconnected client aborts the in-flight advisor run.
+		res, err := s.SuggestIndexesGreedy(r.Context(), opts)
 		if err != nil {
 			return err
 		}

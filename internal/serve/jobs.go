@@ -1,0 +1,382 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/advisor"
+	"repro/internal/costlab"
+	"repro/internal/recommend"
+	"repro/internal/session"
+)
+
+// Asynchronous recommendation jobs: POST /sessions/{name}/recommend
+// starts a joint physical-design search in the background and returns
+// a job id immediately; GET polls anytime progress (rounds completed,
+// evaluations spent, best cost/speedup so far); DELETE cancels a
+// running search mid-flight — the in-flight pricing batch aborts via
+// context cancellation, and the anytime strategy still surfaces the
+// best design found before the cancel.
+//
+// Jobs snapshot the session's workload and shared cost memo at start
+// and then run independently: session edits, eviction, even dropping
+// the session do not disturb a running search, and every configuration
+// any tenant priced warm-starts the job through the shared memo.
+
+// maxRecommendJobs caps the job registry; finished jobs are evicted
+// oldest-first to make room.
+const maxRecommendJobs = 128
+
+// Job lifecycle states.
+const (
+	JobRunning   = "running"
+	JobDone      = "done"
+	JobFailed    = "failed"
+	JobCancelled = "cancelled"
+)
+
+// recommendJob is one background search plus its observable state.
+type recommendJob struct {
+	id       string
+	session  string
+	objects  string
+	strategy string
+	cancel   context.CancelFunc
+	started  time.Time
+
+	mu              sync.Mutex
+	state           string
+	cancelRequested bool
+	progress        recommend.Progress
+	finished        time.Time // zero while running
+	result          *RecommendResult
+	errMsg          string
+}
+
+// status snapshots the job for the wire.
+func (j *recommendJob) status(now time.Time) *RecommendJobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	end := j.finished
+	if end.IsZero() {
+		end = now
+	}
+	return &RecommendJobStatus{
+		ID:          j.id,
+		Session:     j.session,
+		State:       j.state,
+		Objects:     j.objects,
+		Strategy:    j.strategy,
+		Rounds:      j.progress.Round,
+		Evaluations: j.progress.Evaluations,
+		PlanCalls:   j.progress.PlanCalls,
+		BaseCost:    j.progress.BaseCost,
+		BestCost:    j.progress.BestCost,
+		BestSpeedup: j.progress.BestSpeedup(),
+		ElapsedMS:   end.Sub(j.started).Milliseconds(),
+		Result:      j.result,
+		Error:       j.errMsg,
+	}
+}
+
+func (j *recommendJob) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state != JobRunning
+}
+
+// StartRecommend launches a recommendation job over session name's
+// workload, warm-started from the shared memo, and returns its initial
+// status. The search runs on its own goroutine with its own context;
+// DeleteRecommendJob (or process exit) stops it.
+func (m *Manager) StartRecommend(name string, req RecommendJobRequest) (*RecommendJobStatus, error) {
+	// Reject malformed searches synchronously (400) instead of
+	// accepting a job that can only ever fail.
+	if err := recommend.ValidateSearch(req.Objects, req.Strategy); err != nil {
+		return nil, err
+	}
+	// Snapshot the workload under the session lock; the search itself
+	// runs outside it, so the tenant stays editable (and evictable)
+	// while the job prices candidates.
+	var queries []advisor.Query
+	if err := m.Do(name, func(s *session.DesignSession) error {
+		queries = s.Queries()
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	opts := recommend.Options{
+		Objects:         req.Objects,
+		Strategy:        req.Strategy,
+		StorageBudget:   int64(req.BudgetMB) << 20,
+		CompressQueries: req.CompressQueries,
+		MaxCandidates:   req.MaxCandidates,
+		Workers:         req.Workers,
+		// The shared memo holds full-optimizer costs, so the backend
+		// is forced to match — an INUM search would mix incomparable
+		// cost units on memo hits (same rule as session.Recommend).
+		Backend: costlab.BackendFull,
+		Memo:    m.shared.Costs(),
+		Budget: recommend.Budget{
+			MaxEvaluations: req.MaxEvaluations,
+			MaxDuration:    time.Duration(req.MaxMillis) * time.Millisecond,
+		},
+	}
+	if opts.Objects == "" {
+		opts.Objects = recommend.ObjectsJoint
+	}
+	if opts.Strategy == "" {
+		// Jobs default to the anytime strategy: progress is observable
+		// and cancellation returns the best design found so far.
+		opts.Strategy = recommend.StrategyAnytime
+	}
+	if opts.Workers == 0 {
+		opts.Workers = m.opts.Workers
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	job := &recommendJob{
+		session:  name,
+		objects:  opts.Objects,
+		strategy: opts.Strategy,
+		cancel:   cancel,
+		started:  m.now(),
+		state:    JobRunning,
+	}
+	opts.Progress = func(p recommend.Progress) {
+		job.mu.Lock()
+		job.progress = p
+		job.mu.Unlock()
+	}
+
+	if err := m.registerJob(job); err != nil {
+		cancel()
+		return nil, err
+	}
+	go m.runRecommendJob(ctx, job, queries, opts)
+	return job.status(m.now()), nil
+}
+
+// registerJob adds the job under a fresh id, evicting the oldest
+// finished job when the registry is full. Requires no locks held.
+func (m *Manager) registerJob(job *recommendJob) error {
+	m.jobMu.Lock()
+	defer m.jobMu.Unlock()
+	if len(m.jobs) >= maxRecommendJobs {
+		victim := ""
+		var victimEnd time.Time
+		for id, j := range m.jobs {
+			j.mu.Lock()
+			end, running := j.finished, j.state == JobRunning
+			j.mu.Unlock()
+			if running {
+				continue
+			}
+			if victim == "" || end.Before(victimEnd) {
+				victim, victimEnd = id, end
+			}
+		}
+		if victim == "" {
+			return fmt.Errorf("%w: %d recommendation jobs already running", ErrCapacity, len(m.jobs))
+		}
+		delete(m.jobs, victim)
+	}
+	m.jobSeq++
+	job.id = fmt.Sprintf("job-%d", m.jobSeq)
+	m.jobs[job.id] = job
+	return nil
+}
+
+// runRecommendJob executes the search and records its terminal state.
+func (m *Manager) runRecommendJob(ctx context.Context, job *recommendJob, queries []advisor.Query, opts recommend.Options) {
+	res, err := recommend.Recommend(ctx, m.cat, queries, opts)
+
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	job.finished = m.now()
+	switch {
+	case err == nil:
+		job.state = JobDone
+		if job.cancelRequested {
+			// The anytime strategy absorbed the cancel and returned its
+			// best-so-far design.
+			job.state = JobCancelled
+		}
+		job.result = recommendResult(res)
+		job.progress = recommend.Progress{
+			Round:       res.Rounds,
+			Evaluations: res.Evaluations,
+			PlanCalls:   res.PlanCalls,
+			BaseCost:    res.BaseCost,
+			BestCost:    res.NewCost,
+		}
+	case job.cancelRequested || errors.Is(err, context.Canceled):
+		job.state = JobCancelled
+		job.errMsg = err.Error()
+	default:
+		job.state = JobFailed
+		job.errMsg = err.Error()
+	}
+}
+
+// recommendResult converts a pipeline result to wire form.
+func recommendResult(res *recommend.Result) *RecommendResult {
+	out := &RecommendResult{
+		BenefitPct:       100 * res.AvgBenefit(),
+		Speedup:          res.Speedup(),
+		SizeBytes:        res.SizeBytes,
+		ReplicationBytes: res.ReplicationBytes,
+		Rounds:           res.Rounds,
+		Evaluations:      res.Evaluations,
+		PlanCalls:        res.PlanCalls,
+		MemoHits:         res.MemoHits,
+		Truncated:        res.Truncated,
+		CostTrace:        res.CostTrace,
+	}
+	stmts := advisor.MaterializeStatements(res.Design.Indexes)
+	for i, spec := range res.Design.Indexes {
+		out.Indexes = append(out.Indexes, SuggestedIndex{
+			Table:   spec.Table,
+			Columns: spec.Columns,
+			SQL:     stmts[i],
+		})
+	}
+	for _, def := range res.Design.Partitions {
+		out.Partitions = append(out.Partitions, session.PartitionDef{
+			Table:     def.Table,
+			Fragments: def.Fragments,
+		})
+	}
+	return out
+}
+
+// RecommendJob returns the status of one job belonging to session
+// name.
+func (m *Manager) RecommendJob(name, id string) (*RecommendJobStatus, error) {
+	m.jobMu.Lock()
+	job, ok := m.jobs[id]
+	m.jobMu.Unlock()
+	if !ok || job.session != name {
+		return nil, fmt.Errorf("%w: recommendation job %q", ErrNotFound, id)
+	}
+	return job.status(m.now()), nil
+}
+
+// RecommendJobs lists session name's jobs, oldest first.
+func (m *Manager) RecommendJobs(name string) []*RecommendJobStatus {
+	m.jobMu.Lock()
+	jobs := make([]*recommendJob, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		if j.session == name {
+			jobs = append(jobs, j)
+		}
+	}
+	m.jobMu.Unlock()
+	// Oldest first by start time; ids ("job-<seq>") tie-break by
+	// numeric sequence, which length-then-lexicographic order gives.
+	sort.Slice(jobs, func(i, k int) bool {
+		a, b := jobs[i], jobs[k]
+		if !a.started.Equal(b.started) {
+			return a.started.Before(b.started)
+		}
+		if len(a.id) != len(b.id) {
+			return len(a.id) < len(b.id)
+		}
+		return a.id < b.id
+	})
+	now := m.now()
+	out := make([]*RecommendJobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.status(now)
+	}
+	return out
+}
+
+// DeleteRecommendJob cancels a running job (the search's context is
+// cancelled, aborting any in-flight pricing batch; the job transitions
+// to "cancelled" once the search unwinds) or removes a finished one.
+// removed reports whether the job left the registry.
+func (m *Manager) DeleteRecommendJob(name, id string) (status *RecommendJobStatus, removed bool, err error) {
+	m.jobMu.Lock()
+	job, ok := m.jobs[id]
+	if ok && job.session == name && job.terminal() {
+		delete(m.jobs, id)
+		m.jobMu.Unlock()
+		return nil, true, nil
+	}
+	m.jobMu.Unlock()
+	if !ok || job.session != name {
+		return nil, false, fmt.Errorf("%w: recommendation job %q", ErrNotFound, id)
+	}
+	job.mu.Lock()
+	job.cancelRequested = true
+	job.mu.Unlock()
+	job.cancel()
+	return job.status(m.now()), false, nil
+}
+
+// recommendJobCount reports resident jobs (for stats).
+func (m *Manager) recommendJobCount() int {
+	m.jobMu.Lock()
+	defer m.jobMu.Unlock()
+	return len(m.jobs)
+}
+
+// --- HTTP handlers ----------------------------------------------------
+
+func (m *Manager) handleRecommendStart(w http.ResponseWriter, r *http.Request) {
+	var req RecommendJobRequest
+	if err := decodeBody(r, &req, true); err != nil {
+		writeError(w, err)
+		return
+	}
+	st, err := m.StartRecommend(r.PathValue("name"), req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (m *Manager) handleRecommendList(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	jobs := m.RecommendJobs(name)
+	if len(jobs) == 0 {
+		// Jobs outlive their session (eviction, drop), so the list
+		// stays reachable as long as any job exists under the name;
+		// only a name with neither jobs nor a session is a 404.
+		if err := m.Do(name, func(*session.DesignSession) error { return nil }); err != nil {
+			writeError(w, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, RecommendJobList{Jobs: jobs})
+}
+
+func (m *Manager) handleRecommendStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := m.RecommendJob(r.PathValue("name"), r.PathValue("job"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (m *Manager) handleRecommendDelete(w http.ResponseWriter, r *http.Request) {
+	st, removed, err := m.DeleteRecommendJob(r.PathValue("name"), r.PathValue("job"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if removed {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, st)
+}

@@ -73,6 +73,12 @@ type Manager struct {
 	evictions   int64  // capacity (LRU) evictions
 	expirations int64  // idle-TTL evictions
 	created     int64  // sessions ever created
+
+	// Asynchronous recommendation jobs (see jobs.go). Guarded by their
+	// own lock: job polling must never contend with session traffic.
+	jobMu  sync.Mutex
+	jobs   map[string]*recommendJob
+	jobSeq int64
 }
 
 // tenant is one named session plus the bookkeeping the manager needs
@@ -101,6 +107,7 @@ func NewManager(cat *catalog.Catalog, defaultWorkload []string, opts Options) *M
 		opts:      opts,
 		now:       time.Now,
 		tenants:   map[string]*tenant{},
+		jobs:      map[string]*recommendJob{},
 	}
 }
 
@@ -304,6 +311,9 @@ type ManagerStats struct {
 	Created     int64 `json:"created"`     // sessions ever created
 	Evictions   int64 `json:"evictions"`   // capacity (LRU) evictions
 	Expirations int64 `json:"expirations"` // idle-TTL evictions
+	// RecommendJobs counts resident recommendation jobs (running or
+	// finished but not yet deleted).
+	RecommendJobs int `json:"recommendJobs"`
 
 	// Shared is the cross-session memo: Hits are repricings some
 	// tenant got for free, DupStores is pricing work tenants
@@ -327,6 +337,7 @@ func (m *Manager) Stats() ManagerStats {
 		Created:           created,
 		Evictions:         ev,
 		Expirations:       exp,
+		RecommendJobs:     m.recommendJobCount(),
 		Shared:            sh,
 		SharedCostEntries: sh.Costs.Entries,
 	}

@@ -128,6 +128,73 @@ type SuggestResponse struct {
 	MemoHits   int64            `json:"memoHits"` // priced jobs reused from the shared memo
 }
 
+// RecommendJobRequest starts an asynchronous joint recommendation
+// job. All fields are optional: the default is an unbudgeted anytime
+// joint search with the server's worker count.
+type RecommendJobRequest struct {
+	// Objects: "indexes", "partitions" or "joint" (default).
+	Objects string `json:"objects,omitempty"`
+	// Strategy: "greedy", "ilp" (indexes only) or "anytime" (default).
+	Strategy string `json:"strategy,omitempty"`
+	// BudgetMB bounds storage (index bytes + partition replication).
+	BudgetMB int `json:"budgetMB,omitempty"`
+	// MaxEvaluations / MaxMillis bound the anytime search; the best
+	// design found inside the budget is returned.
+	MaxEvaluations int64 `json:"maxEvaluations,omitempty"`
+	MaxMillis      int64 `json:"maxMillis,omitempty"`
+	// CompressQueries / MaxCandidates tune the pruning stage.
+	CompressQueries int `json:"compressQueries,omitempty"`
+	MaxCandidates   int `json:"maxCandidates,omitempty"`
+	Workers         int `json:"workers,omitempty"`
+}
+
+// RecommendResult is a finished job's recommendation.
+type RecommendResult struct {
+	Indexes          []SuggestedIndex       `json:"indexes,omitempty"`
+	Partitions       []session.PartitionDef `json:"partitions,omitempty"`
+	BenefitPct       float64                `json:"benefitPct"`
+	Speedup          float64                `json:"speedup"`
+	SizeBytes        int64                  `json:"sizeBytes"`
+	ReplicationBytes int64                  `json:"replicationBytes"`
+	Rounds           int                    `json:"rounds"`
+	Evaluations      int64                  `json:"evaluations"`
+	PlanCalls        int64                  `json:"planCalls"`
+	MemoHits         int64                  `json:"memoHits"`
+	// Truncated marks a budget-capped (or cancelled) search: the
+	// result is the best design found so far, not the converged one.
+	Truncated bool `json:"truncated,omitempty"`
+	// CostTrace is the workload cost after each search round, starting
+	// at the strategy's initial design cost — monotonically
+	// non-increasing.
+	CostTrace []float64 `json:"costTrace,omitempty"`
+}
+
+// RecommendJobStatus reports a job's anytime progress: while the
+// search runs, Rounds/Evaluations/BestCost advance after every round;
+// once terminal, Result (for done and cancelled-with-best-so-far jobs)
+// or Error is set.
+type RecommendJobStatus struct {
+	ID          string           `json:"id"`
+	Session     string           `json:"session"`
+	State       string           `json:"state"` // running, done, failed, cancelled
+	Objects     string           `json:"objects"`
+	Strategy    string           `json:"strategy"`
+	Rounds      int              `json:"rounds"`
+	Evaluations int64            `json:"evaluations"`
+	PlanCalls   int64            `json:"planCalls"`
+	BaseCost    float64          `json:"baseCost"`
+	BestCost    float64          `json:"bestCost"`
+	BestSpeedup float64          `json:"bestSpeedup"`
+	ElapsedMS   int64            `json:"elapsedMS"`
+	Result      *RecommendResult `json:"result,omitempty"`
+	Error       string           `json:"error,omitempty"`
+}
+
+// RecommendJobList enumerates one session's jobs.
+type RecommendJobList struct {
+	Jobs []*RecommendJobStatus `json:"jobs"`
+}
+
 // ListResponse enumerates resident sessions.
 type ListResponse struct {
 	Sessions []SessionEntry `json:"sessions"`

@@ -26,6 +26,7 @@ import (
 	"repro/internal/costlab"
 	"repro/internal/inum"
 	"repro/internal/optimizer"
+	"repro/internal/recommend"
 	"repro/internal/rewrite"
 	"repro/internal/sql"
 	"repro/internal/whatif"
@@ -275,13 +276,29 @@ func (s *DesignSession) Memo() *costlab.Memo { return s.shared }
 // workload, warm-started from the session's memo: configurations the
 // DBA already priced interactively are never re-batched. The memo
 // holds full-optimizer costs, so the backend is forced to "full".
-func (s *DesignSession) SuggestIndexesGreedy(opts advisor.Options) (*advisor.Result, error) {
+// ctx cancels the search, aborting any in-flight pricing batch.
+func (s *DesignSession) SuggestIndexesGreedy(ctx context.Context, opts advisor.Options) (*advisor.Result, error) {
 	opts.Backend = costlab.BackendFull
 	opts.Memo = s.shared
 	if opts.Workers == 0 {
 		opts.Workers = s.opts.Workers
 	}
-	return advisor.SuggestIndexesGreedy(s.cat, s.queries, opts)
+	return advisor.SuggestIndexesGreedy(ctx, s.cat, s.queries, opts)
+}
+
+// Recommend runs the unified joint recommender over the session's
+// workload, warm-started from the session's cost memo — the route the
+// serve layer's asynchronous recommend jobs and the REPL's
+// `suggest -joint` take. The memo holds full-optimizer costs, so the
+// backend is forced to "full". ctx cancels (or budget-bounds) the
+// search; the anytime strategy returns its best-so-far design.
+func (s *DesignSession) Recommend(ctx context.Context, opts recommend.Options) (*recommend.Result, error) {
+	opts.Backend = costlab.BackendFull
+	opts.Memo = s.shared
+	if opts.Workers == 0 {
+		opts.Workers = s.opts.Workers
+	}
+	return recommend.Recommend(ctx, s.cat, s.queries, opts)
 }
 
 // AddIndex adds a what-if index and re-prices only the queries that

@@ -4,6 +4,7 @@
 package session_test
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"strings"
@@ -374,7 +375,7 @@ func TestSessionGreedyWarmStart(t *testing.T) {
 	}
 	// The advisor's greedy baseline re-prices the empty configuration
 	// first — the session has those costs already.
-	res, err := s.SuggestIndexesGreedy(advisor.Options{})
+	res, err := s.SuggestIndexesGreedy(context.Background(), advisor.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -382,7 +383,7 @@ func TestSessionGreedyWarmStart(t *testing.T) {
 		t.Errorf("warm-started greedy hit the memo %d times, want >= %d (base costs)", res.MemoHits, len(wl))
 	}
 	// Same result as a cold full-backend run.
-	cold, err := advisor.SuggestIndexesGreedy(cat, s.Queries(), advisor.Options{Backend: costlab.BackendFull})
+	cold, err := advisor.SuggestIndexesGreedy(context.Background(), cat, s.Queries(), advisor.Options{Backend: costlab.BackendFull})
 	if err != nil {
 		t.Fatal(err)
 	}
