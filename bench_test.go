@@ -32,6 +32,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/costlab"
+	"repro/internal/ingest"
 	"repro/internal/inum"
 	"repro/internal/optimizer"
 	"repro/internal/recommend"
@@ -586,6 +587,123 @@ func BenchmarkRecommendAnytime(b *testing.B) {
 	b.ReportMetric(float64(capped.Evaluations), "evals_budgeted")
 	b.ReportMetric(float64(full.PlanCalls), "plancalls_unbudgeted")
 	b.ReportMetric(float64(capped.PlanCalls), "plancalls_budgeted")
+}
+
+// --- Ingest: streaming workload-window throughput ---------------------
+// The continuous-tuning subsystem's front door: queries/sec into a HOT
+// window (every statement already resident, so each ingest is a parse
+// + one locked map update) under GOMAXPROCS concurrent writers. The
+// window must absorb millions of submissions with O(window) memory —
+// asserted via the distinct-entry count staying at the pool size.
+
+func BenchmarkIngestThroughput(b *testing.B) {
+	pool := workload.Queries()
+	win := ingest.NewWindow(ingest.Options{Capacity: len(pool)})
+	// Warm the window: every pool entry resident before timing starts.
+	for _, q := range pool {
+		if err := win.Ingest(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetParallelism(1) // exactly GOMAXPROCS writer goroutines
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if err := win.Ingest(pool[i%len(pool)]); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	st := win.Stats()
+	if st.Distinct != len(pool) {
+		b.Fatalf("window grew past the pool: %d distinct, want %d", st.Distinct, len(pool))
+	}
+	if want := int64(b.N + len(pool)); st.Submissions != want {
+		b.Fatalf("lost updates: %d submissions, want %d", st.Submissions, want)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "writers")
+	b.ReportMetric(float64(st.Distinct), "distinct")
+}
+
+// --- Ingest: continuous tuning beats the cold advisor ----------------
+// The continuous tuner's economic claim, asserted: when the streamed
+// workload drifts, the drift-triggered re-search — warm-started from
+// the memo that earlier tuning populated — must issue STRICTLY fewer
+// optimizer calls than a cold recommend run over the same window, and
+// its design must price the new window no worse than the stale one.
+
+func BenchmarkContinuousTuning(b *testing.B) {
+	cat := planCatalog(b, 100000)
+	all := workload.Queries()
+	ctx := context.Background()
+	searchOpts := recommend.Options{Objects: recommend.ObjectsIndexes}
+
+	var warmCalls, coldCalls int64
+	var lastDrift, lastSpeedup float64
+	for i := 0; i < b.N; i++ {
+		memo := costlab.NewMemo()
+		// The workload the current design was tuned for, priced once —
+		// the history that warms the memo.
+		baseline, err := advisor.ParseWorkload([]string{all[0], all[1]})
+		if err != nil {
+			b.Fatal(err)
+		}
+		warm := searchOpts
+		warm.Backend = costlab.BackendFull
+		warm.Strategy = recommend.StrategyAnytime
+		warm.Memo = memo
+		if _, err := recommend.Recommend(ctx, cat, baseline, warm); err != nil {
+			b.Fatal(err)
+		}
+
+		// Drifted stream: specobj traffic plus one original query.
+		win := ingest.NewWindow(ingest.Options{})
+		for _, q := range []string{all[0], all[15], all[17], all[15], all[17]} {
+			if err := win.Ingest(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+		tuner := ingest.NewTuner(win, ingest.TunerOptions{
+			Catalog:   cat,
+			Baseline:  baseline,
+			Recommend: searchOpts,
+			Memo:      memo,
+		})
+		ret, err := tuner.Check(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ret == nil {
+			b.Fatalf("drift %v did not trigger a retune", tuner.Stats().LastDrift)
+		}
+		if ret.Result.NewCost > ret.StaleCost+1e-6 {
+			b.Fatalf("retuned design prices worse than stale on the window: %v > %v",
+				ret.Result.NewCost, ret.StaleCost)
+		}
+
+		cold := searchOpts
+		cold.Backend = costlab.BackendFull
+		cold.Strategy = recommend.StrategyAnytime
+		coldRes, err := recommend.Recommend(ctx, cat, win.Queries(), cold)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ret.Result.PlanCalls >= coldRes.PlanCalls {
+			b.Fatalf("drift-triggered re-search issued %d optimizer calls, cold run %d — want strictly fewer",
+				ret.Result.PlanCalls, coldRes.PlanCalls)
+		}
+		warmCalls, coldCalls = ret.Result.PlanCalls, coldRes.PlanCalls
+		lastDrift, lastSpeedup = ret.Drift, ret.Speedup()
+	}
+	b.ReportMetric(float64(warmCalls), "plancalls_warm")
+	b.ReportMetric(float64(coldCalls), "plancalls_cold")
+	b.ReportMetric(lastDrift, "drift")
+	b.ReportMetric(lastSpeedup, "speedup_on_window")
 }
 
 // --- E6: what-if accuracy against the materialized design -----------

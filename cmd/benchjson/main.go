@@ -1,0 +1,120 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// perf artifact: benchmark name → iterations, ns/op and every custom
+// metric the benchmark reported (plancalls, speedup, queries/sec, …).
+// CI archives one such file per PR (BENCH_pr<N>.json) so perf
+// regressions are visible as a trajectory across PRs instead of being
+// discovered by accident.
+//
+//	go test -run=NONE -bench=. -benchtime=1x ./... | benchjson -out BENCH.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metrics is one benchmark's parsed result line.
+type Metrics struct {
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the artifact schema.
+type Report struct {
+	Benchmarks map[string]Metrics `json:"benchmarks"`
+}
+
+func main() {
+	in := flag.String("in", "", "bench output file (default: stdin)")
+	out := flag.String("out", "", "JSON artifact path (default: stdout)")
+	flag.Parse()
+	if err := run(*in, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(inPath, outPath string) error {
+	var r io.Reader = os.Stdin
+	if inPath != "" {
+		f, err := os.Open(inPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	rep, err := parse(r)
+	if err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if outPath == "" {
+		_, err = os.Stdout.Write(blob)
+		return err
+	}
+	return os.WriteFile(outPath, blob, 0o644)
+}
+
+// parse reads `go test -bench` output: each result line is the
+// benchmark name, the iteration count, then (value, unit) pairs.
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{Benchmarks: map[string]Metrics{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // "Benchmark..." prose, not a result line
+		}
+		m := Metrics{Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad metric value %q", sc.Text(), fields[i])
+			}
+			if fields[i+1] == "ns/op" {
+				m.NsPerOp = val
+			} else {
+				m.Metrics[fields[i+1]] = val
+			}
+		}
+		if len(m.Metrics) == 0 {
+			m.Metrics = nil
+		}
+		rep.Benchmarks[fields[0]] = m
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found")
+	}
+	return rep, nil
+}
+
+// Names returns the parsed benchmark names, sorted (test hook).
+func (r *Report) Names() []string {
+	out := make([]string, 0, len(r.Benchmarks))
+	for k := range r.Benchmarks {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(path, contents string) error { return os.WriteFile(path, []byte(contents), 0o644) }
+
+func readFile(path string) (string, error) {
+	blob, err := os.ReadFile(path)
+	return string(blob), err
+}
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkIngestThroughput 	       1	     29872 ns/op	        30.00 distinct	     33476 queries/sec
+BenchmarkContinuousTuning 	       1	   4075070 ns/op	         0.7143 drift	       126.0 plancalls_cold	        46.00 plancalls_warm
+BenchmarkE4_ILPvsGreedy/ILP-8         	       1	 123456789 ns/op	       345.0 plancalls	         2.500 speedup
+PASS
+ok  	repro	0.008s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rep.Benchmarks); got != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3 (%v)", got, rep.Names())
+	}
+	it := rep.Benchmarks["BenchmarkIngestThroughput"]
+	if it.NsPerOp != 29872 || it.Metrics["queries/sec"] != 33476 {
+		t.Fatalf("ingest metrics = %+v", it)
+	}
+	ct := rep.Benchmarks["BenchmarkContinuousTuning"]
+	if ct.Metrics["plancalls_warm"] != 46 || ct.Metrics["plancalls_cold"] != 126 {
+		t.Fatalf("tuning metrics = %+v", ct)
+	}
+	ilp := rep.Benchmarks["BenchmarkE4_ILPvsGreedy/ILP-8"]
+	if ilp.Metrics["plancalls"] != 345 || ilp.Iterations != 1 {
+		t.Fatalf("ILP metrics = %+v", ilp)
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok repro 0.1s\n")); err == nil {
+		t.Fatal("empty bench output accepted")
+	}
+}
+
+func TestRunWritesArtifact(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.out")
+	out := filepath.Join(dir, "BENCH.json")
+	if err := writeFile(in, sample); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(in, out); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := readFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"BenchmarkContinuousTuning"`, `"ns_per_op"`, `"plancalls_warm": 46`} {
+		if !strings.Contains(blob, want) {
+			t.Errorf("artifact missing %q:\n%s", want, blob)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package main
+
+// The `parinda ingest` subcommand: stream a query log into a running
+// `parinda serve` session's workload window. The log is a workload
+// file (semicolon-terminated statements, -- comments allowed) read
+// from -file or stdin; -rate throttles the stream to a target
+// queries/second so live traffic can be replayed at its real cadence.
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/sql"
+)
+
+func cmdIngest(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("ingest", flag.ContinueOnError)
+	addr := fs.String("addr", "http://127.0.0.1:7341", "base URL of a running `parinda serve`")
+	session := fs.String("session", "", "target session name (required)")
+	file := fs.String("file", "", "query log file (default: read stdin)")
+	rate := fs.Float64("rate", 0, "stream rate in queries/second (0 = as fast as possible)")
+	batch := fs.Int("batch", 1, "queries per ingest request")
+	if err := parseFlags(fs, args, stderr); err != nil {
+		return err
+	}
+	if *session == "" {
+		return &usageError{err: fmt.Errorf("ingest: -session is required")}
+	}
+	if *batch < 1 {
+		*batch = 1
+	}
+	var data []byte
+	var err error
+	if *file != "" {
+		data, err = os.ReadFile(*file)
+	} else {
+		data, err = io.ReadAll(stdin)
+	}
+	if err != nil {
+		return err
+	}
+	stmts, err := sql.SplitStatements(string(data))
+	if err != nil {
+		return err
+	}
+	if len(stmts) == 0 {
+		return fmt.Errorf("ingest: the query log contains no statements")
+	}
+
+	endpoint := strings.TrimRight(*addr, "/") + "/sessions/" + url.PathEscape(*session) + "/ingest"
+	client := &http.Client{Timeout: 30 * time.Second}
+	var interval time.Duration
+	if *rate > 0 {
+		interval = time.Duration(float64(time.Second) * float64(*batch) / *rate)
+	}
+
+	accepted, rejected := 0, 0
+	var last *serve.IngestResponse
+	start := time.Now()
+	next := start
+	for at := 0; at < len(stmts); at += *batch {
+		end := at + *batch
+		if end > len(stmts) {
+			end = len(stmts)
+		}
+		if interval > 0 {
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			next = next.Add(interval)
+		}
+		resp, err := postIngest(client, endpoint, serve.IngestRequest{Queries: stmts[at:end]})
+		if err != nil {
+			return err
+		}
+		accepted += resp.Accepted
+		rejected += resp.Rejected
+		last = resp
+	}
+	elapsed := time.Since(start).Seconds()
+	if elapsed <= 0 {
+		elapsed = 1e-9
+	}
+	fmt.Fprintf(stdout, "streamed %d queries to session %q: %d accepted, %d rejected (%.0f q/s)\n",
+		len(stmts), *session, accepted, rejected, float64(accepted+rejected)/elapsed)
+	fmt.Fprintf(stdout, "window: %d distinct, weight %.2f, %d submissions, %d evicted\n",
+		last.Window.Distinct, last.Window.TotalWeight, last.Window.Submissions, last.Window.Evicted)
+	return nil
+}
+
+// postIngest issues one ingest request and decodes the response.
+func postIngest(client *http.Client, endpoint string, req serve.IngestRequest) (*serve.IngestResponse, error) {
+	blob, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Post(endpoint, "application/json", bytes.NewReader(blob))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("ingest: %s: %s", resp.Status, strings.TrimSpace(string(raw)))
+	}
+	var out serve.IngestResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, fmt.Errorf("ingest: bad response: %w", err)
+	}
+	return &out, nil
+}

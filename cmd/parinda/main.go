@@ -9,6 +9,7 @@
 //	parinda partitions  suggest table partitions via AutoPart (scenario 2)
 //	parinda indexes     suggest indexes via ILP over INUM (scenario 3)
 //	parinda recommend   joint index+partition recommender (budgeted anytime)
+//	parinda ingest      stream a query log into a served session's window
 //	parinda explain     show the optimizer plan for one query
 //
 // The session REPL is the paper's Figure-1 workflow: one design edit
@@ -26,6 +27,10 @@
 //	stats                              incremental-pricing counters
 //	suggest [budget-mb]                greedy advisor, warm-started from
 //	                                   the session's cost memo
+//	ingest <select statement>          stream a query into the local
+//	                                   workload window
+//	window                             show the window (decayed weights,
+//	                                   drift vs the tuned workload)
 //	undo                               revert the last edit
 //	redo                               re-apply the last undone edit
 //	design -json                       dump the design as JSON
@@ -84,6 +89,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		err = cmdIndexes(args[1:], stdout, stderr)
 	case "recommend":
 		err = cmdRecommend(args[1:], stdout, stderr)
+	case "ingest":
+		err = cmdIngest(args[1:], stdin, stdout, stderr)
 	case "explain":
 		err = cmdExplain(args[1:], stdout, stderr)
 	case "help", "-h", "--help":
@@ -147,6 +154,7 @@ commands:
   partitions   suggest table partitions (AutoPart)
   indexes      suggest indexes (ILP over INUM; -greedy for the baseline)
   recommend    joint index+partition recommender (budgeted anytime search)
+  ingest       stream a query log into a served session's workload window
   explain      print the plan of a single query
 
 run 'parinda <command> -h' for the command's flags

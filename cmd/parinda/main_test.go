@@ -112,7 +112,12 @@ func TestSessionREPL(t *testing.T) {
 		"nestloop on",
 		"suggest -joint -budget 5", // budgeted joint recommender
 		"suggest -budget",          // usage error, loop must continue
-		"bogus",                    // unknown command hints at help
+		"window",                   // empty window hint
+		"ingest SELECT plate FROM specobj WHERE sn_median > 25",
+		"ingest SELECT plate FROM specobj WHERE sn_median > 25",
+		"ingest not sql at all", // error, loop must continue
+		"window",                // now shows the entry + drift
+		"bogus",                 // unknown command hints at help
 		"quit",
 	}, "\n") + "\n"
 	var stdout, stderr bytes.Buffer
@@ -132,6 +137,9 @@ func TestSessionREPL(t *testing.T) {
 		"error:",                           // bad edit reported, not fatal
 		"joint index+partition suggestion", // suggest -joint ran
 		"usage: suggest",                   // bad suggest flags hint usage
+		"window is empty",                  // window before any ingest
+		"count 2",                          // deduped ingest shows the count
+		"drift vs tuned workload:",         // window drift line
 		"try 'help'",                       // unknown command hints at help
 		"suggest -joint",                   // help lists the joint recommender
 	} {

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/advisor"
+	"repro/internal/ingest"
 	"repro/internal/recommend"
 	"repro/internal/session"
 )
@@ -45,12 +46,20 @@ func cmdSession(args []string, stdin io.Reader, stdout, stderr io.Writer) error 
 	fmt.Fprintf(stdout, "PARINDA design session: %d queries, scale %d. Type 'help' for commands.\n",
 		len(queries), *scale)
 	printSummary(stdout, s.Report())
-	return runREPL(s, stdin, stdout)
+	return runREPL(&replState{s: s, win: ingest.NewWindow(ingest.Options{})}, stdin, stdout)
+}
+
+// replState is the REPL's mutable state: the design session plus a
+// local streaming-workload window (the single-user flavour of the
+// serve layer's per-session window).
+type replState struct {
+	s   *session.DesignSession
+	win *ingest.Window
 }
 
 // runREPL drives the session until EOF or quit. Command errors are
 // reported and the loop continues; only I/O failures abort.
-func runREPL(s *session.DesignSession, in io.Reader, out io.Writer) error {
+func runREPL(st *replState, in io.Reader, out io.Writer) error {
 	sc := bufio.NewScanner(in)
 	for {
 		fmt.Fprint(out, "parinda> ")
@@ -62,7 +71,7 @@ func runREPL(s *session.DesignSession, in io.Reader, out io.Writer) error {
 		if line == "" {
 			continue
 		}
-		quit, err := execREPLLine(s, line, out)
+		quit, err := execREPLLine(st, line, out)
 		if err != nil {
 			fmt.Fprintln(out, "error:", err)
 			continue
@@ -75,7 +84,8 @@ func runREPL(s *session.DesignSession, in io.Reader, out io.Writer) error {
 
 // execREPLLine executes one REPL command; quit reports an exit
 // request.
-func execREPLLine(s *session.DesignSession, line string, out io.Writer) (quit bool, err error) {
+func execREPLLine(st *replState, line string, out io.Writer) (quit bool, err error) {
+	s := st.s
 	fields := strings.Fields(line)
 	cmd := strings.ToLower(fields[0])
 	rest := strings.TrimSpace(line[len(fields[0]):])
@@ -207,8 +217,41 @@ func execREPLLine(s *session.DesignSession, line string, out io.Writer) (quit bo
 			fmt.Fprintf(out, "Q%-3d %s\n", i+1, q.SQL)
 		}
 		return false, nil
+	case "ingest": // ingest <sql>
+		if rest == "" {
+			return false, fmt.Errorf("usage: ingest <select statement>")
+		}
+		if err := st.win.Ingest(rest); err != nil {
+			return false, err
+		}
+		ws := st.win.Stats()
+		fmt.Fprintf(out, "ingested (window: %d distinct, weight %.2f, drift %.2f vs tuned workload)\n",
+			ws.Distinct, ws.TotalWeight, ingest.Distance(st.win.Queries(), s.Queries()))
+		return false, nil
+	case "window":
+		printWindow(out, st)
+		return false, nil
 	}
 	return false, fmt.Errorf("unknown command %q (try 'help')", cmd)
+}
+
+// printWindow renders the streaming window: entries heaviest-first
+// with decayed weights, then the counters and the drift against the
+// session's tuned workload.
+func printWindow(out io.Writer, st *replState) {
+	snap, queries := st.win.Workload()
+	if len(snap) == 0 {
+		fmt.Fprintln(out, "window is empty (use: ingest <select statement>)")
+		return
+	}
+	for i, e := range snap {
+		fmt.Fprintf(out, "W%-3d weight %8.3f  count %-5d %s\n", i+1, e.Weight, e.Count, e.SQL)
+	}
+	ws := st.win.Stats()
+	fmt.Fprintf(out, "window: %d distinct, %d submissions, %d rejected, %d evicted, weight %.2f\n",
+		ws.Distinct, ws.Submissions, ws.Rejected, ws.Evicted, ws.TotalWeight)
+	fmt.Fprintf(out, "drift vs tuned workload: %.2f\n",
+		ingest.Distance(queries, st.s.Queries()))
 }
 
 // replSuggest runs the advisor from the REPL, warm-started from the
@@ -342,6 +385,8 @@ func replHelp(out io.Writer) {
   explain <n>                         plan of query n under the design
   design [-json]                      show the current design (JSON with -json)
   queries                             list the workload
+  ingest <select statement>           stream a query into the local window
+  window                              show the window (weights, drift)
   stats                               incremental-pricing counters
   suggest [budget-mb]                 greedy index advisor (memo warm start)
   suggest -joint [-budget <evals>]    joint index+partition recommender;

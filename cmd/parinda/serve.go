@@ -29,6 +29,8 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 	workers := fs.Int("workers", 0, "default per-session pricing workers (0 = GOMAXPROCS)")
 	wl := fs.String("workload", "", "default workload file (default: built-in 30 queries)")
 	scale := fs.Int64("scale", 1000000, "photoobj row count of the synthetic catalog")
+	winCap := fs.Int("window-capacity", 0, "per-session ingest window: max distinct queries (0 = default)")
+	winHalfLife := fs.Duration("window-halflife", 0, "per-session ingest window: weight decay half-life (0 = default)")
 	if err := parseFlags(fs, args, stderr); err != nil {
 		return err
 	}
@@ -41,10 +43,12 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	sv := serve.New(cat, queries, serve.Options{
-		MaxSessions:  *maxSessions,
-		IdleTTL:      *idleTTL,
-		Workers:      *workers,
-		DrainTimeout: *drain,
+		MaxSessions:    *maxSessions,
+		IdleTTL:        *idleTTL,
+		Workers:        *workers,
+		DrainTimeout:   *drain,
+		WindowCapacity: *winCap,
+		WindowHalfLife: *winHalfLife,
 	})
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

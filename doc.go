@@ -38,8 +38,19 @@
 //	                    sessions over one catalog + one shared memo,
 //	                    HTTP/JSON API, per-session serialization, LRU
 //	                    and idle-TTL eviction, asynchronous cancellable
-//	                    recommend jobs, graceful shutdown — the
-//	                    `parinda serve` subcommand
+//	                    recommend jobs (one-shot and continuous),
+//	                    per-session streaming ingest endpoints,
+//	                    graceful shutdown — the `parinda serve`
+//	                    subcommand
+//	internal/ingest     streaming workload capture + continuous tuning:
+//	                    concurrency-safe rolling window (dedup by
+//	                    canonical SQL, exponential time-decay weights,
+//	                    bounded entries), weighted-footprint drift
+//	                    detector, background tuner re-running the
+//	                    budgeted anytime search warm-started from the
+//	                    shared memo and publishing designs atomically —
+//	                    behind `parinda ingest` and the continuous
+//	                    recommend jobs
 //	internal/core       PARINDA facade tying the components together
 //
 // See README.md for the layout and the session REPL commands, and

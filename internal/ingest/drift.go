@@ -1,0 +1,84 @@
+package ingest
+
+import (
+	"math"
+
+	"repro/internal/recommend"
+	"repro/internal/sql"
+)
+
+// Drift detection: the distance between two weighted workloads is the
+// total-variation distance between their footprint vectors. A
+// workload's footprint vector assigns each touched table — and each
+// touched (table, column) pair — the normalized weight of the queries
+// touching it; the vector is then L1-normalized, so the distance is
+// shape-only: scaling every weight by the same factor (which is
+// exactly what uniform exponential decay does between two observation
+// times) changes nothing.
+
+// footprintVector folds a weighted workload into its normalized
+// footprint vector. Non-finite or non-positive weights contribute a
+// neutral weight of 1 so a degenerate workload still has a shape.
+func footprintVector(queries []recommend.Query) map[string]float64 {
+	vec := map[string]float64{}
+	for _, q := range queries {
+		if q.Stmt == nil {
+			continue
+		}
+		w := q.Weight
+		if w <= 0 || math.IsInf(w, 0) || math.IsNaN(w) {
+			w = 1
+		}
+		fp := sql.FootprintOf(q.Stmt)
+		for table := range fp.Tables {
+			vec[table] += w
+		}
+		for table, cols := range fp.Columns {
+			for col := range cols {
+				vec[table+"."+col] += w
+			}
+		}
+	}
+	total := 0.0
+	for _, v := range vec {
+		total += v
+	}
+	if total <= 0 || math.IsInf(total, 0) || math.IsNaN(total) {
+		return map[string]float64{}
+	}
+	for k := range vec {
+		vec[k] /= total
+	}
+	return vec
+}
+
+// Distance returns the drift between two weighted workloads in [0, 1]:
+// 0 when their footprint shapes match, 1 when their footprints are
+// disjoint. Two empty workloads are at distance 0; an empty workload
+// against a non-empty one is at distance 1.
+func Distance(a, b []recommend.Query) float64 {
+	va, vb := footprintVector(a), footprintVector(b)
+	if len(va) == 0 && len(vb) == 0 {
+		return 0
+	}
+	if len(va) == 0 || len(vb) == 0 {
+		return 1
+	}
+	d := 0.0
+	for k, w := range va {
+		d += math.Abs(w - vb[k])
+	}
+	for k, w := range vb {
+		if _, ok := va[k]; !ok {
+			d += w
+		}
+	}
+	d /= 2
+	if d < 0 {
+		return 0
+	}
+	if d > 1 {
+		return 1
+	}
+	return d
+}

@@ -1,0 +1,43 @@
+// Package ingest is PARINDA's streaming workload-capture and
+// continuous-tuning subsystem: the piece that turns the one-shot
+// advisor stack (costlab → session → recommend → serve) into the
+// interactive designer the paper describes — one that watches the
+// workload the DBA *actually runs* and keeps its recommendations
+// current, instead of tuning a frozen query file once at startup.
+//
+// Three parts compose:
+//
+//   - Window is a concurrency-safe rolling workload window. Queries
+//     stream in one at a time or in batches, are deduplicated by
+//     canonical SQL, and carry exponentially time-decayed weights, so
+//     the window is a weighted picture of *recent* traffic. The entry
+//     count is bounded: past the capacity the lightest (most decayed)
+//     entry is evicted, keeping memory O(window) under millions of
+//     submissions.
+//
+//   - Drift (Distance) measures how far the window has moved from the
+//     workload the current design was tuned for, as the total-variation
+//     distance between the two workloads' weighted footprint vectors
+//     (which tables and columns the traffic touches, and how hard).
+//     0 means the same shape, 1 means disjoint footprints.
+//
+//   - Tuner is the continuous-tuning loop: every Check compares the
+//     window against its baseline, and when the drift crosses the
+//     threshold it re-runs the budgeted anytime joint search from
+//     internal/recommend over the window — warm-started from a shared
+//     cost memo, so work any session already priced is never repeated —
+//     and publishes the new best design atomically. Readers always see
+//     either the previous published design or the new one, never a
+//     partial state.
+//
+// Degenerate-weight safety: a window whose decayed weights underflow to
+// zero (a long idle gap against a short half-life) falls back to raw
+// submission counts, and every speedup/benefit accessor guards zero
+// base costs, so weighted-window evaluation can never produce NaN.
+//
+// internal/serve exposes the window per session (POST
+// /sessions/{name}/ingest, GET /sessions/{name}/window) and runs the
+// tuner as a continuous recommendation job; `parinda ingest` streams a
+// query log into a served session, and the session REPL grows
+// ingest/window commands.
+package ingest

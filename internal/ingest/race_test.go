@@ -1,0 +1,152 @@
+package ingest
+
+// The -race gauntlet: N goroutines ingest while the continuous tuner
+// re-searches and a reader polls the window and the published design.
+// Asserts (1) no lost updates — every submission is accounted for in
+// the window's counters and entry counts — and (2) the published
+// design is always one the tuner actually produced, observed in
+// publication order.
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/recommend"
+	"repro/internal/workload"
+)
+
+func TestIngestRaceGauntlet(t *testing.T) {
+	cat := testCatalog(t)
+	win := NewWindow(Options{Capacity: 64})
+	pool := workload.Queries()[:8]
+
+	produced := map[*Retune]bool{}
+	var producedMu sync.Mutex
+	opts := recommend.Options{
+		Objects:       recommend.ObjectsIndexes,
+		MaxCandidates: 4,
+		Budget:        recommend.Budget{MaxEvaluations: 8},
+	}
+	tuner := NewTuner(win, TunerOptions{
+		Catalog:        cat,
+		DriftThreshold: -1, // every check retunes
+		Recommend:      opts,
+		OnRetune: func(r *Retune) {
+			producedMu.Lock()
+			produced[r] = true
+			producedMu.Unlock()
+		},
+	})
+
+	const (
+		writers   = 4
+		perWriter = 200
+		checks    = 4
+	)
+	ctx := context.Background()
+	done := make(chan struct{})
+	var work, readers sync.WaitGroup
+
+	// Writers: ingest a rotating mix of queries.
+	for wi := 0; wi < writers; wi++ {
+		work.Add(1)
+		go func(wi int) {
+			defer work.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := win.Ingest(pool[(wi+i)%len(pool)]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(wi)
+	}
+
+	// Tuner: a fixed number of drift checks, each a real (budgeted)
+	// re-search over a live snapshot.
+	work.Add(1)
+	var tunerErr error
+	go func() {
+		defer work.Done()
+		// Keep checking until `checks` retunes landed: early checks can
+		// race an as-yet-empty window and skip.
+		for attempts := 0; tuner.Stats().Retunes < checks && attempts < 10000; attempts++ {
+			if _, err := tuner.Check(ctx); err != nil {
+				tunerErr = err
+				return
+			}
+			runtime.Gosched()
+		}
+	}()
+
+	// Reader: poll the window and the published design while both are
+	// being written. Observed publications must be in order.
+	var observed []*Retune
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		var lastSeq int64
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			_ = win.Snapshot()
+			_ = win.Stats()
+			if r := tuner.Published(); r != nil {
+				if r.Seq < lastSeq {
+					t.Errorf("published retune went backwards: seq %d after %d", r.Seq, lastSeq)
+					return
+				}
+				if r.Seq > lastSeq {
+					lastSeq = r.Seq
+					observed = append(observed, r)
+				}
+			}
+		}
+	}()
+
+	work.Wait()
+	close(done)
+	readers.Wait()
+	if tunerErr != nil {
+		t.Fatal(tunerErr)
+	}
+
+	// No lost updates: every submission accounted for.
+	st := win.Stats()
+	if want := int64(writers * perWriter); st.Submissions != want {
+		t.Fatalf("submissions = %d, want %d", st.Submissions, want)
+	}
+	if st.Evicted != 0 {
+		t.Fatalf("unexpected evictions: %d (capacity %d > distinct %d)", st.Evicted, 64, len(pool))
+	}
+	var counted int64
+	snap := win.Snapshot()
+	for _, e := range snap {
+		counted += e.Count
+	}
+	if counted != st.Submissions {
+		t.Fatalf("entry counts sum to %d, want %d — updates lost", counted, st.Submissions)
+	}
+	if len(snap) != len(pool) {
+		t.Fatalf("distinct = %d, want %d", len(snap), len(pool))
+	}
+
+	// The published design is always one the tuner actually produced.
+	if tuner.Stats().Retunes == 0 {
+		t.Fatal("gauntlet never retuned — the race surface was not exercised")
+	}
+	producedMu.Lock()
+	defer producedMu.Unlock()
+	for _, r := range observed {
+		if !produced[r] {
+			t.Fatalf("reader observed a published design the tuner never produced: seq %d", r.Seq)
+		}
+	}
+	if fin := tuner.Published(); fin == nil || !produced[fin] {
+		t.Fatalf("final published design not produced by the tuner: %+v", fin)
+	}
+}

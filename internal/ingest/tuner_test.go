@@ -1,0 +1,245 @@
+package ingest
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/costlab"
+	"repro/internal/recommend"
+	"repro/internal/workload"
+)
+
+func testCatalog(t testing.TB) *catalog.Catalog {
+	t.Helper()
+	cat, err := workload.BuildCatalog(20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+// indexOnlyOpts keeps tuner searches cheap and deterministic in tests.
+func indexOnlyOpts() recommend.Options {
+	return recommend.Options{Objects: recommend.ObjectsIndexes}
+}
+
+// TestTunerSkipsBelowThreshold: a window matching the baseline's shape
+// must not trigger a retune; baseline advances after one does, so a
+// second check over an unchanged window is also a skip.
+func TestTunerSkipsBelowThreshold(t *testing.T) {
+	cat := testCatalog(t)
+	all := workload.Queries()
+	baseline, err := recommend.ParseWorkload([]string{all[0], all[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := newFakeClock()
+	win := NewWindow(Options{Now: clk.now})
+	tuner := NewTuner(win, TunerOptions{
+		Catalog:   cat,
+		Baseline:  baseline,
+		Recommend: indexOnlyOpts(),
+	})
+	ctx := context.Background()
+
+	// Empty window: too small to tune.
+	if ret, err := tuner.Check(ctx); ret != nil || err != nil {
+		t.Fatalf("empty-window check = (%v, %v), want skip", ret, err)
+	}
+	// Same shape as the baseline: no drift.
+	for _, q := range []string{all[0], all[1]} {
+		if err := win.Ingest(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ret, err := tuner.Check(ctx); ret != nil || err != nil {
+		t.Fatalf("no-drift check = (%v, %v), want skip", ret, err)
+	}
+	// Drift the window onto different tables: retune fires.
+	for _, q := range []string{all[15], all[17], all[15], all[17]} { // specobj traffic
+		if err := win.Ingest(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ret, err := tuner.Check(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret == nil {
+		t.Fatalf("drifted check did not retune (drift %v)", tuner.Stats().LastDrift)
+	}
+	if got := tuner.Published(); got != ret {
+		t.Fatalf("published %p != returned %p", got, ret)
+	}
+	if ret.Result.NewCost > ret.StaleCost+1e-6 {
+		t.Fatalf("retuned design prices worse than stale on the new window: %v > %v",
+			ret.Result.NewCost, ret.StaleCost)
+	}
+	// Baseline advanced to the window: an unchanged window is a skip.
+	if ret2, err := tuner.Check(ctx); ret2 != nil || err != nil {
+		t.Fatalf("post-retune check = (%v, %v), want skip", ret2, err)
+	}
+	st := tuner.Stats()
+	if st.Retunes != 1 || st.Checks != 4 || st.Skipped != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestTunerWarmStartBeatsColdRun: a drift-triggered re-search sharing
+// a memo with earlier pricing work must issue strictly fewer optimizer
+// calls than a cold run over the same window — the continuous tuner's
+// whole economic argument.
+func TestTunerWarmStartBeatsColdRun(t *testing.T) {
+	cat := testCatalog(t)
+	all := workload.Queries()
+	ctx := context.Background()
+	memo := costlab.NewMemo()
+
+	// Price the original workload once (the "design session history"
+	// that warms the shared memo).
+	baseline, err := recommend.ParseWorkload([]string{all[0], all[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmOpts := indexOnlyOpts()
+	warmOpts.Backend = costlab.BackendFull
+	warmOpts.Strategy = recommend.StrategyAnytime
+	warmOpts.Memo = memo
+	if _, err := recommend.Recommend(ctx, cat, baseline, warmOpts); err != nil {
+		t.Fatal(err)
+	}
+
+	// The drifted window keeps one original query and adds new ones.
+	clk := newFakeClock()
+	win := NewWindow(Options{Now: clk.now})
+	for _, q := range []string{all[0], all[15], all[17]} {
+		if err := win.Ingest(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	tuner := NewTuner(win, TunerOptions{
+		Catalog:        cat,
+		Baseline:       baseline,
+		DriftThreshold: -1, // always retune
+		Recommend:      indexOnlyOpts(),
+		Memo:           memo,
+	})
+	ret, err := tuner.Check(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret == nil {
+		t.Fatal("no retune")
+	}
+	if ret.Result.MemoHits == 0 {
+		t.Fatal("warm retune hit the memo zero times — the warm start is not wired")
+	}
+
+	coldOpts := indexOnlyOpts()
+	coldOpts.Backend = costlab.BackendFull
+	coldOpts.Strategy = recommend.StrategyAnytime
+	cold, err := recommend.Recommend(ctx, cat, win.Queries(), coldOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret.Result.PlanCalls >= cold.PlanCalls {
+		t.Fatalf("warm retune consumed %d optimizer calls, cold run %d — want strictly fewer",
+			ret.Result.PlanCalls, cold.PlanCalls)
+	}
+}
+
+// TestTunerFiltersUnpricableQueries: streamed traffic referencing
+// foreign tables or columns must be excluded from the retune instead of
+// failing every search.
+func TestTunerFiltersUnpricableQueries(t *testing.T) {
+	cat := testCatalog(t)
+	clk := newFakeClock()
+	win := NewWindow(Options{Now: clk.now})
+	for _, q := range []string{
+		`SELECT x FROM nosuchtable WHERE x > 0`,
+		`SELECT nosuchcol FROM photoobj WHERE nosuchcol > 0`,
+		workload.Queries()[0],
+	} {
+		if err := win.Ingest(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tuner := NewTuner(win, TunerOptions{
+		Catalog:        cat,
+		DriftThreshold: -1,
+		Recommend:      indexOnlyOpts(),
+	})
+	ret, err := tuner.Check(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ret == nil {
+		t.Fatal("no retune")
+	}
+	if ret.WindowQueries != 1 {
+		t.Fatalf("retuned over %d queries, want 1 (unpricable traffic filtered)", ret.WindowQueries)
+	}
+}
+
+// TestRetuneDegenerateGuards: zero or garbage stale costs must never
+// surface as NaN/Inf speedups or improvements.
+func TestRetuneDegenerateGuards(t *testing.T) {
+	cases := []*Retune{
+		{StaleCost: 0, Result: &recommend.Result{NewCost: 10}},
+		{StaleCost: math.NaN(), Result: &recommend.Result{NewCost: 10}},
+		{StaleCost: math.Inf(1), Result: &recommend.Result{NewCost: 10}},
+		{StaleCost: 100, Result: &recommend.Result{NewCost: 0}},
+		{StaleCost: 100},
+	}
+	for i, r := range cases {
+		if v := r.Speedup(); math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("case %d: Speedup = %v", i, v)
+		}
+		if v := r.Improvement(); math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("case %d: Improvement = %v", i, v)
+		}
+	}
+	r := &Retune{StaleCost: 100, Result: &recommend.Result{NewCost: 50}}
+	if r.Speedup() != 2 || r.Improvement() != 0.5 {
+		t.Fatalf("healthy retune: speedup %v, improvement %v", r.Speedup(), r.Improvement())
+	}
+}
+
+// TestTunerRunLoop: the background loop retunes on its interval and
+// stops on cancellation.
+func TestTunerRunLoop(t *testing.T) {
+	cat := testCatalog(t)
+	win := NewWindow(Options{})
+	if err := win.Ingest(workload.Queries()[0]); err != nil {
+		t.Fatal(err)
+	}
+	opts := indexOnlyOpts()
+	opts.Budget = recommend.Budget{MaxEvaluations: 4}
+	tuner := NewTuner(win, TunerOptions{
+		Catalog:        cat,
+		DriftThreshold: -1,
+		Interval:       5 * time.Millisecond,
+		Recommend:      opts,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- tuner.Run(ctx) }()
+	deadline := time.Now().Add(10 * time.Second)
+	for tuner.Stats().Retunes == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+	if tuner.Stats().Retunes == 0 {
+		t.Fatal("background loop never retuned")
+	}
+	if tuner.Published() == nil {
+		t.Fatal("no design published")
+	}
+}

@@ -1,0 +1,355 @@
+package ingest
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/recommend"
+	"repro/internal/sql"
+)
+
+// Defaults for Options zero values.
+const (
+	DefaultCapacity = 512
+	DefaultHalfLife = 30 * time.Minute
+)
+
+// rebaseExponent bounds the stored-weight scale: once the ingest clock
+// has advanced this many half-lives past the epoch, stored weights are
+// rescaled to the current time so the exponentials never overflow.
+const rebaseExponent = 40
+
+// Options configure a Window.
+type Options struct {
+	// Capacity bounds the distinct-entry count; past it the lightest
+	// (most decayed) entry is evicted. 0 means DefaultCapacity.
+	Capacity int
+	// HalfLife is the exponential-decay half-life of entry weights: a
+	// submission's weight halves every HalfLife. 0 means
+	// DefaultHalfLife; negative disables decay (weights are raw
+	// counts).
+	HalfLife time.Duration
+	// Now is the clock (test seam). nil means time.Now.
+	Now func() time.Time
+}
+
+// Window is a concurrency-safe rolling workload window: queries stream
+// in, deduplicate by canonical SQL, and carry exponentially
+// time-decayed weights. Memory stays O(Capacity) no matter how many
+// queries are submitted.
+//
+// Decay bookkeeping is O(1) per ingest: stored weights are expressed
+// relative to an epoch (a submission at time t adds 2^((t-epoch)/λ)),
+// and a snapshot applies one uniform factor 2^(-(now-epoch)/λ). The
+// epoch is rebased before the exponent can overflow. Because the
+// factor is uniform, relative weights — all any consumer ranks by —
+// are exact.
+type Window struct {
+	capacity int
+	halfLife float64 // seconds; 0 disables decay
+	now      func() time.Time
+
+	mu      sync.Mutex
+	epoch   time.Time
+	entries map[string]*entry
+
+	submissions int64 // queries ever accepted
+	rejected    int64 // queries that failed to parse
+	evicted     int64 // entries dropped by the capacity bound
+	underflows  int64 // snapshots that fell back to raw counts
+}
+
+// entry is one distinct canonical query resident in the window.
+type entry struct {
+	sqlText string // canonical printed form (the dedup key)
+	stmt    *sql.Select
+	weight  float64 // decayed weight, expressed at the window epoch
+	count   int64   // raw submissions
+	first   time.Time
+	last    time.Time
+}
+
+// NewWindow returns an empty window.
+func NewWindow(opts Options) *Window {
+	if opts.Capacity <= 0 {
+		opts.Capacity = DefaultCapacity
+	}
+	hl := opts.HalfLife
+	if hl == 0 {
+		hl = DefaultHalfLife
+	}
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
+	w := &Window{
+		capacity: opts.Capacity,
+		now:      now,
+		entries:  map[string]*entry{},
+	}
+	if hl > 0 {
+		w.halfLife = hl.Seconds()
+	}
+	w.epoch = now()
+	return w
+}
+
+// scaleAt is the factor converting a unit submission at time t into
+// epoch-relative weight. Requires w.mu.
+func (w *Window) scaleAt(t time.Time) float64 {
+	if w.halfLife <= 0 {
+		return 1
+	}
+	return math.Exp2(t.Sub(w.epoch).Seconds() / w.halfLife)
+}
+
+// decayAt is the factor converting epoch-relative weights into
+// effective weights at time t. Requires w.mu.
+func (w *Window) decayAt(t time.Time) float64 {
+	if w.halfLife <= 0 {
+		return 1
+	}
+	return math.Exp2(-t.Sub(w.epoch).Seconds() / w.halfLife)
+}
+
+// rebaseLocked rescales stored weights to epoch = t when the exponent
+// would otherwise grow past rebaseExponent. Ancient entries may
+// underflow to weight 0 here; they are exactly the ones the capacity
+// eviction targets first, and the snapshot fallback keeps even an
+// all-underflowed window usable. Requires w.mu.
+func (w *Window) rebaseLocked(t time.Time) {
+	if w.halfLife <= 0 {
+		return
+	}
+	elapsed := t.Sub(w.epoch).Seconds() / w.halfLife
+	if elapsed <= rebaseExponent {
+		return
+	}
+	factor := math.Exp2(-elapsed)
+	for _, e := range w.entries {
+		e.weight *= factor
+	}
+	w.epoch = t
+}
+
+// Ingest submits one query to the window. The statement is parsed and
+// canonicalized (formatting variants of the same query share one
+// entry); a parse failure is counted and returned.
+func (w *Window) Ingest(sqlText string) error {
+	stmt, err := sql.ParseSelect(sqlText)
+	if err != nil {
+		w.mu.Lock()
+		w.rejected++
+		w.mu.Unlock()
+		return fmt.Errorf("ingest: %w", err)
+	}
+	key := sql.PrintSelect(stmt)
+	t := w.now()
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.rebaseLocked(t)
+	w.submissions++
+	if e, ok := w.entries[key]; ok {
+		e.weight += w.scaleAt(t)
+		e.count++
+		e.last = t
+		return nil
+	}
+	fresh := &entry{
+		sqlText: key,
+		stmt:    stmt,
+		weight:  w.scaleAt(t),
+		count:   1,
+		first:   t,
+		last:    t,
+	}
+	w.entries[key] = fresh
+	w.evictLocked(fresh)
+	return nil
+}
+
+// IngestBatch submits a batch, continuing past malformed statements.
+// It reports how many were accepted and rejected, and the first parse
+// error when every statement was rejected.
+func (w *Window) IngestBatch(sqls []string) (accepted, rejected int, firstErr error) {
+	for _, s := range sqls {
+		if err := w.Ingest(s); err != nil {
+			rejected++
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		accepted++
+	}
+	if accepted > 0 {
+		firstErr = nil
+	}
+	return accepted, rejected, firstErr
+}
+
+// evictLocked enforces the capacity bound: the entry with the lowest
+// effective weight (ties: least recently seen) is dropped. Requires
+// w.mu. Weights are compared at epoch scale, which orders identically
+// to any common observation time.
+//
+// The entry just ingested (keep) is exempt from its own insertion's
+// eviction pass: with decay disabled, a fresh distinct query weighs 1
+// while saturated incumbents weigh their counts, so without the
+// exemption a full window would evict every newcomer on arrival and
+// freeze — drift could never reflect a workload shift. Under decay the
+// newcomer carries the maximum time-scale and is never the strict
+// minimum anyway.
+func (w *Window) evictLocked(keep *entry) {
+	for len(w.entries) > w.capacity {
+		var victim *entry
+		for _, e := range w.entries {
+			if e == keep {
+				continue
+			}
+			if victim == nil || e.weight < victim.weight ||
+				(e.weight == victim.weight && e.last.Before(victim.last)) {
+				victim = e
+			}
+		}
+		delete(w.entries, victim.sqlText)
+		w.evicted++
+	}
+}
+
+// Entry is one snapshot row: a distinct canonical query with its
+// decayed weight.
+type Entry struct {
+	SQL       string    `json:"sql"`
+	Count     int64     `json:"count"`  // raw submissions
+	Weight    float64   `json:"weight"` // decayed weight at snapshot time
+	FirstSeen time.Time `json:"firstSeen"`
+	LastSeen  time.Time `json:"lastSeen"`
+}
+
+// collect assembles the window's entries and weighted workload in ONE
+// locked pass, heaviest first (ties: canonical SQL). It owns the
+// degenerate-weight guard: if every decayed weight underflowed to zero
+// (or went non-finite), weights fall back to raw submission counts, so
+// downstream weighted evaluation never divides by — or multiplies
+// with — a NaN-producing total. Every read path goes through here, so
+// the fallback rule cannot drift between the wire snapshot and the
+// workload the tuner evaluates.
+func (w *Window) collect() ([]Entry, []recommend.Query) {
+	t := w.now()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	decay := w.decayAt(t)
+	type row struct {
+		e  *entry
+		wt float64
+	}
+	rows := make([]row, 0, len(w.entries))
+	total := 0.0
+	for _, e := range w.entries {
+		rows = append(rows, row{e: e, wt: e.weight * decay})
+		total += e.weight * decay
+	}
+	if len(rows) > 0 && (total <= 0 || math.IsInf(total, 0) || math.IsNaN(total)) {
+		w.underflows++
+		for i := range rows {
+			rows[i].wt = float64(rows[i].e.count)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].wt != rows[j].wt {
+			return rows[i].wt > rows[j].wt
+		}
+		return rows[i].e.sqlText < rows[j].e.sqlText
+	})
+	entries := make([]Entry, len(rows))
+	queries := make([]recommend.Query, len(rows))
+	for i, r := range rows {
+		entries[i] = Entry{
+			SQL:       r.e.sqlText,
+			Count:     r.e.count,
+			Weight:    r.wt,
+			FirstSeen: r.e.first,
+			LastSeen:  r.e.last,
+		}
+		queries[i] = recommend.Query{SQL: r.e.sqlText, Stmt: r.e.stmt, Weight: r.wt}
+	}
+	return entries, queries
+}
+
+// Snapshot returns the window's entries with weights decayed to now,
+// heaviest first.
+func (w *Window) Snapshot() []Entry {
+	entries, _ := w.collect()
+	return entries
+}
+
+// Queries returns the window as a weighted workload ready for the
+// recommendation pipeline, heaviest first.
+func (w *Window) Queries() []recommend.Query {
+	_, queries := w.collect()
+	return queries
+}
+
+// Workload returns both views from one consistent pass — what the
+// serving layer wants when it renders entries AND computes drift from
+// the same instant.
+func (w *Window) Workload() ([]Entry, []recommend.Query) {
+	return w.collect()
+}
+
+// Len reports the resident distinct-entry count.
+func (w *Window) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.entries)
+}
+
+// TotalWeight reports the decayed weight mass of the window at now (0
+// for an empty window; the raw-count fallback does NOT apply here —
+// this is the observability number, not an evaluation input).
+func (w *Window) TotalWeight() float64 {
+	t := w.now()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	decay := w.decayAt(t)
+	total := 0.0
+	for _, e := range w.entries {
+		total += e.weight * decay
+	}
+	return total
+}
+
+// WindowStats are a window's lifetime counters.
+type WindowStats struct {
+	Distinct    int     `json:"distinct"`    // resident entries
+	Submissions int64   `json:"submissions"` // queries ever accepted
+	Rejected    int64   `json:"rejected"`    // queries that failed to parse
+	Evicted     int64   `json:"evicted"`     // entries dropped by capacity
+	Underflows  int64   `json:"underflows"`  // snapshots served by the raw-count fallback
+	TotalWeight float64 `json:"totalWeight"` // decayed weight mass now
+}
+
+// Stats returns the window's counters.
+func (w *Window) Stats() WindowStats {
+	t := w.now()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	decay := w.decayAt(t)
+	total := 0.0
+	for _, e := range w.entries {
+		total += e.weight * decay
+	}
+	return WindowStats{
+		Distinct:    len(w.entries),
+		Submissions: w.submissions,
+		Rejected:    w.rejected,
+		Evicted:     w.evicted,
+		Underflows:  w.underflows,
+		TotalWeight: total,
+	}
+}

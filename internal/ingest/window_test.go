@@ -1,0 +1,310 @@
+package ingest
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/recommend"
+)
+
+// fakeClock is a settable test clock.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+const (
+	qPhoto  = `SELECT objid FROM photoobj WHERE ra BETWEEN 10 AND 11`
+	qPhoto2 = `SELECT objid, r FROM photoobj WHERE r < 20`
+	qSpec   = `SELECT specobjid FROM specobj WHERE z > 2.9`
+	qField  = `SELECT fieldid FROM field WHERE quality = 3`
+)
+
+func TestWindowDedupByCanonicalSQL(t *testing.T) {
+	w := NewWindow(Options{Now: newFakeClock().now})
+	variants := []string{
+		`SELECT objid FROM photoobj WHERE ra BETWEEN 10 AND 11`,
+		`select objid from photoobj where ra between 10 and 11`,
+		"SELECT  objid\nFROM photoobj WHERE ra BETWEEN 10 AND 11",
+	}
+	for _, v := range variants {
+		if err := w.Ingest(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Len() != 1 {
+		t.Fatalf("formatting variants produced %d entries, want 1", w.Len())
+	}
+	snap := w.Snapshot()
+	if snap[0].Count != int64(len(variants)) {
+		t.Fatalf("entry count = %d, want %d", snap[0].Count, len(variants))
+	}
+	st := w.Stats()
+	if st.Submissions != int64(len(variants)) || st.Distinct != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestWindowRejectsMalformedSQL(t *testing.T) {
+	w := NewWindow(Options{Now: newFakeClock().now})
+	if err := w.Ingest("DELETE FROM photoobj"); err == nil {
+		t.Fatal("non-SELECT accepted")
+	}
+	acc, rej, firstErr := w.IngestBatch([]string{qPhoto, "nonsense", qSpec})
+	if acc != 2 || rej != 1 || firstErr != nil {
+		t.Fatalf("batch = (%d accepted, %d rejected, err %v), want (2, 1, nil)", acc, rej, firstErr)
+	}
+	if _, _, err := w.IngestBatch([]string{"x", "y"}); err == nil {
+		t.Fatal("all-rejected batch reported no error")
+	}
+	if st := w.Stats(); st.Rejected != 4 {
+		t.Fatalf("rejected = %d, want 4", st.Rejected)
+	}
+}
+
+// TestWindowDecayOrdersByRecency: with a half-life h, one submission a
+// half-life ago weighs exactly half of one submitted now.
+func TestWindowDecayOrdersByRecency(t *testing.T) {
+	clk := newFakeClock()
+	h := time.Minute
+	w := NewWindow(Options{HalfLife: h, Now: clk.now})
+	if err := w.Ingest(qPhoto); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(h)
+	if err := w.Ingest(qSpec); err != nil {
+		t.Fatal(err)
+	}
+	snap := w.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("len = %d", len(snap))
+	}
+	if snap[0].SQL == snap[1].SQL {
+		t.Fatal("duplicate entries")
+	}
+	// Heaviest first: the fresh query leads, and the stale one decayed
+	// to half its weight.
+	if got := snap[1].Weight / snap[0].Weight; math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("stale/fresh weight ratio = %v, want 0.5", got)
+	}
+	// A popular-but-stale query still outweighs one fresh submission.
+	for i := 0; i < 4; i++ {
+		if err := w.Ingest(qPhoto); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clk.advance(h)
+	if err := w.Ingest(qField); err != nil {
+		t.Fatal(err)
+	}
+	snap = w.Snapshot()
+	if snap[len(snap)-1].SQL != canonical(t, qField) && snap[0].SQL == canonical(t, qField) {
+		t.Fatalf("one fresh submission outranked a heavy recent query: %+v", snap)
+	}
+}
+
+func canonical(t *testing.T, s string) string {
+	t.Helper()
+	w := NewWindow(Options{Now: newFakeClock().now})
+	if err := w.Ingest(s); err != nil {
+		t.Fatal(err)
+	}
+	return w.Snapshot()[0].SQL
+}
+
+func TestWindowCapacityEvictsLightest(t *testing.T) {
+	clk := newFakeClock()
+	w := NewWindow(Options{Capacity: 2, HalfLife: time.Minute, Now: clk.now})
+	// qPhoto is heavy, qSpec light; the third distinct query evicts
+	// qSpec (lowest weight).
+	for i := 0; i < 3; i++ {
+		if err := w.Ingest(qPhoto); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Ingest(qSpec); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(time.Second) // qField is strictly fresher (and so heavier) than qSpec
+	if err := w.Ingest(qField); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 2 {
+		t.Fatalf("len = %d, want 2 (capacity)", w.Len())
+	}
+	for _, e := range w.Snapshot() {
+		if e.SQL == canonical(t, qSpec) {
+			t.Fatalf("lightest entry not evicted: %+v", w.Snapshot())
+		}
+	}
+	if st := w.Stats(); st.Evicted != 1 {
+		t.Fatalf("evicted = %d, want 1", st.Evicted)
+	}
+}
+
+// TestWindowNoDecayAdmitsNewQueries: with decay disabled, a saturated
+// window's incumbents weigh their raw counts (>= 2 once repeated),
+// while a fresh distinct query weighs 1 — the insertion's own eviction
+// pass must not pick the newcomer as the minimum, or the window
+// freezes on its first Capacity queries and drift goes blind to any
+// workload shift.
+func TestWindowNoDecayAdmitsNewQueries(t *testing.T) {
+	clk := newFakeClock()
+	w := NewWindow(Options{Capacity: 2, HalfLife: -1, Now: clk.now})
+	for i := 0; i < 3; i++ {
+		if err := w.Ingest(qPhoto); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := w.Ingest(qSpec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Full, every incumbent count >= 2. A new distinct query must be
+	// admitted (the lightest incumbent goes instead).
+	if err := w.Ingest(qField); err != nil {
+		t.Fatal(err)
+	}
+	snap := w.Snapshot()
+	got := map[string]bool{}
+	for _, e := range snap {
+		got[e.SQL] = true
+	}
+	if !got[canonical(t, qField)] {
+		t.Fatalf("newcomer evicted on arrival under no-decay: %+v", snap)
+	}
+	if got[canonical(t, qSpec)] {
+		t.Fatalf("lightest incumbent survived instead of the eviction target: %+v", snap)
+	}
+	if st := w.Stats(); st.Evicted != 1 {
+		t.Fatalf("evicted = %d, want 1", st.Evicted)
+	}
+}
+
+// TestWindowRebaseKeepsWeightsFinite: ingesting across thousands of
+// half-lives must neither overflow the stored weights nor disturb the
+// recency ordering.
+func TestWindowRebaseKeepsWeightsFinite(t *testing.T) {
+	clk := newFakeClock()
+	h := time.Second
+	w := NewWindow(Options{HalfLife: h, Now: clk.now})
+	if err := w.Ingest(qPhoto); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		clk.advance(100 * h) // far past rebaseExponent each step
+		if err := w.Ingest(qSpec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := w.Snapshot()
+	for _, e := range snap {
+		if math.IsInf(e.Weight, 0) || math.IsNaN(e.Weight) || e.Weight < 0 {
+			t.Fatalf("weight not finite/non-negative after rebase: %+v", e)
+		}
+	}
+	if snap[0].SQL != canonical(t, qSpec) {
+		t.Fatalf("recent query not heaviest after rebase: %+v", snap)
+	}
+	if tw := w.TotalWeight(); math.IsInf(tw, 0) || math.IsNaN(tw) {
+		t.Fatalf("total weight = %v", tw)
+	}
+}
+
+// TestWindowUnderflowFallsBackToCounts is the degenerate-weight
+// regression test: a long idle gap against a short half-life decays
+// every weight to exactly zero, and the snapshot must fall back to raw
+// submission counts — positive, finite, NaN-free — instead of handing
+// the evaluation layer an all-zero workload.
+func TestWindowUnderflowFallsBackToCounts(t *testing.T) {
+	clk := newFakeClock()
+	w := NewWindow(Options{HalfLife: time.Millisecond, Now: clk.now})
+	for i := 0; i < 3; i++ {
+		if err := w.Ingest(qPhoto); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Ingest(qSpec); err != nil {
+		t.Fatal(err)
+	}
+	// 2^-36000 underflows float64 (min subnormal ≈ 2^-1074).
+	clk.advance(36 * time.Second)
+	if tw := w.TotalWeight(); tw != 0 {
+		t.Fatalf("premise broken: total weight %v, want exact 0 underflow", tw)
+	}
+	snap := w.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("len = %d", len(snap))
+	}
+	if snap[0].Weight != 3 || snap[1].Weight != 1 {
+		t.Fatalf("fallback weights = %v/%v, want raw counts 3/1", snap[0].Weight, snap[1].Weight)
+	}
+	qs := w.Queries()
+	total := 0.0
+	for _, q := range qs {
+		if q.Weight <= 0 || math.IsNaN(q.Weight) || math.IsInf(q.Weight, 0) {
+			t.Fatalf("fallback query weight degenerate: %v", q.Weight)
+		}
+		total += q.Weight
+	}
+	if total != 4 {
+		t.Fatalf("fallback total = %v, want 4", total)
+	}
+	// Downstream drift math over the fallback weights stays NaN-free.
+	if d := Distance(qs, qs); d != 0 {
+		t.Fatalf("self-distance over fallback weights = %v, want 0", d)
+	}
+	if st := w.Stats(); st.Underflows < 2 {
+		t.Fatalf("underflows = %d, want >= 2 (Snapshot + Queries)", st.Underflows)
+	}
+}
+
+// parseQueries builds a weighted workload from SQL → weight.
+func parseQueries(t *testing.T, weights map[string]float64) []recommend.Query {
+	t.Helper()
+	sqls := make([]string, 0, len(weights))
+	for s := range weights {
+		sqls = append(sqls, s)
+	}
+	sort.Strings(sqls)
+	qs, err := recommend.ParseWorkload(sqls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range qs {
+		qs[i].Weight = weights[qs[i].SQL]
+	}
+	return qs
+}
+
+func TestDistance(t *testing.T) {
+	a := parseQueries(t, map[string]float64{qPhoto: 1, qPhoto2: 2})
+	same := parseQueries(t, map[string]float64{qPhoto: 3, qPhoto2: 6}) // ×3 scale
+	b := parseQueries(t, map[string]float64{qSpec: 1, qField: 1})
+	mixed := parseQueries(t, map[string]float64{qPhoto: 1, qSpec: 1})
+
+	if d := Distance(a, a); d != 0 {
+		t.Fatalf("Distance(a,a) = %v", d)
+	}
+	if d := Distance(a, same); d > 1e-12 {
+		t.Fatalf("distance not scale-invariant: %v", d)
+	}
+	if d := Distance(a, b); d != 1 {
+		t.Fatalf("disjoint footprints: %v, want 1", d)
+	}
+	if d := Distance(a, mixed); d <= 0 || d >= 1 {
+		t.Fatalf("partial overlap: %v, want in (0,1)", d)
+	}
+	if d := Distance(nil, nil); d != 0 {
+		t.Fatalf("empty vs empty: %v", d)
+	}
+	if d := Distance(nil, a); d != 1 {
+		t.Fatalf("empty vs non-empty: %v", d)
+	}
+}

@@ -104,7 +104,16 @@ func searchGreedyIndexes(ctx context.Context, p *Problem) (*Outcome, error) {
 			if gain <= 1e-9 {
 				continue
 			}
-			score := gain / float64(v.size)
+			// Benefit per byte with the same zero-size clamp the anytime
+			// strategy applies (free moves score by raw gain): a
+			// zero-size candidate — e.g. an index over an empty table —
+			// must not score +Inf and silently outrank every real
+			// candidate the way it would under a bare gain/size.
+			bytes := v.size
+			if bytes < 1 {
+				bytes = 1
+			}
+			score := gain / float64(bytes)
 			if score > bestScore {
 				bestScore, bestIdx, bestCost, bestMaint, bestSize = score, v.idx, cost, maint, v.size
 			}

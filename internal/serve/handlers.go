@@ -34,7 +34,10 @@ import (
 //	POST   /sessions/{name}/redo                 re-apply the last undone edit
 //	GET    /sessions/{name}/explain/{q}          text/plain plan of query q (1-based)
 //	POST   /sessions/{name}/suggest              greedy advisor (SuggestRequest)
-//	POST   /sessions/{name}/recommend            start async recommend job (202)
+//	POST   /sessions/{name}/ingest               stream queries into the window
+//	GET    /sessions/{name}/window               window entries, stats, drift
+//	POST   /sessions/{name}/recommend            start async recommend job (202);
+//	                                             continuous:true → continuous tuner
 //	GET    /sessions/{name}/recommend            list the session's jobs
 //	GET    /sessions/{name}/recommend/{job}      job status + anytime progress
 //	DELETE /sessions/{name}/recommend/{job}      cancel (running) / remove (done)
@@ -63,6 +66,8 @@ func (m *Manager) Handler() http.Handler {
 	mux.HandleFunc("POST /sessions/{name}/redo", m.handleRedo)
 	mux.HandleFunc("GET /sessions/{name}/explain/{q}", m.handleExplain)
 	mux.HandleFunc("POST /sessions/{name}/suggest", m.handleSuggest)
+	mux.HandleFunc("POST /sessions/{name}/ingest", m.handleIngest)
+	mux.HandleFunc("GET /sessions/{name}/window", m.handleWindow)
 	mux.HandleFunc("POST /sessions/{name}/recommend", m.handleRecommendStart)
 	mux.HandleFunc("GET /sessions/{name}/recommend", m.handleRecommendList)
 	mux.HandleFunc("GET /sessions/{name}/recommend/{job}", m.handleRecommendStatus)

@@ -1,0 +1,77 @@
+package serve
+
+// The streaming-workload surface: POST /sessions/{name}/ingest feeds
+// live queries (single or batch) into the session's rolling window,
+// GET /sessions/{name}/window reads it back with decayed weights and
+// the drift against the session's tuned workload. Ingestion goes
+// through the window's own lock, never the session lock, so a hot
+// query stream does not serialize with interactive pricing.
+
+import (
+	"fmt"
+	"net/http"
+
+	"repro/internal/ingest"
+	"repro/internal/recommend"
+	"repro/internal/session"
+)
+
+func (m *Manager) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req IngestRequest
+	if err := decodeBody(r, &req, false); err != nil {
+		writeError(w, err)
+		return
+	}
+	batch := req.Queries
+	if req.SQL != "" {
+		batch = append(batch, req.SQL)
+	}
+	if len(batch) == 0 {
+		writeError(w, fmt.Errorf("serve: ingest wants \"sql\" or a \"queries\" batch"))
+		return
+	}
+	win, release, err := m.WindowAcquire(r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer release()
+	accepted, rejected, firstErr := win.IngestBatch(batch)
+	if accepted == 0 && firstErr != nil {
+		// Nothing in the batch parsed: that is a malformed request, not
+		// a partially-dirty stream.
+		writeError(w, firstErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, IngestResponse{
+		Accepted: accepted,
+		Rejected: rejected,
+		Window:   win.Stats(),
+	})
+}
+
+func (m *Manager) handleWindow(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	win, release, err := m.WindowAcquire(name)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer release()
+	// The session's parsed workload is the drift baseline; reading it
+	// takes the session lock briefly (a slice copy, not pricing).
+	var tuned []recommend.Query
+	if err := m.Do(name, func(s *session.DesignSession) error {
+		tuned = s.Queries()
+		return nil
+	}); err != nil {
+		writeError(w, err)
+		return
+	}
+	entries, queries := win.Workload() // one pass: entries and drift agree
+	writeJSON(w, http.StatusOK, WindowResponse{
+		Entries: entries,
+		Stats:   win.Stats(),
+		Drift:   ingest.Distance(queries, tuned),
+	})
+}

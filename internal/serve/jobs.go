@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/advisor"
 	"repro/internal/costlab"
+	"repro/internal/ingest"
 	"repro/internal/recommend"
 	"repro/internal/session"
 )
@@ -42,12 +43,13 @@ const (
 
 // recommendJob is one background search plus its observable state.
 type recommendJob struct {
-	id       string
-	session  string
-	objects  string
-	strategy string
-	cancel   context.CancelFunc
-	started  time.Time
+	id         string
+	session    string
+	objects    string
+	strategy   string
+	continuous bool
+	cancel     context.CancelFunc
+	started    time.Time
 
 	mu              sync.Mutex
 	state           string
@@ -56,6 +58,10 @@ type recommendJob struct {
 	finished        time.Time // zero while running
 	result          *RecommendResult
 	errMsg          string
+
+	// Continuous-tuner state (see runContinuousJob).
+	retunes int
+	drift   float64
 }
 
 // status snapshots the job for the wire.
@@ -81,6 +87,9 @@ func (j *recommendJob) status(now time.Time) *RecommendJobStatus {
 		ElapsedMS:   end.Sub(j.started).Milliseconds(),
 		Result:      j.result,
 		Error:       j.errMsg,
+		Continuous:  j.continuous,
+		Retunes:     j.retunes,
+		Drift:       j.drift,
 	}
 }
 
@@ -142,17 +151,45 @@ func (m *Manager) StartRecommend(name string, req RecommendJobRequest) (*Recomme
 
 	ctx, cancel := context.WithCancel(context.Background())
 	job := &recommendJob{
-		session:  name,
-		objects:  opts.Objects,
-		strategy: opts.Strategy,
-		cancel:   cancel,
-		started:  m.now(),
-		state:    JobRunning,
+		session:    name,
+		objects:    opts.Objects,
+		strategy:   opts.Strategy,
+		continuous: req.Continuous,
+		cancel:     cancel,
+		started:    m.now(),
+		state:      JobRunning,
 	}
 	opts.Progress = func(p recommend.Progress) {
 		job.mu.Lock()
 		job.progress = p
 		job.mu.Unlock()
+	}
+
+	if req.Continuous {
+		// The continuous variant needs the session's live window; grab
+		// it before registering so a bad request never occupies a slot.
+		win, err := m.Window(name)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		tuner := ingest.NewTuner(win, ingest.TunerOptions{
+			Catalog:        m.cat,
+			Baseline:       queries,
+			DriftThreshold: req.DriftThreshold,
+			Recommend:      opts,
+			Memo:           m.shared.Costs(),
+		})
+		interval := time.Duration(req.IntervalMillis) * time.Millisecond
+		if interval <= 0 {
+			interval = 500 * time.Millisecond
+		}
+		if err := m.registerJob(job); err != nil {
+			cancel()
+			return nil, err
+		}
+		go m.runContinuousJob(ctx, job, tuner, interval, req.MaxRetunes)
+		return job.status(m.now()), nil
 	}
 
 	if err := m.registerJob(job); err != nil {
@@ -161,6 +198,86 @@ func (m *Manager) StartRecommend(name string, req RecommendJobRequest) (*Recomme
 	}
 	go m.runRecommendJob(ctx, job, queries, opts)
 	return job.status(m.now()), nil
+}
+
+// runContinuousJob is the continuous-tuner loop: on every tick it asks
+// the tuner to check drift against the session's streaming window and,
+// when a retune fires, publishes the new best design as the job's
+// result. The job stays running until cancelled (DELETE) or until
+// maxRetunes retunes have been published; a failed re-search is
+// recorded and the loop keeps watching — a transient pricing error
+// must not kill the tuner.
+func (m *Manager) runContinuousJob(ctx context.Context, job *recommendJob, tuner *ingest.Tuner, interval time.Duration, maxRetunes int) {
+	finish := func(state string) {
+		job.mu.Lock()
+		job.state = state
+		job.finished = m.now()
+		job.mu.Unlock()
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			finish(JobCancelled)
+			return
+		case <-tick.C:
+		}
+		// Re-resolve the session's window every tick: a dropped (or
+		// evicted) and re-created session gets a fresh window object,
+		// and a tuner left watching the detached one would report
+		// frozen drift forever. A session that is gone entirely ends
+		// the job — there is nothing left to tune.
+		win, ok := m.windowPeek(job.session)
+		if !ok {
+			job.mu.Lock()
+			job.errMsg = fmt.Sprintf("serve: session %q dropped or evicted; continuous tuner stopped", job.session)
+			job.state = JobCancelled
+			job.finished = m.now()
+			job.mu.Unlock()
+			return
+		}
+		if win != tuner.Window() {
+			tuner.Retarget(win)
+		}
+		ret, err := tuner.Check(ctx)
+		drift := tuner.Stats().LastDrift
+		job.mu.Lock()
+		job.drift = drift
+		if err != nil {
+			if job.cancelRequested || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				job.state = JobCancelled
+				job.finished = m.now()
+				job.mu.Unlock()
+				return
+			}
+			job.errMsg = err.Error()
+			job.mu.Unlock()
+			continue
+		}
+		if ret != nil {
+			job.errMsg = ""
+			job.retunes++
+			res := ret.Result
+			job.result = recommendResult(res)
+			job.result.Drift = ret.Drift
+			job.result.StaleCost = ret.StaleCost
+			job.progress = recommend.Progress{
+				Round:       res.Rounds,
+				Evaluations: res.Evaluations,
+				PlanCalls:   res.PlanCalls,
+				BaseCost:    ret.StaleCost,
+				BestCost:    res.NewCost,
+			}
+			if maxRetunes > 0 && job.retunes >= maxRetunes {
+				job.state = JobDone
+				job.finished = m.now()
+				job.mu.Unlock()
+				return
+			}
+		}
+		job.mu.Unlock()
+	}
 }
 
 // registerJob adds the job under a fresh id, evicting the oldest

@@ -3,11 +3,13 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"net/url"
 	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/ingest"
 	"repro/internal/session"
 )
 
@@ -38,6 +40,13 @@ type Options struct {
 	// this long to finish before the listener is torn down. 0 means
 	// DefaultDrainTimeout.
 	DrainTimeout time.Duration
+	// WindowCapacity bounds each session's streaming-workload window
+	// (distinct canonical queries). 0 means ingest.DefaultCapacity.
+	WindowCapacity int
+	// WindowHalfLife is the exponential-decay half-life of each
+	// session window's query weights. 0 means ingest.DefaultHalfLife;
+	// negative disables decay.
+	WindowHalfLife time.Duration
 }
 
 // DefaultMaxSessions is the session cap when Options.MaxSessions is 0.
@@ -91,6 +100,11 @@ type tenant struct {
 	// acquires mu and finds it nil raced a failed creation.
 	s *session.DesignSession
 
+	// win is the session's streaming-workload window. It is itself
+	// concurrency-safe, so the ingest hot path never takes tenant.mu
+	// — millions of submissions must not serialize with pricing.
+	win *ingest.Window
+
 	// Guarded by Manager.mu, NOT tenant.mu:
 	inflight int       // requests holding or queued on tenant.mu
 	lastUsed time.Time // completion time of the last request
@@ -128,8 +142,8 @@ func (m *Manager) maxSessions() int {
 // after the first create over a given workload, the shared memo makes
 // the pricing free anyway).
 func (m *Manager) Create(name string, workloadSQL []string, workers int) error {
-	if name == "" {
-		return fmt.Errorf("serve: session name must not be empty")
+	if err := validateSessionName(name); err != nil {
+		return err
 	}
 	m.mu.Lock()
 	m.sweepLocked(m.now())
@@ -141,7 +155,15 @@ func (m *Manager) Create(name string, workloadSQL []string, workers int) error {
 		m.mu.Unlock()
 		return fmt.Errorf("%w (%d sessions, all busy)", ErrCapacity, len(m.tenants))
 	}
-	t := &tenant{name: name, lastUsed: m.now(), tick: m.clock}
+	t := &tenant{
+		name:     name,
+		lastUsed: m.now(),
+		tick:     m.clock,
+		win: ingest.NewWindow(ingest.Options{
+			Capacity: m.opts.WindowCapacity,
+			HalfLife: m.opts.WindowHalfLife,
+		}),
+	}
 	m.clock++
 	t.inflight++ // the creation itself counts: uncreated sessions are unevictable
 	t.mu.Lock()
@@ -178,6 +200,84 @@ func (m *Manager) Create(name string, workloadSQL []string, workers int) error {
 		return fmt.Errorf("serve: create session %q: %w", name, err)
 	}
 	return nil
+}
+
+// validateSessionName rejects names that don't round-trip through a
+// URL path segment: every per-session route embeds the name as one
+// segment, so a name containing '/', '%', '?', '#' or whitespace would
+// parse as a different route (or a different session) than the one the
+// create named — a silent mis-route, or worse, a spoofed one. The name
+// must be byte-identical to its own path-segment escaping, and must
+// also survive URL path cleaning: "." and ".." escape to themselves
+// but are collapsed by ServeMux's redirect-cleaning, which would route
+// a session named "." onto a sibling's namespace.
+func validateSessionName(name string) error {
+	if name == "" {
+		return fmt.Errorf("serve: session name must not be empty")
+	}
+	if name == "." || name == ".." {
+		return fmt.Errorf("serve: session name %q does not survive URL path cleaning", name)
+	}
+	if url.PathEscape(name) != name {
+		return fmt.Errorf("serve: session name %q is not a clean URL path segment (no '/', '%%', '?', '#' or whitespace)", name)
+	}
+	return nil
+}
+
+// Window returns session name's streaming-workload window. The window
+// is concurrency-safe, so callers ingest into it without holding the
+// session lock; the lookup counts as a touch for LRU/TTL purposes
+// (live traffic keeps a session resident).
+func (m *Manager) Window(name string) (*ingest.Window, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t, ok := m.tenants[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	t.lastUsed = m.now()
+	t.tick = m.clock
+	m.clock++
+	return t.win, nil
+}
+
+// WindowAcquire is Window plus the eviction handshake the HTTP ingest
+// path needs: until release is called, inflight > 0 keeps the tenant
+// unevictable, so a capacity or idle-TTL eviction can never detach the
+// window mid-batch and silently swallow acknowledged queries. The
+// session lock is NOT taken — ingest still runs concurrently with
+// pricing. (An explicit Drop mid-request orphans the window, exactly
+// as Do's contract orphans the session.)
+func (m *Manager) WindowAcquire(name string) (win *ingest.Window, release func(), err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t, ok := m.tenants[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	t.inflight++
+	release = func() {
+		m.mu.Lock()
+		t.inflight--
+		t.lastUsed = m.now()
+		t.tick = m.clock
+		m.clock++
+		m.mu.Unlock()
+	}
+	return t.win, release, nil
+}
+
+// windowPeek returns session name's window WITHOUT counting as a
+// touch — the continuous tuner polls through it, and a background
+// poll must not keep an otherwise-idle session resident forever.
+func (m *Manager) windowPeek(name string) (*ingest.Window, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t, ok := m.tenants[name]
+	if !ok {
+		return nil, false
+	}
+	return t.win, true
 }
 
 // Do runs fn with exclusive access to session name. Calls against one

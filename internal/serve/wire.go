@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"repro/internal/ingest"
 	"repro/internal/session"
 )
 
@@ -146,6 +147,25 @@ type RecommendJobRequest struct {
 	CompressQueries int `json:"compressQueries,omitempty"`
 	MaxCandidates   int `json:"maxCandidates,omitempty"`
 	Workers         int `json:"workers,omitempty"`
+
+	// Continuous turns the job into a continuous tuner: instead of one
+	// search over the session's static workload, the job watches the
+	// session's streaming window and re-runs the (budgeted) search
+	// whenever the workload drifts past DriftThreshold, publishing each
+	// new best design in Result. The job stays running until cancelled
+	// (DELETE), until MaxRetunes retunes have been published, or until
+	// the session disappears (a dropped-and-recreated session's fresh
+	// window is followed transparently; a session that stays gone ends
+	// the job).
+	Continuous bool `json:"continuous,omitempty"`
+	// DriftThreshold triggers a retune (0 = ingest.DefaultDriftThreshold;
+	// negative retunes on every check).
+	DriftThreshold float64 `json:"driftThreshold,omitempty"`
+	// IntervalMillis is the drift-check cadence (0 = 500ms).
+	IntervalMillis int64 `json:"intervalMillis,omitempty"`
+	// MaxRetunes finishes the job after that many retunes (0 = run
+	// until cancelled).
+	MaxRetunes int `json:"maxRetunes,omitempty"`
 }
 
 // RecommendResult is a finished job's recommendation.
@@ -167,6 +187,11 @@ type RecommendResult struct {
 	// at the strategy's initial design cost — monotonically
 	// non-increasing.
 	CostTrace []float64 `json:"costTrace,omitempty"`
+
+	// Continuous-tuner retunes additionally report the drift that
+	// triggered them and the previous design's cost on the new window.
+	Drift     float64 `json:"drift,omitempty"`
+	StaleCost float64 `json:"staleCost,omitempty"`
 }
 
 // RecommendJobStatus reports a job's anytime progress: while the
@@ -188,11 +213,42 @@ type RecommendJobStatus struct {
 	ElapsedMS   int64            `json:"elapsedMS"`
 	Result      *RecommendResult `json:"result,omitempty"`
 	Error       string           `json:"error,omitempty"`
+
+	// Continuous-tuner jobs report their loop state: how many retunes
+	// have been published and the drift the last check measured.
+	Continuous bool    `json:"continuous,omitempty"`
+	Retunes    int     `json:"retunes,omitempty"`
+	Drift      float64 `json:"drift,omitempty"`
 }
 
 // RecommendJobList enumerates one session's jobs.
 type RecommendJobList struct {
 	Jobs []*RecommendJobStatus `json:"jobs"`
+}
+
+// IngestRequest streams queries into a session's workload window:
+// one statement in SQL, a batch in Queries, or both.
+type IngestRequest struct {
+	SQL     string   `json:"sql,omitempty"`
+	Queries []string `json:"queries,omitempty"`
+}
+
+// IngestResponse reports one ingest call's outcome plus the window's
+// counters after it.
+type IngestResponse struct {
+	Accepted int                `json:"accepted"`
+	Rejected int                `json:"rejected"` // statements that failed to parse
+	Window   ingest.WindowStats `json:"window"`
+}
+
+// WindowResponse is a session's streaming-workload window: entries
+// heaviest-first with decayed weights, the window counters, and the
+// drift of the window against the session's tuned workload.
+type WindowResponse struct {
+	Entries []ingest.Entry     `json:"entries"`
+	Stats   ingest.WindowStats `json:"stats"`
+	// Drift is Distance(window, session workload) in [0,1].
+	Drift float64 `json:"drift"`
 }
 
 // ListResponse enumerates resident sessions.
