@@ -1,0 +1,161 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func report(benches map[string]Metrics) *Report { return &Report{Benchmarks: benches} }
+
+func line(res *DiffResult, bench, metric string) (DiffLine, bool) {
+	for _, l := range res.Lines {
+		if l.Bench == bench && l.Metric == metric {
+			return l, true
+		}
+	}
+	return DiffLine{}, false
+}
+
+func TestParseBenchmemColumns(t *testing.T) {
+	const out = "BenchmarkX-8 \t 100 \t 2000 ns/op \t 512 B/op \t 7 allocs/op \t 3.000 plancalls\n"
+	rep, err := parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Benchmarks["BenchmarkX-8"]
+	if m.NsPerOp != 2000 || m.BytesPerOp != 512 || m.AllocsPerOp != 7 || m.Metrics["plancalls"] != 3 {
+		t.Fatalf("parsed metrics = %+v", m)
+	}
+	blob, _ := json.Marshal(m)
+	for _, want := range []string{`"bytes_per_op":512`, `"allocs_per_op":7`} {
+		if !strings.Contains(string(blob), want) {
+			t.Errorf("JSON missing %s: %s", want, blob)
+		}
+	}
+}
+
+func TestDiffWithinTolerancePasses(t *testing.T) {
+	old := report(map[string]Metrics{"BenchmarkA": {NsPerOp: 1000, AllocsPerOp: 10}})
+	cur := report(map[string]Metrics{"BenchmarkA": {NsPerOp: 1090, AllocsPerOp: 11}})
+	res := Diff(old, cur, Tolerances{Default: 0.10, Time: -1, Alloc: -1})
+	if n := res.Regressions(); n != 0 {
+		t.Fatalf("regressions = %d, want 0: %+v", n, res.Lines)
+	}
+	l, _ := line(res, "BenchmarkA", "ns/op")
+	if math.Abs(l.Delta-0.09) > 1e-9 {
+		t.Fatalf("ns/op delta = %v, want 0.09", l.Delta)
+	}
+}
+
+func TestDiffBeyondToleranceFails(t *testing.T) {
+	old := report(map[string]Metrics{"BenchmarkA": {NsPerOp: 1000}})
+	cur := report(map[string]Metrics{"BenchmarkA": {NsPerOp: 1111}})
+	res := Diff(old, cur, Tolerances{Default: 0.10, Time: -1, Alloc: -1})
+	if n := res.Regressions(); n != 1 {
+		t.Fatalf("regressions = %d, want 1", n)
+	}
+	if l, ok := line(res, "BenchmarkA", "ns/op"); !ok || !l.Regressed {
+		t.Fatalf("ns/op line = %+v, want regressed", l)
+	}
+}
+
+func TestDiffPerAxisToleranceOverrides(t *testing.T) {
+	old := report(map[string]Metrics{"BenchmarkA": {NsPerOp: 1000, AllocsPerOp: 10, Metrics: map[string]float64{"plancalls": 5}}})
+	cur := report(map[string]Metrics{"BenchmarkA": {NsPerOp: 1400, AllocsPerOp: 14, Metrics: map[string]float64{"plancalls": 5}}})
+
+	// Default tolerance alone: both time and allocs regress.
+	if n := Diff(old, cur, Tolerances{Default: 0.10, Time: -1, Alloc: -1}).Regressions(); n != 2 {
+		t.Fatalf("tight: regressions = %d, want 2", n)
+	}
+	// Loosened time and alloc axes pass while plancalls stays gated tight.
+	res := Diff(old, cur, Tolerances{Default: 0.10, Time: 0.50, Alloc: 0.50})
+	if n := res.Regressions(); n != 0 {
+		t.Fatalf("loose axes: regressions = %d, want 0: %+v", n, res.Lines)
+	}
+	cur.Benchmarks["BenchmarkA"] = Metrics{NsPerOp: 1400, AllocsPerOp: 14, Metrics: map[string]float64{"plancalls": 6}}
+	if n := Diff(old, cur, Tolerances{Default: 0.10, Time: 0.50, Alloc: 0.50}).Regressions(); n != 1 {
+		t.Fatalf("plancalls growth must still fail under loose time/alloc axes")
+	}
+}
+
+func TestDiffRemovedBenchmarkIsRegression(t *testing.T) {
+	old := report(map[string]Metrics{"BenchmarkA": {NsPerOp: 1}, "BenchmarkGone": {NsPerOp: 1}})
+	cur := report(map[string]Metrics{"BenchmarkA": {NsPerOp: 1}})
+	res := Diff(old, cur, Tolerances{Default: 0.10, Time: -1, Alloc: -1})
+	if len(res.Removed) != 1 || res.Removed[0] != "BenchmarkGone" {
+		t.Fatalf("Removed = %v", res.Removed)
+	}
+	if res.Regressions() != 1 {
+		t.Fatalf("regressions = %d, want 1 (removed benchmark)", res.Regressions())
+	}
+}
+
+func TestDiffNewBenchmarkIsInformational(t *testing.T) {
+	old := report(map[string]Metrics{"BenchmarkA": {NsPerOp: 1}})
+	cur := report(map[string]Metrics{"BenchmarkA": {NsPerOp: 1}, "BenchmarkNew": {NsPerOp: 1e9}})
+	res := Diff(old, cur, Tolerances{Default: 0.10, Time: -1, Alloc: -1})
+	if len(res.Added) != 1 || res.Added[0] != "BenchmarkNew" {
+		t.Fatalf("Added = %v", res.Added)
+	}
+	if res.Regressions() != 0 {
+		t.Fatalf("new benchmark must not regress the gate: %d", res.Regressions())
+	}
+}
+
+func TestDiffZeroCounterGoingNonzeroFails(t *testing.T) {
+	old := report(map[string]Metrics{"BenchmarkA": {NsPerOp: 1, Metrics: map[string]float64{"plancalls_total": 0}}})
+	cur := report(map[string]Metrics{"BenchmarkA": {NsPerOp: 1, Metrics: map[string]float64{"plancalls_total": 1}}})
+	res := Diff(old, cur, Tolerances{Default: 10.0, Time: -1, Alloc: -1}) // even a huge tolerance
+	l, ok := line(res, "BenchmarkA", "plancalls_total")
+	if !ok || !l.Regressed || !math.IsInf(l.Delta, 1) {
+		t.Fatalf("zero→nonzero counter line = %+v, want regressed with +inf delta", l)
+	}
+}
+
+func TestDiffUngatedMetricsNeverFail(t *testing.T) {
+	old := report(map[string]Metrics{"BenchmarkA": {NsPerOp: 1, Metrics: map[string]float64{"queries/sec": 10000, "drift": 0.1}}})
+	cur := report(map[string]Metrics{"BenchmarkA": {NsPerOp: 1, Metrics: map[string]float64{"queries/sec": 1, "drift": 99}}})
+	if n := Diff(old, cur, Tolerances{Default: 0.10, Time: -1, Alloc: -1}).Regressions(); n != 0 {
+		t.Fatalf("ungated metrics regressed the gate: %d", n)
+	}
+}
+
+func TestRunDiffExitCodesAndTable(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, rep *Report) string {
+		blob, _ := json.Marshal(rep)
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldP := write("old.json", report(map[string]Metrics{"BenchmarkA": {NsPerOp: 1000, AllocsPerOp: 5}}))
+	sameP := write("same.json", report(map[string]Metrics{"BenchmarkA": {NsPerOp: 1000, AllocsPerOp: 5}}))
+	badP := write("bad.json", report(map[string]Metrics{"BenchmarkA": {NsPerOp: 2000, AllocsPerOp: 5}}))
+
+	var buf bytes.Buffer
+	code, err := runDiff(oldP, sameP, Tolerances{Default: 0.10, Time: -1, Alloc: -1}, &buf)
+	if err != nil || code != 0 {
+		t.Fatalf("identical artifacts: code=%d err=%v\n%s", code, err, buf.String())
+	}
+	buf.Reset()
+	code, err = runDiff(oldP, badP, Tolerances{Default: 0.10, Time: -1, Alloc: -1}, &buf)
+	if err != nil || code != 1 {
+		t.Fatalf("2x regression: code=%d err=%v", code, err)
+	}
+	out := buf.String()
+	for _, want := range []string{"BenchmarkA ns/op", "FAIL", "+100.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := runDiff(oldP, filepath.Join(dir, "missing.json"), Tolerances{}, &buf); err == nil {
+		t.Fatal("missing artifact accepted")
+	}
+}

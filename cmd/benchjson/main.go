@@ -1,11 +1,22 @@
 // Command benchjson converts `go test -bench` text output into a JSON
-// perf artifact: benchmark name → iterations, ns/op and every custom
-// metric the benchmark reported (plancalls, speedup, queries/sec, …).
-// CI archives one such file per PR (BENCH_pr<N>.json) so perf
-// regressions are visible as a trajectory across PRs instead of being
-// discovered by accident.
+// perf artifact: benchmark name → iterations, ns/op, -benchmem's B/op
+// and allocs/op, and every custom metric the benchmark reported
+// (plancalls, speedup, queries/sec, …). CI archives one such file per
+// PR (BENCH_pr<N>.json) so perf regressions are visible as a
+// trajectory across PRs instead of being discovered by accident.
 //
-//	go test -run=NONE -bench=. -benchtime=1x ./... | benchjson -out BENCH.json
+//	go test -run=NONE -bench=. -benchtime=1x -benchmem ./... | benchjson -out BENCH.json
+//
+// The -diff mode compares two artifacts and exits non-zero when the
+// new one regresses the old beyond tolerance, which is the CI gate:
+//
+//	benchjson -diff BENCH_pr6.json bench_ci.json -tolerance 0.10
+//
+// ns/op and alloc tolerances can be loosened independently of the
+// deterministic counters with -time-tolerance and -alloc-tolerance.
+// A benchmark present in old but missing from new is a regression (a
+// gate that can be passed by deleting the benchmark gates nothing);
+// a benchmark new to the artifact is informational.
 package main
 
 import (
@@ -22,9 +33,11 @@ import (
 
 // Metrics is one benchmark's parsed result line.
 type Metrics struct {
-	Iterations int64              `json:"iterations"`
-	NsPerOp    float64            `json:"ns_per_op"`
-	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Report is the artifact schema.
@@ -33,9 +46,44 @@ type Report struct {
 }
 
 func main() {
-	in := flag.String("in", "", "bench output file (default: stdin)")
-	out := flag.String("out", "", "JSON artifact path (default: stdout)")
-	flag.Parse()
+	fs := flag.NewFlagSet("benchjson", flag.ExitOnError)
+	in := fs.String("in", "", "bench output file (default: stdin)")
+	out := fs.String("out", "", "JSON artifact path (default: stdout)")
+	diff := fs.Bool("diff", false, "compare two artifacts: benchjson -diff old.json new.json")
+	tol := fs.Float64("tolerance", 0.10, "max relative growth for gated metrics before failing")
+	timeTol := fs.Float64("time-tolerance", -1, "ns/op tolerance override (negative: use -tolerance)")
+	allocTol := fs.Float64("alloc-tolerance", -1, "B/op and allocs/op tolerance override (negative: use -tolerance)")
+
+	// Re-parse after each positional so flags may interleave with the
+	// two artifact paths: `-diff old.json new.json -tolerance 0.10`.
+	args, pos := os.Args[1:], []string(nil)
+	for {
+		if err := fs.Parse(args); err != nil {
+			os.Exit(2)
+		}
+		if fs.NArg() == 0 {
+			break
+		}
+		pos = append(pos, fs.Arg(0))
+		args = fs.Args()[1:]
+	}
+
+	if *diff {
+		if len(pos) != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two artifacts: old.json new.json")
+			os.Exit(2)
+		}
+		code, err := runDiff(pos[0], pos[1], Tolerances{Default: *tol, Time: *timeTol, Alloc: *allocTol}, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		os.Exit(code)
+	}
+	if len(pos) != 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: unexpected arguments %v (use -in/-out, or -diff old.json new.json)\n", pos)
+		os.Exit(2)
+	}
 	if err := run(*in, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
@@ -68,6 +116,42 @@ func run(inPath, outPath string) error {
 	return os.WriteFile(outPath, blob, 0o644)
 }
 
+// runDiff loads two artifacts, prints the comparison table, and
+// returns the process exit code (1 when anything regressed).
+func runDiff(oldPath, newPath string, tol Tolerances, w io.Writer) (int, error) {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return 0, err
+	}
+	res := Diff(oldRep, newRep, tol)
+	res.WriteTable(w)
+	if n := res.Regressions(); n > 0 {
+		fmt.Fprintf(w, "\nFAIL: %d regression(s) beyond tolerance (default %.0f%%)\n", n, tol.Default*100)
+		return 1, nil
+	}
+	fmt.Fprintln(w, "\nok: no regressions beyond tolerance")
+	return 0, nil
+}
+
+func loadReport(path string) (*Report, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{}
+	if err := json.Unmarshal(blob, rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in artifact", path)
+	}
+	return rep, nil
+}
+
 // parse reads `go test -bench` output: each result line is the
 // benchmark name, the iteration count, then (value, unit) pairs.
 func parse(r io.Reader) (*Report, error) {
@@ -89,9 +173,14 @@ func parse(r io.Reader) (*Report, error) {
 			if err != nil {
 				return nil, fmt.Errorf("line %q: bad metric value %q", sc.Text(), fields[i])
 			}
-			if fields[i+1] == "ns/op" {
+			switch fields[i+1] {
+			case "ns/op":
 				m.NsPerOp = val
-			} else {
+			case "B/op":
+				m.BytesPerOp = val
+			case "allocs/op":
+				m.AllocsPerOp = val
+			default:
 				m.Metrics[fields[i+1]] = val
 			}
 		}

@@ -31,6 +31,7 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 	scale := fs.Int64("scale", 1000000, "photoobj row count of the synthetic catalog")
 	winCap := fs.Int("window-capacity", 0, "per-session ingest window: max distinct queries (0 = default)")
 	winHalfLife := fs.Duration("window-halflife", 0, "per-session ingest window: weight decay half-life (0 = default)")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ for live profiling")
 	if err := parseFlags(fs, args, stderr); err != nil {
 		return err
 	}
@@ -49,6 +50,7 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 		DrainTimeout:   *drain,
 		WindowCapacity: *winCap,
 		WindowHalfLife: *winHalfLife,
+		Pprof:          *pprofOn,
 	})
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

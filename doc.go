@@ -13,6 +13,12 @@
 //	internal/optimizer  cost-based planner (access paths, DP join order)
 //	internal/whatif     what-if sessions: hypothetical indexes/tables
 //	internal/inum       INUM scenario cache (single-session core)
+//	internal/intern     lock-free-read interning: canonical strings →
+//	                    dense uint32 ids (Table) and an atomic-snapshot
+//	                    insert-once map (Map) — the hot-path keying
+//	                    under costlab's memo, the SharedMemo and the
+//	                    ingest window, so steady-state pricing hashes
+//	                    two uint32s instead of printed SQL
 //	internal/costlab    unified concurrent cost-estimation layer: one
 //	                    CostEstimator interface, full-optimizer and
 //	                    INUM backends, pooled sessions, parallel

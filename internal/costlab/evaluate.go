@@ -11,9 +11,17 @@ import (
 )
 
 // Job is one pricing unit of work: a statement under a configuration.
+//
+// StmtID and CfgID, when nonzero, carry the memo-interned identities
+// of Stmt and Config (see Memo.InternStmt / Memo.InternConfig):
+// EvaluateDelta then probes and fills the memo without re-printing the
+// SQL or re-canonicalizing the configuration. Interned ids are
+// memo-specific — never stamp a job with ids from a different memo.
 type Job struct {
 	Stmt   *sql.Select
 	Config Config
+	StmtID uint32
+	CfgID  uint32
 }
 
 // JobError reports which batch element failed. Callers unwrap it with

@@ -4,9 +4,9 @@ import (
 	"context"
 	"sort"
 	"strings"
-	"sync"
 	"sync/atomic"
 
+	"repro/internal/intern"
 	"repro/internal/sql"
 )
 
@@ -17,16 +17,22 @@ import (
 // the estimator, and advisors can warm-start from a memo a session
 // already filled.
 //
+// Identities are interned: the memo maps each canonical statement key
+// (printed SQL) and configuration key (ConfigKey) to a dense uint32 id
+// once, at first store, and every probe after that hashes a Key of two
+// machine words instead of two long strings. Lookups and warm stores
+// are lock-free — the cost table is an atomic-snapshot map (see
+// intern.Map) — so concurrent sessions sharing one memo never contend
+// on the hit path. String-keyed probes for keys nobody ever stored
+// stay cheap misses and never grow the interners.
+//
 // Costs from different estimator backends are NOT interchangeable
 // (INUM reconstructs, Full optimizes); a memo must only ever be fed
 // by — and serve — one backend kind. Callers own that pairing.
 type Memo struct {
-	mu sync.RWMutex
-	m  map[memoKey]float64
-
-	// stmtKeys memoizes statement → printed identity by pointer, so
-	// hot paths don't re-print the SQL on every lookup.
-	stmtKeys sync.Map // *sql.Select → string
+	stmts intern.Table
+	cfgs  intern.Table
+	costs intern.Map[Key, float64]
 
 	hits      atomic.Int64
 	misses    atomic.Int64
@@ -34,23 +40,30 @@ type Memo struct {
 	dupStores atomic.Int64
 }
 
-type memoKey struct{ stmt, cfg string }
+// Key is an interned (statement, configuration) memo key. The zero
+// Key is never valid: interned ids start at 1.
+type Key struct{ Stmt, Cfg uint32 }
 
 // NewMemo returns an empty memo.
-func NewMemo() *Memo {
-	return &Memo{m: make(map[memoKey]float64)}
+func NewMemo() *Memo { return &Memo{} }
+
+// InternStmt interns the canonical identity of a statement (its
+// printed SQL) and returns its dense id. Sessions do this once at
+// statement birth and probe by id afterwards.
+func (mo *Memo) InternStmt(stmt *sql.Select) uint32 {
+	return mo.stmts.Intern(sql.PrintSelect(stmt))
 }
 
-// StmtKey returns the canonical identity of a statement (its printed
-// SQL), memoized by pointer.
-func (mo *Memo) StmtKey(stmt *sql.Select) string {
-	if k, ok := mo.stmtKeys.Load(stmt); ok {
-		return k.(string)
-	}
-	k := sql.PrintSelect(stmt)
-	mo.stmtKeys.Store(stmt, k)
-	return k
-}
+// InternStmtKey interns a pre-printed statement identity.
+func (mo *Memo) InternStmtKey(stmtKey string) uint32 { return mo.stmts.Intern(stmtKey) }
+
+// InternConfig interns the canonical identity of a configuration.
+func (mo *Memo) InternConfig(cfg Config) uint32 { return mo.cfgs.Intern(ConfigKey(cfg)) }
+
+// InternCfgKey interns a pre-computed configuration (or projected
+// design signature) key — the design session keys configurations by
+// projected design signature rather than Config.
+func (mo *Memo) InternCfgKey(cfgKey string) uint32 { return mo.cfgs.Intern(cfgKey) }
 
 // ConfigKey returns the canonical identity of a configuration: the
 // sorted spec keys. Order-insensitive, so permutations of one index
@@ -70,16 +83,29 @@ func ConfigKey(cfg Config) string {
 // Lookup returns the memoized cost of (stmt, cfg) and whether one is
 // recorded, bumping the hit/miss counters.
 func (mo *Memo) Lookup(stmt *sql.Select, cfg Config) (float64, bool) {
-	cost, ok := mo.LookupKey(mo.StmtKey(stmt), ConfigKey(cfg))
-	return cost, ok
+	return mo.LookupKey(sql.PrintSelect(stmt), ConfigKey(cfg))
 }
 
-// LookupKey is Lookup over pre-computed keys (the design session keys
-// configurations by projected design signature rather than Config).
+// LookupKey is Lookup over pre-computed string keys. A key that was
+// never stored is a guaranteed miss and does not grow the interners.
 func (mo *Memo) LookupKey(stmtKey, cfgKey string) (float64, bool) {
-	mo.mu.RLock()
-	cost, ok := mo.m[memoKey{stmtKey, cfgKey}]
-	mo.mu.RUnlock()
+	stmt, ok := mo.stmts.ID(stmtKey)
+	if !ok {
+		mo.misses.Add(1)
+		return 0, false
+	}
+	cfg, ok := mo.cfgs.ID(cfgKey)
+	if !ok {
+		mo.misses.Add(1)
+		return 0, false
+	}
+	return mo.LookupID(Key{stmt, cfg})
+}
+
+// LookupID is Lookup over an interned key — the hot path: no string
+// hashing, no lock.
+func (mo *Memo) LookupID(k Key) (float64, bool) {
+	cost, ok := mo.costs.Get(k)
 	if ok {
 		mo.hits.Add(1)
 	} else {
@@ -90,22 +116,24 @@ func (mo *Memo) LookupKey(stmtKey, cfgKey string) (float64, bool) {
 
 // Store records the cost of (stmt, cfg).
 func (mo *Memo) Store(stmt *sql.Select, cfg Config, cost float64) {
-	mo.StoreKey(mo.StmtKey(stmt), ConfigKey(cfg), cost)
+	mo.StoreID(Key{mo.InternStmt(stmt), mo.InternConfig(cfg)}, cost)
 }
 
-// StoreKey is Store over pre-computed keys. A store whose key is
-// already recorded counts as a duplicate: the caller priced work the
-// memo already held — under a shared memo, the signature of
-// concurrent sessions racing to price the same job. Callers that
-// merely mirror state they may have published before (and did not
-// re-price) should use StoreKeyIfAbsent so the DupStores counter
-// keeps meaning "duplicated pricing work".
+// StoreKey is Store over pre-computed string keys (interning them).
 func (mo *Memo) StoreKey(stmtKey, cfgKey string, cost float64) {
-	k := memoKey{stmtKey, cfgKey}
-	mo.mu.Lock()
-	_, dup := mo.m[k]
-	mo.m[k] = cost
-	mo.mu.Unlock()
+	mo.StoreID(Key{mo.stmts.Intern(stmtKey), mo.cfgs.Intern(cfgKey)}, cost)
+}
+
+// StoreID records a cost under an interned key. Costs are idempotent —
+// re-pricing a key yields the same cost — so first writer wins. A
+// store whose key is already recorded counts as a duplicate: the
+// caller priced work the memo already held — under a shared memo, the
+// signature of concurrent sessions racing to price the same job.
+// Callers that merely mirror state they may have published before
+// (and did not re-price) should use StoreIDIfAbsent so the DupStores
+// counter keeps meaning "duplicated pricing work".
+func (mo *Memo) StoreID(k Key, cost float64) {
+	dup := !mo.costs.PutIfAbsent(k, cost)
 	mo.stores.Add(1)
 	if dup {
 		mo.dupStores.Add(1)
@@ -116,14 +144,13 @@ func (mo *Memo) StoreKey(stmtKey, cfgKey string, cost float64) {
 // counts neither a store nor a duplicate otherwise — the idempotent
 // publication path for callers re-mirroring known state.
 func (mo *Memo) StoreKeyIfAbsent(stmtKey, cfgKey string, cost float64) {
-	k := memoKey{stmtKey, cfgKey}
-	mo.mu.Lock()
-	_, have := mo.m[k]
-	if !have {
-		mo.m[k] = cost
-	}
-	mo.mu.Unlock()
-	if !have {
+	mo.StoreIDIfAbsent(Key{mo.stmts.Intern(stmtKey), mo.cfgs.Intern(cfgKey)}, cost)
+}
+
+// StoreIDIfAbsent is StoreKeyIfAbsent over an interned key. The warm
+// path (key already published) is lock-free.
+func (mo *Memo) StoreIDIfAbsent(k Key, cost float64) {
+	if mo.costs.PutIfAbsent(k, cost) {
 		mo.stores.Add(1)
 	}
 }
@@ -138,19 +165,24 @@ type MemoStats struct {
 	// pricing work duplicated by concurrent sessions sharing the memo
 	// (the contention the shared-memo design is meant to shrink).
 	DupStores int64
+	// InternedStmts and InternedCfgs are the interner sizes: how many
+	// distinct statement and configuration identities the memo has ever
+	// seen. Sessions churning over the same workload must not grow
+	// these — they are the leak watch for the append-only interners.
+	InternedStmts int
+	InternedCfgs  int
 }
 
 // Stats returns the memo's lifetime counters.
 func (mo *Memo) Stats() MemoStats {
-	mo.mu.RLock()
-	n := len(mo.m)
-	mo.mu.RUnlock()
 	return MemoStats{
-		Hits:      mo.hits.Load(),
-		Misses:    mo.misses.Load(),
-		Entries:   n,
-		Stores:    mo.stores.Load(),
-		DupStores: mo.dupStores.Load(),
+		Hits:          mo.hits.Load(),
+		Misses:        mo.misses.Load(),
+		Entries:       mo.costs.Len(),
+		Stores:        mo.stores.Load(),
+		DupStores:     mo.dupStores.Load(),
+		InternedStmts: mo.stmts.Len(),
+		InternedCfgs:  mo.cfgs.Len(),
 	}
 }
 
@@ -159,6 +191,20 @@ func (mo *Memo) Stats() MemoStats {
 type BatchStats struct {
 	Hits   int // jobs served from the memo, no estimator call
 	Misses int // jobs priced by the estimator (now memoized)
+}
+
+// jobKey resolves a job's interned memo key, preferring the ids the
+// caller stamped on the job (see Job.StmtID) and interning the
+// statement/configuration only as a fallback.
+func (mo *Memo) jobKey(job Job) Key {
+	k := Key{job.StmtID, job.CfgID}
+	if k.Stmt == 0 {
+		k.Stmt = mo.InternStmt(job.Stmt)
+	}
+	if k.Cfg == 0 {
+		k.Cfg = mo.InternConfig(job.Config)
+	}
+	return k
 }
 
 // EvaluateDelta is the incremental sibling of EvaluateAll: jobs whose
@@ -173,9 +219,11 @@ func EvaluateDelta(ctx context.Context, est CostEstimator, jobs []Job, memo *Mem
 		return costs, BatchStats{Misses: len(jobs)}, err
 	}
 	results := make([]float64, len(jobs))
+	keys := make([]Key, len(jobs))
 	var missIdx []int
 	for i, job := range jobs {
-		if cost, ok := memo.Lookup(job.Stmt, job.Config); ok {
+		keys[i] = memo.jobKey(job)
+		if cost, ok := memo.LookupID(keys[i]); ok {
 			results[i] = cost
 		} else {
 			missIdx = append(missIdx, i)
@@ -192,7 +240,7 @@ func EvaluateDelta(ctx context.Context, est CostEstimator, jobs []Job, memo *Mem
 			return &JobError{Index: i, Err: err}
 		}
 		results[i] = cost
-		memo.Store(jobs[i].Stmt, jobs[i].Config, cost)
+		memo.StoreID(keys[i], cost)
 		return nil
 	})
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/intern"
 	"repro/internal/recommend"
 	"repro/internal/sql"
 )
@@ -34,6 +35,12 @@ type Options struct {
 	HalfLife time.Duration
 	// Now is the clock (test seam). nil means time.Now.
 	Now func() time.Time
+	// Symbols, when non-nil, is a shared canonical-SQL interning table:
+	// the window keys its entries by dense id instead of the full
+	// printed SQL, and windows sharing one table (the serve Manager
+	// hands every tenant window the same one) store each distinct
+	// canonical string once process-wide. nil means a private table.
+	Symbols *intern.Table
 }
 
 // Window is a concurrency-safe rolling workload window: queries stream
@@ -52,9 +59,11 @@ type Window struct {
 	halfLife float64 // seconds; 0 disables decay
 	now      func() time.Time
 
+	syms *intern.Table // canonical SQL -> dense id, possibly shared
+
 	mu      sync.Mutex
 	epoch   time.Time
-	entries map[string]*entry
+	entries map[uint32]*entry
 
 	submissions int64 // queries ever accepted
 	rejected    int64 // queries that failed to parse
@@ -64,7 +73,8 @@ type Window struct {
 
 // entry is one distinct canonical query resident in the window.
 type entry struct {
-	sqlText string // canonical printed form (the dedup key)
+	id      uint32 // interned id of sqlText (the dedup key)
+	sqlText string // canonical printed form
 	stmt    *sql.Select
 	weight  float64 // decayed weight, expressed at the window epoch
 	count   int64   // raw submissions
@@ -85,10 +95,15 @@ func NewWindow(opts Options) *Window {
 	if now == nil {
 		now = time.Now
 	}
+	syms := opts.Symbols
+	if syms == nil {
+		syms = intern.NewTable()
+	}
 	w := &Window{
 		capacity: opts.Capacity,
 		now:      now,
-		entries:  map[string]*entry{},
+		syms:     syms,
+		entries:  map[uint32]*entry{},
 	}
 	if hl > 0 {
 		w.halfLife = hl.Seconds()
@@ -147,19 +162,23 @@ func (w *Window) Ingest(sqlText string) error {
 		return fmt.Errorf("ingest: %w", err)
 	}
 	key := sql.PrintSelect(stmt)
+	// Interning happens outside the window lock (the table is
+	// concurrency-safe); a repeat query's id resolves lock-free.
+	id := w.syms.Intern(key)
 	t := w.now()
 
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.rebaseLocked(t)
 	w.submissions++
-	if e, ok := w.entries[key]; ok {
+	if e, ok := w.entries[id]; ok {
 		e.weight += w.scaleAt(t)
 		e.count++
 		e.last = t
 		return nil
 	}
 	fresh := &entry{
+		id:      id,
 		sqlText: key,
 		stmt:    stmt,
 		weight:  w.scaleAt(t),
@@ -167,7 +186,7 @@ func (w *Window) Ingest(sqlText string) error {
 		first:   t,
 		last:    t,
 	}
-	w.entries[key] = fresh
+	w.entries[id] = fresh
 	w.evictLocked(fresh)
 	return nil
 }
@@ -216,7 +235,7 @@ func (w *Window) evictLocked(keep *entry) {
 				victim = e
 			}
 		}
-		delete(w.entries, victim.sqlText)
+		delete(w.entries, victim.id)
 		w.evicted++
 	}
 }

@@ -1,0 +1,173 @@
+package intern
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// The interning contract: distinct strings get distinct dense ids
+// starting at 1, equal strings always share an id, and Lookup
+// round-trips every id — under any interleaving of concurrent
+// interners.
+func TestTableRoundTripUniqueness(t *testing.T) {
+	tb := NewTable()
+	const n = 2000
+	ids := make(map[uint32]string, n)
+	for i := 0; i < n; i++ {
+		s := fmt.Sprintf("sig-%d", i)
+		id := tb.Intern(s)
+		if id == 0 {
+			t.Fatalf("Intern(%q) = 0; 0 is reserved for unset", s)
+		}
+		if prev, dup := ids[id]; dup {
+			t.Fatalf("id %d assigned to both %q and %q", id, prev, s)
+		}
+		ids[id] = s
+		if again := tb.Intern(s); again != id {
+			t.Fatalf("Intern(%q) unstable: %d then %d", s, id, again)
+		}
+		if got := tb.Lookup(id); got != s {
+			t.Fatalf("Lookup(%d) = %q, want %q", id, got, s)
+		}
+	}
+	if tb.Len() != n {
+		t.Fatalf("Len = %d, want %d", tb.Len(), n)
+	}
+	// Density: ids are exactly 1..n.
+	for id := uint32(1); id <= n; id++ {
+		if _, ok := ids[id]; !ok {
+			t.Fatalf("ids not dense: %d never assigned", id)
+		}
+	}
+}
+
+func TestTableIDNeverGrows(t *testing.T) {
+	tb := NewTable()
+	a := tb.Intern("present")
+	if id, ok := tb.ID("present"); !ok || id != a {
+		t.Fatalf("ID(present) = %d,%v, want %d,true", id, ok, a)
+	}
+	if id, ok := tb.ID("absent"); ok {
+		t.Fatalf("ID(absent) = %d,true, want a miss", id)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("ID grew the table: Len = %d, want 1", tb.Len())
+	}
+	if tb.Lookup(0) != "" || tb.Lookup(99) != "" {
+		t.Fatal("Lookup of unassigned ids must return empty")
+	}
+}
+
+// Concurrent interners racing on an overlapping key space must agree:
+// every goroutine sees the same id for the same string, ids stay
+// dense, and every id round-trips — including mid-promotion, which the
+// overlap is sized to exercise.
+func TestTableConcurrentAgreement(t *testing.T) {
+	tb := NewTable()
+	const (
+		workers = 8
+		keys    = 500
+	)
+	got := make([][]uint32, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		got[w] = make([]uint32, keys)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < keys; i++ {
+				s := fmt.Sprintf("key-%d", i)
+				id := tb.Intern(s)
+				got[w][i] = id
+				if back := tb.Lookup(id); back != s {
+					panic(fmt.Sprintf("Lookup(%d) = %q, want %q", id, back, s))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := 0; i < keys; i++ {
+			if got[w][i] != got[0][i] {
+				t.Fatalf("worker %d saw id %d for key-%d, worker 0 saw %d", w, got[w][i], i, got[0][i])
+			}
+		}
+	}
+	if tb.Len() != keys {
+		t.Fatalf("Len = %d, want %d (no duplicate ids under contention)", tb.Len(), keys)
+	}
+}
+
+func TestMapInsertOnce(t *testing.T) {
+	var m Map[[2]uint32, float64]
+	k := [2]uint32{1, 2}
+	if _, ok := m.Get(k); ok {
+		t.Fatal("Get on empty map hit")
+	}
+	if !m.PutIfAbsent(k, 42) {
+		t.Fatal("first PutIfAbsent did not store")
+	}
+	if m.PutIfAbsent(k, 99) {
+		t.Fatal("second PutIfAbsent overwrote")
+	}
+	if v, ok := m.Get(k); !ok || v != 42 {
+		t.Fatalf("Get = %v,%v, want 42,true (first writer wins)", v, ok)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", m.Len())
+	}
+}
+
+// Readers racing with writers across snapshot republications must only
+// ever observe complete entries: a value, once visible, matches what
+// its key's first writer stored and never disappears.
+func TestMapConcurrentVisibility(t *testing.T) {
+	var m Map[uint64, uint64]
+	const (
+		writers = 4
+		perW    = 400
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				k := uint64(w*perW + i)
+				m.PutIfAbsent(k, k*3+1)
+			}
+		}()
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			seen := map[uint64]bool{}
+			for pass := 0; pass < 50; pass++ {
+				for k := uint64(0); k < writers*perW; k++ {
+					v, ok := m.Get(k)
+					if ok {
+						if v != k*3+1 {
+							panic(fmt.Sprintf("torn read: Get(%d) = %d, want %d", k, v, k*3+1))
+						}
+						seen[k] = true
+					} else if seen[k] {
+						panic(fmt.Sprintf("entry %d vanished after being visible", k))
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Len() != writers*perW {
+		t.Fatalf("Len = %d, want %d", m.Len(), writers*perW)
+	}
+	for k := uint64(0); k < writers*perW; k++ {
+		if v, ok := m.Get(k); !ok || v != k*3+1 {
+			t.Fatalf("final Get(%d) = %v,%v, want %d,true", k, v, ok, k*3+1)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package intern
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Map is a concurrent insert-once map optimized for read-mostly use.
+// Get reads an immutable snapshot behind an atomic.Pointer — no lock,
+// no contention — falling back to a mutex-guarded dirty tier only when
+// the key is not yet promoted (and skipping even that when the dirty
+// tier is empty, the steady state of a warm memo). PutIfAbsent is the
+// only mutation: entries never change once published, so a reader can
+// never observe a torn or stale value, only "not there yet".
+//
+// The zero value is ready to use.
+type Map[K comparable, V any] struct {
+	snap   atomic.Pointer[map[K]V]
+	mu     sync.Mutex
+	dirty  map[K]V
+	dirtyN atomic.Int32
+	size   atomic.Int64
+}
+
+// Get returns the value stored for k, if any. Lock-free whenever k is
+// in the published snapshot or the dirty tier is empty.
+func (m *Map[K, V]) Get(k K) (V, bool) {
+	if snap := m.snap.Load(); snap != nil {
+		if v, ok := (*snap)[k]; ok {
+			return v, true
+		}
+	}
+	if m.dirtyN.Load() == 0 {
+		var zero V
+		return zero, false
+	}
+	m.mu.Lock()
+	v, ok := m.dirty[k]
+	m.mu.Unlock()
+	return v, ok
+}
+
+// PutIfAbsent stores v for k unless k is already present, reporting
+// whether it stored. First writer wins; the fast path (k already in
+// the snapshot) is lock-free.
+func (m *Map[K, V]) PutIfAbsent(k K, v V) bool {
+	if snap := m.snap.Load(); snap != nil {
+		if _, ok := (*snap)[k]; ok {
+			return false
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.dirty[k]; ok {
+		return false
+	}
+	// Re-check the snapshot: a promotion may have moved k out of the
+	// dirty tier between the lock-free probe and acquiring the lock.
+	if snap := m.snap.Load(); snap != nil {
+		if _, ok := (*snap)[k]; ok {
+			return false
+		}
+	}
+	if m.dirty == nil {
+		m.dirty = make(map[K]V)
+	}
+	m.dirty[k] = v
+	m.dirtyN.Store(int32(len(m.dirty)))
+	m.size.Add(1)
+	m.promoteLocked()
+	return true
+}
+
+// Len reports the number of entries. Lock-free.
+func (m *Map[K, V]) Len() int { return int(m.size.Load()) }
+
+// promoteLocked merges the dirty tier into a fresh snapshot using the
+// same growth policy as Table.promoteLocked. Callers hold m.mu.
+func (m *Map[K, V]) promoteLocked() {
+	var snapLen int
+	snap := m.snap.Load()
+	if snap != nil {
+		snapLen = len(*snap)
+	}
+	if len(m.dirty) < 16 && snapLen > 0 {
+		return
+	}
+	if 4*len(m.dirty) < snapLen {
+		return
+	}
+	next := make(map[K]V, snapLen+len(m.dirty))
+	if snap != nil {
+		for k, v := range *snap {
+			next[k] = v
+		}
+	}
+	for k, v := range m.dirty {
+		next[k] = v
+	}
+	m.snap.Store(&next)
+	m.dirty = nil
+	m.dirtyN.Store(0)
+}

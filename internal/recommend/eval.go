@@ -27,14 +27,14 @@ import (
 // The memo may be a design session's shared cost memo, in which case
 // configurations a DBA priced interactively are never re-batched.
 type Evaluator struct {
-	cat      *catalog.Catalog
-	queries  []Query
-	stmts    []*sql.Select
-	stmtKeys []string
-	workers  int
-	est      costlab.Backend
-	estFull  bool // est prices with the full optimizer
-	memo     *costlab.Memo
+	cat     *catalog.Catalog
+	queries []Query
+	stmts   []*sql.Select
+	stmtIDs []uint32 // query identities interned in memo, stamped on jobs
+	workers int
+	est     costlab.Backend
+	estFull bool // est prices with the full optimizer
+	memo    *costlab.Memo
 
 	trials     atomic.Int64 // candidate designs priced
 	memoHits   atomic.Int64
@@ -65,9 +65,12 @@ func NewEvaluator(cat *catalog.Catalog, queries []Query, backend string, workers
 		estFull: backend == costlab.BackendFull,
 		memo:    memo,
 	}
+	// Intern the query identities once; every pricing job the
+	// evaluator builds carries its dense id, so memo probes never
+	// re-print the SQL.
 	for _, q := range queries {
 		ev.stmts = append(ev.stmts, q.Stmt)
-		ev.stmtKeys = append(ev.stmtKeys, sql.PrintSelect(q.Stmt))
+		ev.stmtIDs = append(ev.stmtIDs, memo.InternStmt(q.Stmt))
 	}
 	return ev, nil
 }
@@ -92,8 +95,9 @@ func (ev *Evaluator) BaseCosts(ctx context.Context) ([]float64, error) {
 		return cached, nil
 	}
 	jobs := make([]costlab.Job, len(ev.stmts))
+	emptyCfg := ev.memo.InternCfgKey("")
 	for i, stmt := range ev.stmts {
-		jobs[i] = costlab.Job{Stmt: stmt}
+		jobs[i] = costlab.Job{Stmt: stmt, StmtID: ev.stmtIDs[i], CfgID: emptyCfg}
 	}
 	costs, err := ev.EvaluateJobs(ctx, jobs, 0)
 	if err != nil {
@@ -134,8 +138,11 @@ func (ev *Evaluator) DesignCosts(ctx context.Context, d Design) ([]float64, erro
 	if len(d.Partitions) == 0 {
 		jobs := make([]costlab.Job, len(ev.stmts))
 		cfg := costlab.Config(d.Indexes)
+		// One canonicalization for the whole batch; each job then
+		// probes the memo by (uint32, uint32).
+		cfgID := ev.memo.InternConfig(cfg)
 		for i, stmt := range ev.stmts {
-			jobs[i] = costlab.Job{Stmt: stmt, Config: cfg}
+			jobs[i] = costlab.Job{Stmt: stmt, Config: cfg, StmtID: ev.stmtIDs[i], CfgID: cfgID}
 		}
 		return ev.EvaluateJobs(ctx, jobs, 0)
 	}
@@ -155,11 +162,11 @@ func (ev *Evaluator) DesignCost(ctx context.Context, d Design) (float64, error) 
 // onto the fragments and plan with the full optimizer against what-if
 // fragment tables, memoized by (query, DesignKey).
 func (ev *Evaluator) partitionCosts(ctx context.Context, d Design) ([]float64, error) {
-	key := DesignKey(d)
+	keyID := ev.memo.InternCfgKey(DesignKey(d))
 	costs := make([]float64, len(ev.stmts))
 	var missIdx []int
 	for i := range ev.stmts {
-		if c, ok := ev.memo.LookupKey(ev.stmtKeys[i], key); ok {
+		if c, ok := ev.memo.LookupID(costlab.Key{Stmt: ev.stmtIDs[i], Cfg: keyID}); ok {
 			costs[i] = c
 		} else {
 			missIdx = append(missIdx, i)
@@ -186,7 +193,7 @@ func (ev *Evaluator) partitionCosts(ctx context.Context, d Design) ([]float64, e
 	}
 	for p, i := range missIdx {
 		costs[i] = got[p]
-		ev.memo.StoreKey(ev.stmtKeys[i], key, got[p])
+		ev.memo.StoreID(costlab.Key{Stmt: ev.stmtIDs[i], Cfg: keyID}, got[p])
 	}
 	return costs, nil
 }

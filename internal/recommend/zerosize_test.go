@@ -82,7 +82,7 @@ func zeroSizeProblem(t *testing.T, opts Options) (*Problem, inum.IndexSpec, inum
 	}
 	for _, q := range queries {
 		ev.stmts = append(ev.stmts, q.Stmt)
-		ev.stmtKeys = append(ev.stmtKeys, sql.PrintSelect(q.Stmt))
+		ev.stmtIDs = append(ev.stmtIDs, ev.memo.InternStmt(q.Stmt))
 	}
 	return &Problem{
 		Cat:             catalog.New(),
@@ -161,7 +161,7 @@ func TestZeroSizeCandidateStillSelectable(t *testing.T) {
 	ev := &Evaluator{cat: catalog.New(), queries: queries, workers: 1, est: stub, memo: costlab.NewMemo()}
 	for _, q := range queries {
 		ev.stmts = append(ev.stmts, q.Stmt)
-		ev.stmtKeys = append(ev.stmtKeys, sql.PrintSelect(q.Stmt))
+		ev.stmtIDs = append(ev.stmtIDs, ev.memo.InternStmt(q.Stmt))
 	}
 	p := &Problem{
 		Cat:             catalog.New(),

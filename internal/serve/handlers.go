@@ -1,13 +1,16 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/advisor"
 	"repro/internal/inum"
@@ -73,20 +76,56 @@ func (m *Manager) Handler() http.Handler {
 	mux.HandleFunc("GET /sessions/{name}/recommend/{job}", m.handleRecommendStatus)
 	mux.HandleFunc("DELETE /sessions/{name}/recommend/{job}", m.handleRecommendDelete)
 	mux.HandleFunc("GET /sessions/{name}/stats", m.handleSessionStats)
+	if m.opts.Pprof {
+		// Mounted explicitly (not via the package's DefaultServeMux
+		// side effect) so the endpoints exist only when asked for.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("POST /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
-// writeJSON marshals v with a stable layout. Marshal errors are
-// impossible for the wire types (no channels/funcs), so they panic;
-// write errors are ordinary client disconnects and are ignored.
+// bufPool recycles encode/decode buffers across requests, so the
+// steady-state request path allocates no per-response scratch.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// writeJSON marshals v with a stable layout (the bytes are identical
+// to json.Marshal plus a trailing newline) through a pooled buffer.
+// Marshal errors are impossible for the wire types (no
+// channels/funcs), so they panic; write errors are ordinary client
+// disconnects and are ignored.
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	blob, err := json.Marshal(v)
-	if err != nil {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
 		panic(fmt.Sprintf("serve: encode response: %v", err))
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	w.Write(append(blob, '\n'))
+	w.Write(buf.Bytes())
+	bufPool.Put(buf)
+}
+
+// writeJSONBytes writes an already-marshaled (newline-terminated) JSON
+// body, the cached-response fast path.
+func writeJSONBytes(w http.ResponseWriter, status int, blob []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(blob)
+}
+
+// marshalBody renders v exactly as writeJSON would, returning the
+// bytes for caching.
+func marshalBody(v any) ([]byte, error) {
+	blob, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(blob, '\n'), nil
 }
 
 // writeError maps err to a status code and an ErrorResponse body.
@@ -116,18 +155,23 @@ func writeError(w http.ResponseWriter, err error) {
 
 // decodeBody strictly decodes the request body into v. An empty body
 // is allowed when allowEmpty (endpoints whose request is optional).
+// The body is read into a pooled buffer and decoded in place — no
+// string conversions of the raw bytes (json.Decode copies what it
+// keeps).
 func decodeBody(r *http.Request, v any, allowEmpty bool) error {
-	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 1<<20))
-	if err != nil {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer bufPool.Put(buf)
+	if _, err := buf.ReadFrom(http.MaxBytesReader(nil, r.Body, 1<<20)); err != nil {
 		return fmt.Errorf("serve: read request body: %w", err)
 	}
-	if len(strings.TrimSpace(string(body))) == 0 {
+	if len(bytes.TrimSpace(buf.Bytes())) == 0 {
 		if allowEmpty {
 			return nil
 		}
 		return fmt.Errorf("serve: request body required")
 	}
-	dec := json.NewDecoder(strings.NewReader(string(body)))
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("serve: bad request body: %w", err)
@@ -317,15 +361,12 @@ func (m *Manager) handleGetDesign(w http.ResponseWriter, r *http.Request) {
 }
 
 func (m *Manager) handleCosts(w http.ResponseWriter, r *http.Request) {
-	var resp *CostsResponse
-	if err := m.Do(r.PathValue("name"), func(s *session.DesignSession) error {
-		resp = costsResponse(s)
-		return nil
-	}); err != nil {
+	blob, err := m.CostsJSON(r.PathValue("name"))
+	if err != nil {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSONBytes(w, http.StatusOK, blob)
 }
 
 func (m *Manager) handleExplain(w http.ResponseWriter, r *http.Request) {

@@ -288,3 +288,33 @@ func TestAPICustomWorkload(t *testing.T) {
 		t.Errorf("list after failed create = %+v", list)
 	}
 }
+
+// The pprof surface is opt-in: mounted only when Options.Pprof is
+// set, so a default server exposes no profiling endpoints.
+func TestAPIPprofGatedByOption(t *testing.T) {
+	off, _ := testServer(t, Options{})
+	resp, err := off.Client().Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof off: GET /debug/pprof/ = %d, want 404", resp.StatusCode)
+	}
+
+	on, _ := testServer(t, Options{Pprof: true})
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline"} {
+		resp, err := on.Client().Get(on.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("pprof on: GET %s = %d, want 200", path, resp.StatusCode)
+		}
+		if len(body) == 0 {
+			t.Fatalf("pprof on: GET %s returned empty body", path)
+		}
+	}
+}

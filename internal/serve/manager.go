@@ -6,10 +6,12 @@ import (
 	"net/url"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/ingest"
+	"repro/internal/intern"
 	"repro/internal/session"
 )
 
@@ -47,6 +49,11 @@ type Options struct {
 	// session window's query weights. 0 means ingest.DefaultHalfLife;
 	// negative disables decay.
 	WindowHalfLife time.Duration
+	// Pprof mounts net/http/pprof's handlers under /debug/pprof/ on
+	// the service mux, so hot-path CPU and allocation profiles can be
+	// captured from a live service. Off by default: the profile
+	// endpoints are unauthenticated and can pause the process.
+	Pprof bool
 }
 
 // DefaultMaxSessions is the session cap when Options.MaxSessions is 0.
@@ -75,6 +82,21 @@ type Manager struct {
 	shared    *session.SharedMemo
 	opts      Options
 	now       func() time.Time // test seam
+
+	// The default workload is parsed at most once; every tenant created
+	// without an explicit workload shares the parsed form (sessions
+	// never mutate it), so a create skips the per-query
+	// parse/footprint/print work entirely.
+	defWLOnce sync.Once
+	defWL     *session.Workload
+	defWLErr  error
+
+	// winSyms is the canonical-SQL interning table shared by every
+	// tenant's ingest window: one copy of each distinct streamed query
+	// process-wide.
+	winSyms *intern.Table
+
+	costsCacheHits atomic.Int64 // costs responses served from tenant byte caches
 
 	mu          sync.Mutex
 	tenants     map[string]*tenant
@@ -105,6 +127,12 @@ type tenant struct {
 	// — millions of submissions must not serialize with pricing.
 	win *ingest.Window
 
+	// Cached marshaled /costs response and the design signature it was
+	// built under (the response is byte-deterministic given workload
+	// and signature, see CostsResponse). Guarded by tenant.mu.
+	costsSig  string
+	costsJSON []byte
+
 	// Guarded by Manager.mu, NOT tenant.mu:
 	inflight int       // requests holding or queued on tenant.mu
 	lastUsed time.Time // completion time of the last request
@@ -120,9 +148,19 @@ func NewManager(cat *catalog.Catalog, defaultWorkload []string, opts Options) *M
 		shared:    session.NewSharedMemo(),
 		opts:      opts,
 		now:       time.Now,
+		winSyms:   intern.NewTable(),
 		tenants:   map[string]*tenant{},
 		jobs:      map[string]*recommendJob{},
 	}
+}
+
+// defaultWorkload parses the manager's default workload once and
+// caches the shared parsed form.
+func (m *Manager) defaultWorkload() (*session.Workload, error) {
+	m.defWLOnce.Do(func() {
+		m.defWL, m.defWLErr = session.ParseWorkload(m.defaultWL)
+	})
+	return m.defWL, m.defWLErr
 }
 
 // Shared exposes the cross-session pricing memo (for stats).
@@ -162,6 +200,7 @@ func (m *Manager) Create(name string, workloadSQL []string, workers int) error {
 		win: ingest.NewWindow(ingest.Options{
 			Capacity: m.opts.WindowCapacity,
 			HalfLife: m.opts.WindowHalfLife,
+			Symbols:  m.winSyms,
 		}),
 	}
 	m.clock++
@@ -170,14 +209,20 @@ func (m *Manager) Create(name string, workloadSQL []string, workers int) error {
 	m.tenants[name] = t
 	m.mu.Unlock()
 
-	wl := workloadSQL
-	if len(wl) == 0 {
-		wl = m.defaultWL
-	}
 	if workers == 0 {
 		workers = m.opts.Workers
 	}
-	s, err := session.New(m.cat, wl, session.Options{Workers: workers, Shared: m.shared})
+	sopts := session.Options{Workers: workers, Shared: m.shared}
+	var s *session.DesignSession
+	var err error
+	if len(workloadSQL) == 0 {
+		var wl *session.Workload
+		if wl, err = m.defaultWorkload(); err == nil {
+			s, err = session.NewFromWorkload(m.cat, wl, sopts)
+		}
+	} else {
+		s, err = session.New(m.cat, workloadSQL, sopts)
+	}
 
 	m.mu.Lock()
 	t.inflight--
@@ -280,25 +325,21 @@ func (m *Manager) windowPeek(name string) (*ingest.Window, bool) {
 	return t.win, true
 }
 
-// Do runs fn with exclusive access to session name. Calls against one
-// session are serialized in arrival order (sync.Mutex queueing);
-// calls against different sessions run concurrently. fn must not
-// retain the session past its return.
-func (m *Manager) Do(name string, fn func(*session.DesignSession) error) error {
+// acquire registers a request on tenant name and takes its session
+// lock. Registering under the manager lock is the eviction handshake:
+// from there until release, inflight > 0 keeps the tenant unevictable.
+func (m *Manager) acquire(name string) (*tenant, func(), error) {
 	m.mu.Lock()
 	t, ok := m.tenants[name]
 	if !ok {
 		m.mu.Unlock()
-		return fmt.Errorf("%w: %q", ErrNotFound, name)
+		return nil, nil, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
-	// Registering under the manager lock is the eviction handshake:
-	// from here until the deferred decrement, inflight > 0 keeps this
-	// tenant unevictable.
 	t.inflight++
 	m.mu.Unlock()
 
 	t.mu.Lock()
-	defer func() {
+	release := func() {
 		t.mu.Unlock()
 		m.mu.Lock()
 		t.inflight--
@@ -306,12 +347,55 @@ func (m *Manager) Do(name string, fn func(*session.DesignSession) error) error {
 		t.tick = m.clock
 		m.clock++
 		m.mu.Unlock()
-	}()
+	}
+	return t, release, nil
+}
+
+// Do runs fn with exclusive access to session name. Calls against one
+// session are serialized in arrival order (sync.Mutex queueing);
+// calls against different sessions run concurrently. fn must not
+// retain the session past its return.
+func (m *Manager) Do(name string, fn func(*session.DesignSession) error) error {
+	t, release, err := m.acquire(name)
+	if err != nil {
+		return err
+	}
+	defer release()
 	if t.s == nil {
 		// The creation this call queued behind failed.
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	return fn(t.s)
+}
+
+// CostsJSON returns the session's marshaled /costs response (with
+// trailing newline), serving a cached copy whenever the design
+// signature still matches the one the cache was built under.
+// CostsResponse is byte-deterministic given workload and signature,
+// so the cached bytes are exactly what a rebuild would produce — but
+// without re-walking 30 query states and re-encoding them on every
+// poll of an unchanged design. The returned slice is shared; callers
+// must not modify it.
+func (m *Manager) CostsJSON(name string) ([]byte, error) {
+	t, release, err := m.acquire(name)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	if t.s == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	sig := t.s.Signature()
+	if t.costsJSON != nil && t.costsSig == sig {
+		m.costsCacheHits.Add(1)
+		return t.costsJSON, nil
+	}
+	blob, err := marshalBody(costsResponse(t.s))
+	if err != nil {
+		return nil, err
+	}
+	t.costsSig, t.costsJSON = sig, blob
+	return blob, nil
 }
 
 // Drop removes session name immediately. A request already in flight
@@ -422,6 +506,9 @@ type ManagerStats struct {
 	// SharedCostEntries is the cost tier's size (advisor warm-start
 	// pool).
 	SharedCostEntries int `json:"sharedCostEntries"`
+	// CostsCacheHits counts /costs responses served from a tenant's
+	// cached bytes instead of a rebuild.
+	CostsCacheHits int64 `json:"costsCacheHits"`
 }
 
 // Stats returns the manager-wide counters.
@@ -440,5 +527,6 @@ func (m *Manager) Stats() ManagerStats {
 		RecommendJobs:     m.recommendJobCount(),
 		Shared:            sh,
 		SharedCostEntries: sh.Costs.Entries,
+		CostsCacheHits:    m.costsCacheHits.Load(),
 	}
 }

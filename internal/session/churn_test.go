@@ -1,0 +1,69 @@
+package session_test
+
+import (
+	"testing"
+
+	"repro/internal/inum"
+	"repro/internal/session"
+	"repro/internal/workload"
+)
+
+// Churned sessions must not leak memo state: creating and discarding
+// sessions over a known workload and design space leaves every
+// interner and both memo tiers exactly as large as after the first
+// session. This is the regression test for the old pointer-keyed
+// statement map, which grew one entry per (session, query) forever —
+// re-parsed ASTs never compared equal — so a serve Manager cycling
+// tenants leaked unboundedly.
+func TestSharedMemoChurnedSessionsDoNotLeak(t *testing.T) {
+	cat := seedCatalog(t, 200000)
+	wl := workload.Queries()[:8]
+	shared := session.NewSharedMemo()
+	spec := inum.IndexSpec{Table: "photoobj", Columns: []string{"ra", "dec"}}
+
+	churn := func() {
+		s, err := session.New(cat, wl, session.Options{Shared: shared})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.AddIndex(spec); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.DropIndex(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	churn()
+	base := shared.Stats()
+	if base.Costs.InternedStmts == 0 || base.States == 0 {
+		t.Fatalf("warm-up left no state to leak-check: %+v", base)
+	}
+
+	const rounds = 10
+	for i := 0; i < rounds; i++ {
+		churn()
+	}
+	st := shared.Stats()
+	if st.Costs.InternedStmts != base.Costs.InternedStmts {
+		t.Errorf("statement interner grew %d -> %d over %d churned sessions",
+			base.Costs.InternedStmts, st.Costs.InternedStmts, rounds)
+	}
+	if st.Costs.InternedCfgs != base.Costs.InternedCfgs {
+		t.Errorf("config interner grew %d -> %d", base.Costs.InternedCfgs, st.Costs.InternedCfgs)
+	}
+	if st.Sigs != base.Sigs {
+		t.Errorf("signature interner grew %d -> %d", base.Sigs, st.Sigs)
+	}
+	if st.States != base.States {
+		t.Errorf("state tier grew %d -> %d", base.States, st.States)
+	}
+	if st.Costs.Entries != base.Costs.Entries {
+		t.Errorf("cost tier grew %d -> %d", base.Costs.Entries, st.Costs.Entries)
+	}
+	// And the churned sessions actually rode the memo: each round
+	// after warm-up planned nothing new.
+	if st.Costs.Stores != base.Costs.Stores && st.Costs.DupStores == 0 {
+		t.Errorf("post-warm-up sessions stored fresh costs: %+v -> %+v", base.Costs, st.Costs)
+	}
+}

@@ -1,10 +1,10 @@
 package session
 
 import (
-	"sync"
 	"sync/atomic"
 
 	"repro/internal/costlab"
+	"repro/internal/intern"
 )
 
 // SharedMemo is the cross-session pricing memo behind multi-tenant
@@ -14,13 +14,18 @@ import (
 // workload-sized base pricing a fresh session performs at creation.
 //
 // It has two tiers. The state tier holds full query states (cost,
-// explain, rewrite, indexes used) keyed by (canonical query SQL,
-// projected design signature); explains are stored canonically with
-// hypothetical index names replaced by design keys, so sessions whose
-// name counters diverged still exchange states. The cost tier is a
-// costlab.Memo holding plain (query, index-configuration) costs; it
-// doubles as every attached session's Memo(), so advisor warm starts
-// see the union of all tenants' pricing work.
+// explain, rewrite, indexes used) keyed by interned (canonical query
+// SQL, projected design signature) ids; explains are stored
+// canonically with hypothetical index names replaced by design keys,
+// so sessions whose name counters diverged still exchange states. The
+// cost tier is a costlab.Memo holding plain (query, index-
+// configuration) costs; it doubles as every attached session's Memo(),
+// so advisor warm starts see the union of all tenants' pricing work.
+// Statement ids are interned once, in the cost tier's interner, when a
+// session is born; signatures are interned at first publication — so
+// the per-edit probe path hashes two uint32s, lock-free (the state
+// tier is an atomic-snapshot map, see intern.Map), instead of taking
+// an RWMutex over full printed-SQL keys.
 //
 // The memo is append-only and lives as long as its owner (the serve
 // Manager keeps one for its whole life): distinct (query, design)
@@ -38,8 +43,8 @@ import (
 type SharedMemo struct {
 	costs *costlab.Memo
 
-	mu     sync.RWMutex
-	states map[sharedKey]*queryState
+	sigs   intern.Table
+	states intern.Map[stateKey, *queryState]
 
 	hits   atomic.Int64
 	misses atomic.Int64
@@ -50,26 +55,31 @@ type SharedMemo struct {
 	dupStores atomic.Int64
 }
 
-type sharedKey struct{ stmt, sig string }
+// stateKey is an interned (statement, projected signature) pair. The
+// statement id comes from the cost tier's interner (sessions hold it
+// as DesignSession.stmtIDs); the signature id from the memo's own
+// signature interner.
+type stateKey struct{ stmt, sig uint32 }
 
 // NewSharedMemo returns an empty shared memo.
 func NewSharedMemo() *SharedMemo {
-	return &SharedMemo{
-		costs:  costlab.NewMemo(),
-		states: map[sharedKey]*queryState{},
-	}
+	return &SharedMemo{costs: costlab.NewMemo()}
 }
 
 // Costs exposes the memo's cost tier (full-optimizer costs only).
 func (m *SharedMemo) Costs() *costlab.Memo { return m.costs }
 
-// lookup returns the canonical state of (stmtKey, sig), if any
-// session published one. Returned states are immutable; callers
-// localize a copy.
-func (m *SharedMemo) lookup(stmtKey, sig string) (*queryState, bool) {
-	m.mu.RLock()
-	st, ok := m.states[sharedKey{stmtKey, sig}]
-	m.mu.RUnlock()
+// lookup returns the canonical state of (stmtID, sig), if any session
+// published one. A signature nobody ever published is a guaranteed
+// miss and does not grow the signature interner. Returned states are
+// immutable; callers localize a copy.
+func (m *SharedMemo) lookup(stmtID uint32, sig string) (*queryState, bool) {
+	sigID, ok := m.sigs.ID(sig)
+	if !ok {
+		m.misses.Add(1)
+		return nil, false
+	}
+	st, ok := m.states.Get(stateKey{stmtID, sigID})
 	if ok {
 		m.hits.Add(1)
 	} else {
@@ -81,14 +91,9 @@ func (m *SharedMemo) lookup(stmtKey, sig string) (*queryState, bool) {
 // store publishes a canonical state. First writer wins: a duplicate
 // publication is dropped (and counted), so concurrent readers never
 // see an entry's pointer change.
-func (m *SharedMemo) store(stmtKey, sig string, st *queryState) {
-	k := sharedKey{stmtKey, sig}
-	m.mu.Lock()
-	_, dup := m.states[k]
-	if !dup {
-		m.states[k] = st
-	}
-	m.mu.Unlock()
+func (m *SharedMemo) store(stmtID uint32, sig string, st *queryState) {
+	k := stateKey{stmtID, m.sigs.Intern(sig)}
+	dup := !m.states.PutIfAbsent(k, st)
 	m.stores.Add(1)
 	if dup {
 		m.dupStores.Add(1)
@@ -103,21 +108,23 @@ type SharedStats struct {
 	Stores int64 `json:"stores"` // state publications, duplicates included
 	// DupStores counts publications that lost the race to an earlier
 	// identical one — pricing work duplicated by concurrent tenants.
-	DupStores int64             `json:"dupStores"`
-	Costs     costlab.MemoStats `json:"-"` // cost-tier counters
+	DupStores int64 `json:"dupStores"`
+	// Sigs is the signature-interner size: distinct projected design
+	// signatures ever published. Like the cost tier's interners, it
+	// must stay flat while sessions churn over known designs.
+	Sigs  int               `json:"-"`
+	Costs costlab.MemoStats `json:"-"` // cost-tier counters
 }
 
 // Stats returns the memo's lifetime counters.
 func (m *SharedMemo) Stats() SharedStats {
-	m.mu.RLock()
-	n := len(m.states)
-	m.mu.RUnlock()
 	return SharedStats{
 		Hits:      m.hits.Load(),
 		Misses:    m.misses.Load(),
-		States:    n,
+		States:    m.states.Len(),
 		Stores:    m.stores.Load(),
 		DupStores: m.dupStores.Load(),
+		Sigs:      m.sigs.Len(),
 		Costs:     m.costs.Stats(),
 	}
 }

@@ -31,7 +31,23 @@ type Session struct {
 	hypoIndexes map[string]*catalog.Index // by index name
 	hypoTables  map[string]*catalog.Table // by table name
 	nextID      int
+
+	// Signature cache, maintained incrementally: sigBase is the sorted
+	// structural part (indexes and tables, no nest-loop suffix) and is
+	// invalidated only by structural edits; sig is the full string last
+	// returned, valid while the live nest-loop flag still equals sigNL.
+	// The flag is re-checked on every call rather than invalidated by
+	// SetNestLoop, so the cache stays correct even when the planner's
+	// Flags are mutated directly (Reset replaces them wholesale).
+	sig     string
+	sigNL   bool
+	sigOK   bool
+	sigBase string
+	baseOK  bool
 }
+
+// dirtySig invalidates the signature cache after a structural edit.
+func (s *Session) dirtySig() { s.sigOK, s.baseOK = false, false }
 
 // NewSession creates a session planning against cat.
 func NewSession(cat *catalog.Catalog) *Session {
@@ -122,6 +138,7 @@ func (s *Session) CreateIndex(table string, columns []string) (*catalog.Index, e
 		Hypothetical: true,
 	}
 	s.hypoIndexes[name] = ix
+	s.dirtySig()
 	return ix, nil
 }
 
@@ -131,6 +148,7 @@ func (s *Session) DropIndex(name string) error {
 		return fmt.Errorf("whatif: no what-if index %q", name)
 	}
 	delete(s.hypoIndexes, name)
+	s.dirtySig()
 	return nil
 }
 
@@ -195,6 +213,7 @@ func (s *Session) CreateTable(def TableDef) (*catalog.Table, error) {
 	}
 	t.Pages = t.EstimatePages(t.RowCount)
 	s.hypoTables[def.Name] = t
+	s.dirtySig()
 	return t, nil
 }
 
@@ -209,6 +228,7 @@ func (s *Session) DropTable(name string) error {
 			delete(s.hypoIndexes, iname)
 		}
 	}
+	s.dirtySig()
 	return nil
 }
 
@@ -302,6 +322,7 @@ func (s *Session) ApplyDelta(d Delta) ([]*catalog.Index, error) {
 		s.hypoTables = prevTables
 		s.nextID = prevID
 		s.SetNestLoop(prevNL)
+		s.dirtySig()
 	}
 
 	for _, td := range d.CreateTables {
@@ -343,7 +364,33 @@ func (s *Session) ApplyDelta(d Delta) ([]*catalog.Index, error) {
 // Generated object names are deliberately excluded, so two sessions
 // holding the same design — built in any order, with any counter
 // history — produce equal signatures.
+//
+// The signature is maintained incrementally: structural edits mark it
+// dirty and the string is rebuilt at most once per design state, so
+// the session layer can call it on every edit and memo probe for free.
 func (s *Session) Signature() string {
+	nl := s.NestLoopEnabled()
+	if s.sigOK && s.sigNL == nl {
+		return s.sig
+	}
+	if !s.baseOK {
+		s.sigBase = s.buildSigBase()
+		s.baseOK = true
+	}
+	sig := s.sigBase
+	if !nl {
+		if sig == "" {
+			sig = "nl:off"
+		} else {
+			sig += ";nl:off"
+		}
+	}
+	s.sig, s.sigNL, s.sigOK = sig, nl, true
+	return sig
+}
+
+// buildSigBase rebuilds the structural (flag-free) signature part.
+func (s *Session) buildSigBase() string {
 	var parts []string
 	for _, ix := range s.hypoIndexes {
 		parts = append(parts, "ix:"+ix.Table+"("+strings.Join(ix.Columns, ",")+")")
@@ -356,9 +403,6 @@ func (s *Session) Signature() string {
 		parts = append(parts, "tab:"+t.Name+"<"+t.PartitionOf+"("+strings.Join(cols, ",")+")")
 	}
 	sort.Strings(parts)
-	if !s.NestLoopEnabled() {
-		parts = append(parts, "nl:off")
-	}
 	return strings.Join(parts, ";")
 }
 
@@ -367,6 +411,7 @@ func (s *Session) Reset() {
 	s.hypoIndexes = make(map[string]*catalog.Index)
 	s.hypoTables = make(map[string]*catalog.Table)
 	s.planner.Flags = optimizer.DefaultFlags()
+	s.dirtySig()
 }
 
 // IndexSizeBytes returns the Equation-1 size of an index over the

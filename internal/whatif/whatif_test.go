@@ -385,3 +385,81 @@ func TestSignatureIsOrderAndNameIndependent(t *testing.T) {
 		t.Error("what-if table not in signature")
 	}
 }
+
+// The cached signature must be indistinguishable from a from-scratch
+// rebuild across every kind of edit, including failed deltas (whose
+// rollback replaces the design maps wholesale) and direct planner-flag
+// flips that bypass SetNestLoop.
+func TestSignatureCacheAgreesWithRebuild(t *testing.T) {
+	cat := testCatalog(t)
+	s := NewSession(cat)
+	fresh := func() string {
+		// A rebuilt session holding the same design is the ground
+		// truth: Signature is defined to be name/counter independent.
+		r := NewSession(cat)
+		for _, ix := range s.Indexes() {
+			if _, err := r.CreateIndex(ix.Table, ix.Columns); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, tab := range s.Tables() {
+			cols := make([]string, 0, len(tab.Columns))
+			for _, c := range tab.Columns {
+				cols = append(cols, c.Name)
+			}
+			if _, err := r.CreateTable(TableDef{Name: tab.Name, Parent: tab.PartitionOf, Columns: cols}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		r.SetNestLoop(s.NestLoopEnabled())
+		return r.Signature()
+	}
+	check := func(step string) {
+		t.Helper()
+		got, want := s.Signature(), fresh()
+		if got != want {
+			t.Fatalf("after %s: cached signature %q, rebuild says %q", step, got, want)
+		}
+		if again := s.Signature(); again != got {
+			t.Fatalf("after %s: Signature unstable: %q then %q", step, got, again)
+		}
+	}
+
+	check("creation")
+	ix, err := s.CreateIndex("photoobj", []string{"run", "type"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("create index")
+	s.SetNestLoop(false)
+	check("nestloop off")
+	s.SetNestLoop(true)
+	check("nestloop on")
+	if _, err := s.CreateTable(TableDef{Name: "photoobj_p1", Parent: "photoobj", Columns: []string{"ra", "dec"}}); err != nil {
+		t.Fatal(err)
+	}
+	check("create table")
+	// Direct flag mutation bypassing SetNestLoop must still be seen.
+	s.Planner().Flags.EnableNestLoop = false
+	check("direct flag flip")
+	s.Planner().Flags.EnableNestLoop = true
+	// A failing delta rolls the maps back wholesale; the cache must not
+	// serve the pre-delta string for the restored state after partial edits.
+	if _, err := s.ApplyDelta(Delta{
+		CreateIndexes: []IndexDef{{Table: "photoobj", Columns: []string{"ra"}}},
+		DropIndexes:   []string{"no-such-index"},
+	}); err == nil {
+		t.Fatal("delta with a bad drop should fail")
+	}
+	check("failed delta rollback")
+	if err := s.DropIndex(ix.Name); err != nil {
+		t.Fatal(err)
+	}
+	check("drop index")
+	if err := s.DropTable("photoobj_p1"); err != nil {
+		t.Fatal(err)
+	}
+	check("drop table")
+	s.Reset()
+	check("reset")
+}
