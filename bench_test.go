@@ -22,10 +22,12 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/advisor"
 	"repro/internal/autopart"
@@ -495,7 +497,94 @@ func BenchmarkServeConcurrentTenants(b *testing.B) {
 	b.ReportMetric(float64(tenantCalls.Load()), "plancalls_tenants")
 	b.ReportMetric(float64(st.Hits), "shared_hits")
 	b.ReportMetric(float64(st.DupStores), "shared_dupstores")
+	b.ReportMetric(float64(st.InflightWaits), "shared_inflight_waits")
+	b.ReportMetric(float64(st.CoalescedPlanCalls), "shared_coalesced")
 	b.ReportMetric(float64(tenants), "tenants_per_run")
+}
+
+// --- Session: N identical tenants booting concurrently ---------------
+// The singleflight tier's headline: N sessions created at once over
+// the same COLD shared memo must together pay ~1× the base-pricing
+// plan calls a single session pays — one leader prices each state,
+// everyone else waits for its publication — instead of N×. Asserted
+// per iteration, with create-latency percentiles reported through the
+// benchjson gate.
+
+func BenchmarkConcurrentSessionCreate(b *testing.B) {
+	cat := planCatalog(b, 300000)
+	parsed, err := session.ParseWorkload(workload.Queries())
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	// Single-tenant baseline: what one session pays to boot cold.
+	solo, err := session.NewFromWorkload(cat, parsed, session.Options{Shared: session.NewSharedMemo()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	baseline := solo.PlanCalls()
+	if baseline == 0 {
+		b.Fatal("solo session priced nothing — the benchmark premise is broken")
+	}
+
+	for _, tenants := range []int{1, 8} {
+		b.Run(fmt.Sprintf("tenants=%d", tenants), func(b *testing.B) {
+			var totalCalls, coalesced int64
+			latencies := make([]time.Duration, 0, tenants*b.N)
+			for i := 0; i < b.N; i++ {
+				// Fresh memo each iteration: every round is the cold
+				// worst case the coordinator exists for.
+				shared := session.NewSharedMemo()
+				sessions := make([]*session.DesignSession, tenants)
+				took := make([]time.Duration, tenants)
+				errs := make([]error, tenants)
+				release := make(chan struct{})
+				var ready, wg sync.WaitGroup
+				ready.Add(tenants)
+				for tn := 0; tn < tenants; tn++ {
+					wg.Add(1)
+					go func(tn int) {
+						defer wg.Done()
+						ready.Done()
+						<-release // all creates start together
+						start := time.Now()
+						sessions[tn], errs[tn] = session.NewFromWorkload(cat, parsed, session.Options{Shared: shared})
+						took[tn] = time.Since(start)
+					}(tn)
+				}
+				ready.Wait()
+				close(release)
+				wg.Wait()
+				var calls int64
+				for tn := 0; tn < tenants; tn++ {
+					if errs[tn] != nil {
+						b.Fatal(errs[tn])
+					}
+					calls += sessions[tn].PlanCalls()
+					latencies = append(latencies, took[tn])
+				}
+				// The acceptance bound: N concurrent cold boots together
+				// pay at most 1.1× one cold boot.
+				if float64(calls) > 1.1*float64(baseline) {
+					b.Fatalf("%d tenants issued %d plan calls booting, want <= 1.1x the solo baseline %d",
+						tenants, calls, baseline)
+				}
+				totalCalls += calls
+				coalesced += shared.Stats().CoalescedPlanCalls
+			}
+			sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+			pct := func(p float64) float64 {
+				i := int(p * float64(len(latencies)-1))
+				return float64(latencies[i].Nanoseconds())
+			}
+			b.ReportMetric(pct(0.50), "p50-ns")
+			b.ReportMetric(pct(0.99), "p99-ns")
+			b.ReportMetric(float64(totalCalls)/float64(b.N), "plancalls_boot")
+			b.ReportMetric(float64(baseline), "plancalls_solo_baseline")
+			b.ReportMetric(float64(coalesced)/float64(b.N), "coalesced_per_run")
+			b.ReportMetric(float64(tenants), "tenants_per_run")
+		})
+	}
 }
 
 // --- Recommend: budgeted anytime joint search ------------------------

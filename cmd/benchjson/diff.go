@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -21,12 +22,12 @@ type Tolerances struct {
 }
 
 func (t Tolerances) forMetric(metric string) float64 {
-	switch metric {
-	case "ns/op":
+	switch {
+	case metric == "ns/op" || percentileMetric(metric):
 		if t.Time >= 0 {
 			return t.Time
 		}
-	case "B/op", "allocs/op":
+	case metric == "B/op" || metric == "allocs/op":
 		if t.Alloc >= 0 {
 			return t.Alloc
 		}
@@ -34,16 +35,33 @@ func (t Tolerances) forMetric(metric string) float64 {
 	return t.Default
 }
 
+// percentileMetric reports whether metric is a latency-percentile
+// custom metric — p50-ns, p99-ns, p99.9-ns, … — emitted via
+// b.ReportMetric. Percentiles are wall-clock numbers, so they gate
+// with the Time tolerance, not the tight Default.
+func percentileMetric(metric string) bool {
+	if !strings.HasPrefix(metric, "p") || !strings.HasSuffix(metric, "-ns") {
+		return false
+	}
+	num := strings.TrimSuffix(strings.TrimPrefix(metric, "p"), "-ns")
+	if num == "" {
+		return false
+	}
+	_, err := strconv.ParseFloat(num, 64)
+	return err == nil
+}
+
 // gated reports whether a metric is one where growth is bad. Custom
 // metrics are gated only when their name marks them as optimizer-call
-// counters; the rest (queries/sec, speedup, drift, …) have no uniform
-// direction and are reported informationally.
+// counters or latency percentiles; the rest (queries/sec, speedup,
+// drift, …) have no uniform direction and are reported
+// informationally.
 func gated(metric string) bool {
 	switch metric {
 	case "ns/op", "B/op", "allocs/op":
 		return true
 	}
-	return strings.Contains(metric, "plancalls")
+	return strings.Contains(metric, "plancalls") || percentileMetric(metric)
 }
 
 // DiffLine is one (benchmark, metric) comparison.

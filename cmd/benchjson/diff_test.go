@@ -125,6 +125,57 @@ func TestDiffUngatedMetricsNeverFail(t *testing.T) {
 	}
 }
 
+func TestParsePercentileMetrics(t *testing.T) {
+	const out = "BenchmarkCreate/tenants=8-8 \t 1 \t 52000 ns/op \t 41000 p50-ns \t 98000 p99-ns\n"
+	rep, err := parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Benchmarks["BenchmarkCreate/tenants=8-8"]
+	if m.Metrics["p50-ns"] != 41000 || m.Metrics["p99-ns"] != 98000 {
+		t.Fatalf("percentile metrics not parsed: %+v", m)
+	}
+}
+
+func TestPercentileMetricNames(t *testing.T) {
+	for name, want := range map[string]bool{
+		"p50-ns":   true,
+		"p99-ns":   true,
+		"p99.9-ns": true,
+		"p-ns":     false, // no percentile number
+		"plan-ns":  false, // not a number after p
+		"p50":      false, // wrong unit
+		"ns/op":    false,
+	} {
+		if got := percentileMetric(name); got != want {
+			t.Errorf("percentileMetric(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+// TestDiffPercentilesGateWithTimeTolerance pins the contract both
+// ways: percentile growth inside the wall-clock tolerance passes,
+// growth beyond it fails — and the loose Time axis applies, not the
+// tight Default that gates plan-call counters.
+func TestDiffPercentilesGateWithTimeTolerance(t *testing.T) {
+	tol := Tolerances{Default: 0.10, Time: 0.50, Alloc: -1}
+	old := report(map[string]Metrics{"BenchmarkA": {NsPerOp: 1, Metrics: map[string]float64{"p99-ns": 1000}}})
+
+	within := report(map[string]Metrics{"BenchmarkA": {NsPerOp: 1, Metrics: map[string]float64{"p99-ns": 1400}}})
+	if n := Diff(old, within, tol).Regressions(); n != 0 {
+		t.Fatalf("+40%% p99 under 50%% time tolerance regressed: %d", n)
+	}
+
+	beyond := report(map[string]Metrics{"BenchmarkA": {NsPerOp: 1, Metrics: map[string]float64{"p99-ns": 1600}}})
+	res := Diff(old, beyond, tol)
+	if n := res.Regressions(); n != 1 {
+		t.Fatalf("+60%% p99 under 50%% time tolerance passed: %+v", res.Lines)
+	}
+	if l, ok := line(res, "BenchmarkA", "p99-ns"); !ok || !l.Regressed {
+		t.Fatalf("p99-ns line = %+v, want regressed", l)
+	}
+}
+
 func TestRunDiffExitCodesAndTable(t *testing.T) {
 	dir := t.TempDir()
 	write := func(name string, rep *Report) string {

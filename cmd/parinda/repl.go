@@ -39,22 +39,27 @@ func cmdSession(args []string, stdin io.Reader, stdout, stderr io.Writer) error 
 	if err != nil {
 		return err
 	}
-	s, err := session.New(cat, queries, session.Options{Workers: *workers})
+	// A single-user REPL still runs over a SharedMemo: undo/redo and
+	// design churn revisit states it keeps, and the stats command can
+	// show the same memo counters the serve layer exports.
+	shared := session.NewSharedMemo()
+	s, err := session.New(cat, queries, session.Options{Workers: *workers, Shared: shared})
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(stdout, "PARINDA design session: %d queries, scale %d. Type 'help' for commands.\n",
 		len(queries), *scale)
 	printSummary(stdout, s.Report())
-	return runREPL(&replState{s: s, win: ingest.NewWindow(ingest.Options{})}, stdin, stdout)
+	return runREPL(&replState{s: s, shared: shared, win: ingest.NewWindow(ingest.Options{})}, stdin, stdout)
 }
 
 // replState is the REPL's mutable state: the design session plus a
 // local streaming-workload window (the single-user flavour of the
 // serve layer's per-session window).
 type replState struct {
-	s   *session.DesignSession
-	win *ingest.Window
+	s      *session.DesignSession
+	shared *session.SharedMemo // may be nil (tests build bare states)
+	win    *ingest.Window
 }
 
 // runREPL drives the session until EOF or quit. Command errors are
@@ -204,11 +209,18 @@ func execREPLLine(st *replState, line string, out io.Writer) (quit bool, err err
 		printDesign(out, s)
 		return false, nil
 	case "stats":
-		st := s.Stats()
+		sst := s.Stats()
 		fmt.Fprintf(out, "memo: %d hits / %d misses (%d entries)   optimizer calls: %d\n",
-			st.MemoHits, st.MemoMisses, st.MemoEntries, st.PlanCalls)
+			sst.MemoHits, sst.MemoMisses, sst.MemoEntries, sst.PlanCalls)
 		fmt.Fprintf(out, "last edit: %d queries invalidated, %d re-planned\n",
-			st.Invalidated, st.Repriced)
+			sst.Invalidated, sst.Repriced)
+		if st.shared != nil {
+			sh := st.shared.Stats()
+			fmt.Fprintf(out, "shared: %d hits / %d misses (%d states, %d evictions)\n",
+				sh.Hits, sh.Misses, sh.States, sh.Evictions)
+			fmt.Fprintf(out, "in-flight: %d waits, %d coalesced plan batches, %d handovers, %d dup stores\n",
+				sh.InflightWaits, sh.CoalescedPlanCalls, sh.Handovers, sh.DupStores)
+		}
 		return false, nil
 	case "suggest": // suggest [budget-mb] [-joint] [-budget evals] [-time ms]
 		return false, replSuggest(s, rest, out)

@@ -32,6 +32,7 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 	winCap := fs.Int("window-capacity", 0, "per-session ingest window: max distinct queries (0 = default)")
 	winHalfLife := fs.Duration("window-halflife", 0, "per-session ingest window: weight decay half-life (0 = default)")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ for live profiling")
+	memoCap := fs.Int("memo-cap", 0, "shared pricing-memo entry cap per tier, CLOCK-evicting the coldest (0 = unbounded)")
 	if err := parseFlags(fs, args, stderr); err != nil {
 		return err
 	}
@@ -51,6 +52,7 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 		WindowCapacity: *winCap,
 		WindowHalfLife: *winHalfLife,
 		Pprof:          *pprofOn,
+		MemoCap:        *memoCap,
 	})
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

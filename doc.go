@@ -14,11 +14,17 @@
 //	internal/whatif     what-if sessions: hypothetical indexes/tables
 //	internal/inum       INUM scenario cache (single-session core)
 //	internal/intern     lock-free-read interning: canonical strings →
-//	                    dense uint32 ids (Table) and an atomic-snapshot
-//	                    insert-once map (Map) — the hot-path keying
-//	                    under costlab's memo, the SharedMemo and the
-//	                    ingest window, so steady-state pricing hashes
-//	                    two uint32s instead of printed SQL
+//	                    dense uint32 ids (Table), an atomic-snapshot
+//	                    insert-once map (Map), and its sharded, optionally
+//	                    capped sibling (Bounded) with CLOCK eviction —
+//	                    the hot-path keying under costlab's memo, the
+//	                    SharedMemo and the ingest window, so steady-state
+//	                    pricing hashes two uint32s instead of printed SQL
+//	internal/flight     singleflight coordination for in-flight pricing:
+//	                    per-key leader election (TryLead/Fulfill/Wait),
+//	                    context-aware waits, leader-failure handover —
+//	                    under both memo tiers, so concurrent tenants
+//	                    needing the same missing state plan it once
 //	internal/costlab    unified concurrent cost-estimation layer: one
 //	                    CostEstimator interface, full-optimizer and
 //	                    INUM backends, pooled sessions, parallel

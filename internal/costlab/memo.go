@@ -2,10 +2,12 @@ package costlab
 
 import (
 	"context"
+	"errors"
 	"sort"
 	"strings"
 	"sync/atomic"
 
+	"repro/internal/flight"
 	"repro/internal/intern"
 	"repro/internal/sql"
 )
@@ -21,10 +23,18 @@ import (
 // (printed SQL) and configuration key (ConfigKey) to a dense uint32 id
 // once, at first store, and every probe after that hashes a Key of two
 // machine words instead of two long strings. Lookups and warm stores
-// are lock-free — the cost table is an atomic-snapshot map (see
-// intern.Map) — so concurrent sessions sharing one memo never contend
-// on the hit path. String-keyed probes for keys nobody ever stored
-// stay cheap misses and never grow the interners.
+// are lock-free — the cost table is sharded by key hash, each shard an
+// atomic-snapshot map (see intern.Bounded) — so concurrent sessions
+// sharing one memo never contend on the hit path. String-keyed probes
+// for keys nobody ever stored stay cheap misses and never grow the
+// interners. A memo built with NewMemoBounded additionally caps the
+// cost table, CLOCK-evicting cold entries; an evicted cost simply
+// re-misses and re-prices.
+//
+// The memo also dedups *in-flight* pricing: EvaluateDelta coordinates
+// concurrent callers through a flight.Group keyed by the interned Key,
+// so two batches needing the same missing cost at the same time issue
+// one estimator call between them, the second blocking on the first.
 //
 // Costs from different estimator backends are NOT interchangeable
 // (INUM reconstructs, Full optimizes); a memo must only ever be fed
@@ -32,7 +42,9 @@ import (
 type Memo struct {
 	stmts intern.Table
 	cfgs  intern.Table
-	costs intern.Map[Key, float64]
+	costs *intern.Bounded[Key, float64]
+
+	flights flight.Group[Key, float64]
 
 	hits      atomic.Int64
 	misses    atomic.Int64
@@ -44,8 +56,22 @@ type Memo struct {
 // Key is never valid: interned ids start at 1.
 type Key struct{ Stmt, Cfg uint32 }
 
-// NewMemo returns an empty memo.
-func NewMemo() *Memo { return &Memo{} }
+// NewMemo returns an empty, unbounded memo.
+func NewMemo() *Memo { return NewMemoBounded(0) }
+
+// NewMemoBounded returns an empty memo whose cost table is capped at
+// roughly capTotal entries (0 = unbounded), spread over
+// intern.DefaultShards CLOCK-evicting shards. The interners themselves
+// stay append-only: identities are tiny next to priced states, and
+// stable ids are what keep evicted costs re-priceable under the same
+// key.
+func NewMemoBounded(capTotal int) *Memo {
+	return &Memo{
+		costs: intern.NewBounded[Key, float64](intern.DefaultShards, capTotal, func(k Key) uint32 {
+			return intern.Mix32(k.Stmt, k.Cfg)
+		}),
+	}
+}
 
 // InternStmt interns the canonical identity of a statement (its
 // printed SQL) and returns its dense id. Sessions do this once at
@@ -171,26 +197,45 @@ type MemoStats struct {
 	// these — they are the leak watch for the append-only interners.
 	InternedStmts int
 	InternedCfgs  int
+	// Evictions counts cost entries the cap has dropped (0 on an
+	// unbounded memo).
+	Evictions int64
+	// InflightWaits / CoalescedCalls / Handovers are the singleflight
+	// tier's counters: waits begun on another caller's in-flight
+	// pricing, waits that were served its result (estimator calls
+	// saved), and waits that outlived an abandoned leader.
+	InflightWaits  int64
+	CoalescedCalls int64
+	Handovers      int64
 }
 
 // Stats returns the memo's lifetime counters.
 func (mo *Memo) Stats() MemoStats {
+	fs := mo.flights.Stats()
 	return MemoStats{
-		Hits:          mo.hits.Load(),
-		Misses:        mo.misses.Load(),
-		Entries:       mo.costs.Len(),
-		Stores:        mo.stores.Load(),
-		DupStores:     mo.dupStores.Load(),
-		InternedStmts: mo.stmts.Len(),
-		InternedCfgs:  mo.cfgs.Len(),
+		Hits:           mo.hits.Load(),
+		Misses:         mo.misses.Load(),
+		Entries:        mo.costs.Len(),
+		Stores:         mo.stores.Load(),
+		DupStores:      mo.dupStores.Load(),
+		InternedStmts:  mo.stmts.Len(),
+		InternedCfgs:   mo.cfgs.Len(),
+		Evictions:      mo.costs.Evictions(),
+		InflightWaits:  fs.Waits,
+		CoalescedCalls: fs.Coalesced,
+		Handovers:      fs.Handovers,
 	}
 }
 
-// BatchStats reports how one incremental batch split between the memo
-// and the estimator.
+// BatchStats reports how one incremental batch split between the memo,
+// the in-flight coordination tier and the estimator.
 type BatchStats struct {
 	Hits   int // jobs served from the memo, no estimator call
 	Misses int // jobs priced by the estimator (now memoized)
+	// Coalesced counts jobs served by blocking on a concurrent
+	// caller's in-flight pricing of the same key — estimator calls this
+	// batch needed but did not pay for.
+	Coalesced int
 }
 
 // jobKey resolves a job's interned memo key, preferring the ids the
@@ -213,6 +258,16 @@ func (mo *Memo) jobKey(job Job) Key {
 // worker pool (which then records its results back into memo).
 // Results are in job order; the returned stats make the incremental
 // saving observable. A nil memo degrades to plain EvaluateAll.
+//
+// Concurrent EvaluateDelta calls over one memo coordinate through its
+// singleflight tier: a missing key another caller is already pricing
+// is waited on (context-aware) instead of re-priced, so N callers
+// needing the same cost pay for one estimator call. The protocol is
+// two-phase — price and publish every key this call leads, then wait
+// on foreign keys — which keeps any number of concurrent batches
+// deadlock-free: a blocked batch never holds an unpublished
+// leadership. A leader that fails abandons its keys; its waiters take
+// over and price them locally.
 func EvaluateDelta(ctx context.Context, est CostEstimator, jobs []Job, memo *Memo, workers int) ([]float64, BatchStats, error) {
 	if memo == nil {
 		costs, err := EvaluateAll(ctx, est, jobs, workers)
@@ -220,31 +275,99 @@ func EvaluateDelta(ctx context.Context, est CostEstimator, jobs []Job, memo *Mem
 	}
 	results := make([]float64, len(jobs))
 	keys := make([]Key, len(jobs))
-	var missIdx []int
+	var stats BatchStats
+	var missIdx []int                          // jobs this call leads (prices with est)
+	var tickets []*flight.Ticket[Key, float64] // aligned with missIdx
+	var waitIdx []int                          // jobs another caller is pricing
+	var waitTks []*flight.Ticket[Key, float64] // aligned with waitIdx
+	// Strand-proofing: abandoning a resolved ticket is a no-op, so on
+	// any error path every unpublished leadership is released and its
+	// waiters hand over instead of hanging.
+	defer func() {
+		for _, tk := range tickets {
+			tk.Abandon()
+		}
+	}()
 	for i, job := range jobs {
 		keys[i] = memo.jobKey(job)
 		if cost, ok := memo.LookupID(keys[i]); ok {
 			results[i] = cost
-		} else {
-			missIdx = append(missIdx, i)
+			stats.Hits++
+			continue
 		}
+		tk, leader := memo.flights.TryLead(keys[i])
+		if !leader {
+			waitIdx = append(waitIdx, i)
+			waitTks = append(waitTks, tk)
+			continue
+		}
+		// Leadership won after a miss: the miss may be stale (a prior
+		// leader published and resolved in between) — re-probe before
+		// paying the estimator.
+		if cost, ok := memo.costs.Get(keys[i]); ok {
+			tk.Fulfill(cost)
+			results[i] = cost
+			stats.Hits++
+			continue
+		}
+		missIdx = append(missIdx, i)
+		tickets = append(tickets, tk)
 	}
-	stats := BatchStats{Hits: len(jobs) - len(missIdx), Misses: len(missIdx)}
-	if len(missIdx) == 0 {
-		return results, stats, nil
-	}
-	err := forEach(ctx, len(missIdx), workers, func(p int) error {
-		i := missIdx[p]
-		cost, err := est.Cost(jobs[i].Stmt, jobs[i].Config)
+	stats.Misses = len(missIdx)
+	// Phase 1: price and publish every key this call leads.
+	if len(missIdx) > 0 {
+		err := forEach(ctx, len(missIdx), workers, func(p int) error {
+			i := missIdx[p]
+			cost, err := est.Cost(jobs[i].Stmt, jobs[i].Config)
+			if err != nil {
+				return &JobError{Index: i, Err: err}
+			}
+			results[i] = cost
+			memo.StoreID(keys[i], cost)
+			tickets[p].Fulfill(cost)
+			return nil
+		})
 		if err != nil {
-			return &JobError{Index: i, Err: err}
+			return nil, stats, err
 		}
-		results[i] = cost
-		memo.StoreID(keys[i], cost)
-		return nil
-	})
-	if err != nil {
-		return nil, stats, err
+	}
+	// Phase 2: collect the costs foreign leaders are producing. A
+	// handover (abandoned leader) loops back to leading the key — by
+	// then it is usually published; otherwise this call prices it.
+	for p, i := range waitIdx {
+		tk := waitTks[p]
+		for {
+			cost, err := tk.Wait(ctx)
+			if err == nil {
+				results[i] = cost
+				stats.Coalesced++
+				break
+			}
+			if !errors.Is(err, flight.ErrAbandoned) {
+				return nil, stats, err
+			}
+			var leader bool
+			tk, leader = memo.flights.TryLead(keys[i])
+			if !leader {
+				continue
+			}
+			if cost, ok := memo.costs.Get(keys[i]); ok {
+				tk.Fulfill(cost)
+				results[i] = cost
+				stats.Coalesced++
+				break
+			}
+			cost, cerr := est.Cost(jobs[i].Stmt, jobs[i].Config)
+			if cerr != nil {
+				tk.Abandon()
+				return nil, stats, &JobError{Index: i, Err: cerr}
+			}
+			results[i] = cost
+			memo.StoreID(keys[i], cost)
+			tk.Fulfill(cost)
+			stats.Misses++
+			break
+		}
 	}
 	return results, stats, nil
 }

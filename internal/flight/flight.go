@@ -1,0 +1,214 @@
+// Package flight is the in-flight deduplication (singleflight) tier
+// behind the shared pricing memo: when several sessions need the same
+// key at the same time, exactly one of them — the leader — performs
+// the work while the others wait for its result, so concurrent demand
+// for one (query, design) state costs one optimizer invocation, not N.
+// It extends the memo's "never pay the optimizer twice for completed
+// work" guarantee to work that is merely *in progress*.
+//
+// The package offers two shapes:
+//
+//   - Do is classic singleflight: call it with a key and a function,
+//     and either run the function as the leader or block (context-
+//     aware) on the leader's result.
+//
+//   - TryLead / Ticket is the two-phase form batch callers need: claim
+//     leadership of several keys up front, price every led key in one
+//     parallel batch, publish the results, and only then wait on the
+//     keys other callers lead. Publishing every led key before waiting
+//     on any foreign key keeps arbitrary numbers of concurrent batch
+//     callers deadlock-free: a blocked caller never holds an
+//     unresolved leadership, so every wait targets a leader that is
+//     still making progress.
+//
+// A leader that cannot produce a result abandons its call instead of
+// resolving it; waiters observe ErrAbandoned and race to take over
+// leadership (handover), so a cancelled or failed leader never strands
+// its waiters. Do turns a leader error into propagation when the error
+// is the leader's own (waiters receive it) and into a handover when
+// the leader's context was cancelled (waiters must not inherit a
+// cancellation that is not theirs).
+package flight
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrAbandoned is returned by Ticket.Wait when the leader released its
+// call without a result. The waiter should retry TryLead: either the
+// result has been published elsewhere by now, or the waiter becomes
+// the new leader and performs the work itself.
+var ErrAbandoned = errors.New("flight: leader abandoned the call")
+
+// Group deduplicates concurrent work by key. The zero value is ready
+// to use. Groups are safe for concurrent use.
+type Group[K comparable, V any] struct {
+	mu    sync.Mutex
+	calls map[K]*call[V]
+
+	leads     atomic.Int64
+	waits     atomic.Int64
+	coalesced atomic.Int64
+	handovers atomic.Int64
+}
+
+// call is one in-flight unit of work. Result fields are written once,
+// before done is closed; the close orders them for every waiter.
+type call[V any] struct {
+	done      chan struct{}
+	val       V
+	err       error
+	abandoned bool
+}
+
+// Ticket is a caller's handle on one key's in-flight call: leaders
+// resolve it (Fulfill, Fail or Abandon, exactly one), waiters Wait on
+// it. Tickets are single-use.
+type Ticket[K comparable, V any] struct {
+	g        *Group[K, V]
+	key      K
+	c        *call[V]
+	leader   bool
+	resolved bool // guarded by g.mu
+}
+
+// TryLead claims leadership of key. The first caller for an idle key
+// becomes its leader (second return true) and MUST eventually resolve
+// the ticket via Fulfill, Fail or Abandon — deferring Abandon right
+// after a successful TryLead is the idiom, since resolving twice is a
+// no-op. Every other caller gets a waiter ticket for the in-flight
+// call.
+func (g *Group[K, V]) TryLead(key K) (*Ticket[K, V], bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		return &Ticket[K, V]{g: g, key: key, c: c}, false
+	}
+	if g.calls == nil {
+		g.calls = make(map[K]*call[V])
+	}
+	c := &call[V]{done: make(chan struct{})}
+	g.calls[key] = c
+	g.leads.Add(1)
+	return &Ticket[K, V]{g: g, key: key, c: c, leader: true}, true
+}
+
+// Leader reports whether this ticket carries leadership.
+func (t *Ticket[K, V]) Leader() bool { return t.leader }
+
+// Fulfill publishes the leader's result and wakes every waiter.
+func (t *Ticket[K, V]) Fulfill(v V) {
+	t.resolve(v, nil, false)
+}
+
+// Fail publishes the leader's error as the call's final outcome:
+// waiters receive err, not a handover. Use it for errors the work
+// itself produced — a waiter re-running the work would hit them too.
+func (t *Ticket[K, V]) Fail(err error) {
+	var zero V
+	t.resolve(zero, err, false)
+}
+
+// Abandon releases leadership without a result. Waiters observe
+// ErrAbandoned and take over (see ErrAbandoned). Abandoning a ticket
+// that was already resolved is a no-op, so leaders can uniformly
+// `defer t.Abandon()` as their strand-proofing cleanup.
+func (t *Ticket[K, V]) Abandon() {
+	var zero V
+	t.resolve(zero, nil, true)
+}
+
+// resolve finalizes the call exactly once: it unregisters the key (so
+// the next TryLead starts a fresh call), writes the outcome and closes
+// done. The result writes happen before the close, which orders them
+// for every waiter's read after <-done.
+func (t *Ticket[K, V]) resolve(v V, err error, abandoned bool) {
+	if !t.leader {
+		panic("flight: resolve on a waiter ticket")
+	}
+	t.g.mu.Lock()
+	if t.resolved {
+		t.g.mu.Unlock()
+		return
+	}
+	t.resolved = true
+	delete(t.g.calls, t.key)
+	t.g.mu.Unlock()
+	t.c.val, t.c.err, t.c.abandoned = v, err, abandoned
+	close(t.c.done)
+}
+
+// Wait blocks until the leader resolves the call or ctx is done. It
+// returns the leader's value, the leader's error (Fail), ErrAbandoned
+// (the caller should retry TryLead), or ctx.Err().
+func (t *Ticket[K, V]) Wait(ctx context.Context) (V, error) {
+	if t.leader {
+		panic("flight: Wait on a leader ticket")
+	}
+	t.g.waits.Add(1)
+	var zero V
+	select {
+	case <-ctx.Done():
+		return zero, ctx.Err()
+	case <-t.c.done:
+	}
+	switch {
+	case t.c.abandoned:
+		t.g.handovers.Add(1)
+		return zero, ErrAbandoned
+	case t.c.err != nil:
+		return zero, t.c.err
+	}
+	t.g.coalesced.Add(1)
+	return t.c.val, nil
+}
+
+// Do runs fn under key-level deduplication: the leader executes
+// fn(ctx) and publishes the outcome, everyone else blocks on it.
+// shared reports whether the result came from another caller's
+// execution. A leader whose fn fails while its own ctx is cancelled
+// abandons the call — waiters hand over and re-run fn themselves
+// instead of inheriting a foreign cancellation; any other leader error
+// propagates to every waiter.
+func (g *Group[K, V]) Do(ctx context.Context, key K, fn func(context.Context) (V, error)) (v V, shared bool, err error) {
+	for {
+		t, leader := g.TryLead(key)
+		if leader {
+			v, err = fn(ctx)
+			switch {
+			case err == nil:
+				t.Fulfill(v)
+			case ctx.Err() != nil:
+				t.Abandon()
+			default:
+				t.Fail(err)
+			}
+			return v, false, err
+		}
+		v, err = t.Wait(ctx)
+		if !errors.Is(err, ErrAbandoned) {
+			return v, true, err
+		}
+	}
+}
+
+// Stats are a group's lifetime counters.
+type Stats struct {
+	Leads     int64 // calls led (work actually executed)
+	Waits     int64 // waits begun on another caller's in-flight call
+	Coalesced int64 // waits that were served a result — work saved
+	Handovers int64 // waits that observed an abandoned leader
+}
+
+// Stats returns the group's lifetime counters.
+func (g *Group[K, V]) Stats() Stats {
+	return Stats{
+		Leads:     g.leads.Load(),
+		Waits:     g.waits.Load(),
+		Coalesced: g.coalesced.Load(),
+		Handovers: g.handovers.Load(),
+	}
+}

@@ -1,0 +1,377 @@
+package flight
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDoDeduplicates: N concurrent Do calls for one key must execute
+// fn exactly once, and every caller must see the leader's value.
+func TestDoDeduplicates(t *testing.T) {
+	var g Group[string, int]
+	var execs atomic.Int64
+	release := make(chan struct{})
+	const callers = 16
+
+	var wg sync.WaitGroup
+	vals := make([]int, callers)
+	shareds := make([]bool, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, shared, err := g.Do(context.Background(), "k", func(context.Context) (int, error) {
+				execs.Add(1)
+				<-release
+				return 42, nil
+			})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			vals[i], shareds[i] = v, shared
+		}(i)
+	}
+	// Let the waiters pile up behind the leader before releasing it.
+	for g.Stats().Waits < callers-1 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if n := execs.Load(); n != 1 {
+		t.Fatalf("fn executed %d times, want 1", n)
+	}
+	leaders := 0
+	for i := range vals {
+		if vals[i] != 42 {
+			t.Fatalf("caller %d got %d, want 42", i, vals[i])
+		}
+		if !shareds[i] {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("%d callers ran as leader, want 1", leaders)
+	}
+	st := g.Stats()
+	if st.Leads != 1 || st.Coalesced != callers-1 {
+		t.Fatalf("stats = %+v, want Leads=1 Coalesced=%d", st, callers-1)
+	}
+}
+
+// TestDoLeaderErrorPropagates: a leader error that is not a
+// cancellation must reach every waiter verbatim.
+func TestDoLeaderErrorPropagates(t *testing.T) {
+	var g Group[string, int]
+	boom := errors.New("boom")
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	const waiters = 8
+
+	var wg sync.WaitGroup
+	errs := make([]error, waiters)
+	var leaderErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, leaderErr = g.Do(context.Background(), "k", func(context.Context) (int, error) {
+			close(entered)
+			<-release
+			return 0, boom
+		})
+	}()
+	// The intended leader must hold the call before any waiter arrives;
+	// otherwise a waiter could lead a fresh call and serve part of the
+	// pack, leaving Waits short of the spin target below forever.
+	<-entered
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = g.Do(context.Background(), "k", func(context.Context) (int, error) {
+				t.Error("waiter executed fn after a propagated leader error")
+				return 0, nil
+			})
+		}(i)
+	}
+	for g.Stats().Waits < waiters {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if !errors.Is(leaderErr, boom) {
+		t.Fatalf("leader error = %v, want %v", leaderErr, boom)
+	}
+	for i, err := range errs {
+		if !errors.Is(err, boom) {
+			t.Fatalf("waiter %d error = %v, want %v", i, err, boom)
+		}
+	}
+}
+
+// TestHandoverOnAbandon: a cancelled leader must not strand or poison
+// its waiters — one of them takes over and produces the result.
+func TestHandoverOnAbandon(t *testing.T) {
+	var g Group[string, int]
+	leaderIn := make(chan struct{})
+	lctx, cancel := context.WithCancel(context.Background())
+
+	var wg sync.WaitGroup
+	var leaderErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, leaderErr = g.Do(lctx, "k", func(ctx context.Context) (int, error) {
+			close(leaderIn)
+			<-ctx.Done()
+			return 0, ctx.Err()
+		})
+	}()
+	<-leaderIn
+	var wv int
+	var werr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wv, _, werr = g.Do(context.Background(), "k", func(context.Context) (int, error) {
+			return 7, nil
+		})
+	}()
+	for g.Stats().Waits < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	wg.Wait()
+
+	if !errors.Is(leaderErr, context.Canceled) {
+		t.Fatalf("leader error = %v, want context.Canceled", leaderErr)
+	}
+	if werr != nil || wv != 7 {
+		t.Fatalf("waiter got (%d, %v), want (7, nil) after handover", wv, werr)
+	}
+	if st := g.Stats(); st.Handovers != 1 {
+		t.Fatalf("stats = %+v, want Handovers=1", st)
+	}
+}
+
+// TestWaitRespectsContext: a waiter's own context cancels its wait
+// without disturbing the in-flight call.
+func TestWaitRespectsContext(t *testing.T) {
+	var g Group[string, int]
+	lt, leader := g.TryLead("k")
+	if !leader {
+		t.Fatal("first TryLead did not lead")
+	}
+	wt, leads := g.TryLead("k")
+	if leads {
+		t.Fatal("second TryLead led a busy key")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := wt.Wait(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+	// The abandoned wait must not have disturbed the call: a second
+	// waiter with a live context still observes the leader's value.
+	wt2, _ := g.TryLead("k")
+	lt.Fulfill(1)
+	if v, err := wt2.Wait(context.Background()); err != nil || v != 1 {
+		t.Fatalf("Wait after fulfilment = (%d, %v), want (1, nil)", v, err)
+	}
+}
+
+// TestAbandonIsIdempotentAfterFulfill: the `defer t.Abandon()`
+// strand-proofing idiom must not clobber a published result.
+func TestAbandonIsIdempotentAfterFulfill(t *testing.T) {
+	var g Group[string, int]
+	lt, _ := g.TryLead("k")
+	wt, _ := g.TryLead("k")
+	lt.Fulfill(9)
+	lt.Abandon() // no-op: already resolved
+	v, err := wt.Wait(context.Background())
+	if err != nil || v != 9 {
+		t.Fatalf("Wait = (%d, %v), want (9, nil)", v, err)
+	}
+	if st := g.Stats(); st.Handovers != 0 {
+		t.Fatalf("stats = %+v, want Handovers=0", st)
+	}
+}
+
+// TestStressRandomizedCancellation is the -race gauntlet for the
+// coordinator: many goroutines race Do over a small key space, a
+// random subset with contexts that cancel mid-flight. Asserts, per
+// key: never two fn executions in flight at once; and globally: no
+// caller hangs (the test completes), every caller gets either the
+// value, its own cancellation, or the leader's propagated error, and
+// the per-key value is consistent.
+func TestStressRandomizedCancellation(t *testing.T) {
+	const (
+		keys       = 8
+		goroutines = 32
+		iters      = 200
+	)
+	var g Group[int, int]
+	var running [keys]atomic.Int32 // in-flight fn executions per key
+	var execs [keys]atomic.Int64
+	boom := errors.New("boom")
+
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for it := 0; it < iters; it++ {
+				key := rng.Intn(keys)
+				ctx := context.Background()
+				var cancel context.CancelFunc
+				cancelled := rng.Intn(4) == 0
+				if cancelled {
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(rng.Intn(100))*time.Microsecond)
+				}
+				v, _, err := g.Do(ctx, key, func(ctx context.Context) (int, error) {
+					if n := running[key].Add(1); n != 1 {
+						t.Errorf("key %d: %d concurrent executions", key, n)
+					}
+					defer running[key].Add(-1)
+					execs[key].Add(1)
+					if d := rng.Intn(50); d > 0 {
+						select {
+						case <-time.After(time.Duration(d) * time.Microsecond):
+						case <-ctx.Done():
+							return 0, ctx.Err()
+						}
+					}
+					if rng.Intn(10) == 0 {
+						return 0, boom
+					}
+					return key * 10, nil
+				})
+				if cancel != nil {
+					cancel()
+				}
+				switch {
+				case err == nil:
+					if v != key*10 {
+						t.Errorf("key %d: got %d, want %d", key, v, key*10)
+					}
+				case errors.Is(err, boom),
+					errors.Is(err, context.Canceled),
+					errors.Is(err, context.DeadlineExceeded):
+					// A work error (own or propagated) or a cancellation —
+					// ErrAbandoned must never escape Do.
+				default:
+					t.Errorf("key %d: unexpected error %v", key, err)
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("stress test hung: a waiter was stranded")
+	}
+
+	st := g.Stats()
+	var totalExecs int64
+	for k := range execs {
+		totalExecs += execs[k].Load()
+	}
+	if totalExecs != st.Leads {
+		t.Fatalf("executions (%d) != leads (%d)", totalExecs, st.Leads)
+	}
+	if totalExecs == int64(goroutines*iters) && st.Coalesced > 0 {
+		t.Fatalf("stats inconsistent: no call coalesced yet Coalesced=%d", st.Coalesced)
+	}
+	t.Logf("stats: %+v (executions %d of %d calls)", st, totalExecs, goroutines*iters)
+}
+
+// TestTwoPhaseBatchersDoNotDeadlock models the session re-pricing
+// protocol: concurrent batchers each claim leadership over a slice of
+// keys, resolve every led key, and only then wait on the rest. Every
+// batcher must terminate with a full result set.
+func TestTwoPhaseBatchersDoNotDeadlock(t *testing.T) {
+	const (
+		keys     = 32
+		batchers = 8
+		rounds   = 20
+	)
+	var g Group[int, int]
+	var wg sync.WaitGroup
+	for b := 0; b < batchers; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				// Each batcher wants every key; leadership splits the work.
+				type lead struct {
+					key int
+					tk  *Ticket[int, int]
+				}
+				var leads []lead
+				var waits []lead
+				for k := 0; k < keys; k++ {
+					tk, leader := g.TryLead(k)
+					if leader {
+						leads = append(leads, lead{k, tk})
+					} else {
+						waits = append(waits, lead{k, tk})
+					}
+				}
+				// Phase 1: resolve everything we lead.
+				for _, l := range leads {
+					l.tk.Fulfill(l.key)
+				}
+				// Phase 2: wait on foreign keys; handover loops back to
+				// leading.
+				for _, w := range waits {
+					tk := w.tk
+					for {
+						v, err := tk.Wait(context.Background())
+						if err == nil {
+							if v != w.key {
+								t.Errorf("key %d: got %d", w.key, v)
+							}
+							break
+						}
+						if !errors.Is(err, ErrAbandoned) {
+							t.Errorf("key %d: %v", w.key, err)
+							break
+						}
+						var leader bool
+						tk, leader = g.TryLead(w.key)
+						if leader {
+							tk.Fulfill(w.key)
+							break
+						}
+					}
+				}
+			}
+		}(b)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("two-phase batchers deadlocked")
+	}
+}
+
+func ExampleGroup_Do() {
+	var g Group[string, string]
+	v, _, _ := g.Do(context.Background(), "greeting", func(context.Context) (string, error) {
+		return "hello", nil
+	})
+	fmt.Println(v)
+	// Output: hello
+}

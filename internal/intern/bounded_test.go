@@ -1,0 +1,172 @@
+package intern
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func newTestBounded(capTotal int) *Bounded[[2]uint32, float64] {
+	return NewBounded[[2]uint32, float64](4, capTotal, func(k [2]uint32) uint32 {
+		return Mix32(k[0], k[1])
+	})
+}
+
+func TestBoundedInsertOnce(t *testing.T) {
+	b := newTestBounded(0)
+	k := [2]uint32{1, 2}
+	if _, ok := b.Get(k); ok {
+		t.Fatal("Get on empty map hit")
+	}
+	if !b.PutIfAbsent(k, 42) {
+		t.Fatal("first PutIfAbsent did not store")
+	}
+	if b.PutIfAbsent(k, 99) {
+		t.Fatal("second PutIfAbsent overwrote")
+	}
+	if v, ok := b.Get(k); !ok || v != 42 {
+		t.Fatalf("Get = %v,%v, want 42,true (first writer wins)", v, ok)
+	}
+	if b.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", b.Len())
+	}
+	if b.Evictions() != 0 {
+		t.Fatalf("Evictions = %d on an uncapped map", b.Evictions())
+	}
+}
+
+// Uncapped, a Bounded map keeps Map's permanence contract: entries
+// accumulate across every shard and never vanish.
+func TestBoundedUncappedNeverEvicts(t *testing.T) {
+	b := newTestBounded(0)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		b.PutIfAbsent([2]uint32{uint32(i), uint32(i)}, float64(i))
+	}
+	if b.Len() != n {
+		t.Fatalf("Len = %d, want %d", b.Len(), n)
+	}
+	sum := 0
+	for _, s := range b.ShardSizes() {
+		sum += s
+	}
+	if sum != n {
+		t.Fatalf("ShardSizes sum = %d, want %d", sum, n)
+	}
+	for i := 0; i < n; i++ {
+		if v, ok := b.Get([2]uint32{uint32(i), uint32(i)}); !ok || v != float64(i) {
+			t.Fatalf("Get(%d) = %v,%v", i, v, ok)
+		}
+	}
+}
+
+// Capped, every shard must stay at or under its cap no matter how many
+// distinct keys churn through, and the evictions counter must account
+// for the overflow.
+func TestBoundedCapBoundsShards(t *testing.T) {
+	const capTotal = 64
+	b := newTestBounded(capTotal)
+	per := b.CapPerShard()
+	if per != capTotal/4 {
+		t.Fatalf("CapPerShard = %d, want %d", per, capTotal/4)
+	}
+	const n = 5000
+	for i := 0; i < n; i++ {
+		b.PutIfAbsent([2]uint32{uint32(i), uint32(i * 7)}, float64(i))
+		for s, size := range b.ShardSizes() {
+			if size > per {
+				t.Fatalf("after insert %d: shard %d holds %d entries, cap %d", i, s, size, per)
+			}
+		}
+	}
+	if b.Len() > capTotal {
+		t.Fatalf("Len = %d, want ≤ %d", b.Len(), capTotal)
+	}
+	if b.Evictions() == 0 {
+		t.Fatal("no evictions despite churning far past the cap")
+	}
+	// Survivors must read back exactly what was stored.
+	hits := 0
+	for i := 0; i < n; i++ {
+		if v, ok := b.Get([2]uint32{uint32(i), uint32(i * 7)}); ok {
+			hits++
+			if v != float64(i) {
+				t.Fatalf("survivor %d holds %v", i, v)
+			}
+		}
+	}
+	if hits != b.Len() {
+		t.Fatalf("%d readable entries, Len = %d", hits, b.Len())
+	}
+}
+
+// The second-chance bit: entries read between overflows must outlive
+// entries never read. With a hot key re-read before every insert, the
+// hot key survives churn that evicts thousands of cold keys.
+func TestBoundedClockKeepsHotEntries(t *testing.T) {
+	b := newTestBounded(64)
+	hot := [2]uint32{1, 1}
+	b.PutIfAbsent(hot, 1)
+	for i := 2; i < 2000; i++ {
+		if _, ok := b.Get(hot); !ok {
+			t.Fatalf("hot key evicted after %d cold inserts despite constant reads", i-2)
+		}
+		b.PutIfAbsent([2]uint32{uint32(i), uint32(i * 7)}, float64(i))
+	}
+	if _, ok := b.Get(hot); !ok {
+		t.Fatal("hot key evicted")
+	}
+}
+
+// Readers racing writers across promotions and evictions must only
+// ever observe complete entries: a visible value always matches what
+// its key's writer stored (vanishing is allowed — the map is capped).
+func TestBoundedConcurrentVisibility(t *testing.T) {
+	b := NewBounded[uint64, uint64](4, 256, func(k uint64) uint32 {
+		return Mix32(uint32(k), uint32(k>>32))
+	})
+	const (
+		writers = 4
+		perW    = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				k := uint64(w*perW + i)
+				b.PutIfAbsent(k, k*3+1)
+			}
+		}()
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pass := 0; pass < 20; pass++ {
+				for k := uint64(0); k < writers*perW; k++ {
+					if v, ok := b.Get(k); ok && v != k*3+1 {
+						panic(fmt.Sprintf("torn read: Get(%d) = %d, want %d", k, v, k*3+1))
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for s, size := range b.ShardSizes() {
+		if size > b.CapPerShard() {
+			t.Fatalf("shard %d holds %d entries, cap %d", s, size, b.CapPerShard())
+		}
+	}
+}
+
+func TestBoundedShardCountValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two shard count did not panic")
+		}
+	}()
+	NewBounded[uint32, int](3, 0, func(k uint32) uint32 { return k })
+}

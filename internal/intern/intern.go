@@ -3,7 +3,7 @@
 // hot path compares and hashes two machine words instead of re-hashing
 // multi-hundred-byte keys on every memo probe.
 //
-// The package provides two building blocks:
+// The package provides three building blocks:
 //
 //   - Table interns strings to ids. Ids are dense, start at 1 (0 is
 //     reserved as "unset" so a zero-valued id field is never a valid
@@ -21,13 +21,21 @@
 //     the only write, so a published entry never changes and readers
 //     can never observe a torn or stale value.
 //
-// Both types are safe for concurrent use by any number of readers and
+//   - Bounded is Map sharded by key hash, with an optional entry cap
+//     enforced by CLOCK (second-chance) eviction — the bounded form
+//     the shared pricing memo runs under `serve -memo-cap`. Each shard
+//     keeps Map's lock-free snapshot read path; eviction relaxes
+//     insert-once to "an entry never changes while present, but a cold
+//     one may disappear".
+//
+// All types are safe for concurrent use by any number of readers and
 // writers. Ids are table-specific: never mix ids across tables.
 //
-// Tables and maps are append-only and never evict — exactly the
-// lifecycle of the shared pricing memo they serve (see
+// Tables are append-only and never evict; uncapped maps share that
+// lifecycle — exactly the shared pricing memo's (see
 // session.SharedMemo): entries accumulate for the owner's lifetime and
-// the owner's stats counters are the growth observability.
+// the owner's stats counters are the growth observability. A capped
+// Bounded map trades that permanence for a memory ceiling.
 package intern
 
 import (

@@ -117,7 +117,9 @@ func (ev *Evaluator) EvaluateJobs(ctx context.Context, jobs []costlab.Job, trial
 	if err != nil {
 		return nil, err
 	}
-	ev.memoHits.Add(int64(stats.Hits))
+	// Coalesced jobs were priced by a concurrent caller while this one
+	// waited — no estimator call paid here, so they count as hits.
+	ev.memoHits.Add(int64(stats.Hits + stats.Coalesced))
 	ev.memoMisses.Add(int64(stats.Misses))
 	ev.trials.Add(int64(trials))
 	return costs, nil

@@ -9,9 +9,14 @@ import (
 	"net/http/httptest"
 	"reflect"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
+	"repro/internal/intern"
+	"repro/internal/inum"
 	"repro/internal/session"
+	"repro/internal/workload"
 )
 
 func testServer(t *testing.T, opts Options) (*httptest.Server, *Manager) {
@@ -225,6 +230,118 @@ func TestAPISharedMemoAcrossTenants(t *testing.T) {
 	call(t, ts, "GET", "/stats", nil, http.StatusOK, &ms)
 	if ms.Sessions != 2 || ms.Shared.Hits == 0 {
 		t.Errorf("manager stats = %+v", ms)
+	}
+}
+
+// TestAPIStatsConcurrencyCounters drives the singleflight and
+// eviction counters through the HTTP surface: concurrent tenants
+// repeating the same cold edit must record in-flight waits and
+// coalesced plan calls, a capped memo under design churn must record
+// evictions with every shard held at its cap, and all of it must be
+// visible — and moving — in GET /stats.
+func TestAPIStatsConcurrencyCounters(t *testing.T) {
+	// One entry per state-tier shard: any two states hashing to the
+	// same shard force an eviction.
+	const memoCap = intern.DefaultShards
+	ts, m := testServer(t, Options{MemoCap: memoCap})
+
+	// The racing tenants get the full 30-query workload: a reprice
+	// that prices 30 states is a wide enough window for the barrier
+	// below to land the tenants inside each other's pricing.
+	const tenants = 4
+	for i := 0; i < tenants; i++ {
+		call(t, ts, "POST", "/sessions", CreateSessionRequest{
+			Name:     fmt.Sprintf("t%d", i),
+			Workload: workload.Queries(),
+		}, http.StatusCreated, nil)
+	}
+
+	var ms ManagerStats
+	raw := call(t, ts, "GET", "/stats", nil, http.StatusOK, &ms)
+	for _, key := range []string{"inflightWaits", "coalescedPlanCalls", "handovers", "evictions", "shardSizes", "dupStores", "sharedCostEvictions"} {
+		if !bytes.Contains(raw, []byte(`"`+key+`"`)) {
+			t.Errorf("GET /stats response lacks %q: %s", key, raw)
+		}
+	}
+	base := ms.Shared
+
+	// Every distinct one-, two-, and three-column index over the
+	// gauntlet's columns: each round burns one, never repeating, so no
+	// tenant's session-local memo can absorb the edit — all four must
+	// go to the shared memo for the same cold states.
+	cols := []string{"ra", "dec", "run", "camcol", "field", "htmid"}
+	var specs [][]string
+	for _, a := range cols {
+		specs = append(specs, []string{a})
+		for _, b := range cols {
+			if b == a {
+				continue
+			}
+			specs = append(specs, []string{a, b})
+			for _, c := range cols {
+				if c != a && c != b {
+					specs = append(specs, []string{a, b, c})
+				}
+			}
+		}
+	}
+
+	// Each round releases all tenants from a barrier into the same
+	// never-seen edit, so their reprices race on the µs scale and one
+	// tenant's pricing is waited on by the rest. A round can still
+	// lose the race, so retry with a fresh spec until every counter
+	// has moved. (The HTTP surface is too coarse to line the races up
+	// — request latency dwarfs the pricing window — hence m.Do here;
+	// the endpoint's job is exposing the counters, asserted above and
+	// below.)
+	moved := func() bool {
+		sh := m.Shared().Stats()
+		return sh.InflightWaits > base.InflightWaits &&
+			sh.CoalescedPlanCalls > base.CoalescedPlanCalls &&
+			sh.Evictions > 0
+	}
+	for round := 0; round < len(specs) && !moved(); round++ {
+		spec := inum.IndexSpec{Table: "photoobj", Columns: specs[round]}
+		var ready atomic.Int32
+		var wg sync.WaitGroup
+		for i := 0; i < tenants; i++ {
+			wg.Add(1)
+			go func(name string) {
+				defer wg.Done()
+				// Spin barrier: channel wake-up skew alone is wider than
+				// the pricing window, so busy-wait until every racer is
+				// on a CPU before diving in.
+				for ready.Add(1); ready.Load() < tenants; {
+				}
+				if err := m.Do(name, func(s *session.DesignSession) error {
+					_, err := s.AddIndex(spec)
+					return err
+				}); err != nil {
+					t.Errorf("%s: add %v: %v", name, spec.Columns, err)
+				}
+			}(fmt.Sprintf("t%d", i))
+		}
+		wg.Wait()
+	}
+
+	call(t, ts, "GET", "/stats", nil, http.StatusOK, &ms)
+	sh := ms.Shared
+	if sh.InflightWaits <= base.InflightWaits || sh.CoalescedPlanCalls <= base.CoalescedPlanCalls {
+		t.Errorf("singleflight counters never moved: before %+v, after %+v", base, sh)
+	}
+	if sh.Evictions == 0 {
+		t.Errorf("capped memo churned %d stores without evicting: %+v", sh.Stores, sh)
+	}
+	capPerShard := (memoCap + intern.DefaultShards - 1) / intern.DefaultShards
+	total := 0
+	for i, n := range sh.ShardSizes {
+		total += n
+		if n > capPerShard {
+			t.Errorf("shard %d holds %d states, cap is %d", i, n, capPerShard)
+		}
+	}
+	if total != sh.States {
+		t.Errorf("shard sizes sum to %d but States = %d", total, sh.States)
 	}
 }
 

@@ -54,6 +54,13 @@ type Options struct {
 	// captured from a live service. Off by default: the profile
 	// endpoints are unauthenticated and can pause the process.
 	Pprof bool
+	// MemoCap bounds the shared pricing memo: each of its tiers
+	// (priced query states, plain costs) keeps at most roughly this
+	// many entries, CLOCK-evicting the coldest when full (see
+	// session.NewSharedMemoBounded). 0 — the default — leaves the memo
+	// unbounded: every state ever priced stays resident for the
+	// manager's lifetime.
+	MemoCap int
 }
 
 // DefaultMaxSessions is the session cap when Options.MaxSessions is 0.
@@ -145,7 +152,7 @@ func NewManager(cat *catalog.Catalog, defaultWorkload []string, opts Options) *M
 	return &Manager{
 		cat:       cat,
 		defaultWL: defaultWorkload,
-		shared:    session.NewSharedMemo(),
+		shared:    session.NewSharedMemoBounded(opts.MemoCap),
 		opts:      opts,
 		now:       time.Now,
 		winSyms:   intern.NewTable(),
@@ -501,11 +508,14 @@ type ManagerStats struct {
 
 	// Shared is the cross-session memo: Hits are repricings some
 	// tenant got for free, DupStores is pricing work tenants
-	// duplicated by racing.
+	// duplicated by racing (the singleflight tier pins it at zero —
+	// concurrent demand shows up as InflightWaits/CoalescedPlanCalls
+	// instead), Evictions/ShardSizes watch the -memo-cap bound.
 	Shared session.SharedStats `json:"shared"`
 	// SharedCostEntries is the cost tier's size (advisor warm-start
-	// pool).
-	SharedCostEntries int `json:"sharedCostEntries"`
+	// pool); SharedCostEvictions its -memo-cap eviction count.
+	SharedCostEntries   int   `json:"sharedCostEntries"`
+	SharedCostEvictions int64 `json:"sharedCostEvictions"`
 	// CostsCacheHits counts /costs responses served from a tenant's
 	// cached bytes instead of a rebuild.
 	CostsCacheHits int64 `json:"costsCacheHits"`
@@ -519,14 +529,15 @@ func (m *Manager) Stats() ManagerStats {
 	m.mu.Unlock()
 	sh := m.shared.Stats()
 	return ManagerStats{
-		Sessions:          n,
-		MaxSessions:       m.maxSessions(),
-		Created:           created,
-		Evictions:         ev,
-		Expirations:       exp,
-		RecommendJobs:     m.recommendJobCount(),
-		Shared:            sh,
-		SharedCostEntries: sh.Costs.Entries,
-		CostsCacheHits:    m.costsCacheHits.Load(),
+		Sessions:            n,
+		MaxSessions:         m.maxSessions(),
+		Created:             created,
+		Evictions:           ev,
+		Expirations:         exp,
+		RecommendJobs:       m.recommendJobCount(),
+		Shared:              sh,
+		SharedCostEntries:   sh.Costs.Entries,
+		SharedCostEvictions: sh.Costs.Evictions,
+		CostsCacheHits:      m.costsCacheHits.Load(),
 	}
 }

@@ -458,4 +458,10 @@ func TestManagerConcurrentTenantsLinearizable(t *testing.T) {
 	if ev := m.Stats().Evictions; ev == 0 {
 		t.Error("eviction hammer never evicted — the gauntlet did not exercise eviction")
 	}
+	// The singleflight tier must have eliminated every duplicated
+	// pricing batch: no state publication may ever lose a race to an
+	// identical concurrent one.
+	if sh := m.Shared().Stats(); sh.DupStores != 0 {
+		t.Errorf("shared memo recorded %d duplicate state stores; singleflight should pin this at 0 (stats: %+v)", sh.DupStores, sh)
+	}
 }

@@ -3,6 +3,7 @@ package session_test
 import (
 	"testing"
 
+	"repro/internal/intern"
 	"repro/internal/inum"
 	"repro/internal/session"
 	"repro/internal/workload"
@@ -65,5 +66,79 @@ func TestSharedMemoChurnedSessionsDoNotLeak(t *testing.T) {
 	// after warm-up planned nothing new.
 	if st.Costs.Stores != base.Costs.Stores && st.Costs.DupStores == 0 {
 		t.Errorf("post-warm-up sessions stored fresh costs: %+v -> %+v", base.Costs, st.Costs)
+	}
+}
+
+// TestSharedMemoCapBoundsChurn is the capped counterpart: a bounded
+// memo churned through far more distinct designs than it can hold
+// must evict — every state-tier shard pinned at its per-shard cap the
+// whole time — while sessions stay correct: an evicted state simply
+// re-prices to the same cost it had before eviction, and the
+// interners (append-only by contract even in capped mode) never grow
+// on a repeat pass over known designs.
+func TestSharedMemoCapBoundsChurn(t *testing.T) {
+	cat := seedCatalog(t, 200000)
+	wl := workload.Queries()[:8]
+	const capTotal = 32
+	capPerShard := (capTotal + intern.DefaultShards - 1) / intern.DefaultShards
+	shared := session.NewSharedMemoBounded(capTotal)
+
+	// 30 two-column designs × 8 queries ≫ 32 states: the memo must
+	// cycle constantly.
+	cols := []string{"ra", "dec", "run", "camcol", "field", "htmid"}
+	var specs []inum.IndexSpec
+	for _, a := range cols {
+		for _, b := range cols {
+			if a != b {
+				specs = append(specs, inum.IndexSpec{Table: "photoobj", Columns: []string{a, b}})
+			}
+		}
+	}
+
+	costs := map[string]float64{}
+	pass := func(record bool) {
+		t.Helper()
+		for _, spec := range specs {
+			s, err := session.New(cat, wl, session.Options{Shared: shared})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := s.AddIndex(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if record {
+				costs[spec.Key()] = rep.NewCost
+			} else if rep.NewCost != costs[spec.Key()] {
+				t.Errorf("%s repriced after eviction to %v, first pass said %v",
+					spec.Key(), rep.NewCost, costs[spec.Key()])
+			}
+			for i, n := range shared.Stats().ShardSizes {
+				if n > capPerShard {
+					t.Fatalf("shard %d holds %d states, cap is %d", i, n, capPerShard)
+				}
+			}
+		}
+	}
+
+	pass(true)
+	mid := shared.Stats()
+	if mid.Evictions == 0 {
+		t.Fatalf("churn through %d designs never evicted: %+v", len(specs), mid)
+	}
+	if mid.States > capTotal {
+		t.Errorf("state tier holds %d states, cap is %d", mid.States, capTotal)
+	}
+
+	pass(false)
+	end := shared.Stats()
+	if end.Sigs != mid.Sigs {
+		t.Errorf("signature interner grew %d -> %d on a repeat pass", mid.Sigs, end.Sigs)
+	}
+	if end.Costs.InternedStmts != mid.Costs.InternedStmts || end.Costs.InternedCfgs != mid.Costs.InternedCfgs {
+		t.Errorf("cost-tier interners grew on a repeat pass: %+v -> %+v", mid.Costs, end.Costs)
+	}
+	if end.Evictions <= mid.Evictions {
+		t.Errorf("repeat pass over a saturated memo evicted nothing: %d -> %d", mid.Evictions, end.Evictions)
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"repro/internal/advisor"
 	"repro/internal/catalog"
 	"repro/internal/costlab"
+	"repro/internal/flight"
 	"repro/internal/inum"
 	"repro/internal/optimizer"
 	"repro/internal/recommend"
@@ -949,6 +950,17 @@ const parallelRepriceThreshold = 4
 // restore the full state without planning; misses re-plan (in
 // parallel when the miss set is large). All-or-nothing — on error no
 // state, memo entry, or edit counter changes.
+//
+// Under a SharedMemo the miss path runs the two-phase singleflight
+// protocol: each missing state is acquired as either a leadership
+// (this session plans it) or a wait ticket (another session is
+// planning it right now). Leaders plan their whole batch and publish
+// every led state BEFORE anyone waits — a blocked session therefore
+// never holds an unpublished leadership, which keeps any number of
+// concurrent sessions deadlock-free — and only then are foreign
+// tickets collected. A key whose leader abandoned (its edit failed)
+// comes back for another round, where this session re-acquires it and
+// usually leads it itself.
 func (s *DesignSession) reprice(inval map[int]bool) error {
 	if len(inval) == 0 {
 		s.lastInvalidated, s.lastRepriced = 0, 0
@@ -960,83 +972,127 @@ func (s *DesignSession) reprice(inval map[int]bool) error {
 	}
 	sort.Ints(idxs)
 
-	var misses []pendingPrice
 	var fromShared []pendingMemo
 	hits := 0
+	repriced := 0
 	fresh := map[int]*queryState{}
-	for _, qi := range idxs {
-		sig := s.projectedSig(qi)
-		if st, ok := s.memo[memoKey{qi, sig}]; ok {
-			// The memoized state carries its own rewritten form; only
-			// misses pay for a rewrite.
-			hits++
-			fresh[qi] = st
-			continue
+	// Strand-proofing: abandoning a resolved ticket is a no-op, so on
+	// any error (or panic) unwind every leadership this edit still
+	// holds is released and its waiters take over instead of hanging.
+	var held []*flight.Ticket[stateKey, *queryState]
+	defer func() {
+		for _, tk := range held {
+			tk.Abandon()
 		}
-		if s.opts.Shared != nil {
-			if st, ok := s.opts.Shared.lookup(s.stmtIDs[qi], sig); ok {
-				// Another session already priced this (query, design)
-				// pair: localize its canonical state (explains name
-				// indexes by key in the shared tier) and defer the
-				// local-memo insert to the commit below.
-				fromShared = append(fromShared, pendingMemo{qi: qi, sig: sig, st: s.localizeState(st)})
-				fresh[qi] = fromShared[len(fromShared)-1].st
+	}()
+
+	remaining := idxs
+	for len(remaining) > 0 {
+		var misses []pendingPrice
+		var waits []pendingWait
+		for _, qi := range remaining {
+			sig := s.projectedSig(qi)
+			if st, ok := s.memo[memoKey{qi, sig}]; ok {
+				// The memoized state carries its own rewritten form; only
+				// misses pay for a rewrite.
+				hits++
+				fresh[qi] = st
 				continue
 			}
-		}
-		target := s.queries[qi].Stmt
-		if s.rw != nil {
-			var err error
-			target, err = s.rw.Rewrite(target)
-			if err != nil {
-				return fmt.Errorf("session: rewrite of %q: %w", s.queries[qi].SQL, err)
+			var tk *flight.Ticket[stateKey, *queryState]
+			if s.opts.Shared != nil {
+				st, ticket, role := s.opts.Shared.acquire(s.stmtIDs[qi], sig)
+				switch role {
+				case roleHit:
+					// Another session already priced this (query, design)
+					// pair: localize its canonical state (explains name
+					// indexes by key in the shared tier) and defer the
+					// local-memo insert to the commit below.
+					fromShared = append(fromShared, pendingMemo{qi: qi, sig: sig, st: s.localizeState(st)})
+					fresh[qi] = fromShared[len(fromShared)-1].st
+					continue
+				case roleWait:
+					waits = append(waits, pendingWait{qi: qi, sig: sig, tk: ticket})
+					continue
+				case roleLead:
+					tk = ticket
+					held = append(held, tk)
+				}
 			}
+			target := s.queries[qi].Stmt
+			if s.rw != nil {
+				var err error
+				target, err = s.rw.Rewrite(target)
+				if err != nil {
+					return fmt.Errorf("session: rewrite of %q: %w", s.queries[qi].SQL, err)
+				}
+			}
+			misses = append(misses, pendingPrice{qi: qi, sig: sig, target: target, tk: tk})
 		}
-		misses = append(misses, pendingPrice{qi: qi, sig: sig, target: target})
-	}
 
-	if len(misses) > 0 {
-		nameToKey := map[string]string{}
-		rename := map[string]string{}
-		plans := make([]*optimizer.Plan, len(misses))
-		if len(misses) >= parallelRepriceThreshold && s.opts.Workers != 1 {
-			if err := s.planParallel(misses, plans, nameToKey, rename); err != nil {
-				return err
-			}
-		} else {
-			for name, key := range s.ixNameToKey() {
-				nameToKey[name] = key
+		if len(misses) > 0 {
+			nameToKey := map[string]string{}
+			rename := map[string]string{}
+			plans := make([]*optimizer.Plan, len(misses))
+			if len(misses) >= parallelRepriceThreshold && s.opts.Workers != 1 {
+				if err := s.planParallel(misses, plans, nameToKey, rename); err != nil {
+					return err
+				}
+			} else {
+				for name, key := range s.ixNameToKey() {
+					nameToKey[name] = key
+				}
+				for i, p := range misses {
+					plan, err := s.ws.Plan(p.target)
+					s.planCalls++
+					if err != nil {
+						return fmt.Errorf("session: what-if plan of %q: %w", s.queries[p.qi].SQL, err)
+					}
+					plans[i] = plan
+				}
 			}
 			for i, p := range misses {
-				plan, err := s.ws.Plan(p.target)
-				s.planCalls++
-				if err != nil {
-					return fmt.Errorf("session: what-if plan of %q: %w", s.queries[p.qi].SQL, err)
+				st := &queryState{
+					rewrittenSQL: sql.PrintSelect(p.target),
+					cost:         plans[i].TotalCost,
+					explain:      renameIndexes(optimizer.Explain(plans[i]), rename),
 				}
-				plans[i] = plan
-			}
-		}
-		for i, p := range misses {
-			st := &queryState{
-				rewrittenSQL: sql.PrintSelect(p.target),
-				cost:         plans[i].TotalCost,
-				explain:      renameIndexes(optimizer.Explain(plans[i]), rename),
-			}
-			for _, name := range plans[i].IndexesUsed() {
-				if key, ok := nameToKey[name]; ok {
-					st.indexesUsed = append(st.indexesUsed, key)
+				for _, name := range plans[i].IndexesUsed() {
+					if key, ok := nameToKey[name]; ok {
+						st.indexesUsed = append(st.indexesUsed, key)
+					}
+				}
+				sort.Strings(st.indexesUsed)
+				fresh[p.qi] = st
+				s.memo[memoKey{p.qi, p.sig}] = st
+				if s.opts.Shared != nil {
+					s.opts.Shared.publish(p.tk, s.stmtIDs[p.qi], p.sig, s.canonicalState(st))
 				}
 			}
-			sort.Strings(st.indexesUsed)
-			fresh[p.qi] = st
-			s.memo[memoKey{p.qi, p.sig}] = st
-			if s.opts.Shared != nil {
-				s.opts.Shared.store(s.stmtIDs[p.qi], p.sig, s.canonicalState(st))
-			}
+			repriced += len(misses)
 		}
+
+		// Every led state is published; only now may this session block
+		// on states other sessions are planning.
+		var next []int
+		for _, w := range waits {
+			st, err := s.opts.Shared.wait(context.Background(), w.tk)
+			if err != nil {
+				// The leader abandoned (its edit failed or was cancelled):
+				// re-acquire next round — by then the state is either
+				// published or ours to plan.
+				next = append(next, w.qi)
+				continue
+			}
+			localized := s.localizeState(st)
+			fromShared = append(fromShared, pendingMemo{qi: w.qi, sig: w.sig, st: localized})
+			fresh[w.qi] = localized
+		}
+		remaining = next
 	}
-	// Commit — nothing above this point mutated session state, so a
-	// failed edit leaves states, memo and counters describing the last
+	// Commit — nothing above this point mutated session state (the
+	// local memo and shared tier only ever gain valid priced states),
+	// so a failed edit leaves states and counters describing the last
 	// successful one.
 	for _, pm := range fromShared {
 		s.memo[memoKey{pm.qi, pm.sig}] = pm.st
@@ -1046,10 +1102,19 @@ func (s *DesignSession) reprice(inval map[int]bool) error {
 	}
 	s.memoHits += int64(hits + len(fromShared))
 	s.sharedHits += int64(len(fromShared))
-	s.memoMisses += int64(len(misses))
+	s.memoMisses += int64(repriced)
 	s.lastInvalidated = len(inval)
-	s.lastRepriced = len(misses)
+	s.lastRepriced = repriced
 	return nil
+}
+
+// pendingWait is one state another session is pricing right now: the
+// ticket is collected — after this session publishes everything it
+// leads — instead of duplicating that session's plan calls.
+type pendingWait struct {
+	qi  int
+	sig string
+	tk  *flight.Ticket[stateKey, *queryState]
 }
 
 // pendingMemo is one shared-memo hit awaiting its local-memo insert
@@ -1090,11 +1155,14 @@ func (s *DesignSession) ixNameToKey() map[string]string {
 	return out
 }
 
-// pendingPrice is one memo miss awaiting an optimizer call.
+// pendingPrice is one memo miss awaiting an optimizer call. tk, when
+// non-nil, is the shared memo leadership this session holds for the
+// state: publication fulfills it, a failed edit abandons it.
 type pendingPrice struct {
 	qi     int
 	sig    string
 	target *sql.Select
+	tk     *flight.Ticket[stateKey, *queryState]
 }
 
 // renameIndexes maps hypothetical index names inside an explain text

@@ -1,9 +1,11 @@
 package session
 
 import (
+	"context"
 	"sync/atomic"
 
 	"repro/internal/costlab"
+	"repro/internal/flight"
 	"repro/internal/intern"
 )
 
@@ -22,20 +24,34 @@ import (
 // configuration) costs; it doubles as every attached session's Memo(),
 // so advisor warm starts see the union of all tenants' pricing work.
 // Statement ids are interned once, in the cost tier's interner, when a
-// session is born; signatures are interned at first publication — so
+// session is born; signatures are interned at first acquisition — so
 // the per-edit probe path hashes two uint32s, lock-free (the state
-// tier is an atomic-snapshot map, see intern.Map), instead of taking
-// an RWMutex over full printed-SQL keys.
+// tier is sharded, each shard an atomic-snapshot map, see
+// intern.Bounded), instead of taking an RWMutex over full printed-SQL
+// keys.
 //
-// The memo is append-only and lives as long as its owner (the serve
-// Manager keeps one for its whole life): distinct (query, design)
-// states accumulate without eviction, which is the point — any tenant
-// may revisit them for free — but also means memory grows with the
-// number of distinct states ever priced. States hold only flat
-// strings to keep entries small; bounding or sharding the memo is the
-// future scaling work the serve layer is built to host, and the
-// States/Stores counters in Stats exist so operators can watch the
-// growth.
+// The memo dedups in-flight work, not just completed work: a state one
+// session is still planning is acquired by every other session as a
+// wait ticket (see internal/flight), so N tenants needing the same
+// missing state issue one batch of plan calls between them — the
+// leader's — and creating N identical tenants concurrently prices the
+// base workload once, not N times. A leader that fails abandons its
+// keys and a waiter takes over, so no tenant is ever stranded.
+//
+// The memo lives as long as its owner (the serve Manager keeps one for
+// its whole life). Unbounded — the default — it is append-only:
+// distinct (query, design) states accumulate without eviction, which
+// is the point — any tenant may revisit them for free — but memory
+// grows with the number of distinct states ever priced. Built with
+// NewSharedMemoBounded (`serve -memo-cap`), both tiers instead cap
+// their entry count, CLOCK-evicting the states read least recently.
+// The cap trades the "revisit for free" contract down to "revisit the
+// states you keep warm for free": an evicted state is not an error,
+// it simply re-misses and re-prices (and re-publishes) on next use,
+// while the interners — whose ids keep evicted states re-publishable
+// under stable keys — stay append-only in both modes. States hold only
+// flat strings to keep entries small, and Stats (per-shard sizes,
+// evictions, in-flight counters) is the operator's watch on all of it.
 //
 // All methods are safe for concurrent use; the sessions sharing a
 // SharedMemo may live on different goroutines (each individual
@@ -44,14 +60,20 @@ type SharedMemo struct {
 	costs *costlab.Memo
 
 	sigs   intern.Table
-	states intern.Map[stateKey, *queryState]
+	states *intern.Bounded[stateKey, *queryState]
+
+	// flights coordinates in-flight state pricing across sessions:
+	// exactly one session plans a missing (stmt, sig) state at a time,
+	// everyone else waits for its publication.
+	flights flight.Group[stateKey, *queryState]
 
 	hits   atomic.Int64
 	misses atomic.Int64
 	stores atomic.Int64
 	// dupStores counts state publications that found their key
 	// already present: two sessions raced to price the same state —
-	// the duplicated work the memo exists to shrink.
+	// the duplicated work the singleflight tier exists to eliminate
+	// (it pins this at zero; see the serve manager race gauntlet).
 	dupStores atomic.Int64
 }
 
@@ -61,56 +83,123 @@ type SharedMemo struct {
 // signature interner.
 type stateKey struct{ stmt, sig uint32 }
 
-// NewSharedMemo returns an empty shared memo.
-func NewSharedMemo() *SharedMemo {
-	return &SharedMemo{costs: costlab.NewMemo()}
+// NewSharedMemo returns an empty, unbounded shared memo.
+func NewSharedMemo() *SharedMemo { return NewSharedMemoBounded(0) }
+
+// NewSharedMemoBounded returns an empty shared memo whose state and
+// cost tiers are each capped at roughly capTotal entries (0 =
+// unbounded), spread over intern.DefaultShards CLOCK-evicting shards.
+// See the type comment for what the cap does to the revisit-for-free
+// contract.
+func NewSharedMemoBounded(capTotal int) *SharedMemo {
+	return &SharedMemo{
+		costs: costlab.NewMemoBounded(capTotal),
+		states: intern.NewBounded[stateKey, *queryState](intern.DefaultShards, capTotal, func(k stateKey) uint32 {
+			return intern.Mix32(k.stmt, k.sig)
+		}),
+	}
 }
 
 // Costs exposes the memo's cost tier (full-optimizer costs only).
 func (m *SharedMemo) Costs() *costlab.Memo { return m.costs }
 
-// lookup returns the canonical state of (stmtID, sig), if any session
-// published one. A signature nobody ever published is a guaranteed
-// miss and does not grow the signature interner. Returned states are
-// immutable; callers localize a copy.
-func (m *SharedMemo) lookup(stmtID uint32, sig string) (*queryState, bool) {
-	sigID, ok := m.sigs.ID(sig)
-	if !ok {
-		m.misses.Add(1)
-		return nil, false
-	}
-	st, ok := m.states.Get(stateKey{stmtID, sigID})
-	if ok {
+// acquireRole says how a session obtained a (stmt, sig) state slot.
+type acquireRole int
+
+const (
+	// roleHit: the state is published; use it directly.
+	roleHit acquireRole = iota
+	// roleLead: this session must price the state and release the
+	// ticket via publish (or Abandon on failure).
+	roleLead
+	// roleWait: another session is pricing the state; block on the
+	// ticket via wait — after publishing everything this session
+	// leads.
+	roleWait
+)
+
+// acquire resolves the slot of (stmtID, sig) for re-pricing: a
+// published state, leadership of the missing state, or a wait ticket
+// on the session already pricing it. The signature is interned here —
+// whoever reaches acquire is about to price (or wait for) it, so it
+// is no longer a probe-only key.
+func (m *SharedMemo) acquire(stmtID uint32, sig string) (*queryState, *flight.Ticket[stateKey, *queryState], acquireRole) {
+	k := stateKey{stmtID, m.sigs.Intern(sig)}
+	if st, ok := m.states.Get(k); ok {
 		m.hits.Add(1)
-	} else {
-		m.misses.Add(1)
+		return st, nil, roleHit
 	}
-	return st, ok
+	tk, leader := m.flights.TryLead(k)
+	if !leader {
+		return nil, tk, roleWait
+	}
+	// Leadership won after a miss: the miss may be stale (the prior
+	// leader published and resolved in between) — re-probe before
+	// reporting a lead.
+	if st, ok := m.states.Get(k); ok {
+		tk.Fulfill(st)
+		m.hits.Add(1)
+		return st, nil, roleHit
+	}
+	m.misses.Add(1)
+	return nil, tk, roleLead
 }
 
-// store publishes a canonical state. First writer wins: a duplicate
+// wait blocks on a foreign leader's pricing of a state. A nil error
+// means the state arrived (counted as a hit — it cost this session no
+// plan calls); flight.ErrAbandoned means the leader gave up and the
+// caller should re-acquire the key.
+func (m *SharedMemo) wait(ctx context.Context, tk *flight.Ticket[stateKey, *queryState]) (*queryState, error) {
+	st, err := tk.Wait(ctx)
+	if err != nil {
+		return nil, err
+	}
+	m.hits.Add(1)
+	return st, nil
+}
+
+// publish stores a canonical state and releases the leader's ticket,
+// waking every session waiting on it. First writer wins: a duplicate
 // publication is dropped (and counted), so concurrent readers never
-// see an entry's pointer change.
-func (m *SharedMemo) store(stmtID uint32, sig string, st *queryState) {
+// see an entry's pointer change — with the singleflight tier
+// serializing leaders per key, duplicates cannot happen.
+func (m *SharedMemo) publish(tk *flight.Ticket[stateKey, *queryState], stmtID uint32, sig string, st *queryState) {
 	k := stateKey{stmtID, m.sigs.Intern(sig)}
 	dup := !m.states.PutIfAbsent(k, st)
 	m.stores.Add(1)
 	if dup {
 		m.dupStores.Add(1)
 	}
+	if tk != nil {
+		tk.Fulfill(st)
+	}
 }
 
 // SharedStats reports a shared memo's lifetime counters.
 type SharedStats struct {
-	Hits   int64 `json:"hits"`   // state lookups served
-	Misses int64 `json:"misses"` // state lookups that found nothing
+	Hits   int64 `json:"hits"`   // state lookups served (in-flight waits included)
+	Misses int64 `json:"misses"` // state acquisitions that had to plan
 	States int   `json:"states"` // published (query, design) states
 	Stores int64 `json:"stores"` // state publications, duplicates included
 	// DupStores counts publications that lost the race to an earlier
 	// identical one — pricing work duplicated by concurrent tenants.
+	// The singleflight tier pins this at zero.
 	DupStores int64 `json:"dupStores"`
+	// InflightWaits counts the times a session blocked on a state
+	// another session was already planning, and CoalescedPlanCalls the
+	// waits that were served that session's result — whole pricing
+	// batches saved. Handovers counts waits that outlived an abandoned
+	// leader and re-acquired the key.
+	InflightWaits      int64 `json:"inflightWaits"`
+	CoalescedPlanCalls int64 `json:"coalescedPlanCalls"`
+	Handovers          int64 `json:"handovers"`
+	// Evictions counts state-tier entries dropped by the memo cap (0
+	// when unbounded); ShardSizes is the live entry count per state-
+	// tier shard — with a cap, every element stays ≤ cap/shards.
+	Evictions  int64 `json:"evictions"`
+	ShardSizes []int `json:"shardSizes"`
 	// Sigs is the signature-interner size: distinct projected design
-	// signatures ever published. Like the cost tier's interners, it
+	// signatures ever acquired. Like the cost tier's interners, it
 	// must stay flat while sessions churn over known designs.
 	Sigs  int               `json:"-"`
 	Costs costlab.MemoStats `json:"-"` // cost-tier counters
@@ -118,13 +207,19 @@ type SharedStats struct {
 
 // Stats returns the memo's lifetime counters.
 func (m *SharedMemo) Stats() SharedStats {
+	fs := m.flights.Stats()
 	return SharedStats{
-		Hits:      m.hits.Load(),
-		Misses:    m.misses.Load(),
-		States:    m.states.Len(),
-		Stores:    m.stores.Load(),
-		DupStores: m.dupStores.Load(),
-		Sigs:      m.sigs.Len(),
-		Costs:     m.costs.Stats(),
+		Hits:               m.hits.Load(),
+		Misses:             m.misses.Load(),
+		States:             m.states.Len(),
+		Stores:             m.stores.Load(),
+		DupStores:          m.dupStores.Load(),
+		InflightWaits:      fs.Waits,
+		CoalescedPlanCalls: fs.Coalesced,
+		Handovers:          fs.Handovers,
+		Evictions:          m.states.Evictions(),
+		ShardSizes:         m.states.ShardSizes(),
+		Sigs:               m.sigs.Len(),
+		Costs:              m.costs.Stats(),
 	}
 }
