@@ -36,6 +36,7 @@ import (
 	"repro/internal/costlab"
 	"repro/internal/ingest"
 	"repro/internal/inum"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/recommend"
 	"repro/internal/serve"
@@ -374,6 +375,63 @@ func BenchmarkSessionIncrementalEdit(b *testing.B) {
 		}
 		b.ReportMetric(float64(calls), "plancalls_total")
 	})
+}
+
+// --- Obs: instrumentation overhead on the incremental-edit path -------
+// The observability layer's admission ticket: attaching a request span
+// plus a registry histogram to the SessionIncrementalEdit loop must
+// cost within noise of the uninstrumented loop (the acceptance bound
+// is <= 5% on ns/op, gated through the committed benchjson baseline).
+// The loop is memo-hot after the first iteration, so this measures the
+// overhead against the FASTEST path the span rides — the worst case
+// for relative cost.
+
+func BenchmarkObsOverhead(b *testing.B) {
+	cat := planCatalog(b, 500000)
+	wl := workload.Queries()
+	spec := inum.IndexSpec{Table: "field", Columns: []string{"run", "camcol"}}
+	run := func(b *testing.B, instrumented bool) {
+		s, err := session.New(cat, wl, session.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		base := s.PlanCalls()
+		reg := obs.NewRegistry()
+		hist := reg.Histogram("bench_edit_seconds", "Edit latency (benchmark-local).")
+		var spanCalls int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if instrumented {
+				sp := obs.NewSpan(obs.NewRequestID(), "bench", "POST /sessions/{name}/indexes")
+				s.SetSpan(sp)
+				start := time.Now()
+				if _, err := s.AddIndex(spec); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.DropIndex(spec); err != nil {
+					b.Fatal(err)
+				}
+				hist.Observe(time.Since(start))
+				s.SetSpan(nil)
+				spanCalls += sp.PlanCalls()
+			} else {
+				if _, err := s.AddIndex(spec); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.DropIndex(spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.StopTimer()
+		delta := s.PlanCalls() - base
+		if instrumented && spanCalls != delta {
+			b.Fatalf("span attributed %d plan calls, session consumed %d", spanCalls, delta)
+		}
+		b.ReportMetric(float64(delta), "plancalls_total")
+	}
+	b.Run("NoOp", func(b *testing.B) { run(b, false) })
+	b.Run("Instrumented", func(b *testing.B) { run(b, true) })
 }
 
 // --- Serve: multi-tenant sessions over one shared memo ---------------

@@ -13,9 +13,11 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -33,8 +35,24 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 	winHalfLife := fs.Duration("window-halflife", 0, "per-session ingest window: weight decay half-life (0 = default)")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ for live profiling")
 	memoCap := fs.Int("memo-cap", 0, "shared pricing-memo entry cap per tier, CLOCK-evicting the coldest (0 = unbounded)")
+	metricsOn := fs.Bool("metrics", true, "mount the Prometheus text endpoint at /metrics")
+	logLevel := fs.String("log-level", "info", "structured-log threshold: debug, info, warn or error")
+	logFormat := fs.String("log-format", "text", "structured-log encoding: text or json")
+	slowMS := fs.Int("slow-ms", 500, "warn-log requests slower than this many milliseconds (0 = off)")
+	mutexFrac := fs.Int("pprof-mutex-frac", 0, "runtime mutex-profile sampling fraction (0 = off; see runtime.SetMutexProfileFraction)")
+	blockRate := fs.Int("pprof-block-rate", 0, "runtime block-profile sampling rate in ns (0 = off; see runtime.SetBlockProfileRate)")
 	if err := parseFlags(fs, args, stderr); err != nil {
 		return err
+	}
+	logger, err := obs.NewLogger(stderr, *logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	if *mutexFrac > 0 {
+		runtime.SetMutexProfileFraction(*mutexFrac)
+	}
+	if *blockRate > 0 {
+		runtime.SetBlockProfileRate(*blockRate)
 	}
 	queries, err := loadQueries(*wl)
 	if err != nil {
@@ -53,6 +71,9 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 		WindowHalfLife: *winHalfLife,
 		Pprof:          *pprofOn,
 		MemoCap:        *memoCap,
+		DisableMetrics: !*metricsOn,
+		Logger:         logger,
+		SlowRequest:    time.Duration(*slowMS) * time.Millisecond,
 	})
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -11,6 +11,7 @@ import (
 	"io"
 	"net/http"
 	"regexp"
+	"runtime"
 	"strings"
 	"sync"
 	"syscall"
@@ -39,8 +40,13 @@ func (b *syncBuffer) String() string {
 func TestServeEndToEnd(t *testing.T) {
 	var stdout, stderr syncBuffer
 	exit := make(chan int, 1)
+	// Restore the runtime profile rates the -pprof-* flags set.
+	prevMutex := runtime.SetMutexProfileFraction(-1)
+	defer runtime.SetMutexProfileFraction(prevMutex)
+	defer runtime.SetBlockProfileRate(0)
 	go func() {
-		exit <- run([]string{"serve", "-addr", "127.0.0.1:0", "-scale", "50000", "-max-sessions", "4"},
+		exit <- run([]string{"serve", "-addr", "127.0.0.1:0", "-scale", "50000", "-max-sessions", "4",
+			"-log-level", "debug", "-log-format", "json", "-pprof-mutex-frac", "2", "-pprof-block-rate", "1000"},
 			strings.NewReader(""), &stdout, &stderr)
 	}()
 
@@ -85,8 +91,44 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatalf("healthz = %d", resp.StatusCode)
 	}
 
+	// The -pprof-* flags reached the runtime before serving started.
+	if got := runtime.SetMutexProfileFraction(-1); got != 2 {
+		t.Errorf("mutex profile fraction = %d, want 2 (from -pprof-mutex-frac)", got)
+	}
+
 	post("/sessions", `{"name":"smoke"}`, http.StatusCreated)
 	post("/sessions/smoke/indexes", `{"table":"photoobj","columns":["ra"]}`, http.StatusOK)
+
+	// /metrics speaks Prometheus text and attributes smoke's plan calls.
+	metResp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metRaw, _ := io.ReadAll(metResp.Body)
+	metResp.Body.Close()
+	if metResp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics = %d", metResp.StatusCode)
+	}
+	reqID := metResp.Header.Get("X-Request-ID")
+	if reqID == "" {
+		t.Error("GET /metrics response lacks X-Request-ID")
+	}
+	metrics := string(metRaw)
+	for _, want := range []string{
+		"# TYPE parinda_http_requests_total counter",
+		"# TYPE parinda_http_request_seconds histogram",
+		`parinda_tenant_plan_calls_total{tenant="smoke"}`,
+		"parinda_sessions 1",
+		`parinda_costlab_pricing_calls_total{backend="full"}`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+	// The debug access log (json) carries the request ids.
+	if !strings.Contains(stderr.String(), `"requestId"`) {
+		t.Errorf("no structured access log on stderr: %s", stderr.String())
+	}
 
 	costsResp, err := http.Get(base + "/sessions/smoke/costs")
 	if err != nil {

@@ -63,6 +63,13 @@
 //	                    shared memo and publishing designs atomically —
 //	                    behind `parinda ingest` and the continuous
 //	                    recommend jobs
+//	internal/obs        zero-dependency observability kit: metrics
+//	                    registry (atomic counters/gauges, lock-free
+//	                    sharded log-bucketed latency histograms),
+//	                    Prometheus text exposition, request-scoped
+//	                    spans attributing plan calls and memo outcomes,
+//	                    log/slog construction helpers — behind GET
+//	                    /metrics and the serve middleware
 //	internal/core       PARINDA facade tying the components together
 //
 // See README.md for the layout and the session REPL commands, and

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/inum"
@@ -133,7 +134,9 @@ func (f *Full) Plan(stmt *sql.Select, cfg Config) (*optimizer.Plan, []string, er
 		names = append(names, ix.Name)
 	}
 	f.calls.Add(1)
+	start := time.Now()
 	plan, err := s.Plan(stmt)
+	observeFull(start)
 	drop()
 	if err != nil {
 		return nil, nil, err

@@ -4,6 +4,7 @@ import (
 	"hash/fnv"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/inum"
@@ -76,7 +77,10 @@ func (e *INUM) Cost(stmt *sql.Select, cfg Config) (float64, error) {
 	sh := e.shardFor(stmt)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return sh.cache.Cost(stmt, cfg)
+	start := time.Now()
+	cost, err := sh.cache.Cost(stmt, cfg)
+	observeINUM(start)
+	return cost, err
 }
 
 // FullOptimizerCost prices stmt under cfg with the real optimizer (no

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/flight"
 	"repro/internal/intern"
+	"repro/internal/obs"
 	"repro/internal/sql"
 )
 
@@ -209,6 +210,11 @@ type MemoStats struct {
 	Handovers      int64
 }
 
+// FlightStats reports the memo's singleflight tier directly (Stats
+// folds the wait-side counters in; this adds Leads for the /metrics
+// flight family).
+func (mo *Memo) FlightStats() flight.Stats { return mo.flights.Stats() }
+
 // Stats returns the memo's lifetime counters.
 func (mo *Memo) Stats() MemoStats {
 	fs := mo.flights.Stats()
@@ -268,7 +274,32 @@ func (mo *Memo) jobKey(job Job) Key {
 // deadlock-free: a blocked batch never holds an unpublished
 // leadership. A leader that fails abandons its keys; its waiters take
 // over and price them locally.
+//
+// When ctx carries an obs.Span (the serve layer's request tracing),
+// the batch's outcome is added to it: memo hits as shared hits, led
+// keys as leads, waits served as coalesced calls, plus the estimator
+// plan-call delta when est exposes PlanCalls.
 func EvaluateDelta(ctx context.Context, est CostEstimator, jobs []Job, memo *Memo, workers int) ([]float64, BatchStats, error) {
+	sp := obs.SpanFromContext(ctx)
+	if sp == nil {
+		return evaluateDelta(ctx, est, jobs, memo, workers)
+	}
+	pc, _ := est.(interface{ PlanCalls() int64 })
+	var pc0 int64
+	if pc != nil {
+		pc0 = pc.PlanCalls()
+	}
+	costs, stats, err := evaluateDelta(ctx, est, jobs, memo, workers)
+	sp.AddSharedHits(int64(stats.Hits))
+	sp.AddLed(int64(stats.Misses))
+	sp.AddCoalesced(int64(stats.Coalesced))
+	if pc != nil {
+		sp.AddPlanCalls(pc.PlanCalls() - pc0)
+	}
+	return costs, stats, err
+}
+
+func evaluateDelta(ctx context.Context, est CostEstimator, jobs []Job, memo *Memo, workers int) ([]float64, BatchStats, error) {
 	if memo == nil {
 		costs, err := EvaluateAll(ctx, est, jobs, workers)
 		return costs, BatchStats{Misses: len(jobs)}, err

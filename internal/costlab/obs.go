@@ -1,0 +1,40 @@
+package costlab
+
+// Backend pricing instrumentation, on the process-wide obs.Default
+// registry: estimators are constructed all over the tree (sessions,
+// advisors, the serve manager, one-shot CLI runs), so per-manager
+// registries cannot see them — the serve /metrics endpoint renders
+// obs.Default after its own registry instead. Handles are package-
+// level and lock-free on the hot path (a Histogram.Observe is a
+// sync.Pool get and two atomic adds), keeping the overhead invisible
+// next to an optimizer invocation.
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+const (
+	pricingSecondsHelp = "Optimizer-backed pricing latency, by cost backend."
+	pricingCallsHelp   = "Pricing calls that reached the optimizer, by cost backend."
+)
+
+var (
+	fullPricingSeconds = obs.Default.Histogram("parinda_costlab_pricing_seconds", pricingSecondsHelp, "backend", "full")
+	fullPricingCalls   = obs.Default.Counter("parinda_costlab_pricing_calls_total", pricingCallsHelp, "backend", "full")
+	inumPricingSeconds = obs.Default.Histogram("parinda_costlab_pricing_seconds", pricingSecondsHelp, "backend", "inum")
+	inumPricingCalls   = obs.Default.Counter("parinda_costlab_pricing_calls_total", pricingCallsHelp, "backend", "inum")
+)
+
+// observeFull records one full-optimizer invocation begun at start.
+func observeFull(start time.Time) {
+	fullPricingCalls.Inc()
+	fullPricingSeconds.Observe(time.Since(start))
+}
+
+// observeINUM records one INUM cache pricing call begun at start.
+func observeINUM(start time.Time) {
+	inumPricingCalls.Inc()
+	inumPricingSeconds.Observe(time.Since(start))
+}

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a latency histogram over fixed log2 buckets: the i-th
+// bucket's upper bound is 1µs·2^i, 26 finite buckets (1µs … ~33.6s)
+// plus +Inf. Observations are sharded in the spirit of intern.Bounded:
+// each goroutine grabs a shard through a sync.Pool (so repeat
+// observers keep hitting the same cache-hot shard) and bumps two
+// atomics — the hot path takes no lock and the shards merge at
+// snapshot time. Fixed log buckets make shard merge a plain vector
+// add and keep quantile error within a factor of 2, plenty for the
+// p50/p95/p99 the slow-request log and /metrics serve.
+//
+// A nil *Histogram no-ops, the "instrumentation off" path.
+type Histogram struct {
+	shards [histShards]histShard
+	next   atomic.Uint32
+	pool   sync.Pool
+}
+
+const (
+	histShards   = 8
+	histMinNanos = 1000 // first bucket: ≤ 1µs
+	histBuckets  = 26   // finite buckets; last finite bound 1µs<<25 ≈ 33.6s
+)
+
+// histShard is one independently updated slice of the histogram,
+// padded so adjacent shards never share a cache line.
+type histShard struct {
+	cells [histBuckets + 1]atomic.Int64 // [histBuckets] is +Inf
+	sum   atomic.Int64                  // nanoseconds
+	_     [4]int64
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.pool.New = func() any {
+		return &h.shards[h.next.Add(1)%histShards]
+	}
+	return h
+}
+
+// bucketOf maps a duration to its bucket index: the smallest i with
+// d ≤ 1µs·2^i, or the +Inf cell.
+func bucketOf(d time.Duration) int {
+	n := d.Nanoseconds()
+	if n <= histMinNanos {
+		return 0
+	}
+	i := bits.Len64(uint64(n-1) / histMinNanos)
+	if i > histBuckets-1 {
+		return histBuckets
+	}
+	return i
+}
+
+// bucketBound is bucket i's upper bound in nanoseconds (finite
+// buckets only).
+func bucketBound(i int) int64 { return histMinNanos << i }
+
+// Observe records one duration. Lock-free: a pooled shard reference
+// plus two atomic adds.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	sh := h.pool.Get().(*histShard)
+	sh.cells[bucketOf(d)].Add(1)
+	sh.sum.Add(d.Nanoseconds())
+	h.pool.Put(sh)
+}
+
+// HistogramSnapshot is a merged view of every shard at one instant.
+type HistogramSnapshot struct {
+	Count   int64
+	Sum     time.Duration
+	Buckets [histBuckets + 1]int64 // per-bucket counts, [histBuckets] is +Inf
+}
+
+// Snapshot merges the shards. Each cell is read atomically; a
+// snapshot taken under concurrent observation is a consistent-enough
+// view (counts may trail sums by in-flight observations).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var out HistogramSnapshot
+	if h == nil {
+		return out
+	}
+	for s := range h.shards {
+		sh := &h.shards[s]
+		for i := range sh.cells {
+			out.Buckets[i] += sh.cells[i].Load()
+		}
+		out.Sum += time.Duration(sh.sum.Load())
+	}
+	for _, c := range out.Buckets {
+		out.Count += c
+	}
+	return out
+}
+
+// Quantile estimates the q-th quantile (q in [0,1]) by linear
+// interpolation inside the covering bucket. The +Inf bucket reports
+// the largest finite bound — an underestimate, honestly labeled by
+// the bucket layout.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := 0.0
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		if i >= histBuckets {
+			return time.Duration(bucketBound(histBuckets - 1))
+		}
+		lo := int64(0)
+		if i > 0 {
+			lo = bucketBound(i - 1)
+		}
+		hi := bucketBound(i)
+		frac := (rank - prev) / float64(c)
+		return time.Duration(float64(lo) + float64(hi-lo)*frac)
+	}
+	return time.Duration(bucketBound(histBuckets - 1))
+}
+
+// P50, P95 and P99 are the quantiles the slow-request log and /stats
+// views surface.
+func (s HistogramSnapshot) P50() time.Duration { return s.Quantile(0.50) }
+func (s HistogramSnapshot) P95() time.Duration { return s.Quantile(0.95) }
+func (s HistogramSnapshot) P99() time.Duration { return s.Quantile(0.99) }
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+func floatFrom(b uint64) float64 { return math.Float64frombits(b) }
+func boundSeconds(i int) float64 { return float64(bucketBound(i)) / 1e9 }

@@ -1,0 +1,326 @@
+// Package obs is the zero-dependency observability layer: a metrics
+// registry (atomic counters, gauges, callback-backed views and
+// lock-free sharded latency histograms), a Prometheus text-format
+// exporter, request-scoped tracing spans, and log/slog helpers.
+//
+// The registry is the single substrate behind both GET /metrics and
+// GET /stats in the serve layer: subsystems register real counters for
+// events they own (HTTP requests, ingest submissions) and CounterFunc/
+// GaugeFunc views over counters that already exist elsewhere (the
+// shared memo, the flight group, the session manager), so the two
+// endpoints can never disagree.
+//
+// Every handle is nil-safe: methods on a nil *Registry return nil
+// metric handles, and Inc/Add/Observe on nil handles are no-ops. That
+// makes "instrumentation off" a data decision, not a code path — the
+// same call sites run either way, and BenchmarkObsOverhead measures
+// the difference.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Default is the process-wide registry. Package-level instrumentation
+// that has no natural owner object (the costlab backends' pricing
+// latency) registers here; the serve layer's /metrics endpoint exports
+// its own registry followed by Default. Family names must not collide
+// across the two — keep package-level families under a distinct
+// prefix (parinda_costlab_*).
+var Default = NewRegistry()
+
+// Registry is a set of metric families keyed by name. All methods are
+// safe for concurrent use; get-or-create calls on the hot path cost
+// two mutex-guarded map lookups, so callers that care (per-edit loops)
+// hold on to the returned handle instead.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: map[string]*family{}}
+}
+
+// Metric family kinds (Prometheus TYPE values).
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// family is one named metric family: a kind, a help string, and the
+// labeled series under it.
+type family struct {
+	name, help, kind string
+
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+// series is one labeled instance of a family. Exactly one of counter,
+// gauge, hist or fn is set, matching the family kind (fn substitutes
+// for counter/gauge when the value lives elsewhere).
+type series struct {
+	labels []string // alternating key, value — as registered
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	fn     func() float64
+}
+
+// value reads the series' current value (counter/gauge kinds only).
+func (s *series) value() float64 {
+	if s.fn != nil {
+		return s.fn()
+	}
+	if s.c != nil {
+		return float64(s.c.Value())
+	}
+	return s.g.Value()
+}
+
+// Counter is a monotonically increasing metric. The zero value is
+// ready; a nil *Counter no-ops.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (n must be ≥ 0 to keep the counter monotone).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value reads the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down. A nil *Gauge no-ops.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(floatBits(v))
+	}
+}
+
+// Add adds delta (atomic compare-and-swap loop).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, floatBits(floatFrom(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return floatFrom(g.bits.Load())
+}
+
+// family returns (creating if needed) the named family, enforcing
+// kind consistency. Kind or label-shape mismatches are programmer
+// errors and panic.
+func (r *Registry) family(name, help, kind string) *family {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, series: map[string]*series{}}
+		r.fams[name] = f
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, f.kind))
+	}
+	return f
+}
+
+// getSeries returns (creating via mk if needed) the series under f for
+// the given label pairs.
+func (f *family) getSeries(labels []string, mk func() *series) *series {
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: metric %q: odd label list %v (want key, value pairs)", f.name, labels))
+	}
+	for i := 0; i < len(labels); i += 2 {
+		if !validLabelName(labels[i]) {
+			panic(fmt.Sprintf("obs: metric %q: invalid label name %q", f.name, labels[i]))
+		}
+	}
+	sig := labelSig(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s, ok := f.series[sig]
+	if !ok {
+		s = mk()
+		s.labels = append([]string(nil), labels...)
+		f.series[sig] = s
+	}
+	return s
+}
+
+// Counter returns the counter for (name, labels), creating family and
+// series on first use. labels are alternating key, value. nil-safe.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	f := r.family(name, help, kindCounter)
+	s := f.getSeries(labels, func() *series { return &series{c: &Counter{}} })
+	if s.c == nil {
+		panic(fmt.Sprintf("obs: metric %q%v is a callback series, not a counter", name, labels))
+	}
+	return s.c
+}
+
+// Gauge returns the gauge for (name, labels). nil-safe.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	f := r.family(name, help, kindGauge)
+	s := f.getSeries(labels, func() *series { return &series{g: &Gauge{}} })
+	if s.g == nil {
+		panic(fmt.Sprintf("obs: metric %q%v is a callback series, not a gauge", name, labels))
+	}
+	return s.g
+}
+
+// CounterFunc registers fn as the value of a counter series — a thin
+// view over a count maintained elsewhere (an existing atomic, a stats
+// struct behind a lock). Re-registering the same series replaces fn:
+// the newest owner wins. nil-safe.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...string) {
+	if r == nil {
+		return
+	}
+	r.registerFunc(name, help, kindCounter, fn, labels)
+}
+
+// GaugeFunc is CounterFunc for gauge semantics. nil-safe.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	if r == nil {
+		return
+	}
+	r.registerFunc(name, help, kindGauge, fn, labels)
+}
+
+func (r *Registry) registerFunc(name, help, kind string, fn func() float64, labels []string) {
+	f := r.family(name, help, kind)
+	s := f.getSeries(labels, func() *series { return &series{fn: fn} })
+	if s.fn == nil {
+		panic(fmt.Sprintf("obs: metric %q%v is a real %s, not a callback series", name, labels, kind))
+	}
+	f.mu.Lock()
+	s.fn = fn
+	f.mu.Unlock()
+}
+
+// Histogram returns the latency histogram for (name, labels). nil-safe.
+func (r *Registry) Histogram(name, help string, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	f := r.family(name, help, kindHistogram)
+	s := f.getSeries(labels, func() *series { return &series{h: newHistogram()} })
+	return s.h
+}
+
+// snapshotFamilies returns the families sorted by name, each with its
+// series sorted by label signature — the stable export order.
+func (r *Registry) snapshotFamilies() []*family {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// sortedSeries returns f's series in label-signature order.
+func (f *family) sortedSeries() []*series {
+	f.mu.Lock()
+	sigs := make([]string, 0, len(f.series))
+	for sig := range f.series {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
+	out := make([]*series, len(sigs))
+	for i, sig := range sigs {
+		out[i] = f.series[sig]
+	}
+	f.mu.Unlock()
+	return out
+}
+
+// labelSig is the series key: label pairs joined with an unprintable
+// separator (label values may contain anything).
+func labelSig(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	n := 0
+	for _, l := range labels {
+		n += len(l) + 1
+	}
+	b := make([]byte, 0, n)
+	for _, l := range labels {
+		b = append(b, l...)
+		b = append(b, 0xff)
+	}
+	return string(b)
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || s == "le" { // le is reserved for histogram buckets
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition content type.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText exports the registry in Prometheus text exposition format
+// (version 0.0.4): families sorted by name, each preceded by # HELP
+// and # TYPE, series sorted by label signature. Histograms export the
+// standard cumulative _bucket/_sum/_count triplet with le bounds in
+// seconds. nil-safe (writes nothing).
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var b strings.Builder
+	for _, f := range r.snapshotFamilies() {
+		b.Reset()
+		b.WriteString("# HELP ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(escapeHelp(f.help))
+		b.WriteString("\n# TYPE ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(f.kind)
+		b.WriteByte('\n')
+		for _, s := range f.sortedSeries() {
+			if f.kind == kindHistogram {
+				writeHistogramSeries(&b, f.name, s)
+				continue
+			}
+			b.WriteString(f.name)
+			writeLabels(&b, s.labels, "", "")
+			b.WriteByte(' ')
+			b.WriteString(formatValue(s.value()))
+			b.WriteByte('\n')
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogramSeries renders one labeled histogram as the
+// cumulative bucket series plus _sum and _count.
+func writeHistogramSeries(b *strings.Builder, name string, s *series) {
+	snap := s.h.Snapshot()
+	cum := int64(0)
+	for i := 0; i <= histBuckets; i++ {
+		cum += snap.Buckets[i]
+		le := "+Inf"
+		if i < histBuckets {
+			le = formatValue(boundSeconds(i))
+		}
+		b.WriteString(name)
+		b.WriteString("_bucket")
+		writeLabels(b, s.labels, "le", le)
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatInt(cum, 10))
+		b.WriteByte('\n')
+	}
+	b.WriteString(name)
+	b.WriteString("_sum")
+	writeLabels(b, s.labels, "", "")
+	b.WriteByte(' ')
+	b.WriteString(formatValue(snap.Sum.Seconds()))
+	b.WriteByte('\n')
+	b.WriteString(name)
+	b.WriteString("_count")
+	writeLabels(b, s.labels, "", "")
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatInt(snap.Count, 10))
+	b.WriteByte('\n')
+}
+
+// writeLabels renders {k="v",...}, appending the extra pair (the
+// histogram le) when extraKey is non-empty. No braces when empty.
+func writeLabels(b *strings.Builder, labels []string, extraKey, extraVal string) {
+	if len(labels) == 0 && extraKey == "" {
+		return
+	}
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labels[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(labels[i+1]))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(extraVal))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+// formatValue renders a sample value: integers without an exponent,
+// everything else in Go's shortest-round-trip form (which Prometheus
+// parses).
+func formatValue(v float64) string {
+	if v == float64(int64(v)) && v >= -1e15 && v <= 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+func escapeLabelValue(s string) string { return labelEscaper.Replace(s) }
+
+// Handler-free convenience: render the registry to a string (tests,
+// REPL dumps).
+func (r *Registry) Text() string {
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		return fmt.Sprintf("obs: %v", err)
+	}
+	return b.String()
+}

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/advisor"
 	"repro/internal/inum"
+	"repro/internal/obs"
 	"repro/internal/session"
 )
 
@@ -53,6 +54,9 @@ func (m *Manager) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", m.handleHealth)
 	mux.HandleFunc("GET /stats", m.handleStats)
+	if !m.opts.DisableMetrics {
+		mux.HandleFunc("GET /metrics", m.handleMetrics)
+	}
 	mux.HandleFunc("GET /sessions", m.handleList)
 	mux.HandleFunc("POST /sessions", m.handleCreate)
 	mux.HandleFunc("GET /sessions/{name}", m.handleInfo)
@@ -86,7 +90,26 @@ func (m *Manager) Handler() http.Handler {
 		mux.HandleFunc("POST /debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
-	return mux
+	// Every route — pprof and 404s included — passes through the
+	// observability middleware: request id, span, latency histogram,
+	// slow-request log (see middleware.go).
+	return m.instrument(mux)
+}
+
+// doReq is Do plus span attribution: while fn runs, the session
+// records its pricing deltas (plan calls, memo outcomes) into the
+// request's span, which the middleware folds into the per-tenant and
+// memo-outcome metric families.
+func (m *Manager) doReq(r *http.Request, name string, fn func(*session.DesignSession) error) error {
+	sp := obs.SpanFromContext(r.Context())
+	if sp == nil {
+		return m.Do(name, fn)
+	}
+	return m.Do(name, func(s *session.DesignSession) error {
+		s.SetSpan(sp)
+		defer s.SetSpan(nil)
+		return fn(s)
+	})
 }
 
 // bufPool recycles encode/decode buffers across requests, so the
@@ -208,6 +231,16 @@ func (m *Manager) handleCreate(w http.ResponseWriter, r *http.Request) {
 	var info *SessionInfo
 	if err := m.Do(req.Name, func(s *session.DesignSession) error {
 		info = sessionInfo(req.Name, s)
+		// Creation pricing ran before the span could be attached to the
+		// session; a fresh session's lifetime counters ARE its creation
+		// cost, so attribute them here.
+		if sp := obs.SpanFromContext(r.Context()); sp != nil {
+			st := s.Stats()
+			sp.AddPlanCalls(st.PlanCalls)
+			sp.AddSharedHits(st.SharedHits)
+			sp.AddLocalHits(st.MemoHits - st.SharedHits)
+			sp.AddLed(st.MemoMisses)
+		}
 		return nil
 	}); err != nil {
 		// Created but evicted before we could describe it — report
@@ -234,7 +267,7 @@ func sessionInfo(name string, s *session.DesignSession) *SessionInfo {
 func (m *Manager) handleInfo(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	var info *SessionInfo
-	if err := m.Do(name, func(s *session.DesignSession) error {
+	if err := m.doReq(r, name, func(s *session.DesignSession) error {
 		info = sessionInfo(name, s)
 		return nil
 	}); err != nil {
@@ -252,11 +285,11 @@ func (m *Manager) handleDrop(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// edit runs a design mutation under the session lock and writes the
-// EditResponse.
-func (m *Manager) edit(w http.ResponseWriter, name string, fn func(*session.DesignSession) (*session.InteractiveReport, error)) {
+// edit runs a design mutation under the session lock (span-attributed
+// via doReq) and writes the EditResponse.
+func (m *Manager) edit(w http.ResponseWriter, r *http.Request, name string, fn func(*session.DesignSession) (*session.InteractiveReport, error)) {
 	var resp *EditResponse
-	if err := m.Do(name, func(s *session.DesignSession) error {
+	if err := m.doReq(r, name, func(s *session.DesignSession) error {
 		rep, err := fn(s)
 		if err != nil {
 			return err
@@ -276,7 +309,7 @@ func (m *Manager) handleAddIndex(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	m.edit(w, r.PathValue("name"), func(s *session.DesignSession) (*session.InteractiveReport, error) {
+	m.edit(w, r, r.PathValue("name"), func(s *session.DesignSession) (*session.InteractiveReport, error) {
 		return s.AddIndex(inum.IndexSpec{Table: req.Table, Columns: req.Columns})
 	})
 }
@@ -291,7 +324,7 @@ func (m *Manager) handleDropIndex(w http.ResponseWriter, r *http.Request) {
 		}
 		key = inum.IndexSpec{Table: req.Table, Columns: req.Columns}.Key()
 	}
-	m.edit(w, r.PathValue("name"), func(s *session.DesignSession) (*session.InteractiveReport, error) {
+	m.edit(w, r, r.PathValue("name"), func(s *session.DesignSession) (*session.InteractiveReport, error) {
 		return s.DropIndexKey(key)
 	})
 }
@@ -302,14 +335,14 @@ func (m *Manager) handleAddPartition(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	m.edit(w, r.PathValue("name"), func(s *session.DesignSession) (*session.InteractiveReport, error) {
+	m.edit(w, r, r.PathValue("name"), func(s *session.DesignSession) (*session.InteractiveReport, error) {
 		return s.AddPartition(session.PartitionDef{Table: req.Table, Fragments: req.Fragments})
 	})
 }
 
 func (m *Manager) handleDropPartition(w http.ResponseWriter, r *http.Request) {
 	table := r.PathValue("table")
-	m.edit(w, r.PathValue("name"), func(s *session.DesignSession) (*session.InteractiveReport, error) {
+	m.edit(w, r, r.PathValue("name"), func(s *session.DesignSession) (*session.InteractiveReport, error) {
 		return s.DropPartition(table)
 	})
 }
@@ -320,19 +353,19 @@ func (m *Manager) handleNestLoop(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	m.edit(w, r.PathValue("name"), func(s *session.DesignSession) (*session.InteractiveReport, error) {
+	m.edit(w, r, r.PathValue("name"), func(s *session.DesignSession) (*session.InteractiveReport, error) {
 		return s.SetNestLoop(req.Enabled)
 	})
 }
 
 func (m *Manager) handleUndo(w http.ResponseWriter, r *http.Request) {
-	m.edit(w, r.PathValue("name"), func(s *session.DesignSession) (*session.InteractiveReport, error) {
+	m.edit(w, r, r.PathValue("name"), func(s *session.DesignSession) (*session.InteractiveReport, error) {
 		return s.Undo()
 	})
 }
 
 func (m *Manager) handleRedo(w http.ResponseWriter, r *http.Request) {
-	m.edit(w, r.PathValue("name"), func(s *session.DesignSession) (*session.InteractiveReport, error) {
+	m.edit(w, r, r.PathValue("name"), func(s *session.DesignSession) (*session.InteractiveReport, error) {
 		return s.Redo()
 	})
 }
@@ -343,14 +376,14 @@ func (m *Manager) handleApplyDesign(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	m.edit(w, r.PathValue("name"), func(s *session.DesignSession) (*session.InteractiveReport, error) {
+	m.edit(w, r, r.PathValue("name"), func(s *session.DesignSession) (*session.InteractiveReport, error) {
 		return s.ApplyDesign(d)
 	})
 }
 
 func (m *Manager) handleGetDesign(w http.ResponseWriter, r *http.Request) {
 	var d session.Design
-	if err := m.Do(r.PathValue("name"), func(s *session.DesignSession) error {
+	if err := m.doReq(r, r.PathValue("name"), func(s *session.DesignSession) error {
 		d = s.Design()
 		return nil
 	}); err != nil {
@@ -376,7 +409,7 @@ func (m *Manager) handleExplain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var text string
-	if err := m.Do(r.PathValue("name"), func(s *session.DesignSession) error {
+	if err := m.doReq(r, r.PathValue("name"), func(s *session.DesignSession) error {
 		var err error
 		text, err = s.Explain(q - 1)
 		return err
@@ -403,7 +436,7 @@ func (m *Manager) handleSuggest(w http.ResponseWriter, r *http.Request) {
 		opts.StorageBudget = int64(req.BudgetMB) << 20
 	}
 	var resp *SuggestResponse
-	if err := m.Do(r.PathValue("name"), func(s *session.DesignSession) error {
+	if err := m.doReq(r, r.PathValue("name"), func(s *session.DesignSession) error {
 		// The request context threads into the pricing batches, so a
 		// disconnected client aborts the in-flight advisor run.
 		res, err := s.SuggestIndexesGreedy(r.Context(), opts)
@@ -435,7 +468,7 @@ func (m *Manager) handleSuggest(w http.ResponseWriter, r *http.Request) {
 
 func (m *Manager) handleSessionStats(w http.ResponseWriter, r *http.Request) {
 	var st SessionStats
-	if err := m.Do(r.PathValue("name"), func(s *session.DesignSession) error {
+	if err := m.doReq(r, r.PathValue("name"), func(s *session.DesignSession) error {
 		st = sessionStats(s.Stats())
 		return nil
 	}); err != nil {

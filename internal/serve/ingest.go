@@ -37,6 +37,8 @@ func (m *Manager) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 	accepted, rejected, firstErr := win.IngestBatch(batch)
+	m.met.ingestAccepted.Add(int64(accepted))
+	m.met.ingestRejected.Add(int64(rejected))
 	if accepted == 0 && firstErr != nil {
 		// Nothing in the batch parsed: that is a malformed request, not
 		// a partially-dirty stream.

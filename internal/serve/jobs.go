@@ -12,6 +12,7 @@ import (
 	"repro/internal/advisor"
 	"repro/internal/costlab"
 	"repro/internal/ingest"
+	"repro/internal/obs"
 	"repro/internal/recommend"
 	"repro/internal/session"
 )
@@ -45,6 +46,7 @@ const (
 type recommendJob struct {
 	id         string
 	session    string
+	requestID  string // X-Request-ID of the request that started it
 	objects    string
 	strategy   string
 	continuous bool
@@ -75,6 +77,7 @@ func (j *recommendJob) status(now time.Time) *RecommendJobStatus {
 	return &RecommendJobStatus{
 		ID:          j.id,
 		Session:     j.session,
+		RequestID:   j.requestID,
 		State:       j.state,
 		Objects:     j.objects,
 		Strategy:    j.strategy,
@@ -102,8 +105,10 @@ func (j *recommendJob) terminal() bool {
 // StartRecommend launches a recommendation job over session name's
 // workload, warm-started from the shared memo, and returns its initial
 // status. The search runs on its own goroutine with its own context;
-// DeleteRecommendJob (or process exit) stops it.
-func (m *Manager) StartRecommend(name string, req RecommendJobRequest) (*RecommendJobStatus, error) {
+// DeleteRecommendJob (or process exit) stops it. requestID, when
+// non-empty, is stamped on the job's status so polls correlate with
+// the starting request's trace ("" is fine for non-HTTP callers).
+func (m *Manager) StartRecommend(name string, req RecommendJobRequest, requestID string) (*RecommendJobStatus, error) {
 	// Reject malformed searches synchronously (400) instead of
 	// accepting a job that can only ever fail.
 	if err := recommend.ValidateSearch(req.Objects, req.Strategy); err != nil {
@@ -152,6 +157,7 @@ func (m *Manager) StartRecommend(name string, req RecommendJobRequest) (*Recomme
 	ctx, cancel := context.WithCancel(context.Background())
 	job := &recommendJob{
 		session:    name,
+		requestID:  requestID,
 		objects:    opts.Objects,
 		strategy:   opts.Strategy,
 		continuous: req.Continuous,
@@ -188,6 +194,7 @@ func (m *Manager) StartRecommend(name string, req RecommendJobRequest) (*Recomme
 			cancel()
 			return nil, err
 		}
+		m.jobStarted(job)
 		go m.runContinuousJob(ctx, job, tuner, interval, req.MaxRetunes)
 		return job.status(m.now()), nil
 	}
@@ -196,8 +203,25 @@ func (m *Manager) StartRecommend(name string, req RecommendJobRequest) (*Recomme
 		cancel()
 		return nil, err
 	}
+	m.jobStarted(job)
 	go m.runRecommendJob(ctx, job, queries, opts)
 	return job.status(m.now()), nil
+}
+
+// jobStarted and jobEnded fold a job's lifecycle into the metrics
+// registry and the structured log in one place. jobEnded may run with
+// job.mu held (it only reads immutable job fields).
+func (m *Manager) jobStarted(job *recommendJob) {
+	m.met.jobsStarted.Inc()
+	m.log.Info("recommend job started",
+		"job", job.id, "session", job.session, "requestId", job.requestID,
+		"objects", job.objects, "strategy", job.strategy, "continuous", job.continuous)
+}
+
+func (m *Manager) jobEnded(job *recommendJob, state string) {
+	m.met.jobFinished(state)
+	m.log.Info("recommend job finished",
+		"job", job.id, "session", job.session, "requestId", job.requestID, "state", state)
 }
 
 // runContinuousJob is the continuous-tuner loop: on every tick it asks
@@ -213,6 +237,7 @@ func (m *Manager) runContinuousJob(ctx context.Context, job *recommendJob, tuner
 		job.state = state
 		job.finished = m.now()
 		job.mu.Unlock()
+		m.jobEnded(job, state)
 	}
 	tick := time.NewTicker(interval)
 	defer tick.Stop()
@@ -235,6 +260,7 @@ func (m *Manager) runContinuousJob(ctx context.Context, job *recommendJob, tuner
 			job.state = JobCancelled
 			job.finished = m.now()
 			job.mu.Unlock()
+			m.jobEnded(job, JobCancelled)
 			return
 		}
 		if win != tuner.Window() {
@@ -249,15 +275,23 @@ func (m *Manager) runContinuousJob(ctx context.Context, job *recommendJob, tuner
 				job.state = JobCancelled
 				job.finished = m.now()
 				job.mu.Unlock()
+				m.jobEnded(job, JobCancelled)
 				return
 			}
 			job.errMsg = err.Error()
 			job.mu.Unlock()
+			m.met.tunerErrors.Inc()
+			m.log.Warn("tuner check failed",
+				"job", job.id, "session", job.session, "drift", drift, "error", err.Error())
 			continue
 		}
 		if ret != nil {
 			job.errMsg = ""
 			job.retunes++
+			m.met.tunerRetunes.Inc()
+			m.log.Info("tuner retuned",
+				"job", job.id, "session", job.session, "retunes", job.retunes,
+				"drift", ret.Drift, "planCalls", ret.Result.PlanCalls)
 			res := ret.Result
 			job.result = recommendResult(res)
 			job.result.Drift = ret.Drift
@@ -273,6 +307,7 @@ func (m *Manager) runContinuousJob(ctx context.Context, job *recommendJob, tuner
 				job.state = JobDone
 				job.finished = m.now()
 				job.mu.Unlock()
+				m.jobEnded(job, JobDone)
 				return
 			}
 		}
@@ -315,7 +350,11 @@ func (m *Manager) runRecommendJob(ctx context.Context, job *recommendJob, querie
 	res, err := recommend.Recommend(ctx, m.cat, queries, opts)
 
 	job.mu.Lock()
-	defer job.mu.Unlock()
+	defer func() {
+		state := job.state
+		job.mu.Unlock()
+		m.jobEnded(job, state)
+	}()
 	job.finished = m.now()
 	switch {
 	case err == nil:
@@ -453,7 +492,11 @@ func (m *Manager) handleRecommendStart(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	st, err := m.StartRecommend(r.PathValue("name"), req)
+	requestID := ""
+	if sp := obs.SpanFromContext(r.Context()); sp != nil {
+		requestID = sp.ID
+	}
+	st, err := m.StartRecommend(r.PathValue("name"), req, requestID)
 	if err != nil {
 		writeError(w, err)
 		return

@@ -3,6 +3,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/url"
 	"sort"
 	"sync"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/ingest"
 	"repro/internal/intern"
+	"repro/internal/obs"
 	"repro/internal/session"
 )
 
@@ -61,6 +63,22 @@ type Options struct {
 	// unbounded: every state ever priced stays resident for the
 	// manager's lifetime.
 	MemoCap int
+	// Logger receives structured lifecycle events (session create/
+	// evict, job start/finish, tuner retunes) and the slow-request
+	// log. nil disables logging entirely (obs.NopLogger).
+	Logger *slog.Logger
+	// SlowRequest is the slow-request threshold: requests slower than
+	// this emit a warn-level structured log with the span's plan-call
+	// and memo-outcome accounting. 0 disables the slow log.
+	SlowRequest time.Duration
+	// Metrics is the registry the manager instruments into; nil gets a
+	// private fresh registry (so concurrent managers in tests never
+	// share counters). GET /metrics exports it followed by obs.Default
+	// (package-level costlab instrumentation).
+	Metrics *obs.Registry
+	// DisableMetrics removes the GET /metrics endpoint (the registry
+	// still populates — /stats reads through it either way).
+	DisableMetrics bool
 }
 
 // DefaultMaxSessions is the session cap when Options.MaxSessions is 0.
@@ -89,6 +107,12 @@ type Manager struct {
 	shared    *session.SharedMemo
 	opts      Options
 	now       func() time.Time // test seam
+
+	// Observability: the metric registry, the pre-resolved handles the
+	// request path uses, and the structured logger (never nil).
+	reg *obs.Registry
+	met *metrics
+	log *slog.Logger
 
 	// The default workload is parsed at most once; every tenant created
 	// without an explicit workload shares the parsed form (sessions
@@ -149,17 +173,33 @@ type tenant struct {
 // NewManager returns a manager whose sessions plan against cat and
 // default to defaultWorkload when a create names no queries.
 func NewManager(cat *catalog.Catalog, defaultWorkload []string, opts Options) *Manager {
-	return &Manager{
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	lg := opts.Logger
+	if lg == nil {
+		lg = obs.NopLogger()
+	}
+	m := &Manager{
 		cat:       cat,
 		defaultWL: defaultWorkload,
 		shared:    session.NewSharedMemoBounded(opts.MemoCap),
 		opts:      opts,
 		now:       time.Now,
+		reg:       reg,
+		met:       newMetrics(reg),
+		log:       lg,
 		winSyms:   intern.NewTable(),
 		tenants:   map[string]*tenant{},
 		jobs:      map[string]*recommendJob{},
 	}
+	m.registerViews()
+	return m
 }
+
+// Metrics exposes the manager's registry (tests, embedding servers).
+func (m *Manager) Metrics() *obs.Registry { return m.reg }
 
 // defaultWorkload parses the manager's default workload once and
 // caches the shared parsed form.
@@ -187,6 +227,7 @@ func (m *Manager) maxSessions() int {
 // after the first create over a given workload, the shared memo makes
 // the pricing free anyway).
 func (m *Manager) Create(name string, workloadSQL []string, workers int) error {
+	start := time.Now()
 	if err := validateSessionName(name); err != nil {
 		return err
 	}
@@ -247,8 +288,19 @@ func (m *Manager) Create(name string, workloadSQL []string, workers int) error {
 		m.created++
 	}
 	m.mu.Unlock()
+	if err == nil {
+		// Stats are safe to read here: t.mu is still held, so no other
+		// request has touched the fresh session. A create served wholly
+		// by the shared memo logs planCalls=0 — the pooled-pricing win.
+		st := s.Stats()
+		m.log.Info("session created",
+			"session", name, "queries", len(s.Queries()),
+			"elapsedMs", float64(time.Since(start).Microseconds())/1e3,
+			"planCalls", st.PlanCalls, "sharedHits", st.SharedHits)
+	}
 	t.mu.Unlock()
 	if err != nil {
+		m.log.Warn("session create failed", "session", name, "error", err.Error())
 		return fmt.Errorf("serve: create session %q: %w", name, err)
 	}
 	return nil
@@ -414,6 +466,7 @@ func (m *Manager) Drop(name string) error {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
 	delete(m.tenants, name)
+	m.log.Info("session dropped", "session", name)
 	return nil
 }
 
@@ -434,6 +487,7 @@ func (m *Manager) evictLRULocked() bool {
 	}
 	delete(m.tenants, victim.name)
 	m.evictions++
+	m.log.Info("session evicted", "session", victim.name, "reason", "lru")
 	return true
 }
 
@@ -448,6 +502,7 @@ func (m *Manager) sweepLocked(now time.Time) int {
 			delete(m.tenants, name)
 			m.expirations++
 			n++
+			m.log.Info("session evicted", "session", name, "reason", "ttl")
 		}
 	}
 	return n

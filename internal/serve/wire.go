@@ -199,8 +199,12 @@ type RecommendResult struct {
 // once terminal, Result (for done and cancelled-with-best-so-far jobs)
 // or Error is set.
 type RecommendJobStatus struct {
-	ID          string           `json:"id"`
-	Session     string           `json:"session"`
+	ID      string `json:"id"`
+	Session string `json:"session"`
+	// RequestID is the X-Request-ID of the request that started the
+	// job — the correlation key between a job's lifetime and the
+	// request-scoped trace that spawned it.
+	RequestID   string           `json:"requestId,omitempty"`
 	State       string           `json:"state"` // running, done, failed, cancelled
 	Objects     string           `json:"objects"`
 	Strategy    string           `json:"strategy"`

@@ -26,6 +26,7 @@ import (
 	"repro/internal/costlab"
 	"repro/internal/flight"
 	"repro/internal/inum"
+	"repro/internal/obs"
 	"repro/internal/optimizer"
 	"repro/internal/recommend"
 	"repro/internal/rewrite"
@@ -201,6 +202,11 @@ type DesignSession struct {
 	sharedHits                      int64
 	lastInvalidated, lastRepriced   int
 
+	// span, when non-nil, receives per-edit attribution (plan calls and
+	// memo outcomes) at reprice commit. Set by the serve layer for the
+	// duration of one request; never owned by the session.
+	span *obs.Span
+
 	undo []snapshot
 	redo []snapshot
 }
@@ -319,6 +325,11 @@ func (s *DesignSession) Stats() Stats {
 
 // PlanCalls reports full optimizer invocations consumed so far.
 func (s *DesignSession) PlanCalls() int64 { return s.planCalls }
+
+// SetSpan attaches (nil detaches) a request span: until the next call,
+// reprice commits add their plan-call and memo-outcome deltas to it.
+// The caller owns the span; the session never outlives its use of it.
+func (s *DesignSession) SetSpan(sp *obs.Span) { s.span = sp }
 
 // Memo exposes the session's cost memo: full-optimizer costs keyed by
 // (query, index configuration), maintained whenever the design is
@@ -975,6 +986,8 @@ func (s *DesignSession) reprice(inval map[int]bool) error {
 	var fromShared []pendingMemo
 	hits := 0
 	repriced := 0
+	waitsServed := 0
+	pc0 := s.planCalls
 	fresh := map[int]*queryState{}
 	// Strand-proofing: abandoning a resolved ticket is a no-op, so on
 	// any error (or panic) unwind every leadership this edit still
@@ -1087,6 +1100,7 @@ func (s *DesignSession) reprice(inval map[int]bool) error {
 			localized := s.localizeState(st)
 			fromShared = append(fromShared, pendingMemo{qi: w.qi, sig: w.sig, st: localized})
 			fresh[w.qi] = localized
+			waitsServed++
 		}
 		remaining = next
 	}
@@ -1105,6 +1119,13 @@ func (s *DesignSession) reprice(inval map[int]bool) error {
 	s.memoMisses += int64(repriced)
 	s.lastInvalidated = len(inval)
 	s.lastRepriced = repriced
+	if s.span != nil {
+		s.span.AddLocalHits(int64(hits))
+		s.span.AddSharedHits(int64(len(fromShared)))
+		s.span.AddCoalesced(int64(waitsServed))
+		s.span.AddLed(int64(repriced))
+		s.span.AddPlanCalls(s.planCalls - pc0)
+	}
 	return nil
 }
 

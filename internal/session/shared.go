@@ -205,6 +205,11 @@ type SharedStats struct {
 	Costs costlab.MemoStats `json:"-"` // cost-tier counters
 }
 
+// FlightStats reports the state tier's singleflight counters directly
+// (SharedStats folds the wait-side ones in; this adds Leads for the
+// /metrics flight family).
+func (m *SharedMemo) FlightStats() flight.Stats { return m.flights.Stats() }
+
 // Stats returns the memo's lifetime counters.
 func (m *SharedMemo) Stats() SharedStats {
 	fs := m.flights.Stats()
