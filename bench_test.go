@@ -736,6 +736,58 @@ func BenchmarkRecommendAnytime(b *testing.B) {
 	b.ReportMetric(float64(capped.PlanCalls), "plancalls_budgeted")
 }
 
+// --- Recommend: lazy greedy sweep vs. the eager baseline --------------
+// The search-pruning headline, asserted per iteration: the lazy,
+// footprint-pruned greedy (gain cache + CELF-style stale-bound heap)
+// must pick the IDENTICAL design the eager rebuild-everything sweep
+// picks on the 30-query seed workload under the full optimizer, while
+// issuing strictly fewer plan calls. The per-strategy plan-call and
+// savings counters are deterministic, so the benchjson gate holds them
+// to the tight tolerance.
+
+func BenchmarkRecommendLazyGreedy(b *testing.B) {
+	cat := planCatalog(b, 300000)
+	queries, err := advisor.ParseWorkload(workload.Queries())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	opts := recommend.Options{
+		Objects:  recommend.ObjectsIndexes,
+		Strategy: recommend.StrategyGreedy,
+		Backend:  costlab.BackendFull,
+	}
+	var eager, lazy *recommend.Result
+	for i := 0; i < b.N; i++ {
+		eagerOpts := opts
+		eagerOpts.EagerSweep = true
+		eager, err = recommend.Recommend(ctx, cat, queries, eagerOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lazy, err = recommend.Recommend(ctx, cat, queries, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if recommend.DesignKey(lazy.Design) != recommend.DesignKey(eager.Design) {
+			b.Fatalf("lazy design diverged from eager:\n lazy  %s\n eager %s",
+				recommend.DesignKey(lazy.Design), recommend.DesignKey(eager.Design))
+		}
+		if lazy.NewCost != eager.NewCost {
+			b.Fatalf("final costs diverge: lazy %v, eager %v", lazy.NewCost, eager.NewCost)
+		}
+		if lazy.PlanCalls >= eager.PlanCalls {
+			b.Fatalf("lazy sweep saved nothing: %d plan calls vs %d eager",
+				lazy.PlanCalls, eager.PlanCalls)
+		}
+	}
+	b.ReportMetric(float64(eager.PlanCalls), "plancalls_eager")
+	b.ReportMetric(float64(lazy.PlanCalls), "plancalls_lazy")
+	b.ReportMetric(float64(lazy.EvalsSkipped), "evals_skipped")
+	b.ReportMetric(float64(lazy.JobsPruned), "jobs_pruned")
+	b.ReportMetric(float64(eager.PlanCalls)/float64(lazy.PlanCalls), "plancalls_saved_x")
+}
+
 // --- Ingest: streaming workload-window throughput ---------------------
 // The continuous-tuning subsystem's front door: queries/sec into a HOT
 // window (every statement already resident, so each ingest is a parse
@@ -790,7 +842,7 @@ func BenchmarkContinuousTuning(b *testing.B) {
 	ctx := context.Background()
 	searchOpts := recommend.Options{Objects: recommend.ObjectsIndexes}
 
-	var warmCalls, coldCalls int64
+	var warmCalls, coldCalls, warmSkipped int64
 	var lastDrift, lastSpeedup float64
 	for i := 0; i < b.N; i++ {
 		memo := costlab.NewMemo()
@@ -845,10 +897,12 @@ func BenchmarkContinuousTuning(b *testing.B) {
 				ret.Result.PlanCalls, coldRes.PlanCalls)
 		}
 		warmCalls, coldCalls = ret.Result.PlanCalls, coldRes.PlanCalls
+		warmSkipped = ret.Result.EvalsSkipped
 		lastDrift, lastSpeedup = ret.Drift, ret.Speedup()
 	}
 	b.ReportMetric(float64(warmCalls), "plancalls_warm")
 	b.ReportMetric(float64(coldCalls), "plancalls_cold")
+	b.ReportMetric(float64(warmSkipped), "evals_skipped_warm")
 	b.ReportMetric(lastDrift, "drift")
 	b.ReportMetric(lastSpeedup, "speedup_on_window")
 }

@@ -211,6 +211,43 @@ func (d *DiffResult) WriteTable(w io.Writer) {
 	}
 }
 
+// WriteMarkdown renders the same comparison as a GitHub-flavored
+// markdown table — the shape CI appends to $GITHUB_STEP_SUMMARY so the
+// perf trajectory is readable on the run page without downloading the
+// artifact. Regressed lines are bolded; the trailing line states the
+// overall verdict.
+func (d *DiffResult) WriteMarkdown(w io.Writer) {
+	fmt.Fprintf(w, "### Benchmark diff\n\n")
+	fmt.Fprintf(w, "| benchmark | metric | old | new | delta | verdict |\n")
+	fmt.Fprintf(w, "|---|---|---:|---:|---:|---|\n")
+	for _, l := range d.Lines {
+		verdict := "–"
+		if gated(l.Metric) {
+			verdict = "ok"
+			if l.Regressed {
+				verdict = "**FAIL**"
+			}
+		}
+		delta := "+inf"
+		if !math.IsInf(l.Delta, 1) {
+			delta = fmt.Sprintf("%+.1f%%", l.Delta*100)
+		}
+		fmt.Fprintf(w, "| %s | %s | %s | %s | %s | %s |\n",
+			l.Bench, l.Metric, trimNum(l.Old), trimNum(l.New), delta, verdict)
+	}
+	for _, name := range d.Removed {
+		fmt.Fprintf(w, "| %s | – | – | – | – | **FAIL** (benchmark removed) |\n", name)
+	}
+	for _, name := range d.Added {
+		fmt.Fprintf(w, "| %s | – | – | – | – | new benchmark |\n", name)
+	}
+	if n := d.Regressions(); n > 0 {
+		fmt.Fprintf(w, "\n**FAIL: %d regression(s) beyond tolerance**\n", n)
+	} else {
+		fmt.Fprintf(w, "\nok: no regressions beyond tolerance\n")
+	}
+}
+
 func trimNum(v float64) string {
 	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
 		return fmt.Sprintf("%d", int64(v))

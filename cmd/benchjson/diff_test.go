@@ -176,6 +176,83 @@ func TestDiffPercentilesGateWithTimeTolerance(t *testing.T) {
 	}
 }
 
+// TestWriteMarkdownSummary pins the $GITHUB_STEP_SUMMARY rendering:
+// a GFM table with one row per metric, bold FAIL verdicts on
+// regressed and removed lines, informational rows for added
+// benchmarks, and the overall verdict line.
+func TestWriteMarkdownSummary(t *testing.T) {
+	old := report(map[string]Metrics{
+		"BenchmarkA":    {NsPerOp: 1000, Metrics: map[string]float64{"plancalls": 10, "speedup": 2}},
+		"BenchmarkGone": {NsPerOp: 1},
+	})
+	cur := report(map[string]Metrics{
+		"BenchmarkA":   {NsPerOp: 1000, Metrics: map[string]float64{"plancalls": 20, "speedup": 3}},
+		"BenchmarkNew": {NsPerOp: 1},
+	})
+	var buf bytes.Buffer
+	Diff(old, cur, Tolerances{Default: 0.10, Time: -1, Alloc: -1}).WriteMarkdown(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"### Benchmark diff",
+		"| benchmark | metric | old | new | delta | verdict |",
+		"| BenchmarkA | plancalls | 10 | 20 | +100.0% | **FAIL** |",
+		"| BenchmarkA | ns/op | 1000 | 1000 | +0.0% | ok |",
+		"**FAIL** (benchmark removed)",
+		"new benchmark",
+		"**FAIL: 2 regression(s) beyond tolerance**",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+	// Ungated metrics render without a verdict.
+	if !strings.Contains(out, "| BenchmarkA | speedup | 2 | 3 | +50.0% | – |") {
+		t.Errorf("ungated metric row wrong:\n%s", out)
+	}
+
+	// A clean diff ends on the ok line instead.
+	buf.Reset()
+	Diff(old, old, Tolerances{Default: 0.10, Time: -1, Alloc: -1}).WriteMarkdown(&buf)
+	if !strings.Contains(buf.String(), "ok: no regressions beyond tolerance") {
+		t.Errorf("clean diff missing ok line:\n%s", buf.String())
+	}
+}
+
+// TestRunDiffSummaryFile: the -summary flag appends (not truncates)
+// the markdown rendering, matching GITHUB_STEP_SUMMARY semantics.
+func TestRunDiffSummaryFile(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, rep *Report) string {
+		blob, _ := json.Marshal(rep)
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldP := write("old.json", report(map[string]Metrics{"BenchmarkA": {NsPerOp: 1000}}))
+	newP := write("new.json", report(map[string]Metrics{"BenchmarkA": {NsPerOp: 1000}}))
+	sumP := filepath.Join(dir, "summary.md")
+	if err := os.WriteFile(sumP, []byte("## Existing step output\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	code, err := runDiff(oldP, newP, Tolerances{Default: 0.10, Time: -1, Alloc: -1}, &buf, sumP)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	got, err := os.ReadFile(sumP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(got), "## Existing step output\n") {
+		t.Errorf("summary file truncated prior content:\n%s", got)
+	}
+	if !strings.Contains(string(got), "### Benchmark diff") {
+		t.Errorf("summary file missing markdown table:\n%s", got)
+	}
+}
+
 func TestRunDiffExitCodesAndTable(t *testing.T) {
 	dir := t.TempDir()
 	write := func(name string, rep *Report) string {
@@ -191,12 +268,12 @@ func TestRunDiffExitCodesAndTable(t *testing.T) {
 	badP := write("bad.json", report(map[string]Metrics{"BenchmarkA": {NsPerOp: 2000, AllocsPerOp: 5}}))
 
 	var buf bytes.Buffer
-	code, err := runDiff(oldP, sameP, Tolerances{Default: 0.10, Time: -1, Alloc: -1}, &buf)
+	code, err := runDiff(oldP, sameP, Tolerances{Default: 0.10, Time: -1, Alloc: -1}, &buf, "")
 	if err != nil || code != 0 {
 		t.Fatalf("identical artifacts: code=%d err=%v\n%s", code, err, buf.String())
 	}
 	buf.Reset()
-	code, err = runDiff(oldP, badP, Tolerances{Default: 0.10, Time: -1, Alloc: -1}, &buf)
+	code, err = runDiff(oldP, badP, Tolerances{Default: 0.10, Time: -1, Alloc: -1}, &buf, "")
 	if err != nil || code != 1 {
 		t.Fatalf("2x regression: code=%d err=%v", code, err)
 	}
@@ -206,7 +283,7 @@ func TestRunDiffExitCodesAndTable(t *testing.T) {
 			t.Errorf("table missing %q:\n%s", want, out)
 		}
 	}
-	if _, err := runDiff(oldP, filepath.Join(dir, "missing.json"), Tolerances{}, &buf); err == nil {
+	if _, err := runDiff(oldP, filepath.Join(dir, "missing.json"), Tolerances{}, &buf, ""); err == nil {
 		t.Fatal("missing artifact accepted")
 	}
 }

@@ -53,6 +53,7 @@ func main() {
 	tol := fs.Float64("tolerance", 0.10, "max relative growth for gated metrics before failing")
 	timeTol := fs.Float64("time-tolerance", -1, "ns/op tolerance override (negative: use -tolerance)")
 	allocTol := fs.Float64("alloc-tolerance", -1, "B/op and allocs/op tolerance override (negative: use -tolerance)")
+	summary := fs.String("summary", "", "with -diff: append the comparison as a markdown table to this file (e.g. $GITHUB_STEP_SUMMARY)")
 
 	// Re-parse after each positional so flags may interleave with the
 	// two artifact paths: `-diff old.json new.json -tolerance 0.10`.
@@ -73,7 +74,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two artifacts: old.json new.json")
 			os.Exit(2)
 		}
-		code, err := runDiff(pos[0], pos[1], Tolerances{Default: *tol, Time: *timeTol, Alloc: *allocTol}, os.Stdout)
+		code, err := runDiff(pos[0], pos[1], Tolerances{Default: *tol, Time: *timeTol, Alloc: *allocTol}, os.Stdout, *summary)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(2)
@@ -116,9 +117,10 @@ func run(inPath, outPath string) error {
 	return os.WriteFile(outPath, blob, 0o644)
 }
 
-// runDiff loads two artifacts, prints the comparison table, and
+// runDiff loads two artifacts, prints the comparison table (and, when
+// summaryPath is set, appends the markdown rendering there), and
 // returns the process exit code (1 when anything regressed).
-func runDiff(oldPath, newPath string, tol Tolerances, w io.Writer) (int, error) {
+func runDiff(oldPath, newPath string, tol Tolerances, w io.Writer, summaryPath string) (int, error) {
 	oldRep, err := loadReport(oldPath)
 	if err != nil {
 		return 0, err
@@ -129,6 +131,16 @@ func runDiff(oldPath, newPath string, tol Tolerances, w io.Writer) (int, error) 
 	}
 	res := Diff(oldRep, newRep, tol)
 	res.WriteTable(w)
+	if summaryPath != "" {
+		f, err := os.OpenFile(summaryPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return 0, err
+		}
+		res.WriteMarkdown(f)
+		if err := f.Close(); err != nil {
+			return 0, err
+		}
+	}
 	if n := res.Regressions(); n > 0 {
 		fmt.Fprintf(w, "\nFAIL: %d regression(s) beyond tolerance (default %.0f%%)\n", n, tol.Default*100)
 		return 1, nil

@@ -35,7 +35,11 @@
 //	                    fragments), shared pruning/compression,
 //	                    interchangeable search strategies (greedy,
 //	                    ILP, budgeted anytime with best-so-far
-//	                    results), one evaluation core
+//	                    results), one evaluation core, and the lazy
+//	                    candidate scorer (lazy.go) — per-candidate
+//	                    gain caching with footprint invalidation plus
+//	                    a CELF-style stale-bound heap — that the
+//	                    greedy and anytime sweeps price through
 //	internal/advisor    index advisor — thin wrapper over recommend;
 //	                    owns and registers the ILP strategy
 //	internal/autopart   AutoPart vertical partitioner — thin wrapper

@@ -49,6 +49,18 @@ func searchAnytime(ctx context.Context, p *Problem) (*Outcome, error) {
 	}
 	base := ev.WeightedTotal(basePer)
 
+	// The index-move sweep runs through the lazy scorer unless the
+	// caller asked for the eager baseline. Partitioning moves are
+	// always priced eagerly (each one re-plans the rewritten workload);
+	// the scorer is still told about them so its caches stay exact.
+	var ls *lazyScorer
+	if !opts.EagerSweep {
+		if ls, err = newLazyScorer(p); err != nil {
+			return nil, err
+		}
+		ls.setBase(basePer)
+	}
+
 	// Search state: the accepted design, which is also the best-so-far
 	// design at every point in time.
 	var chosen inum.Config
@@ -96,6 +108,18 @@ func searchAnytime(ctx context.Context, p *Problem) (*Outcome, error) {
 
 	report(p, 0, base, current, "")
 	remaining := append([]inum.IndexSpec(nil), p.IndexCandidates...)
+	// Candidate sizes are design-independent: computed once here for
+	// the eager sweep (the lazy scorer holds its own copy), aligned
+	// with remaining.
+	var remSizes []int64
+	if opts.EagerSweep {
+		remSizes = make([]int64, len(remaining))
+		for i, spec := range remaining {
+			if remSizes[i], err = ev.SpecSizeBytes(spec); err != nil {
+				return nil, err
+			}
+		}
+	}
 
 	for rounds < maxIter {
 		if !budgetLeft() {
@@ -135,44 +159,89 @@ func searchAnytime(ctx context.Context, p *Problem) (*Outcome, error) {
 
 		// Index moves. Candidates on currently partitioned tables are
 		// skipped: the rewritten workload no longer references the
-		// parent, so such an index can never be used.
-		for i, spec := range remaining {
-			if stopped {
-				break
+		// parent, so such an index can never be used. Lazy by default —
+		// the scorer re-prices only footprint-stale queries of
+		// candidates whose optimistic bound can still win the round.
+		if opts.EagerSweep {
+			for i, spec := range remaining {
+				if stopped {
+					break
+				}
+				if sel[spec.Table] != nil {
+					continue
+				}
+				sz := remSizes[i]
+				if opts.StorageBudget > 0 && ixSize+repl+sz > opts.StorageBudget {
+					continue
+				}
+				per, err := trial(designFromSelection(append(append(inum.Config(nil), chosen...), spec), sel))
+				if err != nil {
+					return nil, err
+				}
+				if per == nil {
+					stopped = true
+					break
+				}
+				cost := ev.WeightedTotal(per)
+				mc := MaintenanceCost(spec, sz, opts.UpdateRates)
+				consider(&move{
+					desc: "index " + spec.Key(),
+					per:  per, cost: cost,
+					gain:  current - cost - mc,
+					bytes: sz,
+					apply: func() {
+						chosen = append(chosen, remaining[i])
+						ixMeta[spec.Key()] = ixCost{size: sz, maint: mc}
+						ixSize += sz
+						maint += mc
+						remaining = append(remaining[:i], remaining[i+1:]...)
+						remSizes = append(remSizes[:i], remSizes[i+1:]...)
+					},
+				})
 			}
-			if sel[spec.Table] != nil {
-				continue
-			}
-			sz, err := ev.SpecSizeBytes(spec)
-			if err != nil {
-				return nil, err
-			}
-			if opts.StorageBudget > 0 && ixSize+repl+sz > opts.StorageBudget {
-				continue
-			}
-			per, err := trial(designFromSelection(append(append(inum.Config(nil), chosen...), spec), sel))
-			if err != nil {
-				return nil, err
-			}
-			if per == nil {
-				stopped = true
-				break
-			}
-			cost := ev.WeightedTotal(per)
-			mc := MaintenanceCost(spec, sz, opts.UpdateRates)
-			consider(&move{
-				desc: "index " + spec.Key(),
-				per:  per, cost: cost,
-				gain:  current - cost - mc,
-				bytes: sz,
-				apply: func() {
-					chosen = append(chosen, remaining[i])
-					ixMeta[spec.Key()] = ixCost{size: sz, maint: mc}
-					ixSize += sz
-					maint += mc
-					remaining = append(remaining[:i], remaining[i+1:]...)
+		} else {
+			res, err := ls.sweep(sweepHooks{
+				fits: func(c *lazyCand) bool {
+					if sel[c.spec.Table] != nil {
+						return false
+					}
+					return opts.StorageBudget <= 0 || ixSize+repl+c.size <= opts.StorageBudget
+				},
+				stop: func() bool { return !budgetLeft() },
+				price: func(c *lazyCand, sub []int) ([]float64, bool, error) {
+					d := designFromSelection(append(append(inum.Config(nil), chosen...), c.spec), sel)
+					per, err := ev.DesignCostsAt(ctx, d, sub)
+					if err != nil {
+						if budgetStopped(err) {
+							return nil, true, nil
+						}
+						return nil, false, err
+					}
+					return per, false, nil
 				},
 			})
+			if err != nil {
+				return nil, err
+			}
+			if res.stopped {
+				stopped = true
+			}
+			if c := res.winner; c != nil {
+				spec, sz, mc := c.spec, c.size, c.maint
+				consider(&move{
+					desc: "index " + spec.Key(),
+					per:  ls.patched(c), cost: res.cost,
+					gain:  res.gain,
+					bytes: sz,
+					apply: func() {
+						chosen = append(chosen, spec)
+						ixMeta[spec.Key()] = ixCost{size: sz, maint: mc}
+						ixSize += sz
+						maint += mc
+						ls.applyIndex(c)
+					},
+				})
+			}
 		}
 
 		// Partitioning moves: split an intact table into its atomic
@@ -271,6 +340,12 @@ func searchAnytime(ctx context.Context, p *Problem) (*Outcome, error) {
 							kept = append(kept, spec)
 						}
 						chosen = kept
+						if ls != nil {
+							// The scorer absorbs the externally-priced
+							// move: candidates on t are dead, cached
+							// entries for queries touching t go stale.
+							ls.applyExternal(t, per)
+						}
 					},
 				})
 			}

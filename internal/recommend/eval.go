@@ -41,6 +41,12 @@ type Evaluator struct {
 	memoMisses atomic.Int64
 	extraCalls atomic.Int64 // optimizer calls outside est (partition pricing, reports)
 
+	// Lazy-sweep savings (see lazy.go): candidate evaluations served
+	// entirely from the gain cache, and pricing jobs never built
+	// because only footprint-stale queries are re-priced.
+	evalsSkipped atomic.Int64
+	jobsPruned   atomic.Int64
+
 	mu         sync.Mutex
 	searchBase []float64 // unweighted base costs through est
 	reportBase []float64 // unweighted base costs through the full optimizer
@@ -151,6 +157,24 @@ func (ev *Evaluator) DesignCosts(ctx context.Context, d Design) ([]float64, erro
 	return ev.partitionCosts(ctx, d)
 }
 
+// DesignCostsAt prices design d for the query subset qs only (ascending
+// positions into the evaluator's workload) and returns unweighted costs
+// aligned with qs — the lazy scorer's partial re-pricing primitive. One
+// call counts as one design trial regardless of the subset size.
+func (ev *Evaluator) DesignCostsAt(ctx context.Context, d Design, qs []int) ([]float64, error) {
+	ev.trials.Add(1)
+	if len(d.Partitions) == 0 {
+		cfg := costlab.Config(d.Indexes)
+		cfgID := ev.memo.InternConfig(cfg)
+		jobs := make([]costlab.Job, len(qs))
+		for p, i := range qs {
+			jobs[p] = costlab.Job{Stmt: ev.stmts[i], Config: cfg, StmtID: ev.stmtIDs[i], CfgID: cfgID}
+		}
+		return ev.EvaluateJobs(ctx, jobs, 0)
+	}
+	return ev.partitionCostsAt(ctx, d, qs)
+}
+
 // DesignCost is DesignCosts folded into the weighted workload total.
 func (ev *Evaluator) DesignCost(ctx context.Context, d Design) (float64, error) {
 	per, err := ev.DesignCosts(ctx, d)
@@ -164,17 +188,29 @@ func (ev *Evaluator) DesignCost(ctx context.Context, d Design) (float64, error) 
 // onto the fragments and plan with the full optimizer against what-if
 // fragment tables, memoized by (query, DesignKey).
 func (ev *Evaluator) partitionCosts(ctx context.Context, d Design) ([]float64, error) {
+	all := make([]int, len(ev.stmts))
+	for i := range all {
+		all[i] = i
+	}
+	return ev.partitionCostsAt(ctx, d, all)
+}
+
+// partitionCostsAt is partitionCosts over a query subset (workload
+// positions); the returned costs align with qs.
+func (ev *Evaluator) partitionCostsAt(ctx context.Context, d Design, qs []int) ([]float64, error) {
 	keyID := ev.memo.InternCfgKey(DesignKey(d))
-	costs := make([]float64, len(ev.stmts))
-	var missIdx []int
-	for i := range ev.stmts {
+	costs := make([]float64, len(qs))
+	var missPos []int // positions in qs (and costs)
+	var missIdx []int // workload positions
+	for p, i := range qs {
 		if c, ok := ev.memo.LookupID(costlab.Key{Stmt: ev.stmtIDs[i], Cfg: keyID}); ok {
-			costs[i] = c
+			costs[p] = c
 		} else {
+			missPos = append(missPos, p)
 			missIdx = append(missIdx, i)
 		}
 	}
-	ev.memoHits.Add(int64(len(ev.stmts) - len(missIdx)))
+	ev.memoHits.Add(int64(len(qs) - len(missIdx)))
 	ev.memoMisses.Add(int64(len(missIdx)))
 	if len(missIdx) == 0 {
 		return costs, nil
@@ -194,7 +230,7 @@ func (ev *Evaluator) partitionCosts(ctx context.Context, d Design) ([]float64, e
 		return nil, remapJobErr(err, missIdx)
 	}
 	for p, i := range missIdx {
-		costs[i] = got[p]
+		costs[missPos[p]] = got[p]
 		ev.memo.StoreID(costlab.Key{Stmt: ev.stmtIDs[i], Cfg: keyID}, got[p])
 	}
 	return costs, nil
@@ -263,6 +299,19 @@ func (ev *Evaluator) Trials() int64 { return ev.trials.Load() }
 // memo and the estimator.
 func (ev *Evaluator) MemoHits() int64   { return ev.memoHits.Load() }
 func (ev *Evaluator) MemoMisses() int64 { return ev.memoMisses.Load() }
+
+// EvalsSkipped reports candidate evaluations the lazy sweep served
+// entirely from its gain cache — evaluations an eager sweep would have
+// priced. JobsPruned reports the (candidate, query) pricing jobs never
+// built, relative to an eager full-workload rebuild every round.
+func (ev *Evaluator) EvalsSkipped() int64 { return ev.evalsSkipped.Load() }
+func (ev *Evaluator) JobsPruned() int64   { return ev.jobsPruned.Load() }
+
+// noteSweep records one lazy round's savings.
+func (ev *Evaluator) noteSweep(skipped, pruned int64) {
+	ev.evalsSkipped.Add(skipped)
+	ev.jobsPruned.Add(pruned)
+}
 
 // Report is the final full-optimizer account of a chosen design.
 type Report struct {

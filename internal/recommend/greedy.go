@@ -28,16 +28,91 @@ func searchGreedy(ctx context.Context, p *Problem) (*Outcome, error) {
 // searchGreedyIndexes: starting from the empty design, repeatedly add
 // the candidate with the highest benefit-per-byte that fits the
 // remaining budget, re-pricing the workload through the backend after
-// every addition, until no candidate improves the workload. Each
-// round's candidate sweep is one incremental batch (candidates ×
-// queries) fanned out over the worker pool: jobs whose cost is already
-// in the pricing memo — from an earlier round, or from an interactive
-// design session handed in via Options.Memo — never reach the
-// estimator.
+// every addition, until no candidate improves the workload.
+//
+// By default the per-round sweep runs through the lazy scorer
+// (lazy.go): candidate gains stay cached across rounds, only
+// footprint-stale queries are re-priced, and the CELF heap stops each
+// sweep as soon as the best candidate is exactly known. The chosen
+// design — and every intermediate move — is identical to the eager
+// sweep's, which remains available via Options.EagerSweep as the
+// verification baseline.
 //
 // Greedy prunes the combination space aggressively — that is exactly
 // the behaviour whose lost opportunities the ILP strategy recovers.
 func searchGreedyIndexes(ctx context.Context, p *Problem) (*Outcome, error) {
+	if p.Opts.EagerSweep {
+		return searchGreedyIndexesEager(ctx, p)
+	}
+	ev := p.Eval
+	basePer, err := ev.BaseCosts(ctx)
+	if err != nil {
+		return nil, err
+	}
+	ls, err := newLazyScorer(p)
+	if err != nil {
+		return nil, err
+	}
+	ls.setBase(basePer)
+	current := ls.current
+	base := current
+
+	var chosen inum.Config
+	var chosenSize int64
+	var totalMaint float64
+	evals := 0
+	trace := []float64{current}
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res, err := ls.sweep(sweepHooks{
+			fits: func(c *lazyCand) bool {
+				return p.Opts.StorageBudget <= 0 || chosenSize+c.size <= p.Opts.StorageBudget
+			},
+			price: func(c *lazyCand, sub []int) ([]float64, bool, error) {
+				trial := append(append(inum.Config(nil), chosen...), c.spec)
+				per, err := ev.DesignCostsAt(ctx, Design{Indexes: trial}, sub)
+				return per, false, err
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		evals += res.priced
+		c := res.winner
+		if c == nil {
+			break
+		}
+		chosen = append(chosen, c.spec)
+		chosenSize += c.size
+		totalMaint += c.maint
+		current = ls.applyIndex(c)
+		trace = append(trace, current)
+		report(p, len(trace)-1, base, current, "index "+c.spec.Key())
+	}
+
+	return &Outcome{
+		Design:      designFromSelection(chosen, nil),
+		BaseCost:    base,
+		Cost:        current,
+		PerCosts:    append([]float64(nil), ls.curPer...),
+		SizeBytes:   chosenSize,
+		Maintenance: totalMaint,
+		Rounds:      len(trace) - 1,
+		Work:        evals,
+		CostTrace:   trace,
+	}, nil
+}
+
+// searchGreedyIndexesEager is the pre-lazy sweep: every round rebuilds
+// one len(sweep)×len(queries) batch fanned out over the worker pool —
+// jobs already in the pricing memo (an earlier round, or an
+// interactive session handed in via Options.Memo) never reach the
+// estimator, but every candidate is still re-folded every round. Kept
+// as the baseline the lazy path is verified (and benchmarked) against.
+func searchGreedyIndexesEager(ctx context.Context, p *Problem) (*Outcome, error) {
 	ev := p.Eval
 	queries := p.Queries
 	basePer, err := ev.BaseCosts(ctx)
@@ -51,6 +126,14 @@ func searchGreedyIndexes(ctx context.Context, p *Problem) (*Outcome, error) {
 	var chosenSize int64
 	var totalMaint float64
 	remaining := append([]inum.IndexSpec(nil), p.IndexCandidates...)
+	// Candidate sizes are design-independent: compute them once, keep
+	// the slice aligned with remaining.
+	sizes := make([]int64, len(remaining))
+	for i, spec := range remaining {
+		if sizes[i], err = ev.SpecSizeBytes(spec); err != nil {
+			return nil, err
+		}
+	}
 	evals := 0
 	trace := []float64{current}
 
@@ -64,11 +147,8 @@ func searchGreedyIndexes(ctx context.Context, p *Problem) (*Outcome, error) {
 			size int64
 		}
 		var sweep []viable
-		for i, spec := range remaining {
-			sz, err := ev.SpecSizeBytes(spec)
-			if err != nil {
-				return nil, err
-			}
+		for i := range remaining {
+			sz := sizes[i]
 			if p.Opts.StorageBudget > 0 && chosenSize+sz > p.Opts.StorageBudget {
 				continue
 			}
@@ -126,6 +206,7 @@ func searchGreedyIndexes(ctx context.Context, p *Problem) (*Outcome, error) {
 		totalMaint += bestMaint
 		current = bestCost
 		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		sizes = append(sizes[:bestIdx], sizes[bestIdx+1:]...)
 		trace = append(trace, current)
 		report(p, len(trace)-1, base, current, "index "+chosen[len(chosen)-1].Key())
 	}

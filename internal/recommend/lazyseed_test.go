@@ -1,0 +1,166 @@
+// Seed-workload property tests for the lazy scorer, through the full
+// Recommend pipeline (external package — the in-package stub tests
+// live in lazy_test.go). These pin the PR's acceptance property on the
+// real system: lazy and eager pick the identical move sequence on the
+// seed 30-query workload while the lazy run prices strictly less.
+package recommend_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/costlab"
+	"repro/internal/recommend"
+)
+
+// runSeedSearch runs one Recommend pass and captures the move
+// sequence.
+func runSeedSearch(t *testing.T, opts recommend.Options) ([]string, *recommend.Result) {
+	t.Helper()
+	var moves []string
+	opts.Progress = func(p recommend.Progress) {
+		if p.LastMove != "" {
+			moves = append(moves, p.LastMove)
+		}
+	}
+	res, err := recommend.Recommend(context.Background(), testCatalog(t), seedWorkload(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return moves, res
+}
+
+// resultKeys canonicalizes a result's design (indexes and fragments)
+// for comparison.
+func resultKeys(res *recommend.Result) string {
+	return recommend.DesignKey(res.Design)
+}
+
+// assertSeedIdentity runs opts both ways and checks move-sequence
+// identity plus the pricing savings.
+func assertSeedIdentity(t *testing.T, opts recommend.Options) {
+	t.Helper()
+	eagerOpts := opts
+	eagerOpts.EagerSweep = true
+	eagerMoves, eager := runSeedSearch(t, eagerOpts)
+	lazyMoves, lazy := runSeedSearch(t, opts)
+
+	if len(eagerMoves) == 0 {
+		t.Fatal("eager search made no moves")
+	}
+	if !reflect.DeepEqual(lazyMoves, eagerMoves) {
+		t.Fatalf("move sequences diverge:\n lazy  %v\n eager %v", lazyMoves, eagerMoves)
+	}
+	if resultKeys(lazy) != resultKeys(eager) {
+		t.Fatalf("designs diverge:\n lazy  %v\n eager %v", resultKeys(lazy), resultKeys(eager))
+	}
+	if lazy.NewCost != eager.NewCost {
+		t.Fatalf("final costs diverge: lazy %v, eager %v", lazy.NewCost, eager.NewCost)
+	}
+	if lazy.Evaluations >= eager.Evaluations {
+		t.Errorf("lazy priced no fewer candidate designs: %d >= %d", lazy.Evaluations, eager.Evaluations)
+	}
+	if lazy.MemoMisses > eager.MemoMisses {
+		t.Errorf("lazy sent more jobs to the estimator: %d > %d", lazy.MemoMisses, eager.MemoMisses)
+	}
+	if lazy.EvalsSkipped <= 0 || lazy.JobsPruned <= 0 {
+		t.Errorf("lazy run reported no savings: skipped %d, pruned %d", lazy.EvalsSkipped, lazy.JobsPruned)
+	}
+	if eager.EvalsSkipped != 0 || eager.JobsPruned != 0 {
+		t.Errorf("eager run reported lazy savings: skipped %d, pruned %d", eager.EvalsSkipped, eager.JobsPruned)
+	}
+	t.Logf("evaluations: eager %d, lazy %d; estimator jobs: eager %d, lazy %d; plan calls: eager %d, lazy %d",
+		eager.Evaluations, lazy.Evaluations, eager.MemoMisses, lazy.MemoMisses, eager.PlanCalls, lazy.PlanCalls)
+}
+
+// TestSeedLazyGreedyIdentity: the greedy strategy on the seed
+// workload, INUM backend (the index-only default).
+func TestSeedLazyGreedyIdentity(t *testing.T) {
+	assertSeedIdentity(t, recommend.Options{
+		Objects:  recommend.ObjectsIndexes,
+		Strategy: recommend.StrategyGreedy,
+	})
+}
+
+// TestSeedLazyGreedyIdentityFullBackend: the acceptance criterion
+// verbatim — under the full optimizer, the lazy greedy issues strictly
+// fewer plan calls while producing the identical design.
+func TestSeedLazyGreedyIdentityFullBackend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-optimizer sweep is the slow path")
+	}
+	eagerOpts := recommend.Options{
+		Objects:  recommend.ObjectsIndexes,
+		Strategy: recommend.StrategyGreedy,
+		Backend:  costlab.BackendFull,
+	}
+	lazyOpts := eagerOpts
+	eagerOpts.EagerSweep = true
+	eagerMoves, eager := runSeedSearch(t, eagerOpts)
+	lazyMoves, lazy := runSeedSearch(t, lazyOpts)
+	if !reflect.DeepEqual(lazyMoves, eagerMoves) {
+		t.Fatalf("move sequences diverge:\n lazy  %v\n eager %v", lazyMoves, eagerMoves)
+	}
+	if resultKeys(lazy) != resultKeys(eager) {
+		t.Fatalf("designs diverge:\n lazy  %v\n eager %v", resultKeys(lazy), resultKeys(eager))
+	}
+	if lazy.PlanCalls >= eager.PlanCalls {
+		t.Fatalf("lazy issued no fewer plan calls: %d >= %d", lazy.PlanCalls, eager.PlanCalls)
+	}
+	t.Logf("plan calls: eager %d, lazy %d (%.1f×)", eager.PlanCalls, lazy.PlanCalls,
+		float64(eager.PlanCalls)/float64(lazy.PlanCalls))
+}
+
+// TestSeedLazyAnytimeIdentity: the anytime strategy, index moves only.
+func TestSeedLazyAnytimeIdentity(t *testing.T) {
+	assertSeedIdentity(t, recommend.Options{
+		Objects:  recommend.ObjectsIndexes,
+		Strategy: recommend.StrategyAnytime,
+	})
+}
+
+// TestJointLazyMatchesEager: the joint search mixes lazily-swept index
+// moves with eagerly-priced partitioning moves; the scorer absorbs the
+// partition moves (dead candidates, stale footprints) and the move
+// sequence must still match the eager baseline exactly.
+func TestJointLazyMatchesEager(t *testing.T) {
+	cat := testCatalog(t)
+	queries := mustWorkload(t,
+		"SELECT objid, ra, dec FROM photoobj WHERE ra BETWEEN 100 AND 200",
+		"SELECT objid, ra, dec FROM photoobj WHERE dec BETWEEN 0 AND 40",
+		"SELECT z FROM specobj WHERE bestobjid = 12345",
+		"SELECT bestobjid FROM specobj WHERE z BETWEEN 2.98 AND 3.0",
+	)
+	run := func(eager bool) ([]string, *recommend.Result) {
+		var moves []string
+		res, err := recommend.Recommend(context.Background(), cat, queries, recommend.Options{
+			Objects:    recommend.ObjectsJoint,
+			Tables:     []string{"photoobj"},
+			EagerSweep: eager,
+			Progress: func(p recommend.Progress) {
+				if p.LastMove != "" {
+					moves = append(moves, p.LastMove)
+				}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return moves, res
+	}
+	eagerMoves, eager := run(true)
+	lazyMoves, lazy := run(false)
+	if !reflect.DeepEqual(lazyMoves, eagerMoves) {
+		t.Fatalf("move sequences diverge:\n lazy  %v\n eager %v", lazyMoves, eagerMoves)
+	}
+	if resultKeys(lazy) != resultKeys(eager) {
+		t.Fatalf("designs diverge:\n lazy  %v\n eager %v", resultKeys(lazy), resultKeys(eager))
+	}
+	if len(eager.Design.Partitions) == 0 {
+		t.Fatal("joint search chose no partitioning — the test is not exercising applyExternal")
+	}
+	if lazy.PlanCalls > eager.PlanCalls {
+		t.Errorf("lazy issued more plan calls: %d > %d", lazy.PlanCalls, eager.PlanCalls)
+	}
+}

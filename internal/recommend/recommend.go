@@ -67,12 +67,14 @@ type Budget struct {
 // Progress is one anytime checkpoint, reported after every completed
 // round (and once before the first).
 type Progress struct {
-	Round       int     `json:"round"`       // rounds completed
-	Evaluations int64   `json:"evaluations"` // candidate designs priced
-	PlanCalls   int64   `json:"planCalls"`   // optimizer invocations consumed
-	BaseCost    float64 `json:"baseCost"`    // workload cost before
-	BestCost    float64 `json:"bestCost"`    // best workload cost found so far
-	LastMove    string  `json:"lastMove,omitempty"`
+	Round        int     `json:"round"`        // rounds completed
+	Evaluations  int64   `json:"evaluations"`  // candidate designs priced
+	PlanCalls    int64   `json:"planCalls"`    // optimizer invocations consumed
+	EvalsSkipped int64   `json:"evalsSkipped"` // evaluations served from the lazy gain cache
+	JobsPruned   int64   `json:"jobsPruned"`   // pricing jobs the lazy sweep never built
+	BaseCost     float64 `json:"baseCost"`     // workload cost before
+	BestCost     float64 `json:"bestCost"`     // best workload cost found so far
+	LastMove     string  `json:"lastMove,omitempty"`
 }
 
 // BestSpeedup returns BaseCost / BestCost, 1 for degenerate costs.
@@ -129,6 +131,14 @@ type Options struct {
 	// cost memo. Its costs must come from the same backend kind this
 	// run uses.
 	Memo *costlab.Memo
+
+	// EagerSweep disables the lazy candidate scorer: every greedy and
+	// anytime round re-prices every candidate against the whole
+	// workload, as the pre-lazy pipeline did. The searches choose
+	// identical designs either way (the lazy cache is exact over
+	// candidate footprints and its pruning bound conservative); the
+	// flag exists as the verification and benchmarking baseline.
+	EagerSweep bool
 
 	// Budget bounds the search; the anytime strategy returns the best
 	// design found when it runs out.
@@ -278,13 +288,15 @@ type Result struct {
 	NewCost  float64 // weighted workload cost after (full optimizer)
 	PerQuery []QueryBenefit
 
-	Candidates  int   // index candidates considered
-	Rounds      int   // search rounds completed
-	SolverWork  int   // branch-and-bound nodes (ILP) or evaluations (greedy)
-	Evaluations int64 // candidate designs priced
-	PlanCalls   int64 // full optimizer invocations consumed
-	MemoHits    int64 // pricing jobs served from the warm-start memo
-	MemoMisses  int64 // pricing jobs that reached the estimator
+	Candidates   int   // index candidates considered
+	Rounds       int   // search rounds completed
+	SolverWork   int   // branch-and-bound nodes (ILP) or evaluations (greedy)
+	Evaluations  int64 // candidate designs priced
+	PlanCalls    int64 // full optimizer invocations consumed
+	MemoHits     int64 // pricing jobs served from the warm-start memo
+	MemoMisses   int64 // pricing jobs that reached the estimator
+	EvalsSkipped int64 // evaluations served from the lazy gain cache
+	JobsPruned   int64 // pricing jobs the lazy sweep never built
 
 	MaintenanceCost float64
 	// Truncated reports that the budget (or cancellation) stopped the
@@ -487,6 +499,8 @@ func assembleResult(ctx context.Context, p *Problem, out *Outcome) (*Result, err
 	res.PlanCalls = ev.PlanCalls()
 	res.MemoHits = ev.MemoHits()
 	res.MemoMisses = ev.MemoMisses()
+	res.EvalsSkipped = ev.EvalsSkipped()
+	res.JobsPruned = ev.JobsPruned()
 	return res, nil
 }
 
@@ -496,11 +510,13 @@ func report(p *Problem, round int, base, best float64, lastMove string) {
 		return
 	}
 	p.Opts.Progress(Progress{
-		Round:       round,
-		Evaluations: p.Eval.Trials(),
-		PlanCalls:   p.Eval.PlanCalls(),
-		BaseCost:    base,
-		BestCost:    best,
-		LastMove:    lastMove,
+		Round:        round,
+		Evaluations:  p.Eval.Trials(),
+		PlanCalls:    p.Eval.PlanCalls(),
+		EvalsSkipped: p.Eval.EvalsSkipped(),
+		JobsPruned:   p.Eval.JobsPruned(),
+		BaseCost:     base,
+		BestCost:     best,
+		LastMove:     lastMove,
 	})
 }

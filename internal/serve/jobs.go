@@ -64,6 +64,31 @@ type recommendJob struct {
 	// Continuous-tuner state (see runContinuousJob).
 	retunes int
 	drift   float64
+
+	// High-water marks of the job's cumulative lazy-sweep counters,
+	// used to fold deltas into the manager-wide metrics. Continuous
+	// jobs run each retune on a fresh Evaluator, so the cumulative
+	// values reset between retunes (see Manager.foldSweepSavings).
+	seenSkipped int64
+	seenPruned  int64
+}
+
+// foldSweepSavings folds a job's cumulative lazy-sweep savings into
+// the manager-wide counters, adding only what is new since the last
+// fold. A value below the high-water mark means the job switched to a
+// fresh Evaluator (continuous retune), so the mark restarts from zero.
+// Requires job.mu held.
+func (m *Manager) foldSweepSavings(job *recommendJob, skipped, pruned int64) {
+	if skipped < job.seenSkipped || pruned < job.seenPruned {
+		job.seenSkipped, job.seenPruned = 0, 0
+	}
+	if d := skipped - job.seenSkipped; d > 0 {
+		m.met.evalsSkipped.Add(d)
+	}
+	if d := pruned - job.seenPruned; d > 0 {
+		m.met.jobsPruned.Add(d)
+	}
+	job.seenSkipped, job.seenPruned = skipped, pruned
 }
 
 // status snapshots the job for the wire.
@@ -75,24 +100,26 @@ func (j *recommendJob) status(now time.Time) *RecommendJobStatus {
 		end = now
 	}
 	return &RecommendJobStatus{
-		ID:          j.id,
-		Session:     j.session,
-		RequestID:   j.requestID,
-		State:       j.state,
-		Objects:     j.objects,
-		Strategy:    j.strategy,
-		Rounds:      j.progress.Round,
-		Evaluations: j.progress.Evaluations,
-		PlanCalls:   j.progress.PlanCalls,
-		BaseCost:    j.progress.BaseCost,
-		BestCost:    j.progress.BestCost,
-		BestSpeedup: j.progress.BestSpeedup(),
-		ElapsedMS:   end.Sub(j.started).Milliseconds(),
-		Result:      j.result,
-		Error:       j.errMsg,
-		Continuous:  j.continuous,
-		Retunes:     j.retunes,
-		Drift:       j.drift,
+		ID:           j.id,
+		Session:      j.session,
+		RequestID:    j.requestID,
+		State:        j.state,
+		Objects:      j.objects,
+		Strategy:     j.strategy,
+		Rounds:       j.progress.Round,
+		Evaluations:  j.progress.Evaluations,
+		PlanCalls:    j.progress.PlanCalls,
+		EvalsSkipped: j.progress.EvalsSkipped,
+		JobsPruned:   j.progress.JobsPruned,
+		BaseCost:     j.progress.BaseCost,
+		BestCost:     j.progress.BestCost,
+		BestSpeedup:  j.progress.BestSpeedup(),
+		ElapsedMS:    end.Sub(j.started).Milliseconds(),
+		Result:       j.result,
+		Error:        j.errMsg,
+		Continuous:   j.continuous,
+		Retunes:      j.retunes,
+		Drift:        j.drift,
 	}
 }
 
@@ -168,6 +195,7 @@ func (m *Manager) StartRecommend(name string, req RecommendJobRequest, requestID
 	opts.Progress = func(p recommend.Progress) {
 		job.mu.Lock()
 		job.progress = p
+		m.foldSweepSavings(job, p.EvalsSkipped, p.JobsPruned)
 		job.mu.Unlock()
 	}
 
@@ -297,12 +325,15 @@ func (m *Manager) runContinuousJob(ctx context.Context, job *recommendJob, tuner
 			job.result.Drift = ret.Drift
 			job.result.StaleCost = ret.StaleCost
 			job.progress = recommend.Progress{
-				Round:       res.Rounds,
-				Evaluations: res.Evaluations,
-				PlanCalls:   res.PlanCalls,
-				BaseCost:    ret.StaleCost,
-				BestCost:    res.NewCost,
+				Round:        res.Rounds,
+				Evaluations:  res.Evaluations,
+				PlanCalls:    res.PlanCalls,
+				EvalsSkipped: res.EvalsSkipped,
+				JobsPruned:   res.JobsPruned,
+				BaseCost:     ret.StaleCost,
+				BestCost:     res.NewCost,
 			}
+			m.foldSweepSavings(job, res.EvalsSkipped, res.JobsPruned)
 			if maxRetunes > 0 && job.retunes >= maxRetunes {
 				job.state = JobDone
 				job.finished = m.now()
@@ -366,12 +397,17 @@ func (m *Manager) runRecommendJob(ctx context.Context, job *recommendJob, querie
 		}
 		job.result = recommendResult(res)
 		job.progress = recommend.Progress{
-			Round:       res.Rounds,
-			Evaluations: res.Evaluations,
-			PlanCalls:   res.PlanCalls,
-			BaseCost:    res.BaseCost,
-			BestCost:    res.NewCost,
+			Round:        res.Rounds,
+			Evaluations:  res.Evaluations,
+			PlanCalls:    res.PlanCalls,
+			EvalsSkipped: res.EvalsSkipped,
+			JobsPruned:   res.JobsPruned,
+			BaseCost:     res.BaseCost,
+			BestCost:     res.NewCost,
 		}
+		// The search's final (no-move) sweep lands after the last
+		// Progress callback; fold what it saved.
+		m.foldSweepSavings(job, res.EvalsSkipped, res.JobsPruned)
 	case job.cancelRequested || errors.Is(err, context.Canceled):
 		job.state = JobCancelled
 		job.errMsg = err.Error()
@@ -391,6 +427,8 @@ func recommendResult(res *recommend.Result) *RecommendResult {
 		Rounds:           res.Rounds,
 		Evaluations:      res.Evaluations,
 		PlanCalls:        res.PlanCalls,
+		EvalsSkipped:     res.EvalsSkipped,
+		JobsPruned:       res.JobsPruned,
 		MemoHits:         res.MemoHits,
 		Truncated:        res.Truncated,
 		CostTrace:        res.CostTrace,

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/recommend"
+	"repro/internal/workload"
 )
 
 // pollJob polls a job until it leaves the running state (or the
@@ -255,6 +257,87 @@ func TestRecommendJobSurvivesSessionDrop(t *testing.T) {
 	call(t, ts, "GET", "/sessions/a/recommend", nil, http.StatusOK, &list)
 	if len(list.Jobs) != 1 || list.Jobs[0].ID != started.ID {
 		t.Errorf("job list after session drop = %+v", list.Jobs)
+	}
+}
+
+// TestRecommendJobSkipCounters: the lazy-sweep savings surface end to
+// end — the job status and its result report evalsSkipped/jobsPruned
+// moving from zero to positive over the job's life, /stats totals them
+// manager-wide, and /metrics exports the matching counter families.
+func TestRecommendJobSkipCounters(t *testing.T) {
+	ts, m := testServer(t, Options{})
+	// A multi-table workload: footprint pruning only has something to
+	// skip when some candidates live on tables a round's winner does
+	// not touch (the all-photoobj default would stale everything).
+	all := workload.Queries()
+	mix := append(append([]string{}, all[:6]...), all[15], all[17], all[18], all[21])
+	call(t, ts, "POST", "/sessions",
+		CreateSessionRequest{Name: "a", Workload: mix}, http.StatusCreated, nil)
+
+	var started RecommendJobStatus
+	raw := call(t, ts, "POST", "/sessions/a/recommend",
+		RecommendJobRequest{Objects: "indexes", Strategy: "greedy"}, http.StatusAccepted, &started)
+	// The fields are on the wire from the first status, before any
+	// sweep has run.
+	for _, key := range []string{`"evalsSkipped"`, `"jobsPruned"`} {
+		if !strings.Contains(string(raw), key) {
+			t.Errorf("start status lacks %s: %s", key, raw)
+		}
+	}
+	if started.EvalsSkipped != 0 || started.JobsPruned != 0 {
+		t.Errorf("fresh job already reports savings: skipped %d, pruned %d",
+			started.EvalsSkipped, started.JobsPruned)
+	}
+
+	st := pollJob(t, ts, "a", started.ID)
+	if st.State != JobDone {
+		t.Fatalf("job state = %q (%s), want done", st.State, st.Error)
+	}
+	// ...and they moved: the greedy search's later rounds reuse cached
+	// gains (evals skipped) and patch only footprint-intersecting
+	// queries (jobs pruned).
+	if st.EvalsSkipped <= 0 || st.JobsPruned <= 0 {
+		t.Errorf("terminal status shows no savings: skipped %d, pruned %d",
+			st.EvalsSkipped, st.JobsPruned)
+	}
+	if st.Result.EvalsSkipped != st.EvalsSkipped || st.Result.JobsPruned != st.JobsPruned {
+		t.Errorf("result (%d/%d) and status (%d/%d) disagree",
+			st.Result.EvalsSkipped, st.Result.JobsPruned, st.EvalsSkipped, st.JobsPruned)
+	}
+
+	// Manager-wide: /stats totals the savings across jobs...
+	var ms ManagerStats
+	raw = call(t, ts, "GET", "/stats", nil, http.StatusOK, &ms)
+	for _, key := range []string{`"recommendEvalsSkipped"`, `"recommendJobsPruned"`} {
+		if !strings.Contains(string(raw), key) {
+			t.Errorf("GET /stats response lacks %s: %s", key, raw)
+		}
+	}
+	if ms.RecommendEvalsSkipped != st.EvalsSkipped || ms.RecommendJobsPruned != st.JobsPruned {
+		t.Errorf("/stats totals (%d/%d) != the only job's savings (%d/%d)",
+			ms.RecommendEvalsSkipped, ms.RecommendJobsPruned, st.EvalsSkipped, st.JobsPruned)
+	}
+
+	// ...and /metrics exports the same totals as counters.
+	samples := scrape(t, ts)
+	if got := samples["parinda_recommend_evals_skipped_total"]; got != float64(st.EvalsSkipped) {
+		t.Errorf("parinda_recommend_evals_skipped_total = %v, want %d", got, st.EvalsSkipped)
+	}
+	if got := samples["parinda_recommend_jobs_pruned_total"]; got != float64(st.JobsPruned) {
+		t.Errorf("parinda_recommend_jobs_pruned_total = %v, want %d", got, st.JobsPruned)
+	}
+
+	// A second job accumulates on top rather than resetting.
+	var second RecommendJobStatus
+	call(t, ts, "POST", "/sessions/a/recommend",
+		RecommendJobRequest{Objects: "indexes", Strategy: "greedy"}, http.StatusAccepted, &second)
+	st2 := pollJob(t, ts, "a", second.ID)
+	if st2.State != JobDone {
+		t.Fatalf("second job state = %q (%s)", st2.State, st2.Error)
+	}
+	if got := m.Stats().RecommendEvalsSkipped; got != st.EvalsSkipped+st2.EvalsSkipped {
+		t.Errorf("manager total %d after two jobs, want %d+%d",
+			got, st.EvalsSkipped, st2.EvalsSkipped)
 	}
 }
 

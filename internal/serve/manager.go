@@ -574,6 +574,13 @@ type ManagerStats struct {
 	// CostsCacheHits counts /costs responses served from a tenant's
 	// cached bytes instead of a rebuild.
 	CostsCacheHits int64 `json:"costsCacheHits"`
+	// RecommendEvalsSkipped / RecommendJobsPruned total the lazy-sweep
+	// savings across all recommend jobs: candidate evaluations served
+	// from the gain cache and pricing jobs never built (footprint
+	// pruning). Mirrors parinda_recommend_evals_skipped_total /
+	// parinda_recommend_jobs_pruned_total on /metrics.
+	RecommendEvalsSkipped int64 `json:"recommendEvalsSkipped"`
+	RecommendJobsPruned   int64 `json:"recommendJobsPruned"`
 }
 
 // Stats returns the manager-wide counters.
@@ -584,15 +591,17 @@ func (m *Manager) Stats() ManagerStats {
 	m.mu.Unlock()
 	sh := m.shared.Stats()
 	return ManagerStats{
-		Sessions:            n,
-		MaxSessions:         m.maxSessions(),
-		Created:             created,
-		Evictions:           ev,
-		Expirations:         exp,
-		RecommendJobs:       m.recommendJobCount(),
-		Shared:              sh,
-		SharedCostEntries:   sh.Costs.Entries,
-		SharedCostEvictions: sh.Costs.Evictions,
-		CostsCacheHits:      m.costsCacheHits.Load(),
+		Sessions:              n,
+		MaxSessions:           m.maxSessions(),
+		Created:               created,
+		Evictions:             ev,
+		Expirations:           exp,
+		RecommendJobs:         m.recommendJobCount(),
+		Shared:                sh,
+		SharedCostEntries:     sh.Costs.Entries,
+		SharedCostEvictions:   sh.Costs.Evictions,
+		CostsCacheHits:        m.costsCacheHits.Load(),
+		RecommendEvalsSkipped: m.met.evalsSkipped.Value(),
+		RecommendJobsPruned:   m.met.jobsPruned.Value(),
 	}
 }

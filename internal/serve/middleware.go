@@ -37,6 +37,10 @@ type metrics struct {
 	ingestAccepted, ingestRejected *obs.Counter
 	tunerRetunes, tunerErrors      *obs.Counter
 	jobsStarted                    *obs.Counter
+	// Lazy-sweep savings aggregated across recommend jobs (see
+	// internal/recommend/lazy.go): evaluations served from the gain
+	// cache and pricing jobs never built.
+	evalsSkipped, jobsPruned *obs.Counter
 
 	// Tenant label admission: past maxTenantSeries distinct names,
 	// per-tenant series fold into tenant="other" so a tenant-churning
@@ -69,7 +73,11 @@ func newMetrics(reg *obs.Registry) *metrics {
 		tunerRetunes:   reg.Counter("parinda_tuner_retunes_total", "Continuous-tuner retunes published."),
 		tunerErrors:    reg.Counter("parinda_tuner_check_errors_total", "Continuous-tuner checks that failed."),
 		jobsStarted:    reg.Counter("parinda_recommend_jobs_started_total", "Recommend jobs ever started."),
-		tenants:        map[string]bool{},
+		evalsSkipped: reg.Counter("parinda_recommend_evals_skipped_total",
+			"Candidate evaluations recommend jobs served from the lazy gain cache."),
+		jobsPruned: reg.Counter("parinda_recommend_jobs_pruned_total",
+			"Pricing jobs recommend jobs never built thanks to footprint pruning."),
+		tenants: map[string]bool{},
 	}
 }
 

@@ -180,6 +180,11 @@ type RecommendResult struct {
 	Evaluations      int64                  `json:"evaluations"`
 	PlanCalls        int64                  `json:"planCalls"`
 	MemoHits         int64                  `json:"memoHits"`
+	// EvalsSkipped / JobsPruned account the lazy sweep's savings:
+	// candidate evaluations served from the gain cache and pricing
+	// jobs never built (vs an eager full rebuild every round).
+	EvalsSkipped int64 `json:"evalsSkipped"`
+	JobsPruned   int64 `json:"jobsPruned"`
 	// Truncated marks a budget-capped (or cancelled) search: the
 	// result is the best design found so far, not the converged one.
 	Truncated bool `json:"truncated,omitempty"`
@@ -204,19 +209,23 @@ type RecommendJobStatus struct {
 	// RequestID is the X-Request-ID of the request that started the
 	// job — the correlation key between a job's lifetime and the
 	// request-scoped trace that spawned it.
-	RequestID   string           `json:"requestId,omitempty"`
-	State       string           `json:"state"` // running, done, failed, cancelled
-	Objects     string           `json:"objects"`
-	Strategy    string           `json:"strategy"`
-	Rounds      int              `json:"rounds"`
-	Evaluations int64            `json:"evaluations"`
-	PlanCalls   int64            `json:"planCalls"`
-	BaseCost    float64          `json:"baseCost"`
-	BestCost    float64          `json:"bestCost"`
-	BestSpeedup float64          `json:"bestSpeedup"`
-	ElapsedMS   int64            `json:"elapsedMS"`
-	Result      *RecommendResult `json:"result,omitempty"`
-	Error       string           `json:"error,omitempty"`
+	RequestID   string `json:"requestId,omitempty"`
+	State       string `json:"state"` // running, done, failed, cancelled
+	Objects     string `json:"objects"`
+	Strategy    string `json:"strategy"`
+	Rounds      int    `json:"rounds"`
+	Evaluations int64  `json:"evaluations"`
+	PlanCalls   int64  `json:"planCalls"`
+	// EvalsSkipped / JobsPruned surface the lazy sweep's savings live,
+	// advancing with every completed round.
+	EvalsSkipped int64            `json:"evalsSkipped"`
+	JobsPruned   int64            `json:"jobsPruned"`
+	BaseCost     float64          `json:"baseCost"`
+	BestCost     float64          `json:"bestCost"`
+	BestSpeedup  float64          `json:"bestSpeedup"`
+	ElapsedMS    int64            `json:"elapsedMS"`
+	Result       *RecommendResult `json:"result,omitempty"`
+	Error        string           `json:"error,omitempty"`
 
 	// Continuous-tuner jobs report their loop state: how many retunes
 	// have been published and the drift the last check measured.
