@@ -34,6 +34,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/costlab"
+	"repro/internal/durable"
 	"repro/internal/ingest"
 	"repro/internal/inum"
 	"repro/internal/obs"
@@ -905,6 +906,172 @@ func BenchmarkContinuousTuning(b *testing.B) {
 	b.ReportMetric(float64(warmSkipped), "evals_skipped_warm")
 	b.ReportMetric(lastDrift, "drift")
 	b.ReportMetric(lastSpeedup, "speedup_on_window")
+}
+
+// --- Durable: WAL append throughput + group-commit fsync latency ------
+// The durability tier's hot path: one journaled record per
+// acknowledged edit, so append throughput bounds the serve tier's
+// durable edit rate. fsync=always measures the full
+// durable-before-ack round trip (group commit: concurrent appenders
+// share one fsync); fsync=off isolates the framing + buffered-write
+// cost. Fsync latency percentiles ride the benchjson gate as p50-ns /
+// p99-ns.
+
+func BenchmarkWALAppend(b *testing.B) {
+	payload := bytes.Repeat([]byte{'r'}, 256)
+	type capture struct {
+		mu     sync.Mutex
+		fsyncs []time.Duration
+	}
+	open := func(b *testing.B, pol durable.Policy, c *capture) *durable.Store {
+		store, err := durable.Open(b.TempDir(), durable.Options{
+			Policy: pol,
+			OnFsync: func(d time.Duration) {
+				c.mu.Lock()
+				c.fsyncs = append(c.fsyncs, d)
+				c.mu.Unlock()
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return store
+	}
+	report := func(b *testing.B, c *capture) {
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "records/sec")
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if len(c.fsyncs) == 0 {
+			return
+		}
+		sort.Slice(c.fsyncs, func(i, j int) bool { return c.fsyncs[i] < c.fsyncs[j] })
+		pct := func(p float64) float64 {
+			return float64(c.fsyncs[int(p*float64(len(c.fsyncs)-1))].Nanoseconds())
+		}
+		b.ReportMetric(pct(0.50), "p50-ns")
+		b.ReportMetric(pct(0.99), "p99-ns")
+		b.ReportMetric(float64(len(c.fsyncs)), "fsyncs")
+	}
+	b.Run("fsync=always/serial", func(b *testing.B) {
+		var c capture
+		store := open(b, durable.SyncAlways, &c)
+		defer store.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := store.Append(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		report(b, &c)
+	})
+	b.Run("fsync=always/group-commit", func(b *testing.B) {
+		// GOMAXPROCS concurrent appenders: the batched group commit must
+		// amortize one fsync over many appends, so fsyncs < b.N.
+		var c capture
+		store := open(b, durable.SyncAlways, &c)
+		defer store.Close()
+		b.SetParallelism(1)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if err := store.Append(payload); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		b.StopTimer()
+		report(b, &c)
+	})
+	b.Run("fsync=off", func(b *testing.B) {
+		var c capture
+		store := open(b, durable.SyncOff, &c)
+		defer store.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := store.Append(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		report(b, &c)
+	})
+}
+
+// --- Durable: boot recovery over a 30-session journal -----------------
+// The crash-recovery cost the serve tier pays on boot: rebuild 30
+// edited sessions (op-log replay through session.ApplyRecord) plus the
+// shared memo from one data dir. The replay must be served entirely by
+// the restored shared-memo states — zero optimizer plan calls across
+// all 30 rebuilds, asserted every iteration.
+
+func BenchmarkRecover(b *testing.B) {
+	cat := planCatalog(b, 50000)
+	wl := workload.Queries()[:6]
+	dir := b.TempDir()
+	const tenants = 30
+	opts := serve.Options{MaxSessions: tenants + 2, DataDir: dir}
+	names := make([]string, tenants)
+	cols := [][]string{{"ra"}, {"dec"}, {"htmid"}, {"run", "camcol"}, {"field"}}
+
+	seed, err := serve.NewManagerDurable(cat, wl, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := range names {
+		names[i] = fmt.Sprintf("tenant-%02d", i)
+		if err := seed.Create(names[i], nil, 0); err != nil {
+			b.Fatal(err)
+		}
+		if err := seed.Do(names[i], func(s *session.DesignSession) error {
+			if _, err := s.AddIndex(inum.IndexSpec{Table: "photoobj", Columns: cols[i%len(cols)]}); err != nil {
+				return err
+			}
+			_, err := s.AddIndex(inum.IndexSpec{Table: "photoobj", Columns: cols[(i+1)%len(cols)]})
+			return err
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := seed.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	var recovered int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := serve.NewManagerDurable(cat, wl, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		st := m.Stats()
+		if st.Durability == nil || st.Durability.RecoverRecords == 0 {
+			b.Fatal("recovery restored nothing")
+		}
+		recovered = st.Durability.RecoverRecords
+		var calls int64
+		for _, name := range names {
+			if err := m.Do(name, func(s *session.DesignSession) error {
+				calls += s.PlanCalls()
+				return nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if calls != 0 {
+			b.Fatalf("replay consumed %d optimizer plan calls across %d sessions, want 0 (shared-memo-warm)",
+				calls, tenants)
+		}
+		if err := m.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(recovered), "recover_records")
+	b.ReportMetric(float64(tenants), "sessions_rebuilt")
 }
 
 // --- E6: what-if accuracy against the materialized design -----------

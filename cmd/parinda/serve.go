@@ -17,6 +17,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/obs"
 	"repro/internal/serve"
 )
@@ -41,7 +42,17 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 	slowMS := fs.Int("slow-ms", 500, "warn-log requests slower than this many milliseconds (0 = off)")
 	mutexFrac := fs.Int("pprof-mutex-frac", 0, "runtime mutex-profile sampling fraction (0 = off; see runtime.SetMutexProfileFraction)")
 	blockRate := fs.Int("pprof-block-rate", 0, "runtime block-profile sampling rate in ns (0 = off; see runtime.SetBlockProfileRate)")
+	dataDir := fs.String("data-dir", "", "durability directory: journal every state change and recover it on boot (empty = in-memory only)")
+	fsyncPolicy := fs.String("fsync", "always", "WAL fsync policy: always (durable before ack), interval, or off")
+	fsyncInterval := fs.Duration("fsync-interval", 0, "flush cadence under -fsync=interval (0 = 100ms)")
+	walSegMB := fs.Int64("wal-segment-mb", 0, "rotate WAL segments past this many MiB (0 = 64)")
+	snapInterval := fs.Duration("snapshot-interval", 30*time.Second, "periodic snapshot cadence with -data-dir (0 = final-snapshot-only)")
 	if err := parseFlags(fs, args, stderr); err != nil {
+		return err
+	}
+	policy, err := durable.ParsePolicy(*fsyncPolicy)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
 		return err
 	}
 	logger, err := obs.NewLogger(stderr, *logLevel, *logFormat)
@@ -62,19 +73,27 @@ func cmdServe(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	sv := serve.New(cat, queries, serve.Options{
-		MaxSessions:    *maxSessions,
-		IdleTTL:        *idleTTL,
-		Workers:        *workers,
-		DrainTimeout:   *drain,
-		WindowCapacity: *winCap,
-		WindowHalfLife: *winHalfLife,
-		Pprof:          *pprofOn,
-		MemoCap:        *memoCap,
-		DisableMetrics: !*metricsOn,
-		Logger:         logger,
-		SlowRequest:    time.Duration(*slowMS) * time.Millisecond,
+	sv, err := serve.New(cat, queries, serve.Options{
+		MaxSessions:      *maxSessions,
+		IdleTTL:          *idleTTL,
+		Workers:          *workers,
+		DrainTimeout:     *drain,
+		WindowCapacity:   *winCap,
+		WindowHalfLife:   *winHalfLife,
+		Pprof:            *pprofOn,
+		MemoCap:          *memoCap,
+		DisableMetrics:   !*metricsOn,
+		Logger:           logger,
+		SlowRequest:      time.Duration(*slowMS) * time.Millisecond,
+		DataDir:          *dataDir,
+		Fsync:            policy,
+		FsyncInterval:    *fsyncInterval,
+		WalSegmentBytes:  *walSegMB << 20,
+		SnapshotInterval: *snapInterval,
 	})
+	if err != nil {
+		return err
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	return sv.ListenAndServe(ctx, *addr, func(a net.Addr) {

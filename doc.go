@@ -56,8 +56,15 @@
 //	                    and idle-TTL eviction, asynchronous cancellable
 //	                    recommend jobs (one-shot and continuous),
 //	                    per-session streaming ingest endpoints,
-//	                    graceful shutdown — the `parinda serve`
-//	                    subcommand
+//	                    graceful shutdown, and opt-in snapshot + WAL
+//	                    durability with op-log replay on boot — the
+//	                    `parinda serve` subcommand
+//	internal/durable    crash-safety kit under the serve tier: CRC32C-
+//	                    framed append-only WAL segments with batched
+//	                    group-commit fsync (always/interval/off),
+//	                    atomic write-temp + fsync + rename snapshots,
+//	                    torn-tail-tolerant recovery — behind `parinda
+//	                    serve -data-dir`
 //	internal/ingest     streaming workload capture + continuous tuning:
 //	                    concurrency-safe rolling window (dedup by
 //	                    canonical SQL, exponential time-decay weights,

@@ -402,3 +402,45 @@ func evaluateDelta(ctx context.Context, est CostEstimator, jobs []Job, memo *Mem
 	}
 	return results, stats, nil
 }
+
+// ---------------------------------------------------------------------
+// Durability surface: string-keyed export/restore
+// ---------------------------------------------------------------------
+//
+// Interned uint32 ids are process-local — they number keys in arrival
+// order, which differs run to run — so anything persisted must carry
+// the canonical strings. CostRecord is that wire form; Export and
+// Restore round-trip the memo through it.
+
+// StmtKey returns the canonical statement string behind an interned
+// statement id ("" if unknown).
+func (mo *Memo) StmtKey(id uint32) string { return mo.stmts.Lookup(id) }
+
+// CfgKey returns the canonical configuration string behind an
+// interned configuration id ("" if unknown).
+func (mo *Memo) CfgKey(id uint32) string { return mo.cfgs.Lookup(id) }
+
+// CostRecord is one memoized (statement, configuration) cost under
+// its canonical string keys — the process-restart-stable form.
+type CostRecord struct {
+	Stmt string  `json:"stmt"`
+	Cfg  string  `json:"cfg"`
+	Cost float64 `json:"cost"`
+}
+
+// Export snapshots every memoized cost under string keys. Weakly
+// consistent under concurrent stores (see intern.Bounded.Range).
+func (mo *Memo) Export() []CostRecord {
+	out := make([]CostRecord, 0, mo.costs.Len())
+	mo.costs.Range(func(k Key, cost float64) bool {
+		out = append(out, CostRecord{Stmt: mo.stmts.Lookup(k.Stmt), Cfg: mo.cfgs.Lookup(k.Cfg), Cost: cost})
+		return true
+	})
+	return out
+}
+
+// Restore re-publishes an exported cost (idempotent: present keys are
+// left untouched and counted as neither stores nor duplicates).
+func (mo *Memo) Restore(rec CostRecord) {
+	mo.StoreKeyIfAbsent(rec.Stmt, rec.Cfg, rec.Cost)
+}

@@ -372,3 +372,57 @@ func (w *Window) Stats() WindowStats {
 		TotalWeight: total,
 	}
 }
+
+// Restore re-admits previously snapshotted entries (a serve-tier
+// durability reload). Each entry's snapshot-time weight is
+// re-expressed at the window's epoch scale using its LastSeen time, so
+// decay keeps compounding from where the snapshot left off; entries
+// whose SQL no longer parses are counted as rejected and skipped, and
+// entries already resident (same canonical SQL) are left untouched.
+// Weights older than the rebase bound are clamped to LastSeen = now so
+// the scale factor stays finite.
+func (w *Window) Restore(entries []Entry) {
+	t := w.now()
+	for _, in := range entries {
+		stmt, err := sql.ParseSelect(in.SQL)
+		if err != nil {
+			w.mu.Lock()
+			w.rejected++
+			w.mu.Unlock()
+			continue
+		}
+		key := sql.PrintSelect(stmt)
+		id := w.syms.Intern(key)
+		at := in.LastSeen
+		if at.IsZero() || at.After(t) {
+			at = t
+		}
+
+		w.mu.Lock()
+		w.rebaseLocked(t)
+		if w.halfLife > 0 && w.epoch.Sub(at).Seconds()/w.halfLife > rebaseExponent {
+			// Snapshot predates the representable range; its weight
+			// would underflow to zero at epoch scale. Express it at the
+			// epoch instead — relative ordering within the restored set
+			// is already lost at this age.
+			at = w.epoch
+		}
+		if _, ok := w.entries[id]; ok {
+			w.mu.Unlock()
+			continue
+		}
+		fresh := &entry{
+			id:      id,
+			sqlText: key,
+			stmt:    stmt,
+			weight:  in.Weight * w.scaleAt(at),
+			count:   in.Count,
+			first:   in.FirstSeen,
+			last:    in.LastSeen,
+		}
+		w.submissions += in.Count
+		w.entries[id] = fresh
+		w.evictLocked(fresh)
+		w.mu.Unlock()
+	}
+}

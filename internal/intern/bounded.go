@@ -271,3 +271,36 @@ func (b *Bounded[K, V]) Evictions() int64 { return b.evictions.Load() }
 
 // CapPerShard reports the per-shard entry cap (0 = unbounded).
 func (b *Bounded[K, V]) CapPerShard() int { return b.capPerShard }
+
+// Range calls fn for every resident entry, stopping early if fn
+// returns false. Iteration is weakly consistent: each shard's live
+// set (published snapshot plus dirty tier, which are disjoint) is
+// copied under that shard's lock, so entries inserted or evicted
+// concurrently may or may not appear, but no entry is ever seen torn.
+// Reference bits are not touched — a full export must not look like a
+// read burst to the CLOCK hand.
+func (b *Bounded[K, V]) Range(fn func(K, V) bool) {
+	type pair struct {
+		k K
+		v V
+	}
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.Lock()
+		pairs := make([]pair, 0, int(sh.size.Load()))
+		if snap := sh.snap.Load(); snap != nil {
+			for k, e := range *snap {
+				pairs = append(pairs, pair{k, e.val})
+			}
+		}
+		for k, e := range sh.dirty {
+			pairs = append(pairs, pair{k, e.val})
+		}
+		sh.mu.Unlock()
+		for _, p := range pairs {
+			if !fn(p.k, p.v) {
+				return
+			}
+		}
+	}
+}

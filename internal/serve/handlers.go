@@ -260,6 +260,8 @@ func sessionInfo(name string, s *session.DesignSession) *SessionInfo {
 		NestLoop:  s.NestLoopEnabled(),
 		CanUndo:   s.CanUndo(),
 		CanRedo:   s.CanRedo(),
+		UndoDepth: s.UndoDepth(),
+		RedoDepth: s.RedoDepth(),
 		Stats:     sessionStats(s.Stats()),
 	}
 }

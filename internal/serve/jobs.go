@@ -71,6 +71,16 @@ type recommendJob struct {
 	// values reset between retunes (see Manager.foldSweepSavings).
 	seenSkipped int64
 	seenPruned  int64
+
+	// frozen, when non-nil, is a job recovered from the journal after a
+	// restart: the search goroutine is gone, so the status is a fixed
+	// terminal record (a job journaled as running freezes as cancelled
+	// with its best-so-far progress). cancel is nil on frozen jobs.
+	frozen *RecommendJobStatus
+	// durG is the global WAL sequence of the job's newest journaled
+	// record (0 = never journaled); snapshots stamp it so replay can
+	// order snapshot state against WAL-suffix job records.
+	durG uint64
 }
 
 // foldSweepSavings folds a job's cumulative lazy-sweep savings into
@@ -95,6 +105,10 @@ func (m *Manager) foldSweepSavings(job *recommendJob, skipped, pruned int64) {
 func (j *recommendJob) status(now time.Time) *RecommendJobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.frozen != nil {
+		cp := *j.frozen
+		return &cp
+	}
 	end := j.finished
 	if end.IsZero() {
 		end = now
@@ -126,7 +140,7 @@ func (j *recommendJob) status(now time.Time) *RecommendJobStatus {
 func (j *recommendJob) terminal() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.state != JobRunning
+	return j.frozen != nil || j.state != JobRunning
 }
 
 // StartRecommend launches a recommendation job over session name's
@@ -237,19 +251,22 @@ func (m *Manager) StartRecommend(name string, req RecommendJobRequest, requestID
 }
 
 // jobStarted and jobEnded fold a job's lifecycle into the metrics
-// registry and the structured log in one place. jobEnded may run with
-// job.mu held (it only reads immutable job fields).
+// registry, the structured log and the durability journal in one
+// place. Neither may run with job.mu held (journalJob snapshots the
+// job's status, which takes it).
 func (m *Manager) jobStarted(job *recommendJob) {
 	m.met.jobsStarted.Inc()
 	m.log.Info("recommend job started",
 		"job", job.id, "session", job.session, "requestId", job.requestID,
 		"objects", job.objects, "strategy", job.strategy, "continuous", job.continuous)
+	m.journalJob(job)
 }
 
 func (m *Manager) jobEnded(job *recommendJob, state string) {
 	m.met.jobFinished(state)
 	m.log.Info("recommend job finished",
 		"job", job.id, "session", job.session, "requestId", job.requestID, "state", state)
+	m.journalJob(job)
 }
 
 // runContinuousJob is the continuous-tuner loop: on every tick it asks
@@ -280,9 +297,15 @@ func (m *Manager) runContinuousJob(ctx context.Context, job *recommendJob, tuner
 		// evicted) and re-created session gets a fresh window object,
 		// and a tuner left watching the detached one would report
 		// frozen drift forever. A session that is gone entirely ends
-		// the job — there is nothing left to tune.
+		// the job — there is nothing left to tune. A dormant durable
+		// session is NOT gone: it only left memory, and a background
+		// poll must not force it resident (windowPeek deliberately
+		// skips rehydration) — skip the tick until traffic revives it.
 		win, ok := m.windowPeek(job.session)
 		if !ok {
+			if m.dur != nil && m.dur.hasDormant(job.session) {
+				continue
+			}
 			job.mu.Lock()
 			job.errMsg = fmt.Sprintf("serve: session %q dropped or evicted; continuous tuner stopped", job.session)
 			job.state = JobCancelled
@@ -343,6 +366,11 @@ func (m *Manager) runContinuousJob(ctx context.Context, job *recommendJob, tuner
 			}
 		}
 		job.mu.Unlock()
+		if ret != nil {
+			// Each published retune is journaled (jobEnded covers the
+			// terminal paths above), so a restart keeps the newest design.
+			m.journalJob(job)
+		}
 	}
 }
 
@@ -369,6 +397,7 @@ func (m *Manager) registerJob(job *recommendJob) error {
 			return fmt.Errorf("%w: %d recommendation jobs already running", ErrCapacity, len(m.jobs))
 		}
 		delete(m.jobs, victim)
+		m.journalJobDel(victim)
 	}
 	m.jobSeq++
 	job.id = fmt.Sprintf("job-%d", m.jobSeq)
@@ -502,6 +531,7 @@ func (m *Manager) DeleteRecommendJob(name, id string) (status *RecommendJobStatu
 	if ok && job.session == name && job.terminal() {
 		delete(m.jobs, id)
 		m.jobMu.Unlock()
+		m.journalJobDel(id)
 		return nil, true, nil
 	}
 	m.jobMu.Unlock()

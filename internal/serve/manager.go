@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/durable"
 	"repro/internal/ingest"
 	"repro/internal/intern"
 	"repro/internal/obs"
@@ -79,6 +80,27 @@ type Options struct {
 	// DisableMetrics removes the GET /metrics endpoint (the registry
 	// still populates — /stats reads through it either way).
 	DisableMetrics bool
+
+	// DataDir, when non-empty, makes the manager durable: every
+	// acknowledged state change is journaled to a WAL under the
+	// directory, snapshots fold it up, and NewManagerDurable recovers
+	// the whole service state on boot (see durability.go). Empty — the
+	// default — keeps the manager purely in-memory.
+	DataDir string
+	// Fsync is the WAL group-commit policy (durable.SyncAlways — the
+	// zero value — waits for fsync before acknowledging each journaled
+	// record; see durable.Policy).
+	Fsync durable.Policy
+	// FsyncInterval is the flush cadence under durable.SyncInterval
+	// (0 = durable.DefaultInterval).
+	FsyncInterval time.Duration
+	// WalSegmentBytes rotates WAL segments past this size
+	// (0 = durable.DefaultSegmentBytes).
+	WalSegmentBytes int64
+	// SnapshotInterval is the Server's periodic-snapshot cadence
+	// (0 disables the timer; a final snapshot is still written on
+	// graceful drain via Manager.Close).
+	SnapshotInterval time.Duration
 }
 
 // DefaultMaxSessions is the session cap when Options.MaxSessions is 0.
@@ -141,6 +163,10 @@ type Manager struct {
 	jobMu  sync.Mutex
 	jobs   map[string]*recommendJob
 	jobSeq int64
+
+	// dur is the persistence sidecar (nil without Options.DataDir; see
+	// durability.go).
+	dur *durability
 }
 
 // tenant is one named session plus the bookkeeping the manager needs
@@ -171,8 +197,22 @@ type tenant struct {
 }
 
 // NewManager returns a manager whose sessions plan against cat and
-// default to defaultWorkload when a create names no queries.
+// default to defaultWorkload when a create names no queries. It panics
+// if Options.DataDir is set and recovery fails — durable callers
+// should use NewManagerDurable and handle the error.
 func NewManager(cat *catalog.Catalog, defaultWorkload []string, opts Options) *Manager {
+	m, err := NewManagerDurable(cat, defaultWorkload, opts)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// NewManagerDurable is NewManager with the error surfaced: with
+// Options.DataDir set it opens (or creates) the data directory,
+// recovers every persisted session, shared-memo state and job record,
+// and journals all future changes (see durability.go).
+func NewManagerDurable(cat *catalog.Catalog, defaultWorkload []string, opts Options) (*Manager, error) {
 	reg := opts.Metrics
 	if reg == nil {
 		reg = obs.NewRegistry()
@@ -195,7 +235,12 @@ func NewManager(cat *catalog.Catalog, defaultWorkload []string, opts Options) *M
 		jobs:      map[string]*recommendJob{},
 	}
 	m.registerViews()
-	return m
+	if opts.DataDir != "" {
+		if err := m.openDurable(); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
 }
 
 // Metrics exposes the manager's registry (tests, embedding servers).
@@ -237,6 +282,13 @@ func (m *Manager) Create(name string, workloadSQL []string, workers int) error {
 		m.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrExists, name)
 	}
+	if m.dur != nil && m.dur.hasDormant(name) {
+		// The name exists durably but was evicted: a re-create restores
+		// the persisted session instead of starting empty — eviction is
+		// a residency decision, not a drop (Drop deletes durable state).
+		m.mu.Unlock()
+		return m.rehydrate(name)
+	}
 	if len(m.tenants) >= m.maxSessions() && !m.evictLRULocked() {
 		m.mu.Unlock()
 		return fmt.Errorf("%w (%d sessions, all busy)", ErrCapacity, len(m.tenants))
@@ -257,23 +309,12 @@ func (m *Manager) Create(name string, workloadSQL []string, workers int) error {
 	m.tenants[name] = t
 	m.mu.Unlock()
 
-	if workers == 0 {
-		workers = m.opts.Workers
-	}
-	sopts := session.Options{Workers: workers, Shared: m.shared}
-	var s *session.DesignSession
-	var err error
-	if len(workloadSQL) == 0 {
-		var wl *session.Workload
-		if wl, err = m.defaultWorkload(); err == nil {
-			s, err = session.NewFromWorkload(m.cat, wl, sopts)
-		}
-	} else {
-		s, err = session.New(m.cat, workloadSQL, sopts)
-	}
+	s, err := m.buildSession(workloadSQL, workers)
 
 	m.mu.Lock()
 	t.inflight--
+	var ds *durSession
+	var createRec *walRecord
 	if err != nil {
 		// Remove only OUR placeholder: a concurrent Drop + re-Create
 		// may have installed a different live session under this name.
@@ -286,9 +327,19 @@ func (m *Manager) Create(name string, workloadSQL []string, workers int) error {
 		t.tick = m.clock
 		m.clock++
 		m.created++
+		if m.dur != nil {
+			// Register the durable session while m.mu is still held, so
+			// a Drop racing this create always finds it to tombstone;
+			// the record itself is appended outside the lock.
+			ds, createRec = m.journalCreateLocked(name, workloadSQL, workers)
+		}
 	}
 	m.mu.Unlock()
 	if err == nil {
+		if createRec != nil {
+			m.walAppend(createRec, true)
+			m.attachJournal(name, ds, s)
+		}
 		// Stats are safe to read here: t.mu is still held, so no other
 		// request has touched the fresh session. A create served wholly
 		// by the shared memo logs planCalls=0 — the pooled-pricing win.
@@ -333,16 +384,25 @@ func validateSessionName(name string) error {
 // session lock; the lookup counts as a touch for LRU/TTL purposes
 // (live traffic keeps a session resident).
 func (m *Manager) Window(name string) (*ingest.Window, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	t, ok := m.tenants[name]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	for retried := false; ; retried = true {
+		m.mu.Lock()
+		t, ok := m.tenants[name]
+		if ok {
+			t.lastUsed = m.now()
+			t.tick = m.clock
+			m.clock++
+			win := t.win
+			m.mu.Unlock()
+			return win, nil
+		}
+		m.mu.Unlock()
+		if retried {
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+		}
+		if err := m.rehydrateIfDormant(name); err != nil {
+			return nil, err
+		}
 	}
-	t.lastUsed = m.now()
-	t.tick = m.clock
-	m.clock++
-	return t.win, nil
 }
 
 // WindowAcquire is Window plus the eviction handshake the HTTP ingest
@@ -353,22 +413,30 @@ func (m *Manager) Window(name string) (*ingest.Window, error) {
 // pricing. (An explicit Drop mid-request orphans the window, exactly
 // as Do's contract orphans the session.)
 func (m *Manager) WindowAcquire(name string) (win *ingest.Window, release func(), err error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	t, ok := m.tenants[name]
-	if !ok {
-		return nil, nil, fmt.Errorf("%w: %q", ErrNotFound, name)
-	}
-	t.inflight++
-	release = func() {
+	for retried := false; ; retried = true {
 		m.mu.Lock()
-		t.inflight--
-		t.lastUsed = m.now()
-		t.tick = m.clock
-		m.clock++
+		t, ok := m.tenants[name]
+		if ok {
+			t.inflight++
+			m.mu.Unlock()
+			release := func() {
+				m.mu.Lock()
+				t.inflight--
+				t.lastUsed = m.now()
+				t.tick = m.clock
+				m.clock++
+				m.mu.Unlock()
+			}
+			return t.win, release, nil
+		}
 		m.mu.Unlock()
+		if retried {
+			return nil, nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+		}
+		if err := m.rehydrateIfDormant(name); err != nil {
+			return nil, nil, err
+		}
 	}
-	return t.win, release, nil
 }
 
 // windowPeek returns session name's window WITHOUT counting as a
@@ -387,15 +455,27 @@ func (m *Manager) windowPeek(name string) (*ingest.Window, bool) {
 // acquire registers a request on tenant name and takes its session
 // lock. Registering under the manager lock is the eviction handshake:
 // from there until release, inflight > 0 keeps the tenant unevictable.
+// A dormant durable session (evicted, not dropped) is rehydrated on
+// the way in — eviction reclaims memory, never state.
 func (m *Manager) acquire(name string) (*tenant, func(), error) {
-	m.mu.Lock()
-	t, ok := m.tenants[name]
-	if !ok {
+	var t *tenant
+	for retried := false; ; retried = true {
+		m.mu.Lock()
+		var ok bool
+		t, ok = m.tenants[name]
+		if ok {
+			t.inflight++
+			m.mu.Unlock()
+			break
+		}
 		m.mu.Unlock()
-		return nil, nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+		if retried {
+			return nil, nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+		}
+		if err := m.rehydrateIfDormant(name); err != nil {
+			return nil, nil, err
+		}
 	}
-	t.inflight++
-	m.mu.Unlock()
 
 	t.mu.Lock()
 	release := func() {
@@ -457,15 +537,26 @@ func (m *Manager) CostsJSON(name string) ([]byte, error) {
 	return blob, nil
 }
 
-// Drop removes session name immediately. A request already in flight
-// on it finishes against the orphaned session object.
+// Drop removes session name immediately — including its durable
+// state: unlike eviction, which only reclaims memory and leaves the
+// session rehydratable, a drop is the client saying the session is
+// gone for good. A request already in flight on it finishes against
+// the orphaned session object. Dormant (evicted-but-durable) sessions
+// are droppable too.
 func (m *Manager) Drop(name string) error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, ok := m.tenants[name]; !ok {
+	_, live := m.tenants[name]
+	delete(m.tenants, name)
+	m.mu.Unlock()
+	persisted := false
+	if m.dur != nil {
+		// Journaled outside m.mu: the drop record's fsync must not
+		// serialize the whole manager.
+		persisted = m.journalDrop(name)
+	}
+	if !live && !persisted {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
-	delete(m.tenants, name)
 	m.log.Info("session dropped", "session", name)
 	return nil
 }
@@ -485,6 +576,7 @@ func (m *Manager) evictLRULocked() bool {
 	if victim == nil {
 		return false
 	}
+	m.noteEvictLocked(victim)
 	delete(m.tenants, victim.name)
 	m.evictions++
 	m.log.Info("session evicted", "session", victim.name, "reason", "lru")
@@ -499,6 +591,7 @@ func (m *Manager) sweepLocked(now time.Time) int {
 	n := 0
 	for name, t := range m.tenants {
 		if t.inflight == 0 && now.Sub(t.lastUsed) >= m.opts.IdleTTL {
+			m.noteEvictLocked(t)
 			delete(m.tenants, name)
 			m.expirations++
 			n++
@@ -581,6 +674,9 @@ type ManagerStats struct {
 	// parinda_recommend_jobs_pruned_total on /metrics.
 	RecommendEvalsSkipped int64 `json:"recommendEvalsSkipped"`
 	RecommendJobsPruned   int64 `json:"recommendJobsPruned"`
+	// Durability is the WAL/snapshot/recovery block (nil without
+	// -data-dir; see durability.go).
+	Durability *DurabilityStats `json:"durability,omitempty"`
 }
 
 // Stats returns the manager-wide counters.
@@ -603,5 +699,6 @@ func (m *Manager) Stats() ManagerStats {
 		CostsCacheHits:        m.costsCacheHits.Load(),
 		RecommendEvalsSkipped: m.met.evalsSkipped.Value(),
 		RecommendJobsPruned:   m.met.jobsPruned.Value(),
+		Durability:            m.durabilityStats(),
 	}
 }

@@ -39,9 +39,15 @@ type Server struct {
 }
 
 // New builds a server: one manager over cat, defaulting sessions to
-// defaultWorkload.
-func New(cat *catalog.Catalog, defaultWorkload []string, opts Options) *Server {
-	return &Server{mgr: NewManager(cat, defaultWorkload, opts)}
+// defaultWorkload. With Options.DataDir set, the manager recovers its
+// persisted state before the server exists — a recovery failure is
+// the returned error.
+func New(cat *catalog.Catalog, defaultWorkload []string, opts Options) (*Server, error) {
+	mgr, err := NewManagerDurable(cat, defaultWorkload, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{mgr: mgr}, nil
 }
 
 // Manager exposes the underlying session manager.
@@ -93,6 +99,27 @@ func (sv *Server) ListenAndServe(ctx context.Context, addr string, ready func(ne
 			}
 		}()
 	}
+	if interval := sv.mgr.opts.SnapshotInterval; sv.mgr.dur != nil && interval > 0 {
+		// Periodic snapshots bound the WAL replay a crash recovery pays;
+		// Manager.Snapshot skips itself when nothing was journaled since
+		// the last one.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-tick.C:
+					if err := sv.mgr.Snapshot(); err != nil {
+						sv.mgr.log.Warn("periodic snapshot failed", "error", err.Error())
+					}
+				}
+			}
+		}()
+	}
 	shutdownErr := make(chan error, 1)
 	wg.Add(1)
 	go func() {
@@ -113,7 +140,13 @@ func (sv *Server) ListenAndServe(ctx context.Context, addr string, ready func(ne
 	if errors.Is(err, http.ErrServerClosed) {
 		// Cancelled via ctx: surface the drain outcome (nil when every
 		// in-flight request finished inside DrainTimeout).
-		return <-shutdownErr
+		err = <-shutdownErr
+	}
+	// The listener is down and every worker goroutine has stopped:
+	// fold the final snapshot + WAL close into the exit status (no-op
+	// without -data-dir).
+	if cerr := sv.mgr.Close(); err == nil {
+		err = cerr
 	}
 	return err
 }

@@ -19,7 +19,10 @@ import (
 // asserts the shutdown drains: the parked request completes with 200
 // and ListenAndServe returns nil.
 func TestServerGracefulShutdown(t *testing.T) {
-	sv := New(testCatalog(t), testWorkload(), Options{MaxSessions: 4, DrainTimeout: 10 * time.Second})
+	sv, err := New(testCatalog(t), testWorkload(), Options{MaxSessions: 4, DrainTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 

@@ -109,7 +109,11 @@ type SessionInfo struct {
 	NestLoop  bool           `json:"nestLoop"`
 	CanUndo   bool           `json:"canUndo"`
 	CanRedo   bool           `json:"canRedo"`
-	Stats     SessionStats   `json:"stats"`
+	// UndoDepth/RedoDepth are the history stack sizes — the durability
+	// crash tests assert they survive a restart bit-identically.
+	UndoDepth int          `json:"undoDepth"`
+	RedoDepth int          `json:"redoDepth"`
+	Stats     SessionStats `json:"stats"`
 }
 
 // SuggestedIndex is one advisor pick.

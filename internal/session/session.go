@@ -67,6 +67,29 @@ func (d Design) clone() Design {
 	return out
 }
 
+// EditRecord kinds: a committed user edit, an undo, a redo.
+const (
+	RecordEdit = "edit"
+	RecordUndo = "undo"
+	RecordRedo = "redo"
+)
+
+// EditRecord is one committed session mutation in serializable form —
+// the unit the serve tier journals to its write-ahead log. An edit
+// record carries the full target state (design + nest-loop flag)
+// rather than a delta: replaying the sequence through ApplyRecord
+// re-derives each delta against the session's then-current design,
+// which reproduces the original transitions exactly — including the
+// what-if session's generated index names, the projected design
+// signatures (so shared-memo replays hit without planning), and the
+// undo/redo stacks. Undo and redo are recorded as markers, not
+// states: replay walks the same history the user did.
+type EditRecord struct {
+	Kind     string  `json:"kind"`
+	Design   *Design `json:"design,omitempty"`   // RecordEdit only
+	NestLoop bool    `json:"nestLoop,omitempty"` // RecordEdit only
+}
+
 // partKey canonicalizes a partition definition for signature and diff
 // purposes. Fragment order matters (it fixes the generated names).
 func partKey(def PartitionDef) string {
@@ -206,6 +229,15 @@ type DesignSession struct {
 	// memo outcomes) at reprice commit. Set by the serve layer for the
 	// duration of one request; never owned by the session.
 	span *obs.Span
+
+	// onRecord, when non-nil, observes every committed mutation as an
+	// EditRecord — the serve tier's journaling hook. Fired after the
+	// mutation fully commits (design, pricing and history stacks all
+	// updated), synchronously on the caller's goroutine, so a journal
+	// that fsyncs before returning makes the edit durable before the
+	// request is acknowledged. ApplyRecord suppresses it: replay must
+	// not re-journal.
+	onRecord func(EditRecord)
 
 	undo []snapshot
 	redo []snapshot
@@ -514,6 +546,9 @@ func (s *DesignSession) Undo() (*InteractiveReport, error) {
 	// redo stack.
 	s.undo = s.undo[:len(s.undo)-2]
 	s.redo = append(s.redo, cur)
+	if s.onRecord != nil {
+		s.onRecord(EditRecord{Kind: RecordUndo})
+	}
 	return rep, nil
 }
 
@@ -533,6 +568,9 @@ func (s *DesignSession) Redo() (*InteractiveReport, error) {
 		return nil, err
 	}
 	s.redo = s.redo[:len(s.redo)-1]
+	if s.onRecord != nil {
+		s.onRecord(EditRecord{Kind: RecordRedo})
+	}
 	return rep, nil
 }
 
@@ -541,6 +579,40 @@ func (s *DesignSession) CanUndo() bool { return len(s.undo) > 0 }
 
 // CanRedo reports whether an undone edit is available to re-apply.
 func (s *DesignSession) CanRedo() bool { return len(s.redo) > 0 }
+
+// UndoDepth reports how many edits are available to revert.
+func (s *DesignSession) UndoDepth() int { return len(s.undo) }
+
+// RedoDepth reports how many undone edits are available to re-apply.
+func (s *DesignSession) RedoDepth() int { return len(s.redo) }
+
+// SetOnRecord installs (or, with nil, removes) the committed-mutation
+// observer. Must be set before the session sees traffic; the session
+// is single-threaded, so there is no registration race beyond that.
+func (s *DesignSession) SetOnRecord(fn func(EditRecord)) { s.onRecord = fn }
+
+// ApplyRecord replays one journaled mutation. Replaying a session's
+// records in order against a fresh session over the same workload
+// reconstructs it exactly: design, pricing, generated what-if names,
+// and undo/redo depth. The onRecord hook is suppressed for the
+// duration — replay must never re-journal itself.
+func (s *DesignSession) ApplyRecord(rec EditRecord) (*InteractiveReport, error) {
+	saved := s.onRecord
+	s.onRecord = nil
+	defer func() { s.onRecord = saved }()
+	switch rec.Kind {
+	case RecordEdit:
+		if rec.Design == nil {
+			return nil, errors.New("session: edit record carries no design")
+		}
+		return s.userEdit(rec.Design.clone(), rec.NestLoop)
+	case RecordUndo:
+		return s.Undo()
+	case RecordRedo:
+		return s.Redo()
+	}
+	return nil, fmt.Errorf("session: unknown edit-record kind %q", rec.Kind)
+}
 
 // Report assembles the interactive report for the current design.
 func (s *DesignSession) Report() *InteractiveReport {
@@ -616,6 +688,12 @@ func (s *DesignSession) userEdit(target Design, targetNL bool) (*InteractiveRepo
 	}
 	if len(s.undo) != depth {
 		s.redo = s.redo[:0]
+		if s.onRecord != nil {
+			// Only real edits (frame pushed) are journaled: a structural
+			// no-op changed nothing, so replaying without it is identical.
+			d := s.design.clone()
+			s.onRecord(EditRecord{Kind: RecordEdit, Design: &d, NestLoop: s.nestLoop})
+		}
 	}
 	return rep, nil
 }

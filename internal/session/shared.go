@@ -67,6 +67,10 @@ type SharedMemo struct {
 	// everyone else waits for its publication.
 	flights flight.Group[stateKey, *queryState]
 
+	// onPublish, when non-nil, observes every first-writer state
+	// publication under canonical string keys (see SetOnPublish).
+	onPublish atomic.Pointer[func(SharedState)]
+
 	hits   atomic.Int64
 	misses atomic.Int64
 	stores atomic.Int64
@@ -169,6 +173,15 @@ func (m *SharedMemo) publish(tk *flight.Ticket[stateKey, *queryState], stmtID ui
 	m.stores.Add(1)
 	if dup {
 		m.dupStores.Add(1)
+	} else if fn := m.onPublish.Load(); fn != nil {
+		(*fn)(SharedState{
+			Stmt:        m.costs.StmtKey(stmtID),
+			Sig:         sig,
+			Cost:        st.cost,
+			Explain:     st.explain,
+			Rewritten:   st.rewrittenSQL,
+			IndexesUsed: append([]string(nil), st.indexesUsed...),
+		})
 	}
 	if tk != nil {
 		tk.Fulfill(st)
@@ -227,4 +240,68 @@ func (m *SharedMemo) Stats() SharedStats {
 		Sigs:               m.sigs.Len(),
 		Costs:              m.costs.Stats(),
 	}
+}
+
+// ---------------------------------------------------------------------
+// Durability surface: string-keyed state export/restore + publish hook
+// ---------------------------------------------------------------------
+
+// SharedState is one published (query, projected design) state under
+// its canonical string keys — the process-restart-stable form of a
+// state-tier entry (interned ids renumber across restarts, so they
+// never leave the process).
+type SharedState struct {
+	Stmt        string   `json:"stmt"`
+	Sig         string   `json:"sig"`
+	Cost        float64  `json:"cost"`
+	Explain     string   `json:"explain,omitempty"`
+	Rewritten   string   `json:"rewritten,omitempty"`
+	IndexesUsed []string `json:"indexesUsed,omitempty"`
+}
+
+// SetOnPublish installs fn to run synchronously inside every non-
+// duplicate state publication, with the state's canonical string keys.
+// Pass nil to detach. The serve tier uses it to journal publications;
+// it is attached only after recovery, so replayed restores never
+// re-journal.
+func (m *SharedMemo) SetOnPublish(fn func(SharedState)) {
+	if fn == nil {
+		m.onPublish.Store(nil)
+		return
+	}
+	m.onPublish.Store(&fn)
+}
+
+// ExportStates snapshots every published state under string keys.
+// Weakly consistent under concurrent publications (see
+// intern.Bounded.Range) — callers pair it with WAL replay to catch
+// states published mid-export.
+func (m *SharedMemo) ExportStates() []SharedState {
+	out := make([]SharedState, 0, m.states.Len())
+	m.states.Range(func(k stateKey, st *queryState) bool {
+		out = append(out, SharedState{
+			Stmt:        m.costs.StmtKey(k.stmt),
+			Sig:         m.sigs.Lookup(k.sig),
+			Cost:        st.cost,
+			Explain:     st.explain,
+			Rewritten:   st.rewrittenSQL,
+			IndexesUsed: append([]string(nil), st.indexesUsed...),
+		})
+		return true
+	})
+	return out
+}
+
+// RestoreState re-publishes an exported state (idempotent — present
+// keys win; no hook fires, no store is counted). Restores go through
+// the cost tier's statement interner so a later live session born over
+// the same workload sees the restored states as plain hits.
+func (m *SharedMemo) RestoreState(st SharedState) {
+	k := stateKey{m.costs.InternStmtKey(st.Stmt), m.sigs.Intern(st.Sig)}
+	m.states.PutIfAbsent(k, &queryState{
+		rewrittenSQL: st.Rewritten,
+		cost:         st.Cost,
+		explain:      st.Explain,
+		indexesUsed:  append([]string(nil), st.IndexesUsed...),
+	})
 }
